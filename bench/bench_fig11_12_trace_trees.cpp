@@ -1,0 +1,36 @@
+// Regenerates Figs. 11 and 12: the trace trees for system inputs ADC and
+// PACNT. The paper notes the TIC1 and TCNT trees are "very similar to the
+// tree for PACNT"; they are printed too for completeness.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/ascii_tree.hpp"
+#include "core/propagation_path.hpp"
+
+int main() {
+  using namespace propane;
+  auto scale = exp::scale_from_env();
+  bench::banner("Figs. 11-12: trace trees for the system inputs", scale);
+  const auto experiment = bench::timed_experiment(scale);
+
+  for (std::uint32_t s = 0; s < experiment.model.system_input_count(); ++s) {
+    const auto& tree = experiment.report.trace_trees[s];
+    std::printf("--- Trace tree for system input %s %s---\n",
+                experiment.model.system_input_name(s).c_str(),
+                experiment.model.system_input_name(s) == "ADC"
+                    ? "(Fig. 11) "
+                    : (experiment.model.system_input_name(s) == "PACNT"
+                           ? "(Fig. 12) "
+                           : ""));
+    std::puts(core::render_ascii_tree(experiment.model, tree).c_str());
+    auto paths = core::trace_paths(tree);
+    core::sort_paths_by_weight(paths);
+    std::puts("paths to the system output, by weight:");
+    for (const auto& path : paths) {
+      std::printf("  %.3f  %s\n", path.weight,
+                  core::format_path(experiment.model, tree, path).c_str());
+    }
+    std::puts("");
+  }
+  return 0;
+}

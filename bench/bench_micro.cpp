@@ -1,0 +1,93 @@
+// Microbenchmarks (google-benchmark): throughput of the building blocks --
+// simulator ticks, full arrestment runs, golden-run comparison, tree
+// construction and the complete analysis pipeline.
+#include <benchmark/benchmark.h>
+
+#include "arrestment/model.hpp"
+#include "arrestment/system.hpp"
+#include "core/analysis.hpp"
+#include "core/backtrack_tree.hpp"
+#include "core/example_system.hpp"
+#include "fi/golden.hpp"
+
+namespace {
+
+using namespace propane;
+
+void BM_ArrestmentTick(benchmark::State& state) {
+  arr::ArrestmentSystem system(arr::TestCase{14000, 60});
+  const arr::RunOptions options;
+  for (auto _ : state) {
+    system.tick(options);
+    benchmark::DoNotOptimize(system.bus().read(0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ArrestmentTick);
+
+void BM_ArrestmentRun1s(benchmark::State& state) {
+  arr::RunOptions options;
+  options.duration = sim::kSecond;
+  for (auto _ : state) {
+    auto outcome = arr::run_arrestment(arr::TestCase{14000, 60}, options);
+    benchmark::DoNotOptimize(outcome.trace.sample_count());
+  }
+}
+BENCHMARK(BM_ArrestmentRun1s);
+
+void BM_GoldenComparison(benchmark::State& state) {
+  arr::RunOptions options;
+  options.duration = 2 * sim::kSecond;
+  const auto golden = arr::run_arrestment(arr::TestCase{14000, 60}, options);
+  options.injection =
+      fi::InjectionSpec{6, sim::kSecond, fi::bit_flip(3)};
+  const auto injected =
+      arr::run_arrestment(arr::TestCase{14000, 60}, options);
+  for (auto _ : state) {
+    auto report = fi::compare_to_golden(golden.trace, injected.trace);
+    benchmark::DoNotOptimize(report.divergence_count());
+  }
+}
+BENCHMARK(BM_GoldenComparison);
+
+void BM_BacktrackTreeArrestment(benchmark::State& state) {
+  const auto model = arr::make_arrestment_model();
+  core::SystemPermeability permeability(model);
+  for (auto _ : state) {
+    auto tree = core::build_backtrack_tree(model, permeability, 0);
+    benchmark::DoNotOptimize(tree.size());
+  }
+}
+BENCHMARK(BM_BacktrackTreeArrestment);
+
+void BM_FullAnalysisExampleSystem(benchmark::State& state) {
+  const auto model = core::make_example_system();
+  const auto permeability = core::make_example_permeability(model);
+  for (auto _ : state) {
+    auto report = core::analyze(model, permeability);
+    benchmark::DoNotOptimize(report.paths.size());
+  }
+}
+BENCHMARK(BM_FullAnalysisExampleSystem);
+
+void BM_FullAnalysisArrestment(benchmark::State& state) {
+  const auto model = arr::make_arrestment_model();
+  core::SystemPermeability permeability(model);
+  // Non-trivial values so nothing short-circuits.
+  for (core::ModuleId m = 0; m < model.module_count(); ++m) {
+    for (core::PortIndex i = 0; i < model.module(m).input_count(); ++i) {
+      for (core::PortIndex k = 0; k < model.module(m).output_count(); ++k) {
+        permeability.set(m, i, k, 0.5);
+      }
+    }
+  }
+  for (auto _ : state) {
+    auto report = core::analyze(model, permeability);
+    benchmark::DoNotOptimize(report.signal_exposures.size());
+  }
+}
+BENCHMARK(BM_FullAnalysisArrestment);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,33 @@
+// Regenerates Table 1: "Estimated error permeability values of the
+// input/output pairs" -- P^M_{i,k} = n_err / n_inj for all 25 pairs of the
+// target system, from single-bit-flip injections over the workload grid.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace propane;
+  const auto scale = exp::scale_from_env();
+  bench::banner("Table 1: estimated error permeability values", scale);
+  const auto experiment = bench::timed_experiment(scale);
+  std::puts(exp::table1_permeability(experiment).render().c_str());
+
+  std::puts("\nShape checks against the paper:");
+  auto value = [&](const char* module, const char* in, const char* out) {
+    const auto m = *experiment.model.find_module(module);
+    return experiment.estimation.permeability.get(
+        m, *experiment.model.find_input(m, in),
+        *experiment.model.find_output(m, out));
+  };
+  std::printf("  CLOCK feedback pair = %.3f (paper: 1.000)\n",
+              value("CLOCK", "ms_slot_nbr", "ms_slot_nbr"));
+  std::printf("  PRES_S ADC->InValue = %.3f (paper: 0.000, OB3)\n",
+              value("PRES_S", "ADC", "InValue"));
+  std::printf("  V_REG InValue->OutValue = %.3f (paper: 0.920, OB3)\n",
+              value("V_REG", "InValue", "OutValue"));
+  std::printf("  DIST_S *->stopped = %.3f %.3f %.3f (paper: all 0, OB2)\n",
+              value("DIST_S", "PACNT", "stopped"),
+              value("DIST_S", "TIC1", "stopped"),
+              value("DIST_S", "TCNT", "stopped"));
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Regenerates Table 3: "Estimated signal error exposures" -- X^S (Eq. 6)
+// for every internal signal, computed over the TOC2 backtrack tree.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/analysis.hpp"
+
+int main() {
+  using namespace propane;
+  const auto scale = exp::scale_from_env();
+  bench::banner("Table 3: signal error exposures", scale);
+  const auto experiment = bench::timed_experiment(scale);
+  std::puts(core::signal_exposure_table(experiment.report).render().c_str());
+
+  std::puts("\nShape checks against the paper:");
+  std::puts("  - SetValue, i and OutValue have the highest exposure and are"
+            " part of the non-zero propagation paths");
+  std::puts("  - mscnt exposure 0: independent signal (OB4)");
+  std::puts("  - stopped exposure 0: DIST_S is non-permeable towards it "
+            "(OB2)");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Ablation A3 -- the uniform-propagation check against [12] (Section 2):
+// "A data error occurring at a location l would, to a high degree, exhibit
+// uniform propagation ... either all data errors would propagate to the
+// system output or none of them would. Our findings do not corroborate
+// this assertion."
+//
+// For every injection location -- a (signal, error model) pair -- this
+// bench computes the fraction of its injections whose error reached the
+// system output, and histograms those fractions. Uniform propagation
+// predicts all mass at 0 and 1; intermediate mass refutes it.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+
+int main() {
+  using namespace propane;
+  auto scale = exp::scale_from_env();
+  bench::banner("Ablation A3: is propagation uniform per location?", scale);
+  const auto experiment = bench::timed_experiment(scale);
+
+  const auto stats = fi::location_propagation_stats(
+      experiment.model, experiment.binding, experiment.campaign);
+
+  Histogram histogram(0.0, 1.0 + 1e-9, 10);
+  std::size_t extremes = 0;
+  for (const auto& location : stats) {
+    histogram.add(location.fraction());
+    if (location.fraction() == 0.0 || location.fraction() == 1.0) {
+      ++extremes;
+    }
+  }
+
+  std::puts("Distribution of per-location propagation fractions:");
+  for (std::size_t bin = 0; bin < histogram.bin_count(); ++bin) {
+    std::printf("  [%.1f, %.1f)  %4zu  ", histogram.bin_lo(bin),
+                histogram.bin_hi(bin), histogram.count(bin));
+    for (std::size_t star = 0; star < histogram.count(bin); ++star) {
+      if (star > 60) {
+        std::printf("+");
+        break;
+      }
+      std::printf("*");
+    }
+    std::puts("");
+  }
+  const double intermediate_share =
+      1.0 - static_cast<double>(extremes) /
+                static_cast<double>(histogram.total());
+  std::printf(
+      "\n%zu locations; %.1f%% propagate neither always nor never.\n",
+      stats.size(), intermediate_share * 100.0);
+  std::puts(intermediate_share > 0.0
+                ? "=> non-uniform propagation observed, matching the "
+                  "paper's disagreement with [12]."
+                : "=> all locations propagated uniformly at this scale; "
+                  "rerun with PROPANE_SCALE=full.");
+
+  std::puts("\nPer-location detail (signal, model, fraction):");
+  for (const auto& location : stats) {
+    std::printf("  %-12s %-12s %zu/%zu = %.2f\n",
+                location.signal_name.c_str(), location.model_name.c_str(),
+                location.propagated, location.injections,
+                location.fraction());
+  }
+  return 0;
+}

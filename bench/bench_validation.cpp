@@ -1,0 +1,103 @@
+// Framework validation (extension): the trees predict end-to-end
+// propagation by *multiplying* per-module permeabilities along each path
+// and combining paths independently. This bench checks that prediction
+// against direct measurement: for every signal, the fraction of injections
+// into it whose error actually reached the system output TOC2.
+//
+// The comparison quantifies how well the paper's compositional model holds
+// on a real control loop (correlated errors, feedback through the physics,
+// and error masking all bend the independence assumption).
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/strings.hpp"
+
+namespace {
+
+using namespace propane;
+
+/// Root-to-node products for every output signal in the TOC2 backtrack
+/// tree: P(error at signal S propagates to TOC2) along each distinct route.
+std::map<std::string, std::vector<double>> analytic_routes(
+    const exp::PaperExperiment& experiment) {
+  std::map<std::string, std::vector<double>> routes;
+  const auto& tree = experiment.report.backtrack_trees[0];
+  for (core::TreeNodeIndex n = 0; n < tree.size(); ++n) {
+    const auto& node = tree.node(n);
+    if (node.kind != core::TreeNode::Kind::kOutput) continue;
+    const std::string name = experiment.model.signal_name(
+        core::SignalRef::from_output(node.output));
+    routes[name].push_back(tree.path_weight_to(n));
+  }
+  // System inputs appear as leaves (kInput); their route weight includes
+  // the final permeability edge into the first module.
+  for (core::TreeNodeIndex n = 0; n < tree.size(); ++n) {
+    const auto& node = tree.node(n);
+    if (node.kind != core::TreeNode::Kind::kInput ||
+        !node.is_system_input) {
+      continue;
+    }
+    const std::string name =
+        experiment.model.signal_name(experiment.model.input_source(node.input));
+    routes[name].push_back(tree.path_weight_to(n));
+  }
+  return routes;
+}
+
+double combine_independent(const std::vector<double>& weights) {
+  double none = 1.0;
+  for (double w : weights) none *= 1.0 - w;
+  return 1.0 - none;
+}
+
+}  // namespace
+
+int main() {
+  const auto scale = exp::scale_from_env();
+  bench::banner(
+      "Validation: analytic path predictions vs measured propagation",
+      scale);
+  const auto experiment = bench::timed_experiment(scale);
+
+  // Measured: per target signal, fraction of injections that corrupted
+  // TOC2 (aggregated over error models and instants).
+  const auto locations = fi::location_propagation_stats(
+      experiment.model, experiment.binding, experiment.campaign);
+  std::map<std::string, std::pair<std::size_t, std::size_t>> measured;
+  for (const auto& loc : locations) {
+    auto& [injections, propagated] = measured[loc.signal_name];
+    injections += loc.injections;
+    propagated += loc.propagated;
+  }
+
+  const auto routes = analytic_routes(experiment);
+
+  TextTable table({"Signal", "Analytic (indep.)", "Analytic (max route)",
+                   "Measured", "n"});
+  for (const auto& [signal, counts] : measured) {
+    const auto it = routes.find(signal);
+    double independent = 0.0;
+    double max_route = 0.0;
+    if (it != routes.end()) {
+      independent = combine_independent(it->second);
+      for (double w : it->second) max_route = std::max(max_route, w);
+    }
+    const double observed =
+        static_cast<double>(counts.second) /
+        static_cast<double>(counts.first == 0 ? 1 : counts.first);
+    table.add_row({signal, format_double(independent, 3),
+                   format_double(max_route, 3), format_double(observed, 3),
+                   std::to_string(counts.first)});
+  }
+  std::puts(table.render().c_str());
+  std::puts(
+      "\nReading guide: 'analytic' composes the measured per-module\n"
+      "permeabilities along the backtrack-tree routes assuming\n"
+      "independence; 'measured' is the directly observed fraction of\n"
+      "injections whose error reached TOC2. Agreement in ordering (and\n"
+      "rough magnitude) validates using the trees to rank propagation\n"
+      "paths, which is all the paper's methodology requires.");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// The paper's full case study end-to-end (Sections 6-8): run the SWIFI
+// campaign against the aircraft-arrestment controller, estimate the 25
+// error permeabilities, derive every measure, and print the placement
+// conclusions OB1-OB6.
+//
+// Scale via PROPANE_SCALE=full for the paper's 52,000-run campaign
+// (25 test cases x 16 bit positions x 10 instants x 13 target signals).
+#include <cstdio>
+#include <fstream>
+
+#include "core/ascii_tree.hpp"
+#include "core/permeability_io.hpp"
+#include "core/report_writer.hpp"
+#include "exp/paper_experiment.hpp"
+#include "fi/campaign_io.hpp"
+
+int main() {
+  using namespace propane;
+  const auto scale = exp::scale_from_env();
+  std::printf("Running the DSN'01 arrestment study -- %s\n\n",
+              exp::describe(scale).c_str());
+  const auto experiment = exp::run_paper_experiment(scale);
+
+  std::puts("Table 1 -- estimated error permeabilities:");
+  std::puts(exp::table1_permeability(experiment).render().c_str());
+
+  std::puts("\nTable 2 -- module measures:");
+  std::puts(core::module_measures_table(experiment.report).render().c_str());
+
+  std::puts("Table 3 -- signal error exposures:");
+  std::puts(core::signal_exposure_table(experiment.report).render().c_str());
+
+  std::puts("Table 4 -- non-zero propagation paths from TOC2:");
+  std::puts(core::path_table(experiment.report, true).render().c_str());
+
+  std::puts("Backtrack tree of TOC2 (Fig. 10):");
+  std::puts(core::render_ascii_tree(experiment.model,
+                                    experiment.report.backtrack_trees[0])
+                .c_str());
+
+  std::puts("Placement advice (Section 5 rules of thumb + OB1-OB6):");
+  std::puts(core::placement_table(experiment.report.placement)
+                .render()
+                .c_str());
+
+  std::puts("Signals the analysis advises *against* instrumenting (OB4):");
+  for (const auto& exclusion : experiment.report.placement.exclusions) {
+    std::printf("  %-12s %s\n", exclusion.name.c_str(),
+                exclusion.reason.c_str());
+  }
+
+  // Persist the artefacts: the estimated permeabilities (reloadable via
+  // load_permeability_csv) and the raw campaign summary for external
+  // post-processing.
+  {
+    std::ofstream perm("/tmp/arrestment_permeability.csv");
+    core::save_permeability_csv(perm, experiment.model,
+                                experiment.estimation.permeability);
+    std::ofstream summary("/tmp/arrestment_campaign.csv");
+    fi::write_campaign_summary_csv(summary, experiment.campaign);
+    std::ofstream report_md("/tmp/arrestment_report.md");
+    core::write_markdown_report(report_md, experiment.model,
+                                experiment.report,
+                                {.title = "DSN'01 arrestment analysis"});
+    std::puts("\nwrote /tmp/arrestment_permeability.csv, "
+              "/tmp/arrestment_campaign.csv and /tmp/arrestment_report.md");
+  }
+  return 0;
+}

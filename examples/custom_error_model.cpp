@@ -1,0 +1,69 @@
+// Extending the error-model library: define domain-specific error models
+// (an EMI-style burst and an intermittent sensor dropout) and compare the
+// permeability estimates they produce against plain bit flips on the same
+// target signals.
+//
+// Section 6: "The type of injected errors can also affect the estimates.
+// Ideally, one would inject errors from a realistic set" -- this example
+// shows how to plug such a set in.
+#include <cstdio>
+
+#include "arrestment/model.hpp"
+#include "arrestment/system.hpp"
+#include "exp/paper_experiment.hpp"
+#include "fi/error_model.hpp"
+
+namespace {
+
+using namespace propane;
+
+/// EMI burst: flips a random contiguous 4-bit group.
+fi::ErrorModel emi_burst() {
+  return fi::ErrorModel{"emi-burst", [](std::uint16_t value, Rng& rng) {
+                          const auto shift =
+                              static_cast<unsigned>(rng.bounded(13));
+                          return static_cast<std::uint16_t>(
+                              value ^ (0xFu << shift));
+                        }};
+}
+
+/// Sensor dropout: the register reads as all-zeros.
+fi::ErrorModel sensor_dropout() { return fi::set_value(0); }
+
+/// Saturated sensor: the register reads full scale.
+fi::ErrorModel sensor_saturation() { return fi::set_value(0xFFFF); }
+
+void report(const char* title, const exp::PaperExperiment& experiment) {
+  std::printf("--- %s ---\n", title);
+  std::printf("%-7s %-22s %8s\n", "Module", "pair", "P");
+  for (const auto& pair : experiment.estimation.pairs) {
+    if (pair.injections == 0 || pair.permeability() == 0.0) continue;
+    std::printf("%-7s %-22s %8.3f\n",
+                experiment.model.module_name(pair.pair.module).c_str(),
+                (pair.input_name + " -> " + pair.output_name).c_str(),
+                pair.permeability());
+  }
+  std::puts("");
+}
+
+}  // namespace
+
+int main() {
+  std::puts("Comparing error models on the arrestment controller\n");
+
+  exp::ExperimentScale flips = exp::smoke_scale();
+  flips.models = fi::all_bit_flips();
+  flips.name = "bit flips";
+  report("16 single bit flips (the paper's model)",
+         exp::run_paper_experiment(flips));
+
+  exp::ExperimentScale custom = exp::smoke_scale();
+  custom.models = {emi_burst(), sensor_dropout(), sensor_saturation()};
+  custom.name = "domain models";
+  report("EMI burst + dropout + saturation (custom)",
+         exp::run_paper_experiment(custom));
+
+  std::puts("The relative ordering of the permeable pairs is what the "
+            "framework relies on (Section 6); compare the two listings.");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// File-driven workflow: describe the system in the text model format and
+// keep permeability values in CSV, so the expensive fault-injection
+// campaign runs once and the analysis can be repeated (or tweaked) from
+// the artefacts alone.
+//
+// Usage:
+//   file_driven_analysis                     # self-contained demo
+//   file_driven_analysis model.txt perm.csv  # analyse your own files
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/propane.hpp"
+
+namespace {
+
+constexpr const char* kDemoModel = R"(
+# The paper's target system (Fig. 8) in the propane++ model format.
+module CLOCK  in ms_slot_nbr out mscnt ms_slot_nbr
+module DIST_S in PACNT TIC1 TCNT out pulscnt slow_speed stopped
+module PRES_S in ADC out InValue
+module CALC   in i mscnt pulscnt slow_speed stopped out i SetValue
+module V_REG  in SetValue InValue out OutValue
+module PRES_A in OutValue out TOC2
+
+input PACNT -> DIST_S.PACNT
+input TIC1  -> DIST_S.TIC1
+input TCNT  -> DIST_S.TCNT
+input ADC   -> PRES_S.ADC
+
+connect CLOCK.ms_slot_nbr -> CLOCK.ms_slot_nbr
+connect CLOCK.mscnt       -> CALC.mscnt
+connect DIST_S.pulscnt    -> CALC.pulscnt
+connect DIST_S.slow_speed -> CALC.slow_speed
+connect DIST_S.stopped    -> CALC.stopped
+connect CALC.i            -> CALC.i
+connect CALC.SetValue     -> V_REG.SetValue
+connect PRES_S.InValue    -> V_REG.InValue
+connect V_REG.OutValue    -> PRES_A.OutValue
+
+output TOC2 <- PRES_A.TOC2
+)";
+
+// Representative permeability values (a reduced-campaign estimate).
+constexpr const char* kDemoCsv = R"(module,input,output,permeability
+CLOCK,ms_slot_nbr,ms_slot_nbr,1.0
+DIST_S,PACNT,pulscnt,1.0
+DIST_S,TIC1,slow_speed,0.146
+CALC,i,i,0.974
+CALC,i,SetValue,0.771
+CALC,mscnt,SetValue,0.750
+CALC,pulscnt,i,0.833
+CALC,pulscnt,SetValue,0.807
+V_REG,SetValue,OutValue,1.0
+V_REG,InValue,OutValue,0.964
+PRES_A,OutValue,TOC2,0.740
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace propane::core;
+
+  SystemModel model = [&] {
+    if (argc >= 2) {
+      std::ifstream in(argv[1]);
+      if (!in) {
+        std::fprintf(stderr, "cannot open model file %s\n", argv[1]);
+        std::exit(1);
+      }
+      return parse_system_model(in);
+    }
+    std::puts("(no files given; analysing the built-in demo model)");
+    return parse_system_model(kDemoModel);
+  }();
+
+  SystemPermeability permeability = [&] {
+    if (argc >= 3) {
+      std::ifstream in(argv[2]);
+      if (!in) {
+        std::fprintf(stderr, "cannot open permeability CSV %s\n", argv[2]);
+        std::exit(1);
+      }
+      return load_permeability_csv(in, model);
+    }
+    std::istringstream in(kDemoCsv);
+    return load_permeability_csv(in, model);
+  }();
+
+  const AnalysisReport report = analyze(model, permeability);
+  std::puts("\nModule measures:");
+  std::puts(module_measures_table(report).render().c_str());
+  std::puts("Signal exposures:");
+  std::puts(signal_exposure_table(report).render().c_str());
+  std::puts("Top propagation paths:");
+  std::puts(path_table(report, /*nonzero_only=*/true).render().c_str());
+  std::puts("Placement advice:");
+  std::puts(placement_table(report.placement).render().c_str());
+
+  // Round-trip demonstration: both artefacts can be regenerated.
+  std::ofstream model_out("/tmp/propane_model.txt");
+  model_out << to_model_text(model);
+  std::ofstream csv_out("/tmp/propane_permeability.csv");
+  save_permeability_csv(csv_out, model, permeability);
+  std::puts("wrote /tmp/propane_model.txt and "
+            "/tmp/propane_permeability.csv (round-trippable)");
+  return 0;
+}

@@ -1,0 +1,102 @@
+#include "arrestment/calc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "arrestment/constants.hpp"
+#include "common/contracts.hpp"
+
+namespace propane::arr {
+
+namespace {
+/// Nominal aircraft mass used before the first gain re-identification [kg].
+constexpr double kNominalMassKg = 14000.0;
+/// Nominal brake gain [m/s^2 per SetValue unit].
+constexpr double kNominalGain =
+    kMaxBrakeForceN / 65535.0 / kNominalMassKg;
+}  // namespace
+
+CalcModule::CalcModule(const BusMap& map) : map_(map), gain_(kNominalGain) {}
+
+std::uint16_t CalcModule::checkpoint_pulses(int index) {
+  PROPANE_REQUIRE(index >= 0 && index < kCheckpointCount);
+  return static_cast<std::uint16_t>(
+      std::lround(kCheckpointM[index] / kMetersPerPulse));
+}
+
+void CalcModule::step(fi::SignalBus& bus) {
+  const std::uint16_t mscnt = bus.read(map_.mscnt);
+  const std::uint16_t pulscnt = bus.read(map_.pulscnt);
+  const std::uint16_t slow_speed = bus.read(map_.slow_speed);
+  const std::uint16_t stopped = bus.read(map_.stopped);
+  const std::uint16_t i = bus.read(map_.checkpoint_i);
+
+  if (stopped != 0) {
+    // Arrestment complete: release the brake.
+    bus.write(map_.set_value, 0);
+    return;
+  }
+
+  if (i < kCheckpointCount &&
+      pulscnt >= checkpoint_pulses(static_cast<int>(i))) {
+    // --- Checkpoint reached: (re)compute the pressure set point.
+    const auto seg_pulses =
+        static_cast<std::uint16_t>(pulscnt - seg_start_pulses_);
+    auto seg_ms = static_cast<std::uint16_t>(mscnt - seg_start_ms_);
+    if (seg_ms == 0) seg_ms = 1;  // defensive: corrupted clock
+
+    // Velocity estimate from the pulse rate over the finished segment.
+    const double velocity = static_cast<double>(seg_pulses) *
+                            kMetersPerPulse /
+                            (static_cast<double>(seg_ms) / 1000.0);
+
+    // Re-identify the brake gain from the previous segment: measured
+    // deceleration per unit of applied set point. Skips the first segment
+    // (no braking yet) and degenerate estimates.
+    if (seg_set_value_ > 0 && seg_start_velocity_ > velocity) {
+      const double seg_m = static_cast<double>(seg_pulses) * kMetersPerPulse;
+      if (seg_m > 1.0) {
+        const double measured_decel =
+            (seg_start_velocity_ * seg_start_velocity_ -
+             velocity * velocity) /
+            (2.0 * seg_m);
+        const double estimate =
+            measured_decel / static_cast<double>(seg_set_value_);
+        if (estimate > kNominalGain * 0.2 && estimate < kNominalGain * 5.0) {
+          gain_ = estimate;
+        }
+      }
+    }
+
+    // Deceleration required to stop at the target point.
+    const double distance_now =
+        static_cast<double>(pulscnt) * kMetersPerPulse;
+    const double remaining = std::max(5.0, kTargetStopM - distance_now);
+    const double required = std::clamp(
+        velocity * velocity / (2.0 * remaining), kMinDecel, kMaxDecel);
+
+    const double set_point = required / gain_;
+    const auto set_value = static_cast<std::uint16_t>(
+        std::clamp(set_point, 0.0, 65535.0));
+    bus.write(map_.set_value, set_value);
+
+    // Advance to the next checkpoint and open the next segment.
+    bus.write(map_.checkpoint_i, static_cast<std::uint16_t>(i + 1));
+    seg_start_pulses_ = pulscnt;
+    seg_start_ms_ = mscnt;
+    seg_start_velocity_ = velocity;
+    seg_set_value_ = set_value;
+    return;
+  }
+
+  if (slow_speed != 0) {
+    // Near-standstill: cap the pressure to a gentle creep value so the
+    // aircraft is brought to rest without a hard final jerk.
+    const std::uint16_t current = bus.read(map_.set_value);
+    if (current > kSlowCreepSetValue) {
+      bus.write(map_.set_value, kSlowCreepSetValue);
+    }
+  }
+}
+
+}  // namespace propane::arr

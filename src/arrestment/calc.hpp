@@ -1,0 +1,46 @@
+// CALC (Section 7.1): "uses mscnt, pulscnt, slow_speed and stopped to
+// calculate a set point value for the pressure valves, SetValue, at six
+// predefined checkpoints along the runway. The checkpoints are detected by
+// comparing the current pulscnt with pre-defined pulscnt-values
+// corresponding to the various checkpoints. The current checkpoint is
+// stored in i. Period = n/a (background task, runs when other modules are
+// dormant)."
+//
+// Control law (reconstruction): at every checkpoint the module estimates
+// the engagement velocity from the pulse count and the millisecond clock,
+// computes the deceleration required to stop at the target point, and
+// converts it to a pressure set point using a brake-gain estimate that is
+// re-identified from the previous segment (the aircraft mass is unknown to
+// the controller). While slow_speed is set the set point is capped to a
+// creep pressure; when stopped is set the brake is released.
+#pragma once
+
+#include <cstdint>
+
+#include "arrestment/signals.hpp"
+#include "fi/signal_bus.hpp"
+
+namespace propane::arr {
+
+class CalcModule {
+ public:
+  explicit CalcModule(const BusMap& map);
+
+  /// Background task: invoked once per millisecond tick.
+  void step(fi::SignalBus& bus);
+
+  /// Checkpoint pulse thresholds (pre-computed from kCheckpointM).
+  static std::uint16_t checkpoint_pulses(int index);
+
+ private:
+  BusMap map_;
+  // Segment bookkeeping for velocity / brake-gain estimation.
+  std::uint16_t seg_start_pulses_ = 0;
+  std::uint16_t seg_start_ms_ = 0;
+  double seg_start_velocity_ = 0.0;  // m/s estimate at segment start
+  std::uint16_t seg_set_value_ = 0;  // set point applied during the segment
+  // Brake gain estimate [m/s^2 per SetValue unit].
+  double gain_;
+};
+
+}  // namespace propane::arr

@@ -1,0 +1,15 @@
+#include "arrestment/clock_module.hpp"
+
+#include "arrestment/constants.hpp"
+
+namespace propane::arr {
+
+void ClockModule::step(fi::SignalBus& bus) {
+  bus.write(map_.mscnt,
+            static_cast<std::uint16_t>(bus.read(map_.mscnt) + 1));
+  bus.write(map_.ms_slot_nbr,
+            static_cast<std::uint16_t>(
+                (bus.read(map_.ms_slot_nbr) + 1u) % kSlotCount));
+}
+
+}  // namespace propane::arr

@@ -1,0 +1,27 @@
+// CLOCK (Section 7.1): "provides a millisecond-clock, mscnt. The system
+// operates in seven 1-ms-slots ... The signal ms_slot_nbr tells the module
+// scheduler the current execution slot. Period = 1 ms."
+//
+// Both counters live on the bus and are incremented in place, so an
+// injected error in either persists: a corrupted ms_slot_nbr permanently
+// shifts the schedule phase (error permeability ~1 on the feedback pair),
+// a corrupted mscnt skews every later timing computation in CALC.
+#pragma once
+
+#include "arrestment/signals.hpp"
+#include "fi/signal_bus.hpp"
+
+namespace propane::arr {
+
+class ClockModule {
+ public:
+  explicit ClockModule(const BusMap& map) : map_(map) {}
+
+  /// One 1-ms tick: mscnt += 1, ms_slot_nbr = (ms_slot_nbr + 1) mod 7.
+  void step(fi::SignalBus& bus);
+
+ private:
+  BusMap map_;
+};
+
+}  // namespace propane::arr

@@ -1,0 +1,9 @@
+#include "arrestment/comm.hpp"
+
+namespace propane::arr {
+
+void CommTxModule::step(fi::SignalBus& bus) {
+  bus.write(link_, bus.read(source_));
+}
+
+}  // namespace propane::arr

@@ -1,0 +1,31 @@
+// COMM_TX: the master->slave communication link of the two-node
+// configuration. "In the real system, there are two nodes; a master node
+// calculating the desired pressure to be applied, and a slave node
+// receiving the desired pressure from the master" (Section 7.1). The
+// paper's study removed the slave; the two-node variant puts it back.
+//
+// The link is modelled at the signal level: every transfer period the
+// master's SetValue is copied into the link register the slave reads.
+// Between transfers the link holds its last word -- so an injected error
+// in the link register stays visible to the slave for up to one period.
+#pragma once
+
+#include "arrestment/signals.hpp"
+#include "fi/signal_bus.hpp"
+
+namespace propane::arr {
+
+class CommTxModule {
+ public:
+  CommTxModule(fi::BusSignalId source, fi::BusSignalId link)
+      : source_(source), link_(link) {}
+
+  /// One transfer: link <- source. Scheduled every kCommPeriod slots.
+  void step(fi::SignalBus& bus);
+
+ private:
+  fi::BusSignalId source_;
+  fi::BusSignalId link_;
+};
+
+}  // namespace propane::arr

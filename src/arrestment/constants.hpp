@@ -1,0 +1,88 @@
+// Physical and control constants of the aircraft-arrestment system
+// (Section 7.1). The paper's target is a cable/tape barrier built to
+// [19]-style military specifications: an engaging aircraft pays out a cable
+// from two rotating drums braked by hydraulic pressure; the master computer
+// senses drum rotation and commands the brake-valve pressure.
+//
+// The original control software is proprietary; these constants define our
+// reconstruction (see DESIGN.md, substitution table). They are chosen so
+// that every test case of the paper's workload grid -- masses 8,000-20,000
+// kg engaging at 40-80 m/s -- arrests within the runway.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/simtime.hpp"
+
+namespace propane::arr {
+
+// --- Geometry and sensing -------------------------------------------------
+
+/// Usable tape/runway length available for the arrestment [m].
+inline constexpr double kRunwayLengthM = 365.0;
+/// Nominal stop target: leave margin before the tape runs out [m].
+inline constexpr double kTargetStopM = 330.0;
+/// Drum radius [m].
+inline constexpr double kDrumRadiusM = 0.5;
+/// Tooth-wheel pulses per drum revolution.
+inline constexpr int kPulsesPerRev = 64;
+/// Cable payout distance per rotation-sensor pulse [m].
+inline constexpr double kMetersPerPulse =
+    2.0 * 3.14159265358979323846 * kDrumRadiusM / kPulsesPerRev;
+
+// --- Hydraulics -----------------------------------------------------------
+
+/// Full-scale brake pressure [Pa] (== ADC full scale == SetValue 65535).
+inline constexpr double kMaxPressurePa = 10.0e6;
+/// Total retarding force at full pressure, both drum brakes [N].
+inline constexpr double kMaxBrakeForceN = 400.0e3;
+/// First-order valve/brake pressure lag time constant [s].
+inline constexpr double kPressureTauS = 0.050;
+/// Velocity-proportional system friction [N per m/s].
+inline constexpr double kFrictionNsPerM = 400.0;
+
+// --- Timing ---------------------------------------------------------------
+
+/// Scheduler slots per cycle ("the system operates in seven 1-ms-slots").
+inline constexpr std::uint16_t kSlotCount = 7;
+/// Slot in which the pressure sensor module PRES_S runs (period 7 ms).
+inline constexpr std::uint16_t kPresSSlot = 2;
+/// Free-running timer rate [ticks per microsecond] (TCNT).
+inline constexpr std::uint32_t kTimerTicksPerUs = 1;
+/// Default run length; long enough for the slowest test case to come to a
+/// complete stop. All runs use a fixed length so traces stay comparable.
+inline constexpr sim::SimTime kRunDuration = 15 * sim::kSecond;
+
+// --- Control law (CALC) ----------------------------------------------------
+
+/// Number of pressure checkpoints along the runway.
+inline constexpr int kCheckpointCount = 6;
+/// Checkpoint positions [m]; SetValue is (re)computed when the payout
+/// distance crosses each of these.
+inline constexpr double kCheckpointM[kCheckpointCount] = {15.0,  50.0,  100.0,
+                                                          160.0, 230.0, 300.0};
+/// Minimum commanded deceleration [m/s^2]: bounds the stop time for slow
+/// engagements.
+inline constexpr double kMinDecel = 5.5;
+/// Maximum commanded deceleration [m/s^2]: hook/airframe load limit.
+inline constexpr double kMaxDecel = 28.0;
+/// Velocity threshold for the slow_speed flag [m/s].
+inline constexpr double kSlowSpeedMps = 4.0;
+/// slow_speed when no rotation pulse for this long [us] (derived from
+/// kSlowSpeedMps and the pulse pitch).
+inline constexpr std::uint32_t kSlowSpeedGapUs = 12000;
+/// stopped when no rotation pulse for this long [ms].
+inline constexpr std::uint32_t kStoppedGapMs = 300;
+/// Pressure cap while slow_speed is set (gentle run-down) [16-bit units].
+inline constexpr std::uint16_t kSlowCreepSetValue = 6000;
+
+// --- Actuation (PRES_A) -----------------------------------------------------
+
+/// Maximum TOC2 change per millisecond (valve driver slew limit)
+/// [16-bit units / ms].
+inline constexpr std::uint16_t kValveSlewPerMs = 2500;
+/// Anti-dither deadband of the valve driver: command changes at or below
+/// this magnitude do not move TOC2 [16-bit units].
+inline constexpr std::uint16_t kValveDeadband = 16;
+
+}  // namespace propane::arr

@@ -1,0 +1,49 @@
+#include "arrestment/dist_s.hpp"
+
+#include "arrestment/constants.hpp"
+
+namespace propane::arr {
+
+namespace {
+/// Consecutive pulse-free milliseconds before the counter path declares
+/// slow_speed (matches kSlowSpeedGapUs at the pulse pitch).
+constexpr std::uint32_t kSlowSpeedGapMs = 13;
+}  // namespace
+
+void DistSModule::step(fi::SignalBus& bus) {
+  const std::uint16_t pacnt = bus.read(map_.pacnt);
+  const std::uint16_t tic1 = bus.read(map_.tic1);
+  const std::uint16_t tcnt = bus.read(map_.tcnt);
+
+  // New pulses since the previous tick; 16-bit wrap-safe.
+  const auto delta = static_cast<std::uint16_t>(pacnt - last_pacnt_);
+  last_pacnt_ = pacnt;
+
+  // Total pulse count for the arrestment, accumulated in the shared
+  // variable itself.
+  bus.write(map_.pulscnt,
+            static_cast<std::uint16_t>(bus.read(map_.pulscnt) + delta));
+
+  if (delta == 0) {
+    ++no_pulse_ms_;
+  } else {
+    no_pulse_ms_ = 0;
+  }
+
+  // slow_speed: either no pulse for kSlowSpeedGapMs consecutive ticks, or
+  // -- when at least one tick passed without a pulse -- the capture/timer
+  // distance already exceeds the slow-speed gap. The second path reacts a
+  // few milliseconds faster and is what couples TIC1/TCNT into this flag.
+  const auto age_us = static_cast<std::uint16_t>(tcnt - tic1);
+  const bool slow = no_pulse_ms_ >= kSlowSpeedGapMs ||
+                    (no_pulse_ms_ >= 1 && age_us > kSlowSpeedGapUs);
+  bus.write(map_.slow_speed, slow ? 1 : 0);
+
+  // stopped: no rotation for kStoppedGapMs. Driven by the pulse-free
+  // counter alone; a flipped sensor bit can fake rotation but it is hard
+  // to fake a standstill (cf. OB2: the module has a built-in resiliency
+  // against errors in this output).
+  bus.write(map_.stopped, no_pulse_ms_ >= kStoppedGapMs ? 1 : 0);
+}
+
+}  // namespace propane::arr

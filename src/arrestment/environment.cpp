@@ -1,0 +1,60 @@
+#include "arrestment/environment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "arrestment/constants.hpp"
+
+namespace propane::arr {
+
+Environment::Environment(const TestCase& test_case, const BusMap& map)
+    : map_(map),
+      timer_(kTimerTicksPerUs),
+      adc_(0.0, kMaxPressurePa),
+      mass_(test_case.mass_kg),
+      velocity_(test_case.velocity_mps) {}
+
+void Environment::step(fi::SignalBus& bus, sim::SimTime now) {
+  const double dt = 0.001;  // one controller tick [s]
+
+  // --- Actuation: valve command written by PRES_A in the previous tick.
+  const double commanded =
+      static_cast<double>(bus.read(map_.toc2)) / 65535.0 * kMaxPressurePa;
+
+  // --- Hydraulic lag: first-order response of the applied pressure.
+  pressure_ += (commanded - pressure_) * (dt / kPressureTauS);
+
+  // --- Longitudinal dynamics.
+  if (velocity_ > 0.0) {
+    const double brake_force =
+        kMaxBrakeForceN * (pressure_ / kMaxPressurePa);
+    const double friction = kFrictionNsPerM * velocity_;
+    const double decel = (brake_force + friction) / mass_;
+    peak_decel_ = std::max(peak_decel_, decel);
+    velocity_ = std::max(0.0, velocity_ - decel * dt);
+    position_ += velocity_ * dt;
+  }
+
+  // --- Rotation sensing: the drum turns with the cable payout.
+  pulse_accumulator_ += velocity_ * dt / kMetersPerPulse;
+  const auto whole_pulses = static_cast<std::uint32_t>(pulse_accumulator_);
+  pulse_accumulator_ -= whole_pulses;
+
+  const std::uint16_t tcnt = timer_.read(now);
+  if (whole_pulses > 0) {
+    // PACNT accumulates in place (read-modify-write): an injected error in
+    // the register persists through subsequent counting, like real
+    // hardware.
+    bus.write(map_.pacnt, static_cast<std::uint16_t>(
+                              bus.read(map_.pacnt) + whole_pulses));
+    // Input capture latches the timer at the (last) pulse edge.
+    bus.write(map_.tic1, tcnt);
+  }
+  // The free-running timer and the A/D converter are refreshed from the
+  // physical state every tick regardless of software activity.
+  bus.write(map_.tcnt, tcnt);
+  adc_.set_physical(pressure_);
+  bus.write(map_.adc, adc_.read());
+}
+
+}  // namespace propane::arr

@@ -1,0 +1,54 @@
+// Environment simulator (Fig. 7): the incoming aircraft, the cable/drum
+// assembly, the hydraulic brake, and the sensor/actuator glue that turns
+// physics into hardware-register values.
+//
+// Per the paper's setup, the slave node is removed and "the retracting
+// force applied by the master was also applied on the slave-end of the
+// cable" -- hence the single pressure command drives the total force of
+// both drum brakes.
+//
+// The simulator steps at the controller tick (1 ms) *before* the software
+// modules run: it refreshes the sensor registers (PACNT, TIC1, TCNT, ADC)
+// from the physical state and reads the actuator register (TOC2) written
+// in the previous tick.
+#pragma once
+
+#include <cstdint>
+
+#include "arrestment/signals.hpp"
+#include "arrestment/testcase.hpp"
+#include "fi/signal_bus.hpp"
+#include "sim/hw_registers.hpp"
+#include "sim/simtime.hpp"
+
+namespace propane::arr {
+
+class Environment {
+ public:
+  Environment(const TestCase& test_case, const BusMap& map);
+
+  /// Advances the physics by one millisecond ending at time `now`, then
+  /// publishes the sensor registers onto the bus and consumes TOC2.
+  void step(fi::SignalBus& bus, sim::SimTime now);
+
+  // Physical state (observability for tests / outcome classification).
+  double velocity_mps() const { return velocity_; }
+  double position_m() const { return position_; }
+  double pressure_pa() const { return pressure_; }
+  double peak_decel() const { return peak_decel_; }
+  bool at_rest() const { return velocity_ <= 0.0; }
+
+ private:
+  BusMap map_;
+  sim::FreeRunningTimer timer_;
+  sim::Adc adc_;
+
+  double mass_;
+  double velocity_;
+  double position_ = 0.0;
+  double pressure_ = 0.0;  // applied brake pressure [Pa]
+  double pulse_accumulator_ = 0.0;  // fractional pulses
+  double peak_decel_ = 0.0;
+};
+
+}  // namespace propane::arr

@@ -1,0 +1,79 @@
+#include "arrestment/model.hpp"
+
+#include "arrestment/signals.hpp"
+#include "common/contracts.hpp"
+
+namespace propane::arr {
+
+core::SystemModel make_arrestment_model() {
+  core::SystemModelBuilder builder;
+
+  builder.add_module("CLOCK", {"ms_slot_nbr"}, {"mscnt", "ms_slot_nbr"});
+  builder.add_module("DIST_S", {"PACNT", "TIC1", "TCNT"},
+                     {"pulscnt", "slow_speed", "stopped"});
+  builder.add_module("PRES_S", {"ADC"}, {"InValue"});
+  builder.add_module(
+      "CALC", {"i", "mscnt", "pulscnt", "slow_speed", "stopped"},
+      {"i", "SetValue"});
+  builder.add_module("V_REG", {"SetValue", "InValue"}, {"OutValue"});
+  builder.add_module("PRES_A", {"OutValue"}, {"TOC2"});
+
+  builder.add_system_input(std::string(kSigPacnt));
+  builder.add_system_input(std::string(kSigTic1));
+  builder.add_system_input(std::string(kSigTcnt));
+  builder.add_system_input(std::string(kSigAdc));
+
+  builder.connect_system_input("PACNT", "DIST_S", "PACNT");
+  builder.connect_system_input("TIC1", "DIST_S", "TIC1");
+  builder.connect_system_input("TCNT", "DIST_S", "TCNT");
+  builder.connect_system_input("ADC", "PRES_S", "ADC");
+
+  // CLOCK's schedule-phase feedback ("the signal ms_slot_nbr tells the
+  // module scheduler the current execution slot").
+  builder.connect("CLOCK", "ms_slot_nbr", "CLOCK", "ms_slot_nbr");
+  builder.connect("CLOCK", "mscnt", "CALC", "mscnt");
+
+  builder.connect("DIST_S", "pulscnt", "CALC", "pulscnt");
+  builder.connect("DIST_S", "slow_speed", "CALC", "slow_speed");
+  builder.connect("DIST_S", "stopped", "CALC", "stopped");
+
+  // CALC's checkpoint-index feedback ("the current checkpoint is stored
+  // in i").
+  builder.connect("CALC", "i", "CALC", "i");
+  builder.connect("CALC", "SetValue", "V_REG", "SetValue");
+  builder.connect("PRES_S", "InValue", "V_REG", "InValue");
+  builder.connect("V_REG", "OutValue", "PRES_A", "OutValue");
+
+  builder.add_system_output(std::string(kSigToc2), "PRES_A", "TOC2");
+
+  core::SystemModel model = std::move(builder).build();
+  PROPANE_ENSURE(model.io_pair_count() == 25);  // Section 8
+  return model;
+}
+
+fi::SignalBinding make_arrestment_binding(const core::SystemModel& model) {
+  std::vector<std::string> bus_names;
+  bus_names.reserve(kAllSignals.size());
+  for (std::string_view name : kAllSignals) {
+    bus_names.emplace_back(name);
+  }
+  return fi::SignalBinding::by_name(model, bus_names);
+}
+
+std::vector<fi::BusSignalId> injection_target_bus_ids() {
+  const core::SystemModel model = make_arrestment_model();
+  const fi::SignalBinding binding = make_arrestment_binding(model);
+  std::vector<fi::BusSignalId> targets;
+  for (const core::SignalRef& signal : model.all_signals()) {
+    bool consumed = false;
+    if (signal.kind == core::SourceKind::kSystemInput) {
+      consumed = !model.system_input_consumers(signal.system_input).empty();
+    } else {
+      consumed = !model.output_consumers(signal.output).empty();
+    }
+    if (consumed) targets.push_back(binding.bus_for(signal));
+  }
+  return targets;
+}
+
+}  // namespace propane::arr

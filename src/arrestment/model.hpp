@@ -1,0 +1,31 @@
+// Analysis-model description of the target system: the Fig. 8 software
+// structure expressed as a core::SystemModel, plus the binding between the
+// model's signals and the runtime bus.
+//
+// The wiring yields exactly the paper's 25 input/output pairs:
+//   CLOCK  1x2 = 2   (ms_slot_nbr feedback -> {mscnt, ms_slot_nbr})
+//   DIST_S 3x3 = 9   ({PACNT, TIC1, TCNT} -> {pulscnt, slow_speed, stopped})
+//   PRES_S 1x1 = 1   (ADC -> InValue)
+//   CALC   5x2 = 10  ({i fb, mscnt, pulscnt, slow_speed, stopped}
+//                      -> {i, SetValue})
+//   V_REG  2x1 = 2   ({SetValue, InValue} -> OutValue)
+//   PRES_A 1x1 = 1   (OutValue -> TOC2)
+#pragma once
+
+#include "core/system_model.hpp"
+#include "fi/estimator.hpp"
+
+namespace propane::arr {
+
+/// Module port names follow the signal names of Fig. 8.
+core::SystemModel make_arrestment_model();
+
+/// Binds the model's signals to the canonical bus layout (signals.hpp).
+fi::SignalBinding make_arrestment_binding(const core::SystemModel& model);
+
+/// The injection targets of the paper's campaign: every signal that is an
+/// input of some module (13 signals -- everything except TOC2). Returned
+/// as bus ids in canonical order.
+std::vector<fi::BusSignalId> injection_target_bus_ids();
+
+}  // namespace propane::arr

@@ -1,0 +1,27 @@
+#include "arrestment/pres_a.hpp"
+
+#include <cstdint>
+
+#include "arrestment/constants.hpp"
+
+namespace propane::arr {
+
+void PresAModule::step(fi::SignalBus& bus) {
+  const std::uint16_t target = bus.read(out_value_);
+  const std::uint16_t current = bus.read(toc2_);
+  const auto diff =
+      static_cast<std::int32_t>(target) - static_cast<std::int32_t>(current);
+  if (diff >= -static_cast<std::int32_t>(kValveDeadband) &&
+      diff <= static_cast<std::int32_t>(kValveDeadband)) {
+    return;  // anti-dither deadband
+  }
+  std::int32_t step = diff;
+  if (step > kValveSlewPerMs) step = kValveSlewPerMs;
+  if (step < -static_cast<std::int32_t>(kValveSlewPerMs)) {
+    step = -static_cast<std::int32_t>(kValveSlewPerMs);
+  }
+  bus.write(toc2_, static_cast<std::uint16_t>(
+                       static_cast<std::int32_t>(current) + step));
+}
+
+}  // namespace propane::arr

@@ -1,0 +1,28 @@
+// PRES_A: the pressure actuator driver. Transfers the regulator command
+// OutValue into the output-compare register TOC2 that drives the valve,
+// applying the valve driver's slew-rate limit. TOC2 is the system output
+// observed by the environment (and by the propagation analysis).
+// Period = 1 ms.
+#pragma once
+
+#include "arrestment/signals.hpp"
+#include "fi/signal_bus.hpp"
+
+namespace propane::arr {
+
+class PresAModule {
+ public:
+  /// Explicit signal binding (master or slave actuator channel).
+  PresAModule(fi::BusSignalId out_value, fi::BusSignalId toc2)
+      : out_value_(out_value), toc2_(toc2) {}
+  explicit PresAModule(const BusMap& map)
+      : PresAModule(map.out_value, map.toc2) {}
+
+  void step(fi::SignalBus& bus);
+
+ private:
+  fi::BusSignalId out_value_;
+  fi::BusSignalId toc2_;
+};
+
+}  // namespace propane::arr

@@ -1,0 +1,9 @@
+#include "arrestment/pres_s.hpp"
+
+namespace propane::arr {
+
+void PresSModule::step(fi::SignalBus& bus) {
+  bus.write(in_value_, bus.read(adc_));
+}
+
+}  // namespace propane::arr

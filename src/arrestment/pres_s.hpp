@@ -1,0 +1,28 @@
+// PRES_S (Section 7.1): "reads the pressure that is actually being applied
+// by the pressure valves, using ADC from the internal A/D-converter. This
+// value is provided in InValue. Period = 7 ms."
+#pragma once
+
+#include "arrestment/signals.hpp"
+#include "fi/signal_bus.hpp"
+
+namespace propane::arr {
+
+class PresSModule {
+ public:
+  /// Explicit signal binding (master or slave sensor channel).
+  PresSModule(fi::BusSignalId adc, fi::BusSignalId in_value)
+      : adc_(adc), in_value_(in_value) {}
+  explicit PresSModule(const BusMap& map)
+      : PresSModule(map.adc, map.in_value) {}
+
+  /// Samples the A/D converter into InValue. Runs in scheduler slot
+  /// kPresSSlot only (period 7 ms).
+  void step(fi::SignalBus& bus);
+
+ private:
+  fi::BusSignalId adc_;
+  fi::BusSignalId in_value_;
+};
+
+}  // namespace propane::arr

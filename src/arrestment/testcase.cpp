@@ -1,0 +1,46 @@
+#include "arrestment/testcase.hpp"
+
+#include "common/contracts.hpp"
+#include "common/strings.hpp"
+
+namespace propane::arr {
+
+std::string TestCase::name() const {
+  return format_double(mass_kg / 1000.0, 1) + "t@" +
+         format_double(velocity_mps, 0) + "mps";
+}
+
+std::vector<TestCase> grid_test_cases(std::size_t n_mass,
+                                      std::size_t n_velocity) {
+  return grid_test_cases(n_mass, n_velocity, kMassMinKg, kMassMaxKg,
+                         kVelocityMinMps, kVelocityMaxMps);
+}
+
+std::vector<TestCase> grid_test_cases(std::size_t n_mass,
+                                      std::size_t n_velocity,
+                                      double mass_lo_kg, double mass_hi_kg,
+                                      double velocity_lo_mps,
+                                      double velocity_hi_mps) {
+  PROPANE_REQUIRE(n_mass > 0 && n_velocity > 0);
+  PROPANE_REQUIRE(mass_lo_kg <= mass_hi_kg);
+  PROPANE_REQUIRE(velocity_lo_mps <= velocity_hi_mps);
+  auto lerp = [](double lo, double hi, std::size_t idx, std::size_t n) {
+    if (n == 1) return (lo + hi) / 2.0;
+    return lo + (hi - lo) * static_cast<double>(idx) /
+                    static_cast<double>(n - 1);
+  };
+  std::vector<TestCase> cases;
+  cases.reserve(n_mass * n_velocity);
+  for (std::size_t m = 0; m < n_mass; ++m) {
+    for (std::size_t v = 0; v < n_velocity; ++v) {
+      cases.push_back(
+          TestCase{lerp(mass_lo_kg, mass_hi_kg, m, n_mass),
+                   lerp(velocity_lo_mps, velocity_hi_mps, v, n_velocity)});
+    }
+  }
+  return cases;
+}
+
+std::vector<TestCase> paper_test_cases() { return grid_test_cases(5, 5); }
+
+}  // namespace propane::arr

@@ -1,0 +1,39 @@
+// Workload test cases (Section 7.3): "we subjected the system to 25 test
+// cases: 5 masses and 5 velocities of the incoming aircraft uniformly
+// distributed between 8,000-20,000 kg, and between 40-80 m/s".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace propane::arr {
+
+struct TestCase {
+  double mass_kg = 14000.0;
+  double velocity_mps = 60.0;
+
+  std::string name() const;
+};
+
+inline constexpr double kMassMinKg = 8000.0;
+inline constexpr double kMassMaxKg = 20000.0;
+inline constexpr double kVelocityMinMps = 40.0;
+inline constexpr double kVelocityMaxMps = 80.0;
+
+/// An n_mass x n_velocity grid, uniformly spaced over the paper's ranges
+/// (endpoints included when n > 1).
+std::vector<TestCase> grid_test_cases(std::size_t n_mass,
+                                      std::size_t n_velocity);
+
+/// Grid over custom ranges (used by the workload-sensitivity ablation).
+std::vector<TestCase> grid_test_cases(std::size_t n_mass,
+                                      std::size_t n_velocity,
+                                      double mass_lo_kg, double mass_hi_kg,
+                                      double velocity_lo_mps,
+                                      double velocity_hi_mps);
+
+/// The paper's 25-case workload (5 x 5 grid).
+std::vector<TestCase> paper_test_cases();
+
+}  // namespace propane::arr

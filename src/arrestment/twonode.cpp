@@ -1,0 +1,252 @@
+#include "arrestment/twonode.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "arrestment/constants.hpp"
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "fi/trace.hpp"
+
+namespace propane::arr {
+
+TwoNodeBusMap build_two_node_bus(fi::SignalBus& bus) {
+  TwoNodeBusMap map{};
+  map.master = build_bus(bus);
+  map.link = bus.add_signal(std::string(kSigLink));
+  map.adc_s = bus.add_signal(std::string(kSigAdcSlave));
+  map.in_value_s = bus.add_signal(std::string(kSigInValueSlave));
+  map.out_value_s = bus.add_signal(std::string(kSigOutValueSlave));
+  map.toc2_s = bus.add_signal(std::string(kSigToc2Slave));
+  return map;
+}
+
+TwoNodeSystem::TwoNodeSystem(const TestCase& test_case)
+    : map_(build_two_node_bus(bus_)),
+      clock_(map_.master),
+      dist_s_(map_.master),
+      pres_s_(map_.master),
+      calc_(map_.master),
+      v_reg_(map_.master),
+      pres_a_(map_.master),
+      comm_tx_(map_.master.set_value, map_.link),
+      pres_s_slave_(map_.adc_s, map_.in_value_s),
+      v_reg_slave_(map_.link, map_.in_value_s, map_.out_value_s),
+      pres_a_slave_(map_.out_value_s, map_.toc2_s),
+      timer_(kTimerTicksPerUs),
+      mass_(test_case.mass_kg),
+      velocity_(test_case.velocity_mps) {}
+
+void TwoNodeSystem::environment_step() {
+  const double dt = 0.001;
+
+  // Each node's valve command drives its own hydraulic channel; the
+  // channels contribute half the total force each.
+  auto channel = [&](fi::BusSignalId toc2, double& pressure) {
+    const double commanded =
+        static_cast<double>(bus_.read(toc2)) / 65535.0 * kMaxPressurePa;
+    pressure += (commanded - pressure) * (dt / kPressureTauS);
+    return 0.5 * kMaxBrakeForceN * (pressure / kMaxPressurePa);
+  };
+  const double force = channel(map_.master.toc2, pressure_master_) +
+                       channel(map_.toc2_s, pressure_slave_);
+
+  if (velocity_ > 0.0) {
+    const double friction = kFrictionNsPerM * velocity_;
+    const double decel = (force + friction) / mass_;
+    peak_decel_ = std::max(peak_decel_, decel);
+    velocity_ = std::max(0.0, velocity_ - decel * dt);
+    position_ += velocity_ * dt;
+  }
+
+  // Rotation sensing on the master's drum (both drums turn with the
+  // cable).
+  pulse_accumulator_ += velocity_ * dt / kMetersPerPulse;
+  const auto pulses = static_cast<std::uint32_t>(pulse_accumulator_);
+  pulse_accumulator_ -= pulses;
+  const std::uint16_t tcnt = timer_.read(now_);
+  if (pulses > 0) {
+    bus_.write(map_.master.pacnt, static_cast<std::uint16_t>(
+                                      bus_.read(map_.master.pacnt) + pulses));
+    bus_.write(map_.master.tic1, tcnt);
+  }
+  bus_.write(map_.master.tcnt, tcnt);
+
+  // Per-node pressure transducers.
+  auto adc_counts = [](double pressure) {
+    const double clamped = std::clamp(pressure, 0.0, kMaxPressurePa);
+    return static_cast<std::uint16_t>(
+        std::lround(clamped / kMaxPressurePa * 65535.0));
+  };
+  bus_.write(map_.master.adc, adc_counts(pressure_master_));
+  bus_.write(map_.adc_s, adc_counts(pressure_slave_));
+}
+
+void TwoNodeSystem::tick(const RunOptions& options) {
+  if (!injectors_initialised_) {
+    Rng seeder(options.rng_seed);
+    if (options.injection) {
+      injectors_.emplace_back(bus_, *options.injection, seeder.fork(0));
+    }
+    for (std::size_t i = 0; i < options.extra_injections.size(); ++i) {
+      injectors_.emplace_back(bus_, options.extra_injections[i],
+                              seeder.fork(i + 1));
+    }
+    injectors_initialised_ = true;
+  }
+  for (auto& injector : injectors_) {
+    if (injector.spec().phase == fi::InjectionPhase::kTickStart) {
+      injector.maybe_fire(now_);
+    }
+  }
+
+  environment_step();
+
+  if (options.erms != nullptr) {
+    options.erms->step(bus_, sim::to_milliseconds(now_));
+  }
+
+  // Master node.
+  clock_.step(bus_);
+  const std::uint16_t slot = bus_.read(map_.master.ms_slot_nbr);
+  dist_s_.step(bus_);
+  if (slot == kPresSSlot) pres_s_.step(bus_);
+  pres_a_.step(bus_);
+  v_reg_.step(bus_);
+  if (slot == kCommSlot) comm_tx_.step(bus_);
+
+  // Slave node (its own channel; regulator runs every millisecond).
+  if (slot == kSlavePresSSlot) pres_s_slave_.step(bus_);
+  pres_a_slave_.step(bus_);
+  v_reg_slave_.step(bus_);
+
+  for (auto& injector : injectors_) {
+    if (injector.spec().phase == fi::InjectionPhase::kPreBackground) {
+      injector.maybe_fire(now_);
+    }
+  }
+  calc_.step(bus_);  // master background task
+
+  if (options.monitor != nullptr) {
+    options.monitor->step(bus_, sim::to_milliseconds(now_));
+  }
+  now_ += sim::kMillisecond;
+}
+
+RunOutcome run_two_node_arrestment(const TestCase& test_case,
+                                   const RunOptions& options) {
+  PROPANE_REQUIRE(options.duration >= sim::kMillisecond);
+  TwoNodeSystem system(test_case);
+  fi::TraceRecorder recorder(system.bus());
+
+  RunOutcome outcome;
+  while (system.now() < options.duration) {
+    system.tick(options);
+    recorder.sample();
+    if (outcome.stop_ms == 0 && system.at_rest()) {
+      outcome.stop_ms = sim::to_milliseconds(system.now());
+    }
+  }
+  outcome.arrested = system.at_rest();
+  outcome.stop_distance_m = system.position_m();
+  outcome.peak_decel = system.peak_decel();
+  outcome.overrun = outcome.stop_distance_m > kRunwayLengthM ||
+                    outcome.peak_decel > kMaxDecel * 1.5;
+  outcome.trace = recorder.take();
+  return outcome;
+}
+
+fi::RunFunction two_node_campaign_runner(std::vector<TestCase> test_cases,
+                                         sim::SimTime duration) {
+  PROPANE_REQUIRE(!test_cases.empty());
+  return [cases = std::move(test_cases),
+          duration](const fi::RunRequest& request) {
+    PROPANE_REQUIRE(request.test_case < cases.size());
+    RunOptions options;
+    options.duration = duration;
+    options.injection = request.injection;
+    options.rng_seed = request.rng_seed;
+    return run_two_node_arrestment(cases[request.test_case], options).trace;
+  };
+}
+
+core::SystemModel make_two_node_model() {
+  core::SystemModelBuilder builder;
+
+  builder.add_module("CLOCK", {"ms_slot_nbr"}, {"mscnt", "ms_slot_nbr"});
+  builder.add_module("DIST_S", {"PACNT", "TIC1", "TCNT"},
+                     {"pulscnt", "slow_speed", "stopped"});
+  builder.add_module("PRES_S", {"ADC"}, {"InValue"});
+  builder.add_module(
+      "CALC", {"i", "mscnt", "pulscnt", "slow_speed", "stopped"},
+      {"i", "SetValue"});
+  builder.add_module("V_REG", {"SetValue", "InValue"}, {"OutValue"});
+  builder.add_module("PRES_A", {"OutValue"}, {"TOC2"});
+  builder.add_module("COMM_TX", {"SetValue"}, {"link"});
+  builder.add_module("PRES_S_S", {"ADC_S"}, {"InValue_S"});
+  builder.add_module("V_REG_S", {"link", "InValue_S"}, {"OutValue_S"});
+  builder.add_module("PRES_A_S", {"OutValue_S"}, {"TOC2_S"});
+
+  builder.add_system_input(std::string(kSigPacnt));
+  builder.add_system_input(std::string(kSigTic1));
+  builder.add_system_input(std::string(kSigTcnt));
+  builder.add_system_input(std::string(kSigAdc));
+  builder.add_system_input(std::string(kSigAdcSlave));
+
+  builder.connect_system_input("PACNT", "DIST_S", "PACNT");
+  builder.connect_system_input("TIC1", "DIST_S", "TIC1");
+  builder.connect_system_input("TCNT", "DIST_S", "TCNT");
+  builder.connect_system_input("ADC", "PRES_S", "ADC");
+  builder.connect_system_input("ADC_S", "PRES_S_S", "ADC_S");
+
+  builder.connect("CLOCK", "ms_slot_nbr", "CLOCK", "ms_slot_nbr");
+  builder.connect("CLOCK", "mscnt", "CALC", "mscnt");
+  builder.connect("DIST_S", "pulscnt", "CALC", "pulscnt");
+  builder.connect("DIST_S", "slow_speed", "CALC", "slow_speed");
+  builder.connect("DIST_S", "stopped", "CALC", "stopped");
+  builder.connect("CALC", "i", "CALC", "i");
+  builder.connect("CALC", "SetValue", "V_REG", "SetValue");
+  builder.connect("CALC", "SetValue", "COMM_TX", "SetValue");
+  builder.connect("PRES_S", "InValue", "V_REG", "InValue");
+  builder.connect("V_REG", "OutValue", "PRES_A", "OutValue");
+  builder.connect("COMM_TX", "link", "V_REG_S", "link");
+  builder.connect("PRES_S_S", "InValue_S", "V_REG_S", "InValue_S");
+  builder.connect("V_REG_S", "OutValue_S", "PRES_A_S", "OutValue_S");
+
+  builder.add_system_output(std::string(kSigToc2), "PRES_A", "TOC2");
+  builder.add_system_output(std::string(kSigToc2Slave), "PRES_A_S",
+                            "TOC2_S");
+
+  core::SystemModel model = std::move(builder).build();
+  PROPANE_ENSURE(model.io_pair_count() == 30);
+  return model;
+}
+
+fi::SignalBinding make_two_node_binding(const core::SystemModel& model) {
+  std::vector<std::string> bus_names;
+  for (std::string_view name : kAllSignals) bus_names.emplace_back(name);
+  bus_names.emplace_back(kSigLink);
+  bus_names.emplace_back(kSigAdcSlave);
+  bus_names.emplace_back(kSigInValueSlave);
+  bus_names.emplace_back(kSigOutValueSlave);
+  bus_names.emplace_back(kSigToc2Slave);
+  return fi::SignalBinding::by_name(model, bus_names);
+}
+
+std::vector<fi::BusSignalId> two_node_injection_targets() {
+  const core::SystemModel model = make_two_node_model();
+  const fi::SignalBinding binding = make_two_node_binding(model);
+  std::vector<fi::BusSignalId> targets;
+  for (const core::SignalRef& signal : model.all_signals()) {
+    bool consumed = false;
+    if (signal.kind == core::SourceKind::kSystemInput) {
+      consumed = !model.system_input_consumers(signal.system_input).empty();
+    } else {
+      consumed = !model.output_consumers(signal.output).empty();
+    }
+    if (consumed) targets.push_back(binding.bus_for(signal));
+  }
+  return targets;
+}
+
+}  // namespace propane::arr

@@ -1,0 +1,115 @@
+// The two-node (master + slave) configuration of the arrestment system.
+//
+// Section 7.1: "In the real system, there are two nodes; a master node
+// calculating the desired pressure to be applied, and a slave node
+// receiving the desired pressure from the master. Each node controls one
+// of the rotating drums." The paper's experiments removed the slave and
+// let the master's force act on both cable ends; this variant restores the
+// distributed structure:
+//
+//   master: CLOCK DIST_S PRES_S CALC V_REG PRES_A          -> TOC2
+//           COMM_TX (SetValue -> link, every cycle slot 3)
+//   slave:  PRES_S_S (ADC_S -> InValue_S, slot 5)
+//           V_REG_S  (link + InValue_S -> OutValue_S)
+//           PRES_A_S (OutValue_S -> TOC2_S)                -> TOC2_S
+//
+// Each node's brake supplies half of the total retarding force; the drums
+// turn together with the cable, so rotation sensing stays on the master.
+// The system model gains a second system output, a fifth system input
+// (ADC_S) and 5 extra I/O pairs (30 total).
+#pragma once
+
+#include <optional>
+
+#include "arrestment/comm.hpp"
+#include "arrestment/system.hpp"
+#include "core/system_model.hpp"
+#include "fi/estimator.hpp"
+
+namespace propane::arr {
+
+/// Extra canonical signals of the two-node bus, appended after the
+/// single-node set of signals.hpp.
+inline constexpr std::string_view kSigLink = "link";
+inline constexpr std::string_view kSigAdcSlave = "ADC_S";
+inline constexpr std::string_view kSigInValueSlave = "InValue_S";
+inline constexpr std::string_view kSigOutValueSlave = "OutValue_S";
+inline constexpr std::string_view kSigToc2Slave = "TOC2_S";
+
+/// Scheduler slot of the link transfer (period = one 7-slot cycle).
+inline constexpr std::uint16_t kCommSlot = 3;
+/// Scheduler slot of the slave's pressure sensor.
+inline constexpr std::uint16_t kSlavePresSSlot = 5;
+
+struct TwoNodeBusMap {
+  BusMap master;
+  fi::BusSignalId link, adc_s, in_value_s, out_value_s, toc2_s;
+};
+
+/// Registers the 19 two-node signals on an empty bus.
+TwoNodeBusMap build_two_node_bus(fi::SignalBus& bus);
+
+/// Step-by-step driver for one two-node run; same tick discipline as the
+/// single-node ArrestmentSystem (see system.hpp), with the slave modules
+/// executed after the master's regulator each millisecond.
+class TwoNodeSystem {
+ public:
+  explicit TwoNodeSystem(const TestCase& test_case);
+
+  void tick(const RunOptions& options);
+
+  const fi::SignalBus& bus() const { return bus_; }
+  const TwoNodeBusMap& map() const { return map_; }
+  sim::SimTime now() const { return now_; }
+  double velocity_mps() const { return velocity_; }
+  double position_m() const { return position_; }
+  double peak_decel() const { return peak_decel_; }
+  bool at_rest() const { return velocity_ <= 0.0; }
+
+ private:
+  void environment_step();
+
+  fi::SignalBus bus_;
+  TwoNodeBusMap map_;
+  // Control software.
+  ClockModule clock_;
+  DistSModule dist_s_;
+  PresSModule pres_s_;
+  CalcModule calc_;
+  VRegModule v_reg_;
+  PresAModule pres_a_;
+  CommTxModule comm_tx_;
+  PresSModule pres_s_slave_;
+  VRegModule v_reg_slave_;
+  PresAModule pres_a_slave_;
+  // Physics (aircraft + two brake channels).
+  sim::FreeRunningTimer timer_;
+  double mass_;
+  double velocity_;
+  double position_ = 0.0;
+  double pressure_master_ = 0.0;
+  double pressure_slave_ = 0.0;
+  double pulse_accumulator_ = 0.0;
+  double peak_decel_ = 0.0;
+
+  sim::SimTime now_ = 0;
+  std::vector<fi::InjectionDriver> injectors_;
+  bool injectors_initialised_ = false;
+};
+
+/// Runs one complete two-node arrestment.
+RunOutcome run_two_node_arrestment(const TestCase& test_case,
+                                   const RunOptions& options = {});
+
+/// Campaign adapter (cf. campaign_runner in system.hpp).
+fi::RunFunction two_node_campaign_runner(std::vector<TestCase> test_cases,
+                                         sim::SimTime duration =
+                                             kRunDuration);
+
+/// Analysis model of the two-node configuration: 10 modules, 5 system
+/// inputs, 2 system outputs, 30 I/O pairs.
+core::SystemModel make_two_node_model();
+fi::SignalBinding make_two_node_binding(const core::SystemModel& model);
+std::vector<fi::BusSignalId> two_node_injection_targets();
+
+}  // namespace propane::arr

@@ -1,0 +1,26 @@
+#include "arrestment/v_reg.hpp"
+
+#include <algorithm>
+
+namespace propane::arr {
+
+namespace {
+// PI tuning (integer ratios): OutValue = SetValue + err/2 + integ/64,
+// integ accumulating err/8 per tick with anti-windup clamp.
+constexpr std::int32_t kIntegratorClamp = 1 << 21;
+}  // namespace
+
+void VRegModule::step(fi::SignalBus& bus) {
+  const auto set_value = static_cast<std::int32_t>(bus.read(set_value_));
+  const auto in_value = static_cast<std::int32_t>(bus.read(in_value_));
+  const std::int32_t err = set_value - in_value;
+
+  integrator_ = std::clamp(integrator_ + err / 8, -kIntegratorClamp,
+                           kIntegratorClamp);
+
+  const std::int32_t command = set_value + err / 2 + integrator_ / 64;
+  bus.write(out_value_, static_cast<std::uint16_t>(
+                            std::clamp<std::int32_t>(command, 0, 65535)));
+}
+
+}  // namespace propane::arr

@@ -1,0 +1,33 @@
+// V_REG: the valve regulator. Closes the pressure loop: compares the set
+// point (SetValue, from CALC) with the measured pressure (InValue, from
+// PRES_S) and produces the valve command OutValue. Feed-forward plus PI
+// correction, integer arithmetic, anti-windup clamp. Period = 1 ms.
+#pragma once
+
+#include <cstdint>
+
+#include "arrestment/signals.hpp"
+#include "fi/signal_bus.hpp"
+
+namespace propane::arr {
+
+class VRegModule {
+ public:
+  /// Explicit signal binding; lets the same regulator code serve the
+  /// master node and (in the two-node configuration) the slave node.
+  VRegModule(fi::BusSignalId set_value, fi::BusSignalId in_value,
+             fi::BusSignalId out_value)
+      : set_value_(set_value), in_value_(in_value), out_value_(out_value) {}
+  explicit VRegModule(const BusMap& map)
+      : VRegModule(map.set_value, map.in_value, map.out_value) {}
+
+  void step(fi::SignalBus& bus);
+
+ private:
+  fi::BusSignalId set_value_;
+  fi::BusSignalId in_value_;
+  fi::BusSignalId out_value_;
+  std::int32_t integrator_ = 0;
+};
+
+}  // namespace propane::arr

@@ -1,0 +1,25 @@
+// Minimal CSV emission for bench/experiment artefacts.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace propane {
+
+/// Escapes one CSV field per RFC 4180 (quotes fields containing the
+/// separator, quotes or newlines; doubles embedded quotes).
+std::string csv_escape(const std::string& field);
+
+/// Writes rows of fields as CSV lines to `out`.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void write_row(const std::vector<std::string>& fields);
+
+ private:
+  std::ostream& out_;
+};
+
+}  // namespace propane

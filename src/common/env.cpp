@@ -1,0 +1,22 @@
+#include "common/env.hpp"
+
+#include <cstdlib>
+
+namespace propane {
+
+std::optional<std::string> env_string(const std::string& name) {
+  const char* value = std::getenv(name.c_str());
+  if (value == nullptr || value[0] == '\0') return std::nullopt;
+  return std::string(value);
+}
+
+std::uint64_t env_uint(const std::string& name, std::uint64_t fallback) {
+  const auto text = env_string(name);
+  if (!text) return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(text->c_str(), &end, 10);
+  if (end == text->c_str() || *end != '\0') return fallback;
+  return parsed;
+}
+
+}  // namespace propane

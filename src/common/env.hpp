@@ -1,0 +1,18 @@
+// Environment-variable helpers for scaling bench campaigns
+// (PROPANE_SCALE=full|default|<multiplier>).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace propane {
+
+/// Returns the value of environment variable `name`, if set and non-empty.
+std::optional<std::string> env_string(const std::string& name);
+
+/// Parses environment variable `name` as a non-negative integer; returns
+/// `fallback` when unset or unparsable.
+std::uint64_t env_uint(const std::string& name, std::uint64_t fallback);
+
+}  // namespace propane

@@ -1,0 +1,118 @@
+// Deterministic random number generation for reproducible campaigns.
+//
+// Every stochastic decision in propane++ flows from a SplitMix64-seeded
+// xoshiro256** generator. Campaigns derive one independent stream per
+// injection run (Rng::fork), so results are bit-identical regardless of the
+// number of worker threads executing the campaign.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/contracts.hpp"
+
+namespace propane {
+
+/// SplitMix64 step; used for seeding and stream derivation.
+/// Reference: Steele, Lea, Flood, "Fast splittable pseudorandom number
+/// generators", OOPSLA 2014.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via SplitMix64.
+///
+/// Satisfies the UniformRandomBitGenerator concept so it composes with
+/// <random> distributions, though propane++ mostly uses the bounded helpers
+/// below for cross-platform determinism (libstdc++ distribution algorithms
+/// are not specified, the helpers are).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds all four words of state from SplitMix64(seed).
+  explicit constexpr Rng(std::uint64_t seed = 0x5EED5EED5EED5EEDULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Uses Lemire's multiply-shift rejection
+  /// method; exact and platform-independent. bound must be > 0.
+  constexpr std::uint64_t bounded(std::uint64_t bound) {
+    PROPANE_REQUIRE(bound > 0);
+    // 128-bit multiply rejection sampling (unbiased).
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0ULL - bound) % bound;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  constexpr std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    PROPANE_REQUIRE(lo <= hi);
+    const auto span =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    // span == 0 means the full 64-bit range; any draw is in range.
+    const std::uint64_t off = (span == 0) ? (*this)() : bounded(span);
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + off);
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of entropy.
+  constexpr double uniform01() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform(double lo, double hi) {
+    PROPANE_REQUIRE(lo <= hi);
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Bernoulli draw with success probability p (clamped to [0,1]).
+  constexpr bool bernoulli(double p) { return uniform01() < p; }
+
+  /// Derives an independent child stream; deterministic in (state, salt).
+  /// The parent advances once, so repeated forks yield distinct children.
+  constexpr Rng fork(std::uint64_t salt = 0) {
+    std::uint64_t s = (*this)() ^ (salt * 0x9E3779B97F4A7C15ULL + 1);
+    return Rng(splitmix64(s));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace propane

@@ -1,0 +1,170 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/contracts.hpp"
+
+namespace propane {
+
+void Summary::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Summary::mean() const {
+  PROPANE_REQUIRE(n_ > 0);
+  return mean_;
+}
+
+double Summary::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+double Summary::min() const {
+  PROPANE_REQUIRE(n_ > 0);
+  return min_;
+}
+
+double Summary::max() const {
+  PROPANE_REQUIRE(n_ > 0);
+  return max_;
+}
+
+Interval wilson_interval(std::size_t successes, std::size_t trials, double z) {
+  PROPANE_REQUIRE(trials > 0);
+  PROPANE_REQUIRE(successes <= trials);
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double centre = p + z2 / (2.0 * n);
+  const double margin =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+  return Interval{std::max(0.0, (centre - margin) / denom),
+                  std::min(1.0, (centre + margin) / denom)};
+}
+
+double kendall_tau_b(std::span<const double> xs, std::span<const double> ys) {
+  PROPANE_REQUIRE(xs.size() == ys.size());
+  PROPANE_REQUIRE(xs.size() >= 2);
+  const std::size_t n = xs.size();
+  std::int64_t concordant = 0;
+  std::int64_t discordant = 0;
+  std::int64_t ties_x = 0;
+  std::int64_t ties_y = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dx = xs[i] - xs[j];
+      const double dy = ys[i] - ys[j];
+      if (dx == 0.0 && dy == 0.0) continue;  // tied in both: excluded by tau-b
+      if (dx == 0.0) {
+        ++ties_x;
+      } else if (dy == 0.0) {
+        ++ties_y;
+      } else if ((dx > 0.0) == (dy > 0.0)) {
+        ++concordant;
+      } else {
+        ++discordant;
+      }
+    }
+  }
+  const double n0 = static_cast<double>(n) * static_cast<double>(n - 1) / 2.0;
+  // Pairs tied in both x and y count towards both tie terms.
+  std::int64_t both = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (xs[i] == xs[j] && ys[i] == ys[j]) ++both;
+    }
+  }
+  const double tx = static_cast<double>(ties_x + both);
+  const double ty = static_cast<double>(ties_y + both);
+  const double denom = std::sqrt((n0 - tx) * (n0 - ty));
+  if (denom == 0.0) return 0.0;
+  return static_cast<double>(concordant - discordant) / denom;
+}
+
+std::vector<double> fractional_ranks(std::span<const double> xs) {
+  const std::size_t n = xs.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && xs[order[j + 1]] == xs[order[i]]) ++j;
+    // Average 1-based rank for the tie group [i, j].
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double spearman_rho(std::span<const double> xs, std::span<const double> ys) {
+  PROPANE_REQUIRE(xs.size() == ys.size());
+  PROPANE_REQUIRE(xs.size() >= 2);
+  const auto rx = fractional_ranks(xs);
+  const auto ry = fractional_ranks(ys);
+  Summary sx;
+  Summary sy;
+  for (double r : rx) sx.add(r);
+  for (double r : ry) sy.add(r);
+  double cov = 0.0;
+  for (std::size_t i = 0; i < rx.size(); ++i) {
+    cov += (rx[i] - sx.mean()) * (ry[i] - sy.mean());
+  }
+  cov /= static_cast<double>(rx.size() - 1);
+  const double denom = sx.stddev() * sy.stddev();
+  if (denom == 0.0) return 0.0;
+  return cov / denom;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  PROPANE_REQUIRE(hi > lo);
+  PROPANE_REQUIRE(bins > 0);
+}
+
+void Histogram::add(double x) {
+  const double scaled =
+      (x - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size());
+  auto bin = static_cast<std::ptrdiff_t>(std::floor(scaled));
+  bin = std::clamp<std::ptrdiff_t>(
+      bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+std::size_t Histogram::count(std::size_t bin) const {
+  PROPANE_REQUIRE(bin < counts_.size());
+  return counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  PROPANE_REQUIRE(bin < counts_.size());
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t bin) const {
+  PROPANE_REQUIRE(bin < counts_.size());
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin + 1) /
+                   static_cast<double>(counts_.size());
+}
+
+}  // namespace propane

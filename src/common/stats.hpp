@@ -1,0 +1,80 @@
+// Statistics helpers: summary statistics, binomial confidence intervals for
+// permeability estimates (n_err / n_inj), and rank correlation used by the
+// ablation benches to test whether module/signal *orderings* survive changes
+// of error model or workload (Section 6 of the paper).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace propane {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+class Summary {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Unbiased sample variance; 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// A two-sided binomial proportion confidence interval.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Wilson score interval for a binomial proportion with `successes` out of
+/// `trials` at confidence z (default z=1.96 ~ 95%). trials must be > 0.
+Interval wilson_interval(std::size_t successes, std::size_t trials,
+                         double z = 1.96);
+
+/// Kendall's tau-b rank correlation between two equal-length samples.
+/// Returns a value in [-1, 1]; ties are handled with the tau-b correction.
+/// Returns 0 when either sample is entirely tied. O(n^2), fine for the
+/// module/signal lists analysed here. Requires xs.size() == ys.size() >= 2.
+double kendall_tau_b(std::span<const double> xs, std::span<const double> ys);
+
+/// Spearman's rank correlation coefficient (average ranks for ties).
+/// Requires xs.size() == ys.size() >= 2.
+double spearman_rho(std::span<const double> xs, std::span<const double> ys);
+
+/// Fractional ranks (1-based, ties get the average rank).
+std::vector<double> fractional_ranks(std::span<const double> xs);
+
+/// Histogram with fixed-width bins over [lo, hi); values outside the range
+/// are clamped into the first/last bin. Used by the uniform-propagation
+/// study (distribution of per-location propagation fractions).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const;
+  std::size_t total() const { return total_; }
+  /// Inclusive-exclusive bin bounds [lo, hi) for bin `bin`.
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace propane

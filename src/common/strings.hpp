@@ -1,0 +1,33 @@
+// Small string helpers shared across the library.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace propane {
+
+/// Splits `text` on `sep`; empty fields are preserved ("a,,b" -> 3 fields).
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Fixed-precision decimal formatting ("%.3f"-style) without locale effects.
+std::string format_double(double value, int decimals);
+
+/// Formats value as a probability with 3 decimals; "-" for NaN (used in the
+/// paper's Table 2 where DIST_S/PRES_S exposures are left empty).
+std::string format_probability(double value);
+
+/// Left/right-pads `text` with spaces to at least `width` characters.
+std::string pad_left(std::string_view text, std::size_t width);
+std::string pad_right(std::string_view text, std::size_t width);
+
+}  // namespace propane

@@ -1,0 +1,102 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+#include "common/strings.hpp"
+
+namespace propane {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  PROPANE_REQUIRE(!header_.empty());
+  aligns_.assign(header_.size(), Align::kRight);
+  aligns_[0] = Align::kLeft;
+}
+
+void TextTable::set_align(std::size_t col, Align align) {
+  PROPANE_REQUIRE(col < aligns_.size());
+  aligns_[col] = align;
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  PROPANE_REQUIRE_MSG(row.size() == header_.size(),
+                      "row width must match header width");
+  rows_.push_back(Row{false, std::move(row)});
+}
+
+void TextTable::add_separator() { rows_.push_back(Row{true, {}}); }
+
+std::vector<std::size_t> TextTable::column_widths() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+  return widths;
+}
+
+std::string TextTable::render() const {
+  const auto widths = column_widths();
+  auto render_cells = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) line += " | ";
+      line += aligns_[c] == Align::kLeft ? pad_right(cells[c], widths[c])
+                                         : pad_left(cells[c], widths[c]);
+    }
+    line += "\n";
+    return line;
+  };
+  auto rule = [&] {
+    std::string line;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      if (c != 0) line += "-+-";
+      line.append(widths[c], '-');
+    }
+    line += "\n";
+    return line;
+  };
+
+  std::string out = render_cells(header_);
+  out += rule();
+  for (const Row& row : rows_) {
+    out += row.separator ? rule() : render_cells(row.cells);
+  }
+  return out;
+}
+
+std::string TextTable::render_markdown() const {
+  const auto widths = column_widths();
+  auto render_cells = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      line += " ";
+      line += aligns_[c] == Align::kLeft ? pad_right(cells[c], widths[c])
+                                         : pad_left(cells[c], widths[c]);
+      line += " |";
+    }
+    line += "\n";
+    return line;
+  };
+
+  std::string out = render_cells(header_);
+  out += "|";
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    out += aligns_[c] == Align::kRight ? std::string(widths[c] + 1, '-') + ":"
+                                       : std::string(widths[c] + 2, '-');
+    out += "|";
+  }
+  out += "\n";
+  for (const Row& row : rows_) {
+    if (!row.separator) out += render_cells(row.cells);
+  }
+  return out;
+}
+
+}  // namespace propane

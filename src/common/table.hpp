@@ -1,0 +1,58 @@
+// Plain-text table rendering used by the report generators and bench
+// binaries to print paper-style tables (Tables 1-4 of Hiller et al., DSN'01).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace propane {
+
+/// Column alignment for TextTable rendering.
+enum class Align { kLeft, kRight };
+
+/// A simple monospace table: header row, body rows, per-column alignment.
+///
+///   TextTable t({"Module", "P"});
+///   t.add_row({"CALC", "0.223"});
+///   std::cout << t.render();
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Sets the alignment of column `col` (default: kLeft for the first
+  /// column, kRight for the rest -- matching numeric tables).
+  void set_align(std::size_t col, Align align);
+
+  /// Appends a body row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Appends a horizontal separator line at the current position.
+  void add_separator();
+
+  std::size_t row_count() const { return rows_.size(); }
+  std::size_t column_count() const { return header_.size(); }
+
+  /// Renders with a header rule, e.g.:
+  ///   Module |     P
+  ///   -------+------
+  ///   CALC   | 0.223
+  std::string render() const;
+
+  /// Renders as GitHub-flavoured markdown.
+  std::string render_markdown() const;
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+
+  std::vector<std::size_t> column_widths() const;
+
+  std::vector<std::string> header_;
+  std::vector<Align> aligns_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace propane

@@ -1,0 +1,60 @@
+// Fixed-size worker pool used to fan out fault-injection runs.
+//
+// The pool is deliberately simple: submit() enqueues a task, parallel_for()
+// partitions an index range across workers and blocks until done. Campaign
+// determinism does not depend on scheduling order because every run writes to
+// a pre-allocated result slot and draws from its own forked RNG stream.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace propane {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 selects the hardware concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains outstanding work, then joins all workers.
+  ~ThreadPool();
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueues a task for asynchronous execution.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished. If any task threw, the
+  /// first captured exception is rethrown here (subsequent ones are dropped).
+  void wait_idle();
+
+  /// Runs body(i) for each i in [begin, end) across the pool and blocks until
+  /// completion. Work is dealt in contiguous chunks to limit contention.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace propane

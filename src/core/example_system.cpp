@@ -1,0 +1,48 @@
+#include "core/example_system.hpp"
+
+namespace propane::core {
+
+SystemModel make_example_system() {
+  SystemModelBuilder builder;
+  builder.add_module("A", {"a1"}, {"oa1"});
+  builder.add_module("B", {"b1", "b2"}, {"ob1", "ob2"});
+  builder.add_module("C", {"c1"}, {"oc1"});
+  builder.add_module("D", {"d1", "d2"}, {"od1"});
+  builder.add_module("E", {"e1", "e2", "e3"}, {"oe1"});
+
+  builder.add_system_input("IA1");
+  builder.add_system_input("IC1");
+  builder.add_system_input("IE3");
+
+  builder.connect_system_input("IA1", "A", "a1");
+  builder.connect_system_input("IC1", "C", "c1");
+  builder.connect_system_input("IE3", "E", "e3");
+
+  builder.connect("A", "oa1", "B", "b1");
+  builder.connect("B", "ob1", "B", "b2");  // local feedback in module B
+  builder.connect("B", "ob1", "D", "d2");
+  builder.connect("B", "ob2", "E", "e1");
+  builder.connect("C", "oc1", "D", "d1");
+  builder.connect("D", "od1", "E", "e2");
+
+  builder.add_system_output("OE1", "E", "oe1");
+  return std::move(builder).build();
+}
+
+SystemPermeability make_example_permeability(const SystemModel& model) {
+  SystemPermeability p(model);
+  p.set(model, "A", "a1", "oa1", 0.9);
+  p.set(model, "B", "b1", "ob1", 0.5);
+  p.set(model, "B", "b1", "ob2", 0.8);
+  p.set(model, "B", "b2", "ob1", 0.3);
+  p.set(model, "B", "b2", "ob2", 0.4);
+  p.set(model, "C", "c1", "oc1", 0.7);
+  p.set(model, "D", "d1", "od1", 0.6);
+  p.set(model, "D", "d2", "od1", 0.2);
+  p.set(model, "E", "e1", "oe1", 0.75);
+  p.set(model, "E", "e2", "oe1", 0.5);
+  p.set(model, "E", "e3", "oe1", 0.25);
+  return p;
+}
+
+}  // namespace propane::core

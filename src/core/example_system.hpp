@@ -1,0 +1,28 @@
+// The five-module example system of Fig. 2 (modules A-E), used by unit
+// tests, the quickstart example and the Fig. 2-5 bench. Also provides an
+// arbitrary-but-fixed permeability assignment so trees and paths have
+// deterministic weights.
+#pragma once
+
+#include "core/permeability.hpp"
+#include "core/system_model.hpp"
+
+namespace propane::core {
+
+/// Builds the Fig. 2 wiring:
+///
+///   system inputs I^A_1, I^C_1, I^E_2; system output O^E_1.
+///   A(1 in, 1 out) -> B.in1 ; B(1 in, 2 out): out1 feeds back to B.in1?
+///
+/// The paper's figure is not fully enumerated in the text; this
+/// reconstruction keeps its essential features: five modules A-E, a module
+/// (B) with a local feedback loop O^B_1 -> I^B_1, a converging module (E)
+/// producing the system output, and the leftmost backtrack path
+/// O^E_1 <- I^E_1 <- O^B_2 <- I^B_1 <- O^A_1 <- I^A_1 with weight
+/// P^A_{1,1} * P^B_{1,2} * P^E_{1,1} exactly as walked in Section 4.2.
+SystemModel make_example_system();
+
+/// Deterministic non-trivial permeabilities for the example system.
+SystemPermeability make_example_permeability(const SystemModel& model);
+
+}  // namespace propane::core

@@ -1,0 +1,106 @@
+#include "core/influence.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+#include "common/strings.hpp"
+
+namespace propane::core {
+
+InfluenceMatrix::InfluenceMatrix(const SystemModel& model,
+                                 const SystemPermeability& permeability)
+    : signals_(model.all_signals()) {
+  names_.reserve(signals_.size());
+  for (const SignalRef& signal : signals_) {
+    names_.push_back(model.signal_name(signal));
+  }
+  const std::size_t n = signals_.size();
+  cells_.assign(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) cells_[i * n + i] = 1.0;
+
+  // Direct edges: input signal S -> output signal T with weight P^M(i,k).
+  for (ModuleId m = 0; m < model.module_count(); ++m) {
+    const ModuleInfo& info = model.module(m);
+    for (PortIndex i = 0; i < info.input_count(); ++i) {
+      const std::size_t from =
+          index_of(model.input_source(InputRef{m, i}));
+      for (PortIndex k = 0; k < info.output_count(); ++k) {
+        const std::size_t to =
+            index_of(SignalRef::from_output(OutputRef{m, k}));
+        cells_[from * n + to] =
+            std::max(cells_[from * n + to], permeability.get(m, i, k));
+      }
+    }
+  }
+
+  // Max-product transitive closure (Floyd-Warshall over the (max, *)
+  // semiring). Weights <= 1, so cycles never improve a route and the
+  // closure is exact.
+  for (std::size_t via = 0; via < n; ++via) {
+    for (std::size_t from = 0; from < n; ++from) {
+      const double head = cells_[from * n + via];
+      if (head == 0.0) continue;
+      for (std::size_t to = 0; to < n; ++to) {
+        const double candidate = head * cells_[via * n + to];
+        if (candidate > cells_[from * n + to]) {
+          cells_[from * n + to] = candidate;
+        }
+      }
+    }
+  }
+}
+
+std::size_t InfluenceMatrix::index_of(const SignalRef& signal) const {
+  for (std::size_t i = 0; i < signals_.size(); ++i) {
+    if (signals_[i] == signal) return i;
+  }
+  PROPANE_CHECK_MSG(false, "signal not part of the model");
+  return 0;
+}
+
+double InfluenceMatrix::influence(const SignalRef& from,
+                                  const SignalRef& to) const {
+  return at(index_of(from), index_of(to));
+}
+
+double InfluenceMatrix::at(std::size_t from, std::size_t to) const {
+  PROPANE_REQUIRE(from < signals_.size());
+  PROPANE_REQUIRE(to < signals_.size());
+  return cells_[from * signals_.size() + to];
+}
+
+TextTable InfluenceMatrix::boundary_table(const SystemModel& model) const {
+  std::vector<std::string> header{"Input \\ Output"};
+  std::vector<std::size_t> outputs;
+  for (std::uint32_t o = 0; o < model.system_output_count(); ++o) {
+    header.push_back(model.system_output_name(o));
+    outputs.push_back(
+        index_of(SignalRef::from_output(model.system_output_source(o))));
+  }
+  TextTable table(std::move(header));
+  for (std::uint32_t s = 0; s < model.system_input_count(); ++s) {
+    std::vector<std::string> row{model.system_input_name(s)};
+    const std::size_t from = index_of(SignalRef::from_system_input(s));
+    for (std::size_t to : outputs) {
+      row.push_back(format_double(at(from, to), 3));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+TextTable InfluenceMatrix::full_table() const {
+  std::vector<std::string> header{"From \\ To"};
+  for (const std::string& name : names_) header.push_back(name);
+  TextTable table(std::move(header));
+  for (std::size_t from = 0; from < size(); ++from) {
+    std::vector<std::string> row{names_[from]};
+    for (std::size_t to = 0; to < size(); ++to) {
+      row.push_back(format_double(at(from, to), 3));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace propane::core

@@ -1,0 +1,53 @@
+// Signal influence matrix (extension): for every ordered pair of signals
+// (S, T), the weight of the *strongest* propagation route from S to T --
+// the maximum over routes of the product of the per-module permeabilities
+// along the route.
+//
+// This is the single-number answer to "how strongly can an error here
+// affect that signal over the strongest single route?", complementing the
+// trees (which enumerate routes towards one boundary signal at a time).
+// It is a max-product transitive closure of the signal graph; cycles
+// cannot improve a route because every edge weight is <= 1.
+#pragma once
+
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/permeability.hpp"
+#include "core/system_model.hpp"
+
+namespace propane::core {
+
+class InfluenceMatrix {
+ public:
+  InfluenceMatrix(const SystemModel& model,
+                  const SystemPermeability& permeability);
+
+  /// Max-product route weight from signal `from` to signal `to`;
+  /// 1 on the diagonal, 0 when unreachable.
+  double influence(const SignalRef& from, const SignalRef& to) const;
+
+  /// All signals in matrix order (== SystemModel::all_signals()).
+  const std::vector<SignalRef>& signals() const { return signals_; }
+  const std::vector<std::string>& names() const { return names_; }
+  std::size_t size() const { return signals_.size(); }
+
+  double at(std::size_t from, std::size_t to) const;
+
+  /// Rows = system inputs, columns = system outputs: the paper's
+  /// "which output signals are most likely affected by errors occurring
+  /// on the input signals" question as one table.
+  TextTable boundary_table(const SystemModel& model) const;
+
+  /// The full signal x signal matrix.
+  TextTable full_table() const;
+
+ private:
+  std::size_t index_of(const SignalRef& signal) const;
+
+  std::vector<SignalRef> signals_;
+  std::vector<std::string> names_;
+  std::vector<double> cells_;  // row-major [from][to]
+};
+
+}  // namespace propane::core

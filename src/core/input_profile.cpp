@@ -1,0 +1,94 @@
+#include "core/input_profile.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace propane::core {
+
+InputErrorProfile::InputErrorProfile(const SystemModel& model)
+    : probabilities_(model.system_input_count(), 0.0) {}
+
+void InputErrorProfile::set(std::uint32_t system_input, double probability) {
+  PROPANE_REQUIRE(system_input < probabilities_.size());
+  PROPANE_REQUIRE_MSG(probability >= 0.0 && probability <= 1.0,
+                      "error-occurrence probability must be in [0, 1]");
+  probabilities_[system_input] = probability;
+}
+
+void InputErrorProfile::set(const SystemModel& model,
+                            std::string_view input_name, double probability) {
+  const auto index = model.find_system_input(input_name);
+  PROPANE_REQUIRE_MSG(index.has_value(),
+                      "unknown system input: " + std::string(input_name));
+  set(*index, probability);
+}
+
+double InputErrorProfile::get(std::uint32_t system_input) const {
+  PROPANE_REQUIRE(system_input < probabilities_.size());
+  return probabilities_[system_input];
+}
+
+void InputErrorProfile::set_all(double probability) {
+  PROPANE_REQUIRE(probability >= 0.0 && probability <= 1.0);
+  std::fill(probabilities_.begin(), probabilities_.end(), probability);
+}
+
+std::vector<WeightedPath> weighted_trace_paths(
+    const SystemModel& model, std::span<const PropagationTree> trees,
+    const InputErrorProfile& profile) {
+  PROPANE_REQUIRE(trees.size() == model.system_input_count());
+  PROPANE_REQUIRE(profile.input_count() == model.system_input_count());
+  std::vector<WeightedPath> weighted;
+  for (std::uint32_t input = 0; input < trees.size(); ++input) {
+    const PropagationTree& tree = trees[input];
+    PROPANE_REQUIRE_MSG(
+        tree.root().kind == TreeNode::Kind::kSignalRoot &&
+            tree.root().system_input == input,
+        "trees must come from build_all_trace_trees, in input order");
+    for (PropagationPath& path : trace_paths(tree)) {
+      WeightedPath entry;
+      entry.system_input = input;
+      entry.conditional = path.weight;
+      entry.absolute = profile.get(input) * path.weight;
+      entry.path = std::move(path);
+      weighted.push_back(std::move(entry));
+    }
+  }
+  std::stable_sort(weighted.begin(), weighted.end(),
+                   [](const WeightedPath& a, const WeightedPath& b) {
+                     return a.absolute > b.absolute;
+                   });
+  return weighted;
+}
+
+std::vector<OutputErrorEstimate> output_error_estimates(
+    const SystemModel& model, std::span<const PropagationTree> trees,
+    const InputErrorProfile& profile) {
+  std::vector<OutputErrorEstimate> estimates(model.system_output_count());
+  for (std::uint32_t o = 0; o < estimates.size(); ++o) {
+    estimates[o].system_output = o;
+    estimates[o].independent = 1.0;  // running product of (1 - P')
+  }
+
+  const auto weighted = weighted_trace_paths(model, trees, profile);
+  for (const WeightedPath& entry : weighted) {
+    const PropagationTree& tree = trees[entry.system_input];
+    const TreeNode& terminal = tree.node(entry.path.nodes.back());
+    PROPANE_CHECK(terminal.kind == TreeNode::Kind::kOutput);
+    for (std::uint32_t o :
+         model.output_system_outputs(terminal.output)) {
+      OutputErrorEstimate& est = estimates[o];
+      est.independent *= 1.0 - entry.absolute;
+      est.union_bound += entry.absolute;
+      est.max_single_path = std::max(est.max_single_path, entry.absolute);
+    }
+  }
+  for (OutputErrorEstimate& est : estimates) {
+    est.independent = 1.0 - est.independent;
+    est.union_bound = std::min(1.0, est.union_bound);
+  }
+  return estimates;
+}
+
+}  // namespace propane::core

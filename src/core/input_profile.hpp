@@ -1,0 +1,78 @@
+// Input error-occurrence profiles (Section 4.2).
+//
+// Permeability values are conditional probabilities, deliberately
+// independent of how likely errors are in the first place. When an
+// error-occurrence estimate *is* available for the external inputs, the
+// paper folds it in: "If the probability of an error appearing on I^A_1 is
+// Pr(A1), then P can be adjusted with this factor, giving us
+// P' = Pr(A1) * P^A_{1,1} * P^B_{1,2} * P^E_{1,1}."
+//
+// An InputErrorProfile holds Pr(error on system input i) per mission/run;
+// the helpers weight trace-tree paths with it and bound the probability of
+// an externally-caused error reaching each system output.
+#pragma once
+
+#include <vector>
+
+#include "core/propagation_path.hpp"
+#include "core/propagation_tree.hpp"
+#include "core/system_model.hpp"
+
+namespace propane::core {
+
+class InputErrorProfile {
+ public:
+  /// All inputs start at probability 0 (no external errors).
+  explicit InputErrorProfile(const SystemModel& model);
+
+  void set(std::uint32_t system_input, double probability);
+  /// Name-based convenience setter.
+  void set(const SystemModel& model, std::string_view input_name,
+           double probability);
+  double get(std::uint32_t system_input) const;
+
+  /// Sets every input to the same probability.
+  void set_all(double probability);
+
+  std::size_t input_count() const { return probabilities_.size(); }
+
+ private:
+  std::vector<double> probabilities_;
+};
+
+/// A trace-tree path weighted by the occurrence probability of its root
+/// input: P' = Pr(root) * product of permeabilities.
+struct WeightedPath {
+  std::uint32_t system_input = 0;
+  PropagationPath path;
+  /// Conditional end-to-end permeability (product of edge weights).
+  double conditional = 0.0;
+  /// P' -- absolute probability of this path being exercised by an
+  /// external error.
+  double absolute = 0.0;
+};
+
+/// Weights every root-to-system-output path of every trace tree with the
+/// profile and sorts by absolute probability (descending). `trees` must be
+/// the output of build_all_trace_trees (one per system input, in order).
+std::vector<WeightedPath> weighted_trace_paths(
+    const SystemModel& model, std::span<const PropagationTree> trees,
+    const InputErrorProfile& profile);
+
+/// Union-bound estimate of the probability that an external error reaches
+/// system output `output`, assuming at most one external error per run and
+/// independent propagation along each path:
+///   1 - prod over paths p to `output` of (1 - Pr(root_p) * w_p).
+/// An upper-bound companion sums the absolute path weights (Boole).
+struct OutputErrorEstimate {
+  std::uint32_t system_output = 0;
+  double independent = 0.0;  ///< 1 - prod(1 - P'_p)
+  double union_bound = 0.0;  ///< min(1, sum P'_p)
+  double max_single_path = 0.0;
+};
+
+std::vector<OutputErrorEstimate> output_error_estimates(
+    const SystemModel& model, std::span<const PropagationTree> trees,
+    const InputErrorProfile& profile);
+
+}  // namespace propane::core

@@ -1,0 +1,182 @@
+#include "core/model_parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <istream>
+#include <sstream>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/strings.hpp"
+
+namespace propane::core {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+  PROPANE_REQUIRE_MSG(false,
+                      "model parse error, line " + std::to_string(line) +
+                          ": " + message);
+  __builtin_unreachable();
+}
+
+/// Splits on whitespace.
+std::vector<std::string> tokenize(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i])) != 0) {
+      ++i;
+    }
+    std::size_t start = i;
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i])) == 0) {
+      ++i;
+    }
+    if (i > start) tokens.emplace_back(text.substr(start, i - start));
+  }
+  return tokens;
+}
+
+/// Parses "MODULE.PORT".
+std::pair<std::string, std::string> parse_endpoint(std::size_t line,
+                                                   const std::string& token) {
+  const auto dot = token.find('.');
+  if (dot == std::string::npos || dot == 0 || dot + 1 == token.size()) {
+    fail(line, "expected MODULE.PORT, got '" + token + "'");
+  }
+  return {token.substr(0, dot), token.substr(dot + 1)};
+}
+
+}  // namespace
+
+SystemModel parse_system_model(std::istream& in) {
+  SystemModelBuilder builder;
+  std::vector<std::string> declared_inputs;
+
+  std::string raw_line;
+  std::size_t line_number = 0;
+  while (std::getline(in, raw_line)) {
+    ++line_number;
+    std::string_view line = raw_line;
+    if (const auto hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto tokens = tokenize(line);
+    const std::string& keyword = tokens.front();
+
+    if (keyword == "module") {
+      if (tokens.size() < 2) fail(line_number, "module needs a name");
+      const std::string& name = tokens[1];
+      std::vector<std::string> inputs;
+      std::vector<std::string> outputs;
+      enum class Section { kNone, kIn, kOut } section = Section::kNone;
+      for (std::size_t t = 2; t < tokens.size(); ++t) {
+        if (tokens[t] == "in") {
+          if (section != Section::kNone) {
+            fail(line_number, "'in' must precede 'out'");
+          }
+          section = Section::kIn;
+        } else if (tokens[t] == "out") {
+          section = Section::kOut;
+        } else if (section == Section::kIn) {
+          inputs.push_back(tokens[t]);
+        } else if (section == Section::kOut) {
+          outputs.push_back(tokens[t]);
+        } else {
+          fail(line_number, "port '" + tokens[t] +
+                                "' before an 'in'/'out' keyword");
+        }
+      }
+      if (outputs.empty()) {
+        fail(line_number, "module '" + name + "' needs at least one output");
+      }
+      builder.add_module(name, std::move(inputs), std::move(outputs));
+    } else if (keyword == "input") {
+      if (!(tokens.size() == 2 ||
+            (tokens.size() == 4 && tokens[2] == "->"))) {
+        fail(line_number, "expected: input NAME [-> MODULE.PORT]");
+      }
+      const std::string& name = tokens[1];
+      if (std::find(declared_inputs.begin(), declared_inputs.end(), name) ==
+          declared_inputs.end()) {
+        builder.add_system_input(name);
+        declared_inputs.push_back(name);
+      }
+      if (tokens.size() == 4) {
+        const auto [module, port] = parse_endpoint(line_number, tokens[3]);
+        builder.connect_system_input(name, module, port);
+      }
+    } else if (keyword == "connect") {
+      if (tokens.size() != 4 || tokens[2] != "->") {
+        fail(line_number,
+             "expected: connect MODULE.PORT -> MODULE.PORT");
+      }
+      const auto [from_module, from_port] =
+          parse_endpoint(line_number, tokens[1]);
+      const auto [to_module, to_port] =
+          parse_endpoint(line_number, tokens[3]);
+      builder.connect(from_module, from_port, to_module, to_port);
+    } else if (keyword == "output") {
+      if (tokens.size() != 4 || tokens[2] != "<-") {
+        fail(line_number, "expected: output NAME <- MODULE.PORT");
+      }
+      const auto [module, port] = parse_endpoint(line_number, tokens[3]);
+      builder.add_system_output(tokens[1], module, port);
+    } else {
+      fail(line_number, "unknown statement '" + keyword + "'");
+    }
+  }
+  return std::move(builder).build();
+}
+
+SystemModel parse_system_model(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  return parse_system_model(in);
+}
+
+std::string to_model_text(const SystemModel& model) {
+  std::string out;
+  for (ModuleId m = 0; m < model.module_count(); ++m) {
+    const ModuleInfo& info = model.module(m);
+    out += "module " + info.name;
+    if (!info.input_names.empty()) {
+      out += " in";
+      for (const auto& name : info.input_names) out += " " + name;
+    }
+    out += " out";
+    for (const auto& name : info.output_names) out += " " + name;
+    out += "\n";
+  }
+  for (std::uint32_t s = 0; s < model.system_input_count(); ++s) {
+    if (model.system_input_consumers(s).empty()) {
+      // Keep consumer-less inputs so the round trip is lossless.
+      out += "input " + model.system_input_name(s) + "\n";
+      continue;
+    }
+    for (const InputRef& consumer : model.system_input_consumers(s)) {
+      out += "input " + model.system_input_name(s) + " -> " +
+             model.input_name(consumer) + "\n";
+    }
+  }
+  for (ModuleId m = 0; m < model.module_count(); ++m) {
+    const ModuleInfo& info = model.module(m);
+    for (PortIndex k = 0; k < info.output_count(); ++k) {
+      for (const InputRef& consumer :
+           model.output_consumers(OutputRef{m, k})) {
+        out += "connect " + model.output_name(OutputRef{m, k}) + " -> " +
+               model.input_name(consumer) + "\n";
+      }
+    }
+  }
+  for (std::uint32_t o = 0; o < model.system_output_count(); ++o) {
+    out += "output " + model.system_output_name(o) + " <- " +
+           model.output_name(model.system_output_source(o)) + "\n";
+  }
+  return out;
+}
+
+}  // namespace propane::core

@@ -1,0 +1,42 @@
+// A small text format for describing system models, so analyses can be
+// driven from files instead of C++ (useful for the CLI example and for
+// exchanging models between tools).
+//
+// Grammar (one statement per line, '#' starts a comment):
+//
+//   module NAME in PORT... out PORT...   # declare a module and its ports
+//   module NAME out PORT...              # source module without inputs
+//   input NAME -> MODULE.PORT            # system input (repeat to fan out)
+//   connect MODULE.PORT -> MODULE.PORT   # output -> input wire
+//   output NAME <- MODULE.PORT           # system output
+//
+// Example (the paper's target system):
+//
+//   module CLOCK in ms_slot_nbr out mscnt ms_slot_nbr
+//   module DIST_S in PACNT TIC1 TCNT out pulscnt slow_speed stopped
+//   input PACNT -> DIST_S.PACNT
+//   connect CLOCK.ms_slot_nbr -> CLOCK.ms_slot_nbr
+//   output TOC2 <- PRES_A.TOC2
+//
+// Parse errors raise ContractViolation with the line number.
+#pragma once
+
+#include <iosfwd>
+#include <string_view>
+
+#include "core/system_model.hpp"
+
+namespace propane::core {
+
+/// Parses a model description from a stream; validates via
+/// SystemModelBuilder::build().
+SystemModel parse_system_model(std::istream& in);
+
+/// Convenience overload for in-memory text.
+SystemModel parse_system_model(std::string_view text);
+
+/// Serialises a model back into the text format (round-trips through
+/// parse_system_model).
+std::string to_model_text(const SystemModel& model);
+
+}  // namespace propane::core

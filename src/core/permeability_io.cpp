@@ -1,0 +1,73 @@
+#include "core/permeability_io.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include "common/contracts.hpp"
+#include "common/csv.hpp"
+#include "common/strings.hpp"
+
+namespace propane::core {
+
+void save_permeability_csv(std::ostream& out, const SystemModel& model,
+                           const SystemPermeability& permeability) {
+  CsvWriter writer(out);
+  writer.write_row({"module", "input", "output", "permeability"});
+  for (ModuleId m = 0; m < model.module_count(); ++m) {
+    const ModuleInfo& info = model.module(m);
+    for (PortIndex i = 0; i < info.input_count(); ++i) {
+      for (PortIndex k = 0; k < info.output_count(); ++k) {
+        writer.write_row({info.name, info.input_names[i],
+                          info.output_names[k],
+                          format_double(permeability.get(m, i, k), 6)});
+      }
+    }
+  }
+}
+
+SystemPermeability load_permeability_csv(std::istream& in,
+                                         const SystemModel& model) {
+  SystemPermeability permeability(model);
+  std::string line;
+  std::size_t line_number = 0;
+  bool header_seen = false;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string_view trimmed = trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    if (!header_seen) {
+      header_seen = true;
+      if (starts_with(trimmed, "module,")) continue;  // header row
+    }
+    const auto fields = split(trimmed, ',');
+    PROPANE_REQUIRE_MSG(fields.size() == 4,
+                        "line " + std::to_string(line_number) +
+                            ": expected 4 fields, got " +
+                            std::to_string(fields.size()));
+    const auto module = model.find_module(trim(fields[0]));
+    PROPANE_REQUIRE_MSG(module.has_value(),
+                        "line " + std::to_string(line_number) +
+                            ": unknown module '" + fields[0] + "'");
+    const auto input = model.find_input(*module, trim(fields[1]));
+    PROPANE_REQUIRE_MSG(input.has_value(),
+                        "line " + std::to_string(line_number) +
+                            ": unknown input '" + fields[1] + "'");
+    const auto output = model.find_output(*module, trim(fields[2]));
+    PROPANE_REQUIRE_MSG(output.has_value(),
+                        "line " + std::to_string(line_number) +
+                            ": unknown output '" + fields[2] + "'");
+    char* end = nullptr;
+    const std::string value_text(trim(fields[3]));
+    const double value = std::strtod(value_text.c_str(), &end);
+    PROPANE_REQUIRE_MSG(end != value_text.c_str() && *end == '\0',
+                        "line " + std::to_string(line_number) +
+                            ": unparsable permeability '" + fields[3] + "'");
+    PROPANE_REQUIRE_MSG(value >= 0.0 && value <= 1.0,
+                        "line " + std::to_string(line_number) +
+                            ": permeability out of [0,1]");
+    permeability.set(*module, *input, *output, value);
+  }
+  return permeability;
+}
+
+}  // namespace propane::core

@@ -1,0 +1,28 @@
+// CSV persistence for permeability values: estimate once (the campaign is
+// the expensive part), then reload for later analysis sessions or for
+// exchange with external tooling.
+//
+// Format: a header line `module,input,output,permeability`, then one line
+// per (module, input port, output port) pair, ports identified by name.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/permeability.hpp"
+#include "core/system_model.hpp"
+
+namespace propane::core {
+
+/// Writes every pair of the model (including zero values).
+void save_permeability_csv(std::ostream& out, const SystemModel& model,
+                           const SystemPermeability& permeability);
+
+/// Parses CSV written by save_permeability_csv (or compatible). Rows may
+/// come in any order and may omit pairs (omitted pairs stay 0). Unknown
+/// module/port names or out-of-range values raise ContractViolation with
+/// the offending line number in the message.
+SystemPermeability load_permeability_csv(std::istream& in,
+                                         const SystemModel& model);
+
+}  // namespace propane::core

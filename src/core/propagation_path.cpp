@@ -1,0 +1,146 @@
+#include "core/propagation_path.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace propane::core {
+
+namespace {
+
+PropagationPath make_path(const PropagationTree& tree, TreeNodeIndex leaf) {
+  PropagationPath path;
+  for (TreeNodeIndex at = leaf; at != kNoNode; at = tree.node(at).parent) {
+    path.nodes.push_back(at);
+    path.weight *= tree.node(at).edge_weight;
+  }
+  std::reverse(path.nodes.begin(), path.nodes.end());
+  const TreeNode& terminal = tree.node(leaf);
+  path.ends_in_feedback = terminal.feedback_break;
+  path.reaches_system_boundary =
+      terminal.is_system_input || terminal.is_system_output;
+  return path;
+}
+
+}  // namespace
+
+std::vector<PropagationPath> backtrack_paths(const PropagationTree& tree) {
+  std::vector<PropagationPath> paths;
+  for (TreeNodeIndex leaf : tree.leaves()) {
+    // Dead ends (childless output nodes, e.g. after pruning) are artifacts
+    // of tree construction, not propagation paths.
+    if (tree.node(leaf).dead_end) continue;
+    paths.push_back(make_path(tree, leaf));
+  }
+  return paths;
+}
+
+std::vector<PropagationPath> trace_paths(const PropagationTree& tree) {
+  std::vector<PropagationPath> paths;
+  // Depth-first walk emitting a path at every system-output node.
+  std::vector<TreeNodeIndex> stack{0};
+  while (!stack.empty()) {
+    const TreeNodeIndex index = stack.back();
+    stack.pop_back();
+    const TreeNode& n = tree.node(index);
+    if (n.kind == TreeNode::Kind::kOutput && n.is_system_output) {
+      paths.push_back(make_path(tree, index));
+    }
+    for (auto it = n.children.rbegin(); it != n.children.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  return paths;
+}
+
+void sort_paths_by_weight(std::vector<PropagationPath>& paths) {
+  std::stable_sort(paths.begin(), paths.end(),
+                   [](const PropagationPath& a, const PropagationPath& b) {
+                     return a.weight > b.weight;
+                   });
+}
+
+std::vector<PropagationPath> nonzero_paths(
+    std::vector<PropagationPath> paths) {
+  std::erase_if(paths,
+                [](const PropagationPath& p) { return p.weight <= 0.0; });
+  return paths;
+}
+
+namespace {
+
+std::string node_label(const SystemModel& model, const TreeNode& n) {
+  switch (n.kind) {
+    case TreeNode::Kind::kSignalRoot:
+      return model.system_input_name(n.system_input);
+    case TreeNode::Kind::kOutput:
+      return model.signal_name(SignalRef::from_output(n.output));
+    case TreeNode::Kind::kInput: {
+      // An input node is labelled with the signal that drives it, which is
+      // how the paper labels input vertices (I^A_1 receives system input 1).
+      const Source& src = model.input_source(n.input);
+      std::string label = model.signal_name(src);
+      if (n.feedback_break) label += "(fb)";
+      return label;
+    }
+  }
+  PROPANE_CHECK_MSG(false, "unreachable node kind");
+  return {};
+}
+
+}  // namespace
+
+std::string format_path(const SystemModel& model, const PropagationTree& tree,
+                        const PropagationPath& path) {
+  PROPANE_REQUIRE(!path.nodes.empty());
+  const bool backward =
+      tree.root().kind == TreeNode::Kind::kOutput;  // backtrack tree
+  std::string out;
+  for (std::size_t n = 0; n < path.nodes.size(); ++n) {
+    const TreeNode& node = tree.node(path.nodes[n]);
+    const std::string label = node_label(model, node);
+    if (n == 0) {
+      out = label;
+      continue;
+    }
+    // Skip consecutive duplicate labels: an input node driven by signal S
+    // directly follows the output node producing S (or vice versa), and the
+    // paper's path notation lists each signal once.
+    const TreeNode& prev = tree.node(path.nodes[n - 1]);
+    if (node_label(model, prev) == label &&
+        !(node.kind == TreeNode::Kind::kInput && node.feedback_break)) {
+      continue;
+    }
+    out += backward ? " <- " : " -> ";
+    out += label;
+  }
+  return out;
+}
+
+std::vector<SignalRef> path_signals(const SystemModel& model,
+                                    const PropagationTree& tree,
+                                    const PropagationPath& path) {
+  std::vector<SignalRef> signals;
+  auto push_unique = [&signals](const SignalRef& s) {
+    if (std::find(signals.begin(), signals.end(), s) == signals.end()) {
+      signals.push_back(s);
+    }
+  };
+  for (TreeNodeIndex index : path.nodes) {
+    const TreeNode& n = tree.node(index);
+    switch (n.kind) {
+      case TreeNode::Kind::kSignalRoot:
+        push_unique(SignalRef::from_system_input(n.system_input));
+        break;
+      case TreeNode::Kind::kOutput:
+        push_unique(SignalRef::from_output(n.output));
+        break;
+      case TreeNode::Kind::kInput:
+        push_unique(model.input_source(n.input));
+        break;
+    }
+  }
+  return signals;
+}
+
+}  // namespace propane::core

@@ -1,0 +1,62 @@
+// Propagation-path extraction and ranking (Section 4.2, Table 4).
+//
+// A propagation path is a root-to-terminal walk through a backtrack or
+// trace tree; its weight is the product of the permeability values along
+// the walk (connection edges contribute factor 1). "Finding the propagation
+// paths with the highest propagation probability is simply a matter of
+// finding which paths from the root to the leaves have the highest weight."
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/propagation_tree.hpp"
+#include "core/system_model.hpp"
+
+namespace propane::core {
+
+/// One root-to-terminal path.
+struct PropagationPath {
+  /// Node indices from root (front) to terminal (back).
+  std::vector<TreeNodeIndex> nodes;
+  /// Product of edge weights along the path.
+  double weight = 1.0;
+  /// True when the path ends in a broken-feedback leaf (backtrack trees).
+  bool ends_in_feedback = false;
+  /// True when the path ends at a system input (backtrack) or system output
+  /// (trace) -- i.e. it spans the whole system.
+  bool reaches_system_boundary = false;
+};
+
+/// Extracts every root-to-leaf path of a backtrack tree. For the paper's
+/// target system and the TOC2 tree this yields 22 paths.
+std::vector<PropagationPath> backtrack_paths(const PropagationTree& tree);
+
+/// Extracts every root-to-system-output path of a trace tree. A system
+/// output node terminates a path even if the signal also fans out further.
+/// Dead-end branches are not reported.
+std::vector<PropagationPath> trace_paths(const PropagationTree& tree);
+
+/// Sorts paths by descending weight (stable: equal weights keep tree order).
+void sort_paths_by_weight(std::vector<PropagationPath>& paths);
+
+/// Keeps only paths with weight > 0 (the paper's Table 4 lists "the
+/// thirteen paths that acquired weights greater than zero").
+std::vector<PropagationPath> nonzero_paths(
+    std::vector<PropagationPath> paths);
+
+/// Renders a path as "TOC2 <- OutValue <- SetValue <- ... <- PACNT" for
+/// backtrack trees, or with "->" for trace trees (direction inferred from
+/// the root node kind). Signal names follow the model's port names; broken
+/// feedback leaves are suffixed with "(fb)".
+std::string format_path(const SystemModel& model, const PropagationTree& tree,
+                        const PropagationPath& path);
+
+/// The set of signals visited by a path (for OB5-style "this signal is part
+/// of every non-zero path" analyses). Output nodes contribute their output
+/// signal; input nodes contribute the driving signal.
+std::vector<SignalRef> path_signals(const SystemModel& model,
+                                    const PropagationTree& tree,
+                                    const PropagationPath& path);
+
+}  // namespace propane::core

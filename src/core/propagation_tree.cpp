@@ -1,0 +1,50 @@
+#include "core/propagation_tree.hpp"
+
+#include "common/contracts.hpp"
+
+namespace propane::core {
+
+const TreeNode& PropagationTree::node(TreeNodeIndex index) const {
+  PROPANE_REQUIRE(index < nodes_.size());
+  return nodes_[index];
+}
+
+std::vector<TreeNodeIndex> PropagationTree::leaves() const {
+  std::vector<TreeNodeIndex> out;
+  if (nodes_.empty()) return out;
+  // Iterative DFS to keep leaf order stable (left to right).
+  std::vector<TreeNodeIndex> stack{0};
+  while (!stack.empty()) {
+    const TreeNodeIndex index = stack.back();
+    stack.pop_back();
+    const TreeNode& n = nodes_[index];
+    if (n.is_leaf()) {
+      out.push_back(index);
+      continue;
+    }
+    // Push children in reverse so the leftmost child is visited first.
+    for (auto it = n.children.rbegin(); it != n.children.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  return out;
+}
+
+double PropagationTree::path_weight_to(TreeNodeIndex index) const {
+  double weight = 1.0;
+  for (TreeNodeIndex at = index; at != kNoNode; at = node(at).parent) {
+    weight *= node(at).edge_weight;
+  }
+  return weight;
+}
+
+std::size_t PropagationTree::depth(TreeNodeIndex index) const {
+  std::size_t d = 0;
+  for (TreeNodeIndex at = node(index).parent; at != kNoNode;
+       at = node(at).parent) {
+    ++d;
+  }
+  return d;
+}
+
+}  // namespace propane::core

@@ -1,0 +1,22 @@
+// Umbrella header for the propane++ analysis framework (the paper's
+// contribution, Sections 3-5). Pull in individual headers for finer
+// control over compile times.
+#pragma once
+
+#include "core/analysis.hpp"        // IWYU pragma: export
+#include "core/ascii_tree.hpp"      // IWYU pragma: export
+#include "core/backtrack_tree.hpp"  // IWYU pragma: export
+#include "core/dot.hpp"             // IWYU pragma: export
+#include "core/exposure.hpp"        // IWYU pragma: export
+#include "core/influence.hpp"       // IWYU pragma: export
+#include "core/input_profile.hpp"   // IWYU pragma: export
+#include "core/model_parser.hpp"    // IWYU pragma: export
+#include "core/permeability.hpp"    // IWYU pragma: export
+#include "core/permeability_io.hpp" // IWYU pragma: export
+#include "core/permeability_graph.hpp"  // IWYU pragma: export
+#include "core/placement.hpp"       // IWYU pragma: export
+#include "core/propagation_path.hpp"    // IWYU pragma: export
+#include "core/propagation_tree.hpp"    // IWYU pragma: export
+#include "core/report_writer.hpp"   // IWYU pragma: export
+#include "core/system_model.hpp"    // IWYU pragma: export
+#include "core/trace_tree.hpp"      // IWYU pragma: export

@@ -1,0 +1,28 @@
+// Markdown report generation: one self-contained document with every
+// analysis artefact, for design reviews and documentation (the
+// "design-stage tool" use the paper's introduction argues for).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/analysis.hpp"
+
+namespace propane::core {
+
+struct ReportOptions {
+  std::string title = "Error propagation analysis";
+  /// Include the full ASCII trees (can be large for deep systems).
+  bool include_trees = true;
+  /// Include Graphviz DOT sources as appendix code blocks.
+  bool include_dot = false;
+  /// Cap for the ranked-path listing (0 = all).
+  std::size_t max_paths = 0;
+};
+
+/// Writes the complete report as GitHub-flavoured markdown.
+void write_markdown_report(std::ostream& out, const SystemModel& model,
+                           const AnalysisReport& report,
+                           const ReportOptions& options = {});
+
+}  // namespace propane::core

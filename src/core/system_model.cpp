@@ -1,0 +1,271 @@
+#include "core/system_model.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/contracts.hpp"
+
+namespace propane::core {
+
+const ModuleInfo& SystemModel::module(ModuleId id) const {
+  PROPANE_REQUIRE(id < modules_.size());
+  return modules_[id];
+}
+
+const std::string& SystemModel::module_name(ModuleId id) const {
+  return module(id).name;
+}
+
+const std::string& SystemModel::system_input_name(std::uint32_t index) const {
+  PROPANE_REQUIRE(index < system_inputs_.size());
+  return system_inputs_[index];
+}
+
+const std::string& SystemModel::system_output_name(std::uint32_t index) const {
+  PROPANE_REQUIRE(index < system_output_names_.size());
+  return system_output_names_[index];
+}
+
+OutputRef SystemModel::system_output_source(std::uint32_t index) const {
+  PROPANE_REQUIRE(index < system_output_sources_.size());
+  return system_output_sources_[index];
+}
+
+const Source& SystemModel::input_source(InputRef input) const {
+  PROPANE_REQUIRE(input.module < modules_.size());
+  PROPANE_REQUIRE(input.port < input_sources_[input.module].size());
+  return input_sources_[input.module][input.port];
+}
+
+const std::vector<InputRef>& SystemModel::output_consumers(
+    OutputRef output) const {
+  PROPANE_REQUIRE(output.module < modules_.size());
+  PROPANE_REQUIRE(output.port < output_consumers_[output.module].size());
+  return output_consumers_[output.module][output.port];
+}
+
+const std::vector<InputRef>& SystemModel::system_input_consumers(
+    std::uint32_t index) const {
+  PROPANE_REQUIRE(index < system_input_consumers_.size());
+  return system_input_consumers_[index];
+}
+
+const std::vector<std::uint32_t>& SystemModel::output_system_outputs(
+    OutputRef output) const {
+  PROPANE_REQUIRE(output.module < modules_.size());
+  PROPANE_REQUIRE(output.port < output_sys_outputs_[output.module].size());
+  return output_sys_outputs_[output.module][output.port];
+}
+
+bool SystemModel::output_is_system_output(OutputRef output) const {
+  return !output_system_outputs(output).empty();
+}
+
+std::optional<ModuleId> SystemModel::find_module(std::string_view name) const {
+  for (std::size_t i = 0; i < modules_.size(); ++i) {
+    if (modules_[i].name == name) return static_cast<ModuleId>(i);
+  }
+  return std::nullopt;
+}
+
+std::optional<PortIndex> SystemModel::find_input(ModuleId id,
+                                                 std::string_view name) const {
+  const auto& names = module(id).input_names;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return static_cast<PortIndex>(i);
+  }
+  return std::nullopt;
+}
+
+std::optional<PortIndex> SystemModel::find_output(ModuleId id,
+                                                  std::string_view name) const {
+  const auto& names = module(id).output_names;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return static_cast<PortIndex>(i);
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint32_t> SystemModel::find_system_input(
+    std::string_view name) const {
+  for (std::size_t i = 0; i < system_inputs_.size(); ++i) {
+    if (system_inputs_[i] == name) return static_cast<std::uint32_t>(i);
+  }
+  return std::nullopt;
+}
+
+std::string SystemModel::input_name(InputRef input) const {
+  PROPANE_REQUIRE(input.module < modules_.size());
+  PROPANE_REQUIRE(input.port < modules_[input.module].input_names.size());
+  return modules_[input.module].name + "." +
+         modules_[input.module].input_names[input.port];
+}
+
+std::string SystemModel::output_name(OutputRef output) const {
+  PROPANE_REQUIRE(output.module < modules_.size());
+  PROPANE_REQUIRE(output.port < modules_[output.module].output_names.size());
+  return modules_[output.module].name + "." +
+         modules_[output.module].output_names[output.port];
+}
+
+std::string SystemModel::signal_name(const SignalRef& signal) const {
+  if (signal.kind == SourceKind::kSystemInput) {
+    return system_input_name(signal.system_input);
+  }
+  PROPANE_REQUIRE(signal.output.module < modules_.size());
+  const auto& info = modules_[signal.output.module];
+  PROPANE_REQUIRE(signal.output.port < info.output_names.size());
+  return info.output_names[signal.output.port];
+}
+
+std::size_t SystemModel::io_pair_count() const {
+  std::size_t count = 0;
+  for (const auto& info : modules_) {
+    count += info.input_count() * info.output_count();
+  }
+  return count;
+}
+
+std::vector<SignalRef> SystemModel::all_signals() const {
+  std::vector<SignalRef> signals;
+  for (std::uint32_t i = 0; i < system_inputs_.size(); ++i) {
+    signals.push_back(SignalRef::from_system_input(i));
+  }
+  for (ModuleId m = 0; m < modules_.size(); ++m) {
+    for (PortIndex k = 0; k < modules_[m].output_count(); ++k) {
+      signals.push_back(SignalRef::from_output(OutputRef{m, k}));
+    }
+  }
+  return signals;
+}
+
+// ---------------------------------------------------------------------------
+// Builder
+
+ModuleId SystemModelBuilder::add_module(std::string name,
+                                        std::vector<std::string> inputs,
+                                        std::vector<std::string> outputs) {
+  PROPANE_REQUIRE_MSG(!name.empty(), "module name must be non-empty");
+  PROPANE_REQUIRE_MSG(!model_.find_module(name).has_value(),
+                      "duplicate module name: " + name);
+  auto unique = [](const std::vector<std::string>& names) {
+    std::unordered_set<std::string_view> seen;
+    for (const auto& n : names) {
+      if (n.empty() || !seen.insert(n).second) return false;
+    }
+    return true;
+  };
+  PROPANE_REQUIRE_MSG(unique(inputs),
+                      "input port names must be unique and non-empty");
+  PROPANE_REQUIRE_MSG(unique(outputs),
+                      "output port names must be unique and non-empty");
+
+  const auto id = static_cast<ModuleId>(model_.modules_.size());
+  model_.modules_.push_back(
+      ModuleInfo{std::move(name), std::move(inputs), std::move(outputs)});
+  const ModuleInfo& info = model_.modules_.back();
+  model_.input_sources_.emplace_back(info.input_count());
+  model_.output_consumers_.emplace_back(info.output_count());
+  model_.output_sys_outputs_.emplace_back(info.output_count());
+  input_connected_.emplace_back(info.input_count(), false);
+  return id;
+}
+
+std::uint32_t SystemModelBuilder::add_system_input(std::string name) {
+  PROPANE_REQUIRE_MSG(!name.empty(), "system input name must be non-empty");
+  PROPANE_REQUIRE_MSG(!model_.find_system_input(name).has_value(),
+                      "duplicate system input name: " + name);
+  model_.system_inputs_.push_back(std::move(name));
+  model_.system_input_consumers_.emplace_back();
+  return static_cast<std::uint32_t>(model_.system_inputs_.size() - 1);
+}
+
+ModuleId SystemModelBuilder::require_module(std::string_view name) const {
+  const auto id = model_.find_module(name);
+  PROPANE_REQUIRE_MSG(id.has_value(),
+                      "unknown module: " + std::string(name));
+  return *id;
+}
+
+PortIndex SystemModelBuilder::require_input(ModuleId id,
+                                            std::string_view name) const {
+  const auto port = model_.find_input(id, name);
+  PROPANE_REQUIRE_MSG(port.has_value(),
+                      "unknown input port: " + model_.module_name(id) + "." +
+                          std::string(name));
+  return *port;
+}
+
+PortIndex SystemModelBuilder::require_output(ModuleId id,
+                                             std::string_view name) const {
+  const auto port = model_.find_output(id, name);
+  PROPANE_REQUIRE_MSG(port.has_value(),
+                      "unknown output port: " + model_.module_name(id) + "." +
+                          std::string(name));
+  return *port;
+}
+
+void SystemModelBuilder::connect(std::string_view from_module,
+                                 std::string_view output,
+                                 std::string_view to_module,
+                                 std::string_view input) {
+  const ModuleId from = require_module(from_module);
+  const ModuleId to = require_module(to_module);
+  const OutputRef out{from, require_output(from, output)};
+  const InputRef in{to, require_input(to, input)};
+  PROPANE_REQUIRE_MSG(!input_connected_[in.module][in.port],
+                      "input already driven: " + model_.input_name(in));
+  input_connected_[in.module][in.port] = true;
+  model_.input_sources_[in.module][in.port] = Source::from_output(out);
+  model_.output_consumers_[out.module][out.port].push_back(in);
+}
+
+void SystemModelBuilder::connect_system_input(std::string_view system_input,
+                                              std::string_view to_module,
+                                              std::string_view input) {
+  const auto sys = model_.find_system_input(system_input);
+  PROPANE_REQUIRE_MSG(sys.has_value(),
+                      "unknown system input: " + std::string(system_input));
+  const ModuleId to = require_module(to_module);
+  const InputRef in{to, require_input(to, input)};
+  PROPANE_REQUIRE_MSG(!input_connected_[in.module][in.port],
+                      "input already driven: " + model_.input_name(in));
+  input_connected_[in.module][in.port] = true;
+  model_.input_sources_[in.module][in.port] = Source::from_system_input(*sys);
+  model_.system_input_consumers_[*sys].push_back(in);
+}
+
+std::uint32_t SystemModelBuilder::add_system_output(std::string name,
+                                                    std::string_view from_module,
+                                                    std::string_view output) {
+  PROPANE_REQUIRE_MSG(!name.empty(), "system output name must be non-empty");
+  for (const auto& existing : model_.system_output_names_) {
+    PROPANE_REQUIRE_MSG(existing != name,
+                        "duplicate system output name: " + name);
+  }
+  const ModuleId from = require_module(from_module);
+  const OutputRef out{from, require_output(from, output)};
+  model_.system_output_names_.push_back(std::move(name));
+  model_.system_output_sources_.push_back(out);
+  const auto index =
+      static_cast<std::uint32_t>(model_.system_output_names_.size() - 1);
+  model_.output_sys_outputs_[out.module][out.port].push_back(index);
+  return index;
+}
+
+SystemModel SystemModelBuilder::build() && {
+  PROPANE_REQUIRE_MSG(!model_.modules_.empty(),
+                      "a system needs at least one module");
+  for (ModuleId m = 0; m < model_.modules_.size(); ++m) {
+    for (PortIndex i = 0; i < model_.modules_[m].input_count(); ++i) {
+      PROPANE_REQUIRE_MSG(
+          input_connected_[m][i],
+          "dangling input: " + model_.input_name(InputRef{m, i}));
+    }
+  }
+  PROPANE_REQUIRE_MSG(!model_.system_output_names_.empty(),
+                      "a system needs at least one system output");
+  return std::move(model_);
+}
+
+}  // namespace propane::core

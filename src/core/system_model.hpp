@@ -1,0 +1,199 @@
+// Software system model (Section 3 of Hiller/Jhumka/Suri, DSN 2001).
+//
+// A system is a set of black-box modules with named input and output ports,
+// inter-linked by signals "much like hardware components on a circuit
+// board". A signal originates either externally (a *system input*, e.g. a
+// sensor register) or internally (a module output), and terminates at module
+// inputs and/or *system outputs* (e.g. an actuator register).
+//
+// The model is immutable once built; construct it with SystemModelBuilder,
+// which validates the wiring (every module input driven by exactly one
+// source, every system output driven by a module output, unique names).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace propane::core {
+
+using ModuleId = std::uint32_t;
+using PortIndex = std::uint32_t;
+
+/// Identifies one input port of one module.
+struct InputRef {
+  ModuleId module = 0;
+  PortIndex port = 0;
+
+  friend bool operator==(const InputRef&, const InputRef&) = default;
+  friend auto operator<=>(const InputRef&, const InputRef&) = default;
+};
+
+/// Identifies one output port of one module. A module output *is* a signal
+/// source; the paper names signals after the outputs that produce them.
+struct OutputRef {
+  ModuleId module = 0;
+  PortIndex port = 0;
+
+  friend bool operator==(const OutputRef&, const OutputRef&) = default;
+  friend auto operator<=>(const OutputRef&, const OutputRef&) = default;
+};
+
+/// What drives a module input (or a system output).
+enum class SourceKind : std::uint8_t {
+  kSystemInput,   ///< external signal entering the system
+  kModuleOutput,  ///< signal produced by a module inside the system
+};
+
+/// A signal source: either the index of a system input or a module output.
+struct Source {
+  SourceKind kind = SourceKind::kSystemInput;
+  std::uint32_t system_input = 0;  ///< valid when kind == kSystemInput
+  OutputRef output;                ///< valid when kind == kModuleOutput
+
+  static Source from_system_input(std::uint32_t index) {
+    Source s;
+    s.kind = SourceKind::kSystemInput;
+    s.system_input = index;
+    return s;
+  }
+  static Source from_output(OutputRef out) {
+    Source s;
+    s.kind = SourceKind::kModuleOutput;
+    s.output = out;
+    return s;
+  }
+
+  friend bool operator==(const Source&, const Source&) = default;
+};
+
+/// A signal in the sense of the paper: something error exposure can be
+/// computed for. Same shape as Source but kept as a distinct name at API
+/// boundaries that talk about signals rather than wiring.
+using SignalRef = Source;
+
+/// Immutable description of one module: its name and port names.
+struct ModuleInfo {
+  std::string name;
+  std::vector<std::string> input_names;
+  std::vector<std::string> output_names;
+
+  std::size_t input_count() const { return input_names.size(); }
+  std::size_t output_count() const { return output_names.size(); }
+};
+
+/// Immutable, validated system wiring.
+class SystemModel {
+ public:
+  std::size_t module_count() const { return modules_.size(); }
+  std::size_t system_input_count() const { return system_inputs_.size(); }
+  std::size_t system_output_count() const {
+    return system_output_names_.size();
+  }
+
+  const ModuleInfo& module(ModuleId id) const;
+  const std::string& module_name(ModuleId id) const;
+  const std::string& system_input_name(std::uint32_t index) const;
+  const std::string& system_output_name(std::uint32_t index) const;
+
+  /// The module output that drives system output `index`.
+  OutputRef system_output_source(std::uint32_t index) const;
+
+  /// The source driving a given module input.
+  const Source& input_source(InputRef input) const;
+
+  /// All module inputs consuming a given module output.
+  const std::vector<InputRef>& output_consumers(OutputRef output) const;
+
+  /// All module inputs consuming a given system input.
+  const std::vector<InputRef>& system_input_consumers(
+      std::uint32_t index) const;
+
+  /// System outputs driven by this module output (usually 0 or 1).
+  const std::vector<std::uint32_t>& output_system_outputs(
+      OutputRef output) const;
+
+  /// True if this output drives at least one system output.
+  bool output_is_system_output(OutputRef output) const;
+
+  /// Module lookup by name; nullopt when absent.
+  std::optional<ModuleId> find_module(std::string_view name) const;
+  /// Port lookups by name within a module; nullopt when absent.
+  std::optional<PortIndex> find_input(ModuleId id, std::string_view name) const;
+  std::optional<PortIndex> find_output(ModuleId id,
+                                       std::string_view name) const;
+  std::optional<std::uint32_t> find_system_input(std::string_view name) const;
+
+  /// Human-readable names.
+  std::string input_name(InputRef input) const;   // "CALC.mscnt"
+  std::string output_name(OutputRef output) const;  // "CALC.SetValue"
+  /// Signal display name: system-input name or producing-output port name
+  /// ("PACNT", "SetValue").
+  std::string signal_name(const SignalRef& signal) const;
+
+  /// Total number of (input, output) pairs over all modules; 25 for the
+  /// paper's target system.
+  std::size_t io_pair_count() const;
+
+  /// All signals of the system: every system input and every module output,
+  /// in a stable order (system inputs first, then outputs module-major).
+  std::vector<SignalRef> all_signals() const;
+
+ private:
+  friend class SystemModelBuilder;
+
+  std::vector<ModuleInfo> modules_;
+  std::vector<std::string> system_inputs_;
+  std::vector<std::string> system_output_names_;
+  std::vector<OutputRef> system_output_sources_;
+  // Wiring, indexed [module][input port].
+  std::vector<std::vector<Source>> input_sources_;
+  // Fan-out, indexed [module][output port].
+  std::vector<std::vector<std::vector<InputRef>>> output_consumers_;
+  std::vector<std::vector<std::vector<std::uint32_t>>> output_sys_outputs_;
+  // Fan-out of system inputs.
+  std::vector<std::vector<InputRef>> system_input_consumers_;
+};
+
+/// Incrementally assembles a SystemModel. All connect calls are by name;
+/// build() validates and freezes the model.
+class SystemModelBuilder {
+ public:
+  /// Adds a module with its input and output port names (unique per module).
+  /// Returns the module id used by the rest of the API.
+  ModuleId add_module(std::string name, std::vector<std::string> inputs,
+                      std::vector<std::string> outputs);
+
+  /// Declares an external system input signal.
+  std::uint32_t add_system_input(std::string name);
+
+  /// Connects module `from`'s output port to module `to`'s input port.
+  void connect(std::string_view from_module, std::string_view output,
+               std::string_view to_module, std::string_view input);
+
+  /// Routes a system input to a module input port.
+  void connect_system_input(std::string_view system_input,
+                            std::string_view to_module,
+                            std::string_view input);
+
+  /// Declares a system output fed by a module output port.
+  std::uint32_t add_system_output(std::string name, std::string_view from_module,
+                                  std::string_view output);
+
+  /// Validates and returns the immutable model. Throws ContractViolation on
+  /// dangling inputs, unknown names, duplicate names, or double-driven
+  /// inputs.
+  SystemModel build() &&;
+
+ private:
+  ModuleId require_module(std::string_view name) const;
+  PortIndex require_input(ModuleId id, std::string_view name) const;
+  PortIndex require_output(ModuleId id, std::string_view name) const;
+
+  SystemModel model_;
+  std::vector<std::vector<bool>> input_connected_;
+};
+
+}  // namespace propane::core

@@ -1,0 +1,90 @@
+#include "exp/criticality.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "arrestment/signals.hpp"
+#include "common/strings.hpp"
+#include "fi/golden.hpp"
+
+namespace propane::exp {
+
+CriticalityStudy run_criticality_study(const ExperimentScale& scale) {
+  const auto cases =
+      scale.custom_cases.empty()
+          ? arr::grid_test_cases(scale.mass_count, scale.velocity_count)
+          : scale.custom_cases;
+  const auto config = make_campaign_config(scale);
+
+  fi::SignalBus reference;
+  const arr::BusMap map = arr::build_bus(reference);
+
+  // Golden runs per test case (for output-deviation classification).
+  std::vector<fi::TraceSet> goldens;
+  for (const auto& tc : cases) {
+    arr::RunOptions options;
+    options.duration = scale.duration;
+    goldens.push_back(arr::run_arrestment(tc, options).trace);
+  }
+
+  std::map<fi::BusSignalId, SignalCriticality> by_signal;
+  CriticalityStudy study;
+  for (const auto& spec : config.injections) {
+    for (std::size_t tc = 0; tc < cases.size(); ++tc) {
+      arr::RunOptions options;
+      options.duration = scale.duration;
+      options.injection = spec;
+      const arr::RunOutcome outcome =
+          arr::run_arrestment(cases[tc], options);
+      ++study.total_runs;
+
+      auto [it, inserted] =
+          by_signal.emplace(spec.target, SignalCriticality{});
+      SignalCriticality& entry = it->second;
+      if (inserted) entry.signal = reference.name(spec.target);
+      ++entry.injections;
+
+      const bool failed = !outcome.arrested || outcome.overrun;
+      if (failed) {
+        ++entry.failures;
+        continue;
+      }
+      const auto report =
+          fi::compare_to_golden(goldens[tc], outcome.trace);
+      if (report.per_signal[map.toc2].diverged) {
+        ++entry.degraded;
+      } else {
+        ++entry.benign;
+      }
+    }
+  }
+
+  study.signals.reserve(by_signal.size());
+  for (auto& [id, entry] : by_signal) study.signals.push_back(entry);
+  std::stable_sort(study.signals.begin(), study.signals.end(),
+                   [](const SignalCriticality& a,
+                      const SignalCriticality& b) {
+                     if (a.failure_probability() != b.failure_probability()) {
+                       return a.failure_probability() >
+                              b.failure_probability();
+                     }
+                     return a.effect_probability() > b.effect_probability();
+                   });
+  return study;
+}
+
+TextTable criticality_table(const CriticalityStudy& study) {
+  TextTable table({"Signal", "n", "benign", "degraded", "failures",
+                   "P(failure)", "P(effect)"});
+  for (const SignalCriticality& entry : study.signals) {
+    table.add_row({entry.signal, std::to_string(entry.injections),
+                   std::to_string(entry.benign),
+                   std::to_string(entry.degraded),
+                   std::to_string(entry.failures),
+                   format_double(entry.failure_probability(), 3),
+                   format_double(entry.effect_probability(), 3)});
+  }
+  return table;
+}
+
+}  // namespace propane::exp

@@ -1,0 +1,53 @@
+// Signal criticality study (the FMECA tie-in of Section 1: "Error
+// propagation analysis can also complement other analysis activities, for
+// instance FMECA ... modules and signals found to be vulnerable and/or
+// critical during propagation analysis might be given more attention").
+//
+// Every injection run is classified by operational outcome:
+//   benign          -- the system output never deviated from the golden run
+//   degraded        -- the output deviated, but the aircraft still arrested
+//                      within the runway and load limits
+//   mission failure -- overrun, overload or no arrest within the run
+// aggregated per injected signal. This turns the propagation measures into
+// the criticality axis an FMECA wants.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/paper_experiment.hpp"
+
+namespace propane::exp {
+
+struct SignalCriticality {
+  std::string signal;
+  std::size_t injections = 0;
+  std::size_t benign = 0;
+  std::size_t degraded = 0;
+  std::size_t failures = 0;
+
+  double failure_probability() const {
+    return injections == 0 ? 0.0
+                           : static_cast<double>(failures) /
+                                 static_cast<double>(injections);
+  }
+  double effect_probability() const {  // degraded or worse
+    return injections == 0 ? 0.0
+                           : static_cast<double>(degraded + failures) /
+                                 static_cast<double>(injections);
+  }
+};
+
+struct CriticalityStudy {
+  std::vector<SignalCriticality> signals;  // sorted by failure probability
+  std::size_t total_runs = 0;
+};
+
+/// Runs the injection plan of `scale` against the single-node target and
+/// classifies every run.
+CriticalityStudy run_criticality_study(const ExperimentScale& scale);
+
+/// Renders the study as a table (one row per injected signal).
+TextTable criticality_table(const CriticalityStudy& study);
+
+}  // namespace propane::exp

@@ -1,0 +1,85 @@
+// The paper's experiment (Sections 7-8), packaged: run the fault-injection
+// campaign on the arrestment system, estimate the 25 error permeabilities
+// (Table 1), and derive module measures (Table 2), signal exposures
+// (Table 3), ranked propagation paths (Table 4) and placement advice.
+//
+// Scales:
+//   * paper_scale()   -- the full Section 7.3 setup: 25 test cases x
+//                        16 bit positions x 10 instants = 4,000 injections
+//                        per target signal (52,000 runs for 13 targets).
+//   * default_scale() -- a reduced grid for interactive use and CI.
+//   * scale_from_env()-- picks via PROPANE_SCALE (full | default | small).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "arrestment/model.hpp"
+#include "arrestment/system.hpp"
+#include "arrestment/testcase.hpp"
+#include "common/table.hpp"
+#include "core/analysis.hpp"
+#include "fi/campaign.hpp"
+#include "fi/estimator.hpp"
+
+namespace propane::exp {
+
+struct ExperimentScale {
+  std::string name = "default";
+  std::size_t mass_count = 2;
+  std::size_t velocity_count = 2;
+  /// Non-empty overrides the mass/velocity grid (workload ablation).
+  std::vector<arr::TestCase> custom_cases;
+  std::vector<sim::SimTime> instants;
+  std::vector<fi::ErrorModel> models;  // per-injection error family
+  std::size_t threads = 0;
+  std::uint64_t seed = 0x1DEA;
+  sim::SimTime duration = arr::kRunDuration;
+
+  std::size_t test_case_count() const {
+    return custom_cases.empty() ? mass_count * velocity_count
+                                : custom_cases.size();
+  }
+  /// Injections per target signal.
+  std::size_t injections_per_target() const {
+    return models.size() * instants.size() * test_case_count();
+  }
+};
+
+/// Full Section 7.3 scale.
+ExperimentScale paper_scale();
+/// Reduced scale: 2x2 test cases, 3 instants, all 16 bit flips.
+ExperimentScale default_scale();
+/// Minimal smoke scale for unit tests: 1 test case, 2 instants, 4 flips.
+ExperimentScale smoke_scale();
+/// Chooses via the PROPANE_SCALE environment variable.
+ExperimentScale scale_from_env();
+
+/// Everything the paper's evaluation derives, in one bundle.
+struct PaperExperiment {
+  ExperimentScale scale;
+  core::SystemModel model;
+  fi::SignalBinding binding;
+  std::vector<arr::TestCase> cases;
+  fi::CampaignConfig config;
+  fi::CampaignResult campaign;
+  fi::EstimationResult estimation;
+  core::AnalysisReport report;
+};
+
+/// Runs the campaign and the complete analysis pipeline.
+PaperExperiment run_paper_experiment(const ExperimentScale& scale);
+
+/// Builds just the campaign config (plan) for a scale -- used by benches
+/// that need variations (different error models, workloads).
+fi::CampaignConfig make_campaign_config(const ExperimentScale& scale);
+
+/// Table 1: estimated error permeability of every injected I/O pair, with
+/// raw counts and 95% Wilson intervals.
+TextTable table1_permeability(const PaperExperiment& experiment);
+
+/// One-line description of the scale (printed by every bench).
+std::string describe(const ExperimentScale& scale);
+
+}  // namespace propane::exp

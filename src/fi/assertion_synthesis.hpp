@@ -1,0 +1,57 @@
+// Assertion synthesis: derive executable-assertion parameters (range and
+// rate bounds) for every signal from golden-run traces.
+//
+// The paper's EDMs are executable assertions in the style of [7, 11, 16];
+// writing their bounds by hand requires application knowledge. This helper
+// mines them from fault-free executions instead: the observed envelope
+// plus a configurable guard band. Bounds derived this way never fire on
+// the golden runs they were mined from.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "fi/edm.hpp"
+#include "fi/erm.hpp"
+#include "fi/trace.hpp"
+
+namespace propane::fi {
+
+/// Fault-free behavioural envelope of one signal.
+struct SignalProfile {
+  std::uint16_t min = 0;
+  std::uint16_t max = 0;
+  /// Largest wrap-aware sample-to-sample change observed.
+  std::uint16_t max_delta = 0;
+  /// True when the signal's raw values span more than half the 16-bit
+  /// range (wrapping counters); range assertions are useless there.
+  bool wraps = false;
+};
+
+struct SynthesisOptions {
+  /// Absolute slack added on each side of the observed range.
+  std::uint16_t range_margin = 64;
+  /// Multiplier applied to the observed maximum delta.
+  double rate_factor = 2.0;
+  /// Raw span beyond which a signal is treated as wrapping.
+  std::uint16_t wrap_span = 49152;  // 3/4 of the range
+};
+
+/// Mines one profile per signal over all golden runs.
+std::vector<SignalProfile> profile_signals(std::span<const TraceSet> goldens);
+
+/// Builds range+rate EDMs for `signal` from its profile (range check
+/// omitted for wrapping signals).
+void add_synthesized_edms(EdmMonitor& monitor, BusSignalId signal,
+                          const SignalProfile& profile,
+                          const SynthesisOptions& options = {});
+
+/// Builds a hold-last-good ERM for `signal` from its profile; returns
+/// false (and adds nothing) for wrapping signals.
+bool add_synthesized_erm(ErmHarness& harness, BusSignalId signal,
+                         const SignalProfile& profile,
+                         const SynthesisOptions& options = {});
+
+}  // namespace propane::fi

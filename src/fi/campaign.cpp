@@ -1,0 +1,78 @@
+#include "fi/campaign.hpp"
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+
+namespace propane::fi {
+
+std::optional<BusSignalId> CampaignResult::find_signal(
+    std::string_view name) const {
+  for (std::size_t i = 0; i < signal_names.size(); ++i) {
+    if (signal_names[i] == name) return static_cast<BusSignalId>(i);
+  }
+  return std::nullopt;
+}
+
+CampaignResult run_campaign(const RunFunction& run,
+                            const CampaignConfig& config) {
+  PROPANE_REQUIRE(run != nullptr);
+  PROPANE_REQUIRE(config.test_case_count > 0);
+
+  CampaignResult result;
+  result.goldens.resize(config.test_case_count);
+  result.records.resize(static_cast<std::size_t>(config.test_case_count) *
+                        config.injections.size());
+
+  ThreadPool pool(config.threads);
+
+  // Per-run seeds are a pure function of (master seed, run identity), so
+  // scheduling order cannot affect the results.
+  const auto seed_for = [&config](std::uint64_t kind, std::uint64_t index) {
+    std::uint64_t s = config.seed ^ (kind * 0xD1B54A32D192ED03ULL) ^
+                      (index * 0x9E3779B97F4A7C15ULL);
+    return splitmix64(s);
+  };
+
+  // Phase 1: golden runs.
+  pool.parallel_for(0, config.test_case_count, [&](std::size_t tc) {
+    RunRequest request;
+    request.test_case = static_cast<std::uint32_t>(tc);
+    request.rng_seed = seed_for(0, tc);
+    result.goldens[tc] = run(request);
+  });
+
+  for (const TraceSet& golden : result.goldens) {
+    PROPANE_CHECK_MSG(golden.sample_count() > 0,
+                      "golden run produced an empty trace");
+  }
+  // All runs cover the same signal set; capture the names once.
+  result.signal_names.reserve(result.goldens.front().signal_count());
+  for (BusSignalId s = 0; s < result.goldens.front().signal_count(); ++s) {
+    result.signal_names.push_back(result.goldens.front().signal_name(s));
+  }
+
+  // Phase 2: injection runs, injection-major.
+  const std::size_t total = result.records.size();
+  pool.parallel_for(0, total, [&](std::size_t flat) {
+    const std::size_t inj = flat / config.test_case_count;
+    const std::size_t tc = flat % config.test_case_count;
+    RunRequest request;
+    request.test_case = static_cast<std::uint32_t>(tc);
+    request.injection = config.injections[inj];
+    request.rng_seed = seed_for(1, flat);
+    const TraceSet trace = run(request);
+
+    InjectionRecord& record = result.records[flat];
+    record.injection_index = static_cast<std::uint32_t>(inj);
+    record.test_case = static_cast<std::uint32_t>(tc);
+    record.target = config.injections[inj].target;
+    record.when = config.injections[inj].when;
+    record.model_name = config.injections[inj].model.name;
+    record.report = compare_to_golden(result.goldens[tc], trace);
+  });
+
+  return result;
+}
+
+}  // namespace propane::fi

@@ -1,0 +1,76 @@
+// Fault-injection campaign orchestration (Sections 6, 7.3).
+//
+// A campaign executes, for every workload test case, one Golden Run plus
+// one Injection Run per planned injection, then reduces each IR trace to a
+// per-signal first-divergence report against that test case's GR.
+//
+// The system under test is supplied as a RunFunction that builds a *fresh*
+// system instance, runs it to completion and returns the trace. It must be
+// callable concurrently from multiple threads; determinism comes from the
+// per-run seed in the request, never from shared state.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fi/golden.hpp"
+#include "fi/injection.hpp"
+#include "fi/trace.hpp"
+
+namespace propane::fi {
+
+/// One run order handed to the system under test.
+struct RunRequest {
+  std::uint32_t test_case = 0;
+  std::optional<InjectionSpec> injection;  // nullopt = golden run
+  std::uint64_t rng_seed = 0;  // stream for stochastic error models
+};
+
+using RunFunction = std::function<TraceSet(const RunRequest&)>;
+
+struct CampaignConfig {
+  /// Number of workload test cases (the paper uses 25: 5 masses x 5
+  /// velocities).
+  std::uint32_t test_case_count = 1;
+  /// Injection plan; every entry is run once per test case.
+  std::vector<InjectionSpec> injections;
+  /// Master seed; each run gets an independent derived stream.
+  std::uint64_t seed = 0x9E3779B9;
+  /// Worker threads (0 = hardware concurrency).
+  std::size_t threads = 0;
+};
+
+/// Outcome of one injection run, reduced to first divergences. The
+/// injection identity (target, time, model name) is embedded so results
+/// can be analysed without the originating config.
+struct InjectionRecord {
+  std::uint32_t injection_index = 0;  // into CampaignConfig::injections
+  std::uint32_t test_case = 0;
+  BusSignalId target = 0;
+  sim::SimTime when = 0;
+  std::string model_name;
+  DivergenceReport report;
+};
+
+struct CampaignResult {
+  /// Signal names in bus order (defines DivergenceReport indexing).
+  std::vector<std::string> signal_names;
+  /// Golden runs, indexed by test case.
+  std::vector<TraceSet> goldens;
+  /// One record per (injection, test case), injection-major order.
+  std::vector<InjectionRecord> records;
+
+  std::size_t run_count() const { return goldens.size() + records.size(); }
+  std::optional<BusSignalId> find_signal(std::string_view name) const;
+};
+
+/// Executes the campaign. Golden runs execute first (in parallel), then all
+/// injection runs fan out over the worker pool. Results are deterministic
+/// in (config, run function) regardless of thread count.
+CampaignResult run_campaign(const RunFunction& run,
+                            const CampaignConfig& config);
+
+}  // namespace propane::fi

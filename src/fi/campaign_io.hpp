@@ -1,0 +1,25 @@
+// CSV export of campaign results: one row per (injection run, diverged
+// signal) pair plus a run-level summary. Lets the raw experimental data be
+// analysed outside the library (R/pandas/spreadsheets), which is how
+// fault-injection studies are usually post-processed.
+#pragma once
+
+#include <iosfwd>
+
+#include "fi/campaign.hpp"
+
+namespace propane::fi {
+
+/// Writes one row per injection record:
+///   injection_index,test_case,target,when_ms,model,diverged_signals
+/// where diverged_signals counts the signals that deviated from the GR.
+void write_campaign_summary_csv(std::ostream& out,
+                                const CampaignResult& campaign);
+
+/// Writes the full divergence detail: one row per (record, signal) with a
+/// divergence, including the first-divergence timestamp and values:
+///   injection_index,test_case,target,when_ms,model,signal,first_ms,
+///   golden_value,observed_value
+void write_divergence_csv(std::ostream& out, const CampaignResult& campaign);
+
+}  // namespace propane::fi

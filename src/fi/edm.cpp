@@ -1,0 +1,76 @@
+#include "fi/edm.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace propane::fi {
+
+RangeEdm::RangeEdm(BusSignalId signal, std::uint16_t lo, std::uint16_t hi)
+    : Edm("range[" + std::to_string(lo) + "," + std::to_string(hi) + "]",
+          signal),
+      lo_(lo),
+      hi_(hi) {
+  PROPANE_REQUIRE(lo <= hi);
+}
+
+bool RangeEdm::check(std::uint16_t value, std::uint64_t) {
+  return value >= lo_ && value <= hi_;
+}
+
+RateEdm::RateEdm(BusSignalId signal, std::uint16_t max_delta)
+    : Edm("rate[" + std::to_string(max_delta) + "]", signal),
+      max_delta_(max_delta) {}
+
+bool RateEdm::check(std::uint16_t value, std::uint64_t) {
+  if (!previous_.has_value()) {
+    previous_ = value;
+    return true;
+  }
+  const std::uint16_t diff =
+      static_cast<std::uint16_t>(value - *previous_);
+  const std::uint16_t wrap_diff =
+      static_cast<std::uint16_t>(*previous_ - value);
+  const std::uint16_t delta = std::min(diff, wrap_diff);
+  previous_ = value;
+  return delta <= max_delta_;
+}
+
+FrozenEdm::FrozenEdm(BusSignalId signal, std::uint64_t max_frozen_ms,
+                     std::uint64_t grace_ms)
+    : Edm("frozen[" + std::to_string(max_frozen_ms) + "ms]", signal),
+      max_frozen_ms_(max_frozen_ms),
+      grace_ms_(grace_ms) {
+  PROPANE_REQUIRE(max_frozen_ms > 0);
+}
+
+bool FrozenEdm::check(std::uint16_t value, std::uint64_t ms) {
+  if (!last_value_.has_value() || value != *last_value_) {
+    last_value_ = value;
+    last_change_ms_ = ms;
+    return true;
+  }
+  if (ms < grace_ms_) return true;
+  return (ms - last_change_ms_) <= max_frozen_ms_;
+}
+
+void EdmMonitor::add(std::unique_ptr<Edm> edm) {
+  PROPANE_REQUIRE(edm != nullptr);
+  edms_.push_back(std::move(edm));
+}
+
+void EdmMonitor::step(const SignalBus& bus, std::uint64_t ms) {
+  for (const auto& edm : edms_) {
+    const std::uint16_t value = bus.read(edm->signal());
+    if (!edm->check(value, ms)) {
+      events_.push_back(DetectionEvent{ms, edm->signal(), edm->name(), value});
+    }
+  }
+}
+
+std::optional<std::uint64_t> EdmMonitor::first_detection_ms() const {
+  if (events_.empty()) return std::nullopt;
+  return events_.front().ms;
+}
+
+}  // namespace propane::fi

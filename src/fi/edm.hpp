@@ -1,0 +1,109 @@
+// Error Detection Mechanisms: executable assertions on signals.
+//
+// Section 5 relates permeability/exposure to *where* EDMs pay off; OB3
+// stresses that "not only are the detection capabilities of EDM's
+// important, the locations are equally important". These checks are the
+// standard executable-assertion repertoire the paper cites ([7, 11, 16]):
+// range checks, rate (continuity) checks and frozen-signal checks.
+//
+// EDMs are stateful per run; create a fresh monitor for every run.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fi/signal_bus.hpp"
+
+namespace propane::fi {
+
+/// One assertion firing.
+struct DetectionEvent {
+  std::uint64_t ms = 0;
+  BusSignalId signal = 0;
+  std::string check;
+  std::uint16_t value = 0;
+};
+
+/// An executable assertion bound to one signal.
+class Edm {
+ public:
+  Edm(std::string name, BusSignalId signal)
+      : name_(std::move(name)), signal_(signal) {}
+  virtual ~Edm() = default;
+  Edm(const Edm&) = delete;
+  Edm& operator=(const Edm&) = delete;
+
+  const std::string& name() const { return name_; }
+  BusSignalId signal() const { return signal_; }
+
+  /// Returns true when `value` is acceptable at millisecond `ms`.
+  virtual bool check(std::uint16_t value, std::uint64_t ms) = 0;
+
+ private:
+  std::string name_;
+  BusSignalId signal_;
+};
+
+/// value must lie in [lo, hi].
+class RangeEdm final : public Edm {
+ public:
+  RangeEdm(BusSignalId signal, std::uint16_t lo, std::uint16_t hi);
+  bool check(std::uint16_t value, std::uint64_t ms) override;
+
+ private:
+  std::uint16_t lo_;
+  std::uint16_t hi_;
+};
+
+/// |value - previous| must not exceed max_delta (wrap-aware: the smaller
+/// of the two distances around the 16-bit circle is used). The first
+/// sample is always accepted.
+class RateEdm final : public Edm {
+ public:
+  RateEdm(BusSignalId signal, std::uint16_t max_delta);
+  bool check(std::uint16_t value, std::uint64_t ms) override;
+
+ private:
+  std::uint16_t max_delta_;
+  std::optional<std::uint16_t> previous_;
+};
+
+/// The signal must change at least once within every window of
+/// `max_frozen_ms` samples (a watchdog against stuck signals). Checking
+/// starts after the first `grace_ms` milliseconds.
+class FrozenEdm final : public Edm {
+ public:
+  FrozenEdm(BusSignalId signal, std::uint64_t max_frozen_ms,
+            std::uint64_t grace_ms = 0);
+  bool check(std::uint16_t value, std::uint64_t ms) override;
+
+ private:
+  std::uint64_t max_frozen_ms_;
+  std::uint64_t grace_ms_;
+  std::optional<std::uint16_t> last_value_;
+  std::uint64_t last_change_ms_ = 0;
+};
+
+/// Evaluates a set of EDMs against the bus once per millisecond and
+/// records every firing.
+class EdmMonitor {
+ public:
+  void add(std::unique_ptr<Edm> edm);
+  std::size_t size() const { return edms_.size(); }
+
+  /// Checks all EDMs against the current bus state.
+  void step(const SignalBus& bus, std::uint64_t ms);
+
+  const std::vector<DetectionEvent>& events() const { return events_; }
+  bool detected() const { return !events_.empty(); }
+  std::optional<std::uint64_t> first_detection_ms() const;
+
+ private:
+  std::vector<std::unique_ptr<Edm>> edms_;
+  std::vector<DetectionEvent> events_;
+};
+
+}  // namespace propane::fi

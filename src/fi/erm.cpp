@@ -1,0 +1,84 @@
+#include "fi/erm.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace propane::fi {
+
+ClampErm::ClampErm(BusSignalId signal, std::uint16_t lo, std::uint16_t hi)
+    : Erm("clamp[" + std::to_string(lo) + "," + std::to_string(hi) + "]",
+          signal),
+      lo_(lo),
+      hi_(hi) {
+  PROPANE_REQUIRE(lo <= hi);
+}
+
+std::optional<std::uint16_t> ClampErm::correct(std::uint16_t value,
+                                               std::uint64_t) {
+  if (value >= lo_ && value <= hi_) return std::nullopt;
+  return std::clamp(value, lo_, hi_);
+}
+
+HoldLastGoodErm::HoldLastGoodErm(BusSignalId signal, std::uint16_t lo,
+                                 std::uint16_t hi, std::uint16_t fallback)
+    : Erm("hold-last-good[" + std::to_string(lo) + "," + std::to_string(hi) +
+              "]",
+          signal),
+      lo_(lo),
+      hi_(hi),
+      last_good_(fallback) {
+  PROPANE_REQUIRE(lo <= hi);
+}
+
+std::optional<std::uint16_t> HoldLastGoodErm::correct(std::uint16_t value,
+                                                      std::uint64_t) {
+  if (value >= lo_ && value <= hi_) {
+    last_good_ = value;
+    return std::nullopt;
+  }
+  return last_good_;
+}
+
+RateLimitErm::RateLimitErm(BusSignalId signal, std::uint16_t max_delta)
+    : Erm("rate-limit[" + std::to_string(max_delta) + "]", signal),
+      max_delta_(max_delta) {}
+
+std::optional<std::uint16_t> RateLimitErm::correct(std::uint16_t value,
+                                                   std::uint64_t) {
+  if (!previous_.has_value()) {
+    previous_ = value;
+    return std::nullopt;
+  }
+  const std::int32_t delta =
+      static_cast<std::int32_t>(value) - static_cast<std::int32_t>(*previous_);
+  if (delta > static_cast<std::int32_t>(max_delta_)) {
+    previous_ = static_cast<std::uint16_t>(*previous_ + max_delta_);
+    return previous_;
+  }
+  if (delta < -static_cast<std::int32_t>(max_delta_)) {
+    previous_ = static_cast<std::uint16_t>(*previous_ - max_delta_);
+    return previous_;
+  }
+  previous_ = value;
+  return std::nullopt;
+}
+
+void ErmHarness::add(std::unique_ptr<Erm> erm) {
+  PROPANE_REQUIRE(erm != nullptr);
+  erms_.push_back(std::move(erm));
+}
+
+void ErmHarness::step(SignalBus& bus, std::uint64_t ms) {
+  for (const auto& erm : erms_) {
+    const std::uint16_t value = bus.read(erm->signal());
+    const auto corrected = erm->correct(value, ms);
+    if (corrected.has_value()) {
+      bus.write(erm->signal(), *corrected);
+      events_.push_back(
+          RecoveryEvent{ms, erm->signal(), erm->name(), value, *corrected});
+    }
+  }
+}
+
+}  // namespace propane::fi

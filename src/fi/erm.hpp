@@ -1,0 +1,111 @@
+// Error Recovery Mechanisms: in-place signal correction wrappers.
+//
+// Section 5's rule of thumb places ERMs where permeability is high, and
+// OB4/OB5 pick concrete signals (SetValue, OutValue, pulscnt) "since if
+// errors can be eliminated here, the system output will not be affected".
+// These wrappers implement forward recovery on one signal: when the
+// current value violates a validity condition, it is replaced by a
+// corrected value (clamped, or the last known-good value).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fi/signal_bus.hpp"
+
+namespace propane::fi {
+
+/// One recovery action taken.
+struct RecoveryEvent {
+  std::uint64_t ms = 0;
+  BusSignalId signal = 0;
+  std::string mechanism;
+  std::uint16_t rejected_value = 0;
+  std::uint16_t corrected_value = 0;
+};
+
+/// A recovery wrapper bound to one signal. Stateful per run.
+class Erm {
+ public:
+  Erm(std::string name, BusSignalId signal)
+      : name_(std::move(name)), signal_(signal) {}
+  virtual ~Erm() = default;
+  Erm(const Erm&) = delete;
+  Erm& operator=(const Erm&) = delete;
+
+  const std::string& name() const { return name_; }
+  BusSignalId signal() const { return signal_; }
+
+  /// Inspects `value`; returns a corrected value if recovery is needed,
+  /// nullopt when the value is acceptable.
+  virtual std::optional<std::uint16_t> correct(std::uint16_t value,
+                                               std::uint64_t ms) = 0;
+
+ private:
+  std::string name_;
+  BusSignalId signal_;
+};
+
+/// Clamps the value into [lo, hi].
+class ClampErm final : public Erm {
+ public:
+  ClampErm(BusSignalId signal, std::uint16_t lo, std::uint16_t hi);
+  std::optional<std::uint16_t> correct(std::uint16_t value,
+                                       std::uint64_t ms) override;
+
+ private:
+  std::uint16_t lo_;
+  std::uint16_t hi_;
+};
+
+/// Replaces out-of-range values with the last in-range value seen (or
+/// `fallback` if none yet): a hold-last-good recovery cell.
+class HoldLastGoodErm final : public Erm {
+ public:
+  HoldLastGoodErm(BusSignalId signal, std::uint16_t lo, std::uint16_t hi,
+                  std::uint16_t fallback = 0);
+  std::optional<std::uint16_t> correct(std::uint16_t value,
+                                       std::uint64_t ms) override;
+
+ private:
+  std::uint16_t lo_;
+  std::uint16_t hi_;
+  std::uint16_t last_good_;
+};
+
+/// Limits the per-millisecond change to max_delta by slewing towards the
+/// observed value (wrap-unaware by design: control signals here do not
+/// wrap in normal operation, so a huge jump is evidence of corruption).
+class RateLimitErm final : public Erm {
+ public:
+  RateLimitErm(BusSignalId signal, std::uint16_t max_delta);
+  std::optional<std::uint16_t> correct(std::uint16_t value,
+                                       std::uint64_t ms) override;
+
+ private:
+  std::uint16_t max_delta_;
+  std::optional<std::uint16_t> previous_;
+};
+
+/// Applies a set of ERMs to the bus once per millisecond, recording every
+/// correction it makes.
+class ErmHarness {
+ public:
+  void add(std::unique_ptr<Erm> erm);
+  std::size_t size() const { return erms_.size(); }
+
+  /// Checks all ERMs and writes corrections back to the bus.
+  void step(SignalBus& bus, std::uint64_t ms);
+
+  const std::vector<RecoveryEvent>& events() const { return events_; }
+  bool recovered() const { return !events_.empty(); }
+
+ private:
+  std::vector<std::unique_ptr<Erm>> erms_;
+  std::vector<RecoveryEvent> events_;
+};
+
+}  // namespace propane::fi

@@ -1,0 +1,100 @@
+#include "fi/error_model.hpp"
+
+#include "common/contracts.hpp"
+
+namespace propane::fi {
+
+ErrorModel bit_flip(unsigned bit) {
+  PROPANE_REQUIRE(bit < 16);
+  return ErrorModel{
+      "bitflip(" + std::to_string(bit) + ")",
+      [bit](std::uint16_t value, Rng&) {
+        return static_cast<std::uint16_t>(value ^ (1u << bit));
+      }};
+}
+
+ErrorModel stuck_at_zero(unsigned bit) {
+  PROPANE_REQUIRE(bit < 16);
+  return ErrorModel{
+      "stuck0(" + std::to_string(bit) + ")",
+      [bit](std::uint16_t value, Rng&) {
+        return static_cast<std::uint16_t>(value & ~(1u << bit));
+      }};
+}
+
+ErrorModel stuck_at_one(unsigned bit) {
+  PROPANE_REQUIRE(bit < 16);
+  return ErrorModel{
+      "stuck1(" + std::to_string(bit) + ")",
+      [bit](std::uint16_t value, Rng&) {
+        return static_cast<std::uint16_t>(value | (1u << bit));
+      }};
+}
+
+ErrorModel offset(std::int32_t delta) {
+  return ErrorModel{
+      "offset(" + std::to_string(delta) + ")",
+      [delta](std::uint16_t value, Rng&) {
+        return static_cast<std::uint16_t>(
+            static_cast<std::uint32_t>(value) +
+            static_cast<std::uint32_t>(delta));
+      }};
+}
+
+ErrorModel random_replacement() {
+  return ErrorModel{"random", [](std::uint16_t, Rng& rng) {
+                      return static_cast<std::uint16_t>(rng.bounded(65536));
+                    }};
+}
+
+ErrorModel set_value(std::uint16_t value) {
+  return ErrorModel{"set(" + std::to_string(value) + ")",
+                    [value](std::uint16_t, Rng&) { return value; }};
+}
+
+std::vector<ErrorModel> all_bit_flips() {
+  std::vector<ErrorModel> models;
+  models.reserve(16);
+  for (unsigned bit = 0; bit < 16; ++bit) models.push_back(bit_flip(bit));
+  return models;
+}
+
+std::vector<ErrorModel> all_stuck_at_zero() {
+  std::vector<ErrorModel> models;
+  models.reserve(16);
+  for (unsigned bit = 0; bit < 16; ++bit) {
+    models.push_back(stuck_at_zero(bit));
+  }
+  return models;
+}
+
+std::vector<ErrorModel> all_stuck_at_one() {
+  std::vector<ErrorModel> models;
+  models.reserve(16);
+  for (unsigned bit = 0; bit < 16; ++bit) {
+    models.push_back(stuck_at_one(bit));
+  }
+  return models;
+}
+
+std::vector<ErrorModel> offset_family() {
+  std::vector<ErrorModel> models;
+  for (std::int32_t magnitude = 1; magnitude <= 16384; magnitude *= 4) {
+    models.push_back(offset(magnitude));
+    models.push_back(offset(-magnitude));
+  }
+  return models;
+}
+
+std::vector<ErrorModel> random_family(std::size_t count) {
+  std::vector<ErrorModel> models;
+  models.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    ErrorModel model = random_replacement();
+    model.name = "random#" + std::to_string(i);
+    models.push_back(std::move(model));
+  }
+  return models;
+}
+
+}  // namespace propane::fi

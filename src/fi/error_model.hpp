@@ -1,0 +1,55 @@
+// Error models for SWIFI (Section 6).
+//
+// The paper's campaign uses single bit-flips in 16-bit signals; Section 6
+// argues that because the framework's measures are used *relatively*, the
+// exact error model matters less "assuming that the relative order of the
+// modules and signals when analysing permeability is maintained". The
+// additional models here (stuck-at, offset, random replacement) exist to
+// test exactly that claim (ablation bench A1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace propane::fi {
+
+/// A (named) transformation applied to a signal value at injection time.
+/// The Rng parameter serves models with a stochastic element; deterministic
+/// models ignore it.
+struct ErrorModel {
+  std::string name;
+  std::function<std::uint16_t(std::uint16_t value, Rng& rng)> apply;
+};
+
+/// Flips bit `bit` (0 = LSB .. 15 = MSB).
+ErrorModel bit_flip(unsigned bit);
+
+/// Forces bit `bit` to 0 / to 1.
+ErrorModel stuck_at_zero(unsigned bit);
+ErrorModel stuck_at_one(unsigned bit);
+
+/// Adds `delta` with wrap-around (two's complement).
+ErrorModel offset(std::int32_t delta);
+
+/// Replaces the value with a uniformly random 16-bit value.
+ErrorModel random_replacement();
+
+/// Replaces the value with a constant.
+ErrorModel set_value(std::uint16_t value);
+
+/// The paper's model family: one bit-flip model per bit position.
+std::vector<ErrorModel> all_bit_flips();
+
+/// Ablation families (bench A1).
+std::vector<ErrorModel> all_stuck_at_zero();
+std::vector<ErrorModel> all_stuck_at_one();
+/// Symmetric +/- power-of-two offsets: +-1, +-4, +-16, ... (16 models).
+std::vector<ErrorModel> offset_family();
+/// `count` independent random replacements (named distinctly).
+std::vector<ErrorModel> random_family(std::size_t count);
+
+}  // namespace propane::fi

@@ -1,0 +1,124 @@
+// Experimental estimation of error permeability (Section 6).
+//
+// "Suppose, for module M, we inject n_inj distinct errors in input i, and
+// at output k observe n_err differences compared to the GR's, then we can
+// directly estimate the error permeability P_{i,k} to be n_err / n_inj."
+//
+// Attribution follows Section 7.3: "We only took into account the direct
+// errors on the outputs" -- an output divergence is credited to the
+// injected input only if no *other* input of the module diverged strictly
+// earlier (otherwise the error re-entered through a different input, e.g.
+// via a feedback loop, and is not a direct permeation of the injection).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/permeability.hpp"
+#include "core/permeability_graph.hpp"
+#include "core/system_model.hpp"
+#include "fi/campaign.hpp"
+
+namespace propane::fi {
+
+/// Maps the analysis model's signals (system inputs and module outputs) to
+/// runtime bus signals. The campaign speaks BusSignalId; the estimator
+/// needs to know which bus variable realises which model signal.
+class SignalBinding {
+ public:
+  void bind(const core::SignalRef& signal, BusSignalId bus);
+  /// Convenience: binds by matching signal display names against bus names.
+  static SignalBinding by_name(const core::SystemModel& model,
+                               const std::vector<std::string>& bus_names);
+
+  BusSignalId bus_for(const core::SignalRef& signal) const;
+  bool is_bound(const core::SignalRef& signal) const;
+  std::size_t size() const { return map_.size(); }
+
+ private:
+  static std::pair<std::uint64_t, std::uint64_t> key(
+      const core::SignalRef& signal);
+  std::map<std::pair<std::uint64_t, std::uint64_t>, BusSignalId> map_;
+};
+
+/// Raw counts for one (module, input, output) pair.
+struct PairEstimate {
+  core::ArcId pair;
+  std::string input_name;   // name of the signal driving the input
+  std::string output_name;  // name of the output signal
+  std::size_t injections = 0;
+  std::size_t errors = 0;          // direct errors (used for P)
+  std::size_t indirect_errors = 0; // excluded by the direct-only rule
+
+  // Propagation latency (extension beyond the paper): milliseconds from
+  // the injection instant to the output's first divergence, over the
+  // direct errors.
+  std::uint64_t latency_min_ms = 0;
+  std::uint64_t latency_max_ms = 0;
+  double latency_sum_ms = 0.0;
+  std::size_t latency_count = 0;
+
+  double permeability() const {
+    return injections == 0
+               ? 0.0
+               : static_cast<double>(errors) / static_cast<double>(injections);
+  }
+  /// Mean input->output propagation latency of the direct errors [ms];
+  /// 0 when no direct error was observed.
+  double mean_latency_ms() const {
+    return latency_count == 0
+               ? 0.0
+               : latency_sum_ms / static_cast<double>(latency_count);
+  }
+  /// 95% Wilson score interval for the estimate.
+  Interval confidence() const;
+};
+
+struct EstimationOptions {
+  /// Apply the paper's direct-error attribution (Section 7.3). When false,
+  /// every observed output divergence counts.
+  bool direct_only = true;
+};
+
+struct EstimationResult {
+  core::SystemPermeability permeability;
+  std::vector<PairEstimate> pairs;  // module-major, input-major, output-major
+
+  const PairEstimate& pair(core::ModuleId module, core::PortIndex input,
+                           core::PortIndex output) const;
+};
+
+/// Reduces a campaign into permeability estimates for every I/O pair whose
+/// driving signal was an injection target. Pairs never injected keep
+/// P = 0 with injections == 0.
+EstimationResult estimate_permeability(const core::SystemModel& model,
+                                       const SignalBinding& binding,
+                                       const CampaignResult& campaign,
+                                       EstimationOptions options = {});
+
+/// Uniform-propagation statistics (related-work check against [12]): for
+/// every injection *location* -- a (target signal, error model) pair -- the
+/// fraction of its injections whose error reached any system output.
+/// [12] predicts these fractions cluster at 0 and 1; the paper disagrees.
+struct LocationPropagation {
+  std::string signal_name;
+  std::string model_name;
+  std::size_t injections = 0;
+  std::size_t propagated = 0;  // reached a system output signal
+
+  double fraction() const {
+    return injections == 0 ? 0.0
+                           : static_cast<double>(propagated) /
+                                 static_cast<double>(injections);
+  }
+};
+
+std::vector<LocationPropagation> location_propagation_stats(
+    const core::SystemModel& model, const SignalBinding& binding,
+    const CampaignResult& campaign);
+
+}  // namespace propane::fi

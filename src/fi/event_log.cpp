@@ -1,0 +1,51 @@
+#include "fi/event_log.hpp"
+
+#include "common/contracts.hpp"
+
+namespace propane::fi {
+
+void EventLog::record(std::uint64_t ms, std::string name) {
+  PROPANE_REQUIRE_MSG(!name.empty(), "event name must be non-empty");
+  PROPANE_REQUIRE_MSG(events_.empty() || events_.back().ms <= ms,
+                      "events must be recorded in time order");
+  events_.push_back(Event{ms, std::move(name)});
+}
+
+std::optional<std::uint64_t> EventLog::first(std::string_view name) const {
+  for (const Event& event : events_) {
+    if (event.name == name) return event.ms;
+  }
+  return std::nullopt;
+}
+
+std::size_t EventLog::count(std::string_view name) const {
+  std::size_t n = 0;
+  for (const Event& event : events_) {
+    if (event.name == name) ++n;
+  }
+  return n;
+}
+
+EventDivergence compare_event_logs(const EventLog& golden,
+                                   const EventLog& observed) {
+  const auto& g = golden.events();
+  const auto& o = observed.events();
+  const std::size_t common = std::min(g.size(), o.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    if (g[i].name != o[i].name) {
+      return EventDivergence{EventDivergence::Kind::kNameMismatch, i};
+    }
+    if (g[i].ms != o[i].ms) {
+      return EventDivergence{EventDivergence::Kind::kTimeMismatch, i};
+    }
+  }
+  if (o.size() < g.size()) {
+    return EventDivergence{EventDivergence::Kind::kMissing, common};
+  }
+  if (o.size() > g.size()) {
+    return EventDivergence{EventDivergence::Kind::kExtra, common};
+  }
+  return EventDivergence{};
+}
+
+}  // namespace propane::fi

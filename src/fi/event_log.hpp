@@ -1,0 +1,62 @@
+// Event traces (Section 6: PROPANE "is also capable of creating traces of
+// individual variables and different pre-defined events during the
+// execution"). An event log records named occurrences with their
+// millisecond timestamps; golden-run comparison of event sequences detects
+// behavioural divergence at a higher abstraction level than raw signal
+// traces (e.g. "checkpoint 3 fired 40 ms early").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace propane::fi {
+
+struct Event {
+  std::uint64_t ms = 0;
+  std::string name;
+
+  friend bool operator==(const Event&, const Event&) = default;
+};
+
+class EventLog {
+ public:
+  void record(std::uint64_t ms, std::string name);
+
+  const std::vector<Event>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+
+  /// Timestamp of the first event with this name, if any.
+  std::optional<std::uint64_t> first(std::string_view name) const;
+  /// Number of events with this name.
+  std::size_t count(std::string_view name) const;
+
+ private:
+  std::vector<Event> events_;
+};
+
+/// How two event sequences first differ.
+struct EventDivergence {
+  enum class Kind : std::uint8_t {
+    kNone,         ///< identical sequences
+    kNameMismatch, ///< different event at the same position
+    kTimeMismatch, ///< same event, different timestamp
+    kMissing,      ///< observed sequence ends early
+    kExtra,        ///< observed sequence has additional events
+  };
+
+  Kind kind = Kind::kNone;
+  /// Index of the first difference (valid unless kind == kNone).
+  std::size_t index = 0;
+
+  bool diverged() const { return kind != Kind::kNone; }
+};
+
+/// Compares an observed event sequence against the golden one; stops at
+/// the first difference (same discipline as the signal-trace comparison).
+EventDivergence compare_event_logs(const EventLog& golden,
+                                   const EventLog& observed);
+
+}  // namespace propane::fi

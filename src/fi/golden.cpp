@@ -1,0 +1,57 @@
+#include "fi/golden.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace propane::fi {
+
+bool DivergenceReport::any_divergence() const {
+  return std::any_of(per_signal.begin(), per_signal.end(),
+                     [](const Divergence& d) { return d.diverged; });
+}
+
+std::size_t DivergenceReport::divergence_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(per_signal.begin(), per_signal.end(),
+                    [](const Divergence& d) { return d.diverged; }));
+}
+
+DivergenceReport compare_to_golden(const TraceSet& golden,
+                                   const TraceSet& injected) {
+  PROPANE_REQUIRE_MSG(golden.signal_count() == injected.signal_count(),
+                      "trace sets must cover the same signals");
+  const std::size_t signals = golden.signal_count();
+  const std::size_t common =
+      std::min(golden.sample_count(), injected.sample_count());
+  const bool length_differs =
+      golden.sample_count() != injected.sample_count();
+
+  DivergenceReport report;
+  report.per_signal.resize(signals);
+  for (BusSignalId s = 0; s < signals; ++s) {
+    Divergence& d = report.per_signal[s];
+    for (std::size_t ms = 0; ms < common; ++ms) {
+      const std::uint16_t g = golden.value(ms, s);
+      const std::uint16_t o = injected.value(ms, s);
+      if (g != o) {
+        d.diverged = true;
+        d.first_ms = ms;
+        d.golden_value = g;
+        d.observed_value = o;
+        break;  // comparison stops at the first difference (Section 7.3)
+      }
+    }
+    if (!d.diverged && length_differs) {
+      // A run that ends earlier/later than the golden run differs in
+      // every signal from the first uncovered sample onwards.
+      d.diverged = true;
+      d.first_ms = common;
+      d.golden_value = 0;
+      d.observed_value = 0;
+    }
+  }
+  return report;
+}
+
+}  // namespace propane::fi

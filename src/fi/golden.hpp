@@ -1,0 +1,45 @@
+// Golden Run Comparison (Section 6).
+//
+// "A Golden Run is a trace of the system executing without any injections
+// being made ... All traces obtained from the injection runs are compared
+// to the GR, and any difference indicates that an error has occurred."
+// Per Section 7.3 the comparison of a signal stops at the first difference;
+// we record that first-divergence timestamp, which the estimator's
+// direct-error attribution relies on.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "fi/trace.hpp"
+
+namespace propane::fi {
+
+/// First divergence of one signal between golden and injection run.
+struct Divergence {
+  bool diverged = false;
+  /// Millisecond of the first differing sample (valid when diverged).
+  std::uint64_t first_ms = 0;
+  /// Values at the first difference (valid when diverged).
+  std::uint16_t golden_value = 0;
+  std::uint16_t observed_value = 0;
+};
+
+/// Per-signal divergence report for one injection run.
+struct DivergenceReport {
+  std::vector<Divergence> per_signal;  // indexed by BusSignalId
+
+  bool any_divergence() const;
+  std::size_t divergence_count() const;
+};
+
+/// Compares an injection-run trace against the golden run. Both traces
+/// must cover the same signals; if the runs have different lengths (e.g.
+/// the error changed the stop time) the common prefix is compared and any
+/// extra/missing samples count as a divergence at the first uncovered
+/// millisecond.
+DivergenceReport compare_to_golden(const TraceSet& golden,
+                                   const TraceSet& injected);
+
+}  // namespace propane::fi

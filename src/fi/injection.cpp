@@ -1,0 +1,44 @@
+#include "fi/injection.hpp"
+
+#include "common/contracts.hpp"
+
+namespace propane::fi {
+
+InjectionDriver::InjectionDriver(SignalBus& bus, InjectionSpec spec, Rng rng)
+    : bus_(bus), spec_(std::move(spec)), rng_(rng) {
+  PROPANE_REQUIRE(spec_.target < bus.signal_count());
+  PROPANE_REQUIRE(spec_.model.apply != nullptr);
+}
+
+bool InjectionDriver::maybe_fire(sim::SimTime now) {
+  if (fired_ || now < spec_.when) return false;
+  before_ = bus_.read(spec_.target);
+  after_ = spec_.model.apply(before_, rng_);
+  bus_.poke(spec_.target, after_);
+  fired_ = true;
+  return true;
+}
+
+std::vector<InjectionSpec> cross_product_plan(
+    BusSignalId target, const std::vector<ErrorModel>& models,
+    const std::vector<sim::SimTime>& instants) {
+  std::vector<InjectionSpec> plan;
+  plan.reserve(models.size() * instants.size());
+  for (const ErrorModel& model : models) {
+    for (sim::SimTime when : instants) {
+      plan.push_back(InjectionSpec{target, when, model});
+    }
+  }
+  return plan;
+}
+
+std::vector<sim::SimTime> paper_injection_instants() {
+  std::vector<sim::SimTime> instants;
+  for (int half_seconds = 1; half_seconds <= 10; ++half_seconds) {
+    instants.push_back(static_cast<sim::SimTime>(half_seconds) *
+                       (sim::kSecond / 2));
+  }
+  return instants;
+}
+
+}  // namespace propane::fi

@@ -1,0 +1,59 @@
+// The signal bus: a blackboard of named 16-bit signals.
+//
+// The paper's system model (Section 3) has modules communicating through
+// signals realised as shared memory. The bus *is* that shared memory: each
+// signal is one 16-bit variable, producers write it, consumers read it, and
+// stateful signals (counters such as pulscnt or mscnt) are read-modified-
+// written in place -- which is exactly why a bit-flip injected into such a
+// variable persists until the producer fully overwrites it, as in the real
+// software.
+//
+// The bus is also the instrumentation point ("the target system was
+// instrumented with high-level software traps", Section 7.3): injections
+// poke the stored value, and the trace recorder samples every signal once
+// per millisecond.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace propane::fi {
+
+/// Index of a signal on the bus.
+using BusSignalId = std::uint32_t;
+
+class SignalBus {
+ public:
+  /// Registers a signal; names must be unique and non-empty.
+  BusSignalId add_signal(std::string name, std::uint16_t initial = 0);
+
+  std::size_t signal_count() const { return values_.size(); }
+  const std::string& name(BusSignalId id) const;
+  std::optional<BusSignalId> find(std::string_view name) const;
+
+  /// Producer-side write.
+  void write(BusSignalId id, std::uint16_t value);
+  /// Consumer-side read.
+  std::uint16_t read(BusSignalId id) const;
+
+  /// Fault-injection poke: overwrites the stored variable, bypassing any
+  /// producer. Functionally identical to write(), kept separate so call
+  /// sites document intent and tooling can hook it.
+  void poke(BusSignalId id, std::uint16_t value);
+
+  /// Snapshot of all signal values in id order (one trace sample).
+  std::vector<std::uint16_t> snapshot() const { return values_; }
+
+  /// Resets every signal to the initial value it was registered with.
+  void reset();
+
+ private:
+  std::vector<std::uint16_t> values_;
+  std::vector<std::uint16_t> initial_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace propane::fi

@@ -1,0 +1,48 @@
+#include "fi/trace.hpp"
+
+#include "common/contracts.hpp"
+
+namespace propane::fi {
+
+const std::string& TraceSet::signal_name(BusSignalId id) const {
+  PROPANE_REQUIRE(id < names_.size());
+  return names_[id];
+}
+
+void TraceSet::append(std::vector<std::uint16_t> row) {
+  PROPANE_REQUIRE_MSG(row.size() == names_.size(),
+                      "sample width must match signal count");
+  samples_.push_back(std::move(row));
+}
+
+std::uint16_t TraceSet::value(std::size_t ms, BusSignalId id) const {
+  PROPANE_REQUIRE(ms < samples_.size());
+  PROPANE_REQUIRE(id < names_.size());
+  return samples_[ms][id];
+}
+
+std::vector<std::uint16_t> TraceSet::series(BusSignalId id) const {
+  PROPANE_REQUIRE(id < names_.size());
+  std::vector<std::uint16_t> column;
+  column.reserve(samples_.size());
+  for (const auto& row : samples_) column.push_back(row[id]);
+  return column;
+}
+
+namespace {
+std::vector<std::string> bus_names(const SignalBus& bus) {
+  std::vector<std::string> names;
+  names.reserve(bus.signal_count());
+  for (BusSignalId id = 0; id < bus.signal_count(); ++id) {
+    names.push_back(bus.name(id));
+  }
+  return names;
+}
+}  // namespace
+
+TraceRecorder::TraceRecorder(const SignalBus& bus)
+    : bus_(bus), trace_(bus_names(bus)) {}
+
+void TraceRecorder::sample() { trace_.append(bus_.snapshot()); }
+
+}  // namespace propane::fi

@@ -1,0 +1,54 @@
+// Execution traces: one sample per signal per millisecond (the paper's
+// traces "have millisecond resolution for every logged variable",
+// Section 7.3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fi/signal_bus.hpp"
+
+namespace propane::fi {
+
+/// A complete run trace: samples[t][s] is the value of bus signal s at the
+/// end of millisecond t. Signal order matches the bus registration order.
+class TraceSet {
+ public:
+  TraceSet() = default;
+  explicit TraceSet(std::vector<std::string> signal_names)
+      : names_(std::move(signal_names)) {}
+
+  std::size_t signal_count() const { return names_.size(); }
+  std::size_t sample_count() const { return samples_.size(); }
+  const std::string& signal_name(BusSignalId id) const;
+
+  /// Appends one sample row (must match signal_count()).
+  void append(std::vector<std::uint16_t> row);
+
+  std::uint16_t value(std::size_t ms, BusSignalId id) const;
+  /// Full column for one signal.
+  std::vector<std::uint16_t> series(BusSignalId id) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::vector<std::uint16_t>> samples_;
+};
+
+/// Samples a SignalBus into a TraceSet once per call.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(const SignalBus& bus);
+
+  /// Records the current bus state as the next millisecond sample.
+  void sample();
+
+  const TraceSet& trace() const { return trace_; }
+  TraceSet take() { return std::move(trace_); }
+
+ private:
+  const SignalBus& bus_;
+  TraceSet trace_;
+};
+
+}  // namespace propane::fi

@@ -1,0 +1,33 @@
+#include "sim/hw_registers.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace propane::sim {
+
+FreeRunningTimer::FreeRunningTimer(std::uint32_t ticks_per_microsecond)
+    : rate_(ticks_per_microsecond) {
+  PROPANE_REQUIRE(ticks_per_microsecond > 0);
+}
+
+std::uint16_t FreeRunningTimer::read(SimTime now) const {
+  return static_cast<std::uint16_t>(now * rate_);
+}
+
+Adc::Adc(double phys_lo, double phys_hi) : lo_(phys_lo), hi_(phys_hi) {
+  PROPANE_REQUIRE(phys_hi > phys_lo);
+}
+
+std::uint16_t Adc::read() const {
+  const double clamped = std::clamp(physical_, lo_, hi_);
+  const double scaled = (clamped - lo_) / (hi_ - lo_) * 65535.0;
+  return static_cast<std::uint16_t>(std::lround(scaled));
+}
+
+double Adc::to_physical(std::uint16_t counts) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(counts) / 65535.0;
+}
+
+}  // namespace propane::sim

@@ -1,0 +1,32 @@
+// Simulated time. The whole experimental setup runs in simulated time --
+// "real software running in simulated time, in a simulated environment, and
+// on simulated hardware" (Section 7.3) -- which makes instrumentation traps
+// non-intrusive and golden-run comparison exact.
+#pragma once
+
+#include <cstdint>
+
+namespace propane::sim {
+
+/// Simulation timestamps and durations in microseconds. The control system
+/// ticks every millisecond (one scheduler slot); the hardware timer models
+/// resolve finer than that, hence the microsecond base unit.
+using SimTime = std::uint64_t;
+
+inline constexpr SimTime kMicrosecond = 1;
+inline constexpr SimTime kMillisecond = 1000;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+
+/// Converts a timestamp to whole milliseconds (the trace resolution used by
+/// the golden-run comparison).
+constexpr std::uint64_t to_milliseconds(SimTime t) { return t / kMillisecond; }
+
+constexpr SimTime from_milliseconds(std::uint64_t ms) {
+  return ms * kMillisecond;
+}
+
+constexpr double to_seconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+}  // namespace propane::sim

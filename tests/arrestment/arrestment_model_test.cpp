@@ -1,0 +1,152 @@
+#include "arrestment/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "arrestment/signals.hpp"
+#include "core/backtrack_tree.hpp"
+#include "core/propagation_path.hpp"
+#include "core/trace_tree.hpp"
+
+namespace propane::arr {
+namespace {
+
+using core::SystemModel;
+
+class ArrestmentModelTest : public ::testing::Test {
+ protected:
+  SystemModel model_ = make_arrestment_model();
+};
+
+TEST_F(ArrestmentModelTest, TwentyFiveIoPairs) {
+  // Section 8: "In the target system, we have 25 input/output pairs".
+  EXPECT_EQ(model_.io_pair_count(), 25u);
+}
+
+TEST_F(ArrestmentModelTest, SixModulesFourInputsOneOutput) {
+  EXPECT_EQ(model_.module_count(), 6u);
+  EXPECT_EQ(model_.system_input_count(), 4u);  // PACNT, TIC1, TCNT, ADC
+  EXPECT_EQ(model_.system_output_count(), 1u);  // TOC2
+}
+
+TEST_F(ArrestmentModelTest, PairCountsPerModuleMatchFig8) {
+  auto pairs = [&](const char* name) {
+    const auto id = *model_.find_module(name);
+    return model_.module(id).input_count() *
+           model_.module(id).output_count();
+  };
+  EXPECT_EQ(pairs("CLOCK"), 2u);
+  EXPECT_EQ(pairs("DIST_S"), 9u);
+  EXPECT_EQ(pairs("PRES_S"), 1u);
+  EXPECT_EQ(pairs("CALC"), 10u);
+  EXPECT_EQ(pairs("V_REG"), 2u);
+  EXPECT_EQ(pairs("PRES_A"), 1u);
+}
+
+TEST_F(ArrestmentModelTest, FeedbacksAreClockSlotAndCalcI) {
+  // The two feedback loops of Fig. 10.
+  const auto clock = *model_.find_module("CLOCK");
+  const auto calc = *model_.find_module("CALC");
+  const auto& slot_src = model_.input_source(
+      core::InputRef{clock, *model_.find_input(clock, "ms_slot_nbr")});
+  EXPECT_EQ(slot_src.kind, core::SourceKind::kModuleOutput);
+  EXPECT_EQ(slot_src.output.module, clock);
+  const auto& i_src = model_.input_source(
+      core::InputRef{calc, *model_.find_input(calc, "i")});
+  EXPECT_EQ(i_src.kind, core::SourceKind::kModuleOutput);
+  EXPECT_EQ(i_src.output.module, calc);
+}
+
+TEST_F(ArrestmentModelTest, BacktrackTreeOfToc2Has22Paths) {
+  // Section 8: "From the backtrack tree in Fig. 10, we can generate 22
+  // propagation paths". The count is structural (zero-weight edges are
+  // kept), so any permeability assignment yields it.
+  core::SystemPermeability permeability(model_);
+  const auto tree = core::build_backtrack_tree(model_, permeability, 0);
+  EXPECT_EQ(core::backtrack_paths(tree).size(), 22u);
+}
+
+TEST_F(ArrestmentModelTest, BacktrackTreeHasTheTwoFeedbackLeafKinds) {
+  // Fig. 10: "we have a special relation between the leaves for
+  // ms_slot_nbr and for i and their respective parent".
+  core::SystemPermeability permeability(model_);
+  const auto tree = core::build_backtrack_tree(model_, permeability, 0);
+  std::set<std::string> feedback_signals;
+  for (const auto& node : tree.nodes()) {
+    if (node.kind == core::TreeNode::Kind::kInput && node.feedback_break) {
+      feedback_signals.insert(
+          model_.signal_name(model_.input_source(node.input)));
+    }
+  }
+  EXPECT_EQ(feedback_signals,
+            (std::set<std::string>{"ms_slot_nbr", "i"}));
+}
+
+TEST_F(ArrestmentModelTest, TraceTreeForAdcFollowsFig11) {
+  // Fig. 11: ADC -> InValue -> OutValue -> TOC2, a single chain.
+  core::SystemPermeability permeability(model_);
+  const auto adc = *model_.find_system_input("ADC");
+  const auto tree = core::build_trace_tree(model_, permeability, adc);
+  const auto paths = core::trace_paths(tree);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(core::format_path(model_, tree, paths[0]),
+            "ADC -> InValue -> OutValue -> TOC2");
+}
+
+TEST_F(ArrestmentModelTest, TraceTreeForPacntFollowsFig12) {
+  core::SystemPermeability permeability(model_);
+  const auto pacnt = *model_.find_system_input("PACNT");
+  const auto tree = core::build_trace_tree(model_, permeability, pacnt);
+  const auto paths = core::trace_paths(tree);
+  // Three DIST_S outputs x (direct SetValue + via-i SetValue) = 6 paths to
+  // TOC2.
+  EXPECT_EQ(paths.size(), 6u);
+  // Fig. 12: "we do not have a child node from i that is i itself" --
+  // verified by the cycle-freedom of every root path.
+  for (const auto& path : paths) {
+    std::set<std::pair<core::ModuleId, core::PortIndex>> outputs;
+    for (const auto index : path.nodes) {
+      const auto& node = tree.node(index);
+      if (node.kind != core::TreeNode::Kind::kOutput) continue;
+      EXPECT_TRUE(
+          outputs.insert({node.output.module, node.output.port}).second);
+    }
+  }
+}
+
+TEST_F(ArrestmentModelTest, BindingCoversAllSignalsAndMatchesBusOrder) {
+  const fi::SignalBinding binding = make_arrestment_binding(model_);
+  EXPECT_EQ(binding.size(), model_.all_signals().size());
+  // Spot checks against the canonical bus order in signals.hpp.
+  EXPECT_EQ(binding.bus_for(core::SignalRef::from_system_input(
+                *model_.find_system_input("PACNT"))),
+            0u);
+  const auto presa = *model_.find_module("PRES_A");
+  EXPECT_EQ(binding.bus_for(core::SignalRef::from_output(
+                core::OutputRef{presa, 0})),
+            13u);  // TOC2 is the last canonical signal
+}
+
+TEST_F(ArrestmentModelTest, ThirteenInjectionTargets) {
+  // Every signal except TOC2 drives some module input.
+  const auto targets = injection_target_bus_ids();
+  EXPECT_EQ(targets.size(), 13u);
+  fi::SignalBus bus;
+  const BusMap map = build_bus(bus);
+  for (const auto target : targets) {
+    EXPECT_NE(target, map.toc2);
+  }
+}
+
+TEST_F(ArrestmentModelTest, ModelSignalNamesMatchBusNames) {
+  fi::SignalBus bus;
+  build_bus(bus);
+  for (const auto& signal : model_.all_signals()) {
+    EXPECT_TRUE(bus.find(model_.signal_name(signal)).has_value())
+        << model_.signal_name(signal);
+  }
+}
+
+}  // namespace
+}  // namespace propane::arr

@@ -1,0 +1,269 @@
+#include "arrestment/system.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "arrestment/constants.hpp"
+#include "common/contracts.hpp"
+#include "fi/golden.hpp"
+
+namespace propane::arr {
+namespace {
+
+TEST(ArrestmentSystem, NominalRunArrestsWithinRunway) {
+  const RunOutcome outcome = run_arrestment(TestCase{14000, 60});
+  EXPECT_TRUE(outcome.arrested);
+  EXPECT_FALSE(outcome.overrun);
+  EXPECT_GT(outcome.stop_distance_m, 50.0);
+  EXPECT_LT(outcome.stop_distance_m, kRunwayLengthM);
+  EXPECT_GT(outcome.stop_ms, 1000u);
+  EXPECT_LT(outcome.peak_decel, kMaxDecel * 1.5);
+}
+
+TEST(ArrestmentSystem, EveryPaperTestCaseArrests) {
+  for (const TestCase& tc : paper_test_cases()) {
+    const RunOutcome outcome = run_arrestment(tc);
+    EXPECT_TRUE(outcome.arrested) << tc.name();
+    EXPECT_FALSE(outcome.overrun) << tc.name();
+  }
+}
+
+TEST(ArrestmentSystem, TraceHasMillisecondResolutionForEverySignal) {
+  RunOptions options;
+  options.duration = 100 * sim::kMillisecond;
+  const RunOutcome outcome = run_arrestment(TestCase{14000, 60}, options);
+  EXPECT_EQ(outcome.trace.sample_count(), 100u);
+  EXPECT_EQ(outcome.trace.signal_count(), kAllSignals.size());
+}
+
+TEST(ArrestmentSystem, RunsAreDeterministic) {
+  RunOptions options;
+  options.duration = 2 * sim::kSecond;
+  const RunOutcome a = run_arrestment(TestCase{11000, 70}, options);
+  const RunOutcome b = run_arrestment(TestCase{11000, 70}, options);
+  const auto report = fi::compare_to_golden(a.trace, b.trace);
+  EXPECT_FALSE(report.any_divergence());
+}
+
+TEST(ArrestmentSystem, DifferentTestCasesDiverge) {
+  RunOptions options;
+  options.duration = 2 * sim::kSecond;
+  const RunOutcome a = run_arrestment(TestCase{11000, 70}, options);
+  const RunOutcome b = run_arrestment(TestCase{11000, 71}, options);
+  const auto report = fi::compare_to_golden(a.trace, b.trace);
+  EXPECT_TRUE(report.any_divergence());
+}
+
+TEST(ArrestmentSystem, SlotNumberCyclesThroughSevenSlots) {
+  ArrestmentSystem system(TestCase{14000, 60});
+  RunOptions options;
+  for (int t = 0; t < 21; ++t) {
+    system.tick(options);
+    EXPECT_EQ(system.bus().read(system.map().ms_slot_nbr), t % 7);
+  }
+}
+
+TEST(ArrestmentSystem, MscntTracksMilliseconds) {
+  ArrestmentSystem system(TestCase{14000, 60});
+  RunOptions options;
+  for (int t = 1; t <= 50; ++t) {
+    system.tick(options);
+    EXPECT_EQ(system.bus().read(system.map().mscnt), t);
+  }
+}
+
+TEST(ArrestmentSystem, PulscntIsMonotoneInGoldenRun) {
+  const RunOutcome outcome = run_arrestment(TestCase{14000, 60});
+  const auto pulses = outcome.trace.series(6);  // pulscnt bus id
+  for (std::size_t t = 1; t < pulses.size(); ++t) {
+    EXPECT_GE(pulses[t], pulses[t - 1]);
+  }
+  EXPECT_GT(pulses.back(), 1000u);
+}
+
+TEST(ArrestmentSystem, CheckpointIndexReachesSix) {
+  const RunOutcome outcome = run_arrestment(TestCase{14000, 80});
+  const auto index = outcome.trace.series(9);  // i bus id
+  EXPECT_EQ(index.back(), 6u);
+  for (std::size_t t = 1; t < index.size(); ++t) {
+    EXPECT_GE(index[t], index[t - 1]);
+  }
+}
+
+TEST(ArrestmentSystem, StoppedFlagRaisedAfterArrest) {
+  const RunOutcome outcome = run_arrestment(TestCase{8000, 40});
+  ASSERT_TRUE(outcome.arrested);
+  const auto stopped = outcome.trace.series(8);  // stopped bus id
+  EXPECT_EQ(stopped.back(), 1u);
+  // The flag lags the physical stop by the detection gap.
+  const std::size_t first_set =
+      static_cast<std::size_t>(std::find(stopped.begin(), stopped.end(), 1) -
+                               stopped.begin());
+  EXPECT_GT(first_set, static_cast<std::size_t>(outcome.stop_ms));
+}
+
+TEST(ArrestmentSystem, InjectionFiresAtRequestedMillisecond) {
+  RunOptions options;
+  options.duration = 3 * sim::kSecond;
+  options.injection = fi::InjectionSpec{
+      5 /* ms_slot_nbr */, 1 * sim::kSecond, fi::bit_flip(2)};
+  RunOptions golden_options;
+  golden_options.duration = options.duration;
+  const RunOutcome golden =
+      run_arrestment(TestCase{14000, 60}, golden_options);
+  const RunOutcome injected = run_arrestment(TestCase{14000, 60}, options);
+  const auto report = fi::compare_to_golden(golden.trace, injected.trace);
+  ASSERT_TRUE(report.per_signal[5].diverged);
+  EXPECT_EQ(report.per_signal[5].first_ms, 1000u);
+}
+
+TEST(ArrestmentSystem, SlotErrorShiftsScheduleForever) {
+  RunOptions options;
+  options.duration = 3 * sim::kSecond;
+  options.injection = fi::InjectionSpec{
+      5 /* ms_slot_nbr */, 1 * sim::kSecond, fi::bit_flip(1)};
+  RunOptions golden_options;
+  golden_options.duration = options.duration;
+  const RunOutcome golden =
+      run_arrestment(TestCase{14000, 60}, golden_options);
+  const RunOutcome injected = run_arrestment(TestCase{14000, 60}, options);
+  const auto golden_slots = golden.trace.series(5);
+  const auto injected_slots = injected.trace.series(5);
+  // Once shifted, the phase never recovers (permeability 1 on the
+  // feedback pair).
+  for (std::size_t t = 1100; t < golden_slots.size(); ++t) {
+    EXPECT_NE(golden_slots[t], injected_slots[t]);
+  }
+}
+
+TEST(ArrestmentSystem, ErmWrapperContainsInjectedError) {
+  // Clamp SetValue to its plausible ceiling; a high-bit flip is then
+  // corrected before V_REG consumes it.
+  RunOptions golden_options;
+  golden_options.duration = 4 * sim::kSecond;
+  const RunOutcome golden =
+      run_arrestment(TestCase{14000, 60}, golden_options);
+
+  RunOptions faulty = golden_options;
+  faulty.injection =
+      fi::InjectionSpec{10 /* SetValue */, 2 * sim::kSecond,
+                        fi::set_value(65535)};
+  const RunOutcome unprotected =
+      run_arrestment(TestCase{14000, 60}, faulty);
+  EXPECT_TRUE(fi::compare_to_golden(golden.trace, unprotected.trace)
+                  .per_signal[13]
+                  .diverged);  // TOC2 affected
+
+  fi::ErmHarness erms;
+  erms.add(std::make_unique<fi::HoldLastGoodErm>(10, 0, 40000));
+  RunOptions protected_run = faulty;
+  protected_run.erms = &erms;
+  const RunOutcome recovered =
+      run_arrestment(TestCase{14000, 60}, protected_run);
+  EXPECT_TRUE(erms.recovered());
+  EXPECT_FALSE(fi::compare_to_golden(golden.trace, recovered.trace)
+                   .per_signal[13]
+                   .diverged);
+}
+
+TEST(ArrestmentSystem, EdmMonitorSeesInjectedRangeViolation) {
+  fi::EdmMonitor monitor;
+  monitor.add(std::make_unique<fi::RangeEdm>(10 /* SetValue */, 0, 40000));
+  RunOptions options;
+  options.duration = 4 * sim::kSecond;
+  options.injection = fi::InjectionSpec{10, 2 * sim::kSecond,
+                                        fi::set_value(65535)};
+  options.monitor = &monitor;
+  run_arrestment(TestCase{14000, 60}, options);
+  ASSERT_TRUE(monitor.detected());
+  EXPECT_EQ(*monitor.first_detection_ms(), 2000u);
+}
+
+TEST(ArrestmentSystem, PreBackgroundTrapReachesTheBackgroundTask) {
+  // A slow_speed flip at tick start is erased by DIST_S before CALC reads
+  // it; the same flip at the pre-background trap reaches CALC and caps
+  // SetValue.
+  fi::SignalBus reference;
+  const BusMap map = build_bus(reference);
+
+  RunOptions golden_options;
+  golden_options.duration = 4 * sim::kSecond;
+  const RunOutcome golden =
+      run_arrestment(TestCase{14000, 60}, golden_options);
+
+  auto run_with_phase = [&](fi::InjectionPhase phase) {
+    RunOptions options = golden_options;
+    fi::InjectionSpec spec{map.slow_speed, 2 * sim::kSecond,
+                           fi::bit_flip(0)};
+    spec.phase = phase;
+    options.injection = spec;
+    return run_arrestment(TestCase{14000, 60}, options);
+  };
+
+  const auto write_site = run_with_phase(fi::InjectionPhase::kTickStart);
+  EXPECT_FALSE(fi::compare_to_golden(golden.trace, write_site.trace)
+                   .per_signal[map.set_value]
+                   .diverged);
+
+  const auto read_site = run_with_phase(fi::InjectionPhase::kPreBackground);
+  const auto report = fi::compare_to_golden(golden.trace, read_site.trace);
+  EXPECT_TRUE(report.per_signal[map.set_value].diverged);
+  EXPECT_EQ(report.per_signal[map.set_value].first_ms, 2000u);
+}
+
+TEST(ArrestmentSystem, EventTraceRecordsTheArrestmentTimeline) {
+  fi::EventLog events;
+  RunOptions options;
+  options.events = &events;
+  const RunOutcome outcome = run_arrestment(TestCase{14000, 70}, options);
+  ASSERT_TRUE(outcome.arrested);
+
+  // All six checkpoints fire, in order, before the slow/stop phase.
+  for (int cp = 1; cp <= 6; ++cp) {
+    ASSERT_TRUE(events.first("checkpoint-" + std::to_string(cp)).has_value())
+        << cp;
+  }
+  EXPECT_LT(*events.first("checkpoint-1"), *events.first("checkpoint-2"));
+  EXPECT_LT(*events.first("checkpoint-6"), *events.first("stopped"));
+  EXPECT_TRUE(events.first("brake-engaged").has_value());
+  EXPECT_GT(*events.first("brake-engaged"), *events.first("checkpoint-1"));
+  EXPECT_TRUE(events.first("slow-speed-set").has_value());
+  // The stopped flag is raised after the physical stop.
+  EXPECT_GT(*events.first("stopped"), outcome.stop_ms);
+}
+
+TEST(ArrestmentSystem, InjectionShiftsTheEventTimeline) {
+  fi::EventLog golden_events;
+  RunOptions golden_options;
+  golden_options.events = &golden_events;
+  run_arrestment(TestCase{14000, 70}, golden_options);
+
+  fi::EventLog injected_events;
+  RunOptions faulty;
+  faulty.events = &injected_events;
+  faulty.injection = fi::InjectionSpec{6 /* pulscnt */, 1 * sim::kSecond,
+                                       fi::bit_flip(9)};
+  run_arrestment(TestCase{14000, 70}, faulty);
+
+  const auto divergence =
+      compare_event_logs(golden_events, injected_events);
+  EXPECT_TRUE(divergence.diverged());
+}
+
+TEST(ArrestmentSystem, CampaignRunnerDispatchesTestCases) {
+  const auto runner = campaign_runner(grid_test_cases(1, 2),
+                                      500 * sim::kMillisecond);
+  fi::RunRequest request;
+  request.test_case = 0;
+  const auto trace_slow = runner(request);
+  request.test_case = 1;
+  const auto trace_fast = runner(request);
+  EXPECT_TRUE(
+      fi::compare_to_golden(trace_slow, trace_fast).any_divergence());
+  request.test_case = 2;
+  EXPECT_THROW(runner(request), ContractViolation);
+}
+
+}  // namespace
+}  // namespace propane::arr

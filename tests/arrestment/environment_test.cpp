@@ -1,0 +1,134 @@
+#include "arrestment/environment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arrestment/constants.hpp"
+
+namespace propane::arr {
+namespace {
+
+class EnvironmentTest : public ::testing::Test {
+ protected:
+  EnvironmentTest() : map_(build_bus(bus_)) {}
+
+  void run_ms(Environment& env, int ms, int start_ms = 0) {
+    for (int t = 0; t < ms; ++t) {
+      env.step(bus_, static_cast<sim::SimTime>(start_ms + t) *
+                         sim::kMillisecond);
+    }
+  }
+
+  fi::SignalBus bus_;
+  BusMap map_;
+};
+
+TEST_F(EnvironmentTest, CoastsWithOnlyFrictionWhenBrakeIdle) {
+  Environment env(TestCase{10000, 60}, map_);
+  run_ms(env, 1000);
+  // Friction 400 N*s/m at ~60 m/s over 1 s: dv ~ 2.4 m/s.
+  EXPECT_LT(env.velocity_mps(), 60.0);
+  EXPECT_GT(env.velocity_mps(), 56.0);
+  EXPECT_NEAR(env.position_m(), 59.0, 2.0);
+}
+
+TEST_F(EnvironmentTest, FullBrakeDeceleratesHard) {
+  Environment env(TestCase{10000, 60}, map_);
+  bus_.write(map_.toc2, 65535);
+  run_ms(env, 1000);
+  // 400 kN on 10 t: ~40 m/s^2 once the pressure has built up.
+  EXPECT_LT(env.velocity_mps(), 30.0);
+  EXPECT_GT(env.peak_decel(), 30.0);
+}
+
+TEST_F(EnvironmentTest, PressureFollowsCommandWithLag) {
+  Environment env(TestCase{10000, 60}, map_);
+  bus_.write(map_.toc2, 65535);
+  run_ms(env, 25);  // half a time constant
+  const double half_tau = env.pressure_pa() / kMaxPressurePa;
+  EXPECT_GT(half_tau, 0.25);
+  EXPECT_LT(half_tau, 0.55);
+  run_ms(env, 475, 25);  // ~10 time constants total
+  EXPECT_GT(env.pressure_pa() / kMaxPressurePa, 0.98);
+}
+
+TEST_F(EnvironmentTest, PulsesMatchDistance) {
+  Environment env(TestCase{10000, 60}, map_);
+  run_ms(env, 2000);
+  const double expected_pulses = env.position_m() / kMetersPerPulse;
+  EXPECT_NEAR(bus_.read(map_.pacnt), expected_pulses, 2.0);
+}
+
+TEST_F(EnvironmentTest, PacntAccumulatesInPlace) {
+  Environment env(TestCase{10000, 60}, map_);
+  run_ms(env, 100);
+  const std::uint16_t before = bus_.read(map_.pacnt);
+  // Corrupt the register: subsequent counting continues from the corrupt
+  // value instead of overwriting it.
+  bus_.poke(map_.pacnt, static_cast<std::uint16_t>(before + 1000));
+  run_ms(env, 100, 100);
+  EXPECT_GT(bus_.read(map_.pacnt), before + 1000);
+}
+
+TEST_F(EnvironmentTest, TcntIsOverwrittenEveryTick) {
+  Environment env(TestCase{10000, 60}, map_);
+  env.step(bus_, 5 * sim::kMillisecond);
+  EXPECT_EQ(bus_.read(map_.tcnt), 5000u);
+  bus_.poke(map_.tcnt, 12345);
+  env.step(bus_, 6 * sim::kMillisecond);
+  EXPECT_EQ(bus_.read(map_.tcnt), 6000u);  // corruption erased
+}
+
+TEST_F(EnvironmentTest, Tic1LatchesTimerAtPulses) {
+  Environment env(TestCase{10000, 80}, map_);  // fast: pulses every tick
+  run_ms(env, 50);
+  // With >1 pulse per millisecond, TIC1 tracks TCNT closely.
+  const std::uint16_t delta = static_cast<std::uint16_t>(
+      bus_.read(map_.tcnt) - bus_.read(map_.tic1));
+  EXPECT_LT(delta, 2000u);
+}
+
+TEST_F(EnvironmentTest, AdcReflectsAppliedPressure) {
+  Environment env(TestCase{10000, 60}, map_);
+  bus_.write(map_.toc2, 32768);
+  run_ms(env, 1000);
+  const double expected =
+      env.pressure_pa() / kMaxPressurePa * 65535.0;
+  EXPECT_NEAR(bus_.read(map_.adc), expected, 2.0);
+}
+
+TEST_F(EnvironmentTest, AircraftStopsAndStaysStopped) {
+  Environment env(TestCase{8000, 40}, map_);
+  bus_.write(map_.toc2, 65535);
+  run_ms(env, 5000);
+  EXPECT_TRUE(env.at_rest());
+  const double position = env.position_m();
+  run_ms(env, 100, 5000);
+  EXPECT_DOUBLE_EQ(env.position_m(), position);
+}
+
+TEST_F(EnvironmentTest, NoPulsesOnceStopped) {
+  Environment env(TestCase{8000, 40}, map_);
+  bus_.write(map_.toc2, 65535);
+  run_ms(env, 5000);
+  ASSERT_TRUE(env.at_rest());
+  const std::uint16_t pacnt = bus_.read(map_.pacnt);
+  run_ms(env, 500, 5000);
+  EXPECT_EQ(bus_.read(map_.pacnt), pacnt);
+}
+
+TEST_F(EnvironmentTest, HeavierAircraftDeceleratesSlower) {
+  Environment light(TestCase{8000, 60}, map_);
+  fi::SignalBus bus2;
+  const BusMap map2 = build_bus(bus2);
+  Environment heavy(TestCase{20000, 60}, map2);
+  bus_.write(map_.toc2, 40000);
+  bus2.write(map2.toc2, 40000);
+  for (int t = 0; t < 2000; ++t) {
+    light.step(bus_, static_cast<sim::SimTime>(t) * sim::kMillisecond);
+    heavy.step(bus2, static_cast<sim::SimTime>(t) * sim::kMillisecond);
+  }
+  EXPECT_LT(light.velocity_mps(), heavy.velocity_mps());
+}
+
+}  // namespace
+}  // namespace propane::arr

@@ -1,0 +1,109 @@
+// Property tests: system-level invariants that must hold under *any*
+// single injected error (parameterized over target signal x bit position).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "arrestment/constants.hpp"
+#include "arrestment/model.hpp"
+#include "arrestment/system.hpp"
+#include "fi/golden.hpp"
+
+namespace propane::arr {
+namespace {
+
+class InjectionProperty
+    : public ::testing::TestWithParam<std::tuple<int, unsigned>> {
+ protected:
+  fi::BusSignalId target() const {
+    return static_cast<fi::BusSignalId>(std::get<0>(GetParam()));
+  }
+  unsigned bit() const { return std::get<1>(GetParam()); }
+
+  RunOutcome run(bool inject) const {
+    RunOptions options;
+    options.duration = 4 * sim::kSecond;
+    if (inject) {
+      options.injection = fi::InjectionSpec{target(), 1500 * sim::kMillisecond,
+                                            fi::bit_flip(bit())};
+    }
+    return run_arrestment(TestCase{12000, 65}, options);
+  }
+};
+
+TEST_P(InjectionProperty, TraceShapeIsUnchanged) {
+  const RunOutcome outcome = run(true);
+  EXPECT_EQ(outcome.trace.sample_count(), 4000u);
+  EXPECT_EQ(outcome.trace.signal_count(), kAllSignals.size());
+}
+
+TEST_P(InjectionProperty, PhysicsStaysBounded) {
+  const RunOutcome outcome = run(true);
+  EXPECT_GE(outcome.stop_distance_m, 0.0);
+  EXPECT_LT(outcome.stop_distance_m, 2.0 * kRunwayLengthM);
+  EXPECT_GE(outcome.peak_decel, 0.0);
+  EXPECT_LT(outcome.peak_decel, 100.0);
+}
+
+TEST_P(InjectionProperty, SlotNumberStaysInRangeAfterClockTick) {
+  // CLOCK's modulo arithmetic restores the slot range within the very
+  // tick of the corruption: every *sampled* value is a valid slot.
+  const RunOutcome outcome = run(true);
+  fi::SignalBus bus;
+  const BusMap map = build_bus(bus);
+  for (std::uint16_t slot : outcome.trace.series(map.ms_slot_nbr)) {
+    ASSERT_LT(slot, kSlotCount);
+  }
+}
+
+TEST_P(InjectionProperty, NoDivergenceBeforeTheInjection) {
+  const RunOutcome golden = run(false);
+  const RunOutcome injected = run(true);
+  const auto report = fi::compare_to_golden(golden.trace, injected.trace);
+  for (const auto& divergence : report.per_signal) {
+    if (divergence.diverged) {
+      EXPECT_GE(divergence.first_ms, 1500u);
+    }
+  }
+}
+
+TEST_P(InjectionProperty, InjectionRunsAreDeterministic) {
+  const RunOutcome a = run(true);
+  const RunOutcome b = run(true);
+  EXPECT_FALSE(fi::compare_to_golden(a.trace, b.trace).any_divergence());
+}
+
+TEST_P(InjectionProperty, Toc2DivergenceImpliesOutValueDivergence) {
+  // TOC2 is a pure function of OutValue history: it cannot diverge first.
+  // Exception: when OutValue itself is the injection target, PRES_A
+  // consumes the corrupt value mid-tick and V_REG overwrites it before the
+  // end-of-tick sample -- the corruption is visible in TOC2 but never in
+  // the OutValue trace (transient consumed-then-overwritten error).
+  fi::SignalBus bus;
+  const BusMap map = build_bus(bus);
+  if (target() == map.out_value || target() == map.toc2) {
+    GTEST_SKIP() << "injected signal is on the checked edge";
+  }
+  const RunOutcome golden = run(false);
+  const RunOutcome injected = run(true);
+  const auto report = fi::compare_to_golden(golden.trace, injected.trace);
+  const auto& toc2 = report.per_signal[map.toc2];
+  const auto& out_value = report.per_signal[map.out_value];
+  if (toc2.diverged) {
+    ASSERT_TRUE(out_value.diverged);
+    EXPECT_LE(out_value.first_ms, toc2.first_ms);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TargetsAndBits, InjectionProperty,
+    ::testing::Combine(::testing::Values(0, 4, 5, 6, 9, 10, 11, 12),
+                       ::testing::Values(0u, 7u, 15u)),
+    [](const ::testing::TestParamInfo<std::tuple<int, unsigned>>&
+           param_info) {
+      return "sig" + std::to_string(std::get<0>(param_info.param)) +
+             "_bit" + std::to_string(std::get<1>(param_info.param));
+    });
+
+}  // namespace
+}  // namespace propane::arr

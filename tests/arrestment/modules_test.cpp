@@ -1,0 +1,292 @@
+// Unit tests for the six control modules, each driven directly on a bus.
+#include <gtest/gtest.h>
+
+#include "arrestment/calc.hpp"
+#include "arrestment/clock_module.hpp"
+#include "arrestment/constants.hpp"
+#include "arrestment/dist_s.hpp"
+#include "arrestment/pres_a.hpp"
+#include "arrestment/pres_s.hpp"
+#include "arrestment/v_reg.hpp"
+
+namespace propane::arr {
+namespace {
+
+class ModulesTest : public ::testing::Test {
+ protected:
+  ModulesTest() : map_(build_bus(bus_)) {}
+
+  fi::SignalBus bus_;
+  BusMap map_;
+};
+
+// --- CLOCK -----------------------------------------------------------------
+
+TEST_F(ModulesTest, ClockCountsMillisecondsAndSlots) {
+  ClockModule clock(map_);
+  for (int t = 1; t <= 15; ++t) {
+    clock.step(bus_);
+    EXPECT_EQ(bus_.read(map_.mscnt), t);
+    EXPECT_EQ(bus_.read(map_.ms_slot_nbr), (t - 1) % kSlotCount);
+  }
+}
+
+TEST_F(ModulesTest, ClockSlotErrorPersists) {
+  ClockModule clock(map_);
+  clock.step(bus_);  // slot 0
+  bus_.poke(map_.ms_slot_nbr, 5);
+  clock.step(bus_);
+  EXPECT_EQ(bus_.read(map_.ms_slot_nbr), 6u);  // phase shifted for good
+  clock.step(bus_);
+  EXPECT_EQ(bus_.read(map_.ms_slot_nbr), 0u);
+}
+
+TEST_F(ModulesTest, ClockSlotRecoversModuloRangeEvenFromWildValues) {
+  ClockModule clock(map_);
+  bus_.poke(map_.ms_slot_nbr, 65000);
+  clock.step(bus_);
+  EXPECT_LT(bus_.read(map_.ms_slot_nbr), kSlotCount);
+}
+
+// --- DIST_S ----------------------------------------------------------------
+
+TEST_F(ModulesTest, DistSAccumulatesPulseDeltas) {
+  DistSModule dist(map_);
+  bus_.write(map_.pacnt, 10);
+  dist.step(bus_);
+  EXPECT_EQ(bus_.read(map_.pulscnt), 10u);
+  bus_.write(map_.pacnt, 17);
+  dist.step(bus_);
+  EXPECT_EQ(bus_.read(map_.pulscnt), 17u);
+}
+
+TEST_F(ModulesTest, DistSHandlesPacntWrap) {
+  DistSModule dist(map_);
+  bus_.write(map_.pacnt, 65530);
+  dist.step(bus_);
+  bus_.write(map_.pacnt, 4);  // +10 across the wrap
+  dist.step(bus_);
+  EXPECT_EQ(bus_.read(map_.pulscnt),
+            static_cast<std::uint16_t>(65530 + 10));
+}
+
+TEST_F(ModulesTest, DistSPulscntErrorPersists) {
+  DistSModule dist(map_);
+  bus_.write(map_.pacnt, 5);
+  dist.step(bus_);
+  bus_.poke(map_.pulscnt, 1000);  // corrupt the shared accumulator
+  bus_.write(map_.pacnt, 8);
+  dist.step(bus_);
+  EXPECT_EQ(bus_.read(map_.pulscnt), 1003u);  // error carried forward
+}
+
+TEST_F(ModulesTest, DistSSlowSpeedAfterPulseGap) {
+  DistSModule dist(map_);
+  bus_.write(map_.pacnt, 1);
+  dist.step(bus_);
+  EXPECT_EQ(bus_.read(map_.slow_speed), 0u);
+  for (int t = 0; t < 12; ++t) dist.step(bus_);  // 12 quiet ticks
+  EXPECT_EQ(bus_.read(map_.slow_speed), 0u);
+  dist.step(bus_);  // 13th
+  EXPECT_EQ(bus_.read(map_.slow_speed), 1u);
+}
+
+TEST_F(ModulesTest, DistSTimerPathFlagsSlowEarlier) {
+  DistSModule dist(map_);
+  bus_.write(map_.pacnt, 1);
+  dist.step(bus_);
+  // One quiet tick plus a large capture/timer distance.
+  bus_.write(map_.tcnt, 30000);
+  bus_.write(map_.tic1, 1000);
+  dist.step(bus_);
+  EXPECT_EQ(bus_.read(map_.slow_speed), 1u);
+}
+
+TEST_F(ModulesTest, DistSStoppedAfterLongGap) {
+  DistSModule dist(map_);
+  bus_.write(map_.pacnt, 1);
+  dist.step(bus_);
+  for (std::uint32_t t = 0; t < kStoppedGapMs - 1; ++t) dist.step(bus_);
+  EXPECT_EQ(bus_.read(map_.stopped), 0u);
+  dist.step(bus_);
+  EXPECT_EQ(bus_.read(map_.stopped), 1u);
+  // A new pulse clears both flags.
+  bus_.write(map_.pacnt, 2);
+  dist.step(bus_);
+  EXPECT_EQ(bus_.read(map_.stopped), 0u);
+  EXPECT_EQ(bus_.read(map_.slow_speed), 0u);
+}
+
+// --- PRES_S ----------------------------------------------------------------
+
+TEST_F(ModulesTest, PresSCopiesAdcToInValue) {
+  PresSModule pres(map_);
+  bus_.write(map_.adc, 12345);
+  pres.step(bus_);
+  EXPECT_EQ(bus_.read(map_.in_value), 12345u);
+}
+
+// --- CALC ------------------------------------------------------------------
+
+TEST_F(ModulesTest, CalcIdlesBeforeFirstCheckpoint) {
+  CalcModule calc(map_);
+  bus_.write(map_.pulscnt,
+             static_cast<std::uint16_t>(CalcModule::checkpoint_pulses(0) - 1));
+  calc.step(bus_);
+  EXPECT_EQ(bus_.read(map_.checkpoint_i), 0u);
+  EXPECT_EQ(bus_.read(map_.set_value), 0u);
+}
+
+TEST_F(ModulesTest, CalcAdvancesCheckpointAndSetsPressure) {
+  CalcModule calc(map_);
+  bus_.write(map_.mscnt, 400);
+  bus_.write(map_.pulscnt, CalcModule::checkpoint_pulses(0));
+  calc.step(bus_);
+  EXPECT_EQ(bus_.read(map_.checkpoint_i), 1u);
+  EXPECT_GT(bus_.read(map_.set_value), 0u);
+}
+
+TEST_F(ModulesTest, CalcCheckpointThresholdsAreMonotone) {
+  for (int i = 1; i < kCheckpointCount; ++i) {
+    EXPECT_GT(CalcModule::checkpoint_pulses(i),
+              CalcModule::checkpoint_pulses(i - 1));
+  }
+}
+
+TEST_F(ModulesTest, CalcStoppedReleasesBrake) {
+  CalcModule calc(map_);
+  bus_.write(map_.set_value, 20000);
+  bus_.write(map_.stopped, 1);
+  calc.step(bus_);
+  EXPECT_EQ(bus_.read(map_.set_value), 0u);
+}
+
+TEST_F(ModulesTest, CalcSlowSpeedCapsPressure) {
+  CalcModule calc(map_);
+  bus_.write(map_.set_value, 30000);
+  bus_.write(map_.slow_speed, 1);
+  calc.step(bus_);
+  EXPECT_EQ(bus_.read(map_.set_value), kSlowCreepSetValue);
+  // Already below the cap: untouched.
+  bus_.write(map_.set_value, 100);
+  calc.step(bus_);
+  EXPECT_EQ(bus_.read(map_.set_value), 100u);
+}
+
+TEST_F(ModulesTest, CalcCorruptCheckpointIndexDisablesUpdates) {
+  CalcModule calc(map_);
+  bus_.write(map_.checkpoint_i, 6);  // all checkpoints done
+  bus_.write(map_.pulscnt, 60000);
+  calc.step(bus_);
+  EXPECT_EQ(bus_.read(map_.checkpoint_i), 6u);
+  EXPECT_EQ(bus_.read(map_.set_value), 0u);
+  // A wildly corrupted index behaves like "done", not a crash.
+  bus_.write(map_.checkpoint_i, 40000);
+  calc.step(bus_);
+  EXPECT_EQ(bus_.read(map_.checkpoint_i), 40000u);
+}
+
+TEST_F(ModulesTest, CalcFasterApproachCommandsMorePressure) {
+  // Same checkpoint, shorter elapsed time => higher velocity estimate =>
+  // higher pressure set point.
+  fi::SignalBus bus2;
+  const BusMap map2 = build_bus(bus2);
+  CalcModule slow_calc(map_);
+  CalcModule fast_calc(map2);
+
+  bus_.write(map_.mscnt, 800);  // slower aircraft: longer time to cp 0
+  bus_.write(map_.pulscnt, CalcModule::checkpoint_pulses(0));
+  slow_calc.step(bus_);
+
+  bus2.write(map2.mscnt, 200);
+  bus2.write(map2.pulscnt, CalcModule::checkpoint_pulses(0));
+  fast_calc.step(bus2);
+
+  EXPECT_GT(bus2.read(map2.set_value), bus_.read(map_.set_value));
+}
+
+// --- V_REG -----------------------------------------------------------------
+
+TEST_F(ModulesTest, VRegTracksSetValueAtEquilibrium) {
+  VRegModule vreg(map_);
+  bus_.write(map_.set_value, 20000);
+  bus_.write(map_.in_value, 20000);
+  vreg.step(bus_);
+  EXPECT_EQ(bus_.read(map_.out_value), 20000u);
+}
+
+TEST_F(ModulesTest, VRegPushesHarderWhenPressureLow) {
+  VRegModule vreg(map_);
+  bus_.write(map_.set_value, 20000);
+  bus_.write(map_.in_value, 10000);
+  vreg.step(bus_);
+  EXPECT_GT(bus_.read(map_.out_value), 20000u);
+}
+
+TEST_F(ModulesTest, VRegIntegratorAccumulates) {
+  VRegModule vreg(map_);
+  bus_.write(map_.set_value, 20000);
+  bus_.write(map_.in_value, 19000);
+  vreg.step(bus_);
+  const std::uint16_t first = bus_.read(map_.out_value);
+  vreg.step(bus_);
+  EXPECT_GT(bus_.read(map_.out_value), first);  // integral action
+}
+
+TEST_F(ModulesTest, VRegOutputClampsToValidRange) {
+  VRegModule vreg(map_);
+  bus_.write(map_.set_value, 65535);
+  bus_.write(map_.in_value, 0);
+  for (int t = 0; t < 100; ++t) vreg.step(bus_);
+  EXPECT_EQ(bus_.read(map_.out_value), 65535u);
+
+  bus_.write(map_.set_value, 0);
+  bus_.write(map_.in_value, 65535);
+  for (int t = 0; t < 200; ++t) vreg.step(bus_);
+  EXPECT_EQ(bus_.read(map_.out_value), 0u);
+}
+
+// --- PRES_A ----------------------------------------------------------------
+
+TEST_F(ModulesTest, PresASlewsTowardsCommand) {
+  PresAModule pres(map_);
+  bus_.write(map_.out_value, 10000);
+  pres.step(bus_);
+  EXPECT_EQ(bus_.read(map_.toc2), kValveSlewPerMs);
+  pres.step(bus_);
+  EXPECT_EQ(bus_.read(map_.toc2), 2 * kValveSlewPerMs);
+}
+
+TEST_F(ModulesTest, PresAReachesTargetExactly) {
+  PresAModule pres(map_);
+  bus_.write(map_.out_value, 3000);
+  pres.step(bus_);
+  pres.step(bus_);
+  EXPECT_EQ(bus_.read(map_.toc2), 3000u);
+}
+
+TEST_F(ModulesTest, PresADeadbandIgnoresSmallChanges) {
+  PresAModule pres(map_);
+  bus_.write(map_.out_value, 1000);
+  pres.step(bus_);
+  ASSERT_EQ(bus_.read(map_.toc2), 1000u);
+  bus_.write(map_.out_value, 1000 + kValveDeadband);
+  pres.step(bus_);
+  EXPECT_EQ(bus_.read(map_.toc2), 1000u);  // within the deadband
+  bus_.write(map_.out_value, 1000 + kValveDeadband + 1);
+  pres.step(bus_);
+  EXPECT_EQ(bus_.read(map_.toc2), 1000u + kValveDeadband + 1);
+}
+
+TEST_F(ModulesTest, PresASlewsDownward) {
+  PresAModule pres(map_);
+  bus_.write(map_.out_value, 10000);
+  for (int t = 0; t < 4; ++t) pres.step(bus_);
+  ASSERT_EQ(bus_.read(map_.toc2), 10000u);
+  bus_.write(map_.out_value, 0);
+  pres.step(bus_);
+  EXPECT_EQ(bus_.read(map_.toc2), 10000u - kValveSlewPerMs);
+}
+
+}  // namespace
+}  // namespace propane::arr

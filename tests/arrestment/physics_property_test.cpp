@@ -1,0 +1,57 @@
+// Physical plausibility properties of the closed-loop arrestment, swept
+// over the workload envelope.
+#include <gtest/gtest.h>
+
+#include "arrestment/constants.hpp"
+#include "arrestment/system.hpp"
+#include "arrestment/twonode.hpp"
+
+namespace propane::arr {
+namespace {
+
+class PhysicsSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PhysicsSweep, StopDistanceGrowsWithVelocity) {
+  const double mass = 14000.0;
+  const RunOutcome slower =
+      run_arrestment(TestCase{mass, GetParam() - 10.0});
+  const RunOutcome faster = run_arrestment(TestCase{mass, GetParam()});
+  ASSERT_TRUE(slower.arrested);
+  ASSERT_TRUE(faster.arrested);
+  EXPECT_GT(faster.stop_distance_m, slower.stop_distance_m);
+}
+
+TEST_P(PhysicsSweep, PulseCountMatchesPayoutDistance) {
+  const RunOutcome outcome = run_arrestment(TestCase{12000, GetParam()});
+  ASSERT_TRUE(outcome.arrested);
+  const double pulses = outcome.trace.value(
+      outcome.trace.sample_count() - 1, 6 /* pulscnt */);
+  EXPECT_NEAR(pulses * kMetersPerPulse, outcome.stop_distance_m,
+              outcome.stop_distance_m * 0.01 + 1.0);
+}
+
+TEST_P(PhysicsSweep, DecelerationStaysWithinTheLoadEnvelope) {
+  for (double mass : {8000.0, 14000.0, 20000.0}) {
+    const RunOutcome outcome = run_arrestment(TestCase{mass, GetParam()});
+    EXPECT_LE(outcome.peak_decel, kMaxDecel * 1.2)
+        << mass << " kg @ " << GetParam();
+  }
+}
+
+TEST_P(PhysicsSweep, TwoNodeStopsWithinTheSameEnvelope) {
+  // Both configurations command the same SetValue; the two half-force
+  // channels of the distributed variant must arrest comparably.
+  const TestCase tc{14000, GetParam()};
+  const RunOutcome one = run_arrestment(tc);
+  const RunOutcome two = run_two_node_arrestment(tc);
+  ASSERT_TRUE(one.arrested);
+  ASSERT_TRUE(two.arrested);
+  EXPECT_NEAR(two.stop_distance_m, one.stop_distance_m,
+              0.15 * one.stop_distance_m + 10.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Velocities, PhysicsSweep,
+                         ::testing::Values(50.0, 60.0, 70.0, 80.0));
+
+}  // namespace
+}  // namespace propane::arr

@@ -1,0 +1,63 @@
+#include "arrestment/testcase.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+
+namespace propane::arr {
+namespace {
+
+TEST(TestCases, PaperGridIs25Cases) {
+  const auto cases = paper_test_cases();
+  EXPECT_EQ(cases.size(), 25u);
+}
+
+TEST(TestCases, GridCoversTheRangesInclusive) {
+  const auto cases = grid_test_cases(5, 5);
+  double min_mass = 1e9, max_mass = 0, min_v = 1e9, max_v = 0;
+  for (const TestCase& tc : cases) {
+    min_mass = std::min(min_mass, tc.mass_kg);
+    max_mass = std::max(max_mass, tc.mass_kg);
+    min_v = std::min(min_v, tc.velocity_mps);
+    max_v = std::max(max_v, tc.velocity_mps);
+  }
+  EXPECT_DOUBLE_EQ(min_mass, kMassMinKg);
+  EXPECT_DOUBLE_EQ(max_mass, kMassMaxKg);
+  EXPECT_DOUBLE_EQ(min_v, kVelocityMinMps);
+  EXPECT_DOUBLE_EQ(max_v, kVelocityMaxMps);
+}
+
+TEST(TestCases, GridIsUniformlySpaced) {
+  const auto cases = grid_test_cases(1, 5);
+  ASSERT_EQ(cases.size(), 5u);
+  for (std::size_t i = 1; i < cases.size(); ++i) {
+    EXPECT_NEAR(cases[i].velocity_mps - cases[i - 1].velocity_mps, 10.0,
+                1e-9);
+  }
+}
+
+TEST(TestCases, SingletonGridUsesMidpoint) {
+  const auto cases = grid_test_cases(1, 1);
+  ASSERT_EQ(cases.size(), 1u);
+  EXPECT_DOUBLE_EQ(cases[0].mass_kg, (kMassMinKg + kMassMaxKg) / 2);
+  EXPECT_DOUBLE_EQ(cases[0].velocity_mps,
+                   (kVelocityMinMps + kVelocityMaxMps) / 2);
+}
+
+TEST(TestCases, NamesAreDistinct) {
+  const auto cases = paper_test_cases();
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    for (std::size_t j = i + 1; j < cases.size(); ++j) {
+      EXPECT_NE(cases[i].name(), cases[j].name());
+    }
+  }
+  EXPECT_EQ(TestCase{}.name(), "14.0t@60mps");
+}
+
+TEST(TestCases, EmptyGridViolatesContract) {
+  EXPECT_THROW(grid_test_cases(0, 1), ContractViolation);
+  EXPECT_THROW(grid_test_cases(1, 0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace propane::arr

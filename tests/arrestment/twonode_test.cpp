@@ -1,0 +1,155 @@
+#include "arrestment/twonode.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arrestment/constants.hpp"
+#include "core/backtrack_tree.hpp"
+#include "core/propagation_path.hpp"
+#include "core/trace_tree.hpp"
+#include "fi/golden.hpp"
+
+namespace propane::arr {
+namespace {
+
+TEST(TwoNodeModel, ThirtyIoPairsTenModules) {
+  const auto model = make_two_node_model();
+  EXPECT_EQ(model.module_count(), 10u);
+  EXPECT_EQ(model.system_input_count(), 5u);
+  EXPECT_EQ(model.system_output_count(), 2u);
+  EXPECT_EQ(model.io_pair_count(), 30u);
+}
+
+TEST(TwoNodeModel, SetValueFansOutToRegulatorAndLink) {
+  const auto model = make_two_node_model();
+  const auto calc = *model.find_module("CALC");
+  const auto set_value = *model.find_output(calc, "SetValue");
+  EXPECT_EQ(model.output_consumers({calc, set_value}).size(), 2u);
+}
+
+TEST(TwoNodeModel, BindingCoversAllNineteenSignals) {
+  const auto model = make_two_node_model();
+  const auto binding = make_two_node_binding(model);
+  EXPECT_EQ(binding.size(), model.all_signals().size());
+  EXPECT_EQ(model.all_signals().size(), 5u + 14u);  // inputs + outputs
+}
+
+TEST(TwoNodeModel, SeventeenInjectionTargets) {
+  // Every signal except the two output registers TOC2 and TOC2_S.
+  EXPECT_EQ(two_node_injection_targets().size(), 17u);
+}
+
+TEST(TwoNodeModel, SlaveBacktrackTreeRoutesThroughTheLink) {
+  const auto model = make_two_node_model();
+  core::SystemPermeability permeability(model);
+  // TOC2_S is system output 1.
+  const auto tree = core::build_backtrack_tree(model, permeability, 1);
+  const auto paths = core::backtrack_paths(tree);
+  // Slave output sees: InValue_S <- ADC_S (1 path) plus the link chain
+  // into the master's full CALC subtree (the 21 paths that sit under
+  // SetValue in Fig. 10).
+  EXPECT_EQ(paths.size(), 22u);
+  bool link_seen = false;
+  for (const auto& node : tree.nodes()) {
+    if (node.kind == core::TreeNode::Kind::kOutput &&
+        model.signal_name(core::SignalRef::from_output(node.output)) ==
+            "link") {
+      link_seen = true;
+    }
+  }
+  EXPECT_TRUE(link_seen);
+}
+
+TEST(TwoNodeModel, MasterTreeIsUnchangedByTheSlave) {
+  const auto model = make_two_node_model();
+  core::SystemPermeability permeability(model);
+  const auto tree = core::build_backtrack_tree(model, permeability, 0);
+  EXPECT_EQ(core::backtrack_paths(tree).size(), 22u);  // as in Fig. 10
+}
+
+TEST(TwoNodeSystemTest, ArrestsAcrossTheGrid) {
+  for (const TestCase& tc : grid_test_cases(2, 2)) {
+    const RunOutcome outcome = run_two_node_arrestment(tc);
+    EXPECT_TRUE(outcome.arrested) << tc.name();
+    EXPECT_FALSE(outcome.overrun) << tc.name();
+    EXPECT_LT(outcome.stop_distance_m, kRunwayLengthM) << tc.name();
+  }
+}
+
+TEST(TwoNodeSystemTest, SlaveChannelTracksTheMaster) {
+  TwoNodeSystem system(TestCase{14000, 60});
+  RunOptions options;
+  for (int t = 0; t < 5000; ++t) system.tick(options);
+  const auto& bus = system.bus();
+  const auto& map = system.map();
+  // Mid-arrestment both channels command comparable pressure.
+  const std::uint16_t master = bus.read(map.master.toc2);
+  const std::uint16_t slave = bus.read(map.toc2_s);
+  EXPECT_GT(master, 1000u);
+  EXPECT_NEAR(master, slave, 2000.0);
+}
+
+TEST(TwoNodeSystemTest, RunsAreDeterministic) {
+  RunOptions options;
+  options.duration = 2 * sim::kSecond;
+  const auto a = run_two_node_arrestment(TestCase{12000, 70}, options);
+  const auto b = run_two_node_arrestment(TestCase{12000, 70}, options);
+  EXPECT_FALSE(fi::compare_to_golden(a.trace, b.trace).any_divergence());
+}
+
+TEST(TwoNodeSystemTest, LinkErrorReachesOnlyTheSlaveOutput) {
+  fi::SignalBus reference;
+  const TwoNodeBusMap map = build_two_node_bus(reference);
+
+  RunOptions golden_options;
+  golden_options.duration = 4 * sim::kSecond;
+  const auto golden =
+      run_two_node_arrestment(TestCase{14000, 60}, golden_options);
+
+  RunOptions faulty = golden_options;
+  faulty.injection =
+      fi::InjectionSpec{map.link, 2 * sim::kSecond, fi::bit_flip(14)};
+  const auto injected = run_two_node_arrestment(TestCase{14000, 60}, faulty);
+  const auto report = fi::compare_to_golden(golden.trace, injected.trace);
+
+  EXPECT_TRUE(report.per_signal[map.toc2_s].diverged);
+  // The slave's divergence comes within the link refresh period.
+  EXPECT_LT(report.per_signal[map.toc2_s].first_ms, 2000u + 10u);
+  // The master's own actuator is only affected later, through the physics
+  // (changed braking force -> changed pulse stream -> changed SetValue).
+  const auto& master_toc2 = report.per_signal[map.master.toc2];
+  if (master_toc2.diverged) {
+    EXPECT_GT(master_toc2.first_ms,
+              report.per_signal[map.toc2_s].first_ms);
+  }
+}
+
+TEST(TwoNodeSystemTest, SetValueErrorReachesBothOutputs) {
+  fi::SignalBus reference;
+  const TwoNodeBusMap map = build_two_node_bus(reference);
+
+  RunOptions golden_options;
+  golden_options.duration = 4 * sim::kSecond;
+  const auto golden =
+      run_two_node_arrestment(TestCase{14000, 60}, golden_options);
+
+  RunOptions faulty = golden_options;
+  faulty.injection = fi::InjectionSpec{map.master.set_value,
+                                       2 * sim::kSecond, fi::bit_flip(14)};
+  const auto injected = run_two_node_arrestment(TestCase{14000, 60}, faulty);
+  const auto report = fi::compare_to_golden(golden.trace, injected.trace);
+  EXPECT_TRUE(report.per_signal[map.master.toc2].diverged);
+  EXPECT_TRUE(report.per_signal[map.toc2_s].diverged);
+}
+
+TEST(TwoNodeSystemTest, CampaignRunnerWorksEndToEnd) {
+  const auto runner =
+      two_node_campaign_runner(grid_test_cases(1, 1), sim::kSecond);
+  fi::RunRequest request;
+  request.test_case = 0;
+  const auto trace = runner(request);
+  EXPECT_EQ(trace.sample_count(), 1000u);
+  EXPECT_EQ(trace.signal_count(), 19u);
+}
+
+}  // namespace
+}  // namespace propane::arr

@@ -1,0 +1,51 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace propane {
+namespace {
+
+TEST(CsvEscape, PlainFieldUntouched) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape(""), "");
+}
+
+TEST(CsvEscape, QuotesFieldWithSeparator) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvEscape, DoublesEmbeddedQuotes) {
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvEscape, QuotesNewlines) {
+  EXPECT_EQ(csv_escape("a\nb"), "\"a\nb\"");
+  EXPECT_EQ(csv_escape("a\rb"), "\"a\rb\"");
+}
+
+TEST(CsvWriter, WritesRows) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_row({"module", "p"});
+  writer.write_row({"CALC", "0.223"});
+  EXPECT_EQ(out.str(), "module,p\nCALC,0.223\n");
+}
+
+TEST(CsvWriter, EscapesWithinRows) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_row({"a,b", "c"});
+  EXPECT_EQ(out.str(), "\"a,b\",c\n");
+}
+
+TEST(CsvWriter, EmptyRowProducesBlankLine) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_row({});
+  EXPECT_EQ(out.str(), "\n");
+}
+
+}  // namespace
+}  // namespace propane

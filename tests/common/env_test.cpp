@@ -1,0 +1,46 @@
+#include "common/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace propane {
+namespace {
+
+TEST(Env, UnsetReturnsNullopt) {
+  ::unsetenv("PROPANE_TEST_UNSET");
+  EXPECT_FALSE(env_string("PROPANE_TEST_UNSET").has_value());
+}
+
+TEST(Env, SetReturnsValue) {
+  ::setenv("PROPANE_TEST_SET", "hello", 1);
+  const auto value = env_string("PROPANE_TEST_SET");
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(*value, "hello");
+  ::unsetenv("PROPANE_TEST_SET");
+}
+
+TEST(Env, EmptyValueTreatedAsUnset) {
+  ::setenv("PROPANE_TEST_EMPTY", "", 1);
+  EXPECT_FALSE(env_string("PROPANE_TEST_EMPTY").has_value());
+  ::unsetenv("PROPANE_TEST_EMPTY");
+}
+
+TEST(EnvUint, ParsesInteger) {
+  ::setenv("PROPANE_TEST_NUM", "1234", 1);
+  EXPECT_EQ(env_uint("PROPANE_TEST_NUM", 7), 1234u);
+  ::unsetenv("PROPANE_TEST_NUM");
+}
+
+TEST(EnvUint, FallbackOnUnsetOrGarbage) {
+  ::unsetenv("PROPANE_TEST_NUM");
+  EXPECT_EQ(env_uint("PROPANE_TEST_NUM", 7), 7u);
+  ::setenv("PROPANE_TEST_NUM", "12x", 1);
+  EXPECT_EQ(env_uint("PROPANE_TEST_NUM", 7), 7u);
+  ::setenv("PROPANE_TEST_NUM", "abc", 1);
+  EXPECT_EQ(env_uint("PROPANE_TEST_NUM", 7), 7u);
+  ::unsetenv("PROPANE_TEST_NUM");
+}
+
+}  // namespace
+}  // namespace propane

@@ -1,0 +1,153 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+#include <vector>
+
+namespace propane {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() != b()) ++differing;
+  }
+  EXPECT_GT(differing, 95);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.bounded(17), 17u);
+  }
+}
+
+TEST(Rng, BoundedOneAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.bounded(1), 0u);
+  }
+}
+
+TEST(Rng, BoundedZeroViolatesContract) {
+  Rng rng(9);
+  EXPECT_THROW(rng.bounded(0), ContractViolation);
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-2, 3);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all of -2..3 appear in 2000 draws
+}
+
+TEST(Rng, Uniform01InHalfOpenUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform01();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanIsAboutHalf) {
+  Rng rng(17);
+  double sum = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliRespectsProbability) {
+  Rng rng(19);
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliDegenerateProbabilities) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, ForkProducesIndependentStreams) {
+  Rng parent(31);
+  Rng child_a = parent.fork(0);
+  Rng child_b = parent.fork(0);  // parent advanced: different child
+  EXPECT_NE(child_a(), child_b());
+}
+
+TEST(Rng, ForkIsDeterministicInStateAndSalt) {
+  Rng p1(55);
+  Rng p2(55);
+  Rng c1 = p1.fork(123);
+  Rng c2 = p2.fork(123);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(c1(), c2());
+  }
+}
+
+TEST(Rng, ForkSaltSeparatesStreams) {
+  Rng p1(55);
+  Rng p2(55);
+  Rng c1 = p1.fork(1);
+  Rng c2 = p2.fork(2);
+  EXPECT_NE(c1(), c2());
+}
+
+TEST(Rng, BoundedIsRoughlyUniform) {
+  Rng rng(71);
+  std::array<int, 8> counts{};
+  constexpr int kDraws = 80000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.bounded(8)];
+  }
+  for (int count : counts) {
+    EXPECT_NEAR(count, kDraws / 8, kDraws / 80);
+  }
+}
+
+TEST(Rng, UniformRangeEndpoints) {
+  Rng rng(73);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-5.0, 5.0);
+    ASSERT_GE(x, -5.0);
+    ASSERT_LT(x, 5.0);
+  }
+  // Degenerate range returns the endpoint.
+  EXPECT_EQ(rng.uniform(2.0, 2.0), 2.0);
+}
+
+TEST(Rng, SplitMix64KnownVector) {
+  // Reference values from the SplitMix64 reference implementation with
+  // seed 1234567.
+  std::uint64_t state = 1234567;
+  const std::uint64_t first = splitmix64(state);
+  const std::uint64_t second = splitmix64(state);
+  EXPECT_EQ(first, 0x599ED017FB08FC85ULL);
+  EXPECT_NE(first, second);
+}
+
+}  // namespace
+}  // namespace propane

@@ -1,0 +1,178 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace propane {
+namespace {
+
+TEST(Summary, MeanVarianceMinMax) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Summary, SingleSampleHasZeroVariance) {
+  Summary s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Summary, EmptyMeanViolatesContract) {
+  Summary s;
+  EXPECT_THROW(s.mean(), ContractViolation);
+  EXPECT_THROW(s.min(), ContractViolation);
+  EXPECT_THROW(s.max(), ContractViolation);
+}
+
+TEST(WilsonInterval, ContainsPointEstimate) {
+  const auto ci = wilson_interval(30, 100);
+  EXPECT_LT(ci.lo, 0.3);
+  EXPECT_GT(ci.hi, 0.3);
+  EXPECT_GE(ci.lo, 0.0);
+  EXPECT_LE(ci.hi, 1.0);
+}
+
+TEST(WilsonInterval, ZeroSuccessesLowerBoundIsZero) {
+  const auto ci = wilson_interval(0, 50);
+  EXPECT_DOUBLE_EQ(ci.lo, 0.0);
+  EXPECT_GT(ci.hi, 0.0);
+  EXPECT_LT(ci.hi, 0.2);
+}
+
+TEST(WilsonInterval, AllSuccessesUpperBoundIsOne) {
+  const auto ci = wilson_interval(50, 50);
+  EXPECT_DOUBLE_EQ(ci.hi, 1.0);
+  EXPECT_GT(ci.lo, 0.8);
+}
+
+TEST(WilsonInterval, ShrinksWithSampleSize) {
+  const auto small = wilson_interval(5, 10);
+  const auto large = wilson_interval(500, 1000);
+  EXPECT_LT(large.hi - large.lo, small.hi - small.lo);
+}
+
+TEST(WilsonInterval, KnownValue) {
+  // Wilson 95% CI for 8/10: approximately [0.49, 0.94].
+  const auto ci = wilson_interval(8, 10);
+  EXPECT_NEAR(ci.lo, 0.49, 0.01);
+  EXPECT_NEAR(ci.hi, 0.943, 0.01);
+}
+
+TEST(WilsonInterval, ContractChecks) {
+  EXPECT_THROW(wilson_interval(1, 0), ContractViolation);
+  EXPECT_THROW(wilson_interval(5, 4), ContractViolation);
+}
+
+TEST(KendallTau, PerfectAgreement) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const std::vector<double> ys{10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(kendall_tau_b(xs, ys), 1.0);
+}
+
+TEST(KendallTau, PerfectDisagreement) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const std::vector<double> ys{50, 40, 30, 20, 10};
+  EXPECT_DOUBLE_EQ(kendall_tau_b(xs, ys), -1.0);
+}
+
+TEST(KendallTau, KnownMixedValue) {
+  // One discordant pair among C(4,2)=6: tau = (5-1)/6 = 2/3.
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> ys{1, 2, 4, 3};
+  EXPECT_NEAR(kendall_tau_b(xs, ys), 2.0 / 3.0, 1e-12);
+}
+
+TEST(KendallTau, AllTiedReturnsZero) {
+  const std::vector<double> xs{1, 1, 1};
+  const std::vector<double> ys{2, 3, 4};
+  EXPECT_DOUBLE_EQ(kendall_tau_b(xs, ys), 0.0);
+}
+
+TEST(KendallTau, TiesReduceMagnitude) {
+  const std::vector<double> xs{1, 2, 2, 3};
+  const std::vector<double> ys{1, 2, 3, 4};
+  const double tau = kendall_tau_b(xs, ys);
+  EXPECT_GT(tau, 0.8);
+  EXPECT_LT(tau, 1.0);
+}
+
+TEST(KendallTau, SizeContracts) {
+  const std::vector<double> xs{1, 2};
+  const std::vector<double> ys{1};
+  EXPECT_THROW(kendall_tau_b(xs, ys), ContractViolation);
+  const std::vector<double> one{1};
+  EXPECT_THROW(kendall_tau_b(one, one), ContractViolation);
+}
+
+TEST(FractionalRanks, SimpleOrder) {
+  const std::vector<double> xs{30, 10, 20};
+  const auto ranks = fractional_ranks(xs);
+  EXPECT_DOUBLE_EQ(ranks[0], 3.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[2], 2.0);
+}
+
+TEST(FractionalRanks, TiesGetAverageRank) {
+  const std::vector<double> xs{1, 2, 2, 3};
+  const auto ranks = fractional_ranks(xs);
+  EXPECT_DOUBLE_EQ(ranks[0], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[2], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[3], 4.0);
+}
+
+TEST(SpearmanRho, MonotoneNonlinearIsOne) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const std::vector<double> ys{1, 4, 9, 16, 25};
+  EXPECT_NEAR(spearman_rho(xs, ys), 1.0, 1e-12);
+}
+
+TEST(SpearmanRho, ReversedIsMinusOne) {
+  const std::vector<double> xs{1, 2, 3};
+  const std::vector<double> ys{9, 4, 1};
+  EXPECT_NEAR(spearman_rho(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(0.1);   // bin 0
+  h.add(0.3);   // bin 1
+  h.add(0.77);  // bin 3
+  h.add(-5.0);  // clamped to bin 0
+  h.add(5.0);   // clamped to bin 3
+  h.add(1.0);   // hi edge clamps into last bin
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(2), 0u);
+  EXPECT_EQ(h.count(3), 3u);
+}
+
+TEST(Histogram, BinBounds) {
+  Histogram h(0.0, 2.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 1.5);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 2.0);
+}
+
+TEST(Histogram, ContractChecks) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), ContractViolation);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), ContractViolation);
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW(h.count(2), ContractViolation);
+}
+
+}  // namespace
+}  // namespace propane

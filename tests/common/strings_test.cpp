@@ -1,0 +1,76 @@
+#include "common/strings.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace propane {
+namespace {
+
+TEST(Split, BasicFields) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, PreservesEmptyFields) {
+  const auto parts = split("a,,c,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Split, EmptyStringYieldsOneEmptyField) {
+  const auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Join, RoundTripsWithSplit) {
+  const std::vector<std::string> parts{"x", "y", "z"};
+  EXPECT_EQ(join(parts, ","), "x,y,z");
+  EXPECT_EQ(split(join(parts, ","), ','), parts);
+}
+
+TEST(Join, EmptyAndSingle) {
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"only"}, ","), "only");
+}
+
+TEST(Trim, StripsWhitespaceBothEnds) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim("no-trim"), "no-trim");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(StartsWith, Basics) {
+  EXPECT_TRUE(starts_with("permeability", "perm"));
+  EXPECT_TRUE(starts_with("abc", ""));
+  EXPECT_FALSE(starts_with("ab", "abc"));
+  EXPECT_FALSE(starts_with("xyz", "y"));
+}
+
+TEST(FormatDouble, FixedPrecision) {
+  EXPECT_EQ(format_double(0.8604, 3), "0.860");
+  EXPECT_EQ(format_double(1.0, 3), "1.000");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+TEST(FormatProbability, NanRendersDash) {
+  EXPECT_EQ(format_probability(std::nan("")), "-");
+  EXPECT_EQ(format_probability(0.5), "0.500");
+}
+
+TEST(Pad, LeftAndRight) {
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("abcd", 2), "abcd");  // never truncates
+  EXPECT_EQ(pad_right("abcd", 2), "abcd");
+}
+
+}  // namespace
+}  // namespace propane

@@ -1,0 +1,84 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+
+namespace propane {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"Module", "P"});
+  t.add_row({"CALC", "0.223"});
+  t.add_row({"V_REG", "0.9"});
+  const std::string out = t.render();
+  EXPECT_EQ(out,
+            "Module |     P\n"
+            "-------+------\n"
+            "CALC   | 0.223\n"
+            "V_REG  |   0.9\n");
+}
+
+TEST(TextTable, WidthGrowsWithCellContent) {
+  TextTable t({"A", "B"});
+  t.add_row({"a-very-long-cell", "x"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("a-very-long-cell"), std::string::npos);
+  // Header is padded to the widest cell: the first line is as long as the
+  // widest body line.
+  const std::size_t header_len = out.find('\n');
+  EXPECT_EQ(header_len, std::string("a-very-long-cell | x").size());
+}
+
+TEST(TextTable, SeparatorRendersRule) {
+  TextTable t({"A"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  const std::string out = t.render();
+  // Header rule + explicit separator.
+  std::size_t rules = 0;
+  for (std::size_t pos = out.find("-\n"); pos != std::string::npos;
+       pos = out.find("-\n", pos + 1)) {
+    ++rules;
+  }
+  EXPECT_EQ(rules, 2u);
+}
+
+TEST(TextTable, RowWidthMismatchViolatesContract) {
+  TextTable t({"A", "B"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(TextTable, EmptyHeaderViolatesContract) {
+  EXPECT_THROW(TextTable({}), ContractViolation);
+}
+
+TEST(TextTable, AlignmentOverride) {
+  TextTable t({"N", "Name"});
+  t.set_align(0, Align::kRight);
+  t.set_align(1, Align::kLeft);
+  t.add_row({"1", "x"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("1 | x"), std::string::npos);
+}
+
+TEST(TextTable, MarkdownRendering) {
+  TextTable t({"Module", "P"});
+  t.add_row({"CALC", "0.223"});
+  const std::string md = t.render_markdown();
+  EXPECT_NE(md.find("| Module |"), std::string::npos);
+  EXPECT_NE(md.find("| CALC   |"), std::string::npos);
+  EXPECT_NE(md.find("-:|"), std::string::npos);  // right-aligned numeric col
+}
+
+TEST(TextTable, CountsRowsAndColumns) {
+  TextTable t({"A", "B", "C"});
+  EXPECT_EQ(t.column_count(), 3u);
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"1", "2", "3"});
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+}  // namespace
+}  // namespace propane

@@ -1,0 +1,117 @@
+#include "core/influence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "core/example_system.hpp"
+
+namespace propane::core {
+namespace {
+
+class InfluenceTest : public ::testing::Test {
+ protected:
+  SystemModel model_ = make_example_system();
+  SystemPermeability perm_ = make_example_permeability(model_);
+  InfluenceMatrix matrix_{model_, perm_};
+
+  SignalRef sys_in(const char* name) {
+    return SignalRef::from_system_input(*model_.find_system_input(name));
+  }
+  SignalRef out(const char* module, const char* port) {
+    const auto m = *model_.find_module(module);
+    return SignalRef::from_output({m, *model_.find_output(m, port)});
+  }
+};
+
+TEST_F(InfluenceTest, DiagonalIsOne) {
+  for (std::size_t i = 0; i < matrix_.size(); ++i) {
+    EXPECT_DOUBLE_EQ(matrix_.at(i, i), 1.0);
+  }
+}
+
+TEST_F(InfluenceTest, DirectEdgeEqualsPermeability) {
+  EXPECT_DOUBLE_EQ(matrix_.influence(sys_in("IA1"), out("A", "oa1")), 0.9);
+  EXPECT_DOUBLE_EQ(matrix_.influence(out("A", "oa1"), out("B", "ob2")),
+                   0.8);
+}
+
+TEST_F(InfluenceTest, ChainIsProductOfEdges) {
+  // IC1 -> oc1 (0.7) -> od1 (0.6) -> oe1 (0.5) = 0.21.
+  EXPECT_NEAR(matrix_.influence(sys_in("IC1"), out("E", "oe1")), 0.21,
+              1e-12);
+}
+
+TEST_F(InfluenceTest, ParallelRoutesTakeTheMaximum) {
+  // IA1 to oe1: direct via ob2 = 0.9*0.8*0.75 = 0.54 beats the feedback
+  // and D routes.
+  EXPECT_NEAR(matrix_.influence(sys_in("IA1"), out("E", "oe1")), 0.54,
+              1e-12);
+}
+
+TEST_F(InfluenceTest, FeedbackCycleDoesNotInflateInfluence) {
+  // ob1 participates in B's feedback loop; its self-influence stays 1 and
+  // influence through the loop stays < 1.
+  EXPECT_DOUBLE_EQ(matrix_.influence(out("B", "ob1"), out("B", "ob1")), 1.0);
+  // ob1 -> (b2) -> ob2: 0.4.
+  EXPECT_NEAR(matrix_.influence(out("B", "ob1"), out("B", "ob2")), 0.4,
+              1e-12);
+}
+
+TEST_F(InfluenceTest, UnreachablePairsAreZero) {
+  // Nothing flows from E's output back to A's output.
+  EXPECT_DOUBLE_EQ(matrix_.influence(out("E", "oe1"), out("A", "oa1")), 0.0);
+  // System inputs are never influenced.
+  EXPECT_DOUBLE_EQ(matrix_.influence(out("A", "oa1"), sys_in("IA1")), 0.0);
+}
+
+TEST_F(InfluenceTest, InfluenceIsMonotoneUnderLargerPermeability) {
+  SystemPermeability boosted = make_example_permeability(model_);
+  boosted.set(model_, "E", "e2", "oe1", 0.9);  // was 0.5
+  const InfluenceMatrix more(model_, boosted);
+  for (std::size_t i = 0; i < matrix_.size(); ++i) {
+    for (std::size_t j = 0; j < matrix_.size(); ++j) {
+      EXPECT_GE(more.at(i, j) + 1e-12, matrix_.at(i, j));
+    }
+  }
+}
+
+TEST_F(InfluenceTest, MaxSingleRouteNeverExceedsOne) {
+  for (std::size_t i = 0; i < matrix_.size(); ++i) {
+    for (std::size_t j = 0; j < matrix_.size(); ++j) {
+      EXPECT_GE(matrix_.at(i, j), 0.0);
+      EXPECT_LE(matrix_.at(i, j), 1.0);
+    }
+  }
+}
+
+TEST_F(InfluenceTest, BoundaryTableShapesMatchModel) {
+  const TextTable table = matrix_.boundary_table(model_);
+  EXPECT_EQ(table.row_count(), model_.system_input_count());
+  EXPECT_EQ(table.column_count(), 1 + model_.system_output_count());
+  const std::string rendered = table.render();
+  EXPECT_NE(rendered.find("0.540"), std::string::npos);  // IA1 -> OE1
+  EXPECT_NE(rendered.find("0.210"), std::string::npos);  // IC1 -> OE1
+  EXPECT_NE(rendered.find("0.250"), std::string::npos);  // IE3 -> OE1
+}
+
+TEST_F(InfluenceTest, FullTableIsSquarePlusLabels) {
+  const TextTable table = matrix_.full_table();
+  EXPECT_EQ(table.row_count(), matrix_.size());
+  EXPECT_EQ(table.column_count(), 1 + matrix_.size());
+}
+
+TEST_F(InfluenceTest, InfluenceAgreesWithStrongestBacktrackPath) {
+  // Cross-check against the tree machinery: the max trace-path weight
+  // from IA1 equals the influence entry to the output signal.
+  EXPECT_NEAR(matrix_.influence(sys_in("IA1"), out("E", "oe1")), 0.54,
+              1e-12);
+  EXPECT_NEAR(matrix_.influence(sys_in("IE3"), out("E", "oe1")), 0.25,
+              1e-12);
+}
+
+TEST_F(InfluenceTest, OutOfRangeAccessViolatesContract) {
+  EXPECT_THROW(matrix_.at(99, 0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace propane::core

@@ -1,0 +1,110 @@
+#include "core/input_profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "core/example_system.hpp"
+#include "core/trace_tree.hpp"
+
+namespace propane::core {
+namespace {
+
+class InputProfileTest : public ::testing::Test {
+ protected:
+  SystemModel model_ = make_example_system();
+  SystemPermeability perm_ = make_example_permeability(model_);
+  std::vector<PropagationTree> trees_ = build_all_trace_trees(model_, perm_);
+};
+
+TEST_F(InputProfileTest, DefaultsToZero) {
+  const InputErrorProfile profile(model_);
+  for (std::uint32_t i = 0; i < model_.system_input_count(); ++i) {
+    EXPECT_DOUBLE_EQ(profile.get(i), 0.0);
+  }
+}
+
+TEST_F(InputProfileTest, SetByIndexAndName) {
+  InputErrorProfile profile(model_);
+  profile.set(0, 0.25);
+  EXPECT_DOUBLE_EQ(profile.get(0), 0.25);
+  profile.set(model_, "IC1", 0.5);
+  EXPECT_DOUBLE_EQ(profile.get(1), 0.5);
+  profile.set_all(0.1);
+  EXPECT_DOUBLE_EQ(profile.get(0), 0.1);
+  EXPECT_DOUBLE_EQ(profile.get(2), 0.1);
+}
+
+TEST_F(InputProfileTest, RejectsBadArguments) {
+  InputErrorProfile profile(model_);
+  EXPECT_THROW(profile.set(9, 0.5), ContractViolation);
+  EXPECT_THROW(profile.set(0, -0.1), ContractViolation);
+  EXPECT_THROW(profile.set(0, 1.1), ContractViolation);
+  EXPECT_THROW(profile.set(model_, "nope", 0.5), ContractViolation);
+  EXPECT_THROW(profile.get(9), ContractViolation);
+}
+
+TEST_F(InputProfileTest, WeightedPathsApplyTheSection42Adjustment) {
+  InputErrorProfile profile(model_);
+  profile.set(model_, "IA1", 0.5);
+  const auto weighted = weighted_trace_paths(model_, trees_, profile);
+  // 3 paths from IA1, 1 from IC1, 1 from IE3 = 5 total.
+  ASSERT_EQ(weighted.size(), 5u);
+  // Top path: IA1 via ob2, conditional 0.54, absolute 0.27.
+  EXPECT_EQ(weighted[0].system_input, 0u);
+  EXPECT_NEAR(weighted[0].conditional, 0.54, 1e-12);
+  EXPECT_NEAR(weighted[0].absolute, 0.27, 1e-12);
+  // Other inputs have probability 0: their paths sink to the bottom.
+  EXPECT_DOUBLE_EQ(weighted.back().absolute, 0.0);
+}
+
+TEST_F(InputProfileTest, WeightedPathsSortedByAbsolute) {
+  InputErrorProfile profile(model_);
+  profile.set_all(0.1);
+  const auto weighted = weighted_trace_paths(model_, trees_, profile);
+  for (std::size_t i = 1; i < weighted.size(); ++i) {
+    EXPECT_GE(weighted[i - 1].absolute, weighted[i].absolute);
+  }
+}
+
+TEST_F(InputProfileTest, OutputEstimateBoundsAreOrdered) {
+  InputErrorProfile profile(model_);
+  profile.set_all(0.2);
+  const auto estimates = output_error_estimates(model_, trees_, profile);
+  ASSERT_EQ(estimates.size(), 1u);
+  const auto& est = estimates[0];
+  // max single path <= independent combination <= union bound <= 1.
+  EXPECT_GT(est.max_single_path, 0.0);
+  EXPECT_LE(est.max_single_path, est.independent + 1e-12);
+  EXPECT_LE(est.independent, est.union_bound + 1e-12);
+  EXPECT_LE(est.union_bound, 1.0);
+}
+
+TEST_F(InputProfileTest, SinglePathHandComputation) {
+  // Only IE3 errors: one path with conditional 0.25 and Pr = 0.4.
+  InputErrorProfile profile(model_);
+  profile.set(model_, "IE3", 0.4);
+  const auto estimates = output_error_estimates(model_, trees_, profile);
+  EXPECT_NEAR(estimates[0].independent, 0.1, 1e-12);
+  EXPECT_NEAR(estimates[0].union_bound, 0.1, 1e-12);
+  EXPECT_NEAR(estimates[0].max_single_path, 0.1, 1e-12);
+}
+
+TEST_F(InputProfileTest, ZeroProfileGivesZeroEstimates) {
+  const InputErrorProfile profile(model_);
+  const auto estimates = output_error_estimates(model_, trees_, profile);
+  EXPECT_DOUBLE_EQ(estimates[0].independent, 0.0);
+  EXPECT_DOUBLE_EQ(estimates[0].union_bound, 0.0);
+}
+
+TEST_F(InputProfileTest, MismatchedTreesViolateContract) {
+  InputErrorProfile profile(model_);
+  std::vector<PropagationTree> wrong;
+  wrong.push_back(build_trace_tree(model_, perm_, 1));  // out of order
+  wrong.push_back(build_trace_tree(model_, perm_, 0));
+  wrong.push_back(build_trace_tree(model_, perm_, 2));
+  EXPECT_THROW(weighted_trace_paths(model_, wrong, profile),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace propane::core

@@ -1,0 +1,126 @@
+#include "core/model_parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "core/example_system.hpp"
+
+namespace propane::core {
+namespace {
+
+constexpr const char* kChainText = R"(
+# a three-module chain
+module A in a out oa
+module B in b out ob
+module C in c out oc
+input X -> A.a
+connect A.oa -> B.b
+connect B.ob -> C.c
+output OUT <- C.oc
+)";
+
+TEST(ModelParser, ParsesAChain) {
+  const SystemModel model = parse_system_model(kChainText);
+  EXPECT_EQ(model.module_count(), 3u);
+  EXPECT_EQ(model.system_input_count(), 1u);
+  EXPECT_EQ(model.system_output_count(), 1u);
+  const auto b = *model.find_module("B");
+  const Source& src = model.input_source(InputRef{b, 0});
+  EXPECT_EQ(src.kind, SourceKind::kModuleOutput);
+  EXPECT_EQ(src.output.module, *model.find_module("A"));
+}
+
+TEST(ModelParser, SourceModuleWithoutInputs) {
+  const SystemModel model = parse_system_model(
+      "module SRC out s\n"
+      "module SINK in i out o\n"
+      "connect SRC.s -> SINK.i\n"
+      "output O <- SINK.o\n");
+  EXPECT_EQ(model.module(*model.find_module("SRC")).input_count(), 0u);
+}
+
+TEST(ModelParser, FanOutByRepeatingInputLines) {
+  const SystemModel model = parse_system_model(
+      "module P in i out o\n"
+      "module Q in i out o\n"
+      "input X -> P.i\n"
+      "input X -> Q.i\n"
+      "output OP <- P.o\n"
+      "output OQ <- Q.o\n");
+  EXPECT_EQ(model.system_input_count(), 1u);
+  EXPECT_EQ(model.system_input_consumers(0).size(), 2u);
+}
+
+TEST(ModelParser, SelfLoopFeedback) {
+  const SystemModel model = parse_system_model(
+      "module M in fb out o\n"
+      "connect M.o -> M.fb\n"
+      "output O <- M.o\n");
+  const Source& src = model.input_source(InputRef{0, 0});
+  EXPECT_EQ(src.kind, SourceKind::kModuleOutput);
+  EXPECT_EQ(src.output.module, 0u);
+}
+
+TEST(ModelParser, CommentsAndBlankLinesIgnored) {
+  const SystemModel model = parse_system_model(
+      "# leading comment\n"
+      "\n"
+      "module M out o   # trailing comment\n"
+      "output O <- M.o\n");
+  EXPECT_EQ(model.module_count(), 1u);
+}
+
+TEST(ModelParser, RoundTripsThroughToModelText) {
+  const SystemModel original = make_example_system();
+  const std::string text = to_model_text(original);
+  const SystemModel reparsed = parse_system_model(text);
+  EXPECT_EQ(reparsed.module_count(), original.module_count());
+  EXPECT_EQ(reparsed.system_input_count(), original.system_input_count());
+  EXPECT_EQ(reparsed.system_output_count(),
+            original.system_output_count());
+  EXPECT_EQ(reparsed.io_pair_count(), original.io_pair_count());
+  // Wiring identical: every input source matches.
+  for (ModuleId m = 0; m < original.module_count(); ++m) {
+    for (PortIndex i = 0; i < original.module(m).input_count(); ++i) {
+      EXPECT_EQ(original.input_source(InputRef{m, i}),
+                reparsed.input_source(InputRef{m, i}));
+    }
+  }
+}
+
+TEST(ModelParser, ErrorsCarryLineNumbers) {
+  const auto expect_error_at = [](const char* text, const char* fragment) {
+    try {
+      parse_system_model(text);
+      FAIL() << "expected ContractViolation for: " << text;
+    } catch (const ContractViolation& err) {
+      EXPECT_NE(std::string(err.what()).find(fragment), std::string::npos)
+          << err.what();
+    }
+  };
+  expect_error_at("module M out o\nbogus stuff\noutput O <- M.o\n",
+                  "line 2");
+  expect_error_at("module M in i\noutput O <- M.o\n", "at least one output");
+  expect_error_at("module M out o\nconnect M.o > M.i\n", "expected");
+  expect_error_at("module M out o\noutput O <- Mo\n", "MODULE.PORT");
+  expect_error_at("module M in x out o\nmodule M out o2\n", "duplicate");
+}
+
+TEST(ModelParser, DanglingInputRejectedByBuild) {
+  EXPECT_THROW(parse_system_model("module M in i out o\noutput O <- M.o\n"),
+               ContractViolation);
+}
+
+TEST(ModelParser, PortsBeforeKeywordRejected) {
+  EXPECT_THROW(parse_system_model("module M stray in i out o\n"),
+               ContractViolation);
+}
+
+TEST(ModelParser, ArrestmentModelRoundTrip) {
+  // The Fig. 8 system survives the text round trip with all 25 pairs.
+  const std::string text = to_model_text(make_example_system());
+  EXPECT_NE(text.find("module B in b1 b2 out ob1 ob2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace propane::core

@@ -1,0 +1,98 @@
+#include "core/permeability_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/contracts.hpp"
+#include "core/example_system.hpp"
+
+namespace propane::core {
+namespace {
+
+class PermeabilityIoTest : public ::testing::Test {
+ protected:
+  SystemModel model_ = make_example_system();
+};
+
+TEST_F(PermeabilityIoTest, RoundTripPreservesEveryValue) {
+  const SystemPermeability original = make_example_permeability(model_);
+  std::stringstream buffer;
+  save_permeability_csv(buffer, model_, original);
+  const SystemPermeability loaded =
+      load_permeability_csv(buffer, model_);
+  for (ModuleId m = 0; m < model_.module_count(); ++m) {
+    for (PortIndex i = 0; i < model_.module(m).input_count(); ++i) {
+      for (PortIndex k = 0; k < model_.module(m).output_count(); ++k) {
+        EXPECT_NEAR(loaded.get(m, i, k), original.get(m, i, k), 1e-6);
+      }
+    }
+  }
+}
+
+TEST_F(PermeabilityIoTest, SavedCsvHasHeaderAndAllPairs) {
+  const SystemPermeability original = make_example_permeability(model_);
+  std::stringstream buffer;
+  save_permeability_csv(buffer, model_, original);
+  const std::string text = buffer.str();
+  EXPECT_EQ(text.substr(0, 33), "module,input,output,permeability\n");
+  std::size_t lines = 0;
+  for (char ch : text) {
+    if (ch == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 1 + model_.io_pair_count());
+}
+
+TEST_F(PermeabilityIoTest, OmittedPairsStayZero) {
+  std::istringstream in("module,input,output,permeability\n"
+                        "B,b1,ob2,0.8\n");
+  const SystemPermeability loaded = load_permeability_csv(in, model_);
+  const ModuleId b = *model_.find_module("B");
+  EXPECT_DOUBLE_EQ(loaded.get(b, 0, 1), 0.8);
+  EXPECT_DOUBLE_EQ(loaded.get(b, 0, 0), 0.0);
+}
+
+TEST_F(PermeabilityIoTest, CommentsAndBlankLinesIgnored) {
+  std::istringstream in("# produced by hand\n"
+                        "\n"
+                        "A,a1,oa1,0.9\n"
+                        "  \n"
+                        "# trailing comment\n");
+  const SystemPermeability loaded = load_permeability_csv(in, model_);
+  EXPECT_DOUBLE_EQ(loaded.get(*model_.find_module("A"), 0, 0), 0.9);
+}
+
+TEST_F(PermeabilityIoTest, HeaderIsOptional) {
+  std::istringstream in("A,a1,oa1,0.5\n");
+  const SystemPermeability loaded = load_permeability_csv(in, model_);
+  EXPECT_DOUBLE_EQ(loaded.get(*model_.find_module("A"), 0, 0), 0.5);
+}
+
+TEST_F(PermeabilityIoTest, ErrorsMentionTheLineNumber) {
+  std::istringstream in("A,a1,oa1,0.5\nNOPE,a1,oa1,0.5\n");
+  try {
+    load_permeability_csv(in, model_);
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& err) {
+    EXPECT_NE(std::string(err.what()).find("line 2"), std::string::npos)
+        << err.what();
+  }
+}
+
+TEST_F(PermeabilityIoTest, RejectsMalformedRows) {
+  const auto expect_reject = [&](const char* text) {
+    std::istringstream in(text);
+    EXPECT_THROW(load_permeability_csv(in, model_), ContractViolation)
+        << text;
+  };
+  expect_reject("A,a1,oa1\n");                 // too few fields
+  expect_reject("A,a1,oa1,0.5,junk\n");        // too many fields
+  expect_reject("A,nope,oa1,0.5\n");           // unknown input
+  expect_reject("A,a1,nope,0.5\n");            // unknown output
+  expect_reject("A,a1,oa1,abc\n");             // unparsable value
+  expect_reject("A,a1,oa1,1.5\n");             // out of range
+  expect_reject("A,a1,oa1,-0.1\n");            // out of range
+}
+
+}  // namespace
+}  // namespace propane::core

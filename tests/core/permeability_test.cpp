@@ -1,0 +1,118 @@
+#include "core/permeability.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "core/example_system.hpp"
+
+namespace propane::core {
+namespace {
+
+TEST(SystemPermeability, DefaultsToZero) {
+  const SystemModel model = make_example_system();
+  const SystemPermeability p(model);
+  for (ModuleId m = 0; m < model.module_count(); ++m) {
+    for (PortIndex i = 0; i < model.module(m).input_count(); ++i) {
+      for (PortIndex k = 0; k < model.module(m).output_count(); ++k) {
+        EXPECT_EQ(p.get(m, i, k), 0.0);
+      }
+    }
+  }
+}
+
+TEST(SystemPermeability, SetAndGetByIndexAndName) {
+  const SystemModel model = make_example_system();
+  SystemPermeability p(model);
+  const ModuleId b = *model.find_module("B");
+  p.set(b, 0, 1, 0.8);
+  EXPECT_DOUBLE_EQ(p.get(b, 0, 1), 0.8);
+  p.set(model, "B", "b2", "ob1", 0.3);
+  EXPECT_DOUBLE_EQ(p.get(b, 1, 0), 0.3);
+}
+
+TEST(SystemPermeability, RejectsOutOfRangeProbability) {
+  const SystemModel model = make_example_system();
+  SystemPermeability p(model);
+  EXPECT_THROW(p.set(0, 0, 0, -0.01), ContractViolation);
+  EXPECT_THROW(p.set(0, 0, 0, 1.01), ContractViolation);
+  EXPECT_NO_THROW(p.set(0, 0, 0, 0.0));
+  EXPECT_NO_THROW(p.set(0, 0, 0, 1.0));
+}
+
+TEST(SystemPermeability, RejectsBadIndices) {
+  const SystemModel model = make_example_system();
+  SystemPermeability p(model);
+  EXPECT_THROW(p.set(99, 0, 0, 0.5), ContractViolation);
+  EXPECT_THROW(p.set(0, 99, 0, 0.5), ContractViolation);
+  EXPECT_THROW(p.set(0, 0, 99, 0.5), ContractViolation);
+  EXPECT_THROW(p.get(99, 0, 0), ContractViolation);
+}
+
+TEST(SystemPermeability, RejectsBadNames) {
+  const SystemModel model = make_example_system();
+  SystemPermeability p(model);
+  EXPECT_THROW(p.set(model, "NOPE", "b1", "ob1", 0.5), ContractViolation);
+  EXPECT_THROW(p.set(model, "B", "nope", "ob1", 0.5), ContractViolation);
+  EXPECT_THROW(p.set(model, "B", "b1", "nope", 0.5), ContractViolation);
+}
+
+TEST(SystemPermeability, RelativePermeabilityEq2) {
+  const SystemModel model = make_example_system();
+  const SystemPermeability p = make_example_permeability(model);
+  const ModuleId b = *model.find_module("B");
+  // B: (0.5 + 0.8 + 0.3 + 0.4) / (2*2) = 0.5
+  EXPECT_DOUBLE_EQ(p.relative_permeability(b), 0.5);
+}
+
+TEST(SystemPermeability, NonweightedRelativePermeabilityEq3) {
+  const SystemModel model = make_example_system();
+  const SystemPermeability p = make_example_permeability(model);
+  const ModuleId b = *model.find_module("B");
+  EXPECT_DOUBLE_EQ(p.nonweighted_relative_permeability(b), 2.0);
+  const ModuleId e = *model.find_module("E");
+  EXPECT_DOUBLE_EQ(p.nonweighted_relative_permeability(e), 1.5);
+  EXPECT_DOUBLE_EQ(p.relative_permeability(e), 0.5);
+}
+
+TEST(SystemPermeability, PaperSection41HubComparison) {
+  // Section 4.1: if two modules have equal non-weighted permeability, the
+  // one with fewer pairs has the higher relative permeability (and vice
+  // versa). Module G: 1x1 pairs, H: 2x2 pairs, both with sum 0.8.
+  SystemModelBuilder builder;
+  builder.add_module("G", {"i"}, {"o"});
+  builder.add_module("H", {"i1", "i2"}, {"o1", "o2"});
+  builder.add_system_input("x1");
+  builder.add_system_input("x2");
+  builder.add_system_input("x3");
+  builder.connect_system_input("x1", "G", "i");
+  builder.connect_system_input("x2", "H", "i1");
+  builder.connect_system_input("x3", "H", "i2");
+  builder.add_system_output("og", "G", "o");
+  builder.add_system_output("oh", "H", "o1");
+  const SystemModel model = std::move(builder).build();
+
+  SystemPermeability p(model);
+  p.set(model, "G", "i", "o", 0.8);
+  p.set(model, "H", "i1", "o1", 0.2);
+  p.set(model, "H", "i1", "o2", 0.2);
+  p.set(model, "H", "i2", "o1", 0.2);
+  p.set(model, "H", "i2", "o2", 0.2);
+
+  const ModuleId g = *model.find_module("G");
+  const ModuleId h = *model.find_module("H");
+  EXPECT_DOUBLE_EQ(p.nonweighted_relative_permeability(g),
+                   p.nonweighted_relative_permeability(h));
+  EXPECT_GT(p.relative_permeability(g), p.relative_permeability(h));
+}
+
+TEST(SystemPermeability, CountsMatchModel) {
+  const SystemModel model = make_example_system();
+  const SystemPermeability p(model);
+  EXPECT_EQ(p.module_count(), model.module_count());
+  const ModuleId e = *model.find_module("E");
+  EXPECT_EQ(p.input_count(e), 3u);
+  EXPECT_EQ(p.output_count(e), 1u);
+}
+
+}  // namespace
+}  // namespace propane::core

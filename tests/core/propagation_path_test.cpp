@@ -1,0 +1,129 @@
+#include "core/propagation_path.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/backtrack_tree.hpp"
+#include "core/example_system.hpp"
+#include "core/trace_tree.hpp"
+
+namespace propane::core {
+namespace {
+
+class PropagationPathTest : public ::testing::Test {
+ protected:
+  SystemModel model_ = make_example_system();
+  SystemPermeability perm_ = make_example_permeability(model_);
+  PropagationTree backtrack_ = build_backtrack_tree(model_, perm_, 0);
+};
+
+TEST_F(PropagationPathTest, SortIsDescendingAndStable) {
+  auto paths = backtrack_paths(backtrack_);
+  sort_paths_by_weight(paths);
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_GE(paths[i - 1].weight, paths[i].weight);
+  }
+}
+
+TEST_F(PropagationPathTest, NonzeroPathsFiltersZeros) {
+  SystemPermeability sparse(model_);
+  sparse.set(model_, "E", "e3", "oe1", 0.25);
+  const PropagationTree tree = build_backtrack_tree(model_, sparse, 0);
+  auto all = backtrack_paths(tree);
+  const auto nonzero = nonzero_paths(all);
+  EXPECT_EQ(all.size(), 7u);
+  ASSERT_EQ(nonzero.size(), 1u);
+  EXPECT_NEAR(nonzero[0].weight, 0.25, 1e-12);
+}
+
+TEST_F(PropagationPathTest, PathWeightIsProductOfPermeabilities) {
+  // Independent recomputation: multiply only the permeability edges.
+  for (const PropagationPath& path : backtrack_paths(backtrack_)) {
+    double expected = 1.0;
+    for (TreeNodeIndex index : path.nodes) {
+      const TreeNode& n = backtrack_.node(index);
+      if (n.has_arc) {
+        expected *= perm_.get(n.arc.module, n.arc.input, n.arc.output);
+      }
+    }
+    EXPECT_DOUBLE_EQ(path.weight, expected);
+  }
+}
+
+TEST_F(PropagationPathTest, PathNodesStartAtRoot) {
+  for (const PropagationPath& path : backtrack_paths(backtrack_)) {
+    ASSERT_FALSE(path.nodes.empty());
+    EXPECT_EQ(path.nodes.front(), 0u);
+    EXPECT_TRUE(backtrack_.node(path.nodes.back()).is_leaf());
+  }
+}
+
+TEST_F(PropagationPathTest, PathSignalsContainRootAndTerminalSignals) {
+  const auto paths = backtrack_paths(backtrack_);
+  const ModuleId e = *model_.find_module("E");
+  for (const PropagationPath& path : paths) {
+    const auto signals = path_signals(model_, backtrack_, path);
+    // Root output signal oe1 is always present.
+    EXPECT_NE(std::find(signals.begin(), signals.end(),
+                        SignalRef::from_output(OutputRef{e, 0})),
+              signals.end());
+  }
+}
+
+TEST_F(PropagationPathTest, PathSignalsDeduplicates) {
+  // The feedback path visits ob1's signal twice (node + driver); the signal
+  // list must contain it once.
+  auto paths = backtrack_paths(backtrack_);
+  for (const PropagationPath& path : paths) {
+    auto signals = path_signals(model_, backtrack_, path);
+    auto sorted = signals;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const SignalRef& a, const SignalRef& b) {
+                if (a.kind != b.kind) return a.kind < b.kind;
+                if (a.kind == SourceKind::kSystemInput) {
+                  return a.system_input < b.system_input;
+                }
+                return a.output < b.output;
+              });
+    EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+  }
+}
+
+TEST_F(PropagationPathTest, SystemInputAppearsInBoundaryPaths) {
+  const auto paths = backtrack_paths(backtrack_);
+  for (const PropagationPath& path : paths) {
+    const auto signals = path_signals(model_, backtrack_, path);
+    const bool has_system_input =
+        std::any_of(signals.begin(), signals.end(), [](const SignalRef& s) {
+          return s.kind == SourceKind::kSystemInput;
+        });
+    EXPECT_EQ(has_system_input, !path.ends_in_feedback);
+  }
+}
+
+TEST_F(PropagationPathTest, TraceAndBacktrackAgreeOnEndToEndWeights) {
+  // The full-system paths IA1 ~> OE1 must have the same weight set whether
+  // computed forwards (trace tree) or backwards (backtrack tree).
+  const PropagationTree trace = build_trace_tree(model_, perm_, 0);
+  auto forward = trace_paths(trace);
+  sort_paths_by_weight(forward);
+
+  auto backward = backtrack_paths(backtrack_);
+  // Keep only paths that terminate at system input IA1.
+  std::erase_if(backward, [&](const PropagationPath& p) {
+    const TreeNode& leaf = backtrack_.node(p.nodes.back());
+    if (!leaf.is_system_input) return true;
+    const Source& src = model_.input_source(leaf.input);
+    return src.system_input != 0;
+  });
+  sort_paths_by_weight(backward);
+
+  ASSERT_EQ(forward.size(), backward.size());
+  for (std::size_t i = 0; i < forward.size(); ++i) {
+    EXPECT_NEAR(forward[i].weight, backward[i].weight, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace propane::core

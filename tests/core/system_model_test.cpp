@@ -1,0 +1,159 @@
+#include "core/system_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "core/example_system.hpp"
+
+namespace propane::core {
+namespace {
+
+TEST(SystemModelBuilder, BuildsTheExampleSystem) {
+  const SystemModel model = make_example_system();
+  EXPECT_EQ(model.module_count(), 5u);
+  EXPECT_EQ(model.system_input_count(), 3u);
+  EXPECT_EQ(model.system_output_count(), 1u);
+}
+
+TEST(SystemModelBuilder, RejectsDuplicateModuleNames) {
+  SystemModelBuilder b;
+  b.add_module("A", {"i"}, {"o"});
+  EXPECT_THROW(b.add_module("A", {"i"}, {"o"}), ContractViolation);
+}
+
+TEST(SystemModelBuilder, RejectsDuplicatePortNames) {
+  SystemModelBuilder b;
+  EXPECT_THROW(b.add_module("A", {"i", "i"}, {"o"}), ContractViolation);
+  EXPECT_THROW(b.add_module("B", {"i"}, {"o", "o"}), ContractViolation);
+  EXPECT_THROW(b.add_module("C", {""}, {"o"}), ContractViolation);
+}
+
+TEST(SystemModelBuilder, RejectsDoubleDrivenInput) {
+  SystemModelBuilder b;
+  b.add_module("A", {}, {"o1", "o2"});
+  b.add_module("B", {"i"}, {"o"});
+  b.add_system_input("ext");
+  b.connect("A", "o1", "B", "i");
+  EXPECT_THROW(b.connect("A", "o2", "B", "i"), ContractViolation);
+  EXPECT_THROW(b.connect_system_input("ext", "B", "i"), ContractViolation);
+}
+
+TEST(SystemModelBuilder, RejectsUnknownNames) {
+  SystemModelBuilder b;
+  b.add_module("A", {"i"}, {"o"});
+  b.add_system_input("ext");
+  EXPECT_THROW(b.connect("NOPE", "o", "A", "i"), ContractViolation);
+  EXPECT_THROW(b.connect("A", "nope", "A", "i"), ContractViolation);
+  EXPECT_THROW(b.connect("A", "o", "A", "nope"), ContractViolation);
+  EXPECT_THROW(b.connect_system_input("nope", "A", "i"), ContractViolation);
+  EXPECT_THROW(b.add_system_output("out", "NOPE", "o"), ContractViolation);
+}
+
+TEST(SystemModelBuilder, RejectsDanglingInput) {
+  SystemModelBuilder b;
+  b.add_module("A", {"i"}, {"o"});
+  b.add_system_output("out", "A", "o");
+  EXPECT_THROW(std::move(b).build(), ContractViolation);
+}
+
+TEST(SystemModelBuilder, RejectsSystemWithoutOutputs) {
+  SystemModelBuilder b;
+  b.add_module("A", {}, {"o"});
+  EXPECT_THROW(std::move(b).build(), ContractViolation);
+}
+
+TEST(SystemModel, InputSourceResolvesWiring) {
+  const SystemModel model = make_example_system();
+  const ModuleId b = *model.find_module("B");
+  const ModuleId a = *model.find_module("A");
+
+  // b1 is driven by A.oa1.
+  const Source& b1 = model.input_source(InputRef{b, 0});
+  EXPECT_EQ(b1.kind, SourceKind::kModuleOutput);
+  EXPECT_EQ(b1.output.module, a);
+  EXPECT_EQ(b1.output.port, 0u);
+
+  // b2 is the local feedback from B.ob1.
+  const Source& b2 = model.input_source(InputRef{b, 1});
+  EXPECT_EQ(b2.kind, SourceKind::kModuleOutput);
+  EXPECT_EQ(b2.output.module, b);
+  EXPECT_EQ(b2.output.port, 0u);
+}
+
+TEST(SystemModel, SystemInputWiring) {
+  const SystemModel model = make_example_system();
+  const ModuleId a = *model.find_module("A");
+  const Source& a1 = model.input_source(InputRef{a, 0});
+  EXPECT_EQ(a1.kind, SourceKind::kSystemInput);
+  EXPECT_EQ(model.system_input_name(a1.system_input), "IA1");
+  const auto& consumers = model.system_input_consumers(a1.system_input);
+  ASSERT_EQ(consumers.size(), 1u);
+  EXPECT_EQ(consumers[0], (InputRef{a, 0}));
+}
+
+TEST(SystemModel, OutputConsumersIncludeFanOut) {
+  const SystemModel model = make_example_system();
+  const ModuleId b = *model.find_module("B");
+  // B.ob1 fans out to B.b2 (feedback) and D.d2.
+  const auto& consumers = model.output_consumers(OutputRef{b, 0});
+  EXPECT_EQ(consumers.size(), 2u);
+}
+
+TEST(SystemModel, SystemOutputSource) {
+  const SystemModel model = make_example_system();
+  const ModuleId e = *model.find_module("E");
+  EXPECT_EQ(model.system_output_source(0).module, e);
+  EXPECT_TRUE(model.output_is_system_output(OutputRef{e, 0}));
+  const ModuleId a = *model.find_module("A");
+  EXPECT_FALSE(model.output_is_system_output(OutputRef{a, 0}));
+}
+
+TEST(SystemModel, NameLookupsAndFormatting) {
+  const SystemModel model = make_example_system();
+  const ModuleId b = *model.find_module("B");
+  EXPECT_EQ(model.module_name(b), "B");
+  EXPECT_EQ(*model.find_input(b, "b2"), 1u);
+  EXPECT_EQ(*model.find_output(b, "ob2"), 1u);
+  EXPECT_FALSE(model.find_input(b, "nope").has_value());
+  EXPECT_FALSE(model.find_output(b, "nope").has_value());
+  EXPECT_FALSE(model.find_module("nope").has_value());
+  EXPECT_FALSE(model.find_system_input("nope").has_value());
+  EXPECT_EQ(model.input_name(InputRef{b, 1}), "B.b2");
+  EXPECT_EQ(model.output_name(OutputRef{b, 1}), "B.ob2");
+}
+
+TEST(SystemModel, SignalNames) {
+  const SystemModel model = make_example_system();
+  EXPECT_EQ(model.signal_name(SignalRef::from_system_input(0)), "IA1");
+  const ModuleId b = *model.find_module("B");
+  EXPECT_EQ(model.signal_name(SignalRef::from_output(OutputRef{b, 1})),
+            "ob2");
+}
+
+TEST(SystemModel, IoPairCount) {
+  const SystemModel model = make_example_system();
+  // A:1*1 + B:2*2 + C:1*1 + D:2*1 + E:3*1 = 11 pairs.
+  EXPECT_EQ(model.io_pair_count(), 11u);
+}
+
+TEST(SystemModel, AllSignalsEnumeratesInputsThenOutputs) {
+  const SystemModel model = make_example_system();
+  const auto signals = model.all_signals();
+  // 3 system inputs + 6 module outputs (A:1, B:2, C:1, D:1, E:1).
+  ASSERT_EQ(signals.size(), 9u);
+  EXPECT_EQ(signals[0].kind, SourceKind::kSystemInput);
+  EXPECT_EQ(signals[2].kind, SourceKind::kSystemInput);
+  EXPECT_EQ(signals[3].kind, SourceKind::kModuleOutput);
+  EXPECT_EQ(signals[8].kind, SourceKind::kModuleOutput);
+}
+
+TEST(SystemModel, OutOfRangeAccessViolatesContracts) {
+  const SystemModel model = make_example_system();
+  EXPECT_THROW(model.module(99), ContractViolation);
+  EXPECT_THROW(model.system_input_name(99), ContractViolation);
+  EXPECT_THROW(model.system_output_name(99), ContractViolation);
+  EXPECT_THROW(model.input_source(InputRef{0, 99}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace propane::core

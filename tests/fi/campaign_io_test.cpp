@@ -1,0 +1,69 @@
+#include "fi/campaign_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace propane::fi {
+namespace {
+
+CampaignResult small_result() {
+  CampaignResult result;
+  result.signal_names = {"src", "dst"};
+  InjectionRecord a;
+  a.injection_index = 0;
+  a.test_case = 1;
+  a.target = 0;
+  a.when = 2 * sim::kSecond;
+  a.model_name = "bitflip(3)";
+  a.report.per_signal.resize(2);
+  a.report.per_signal[0] = Divergence{true, 2000, 10, 18};
+  a.report.per_signal[1] = Divergence{true, 2004, 5, 7};
+  result.records.push_back(a);
+
+  InjectionRecord b;
+  b.injection_index = 1;
+  b.test_case = 0;
+  b.target = 1;
+  b.when = 500 * sim::kMillisecond;
+  b.model_name = "offset(-1)";
+  b.report.per_signal.resize(2);  // no divergence
+  result.records.push_back(b);
+  return result;
+}
+
+TEST(CampaignIo, SummaryHasOneRowPerRecord) {
+  std::ostringstream out;
+  write_campaign_summary_csv(out, small_result());
+  const auto text = out.str();
+  EXPECT_EQ(text,
+            "injection_index,test_case,target,when_ms,model,"
+            "diverged_signals\n"
+            "0,1,src,2000,bitflip(3),2\n"
+            "1,0,dst,500,offset(-1),0\n");
+}
+
+TEST(CampaignIo, DivergenceDetailListsOnlyDivergedSignals) {
+  std::ostringstream out;
+  write_divergence_csv(out, small_result());
+  const auto text = out.str();
+  EXPECT_EQ(text,
+            "injection_index,test_case,target,when_ms,model,signal,"
+            "first_ms,golden_value,observed_value\n"
+            "0,1,src,2000,bitflip(3),src,2000,10,18\n"
+            "0,1,src,2000,bitflip(3),dst,2004,5,7\n");
+}
+
+TEST(CampaignIo, EmptyCampaignWritesHeadersOnly) {
+  CampaignResult empty;
+  empty.signal_names = {"x"};
+  std::ostringstream summary;
+  write_campaign_summary_csv(summary, empty);
+  EXPECT_EQ(summary.str().find('\n'), summary.str().size() - 1);
+  std::ostringstream detail;
+  write_divergence_csv(detail, empty);
+  EXPECT_EQ(detail.str().find('\n'), detail.str().size() - 1);
+}
+
+}  // namespace
+}  // namespace propane::fi

@@ -1,0 +1,162 @@
+#include "fi/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "common/contracts.hpp"
+
+namespace propane::fi {
+namespace {
+
+/// A miniature deterministic system: signal "src" is freshly produced
+/// every tick (so an injected error is visible for exactly one tick),
+/// "dst" mirrors src with the low nibble masked off (so bit-flips in bits
+/// 0-3 never propagate). Each test case uses a different src offset. The
+/// injection point sits between producer and consumer, like a trap on the
+/// consumer's read.
+TraceSet toy_run(const RunRequest& request) {
+  SignalBus bus;
+  const BusSignalId src = bus.add_signal("src");
+  const BusSignalId dst = bus.add_signal("dst");
+
+  std::optional<InjectionDriver> injector;
+  if (request.injection) {
+    injector.emplace(bus, *request.injection, Rng(request.rng_seed));
+  }
+  TraceRecorder recorder(bus);
+  for (std::uint64_t ms = 0; ms < 10; ++ms) {
+    bus.write(src, static_cast<std::uint16_t>(request.test_case * 100 + ms));
+    if (injector) injector->maybe_fire(ms * sim::kMillisecond);
+    bus.write(dst, static_cast<std::uint16_t>(bus.read(src) & 0xFFF0));
+    recorder.sample();
+  }
+  return recorder.take();
+}
+
+CampaignConfig toy_config() {
+  CampaignConfig config;
+  config.test_case_count = 3;
+  config.injections = {
+      InjectionSpec{0, 2 * sim::kMillisecond, bit_flip(0)},   // masked
+      InjectionSpec{0, 2 * sim::kMillisecond, bit_flip(8)},   // propagates
+      InjectionSpec{0, 50 * sim::kMillisecond, bit_flip(8)},  // never fires
+  };
+  config.threads = 2;
+  return config;
+}
+
+TEST(Campaign, RunsGoldensAndAllInjections) {
+  const CampaignResult result = run_campaign(toy_run, toy_config());
+  EXPECT_EQ(result.goldens.size(), 3u);
+  EXPECT_EQ(result.records.size(), 9u);
+  EXPECT_EQ(result.run_count(), 12u);
+  ASSERT_EQ(result.signal_names.size(), 2u);
+  EXPECT_EQ(result.signal_names[0], "src");
+  EXPECT_EQ(result.find_signal("dst"), 1u);
+  EXPECT_FALSE(result.find_signal("nope").has_value());
+}
+
+TEST(Campaign, RecordsCarryInjectionIdentity) {
+  const CampaignResult result = run_campaign(toy_run, toy_config());
+  for (const InjectionRecord& record : result.records) {
+    EXPECT_EQ(record.target, 0u);
+    EXPECT_LT(record.injection_index, 3u);
+    EXPECT_LT(record.test_case, 3u);
+    EXPECT_TRUE(record.model_name == "bitflip(0)" ||
+                record.model_name == "bitflip(8)");
+  }
+  // Injection-major layout: record[inj * cases + tc].
+  EXPECT_EQ(result.records[0].injection_index, 0u);
+  EXPECT_EQ(result.records[0].test_case, 0u);
+  EXPECT_EQ(result.records[4].injection_index, 1u);
+  EXPECT_EQ(result.records[4].test_case, 1u);
+}
+
+TEST(Campaign, MaskedBitNeverReachesDst) {
+  const CampaignResult result = run_campaign(toy_run, toy_config());
+  for (const InjectionRecord& record : result.records) {
+    if (record.model_name != "bitflip(0)") continue;
+    EXPECT_TRUE(record.report.per_signal[0].diverged);   // src corrupted
+    EXPECT_EQ(record.report.per_signal[0].first_ms, 2u);
+    EXPECT_FALSE(record.report.per_signal[1].diverged);  // dst masked
+  }
+}
+
+TEST(Campaign, HighBitPropagatesImmediately) {
+  const CampaignResult result = run_campaign(toy_run, toy_config());
+  for (const InjectionRecord& record : result.records) {
+    if (record.injection_index != 1) continue;
+    EXPECT_TRUE(record.report.per_signal[0].diverged);
+    EXPECT_TRUE(record.report.per_signal[1].diverged);
+    EXPECT_EQ(record.report.per_signal[1].first_ms, 2u);
+  }
+}
+
+TEST(Campaign, InjectionAfterRunEndHasNoEffect) {
+  const CampaignResult result = run_campaign(toy_run, toy_config());
+  for (const InjectionRecord& record : result.records) {
+    if (record.injection_index != 2) continue;
+    EXPECT_FALSE(record.report.any_divergence());
+  }
+}
+
+TEST(Campaign, DeterministicAcrossThreadCounts) {
+  CampaignConfig one = toy_config();
+  one.threads = 1;
+  CampaignConfig four = toy_config();
+  four.threads = 4;
+  const CampaignResult a = run_campaign(toy_run, one);
+  const CampaignResult b = run_campaign(toy_run, four);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    const auto& ra = a.records[i].report.per_signal;
+    const auto& rb = b.records[i].report.per_signal;
+    ASSERT_EQ(ra.size(), rb.size());
+    for (std::size_t s = 0; s < ra.size(); ++s) {
+      EXPECT_EQ(ra[s].diverged, rb[s].diverged);
+      EXPECT_EQ(ra[s].first_ms, rb[s].first_ms);
+    }
+  }
+}
+
+TEST(Campaign, StochasticModelsGetIndependentSeeds) {
+  CampaignConfig config;
+  config.test_case_count = 1;
+  config.injections = {
+      InjectionSpec{0, 2 * sim::kMillisecond, random_replacement()},
+      InjectionSpec{0, 2 * sim::kMillisecond, random_replacement()},
+  };
+  // Capture the injected values via the observed_value in the report.
+  const CampaignResult result = run_campaign(toy_run, config);
+  ASSERT_EQ(result.records.size(), 2u);
+  const auto& d0 = result.records[0].report.per_signal[0];
+  const auto& d1 = result.records[1].report.per_signal[0];
+  ASSERT_TRUE(d0.diverged);
+  ASSERT_TRUE(d1.diverged);
+  EXPECT_NE(d0.observed_value, d1.observed_value);
+}
+
+TEST(Campaign, ContractsOnBadConfig) {
+  CampaignConfig config;
+  config.test_case_count = 0;
+  EXPECT_THROW(run_campaign(toy_run, config), ContractViolation);
+  EXPECT_THROW(run_campaign(nullptr, toy_config()), ContractViolation);
+}
+
+TEST(Campaign, GoldenRunsReceiveNoInjection) {
+  std::atomic<int> golden_with_injection{0};
+  const RunFunction probe = [&](const RunRequest& request) {
+    if (!request.injection.has_value()) {
+      // golden
+    } else if (request.injection->when == 0) {
+      golden_with_injection.fetch_add(1);
+    }
+    return toy_run(request);
+  };
+  run_campaign(probe, toy_config());
+  EXPECT_EQ(golden_with_injection.load(), 0);
+}
+
+}  // namespace
+}  // namespace propane::fi

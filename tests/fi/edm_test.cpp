@@ -1,0 +1,108 @@
+#include "fi/edm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+
+namespace propane::fi {
+namespace {
+
+TEST(RangeEdm, AcceptsInsideRejectsOutside) {
+  RangeEdm edm(0, 10, 100);
+  EXPECT_TRUE(edm.check(10, 0));
+  EXPECT_TRUE(edm.check(55, 0));
+  EXPECT_TRUE(edm.check(100, 0));
+  EXPECT_FALSE(edm.check(9, 0));
+  EXPECT_FALSE(edm.check(101, 0));
+}
+
+TEST(RangeEdm, RejectsInvertedRange) {
+  EXPECT_THROW(RangeEdm(0, 10, 5), ContractViolation);
+}
+
+TEST(RateEdm, FirstSampleAlwaysAccepted) {
+  RateEdm edm(0, 5);
+  EXPECT_TRUE(edm.check(60000, 0));
+}
+
+TEST(RateEdm, DetectsJumpsBeyondDelta) {
+  RateEdm edm(0, 5);
+  EXPECT_TRUE(edm.check(100, 0));
+  EXPECT_TRUE(edm.check(105, 1));
+  EXPECT_FALSE(edm.check(120, 2));
+  // State advances even on violation: 120 -> 121 is fine.
+  EXPECT_TRUE(edm.check(121, 3));
+}
+
+TEST(RateEdm, WrapAwareDistance) {
+  RateEdm edm(0, 5);
+  EXPECT_TRUE(edm.check(65534, 0));
+  EXPECT_TRUE(edm.check(2, 1));  // distance 4 across the wrap
+  RateEdm edm2(0, 5);
+  EXPECT_TRUE(edm2.check(0, 0));
+  EXPECT_FALSE(edm2.check(32768, 1));  // half the circle
+}
+
+TEST(FrozenEdm, FiresWhenSignalStopsChanging) {
+  FrozenEdm edm(0, 3);
+  EXPECT_TRUE(edm.check(5, 0));
+  EXPECT_TRUE(edm.check(5, 1));
+  EXPECT_TRUE(edm.check(5, 2));
+  EXPECT_TRUE(edm.check(5, 3));   // exactly at the limit
+  EXPECT_FALSE(edm.check(5, 4));  // frozen too long
+  EXPECT_TRUE(edm.check(6, 5));   // change resets the watchdog
+}
+
+TEST(FrozenEdm, GracePeriodSuppressesEarlyAlarms) {
+  FrozenEdm edm(0, 2, /*grace_ms=*/10);
+  for (std::uint64_t ms = 0; ms < 10; ++ms) {
+    EXPECT_TRUE(edm.check(7, ms)) << ms;
+  }
+  EXPECT_FALSE(edm.check(7, 11));
+}
+
+TEST(FrozenEdm, RejectsZeroWindow) {
+  EXPECT_THROW(FrozenEdm(0, 0), ContractViolation);
+}
+
+TEST(EdmMonitor, RecordsDetectionEvents) {
+  SignalBus bus;
+  const BusSignalId a = bus.add_signal("a", 50);
+  const BusSignalId b = bus.add_signal("b", 0);
+  EdmMonitor monitor;
+  monitor.add(std::make_unique<RangeEdm>(a, 0, 100));
+  monitor.add(std::make_unique<RangeEdm>(b, 0, 10));
+  EXPECT_EQ(monitor.size(), 2u);
+
+  monitor.step(bus, 0);
+  EXPECT_FALSE(monitor.detected());
+
+  bus.write(b, 200);
+  monitor.step(bus, 1);
+  ASSERT_TRUE(monitor.detected());
+  ASSERT_EQ(monitor.events().size(), 1u);
+  EXPECT_EQ(monitor.events()[0].ms, 1u);
+  EXPECT_EQ(monitor.events()[0].signal, b);
+  EXPECT_EQ(monitor.events()[0].value, 200u);
+  EXPECT_EQ(monitor.first_detection_ms(), 1u);
+}
+
+TEST(EdmMonitor, NoEventsMeansNoFirstDetection) {
+  EdmMonitor monitor;
+  EXPECT_FALSE(monitor.first_detection_ms().has_value());
+  EXPECT_THROW(monitor.add(nullptr), ContractViolation);
+}
+
+TEST(EdmMonitor, MultipleFiringsAccumulate) {
+  SignalBus bus;
+  const BusSignalId a = bus.add_signal("a", 500);
+  EdmMonitor monitor;
+  monitor.add(std::make_unique<RangeEdm>(a, 0, 100));
+  monitor.step(bus, 3);
+  monitor.step(bus, 4);
+  EXPECT_EQ(monitor.events().size(), 2u);
+  EXPECT_EQ(monitor.first_detection_ms(), 3u);
+}
+
+}  // namespace
+}  // namespace propane::fi

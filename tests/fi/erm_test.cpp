@@ -1,0 +1,88 @@
+#include "fi/erm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+
+namespace propane::fi {
+namespace {
+
+TEST(ClampErm, CorrectsOnlyOutOfRange) {
+  ClampErm erm(0, 10, 100);
+  EXPECT_FALSE(erm.correct(50, 0).has_value());
+  EXPECT_EQ(erm.correct(5, 0), 10);
+  EXPECT_EQ(erm.correct(200, 0), 100);
+}
+
+TEST(ClampErm, RejectsInvertedRange) {
+  EXPECT_THROW(ClampErm(0, 10, 5), ContractViolation);
+}
+
+TEST(HoldLastGoodErm, ReplacesWithLastGoodValue) {
+  HoldLastGoodErm erm(0, 10, 100, /*fallback=*/42);
+  // No good value seen yet: fall back.
+  EXPECT_EQ(erm.correct(500, 0), 42);
+  // Good value updates the memory.
+  EXPECT_FALSE(erm.correct(80, 1).has_value());
+  EXPECT_EQ(erm.correct(500, 2), 80);
+  EXPECT_EQ(erm.correct(3, 3), 80);
+}
+
+TEST(RateLimitErm, SlewsTowardsObservedValue) {
+  RateLimitErm erm(0, 10);
+  EXPECT_FALSE(erm.correct(100, 0).has_value());  // first sample
+  EXPECT_FALSE(erm.correct(105, 1).has_value());  // within limit
+  EXPECT_EQ(erm.correct(200, 2), 115);            // clipped to +10
+  EXPECT_EQ(erm.correct(200, 3), 125);            // keeps slewing
+  EXPECT_FALSE(erm.correct(130, 4).has_value());  // back within limit
+}
+
+TEST(RateLimitErm, DownwardSlew) {
+  RateLimitErm erm(0, 10);
+  EXPECT_FALSE(erm.correct(100, 0).has_value());
+  EXPECT_EQ(erm.correct(0, 1), 90);
+}
+
+TEST(ErmHarness, AppliesCorrectionsToBus) {
+  SignalBus bus;
+  const BusSignalId a = bus.add_signal("a", 50);
+  ErmHarness harness;
+  harness.add(std::make_unique<ClampErm>(a, 0, 100));
+  EXPECT_EQ(harness.size(), 1u);
+
+  harness.step(bus, 0);
+  EXPECT_FALSE(harness.recovered());
+  EXPECT_EQ(bus.read(a), 50u);
+
+  bus.write(a, 5000);
+  harness.step(bus, 1);
+  ASSERT_TRUE(harness.recovered());
+  EXPECT_EQ(bus.read(a), 100u);
+  ASSERT_EQ(harness.events().size(), 1u);
+  EXPECT_EQ(harness.events()[0].ms, 1u);
+  EXPECT_EQ(harness.events()[0].rejected_value, 5000u);
+  EXPECT_EQ(harness.events()[0].corrected_value, 100u);
+}
+
+TEST(ErmHarness, MultipleErmsOnDifferentSignals) {
+  SignalBus bus;
+  const BusSignalId a = bus.add_signal("a", 50);
+  const BusSignalId b = bus.add_signal("b", 50);
+  ErmHarness harness;
+  harness.add(std::make_unique<ClampErm>(a, 0, 100));
+  harness.add(std::make_unique<HoldLastGoodErm>(b, 0, 100, 1));
+  bus.write(a, 5000);
+  bus.write(b, 5000);
+  harness.step(bus, 0);
+  EXPECT_EQ(bus.read(a), 100u);
+  EXPECT_EQ(bus.read(b), 1u);  // fallback (no good value recorded yet)
+  EXPECT_EQ(harness.events().size(), 2u);
+}
+
+TEST(ErmHarness, NullErmViolatesContract) {
+  ErmHarness harness;
+  EXPECT_THROW(harness.add(nullptr), ContractViolation);
+}
+
+}  // namespace
+}  // namespace propane::fi

@@ -1,0 +1,107 @@
+#include "fi/error_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/contracts.hpp"
+
+namespace propane::fi {
+namespace {
+
+Rng test_rng() { return Rng(1234); }
+
+TEST(ErrorModel, BitFlipTogglesExactlyOneBit) {
+  Rng rng = test_rng();
+  for (unsigned bit = 0; bit < 16; ++bit) {
+    const ErrorModel model = bit_flip(bit);
+    const std::uint16_t flipped = model.apply(0, rng);
+    EXPECT_EQ(flipped, 1u << bit);
+    // Involution: flipping twice restores the value.
+    EXPECT_EQ(model.apply(flipped, rng), 0u);
+  }
+}
+
+TEST(ErrorModel, BitFlipRejectsBadBit) {
+  EXPECT_THROW(bit_flip(16), ContractViolation);
+  EXPECT_THROW(stuck_at_zero(16), ContractViolation);
+  EXPECT_THROW(stuck_at_one(16), ContractViolation);
+}
+
+TEST(ErrorModel, StuckAtForcesBit) {
+  Rng rng = test_rng();
+  EXPECT_EQ(stuck_at_zero(3).apply(0xFFFF, rng), 0xFFF7u);
+  EXPECT_EQ(stuck_at_zero(3).apply(0x0000, rng), 0x0000u);
+  EXPECT_EQ(stuck_at_one(3).apply(0x0000, rng), 0x0008u);
+  EXPECT_EQ(stuck_at_one(3).apply(0xFFFF, rng), 0xFFFFu);
+}
+
+TEST(ErrorModel, OffsetWrapsAround) {
+  Rng rng = test_rng();
+  EXPECT_EQ(offset(1).apply(0xFFFF, rng), 0u);
+  EXPECT_EQ(offset(-1).apply(0, rng), 0xFFFFu);
+  EXPECT_EQ(offset(100).apply(5, rng), 105u);
+  EXPECT_EQ(offset(-10).apply(5, rng), 0xFFFBu);
+}
+
+TEST(ErrorModel, SetValueIgnoresOriginal) {
+  Rng rng = test_rng();
+  const ErrorModel model = set_value(777);
+  EXPECT_EQ(model.apply(0, rng), 777u);
+  EXPECT_EQ(model.apply(0xFFFF, rng), 777u);
+}
+
+TEST(ErrorModel, RandomReplacementIsSeedDeterministic) {
+  Rng a(99);
+  Rng b(99);
+  const ErrorModel model = random_replacement();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(model.apply(0, a), model.apply(0, b));
+  }
+}
+
+TEST(ErrorModel, RandomReplacementVaries) {
+  Rng rng = test_rng();
+  const ErrorModel model = random_replacement();
+  std::set<std::uint16_t> seen;
+  for (int i = 0; i < 50; ++i) seen.insert(model.apply(0, rng));
+  EXPECT_GT(seen.size(), 40u);
+}
+
+TEST(ErrorModel, FamiliesHaveExpectedSizesAndDistinctNames) {
+  auto check = [](const std::vector<ErrorModel>& family,
+                  std::size_t expected) {
+    EXPECT_EQ(family.size(), expected);
+    std::set<std::string> names;
+    for (const ErrorModel& m : family) {
+      EXPECT_TRUE(names.insert(m.name).second) << "duplicate: " << m.name;
+      EXPECT_NE(m.apply, nullptr);
+    }
+  };
+  check(all_bit_flips(), 16);
+  check(all_stuck_at_zero(), 16);
+  check(all_stuck_at_one(), 16);
+  check(offset_family(), 16);
+  check(random_family(16), 16);
+}
+
+TEST(ErrorModel, NamesIdentifyParameters) {
+  EXPECT_EQ(bit_flip(7).name, "bitflip(7)");
+  EXPECT_EQ(stuck_at_zero(2).name, "stuck0(2)");
+  EXPECT_EQ(offset(-64).name, "offset(-64)");
+  EXPECT_EQ(set_value(9).name, "set(9)");
+}
+
+TEST(ErrorModel, StuckAtChangesValueOnlyWhenBitDiffers) {
+  // Property over all bits: stuck-at-v changes the word iff the bit was !v.
+  Rng rng = test_rng();
+  for (unsigned bit = 0; bit < 16; ++bit) {
+    const std::uint16_t word = 0xA5C3;
+    const bool bit_is_one = (word >> bit) & 1;
+    EXPECT_EQ(stuck_at_one(bit).apply(word, rng) != word, !bit_is_one);
+    EXPECT_EQ(stuck_at_zero(bit).apply(word, rng) != word, bit_is_one);
+  }
+}
+
+}  // namespace
+}  // namespace propane::fi

@@ -1,0 +1,85 @@
+#include "fi/event_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+
+namespace propane::fi {
+namespace {
+
+TEST(EventLog, RecordsInOrderWithLookup) {
+  EventLog log;
+  EXPECT_TRUE(log.empty());
+  log.record(10, "start");
+  log.record(20, "checkpoint-1");
+  log.record(20, "brake-engaged");
+  log.record(90, "checkpoint-2");
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.first("checkpoint-1"), 20u);
+  EXPECT_FALSE(log.first("nope").has_value());
+  EXPECT_EQ(log.count("checkpoint-1"), 1u);
+  EXPECT_EQ(log.count("nope"), 0u);
+}
+
+TEST(EventLog, RejectsOutOfOrderOrEmpty) {
+  EventLog log;
+  log.record(10, "a");
+  EXPECT_THROW(log.record(5, "b"), ContractViolation);
+  EXPECT_THROW(log.record(20, ""), ContractViolation);
+}
+
+TEST(CompareEventLogs, IdenticalSequences) {
+  EventLog a;
+  a.record(1, "x");
+  a.record(2, "y");
+  EventLog b;
+  b.record(1, "x");
+  b.record(2, "y");
+  const auto divergence = compare_event_logs(a, b);
+  EXPECT_FALSE(divergence.diverged());
+  EXPECT_EQ(divergence.kind, EventDivergence::Kind::kNone);
+}
+
+TEST(CompareEventLogs, TimeMismatch) {
+  EventLog golden;
+  golden.record(1, "x");
+  golden.record(100, "y");
+  EventLog observed;
+  observed.record(1, "x");
+  observed.record(140, "y");  // same event, 40 ms late
+  const auto divergence = compare_event_logs(golden, observed);
+  EXPECT_EQ(divergence.kind, EventDivergence::Kind::kTimeMismatch);
+  EXPECT_EQ(divergence.index, 1u);
+}
+
+TEST(CompareEventLogs, NameMismatchBeatsLaterDifferences) {
+  EventLog golden;
+  golden.record(1, "x");
+  golden.record(2, "y");
+  EventLog observed;
+  observed.record(1, "z");
+  observed.record(9, "y");
+  const auto divergence = compare_event_logs(golden, observed);
+  EXPECT_EQ(divergence.kind, EventDivergence::Kind::kNameMismatch);
+  EXPECT_EQ(divergence.index, 0u);
+}
+
+TEST(CompareEventLogs, MissingAndExtra) {
+  EventLog golden;
+  golden.record(1, "x");
+  golden.record(2, "y");
+  EventLog shorter;
+  shorter.record(1, "x");
+  EXPECT_EQ(compare_event_logs(golden, shorter).kind,
+            EventDivergence::Kind::kMissing);
+  EventLog longer;
+  longer.record(1, "x");
+  longer.record(2, "y");
+  longer.record(3, "z");
+  const auto divergence = compare_event_logs(golden, longer);
+  EXPECT_EQ(divergence.kind, EventDivergence::Kind::kExtra);
+  EXPECT_EQ(divergence.index, 2u);
+}
+
+}  // namespace
+}  // namespace propane::fi

@@ -1,0 +1,74 @@
+#include "fi/golden.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+
+namespace propane::fi {
+namespace {
+
+TraceSet make_trace(std::vector<std::vector<std::uint16_t>> rows,
+                    std::vector<std::string> names = {"a", "b"}) {
+  TraceSet trace(std::move(names));
+  for (auto& row : rows) trace.append(std::move(row));
+  return trace;
+}
+
+TEST(GoldenComparison, IdenticalTracesShowNoDivergence) {
+  const TraceSet golden = make_trace({{1, 2}, {3, 4}});
+  const TraceSet injected = make_trace({{1, 2}, {3, 4}});
+  const DivergenceReport report = compare_to_golden(golden, injected);
+  EXPECT_FALSE(report.any_divergence());
+  EXPECT_EQ(report.divergence_count(), 0u);
+}
+
+TEST(GoldenComparison, RecordsFirstDifferencePerSignal) {
+  const TraceSet golden = make_trace({{1, 2}, {3, 4}, {5, 6}});
+  const TraceSet injected = make_trace({{1, 2}, {9, 4}, {5, 7}});
+  const DivergenceReport report = compare_to_golden(golden, injected);
+  ASSERT_EQ(report.per_signal.size(), 2u);
+  EXPECT_TRUE(report.per_signal[0].diverged);
+  EXPECT_EQ(report.per_signal[0].first_ms, 1u);
+  EXPECT_EQ(report.per_signal[0].golden_value, 3u);
+  EXPECT_EQ(report.per_signal[0].observed_value, 9u);
+  EXPECT_TRUE(report.per_signal[1].diverged);
+  EXPECT_EQ(report.per_signal[1].first_ms, 2u);
+  EXPECT_EQ(report.divergence_count(), 2u);
+}
+
+TEST(GoldenComparison, ComparisonStopsAtFirstDifference) {
+  // Values after the first difference are irrelevant -- only the first
+  // difference is reported even if traces re-converge (Section 7.3).
+  const TraceSet golden = make_trace({{1, 0}, {2, 0}, {3, 0}});
+  const TraceSet injected = make_trace({{9, 0}, {2, 0}, {8, 0}});
+  const DivergenceReport report = compare_to_golden(golden, injected);
+  EXPECT_EQ(report.per_signal[0].first_ms, 0u);
+  EXPECT_FALSE(report.per_signal[1].diverged);
+}
+
+TEST(GoldenComparison, LengthMismatchCountsAsDivergence) {
+  const TraceSet golden = make_trace({{1, 2}, {3, 4}, {5, 6}});
+  const TraceSet shorter = make_trace({{1, 2}, {3, 4}});
+  const DivergenceReport report = compare_to_golden(golden, shorter);
+  EXPECT_TRUE(report.per_signal[0].diverged);
+  EXPECT_EQ(report.per_signal[0].first_ms, 2u);
+  EXPECT_TRUE(report.per_signal[1].diverged);
+}
+
+TEST(GoldenComparison, ValueDifferenceBeforeLengthMismatch) {
+  const TraceSet golden = make_trace({{1, 2}, {3, 4}, {5, 6}});
+  const TraceSet injected = make_trace({{1, 9}, {3, 4}});
+  const DivergenceReport report = compare_to_golden(golden, injected);
+  EXPECT_EQ(report.per_signal[1].first_ms, 0u);  // value diff wins
+  EXPECT_EQ(report.per_signal[0].first_ms, 2u);  // length diff
+}
+
+TEST(GoldenComparison, SignalCountMismatchViolatesContract) {
+  const TraceSet golden = make_trace({{1, 2}});
+  TraceSet other(std::vector<std::string>{"a"});
+  other.append({1});
+  EXPECT_THROW(compare_to_golden(golden, other), ContractViolation);
+}
+
+}  // namespace
+}  // namespace propane::fi

@@ -1,0 +1,74 @@
+#include "fi/injection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+
+namespace propane::fi {
+namespace {
+
+TEST(InjectionDriver, FiresOnceAtTriggerTime) {
+  SignalBus bus;
+  const BusSignalId sig = bus.add_signal("s", 0b1010);
+  InjectionDriver driver(bus, {sig, 5 * sim::kMillisecond, bit_flip(0)},
+                         Rng(1));
+  EXPECT_FALSE(driver.maybe_fire(4 * sim::kMillisecond));
+  EXPECT_FALSE(driver.fired());
+  EXPECT_EQ(bus.read(sig), 0b1010u);
+
+  EXPECT_TRUE(driver.maybe_fire(5 * sim::kMillisecond));
+  EXPECT_TRUE(driver.fired());
+  EXPECT_EQ(bus.read(sig), 0b1011u);
+  EXPECT_EQ(driver.value_before(), 0b1010u);
+  EXPECT_EQ(driver.value_after(), 0b1011u);
+
+  // Never fires twice, even if time keeps passing.
+  EXPECT_FALSE(driver.maybe_fire(6 * sim::kMillisecond));
+  bus.write(sig, 0);
+  EXPECT_FALSE(driver.maybe_fire(7 * sim::kMillisecond));
+  EXPECT_EQ(bus.read(sig), 0u);
+}
+
+TEST(InjectionDriver, FiresLateIfTriggerMissed) {
+  SignalBus bus;
+  const BusSignalId sig = bus.add_signal("s");
+  InjectionDriver driver(bus, {sig, 10, bit_flip(3)}, Rng(1));
+  EXPECT_TRUE(driver.maybe_fire(100));  // first call past the trigger
+}
+
+TEST(InjectionDriver, ContractsOnBadSpec) {
+  SignalBus bus;
+  bus.add_signal("s");
+  EXPECT_THROW(InjectionDriver(bus, {5, 0, bit_flip(0)}, Rng(1)),
+               ContractViolation);
+  InjectionSpec null_model{0, 0, ErrorModel{"null", nullptr}};
+  EXPECT_THROW(InjectionDriver(bus, null_model, Rng(1)), ContractViolation);
+}
+
+TEST(CrossProductPlan, EnumeratesModelsTimesInstants) {
+  const auto plan = cross_product_plan(
+      3, {bit_flip(0), bit_flip(1)},
+      {1 * sim::kSecond, 2 * sim::kSecond, 3 * sim::kSecond});
+  ASSERT_EQ(plan.size(), 6u);
+  for (const InjectionSpec& spec : plan) {
+    EXPECT_EQ(spec.target, 3u);
+  }
+  // Model-major order: first model over all instants first.
+  EXPECT_EQ(plan[0].model.name, "bitflip(0)");
+  EXPECT_EQ(plan[0].when, 1 * sim::kSecond);
+  EXPECT_EQ(plan[2].when, 3 * sim::kSecond);
+  EXPECT_EQ(plan[3].model.name, "bitflip(1)");
+}
+
+TEST(PaperInjectionInstants, TenHalfSecondSteps) {
+  const auto instants = paper_injection_instants();
+  ASSERT_EQ(instants.size(), 10u);
+  EXPECT_EQ(instants.front(), sim::kSecond / 2);
+  EXPECT_EQ(instants.back(), 5 * sim::kSecond);
+  for (std::size_t i = 1; i < instants.size(); ++i) {
+    EXPECT_EQ(instants[i] - instants[i - 1], sim::kSecond / 2);
+  }
+}
+
+}  // namespace
+}  // namespace propane::fi

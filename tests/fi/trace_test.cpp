@@ -1,0 +1,73 @@
+#include "fi/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+
+namespace propane::fi {
+namespace {
+
+TEST(TraceSet, AppendAndAccess) {
+  TraceSet trace({"a", "b"});
+  EXPECT_EQ(trace.signal_count(), 2u);
+  EXPECT_EQ(trace.sample_count(), 0u);
+  trace.append({1, 2});
+  trace.append({3, 4});
+  EXPECT_EQ(trace.sample_count(), 2u);
+  EXPECT_EQ(trace.value(0, 0), 1u);
+  EXPECT_EQ(trace.value(1, 1), 4u);
+  EXPECT_EQ(trace.signal_name(1), "b");
+}
+
+TEST(TraceSet, SeriesExtractsColumn) {
+  TraceSet trace({"a", "b"});
+  trace.append({1, 10});
+  trace.append({2, 20});
+  trace.append({3, 30});
+  EXPECT_EQ(trace.series(1), (std::vector<std::uint16_t>{10, 20, 30}));
+}
+
+TEST(TraceSet, RowWidthMismatchViolatesContract) {
+  TraceSet trace({"a", "b"});
+  EXPECT_THROW(trace.append({1}), ContractViolation);
+  EXPECT_THROW(trace.append({1, 2, 3}), ContractViolation);
+}
+
+TEST(TraceSet, OutOfRangeAccessViolatesContracts) {
+  TraceSet trace({"a"});
+  trace.append({1});
+  EXPECT_THROW(trace.value(1, 0), ContractViolation);
+  EXPECT_THROW(trace.value(0, 1), ContractViolation);
+  EXPECT_THROW(trace.series(1), ContractViolation);
+  EXPECT_THROW(trace.signal_name(1), ContractViolation);
+}
+
+TEST(TraceRecorder, SamplesBusStateOverTime) {
+  SignalBus bus;
+  const BusSignalId a = bus.add_signal("a");
+  const BusSignalId b = bus.add_signal("b", 100);
+  TraceRecorder recorder(bus);
+  recorder.sample();
+  bus.write(a, 5);
+  recorder.sample();
+  bus.write(b, 7);
+  recorder.sample();
+
+  const TraceSet& trace = recorder.trace();
+  EXPECT_EQ(trace.sample_count(), 3u);
+  EXPECT_EQ(trace.series(a), (std::vector<std::uint16_t>{0, 5, 5}));
+  EXPECT_EQ(trace.series(b), (std::vector<std::uint16_t>{100, 100, 7}));
+  EXPECT_EQ(trace.signal_name(a), "a");
+}
+
+TEST(TraceRecorder, TakeMovesTraceOut) {
+  SignalBus bus;
+  bus.add_signal("a");
+  TraceRecorder recorder(bus);
+  recorder.sample();
+  TraceSet taken = recorder.take();
+  EXPECT_EQ(taken.sample_count(), 1u);
+}
+
+}  // namespace
+}  // namespace propane::fi

@@ -1,0 +1,76 @@
+#include "exp/criticality.hpp"
+
+#include <gtest/gtest.h>
+
+namespace propane::exp {
+namespace {
+
+class CriticalityTest : public ::testing::Test {
+ protected:
+  static const CriticalityStudy& study() {
+    static const CriticalityStudy s = run_criticality_study(smoke_scale());
+    return s;
+  }
+};
+
+TEST_F(CriticalityTest, ClassifiesEveryRunExactlyOnce) {
+  const auto& s = study();
+  // 13 targets x 4 models x 2 instants x 1 case.
+  EXPECT_EQ(s.total_runs, 104u);
+  std::size_t classified = 0;
+  for (const auto& entry : s.signals) {
+    EXPECT_EQ(entry.benign + entry.degraded + entry.failures,
+              entry.injections);
+    classified += entry.injections;
+  }
+  EXPECT_EQ(classified, s.total_runs);
+}
+
+TEST_F(CriticalityTest, OneEntryPerInjectedSignal) {
+  EXPECT_EQ(study().signals.size(), 13u);
+}
+
+TEST_F(CriticalityTest, SortedByFailureThenEffect) {
+  const auto& s = study();
+  for (std::size_t i = 1; i < s.signals.size(); ++i) {
+    const auto& prev = s.signals[i - 1];
+    const auto& here = s.signals[i];
+    EXPECT_GE(prev.failure_probability() + 1e-12,
+              here.failure_probability());
+    if (prev.failure_probability() == here.failure_probability()) {
+      EXPECT_GE(prev.effect_probability() + 1e-12,
+                here.effect_probability());
+    }
+  }
+}
+
+TEST_F(CriticalityTest, OverwrittenRegistersAreBenign) {
+  // TCNT/ADC corruption is erased by the environment before the software
+  // reads it: those injections must classify as benign.
+  for (const auto& entry : study().signals) {
+    if (entry.signal == "TCNT" || entry.signal == "ADC") {
+      EXPECT_EQ(entry.benign, entry.injections) << entry.signal;
+    }
+    if (entry.signal == "SetValue") {
+      EXPECT_GT(entry.degraded + entry.failures, 0u);
+    }
+  }
+}
+
+TEST_F(CriticalityTest, TableHasOneRowPerSignal) {
+  const TextTable table = criticality_table(study());
+  EXPECT_EQ(table.row_count(), study().signals.size());
+  const std::string rendered = table.render();
+  EXPECT_NE(rendered.find("P(failure)"), std::string::npos);
+}
+
+TEST_F(CriticalityTest, ProbabilitiesAreConsistent) {
+  for (const auto& entry : study().signals) {
+    EXPECT_GE(entry.effect_probability(),
+              entry.failure_probability() - 1e-12);
+    EXPECT_LE(entry.effect_probability(), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace propane::exp

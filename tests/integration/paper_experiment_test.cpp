@@ -1,0 +1,211 @@
+// Integration test: the full Section 7/8 pipeline at smoke scale --
+// campaign, estimation, analysis -- asserting the *shape* results the paper
+// reports (OB1-OB6), which are scale-robust.
+#include "exp/paper_experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "fi/campaign_io.hpp"
+
+namespace propane::exp {
+namespace {
+
+class PaperExperimentTest : public ::testing::Test {
+ protected:
+  static const PaperExperiment& experiment() {
+    static const PaperExperiment exp = run_paper_experiment(smoke_scale());
+    return exp;
+  }
+
+  static double pair_value(const char* module, const char* input,
+                           const char* output) {
+    const auto& exp = experiment();
+    const auto m = *exp.model.find_module(module);
+    return exp.estimation.permeability.get(m, *exp.model.find_input(m, input),
+                                           *exp.model.find_output(m, output));
+  }
+};
+
+TEST_F(PaperExperimentTest, CampaignCoversPlan) {
+  const auto& exp = experiment();
+  // 13 targets x 4 models x 2 instants x 1 test case.
+  EXPECT_EQ(exp.config.injections.size(), 13u * 4u * 2u);
+  EXPECT_EQ(exp.campaign.records.size(), exp.config.injections.size());
+  EXPECT_EQ(exp.campaign.goldens.size(), 1u);
+}
+
+TEST_F(PaperExperimentTest, EveryInjectedPairHasTheSameSampleSize) {
+  const auto& exp = experiment();
+  for (const auto& pair : exp.estimation.pairs) {
+    EXPECT_EQ(pair.injections, 8u) << pair.input_name;  // 4 models x 2 times
+  }
+}
+
+TEST_F(PaperExperimentTest, ClockFeedbackPairMatchesPaper) {
+  // Paper Table 2: CLOCK has P = 0.500, P~ = 1.000 -- the slot feedback is
+  // fully permeable, the mscnt pair fully opaque.
+  EXPECT_DOUBLE_EQ(pair_value("CLOCK", "ms_slot_nbr", "ms_slot_nbr"), 1.0);
+  EXPECT_DOUBLE_EQ(pair_value("CLOCK", "ms_slot_nbr", "mscnt"), 0.0);
+}
+
+TEST_F(PaperExperimentTest, StoppedOutputIsNonPermeable) {
+  // OB2: "permeability estimates for errors going from the inputs of
+  // DIST_S to its output stopped are all zero".
+  EXPECT_DOUBLE_EQ(pair_value("DIST_S", "PACNT", "stopped"), 0.0);
+  EXPECT_DOUBLE_EQ(pair_value("DIST_S", "TIC1", "stopped"), 0.0);
+  EXPECT_DOUBLE_EQ(pair_value("DIST_S", "TCNT", "stopped"), 0.0);
+}
+
+TEST_F(PaperExperimentTest, PresSIsNonPermeable) {
+  // OB3: "The permeability of PRES_S (which has only one input/output
+  // pair) is also zero" -- the ADC register is refreshed by the
+  // environment before the software reads it.
+  EXPECT_DOUBLE_EQ(pair_value("PRES_S", "ADC", "InValue"), 0.0);
+}
+
+TEST_F(PaperExperimentTest, InValueToOutValueIsHighlyPermeable) {
+  // OB3's contrast: high permeability (paper: 0.920) on a signal with very
+  // low exposure.
+  EXPECT_GT(pair_value("V_REG", "InValue", "OutValue"), 0.5);
+}
+
+TEST_F(PaperExperimentTest, ExternallyFedModulesHaveNoExposure) {
+  // OB1: DIST_S and PRES_S have no error exposure values.
+  const auto& exp = experiment();
+  for (const auto& m : exp.report.modules) {
+    if (m.name == "DIST_S" || m.name == "PRES_S") {
+      EXPECT_TRUE(std::isnan(m.exposure)) << m.name;
+      EXPECT_EQ(m.incoming_arcs, 0u);
+    } else {
+      EXPECT_GT(m.incoming_arcs, 0u) << m.name;
+    }
+  }
+}
+
+TEST_F(PaperExperimentTest, CalcHasTheHighestNonweightedExposure) {
+  // OB1: "The modules with the highest non-weighted error exposure are the
+  // CALC module and the V_REG module."
+  const auto& exp = experiment();
+  double calc = 0, best_other = 0;
+  std::string best_name;
+  for (const auto& m : exp.report.modules) {
+    if (m.name == "CALC") {
+      calc = m.nonweighted_exposure;
+    } else if (m.incoming_arcs > 0 &&
+               m.nonweighted_exposure > best_other) {
+      best_other = m.nonweighted_exposure;
+      best_name = m.name;
+    }
+  }
+  EXPECT_GT(calc, best_other) << "runner-up: " << best_name;
+}
+
+TEST_F(PaperExperimentTest, SetValueAndOutValueOnEveryNonzeroPath) {
+  // OB5: "SetValue and OutValue are part of all propagation paths in
+  // Table 4" -- they are cut signals.
+  const auto& exp = experiment();
+  std::set<std::string> cut_names;
+  for (const auto& rec : exp.report.placement.cut_signals) {
+    cut_names.insert(rec.target_name);
+  }
+  EXPECT_TRUE(cut_names.contains("SetValue"));
+  EXPECT_TRUE(cut_names.contains("OutValue"));
+}
+
+TEST_F(PaperExperimentTest, MscntExcludedAsIndependent) {
+  // OB4: "We would not select mscnt ... errors will not show up in this
+  // signal unless they originate here"; TOC2 excluded as a hardware
+  // register.
+  const auto& exp = experiment();
+  std::set<std::string> excluded;
+  for (const auto& ex : exp.report.placement.exclusions) {
+    excluded.insert(ex.name);
+  }
+  EXPECT_TRUE(excluded.contains("mscnt"));
+  EXPECT_TRUE(excluded.contains("TOC2"));
+}
+
+TEST_F(PaperExperimentTest, TwentyTwoPathsInTheToc2BacktrackTree) {
+  const auto& exp = experiment();
+  EXPECT_EQ(exp.report.paths.size(), 22u);
+  std::size_t nonzero = 0;
+  for (const auto& path : exp.report.paths) {
+    if (path.weight > 0.0) ++nonzero;
+  }
+  EXPECT_GT(nonzero, 2u);
+  EXPECT_LT(nonzero, 22u);  // some zero-weight paths remain, as in Table 4
+}
+
+TEST_F(PaperExperimentTest, Table1RendersOnlyInjectedPairs) {
+  const auto& exp = experiment();
+  const TextTable table = table1_permeability(exp);
+  EXPECT_EQ(table.row_count(), 25u);  // all 25 pairs were injected
+}
+
+TEST_F(PaperExperimentTest, ScaleDescriptionsMentionTotals) {
+  EXPECT_NE(describe(paper_scale()).find("4000 injections/signal"),
+            std::string::npos);
+  EXPECT_NE(describe(smoke_scale()).find("8 injections/signal"),
+            std::string::npos);
+}
+
+TEST_F(PaperExperimentTest, CampaignConfigEnumeratesTheFullPlan) {
+  const auto scale = smoke_scale();
+  const auto config = make_campaign_config(scale);
+  // 13 targets x (4 models x 2 instants).
+  EXPECT_EQ(config.injections.size(),
+            13u * scale.models.size() * scale.instants.size());
+  // Every target appears with the full model x instant block.
+  std::map<fi::BusSignalId, std::size_t> per_target;
+  for (const auto& spec : config.injections) ++per_target[spec.target];
+  EXPECT_EQ(per_target.size(), 13u);
+  for (const auto& [target, count] : per_target) {
+    EXPECT_EQ(count, scale.models.size() * scale.instants.size());
+  }
+}
+
+TEST_F(PaperExperimentTest, PaperScaleMatchesSection73) {
+  const auto scale = paper_scale();
+  EXPECT_EQ(scale.test_case_count(), 25u);
+  EXPECT_EQ(scale.models.size(), 16u);
+  EXPECT_EQ(scale.instants.size(), 10u);
+  EXPECT_EQ(scale.injections_per_target(), 4000u);  // 16*10*25, Section 7.3
+}
+
+TEST_F(PaperExperimentTest, CustomCasesOverrideTheGrid) {
+  ExperimentScale scale = smoke_scale();
+  scale.custom_cases = {arr::TestCase{9000, 45}, arr::TestCase{19000, 75},
+                        arr::TestCase{12000, 55}};
+  EXPECT_EQ(scale.test_case_count(), 3u);
+}
+
+TEST_F(PaperExperimentTest, CampaignCsvExportsEveryRecord) {
+  const auto& exp = experiment();
+  std::ostringstream out;
+  fi::write_campaign_summary_csv(out, exp.campaign);
+  std::size_t lines = 0;
+  for (char ch : out.str()) {
+    if (ch == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 1 + exp.campaign.records.size());
+}
+
+TEST_F(PaperExperimentTest, ScaleFromEnvSelectsByName) {
+  ::setenv("PROPANE_SCALE", "full", 1);
+  EXPECT_EQ(scale_from_env().name, "paper");
+  ::setenv("PROPANE_SCALE", "small", 1);
+  EXPECT_EQ(scale_from_env().name, "smoke");
+  ::setenv("PROPANE_SCALE", "bogus", 1);
+  EXPECT_EQ(scale_from_env().name, "default");
+  ::unsetenv("PROPANE_SCALE");
+  EXPECT_EQ(scale_from_env().name, "default");
+}
+
+}  // namespace
+}  // namespace propane::exp

@@ -1,0 +1,111 @@
+// Integration: the two-node campaign + estimation + analysis pipeline at
+// smoke scale, asserting the distributed-configuration claims of bench E1.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "arrestment/twonode.hpp"
+#include "core/analysis.hpp"
+#include "exp/paper_experiment.hpp"
+
+namespace propane {
+namespace {
+
+struct TwoNodeFixture {
+  core::SystemModel model = arr::make_two_node_model();
+  fi::SignalBinding binding = arr::make_two_node_binding(model);
+  fi::CampaignResult campaign;
+  fi::EstimationResult estimation{core::SystemPermeability(model), {}};
+  core::AnalysisReport report;
+
+  TwoNodeFixture()
+      : campaign(run()),
+        estimation(fi::estimate_permeability(model, binding, campaign)),
+        report(core::analyze(model, estimation.permeability)) {}
+
+ private:
+  fi::CampaignResult run() {
+    const auto scale = exp::smoke_scale();
+    const auto cases =
+        arr::grid_test_cases(scale.mass_count, scale.velocity_count);
+    fi::CampaignConfig config;
+    config.test_case_count = static_cast<std::uint32_t>(cases.size());
+    for (fi::BusSignalId target : arr::two_node_injection_targets()) {
+      const auto plan =
+          fi::cross_product_plan(target, scale.models, scale.instants);
+      config.injections.insert(config.injections.end(), plan.begin(),
+                               plan.end());
+    }
+    return fi::run_campaign(
+        arr::two_node_campaign_runner(cases, scale.duration), config);
+  }
+};
+
+class TwoNodeExperiment : public ::testing::Test {
+ protected:
+  static const TwoNodeFixture& fixture() {
+    static const TwoNodeFixture f;
+    return f;
+  }
+};
+
+TEST_F(TwoNodeExperiment, CampaignCoversSeventeenTargets) {
+  const auto& f = fixture();
+  EXPECT_EQ(f.campaign.records.size(), 17u * 4u * 2u);
+  EXPECT_EQ(f.campaign.signal_names.size(), 19u);
+}
+
+TEST_F(TwoNodeExperiment, LinkTransferIsFullyPermeable) {
+  const auto& f = fixture();
+  const auto comm = *f.model.find_module("COMM_TX");
+  EXPECT_DOUBLE_EQ(f.estimation.permeability.get(comm, 0, 0), 1.0);
+}
+
+TEST_F(TwoNodeExperiment, SetValueIsTheCutSignalAcrossBothOutputs) {
+  const auto& f = fixture();
+  std::set<std::string> cut;
+  for (const auto& rec : f.report.placement.cut_signals) {
+    cut.insert(rec.target_name);
+  }
+  EXPECT_TRUE(cut.contains("SetValue"));
+  // OutValue only guards the master output, link only the slave one:
+  // neither can be a system-wide cut signal any more.
+  EXPECT_FALSE(cut.contains("OutValue"));
+  EXPECT_FALSE(cut.contains("link"));
+}
+
+TEST_F(TwoNodeExperiment, MasterSideMeasuresMatchSingleNodeStructure) {
+  const auto& f = fixture();
+  const auto clock = *f.model.find_module("CLOCK");
+  EXPECT_DOUBLE_EQ(f.estimation.permeability.relative_permeability(clock),
+                   0.5);
+  const auto pres_s = *f.model.find_module("PRES_S");
+  EXPECT_DOUBLE_EQ(
+      f.estimation.permeability.nonweighted_relative_permeability(pres_s),
+      0.0);
+}
+
+TEST_F(TwoNodeExperiment, SlaveOutputTreeContributesPaths) {
+  const auto& f = fixture();
+  // 22 (master TOC2) + 22 (slave TOC2_S) ranked paths.
+  EXPECT_EQ(f.report.paths.size(), 44u);
+  bool slave_path_nonzero = false;
+  for (const auto& path : f.report.paths) {
+    if (path.weight > 0.0 &&
+        path.description.find("TOC2_S") != std::string::npos) {
+      slave_path_nonzero = true;
+    }
+  }
+  EXPECT_TRUE(slave_path_nonzero);
+}
+
+TEST_F(TwoNodeExperiment, SlaveSensorChannelIsNonPermeableLikeTheMaster) {
+  // ADC_S is refreshed by the environment before PRES_S_S reads it, so
+  // the slave sensor pair measures 0 exactly like the paper's PRES_S.
+  const auto& f = fixture();
+  const auto pres_s_s = *f.model.find_module("PRES_S_S");
+  EXPECT_DOUBLE_EQ(f.estimation.permeability.get(pres_s_s, 0, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace propane

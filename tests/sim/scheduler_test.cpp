@@ -1,0 +1,114 @@
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace propane::sim {
+namespace {
+
+TEST(SlotScheduler, RequiresAtLeastOneSlot) {
+  EXPECT_THROW(SlotScheduler(0), ContractViolation);
+}
+
+TEST(SlotScheduler, AdvancesTimeOneMillisecondPerSlot) {
+  SlotScheduler sched(7);
+  EXPECT_EQ(sched.now(), 0u);
+  sched.run_slot();
+  EXPECT_EQ(sched.now(), kMillisecond);
+  sched.run_cycles(1);
+  EXPECT_EQ(sched.now(), 8 * kMillisecond);
+}
+
+TEST(SlotScheduler, SlotTasksRunInTheirSlotOnly) {
+  SlotScheduler sched(7);
+  std::vector<std::size_t> ran_in_slot;
+  sched.add_slot_task(2, "only2", [&](SimTime now) {
+    ran_in_slot.push_back(to_milliseconds(now) % 7);
+  });
+  sched.run_cycles(3);
+  ASSERT_EQ(ran_in_slot.size(), 3u);
+  for (std::size_t slot : ran_in_slot) EXPECT_EQ(slot, 2u);
+}
+
+TEST(SlotScheduler, EverySlotTaskRunsEachSlot) {
+  SlotScheduler sched(7);
+  int count = 0;
+  sched.add_every_slot_task("all", [&](SimTime) { ++count; });
+  sched.run_cycles(2);
+  EXPECT_EQ(count, 14);
+}
+
+TEST(SlotScheduler, BackgroundRunsAfterSlotTasks) {
+  SlotScheduler sched(2);
+  std::vector<std::string> order;
+  sched.add_slot_task(0, "slot0", [&](SimTime) { order.push_back("slot0"); });
+  sched.add_background_task("bg", [&](SimTime) { order.push_back("bg"); });
+  sched.run_slot();  // slot 0
+  sched.run_slot();  // slot 1 (no slot task)
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "slot0");
+  EXPECT_EQ(order[1], "bg");
+  EXPECT_EQ(order[2], "bg");
+}
+
+TEST(SlotScheduler, TasksWithinSlotKeepRegistrationOrder) {
+  SlotScheduler sched(1);
+  std::vector<int> order;
+  sched.add_slot_task(0, "a", [&](SimTime) { order.push_back(1); });
+  sched.add_slot_task(0, "b", [&](SimTime) { order.push_back(2); });
+  sched.add_slot_task(0, "c", [&](SimTime) { order.push_back(3); });
+  sched.run_slot();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SlotScheduler, RunUntilStopsAtDeadline) {
+  SlotScheduler sched(7);
+  sched.run_until(10 * kMillisecond);
+  EXPECT_EQ(sched.now(), 10 * kMillisecond);
+  EXPECT_EQ(sched.current_slot(), 3u);
+  EXPECT_EQ(sched.cycles_completed(), 1u);
+}
+
+TEST(SlotScheduler, CurrentSlotWraps) {
+  SlotScheduler sched(3);
+  for (int i = 0; i < 7; ++i) sched.run_slot();
+  EXPECT_EQ(sched.current_slot(), 1u);
+  EXPECT_EQ(sched.cycles_completed(), 2u);
+}
+
+TEST(SlotScheduler, TaskReceivesSlotStartTime) {
+  SlotScheduler sched(2);
+  std::vector<SimTime> stamps;
+  sched.add_every_slot_task("t", [&](SimTime now) { stamps.push_back(now); });
+  sched.run_cycles(1);
+  ASSERT_EQ(stamps.size(), 2u);
+  EXPECT_EQ(stamps[0], 0u);
+  EXPECT_EQ(stamps[1], kMillisecond);
+}
+
+TEST(SlotScheduler, SlotTaskNamesReported) {
+  SlotScheduler sched(2);
+  sched.add_slot_task(1, "x", [](SimTime) {});
+  sched.add_every_slot_task("y", [](SimTime) {});
+  const auto names = sched.slot_task_names(1);
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "x");
+  EXPECT_EQ(names[1], "y");
+  EXPECT_EQ(sched.slot_task_names(0).size(), 1u);
+}
+
+TEST(SlotScheduler, ContractsOnBadArguments) {
+  SlotScheduler sched(2);
+  EXPECT_THROW(sched.add_slot_task(2, "oob", [](SimTime) {}),
+               ContractViolation);
+  EXPECT_THROW(sched.add_slot_task(0, "null", nullptr), ContractViolation);
+  EXPECT_THROW(sched.add_background_task("null", nullptr),
+               ContractViolation);
+  EXPECT_THROW(sched.slot_task_names(5), ContractViolation);
+}
+
+}  // namespace
+}  // namespace propane::sim

@@ -1,0 +1,33 @@
+#include "sim/simtime.hpp"
+
+#include <gtest/gtest.h>
+
+namespace propane::sim {
+namespace {
+
+TEST(SimTime, UnitRelations) {
+  EXPECT_EQ(kMillisecond, 1000u * kMicrosecond);
+  EXPECT_EQ(kSecond, 1000u * kMillisecond);
+}
+
+TEST(SimTime, MillisecondConversionTruncates) {
+  EXPECT_EQ(to_milliseconds(0), 0u);
+  EXPECT_EQ(to_milliseconds(999), 0u);
+  EXPECT_EQ(to_milliseconds(1000), 1u);
+  EXPECT_EQ(to_milliseconds(2 * kSecond + 1), 2000u);
+}
+
+TEST(SimTime, RoundTripWholeMilliseconds) {
+  for (std::uint64_t ms : {0ULL, 1ULL, 500ULL, 15000ULL}) {
+    EXPECT_EQ(to_milliseconds(from_milliseconds(ms)), ms);
+  }
+}
+
+TEST(SimTime, SecondsConversion) {
+  EXPECT_DOUBLE_EQ(to_seconds(kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(to_seconds(kSecond / 2), 0.5);
+  EXPECT_DOUBLE_EQ(to_seconds(0), 0.0);
+}
+
+}  // namespace
+}  // namespace propane::sim

@@ -1,0 +1,152 @@
+// propane — command-line front end for the analysis framework.
+//
+//   propane analyze <model.txt> [perm.csv]   full report (Tables 2-4 style)
+//   propane paths   <model.txt> [perm.csv]   ranked propagation paths
+//   propane advise  <model.txt> [perm.csv]   EDM/ERM placement advice
+//   propane tree    <model.txt> [perm.csv]   backtrack/trace trees (ASCII)
+//   propane dot     <model.txt> [perm.csv]   Graphviz DOT (model+graph+trees)
+//   propane influence <model.txt> [perm.csv] max-product influence matrix
+//   propane report  <model.txt> [perm.csv]   full markdown report to stdout
+//   propane check   <model.txt>              validate a model file
+//
+// The model file uses the text format of core/model_parser.hpp; the
+// optional CSV supplies permeabilities (core/permeability_io.hpp). Without
+// a CSV all permeabilities are 0 and only structural outputs are useful.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/contracts.hpp"
+#include "core/propane.hpp"
+
+namespace {
+
+using namespace propane;
+using namespace propane::core;
+
+int usage() {
+  std::fputs(
+      "usage: propane <analyze|paths|advise|tree|dot|influence|report|"
+      "check> <model.txt> [perm.csv]\n",
+      stderr);
+  return 2;
+}
+
+SystemModel load_model(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "propane: cannot open model file '%s'\n", path);
+    std::exit(1);
+  }
+  return parse_system_model(in);
+}
+
+SystemPermeability load_permeability(const SystemModel& model,
+                                     const char* path) {
+  if (path == nullptr) return SystemPermeability(model);
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "propane: cannot open CSV '%s'\n", path);
+    std::exit(1);
+  }
+  return load_permeability_csv(in, model);
+}
+
+void cmd_analyze(const SystemModel& model, const AnalysisReport& report) {
+  std::puts("Module measures (Eqs. 2-5):");
+  std::puts(module_measures_table(report).render().c_str());
+  std::puts("Signal error exposures (Eq. 6):");
+  std::puts(signal_exposure_table(report).render().c_str());
+  std::puts("Propagation paths (non-zero):");
+  std::puts(path_table(report, true).render().c_str());
+  std::puts("Placement advice:");
+  std::puts(placement_table(report.placement).render().c_str());
+  for (const auto& exclusion : report.placement.exclusions) {
+    std::printf("do not instrument %-12s %s\n", exclusion.name.c_str(),
+                exclusion.reason.c_str());
+  }
+  (void)model;
+}
+
+void cmd_paths(const SystemModel& model, const AnalysisReport& report) {
+  (void)model;
+  std::puts(path_table(report, false).render().c_str());
+}
+
+void cmd_advise(const SystemModel& model, const AnalysisReport& report) {
+  (void)model;
+  std::puts(placement_table(report.placement).render().c_str());
+}
+
+void cmd_tree(const SystemModel& model, const AnalysisReport& report) {
+  for (std::uint32_t o = 0; o < model.system_output_count(); ++o) {
+    std::printf("Backtrack tree of system output %s:\n",
+                model.system_output_name(o).c_str());
+    std::puts(render_ascii_tree(model, report.backtrack_trees[o]).c_str());
+  }
+  for (std::uint32_t i = 0; i < model.system_input_count(); ++i) {
+    std::printf("Trace tree of system input %s:\n",
+                model.system_input_name(i).c_str());
+    std::puts(render_ascii_tree(model, report.trace_trees[i]).c_str());
+  }
+}
+
+void cmd_dot(const SystemModel& model, const AnalysisReport& report) {
+  std::puts(to_dot(model).c_str());
+  std::puts(to_dot(model, report.graph).c_str());
+  for (std::uint32_t o = 0; o < model.system_output_count(); ++o) {
+    std::puts(to_dot(model, report.backtrack_trees[o],
+                     "backtrack " + model.system_output_name(o))
+                  .c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string command = argv[1];
+  try {
+    const SystemModel model = load_model(argv[2]);
+    if (command == "check") {
+      std::printf("OK: %zu modules, %zu system inputs, %zu system outputs, "
+                  "%zu I/O pairs\n",
+                  model.module_count(), model.system_input_count(),
+                  model.system_output_count(), model.io_pair_count());
+      return 0;
+    }
+    const SystemPermeability permeability =
+        load_permeability(model, argc >= 4 ? argv[3] : nullptr);
+    const AnalysisReport report = analyze(model, permeability);
+    if (command == "analyze") {
+      cmd_analyze(model, report);
+    } else if (command == "paths") {
+      cmd_paths(model, report);
+    } else if (command == "advise") {
+      cmd_advise(model, report);
+    } else if (command == "tree") {
+      cmd_tree(model, report);
+    } else if (command == "dot") {
+      cmd_dot(model, report);
+    } else if (command == "report") {
+      ReportOptions report_options;
+      report_options.title =
+          std::string("Error propagation analysis: ") + argv[2];
+      write_markdown_report(std::cout, model, report, report_options);
+    } else if (command == "influence") {
+      const InfluenceMatrix matrix(model, permeability);
+      std::puts("Strongest-route influence, system inputs x outputs:");
+      std::puts(matrix.boundary_table(model).render().c_str());
+      std::puts("Full signal x signal matrix:");
+      std::puts(matrix.full_table().render().c_str());
+    } else {
+      return usage();
+    }
+  } catch (const propane::ContractViolation& err) {
+    std::fprintf(stderr, "propane: %s\n", err.what());
+    return 1;
+  }
+  return 0;
+}
