@@ -1,0 +1,101 @@
+// Journal subsystem throughput: how fast records append to a sharded
+// campaign journal (the per-run durability cost) and how fast a resume
+// scan rebuilds the completed-run set -- the two numbers that decide
+// whether journaling is affordable at production campaign scale.
+//
+// PROPANE_SCALE=small|default|full selects 10k / 100k / 1M records.
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "bench_util.hpp"
+#include "store/resume.hpp"
+
+namespace {
+
+using namespace propane;
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+fi::InjectionRecord synthetic_record(const store::Manifest& manifest,
+                                     std::size_t flat) {
+  fi::InjectionRecord record;
+  record.injection_index =
+      static_cast<std::uint32_t>(flat / manifest.test_case_count);
+  record.test_case =
+      static_cast<std::uint32_t>(flat % manifest.test_case_count);
+  record.target = static_cast<fi::BusSignalId>(flat % 13);
+  record.when = (1 + flat % 10) * sim::kSecond;
+  record.model_name = "bitflip(" + std::to_string(flat % 16) + ")";
+  record.report.per_signal.resize(30);
+  // A realistic sparse report: a handful of diverged signals per run.
+  for (std::size_t s = flat % 5; s < 30; s += 7) {
+    record.report.per_signal[s] = {true, 1000 + flat % 4000,
+                                   static_cast<std::uint16_t>(flat),
+                                   static_cast<std::uint16_t>(flat ^ 0xFF)};
+  }
+  return record;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("journal throughput (append + resume scan)");
+
+  const exp::ExperimentScale scale = exp::scale_from_env();
+  const std::size_t records = scale.name == "paper"  ? 1'000'000
+                              : scale.name == "smoke" ? 10'000
+                                                      : 100'000;
+  const std::size_t shard_count = 8;
+
+  store::Manifest manifest;
+  manifest.plan_hash = 0xB0B5;
+  manifest.seed = 42;
+  manifest.test_case_count = 25;
+  manifest.injection_count =
+      static_cast<std::uint32_t>((records + 24) / 25);
+
+  const fs::path dir =
+      fs::temp_directory_path() / "propane_bench_journal";
+  fs::remove_all(dir);
+
+  // --- append ------------------------------------------------------------
+  std::size_t bytes = 0;
+  const auto append_start = Clock::now();
+  {
+    store::ShardedJournalWriter writer(dir, manifest, shard_count);
+    for (std::size_t flat = 0; flat < records; ++flat) {
+      writer.append(synthetic_record(manifest, flat));
+    }
+  }
+  const double append_s = seconds_since(append_start);
+  for (const auto& shard : store::ShardedJournalWriter::list_shards(dir)) {
+    bytes += fs::file_size(shard);
+  }
+  std::printf("append: %zu records, %zu shards, %.1f MB\n", records,
+              shard_count, static_cast<double>(bytes) / 1e6);
+  std::printf("        %.2f s  =>  %.0f records/s, %.1f MB/s "
+              "(flushed per record)\n\n",
+              append_s, static_cast<double>(records) / append_s,
+              static_cast<double>(bytes) / 1e6 / append_s);
+
+  // --- resume scan -------------------------------------------------------
+  const auto scan_start = Clock::now();
+  const store::CampaignDirState state = store::scan_campaign_dir(dir);
+  const double scan_s = seconds_since(scan_start);
+  std::printf("resume scan: %zu records rebuilt in %.2f s  =>  "
+              "%.0f records/s\n",
+              state.completed_count, scan_s,
+              static_cast<double>(state.completed_count) / scan_s);
+  std::printf("             (completed-run set: %zu of %zu planned runs)\n",
+              state.completed_count, state.manifest.total_runs());
+
+  fs::remove_all(dir);
+  return 0;
+}

@@ -1,5 +1,9 @@
 #include "common/csv.hpp"
 
+#include <string_view>
+
+#include "common/contracts.hpp"
+
 namespace propane {
 
 std::string csv_escape(const std::string& field) {
@@ -13,6 +17,47 @@ std::string csv_escape(const std::string& field) {
   }
   out += '"';
   return out;
+}
+
+std::vector<std::string> parse_csv_row(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool quoted = false;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    const char ch = line[i];
+    if (quoted) {
+      if (ch == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';  // doubled quote inside a quoted field
+          i += 2;
+          continue;
+        }
+        quoted = false;
+        ++i;
+        continue;
+      }
+      current += ch;
+      ++i;
+      continue;
+    }
+    if (ch == '"') {
+      quoted = true;
+      ++i;
+      continue;
+    }
+    if (ch == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+      ++i;
+      continue;
+    }
+    current += ch;
+    ++i;
+  }
+  PROPANE_REQUIRE_MSG(!quoted, "unterminated quote in CSV line");
+  fields.push_back(std::move(current));
+  return fields;
 }
 
 void CsvWriter::write_row(const std::vector<std::string>& fields) {

@@ -11,6 +11,12 @@ namespace propane {
 /// separator, quotes or newlines; doubles embedded quotes).
 std::string csv_escape(const std::string& field);
 
+/// Parses one CSV line back into fields, inverting csv_escape: splits on
+/// unquoted commas, strips field quoting, undoubles embedded quotes.
+/// Fields spanning multiple lines (embedded newlines) are out of scope --
+/// callers read line-wise. An unterminated quote raises ContractViolation.
+std::vector<std::string> parse_csv_row(std::string_view line);
+
 /// Writes rows of fields as CSV lines to `out`.
 class CsvWriter {
  public:

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <memory>
+#include <stdexcept>
+#include <string>
 
 namespace propane {
 
@@ -36,12 +38,26 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mu_);
-  idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
-  if (first_error_) {
-    std::exception_ptr err = first_error_;
+  std::exception_ptr err;
+  std::size_t suppressed = 0;
+  {
+    std::unique_lock lock(mu_);
+    idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+    err = first_error_;
     first_error_ = nullptr;
+    suppressed = suppressed_errors_;
+    suppressed_errors_ = 0;
+  }
+  if (!err) return;
+  if (suppressed == 0) std::rethrow_exception(err);
+  try {
     std::rethrow_exception(err);
+  } catch (const std::exception& e) {
+    throw std::runtime_error(std::string(e.what()) + " [+" +
+                             std::to_string(suppressed) +
+                             " suppressed task exception(s)]");
+  } catch (...) {
+    throw;  // non-std exception: nothing to annotate, pass it through
   }
 }
 
@@ -79,7 +95,11 @@ void ThreadPool::worker_loop() {
       task();
     } catch (...) {
       std::unique_lock lock(mu_);
-      if (!first_error_) first_error_ = std::current_exception();
+      if (!first_error_) {
+        first_error_ = std::current_exception();
+      } else {
+        ++suppressed_errors_;
+      }
     }
     {
       std::unique_lock lock(mu_);

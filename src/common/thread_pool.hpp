@@ -36,7 +36,11 @@ class ThreadPool {
   void submit(std::function<void()> task);
 
   /// Blocks until every submitted task has finished. If any task threw, the
-  /// first captured exception is rethrown here (subsequent ones are dropped).
+  /// first captured exception is rethrown here. Exceptions from other tasks
+  /// are suppressed, but no longer silently: their count is appended to the
+  /// rethrown std::exception's message ("... [+N suppressed task
+  /// exception(s)]") so a multi-failure batch is distinguishable from a
+  /// single failure.
   void wait_idle();
 
   /// Runs body(i) for each i in [begin, end) across the pool and blocks until
@@ -55,6 +59,7 @@ class ThreadPool {
   std::size_t in_flight_ = 0;
   bool shutting_down_ = false;
   std::exception_ptr first_error_;
+  std::size_t suppressed_errors_ = 0;
 };
 
 }  // namespace propane

@@ -11,6 +11,15 @@ namespace propane::core {
 
 void save_permeability_csv(std::ostream& out, const SystemModel& model,
                            const SystemPermeability& permeability) {
+  save_permeability_csv(out, model, permeability, PermeabilityCsvOptions{});
+}
+
+void save_permeability_csv(std::ostream& out, const SystemModel& model,
+                           const SystemPermeability& permeability,
+                           const PermeabilityCsvOptions& options) {
+  for (const std::string& comment : options.comments) {
+    out << "# " << comment << '\n';
+  }
   CsvWriter writer(out);
   writer.write_row({"module", "input", "output", "permeability"});
   for (ModuleId m = 0; m < model.module_count(); ++m) {
@@ -39,7 +48,10 @@ SystemPermeability load_permeability_csv(std::istream& in,
       header_seen = true;
       if (starts_with(trimmed, "module,")) continue;  // header row
     }
-    const auto fields = split(trimmed, ',');
+    // Quote-aware split: save_permeability_csv escapes names containing
+    // commas or quotes, so the loader must invert that escaping for the
+    // save -> load round trip to hold for arbitrary module/port names.
+    const auto fields = parse_csv_row(trimmed);
     PROPANE_REQUIRE_MSG(fields.size() == 4,
                         "line " + std::to_string(line_number) +
                             ": expected 4 fields, got " +

@@ -8,15 +8,27 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "core/permeability.hpp"
 #include "core/system_model.hpp"
 
 namespace propane::core {
 
+struct PermeabilityCsvOptions {
+  /// Comment lines written (each prefixed with "# ") before the header and
+  /// skipped by load_permeability_csv. Used for provenance -- e.g. the
+  /// campaign-journal bridge records the plan fingerprint and record count
+  /// an estimate was derived from.
+  std::vector<std::string> comments;
+};
+
 /// Writes every pair of the model (including zero values).
 void save_permeability_csv(std::ostream& out, const SystemModel& model,
                            const SystemPermeability& permeability);
+void save_permeability_csv(std::ostream& out, const SystemModel& model,
+                           const SystemPermeability& permeability,
+                           const PermeabilityCsvOptions& options);
 
 /// Parses CSV written by save_permeability_csv (or compatible). Rows may
 /// come in any order and may omit pairs (omitted pairs stay 0). Unknown

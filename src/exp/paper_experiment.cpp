@@ -86,13 +86,18 @@ PaperExperiment run_paper_experiment(const ExperimentScale& scale) {
 }
 
 TextTable table1_permeability(const PaperExperiment& experiment) {
+  return table1_permeability(experiment.model, experiment.estimation);
+}
+
+TextTable table1_permeability(const core::SystemModel& model,
+                              const fi::EstimationResult& estimation) {
   TextTable table({"Module", "Input -> Output", "Name", "Value", "n_inj",
                    "n_err", "95% CI"});
   table.set_align(1, Align::kLeft);
   table.set_align(2, Align::kLeft);
-  for (const fi::PairEstimate& pair : experiment.estimation.pairs) {
+  for (const fi::PairEstimate& pair : estimation.pairs) {
     if (pair.injections == 0) continue;
-    const auto& info = experiment.model.module(pair.pair.module);
+    const auto& info = model.module(pair.pair.module);
     const std::string symbol =
         "P^" + info.name + "(" + std::to_string(pair.pair.input + 1) + "," +
         std::to_string(pair.pair.output + 1) + ")";

@@ -79,6 +79,12 @@ fi::CampaignConfig make_campaign_config(const ExperimentScale& scale);
 /// raw counts and 95% Wilson intervals.
 TextTable table1_permeability(const PaperExperiment& experiment);
 
+/// Same table from a bare (model, estimation) pair -- for callers that
+/// estimated without a PaperExperiment, e.g. streaming over a campaign
+/// journal (store/resume.hpp).
+TextTable table1_permeability(const core::SystemModel& model,
+                              const fi::EstimationResult& estimation);
+
 /// One-line description of the scale (printed by every bench).
 std::string describe(const ExperimentScale& scale);
 

@@ -16,13 +16,21 @@ std::optional<BusSignalId> CampaignResult::find_signal(
 
 CampaignResult run_campaign(const RunFunction& run,
                             const CampaignConfig& config) {
+  return run_campaign(run, config, CampaignHooks{});
+}
+
+CampaignResult run_campaign(const RunFunction& run,
+                            const CampaignConfig& config,
+                            const CampaignHooks& hooks) {
   PROPANE_REQUIRE(run != nullptr);
   PROPANE_REQUIRE(config.test_case_count > 0);
 
   CampaignResult result;
   result.goldens.resize(config.test_case_count);
-  result.records.resize(static_cast<std::size_t>(config.test_case_count) *
-                        config.injections.size());
+  if (hooks.collect_records) {
+    result.records.resize(static_cast<std::size_t>(config.test_case_count) *
+                          config.injections.size());
+  }
 
   ThreadPool pool(config.threads);
 
@@ -52,24 +60,37 @@ CampaignResult run_campaign(const RunFunction& run,
     result.signal_names.push_back(result.goldens.front().signal_name(s));
   }
 
-  // Phase 2: injection runs, injection-major.
-  const std::size_t total = result.records.size();
+  // Phase 2: injection runs, injection-major. The per-run seed depends only
+  // on (config.seed, flat index), never on which runs the hooks filter out,
+  // so a resumed or process-split campaign reproduces the exact runs an
+  // uninterrupted single-process one would have performed.
+  const std::size_t total = static_cast<std::size_t>(config.test_case_count) *
+                            config.injections.size();
   pool.parallel_for(0, total, [&](std::size_t flat) {
     const std::size_t inj = flat / config.test_case_count;
     const std::size_t tc = flat % config.test_case_count;
-    RunRequest request;
-    request.test_case = static_cast<std::uint32_t>(tc);
-    request.injection = config.injections[inj];
-    request.rng_seed = seed_for(1, flat);
-    const TraceSet trace = run(request);
-
-    InjectionRecord& record = result.records[flat];
+    InjectionRecord record;
     record.injection_index = static_cast<std::uint32_t>(inj);
     record.test_case = static_cast<std::uint32_t>(tc);
     record.target = config.injections[inj].target;
     record.when = config.injections[inj].when;
     record.model_name = config.injections[inj].model.name;
-    record.report = compare_to_golden(result.goldens[tc], trace);
+
+    const bool execute =
+        !hooks.should_run ||
+        hooks.should_run(record.injection_index, record.test_case);
+    if (execute) {
+      RunRequest request;
+      request.test_case = static_cast<std::uint32_t>(tc);
+      request.injection = config.injections[inj];
+      request.rng_seed = seed_for(1, flat);
+      const TraceSet trace = run(request);
+      record.report = compare_to_golden(result.goldens[tc], trace);
+      if (hooks.on_record) hooks.on_record(record);
+    }
+    // Skipped runs keep their identity fields but an empty report; callers
+    // resuming from a journal overwrite them with the stored records.
+    if (hooks.collect_records) result.records[flat] = std::move(record);
   });
 
   return result;

@@ -67,10 +67,43 @@ struct CampaignResult {
   std::optional<BusSignalId> find_signal(std::string_view name) const;
 };
 
+/// Observation and filtering hooks for run_campaign, the seam the durable
+/// journal (src/store) plugs into. All hooks may be null.
+struct CampaignHooks {
+  /// Decides per injection run whether to execute it. Returning false skips
+  /// the run entirely (used for runs already journaled, or owned by another
+  /// process of a split campaign). Golden runs always execute -- they are
+  /// the comparison baseline and are cheap relative to the injection fan-out.
+  /// Called from worker threads; must be thread-safe.
+  std::function<bool(std::uint32_t injection_index, std::uint32_t test_case)>
+      should_run;
+  /// Called once per *executed* injection run with its finished record,
+  /// from the worker thread that ran it; must be thread-safe. This is where
+  /// a journal sink appends.
+  std::function<void(const InjectionRecord& record)> on_record;
+  /// When false, CampaignResult::records stays empty (streaming mode: the
+  /// sink is the only consumer and memory stays O(goldens), not O(runs)).
+  bool collect_records = true;
+};
+
 /// Executes the campaign. Golden runs execute first (in parallel), then all
 /// injection runs fan out over the worker pool. Results are deterministic
-/// in (config, run function) regardless of thread count.
+/// in (config, run function) regardless of thread count: per-run RNG seeds
+/// are a pure function of (config.seed, run identity), which also makes a
+/// journal-resumed campaign bit-identical to an uninterrupted one.
 CampaignResult run_campaign(const RunFunction& run,
                             const CampaignConfig& config);
+CampaignResult run_campaign(const RunFunction& run,
+                            const CampaignConfig& config,
+                            const CampaignHooks& hooks);
+
+/// The campaign's flat enumeration of injection runs:
+/// flat = injection_index * test_case_count + test_case.
+inline std::size_t campaign_flat_index(const CampaignConfig& config,
+                                       std::uint32_t injection_index,
+                                       std::uint32_t test_case) {
+  return static_cast<std::size_t>(injection_index) * config.test_case_count +
+         test_case;
+}
 
 }  // namespace propane::fi

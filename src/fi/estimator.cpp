@@ -53,6 +53,14 @@ bool SignalBinding::is_bound(const SignalRef& signal) const {
   return map_.contains(key(signal));
 }
 
+std::size_t SignalBinding::bus_upper_bound() const {
+  std::size_t upper = 0;
+  for (const auto& [key, bus] : map_) {
+    upper = std::max(upper, std::size_t{bus} + 1);
+  }
+  return upper;
+}
+
 Interval PairEstimate::confidence() const {
   if (injections == 0) return Interval{0.0, 1.0};
   return wilson_interval(errors, injections);
@@ -70,17 +78,15 @@ const PairEstimate& EstimationResult::pair(ModuleId module, PortIndex input,
   return pairs.front();  // unreachable; PROPANE_CHECK_MSG throws
 }
 
-EstimationResult estimate_permeability(const SystemModel& model,
-                                       const SignalBinding& binding,
-                                       const CampaignResult& campaign,
-                                       EstimationOptions options) {
-  EstimationResult result{core::SystemPermeability(model), {}};
-
+PermeabilityAccumulator::PermeabilityAccumulator(
+    const SystemModel& model, const SignalBinding& binding,
+    std::size_t bus_signal_count, EstimationOptions options)
+    : model_(model), options_(options) {
   // Pair table, module-major / input-major / output-major.
-  std::vector<std::size_t> first_pair_of_module(model.module_count());
+  first_pair_of_module_.resize(model.module_count());
   for (ModuleId m = 0; m < model.module_count(); ++m) {
     const core::ModuleInfo& info = model.module(m);
-    first_pair_of_module[m] = result.pairs.size();
+    first_pair_of_module_[m] = pairs_.size();
     for (PortIndex i = 0; i < info.input_count(); ++i) {
       for (PortIndex k = 0; k < info.output_count(); ++k) {
         PairEstimate estimate;
@@ -89,23 +95,17 @@ EstimationResult estimate_permeability(const SystemModel& model,
             model.signal_name(model.input_source(InputRef{m, i}));
         estimate.output_name =
             model.signal_name(SignalRef::from_output(OutputRef{m, k}));
-        result.pairs.push_back(std::move(estimate));
+        pairs_.push_back(std::move(estimate));
       }
     }
   }
-  const auto pair_at = [&](ModuleId m, PortIndex i,
-                           PortIndex k) -> PairEstimate& {
-    const auto outputs = model.module(m).output_count();
-    return result.pairs[first_pair_of_module[m] + i * outputs + k];
-  };
 
   // Map each bus signal to the module inputs it drives.
-  std::vector<std::vector<InputRef>> consumers_of_bus(
-      campaign.signal_names.size());
+  consumers_of_bus_.resize(bus_signal_count);
   for (std::uint32_t s = 0; s < model.system_input_count(); ++s) {
     const BusSignalId bus = binding.bus_for(SignalRef::from_system_input(s));
     for (const InputRef& in : model.system_input_consumers(s)) {
-      consumers_of_bus.at(bus).push_back(in);
+      consumers_of_bus_.at(bus).push_back(in);
     }
   }
   for (ModuleId m = 0; m < model.module_count(); ++m) {
@@ -113,107 +113,136 @@ EstimationResult estimate_permeability(const SystemModel& model,
       const OutputRef out{m, k};
       const BusSignalId bus = binding.bus_for(SignalRef::from_output(out));
       for (const InputRef& in : model.output_consumers(out)) {
-        consumers_of_bus.at(bus).push_back(in);
+        consumers_of_bus_.at(bus).push_back(in);
       }
     }
   }
 
-  // Cache: bus id of the signal driving each module input.
-  std::vector<std::vector<BusSignalId>> input_bus(model.module_count());
+  // Caches: bus id of the signal driving each module input, bus id of each
+  // output, and whether an input is the module's own feedback.
+  input_bus_.resize(model.module_count());
+  output_bus_.resize(model.module_count());
+  self_feedback_.resize(model.module_count());
   for (ModuleId m = 0; m < model.module_count(); ++m) {
     const core::ModuleInfo& info = model.module(m);
-    input_bus[m].resize(info.input_count());
+    input_bus_[m].resize(info.input_count());
+    self_feedback_[m].resize(info.input_count());
     for (PortIndex i = 0; i < info.input_count(); ++i) {
-      input_bus[m][i] =
-          binding.bus_for(model.input_source(InputRef{m, i}));
+      const core::Source& src = model.input_source(InputRef{m, i});
+      input_bus_[m][i] = binding.bus_for(src);
+      self_feedback_[m][i] =
+          src.kind == SourceKind::kModuleOutput && src.output.module == m;
     }
-  }
-  // Cache: bus id of each module output.
-  std::vector<std::vector<BusSignalId>> output_bus(model.module_count());
-  for (ModuleId m = 0; m < model.module_count(); ++m) {
-    const core::ModuleInfo& info = model.module(m);
-    output_bus[m].resize(info.output_count());
+    output_bus_[m].resize(info.output_count());
     for (PortIndex k = 0; k < info.output_count(); ++k) {
-      output_bus[m][k] =
+      output_bus_[m][k] =
           binding.bus_for(SignalRef::from_output(OutputRef{m, k}));
     }
   }
+  for (ModuleId m = 0; m < model.module_count(); ++m) {
+    for (const BusSignalId bus : input_bus_[m]) {
+      min_report_size_ = std::max(min_report_size_, std::size_t{bus} + 1);
+    }
+    for (const BusSignalId bus : output_bus_[m]) {
+      min_report_size_ = std::max(min_report_size_, std::size_t{bus} + 1);
+    }
+  }
+}
 
-  for (const InjectionRecord& record : campaign.records) {
-    PROPANE_CHECK(record.target < consumers_of_bus.size());
-    for (const InputRef& in : consumers_of_bus[record.target]) {
-      const ModuleId m = in.module;
-      const core::ModuleInfo& info = model.module(m);
-      for (PortIndex k = 0; k < info.output_count(); ++k) {
-        PairEstimate& estimate = pair_at(m, in.port, k);
-        ++estimate.injections;
+void PermeabilityAccumulator::add(const InjectionRecord& record) {
+  // A record with an empty report is a placeholder for a run that never
+  // executed (journal-resume / process-split skip): it contributes nothing.
+  if (record.report.per_signal.empty()) return;
+  PROPANE_CHECK_MSG(
+      record.report.per_signal.size() >= min_report_size_,
+      "injection record's divergence report covers fewer signals than the "
+      "model binding");
+  ++record_count_;
+  PROPANE_CHECK(record.target < consumers_of_bus_.size());
+  const auto pair_at = [&](ModuleId m, PortIndex i,
+                           PortIndex k) -> PairEstimate& {
+    const auto outputs = model_.module(m).output_count();
+    return pairs_[first_pair_of_module_[m] + i * outputs + k];
+  };
 
-        const Divergence& out_div =
-            record.report.per_signal[output_bus[m][k]];
-        if (!out_div.diverged) continue;
+  for (const InputRef& in : consumers_of_bus_[record.target]) {
+    const ModuleId m = in.module;
+    const core::ModuleInfo& info = model_.module(m);
+    for (PortIndex k = 0; k < info.output_count(); ++k) {
+      PairEstimate& estimate = pair_at(m, in.port, k);
+      ++estimate.injections;
 
-        // Direct-error attribution (Section 7.3): discard the divergence
-        // if a *different* input of M diverged strictly before it -- the
-        // error then re-entered the module on another input.
-        bool direct = true;
-        for (PortIndex j = 0; j < info.input_count(); ++j) {
-          if (j == in.port) continue;
-          const BusSignalId other = input_bus[m][j];
-          // Inputs fed by the injected signal count as injected too.
-          if (other == record.target) continue;
-          const Divergence& in_div = record.report.per_signal[other];
-          if (!in_div.diverged) continue;
-          // An input corrupted in an *earlier* tick was definitely consumed
-          // before the output diverged: re-entry, not direct permeation.
-          // For a *co-timed* divergence it depends on who wrote the input:
-          // another producer runs earlier in the same tick (its corruption
-          // was visible: re-entry), whereas the module's own feedback is
-          // written after its inputs were read (the co-timed change is the
-          // module's own output, so the permeation is still direct).
-          const core::Source& src =
-              model.input_source(InputRef{m, j});
-          const bool self_feedback =
-              src.kind == SourceKind::kModuleOutput &&
-              src.output.module == m;
-          const bool earlier = in_div.first_ms < out_div.first_ms;
-          const bool cotimed = in_div.first_ms == out_div.first_ms;
-          if (earlier || (cotimed && !self_feedback)) {
-            direct = false;
-            break;
-          }
+      const Divergence& out_div = record.report.per_signal[output_bus_[m][k]];
+      if (!out_div.diverged) continue;
+
+      // Direct-error attribution (Section 7.3): discard the divergence
+      // if a *different* input of M diverged strictly before it -- the
+      // error then re-entered the module on another input.
+      bool direct = true;
+      for (PortIndex j = 0; j < info.input_count(); ++j) {
+        if (j == in.port) continue;
+        const BusSignalId other = input_bus_[m][j];
+        // Inputs fed by the injected signal count as injected too.
+        if (other == record.target) continue;
+        const Divergence& in_div = record.report.per_signal[other];
+        if (!in_div.diverged) continue;
+        // An input corrupted in an *earlier* tick was definitely consumed
+        // before the output diverged: re-entry, not direct permeation.
+        // For a *co-timed* divergence it depends on who wrote the input:
+        // another producer runs earlier in the same tick (its corruption
+        // was visible: re-entry), whereas the module's own feedback is
+        // written after its inputs were read (the co-timed change is the
+        // module's own output, so the permeation is still direct).
+        const bool earlier = in_div.first_ms < out_div.first_ms;
+        const bool cotimed = in_div.first_ms == out_div.first_ms;
+        if (earlier || (cotimed && !self_feedback_[m][j])) {
+          direct = false;
+          break;
         }
-        if (direct || !options.direct_only) {
-          ++estimate.errors;
-        }
-        if (direct) {
-          const std::uint64_t injected_ms =
-              sim::to_milliseconds(record.when);
-          const std::uint64_t latency = out_div.first_ms >= injected_ms
-                                            ? out_div.first_ms - injected_ms
-                                            : 0;
-          if (estimate.latency_count == 0) {
-            estimate.latency_min_ms = estimate.latency_max_ms = latency;
-          } else {
-            estimate.latency_min_ms =
-                std::min(estimate.latency_min_ms, latency);
-            estimate.latency_max_ms =
-                std::max(estimate.latency_max_ms, latency);
-          }
-          estimate.latency_sum_ms += static_cast<double>(latency);
-          ++estimate.latency_count;
+      }
+      if (direct || !options_.direct_only) {
+        ++estimate.errors;
+      }
+      if (direct) {
+        const std::uint64_t injected_ms = sim::to_milliseconds(record.when);
+        const std::uint64_t latency = out_div.first_ms >= injected_ms
+                                          ? out_div.first_ms - injected_ms
+                                          : 0;
+        if (estimate.latency_count == 0) {
+          estimate.latency_min_ms = estimate.latency_max_ms = latency;
         } else {
-          ++estimate.indirect_errors;
+          estimate.latency_min_ms = std::min(estimate.latency_min_ms, latency);
+          estimate.latency_max_ms = std::max(estimate.latency_max_ms, latency);
         }
+        estimate.latency_sum_ms += static_cast<double>(latency);
+        ++estimate.latency_count;
+      } else {
+        ++estimate.indirect_errors;
       }
     }
   }
+}
 
+EstimationResult PermeabilityAccumulator::finish() const {
+  EstimationResult result{core::SystemPermeability(model_), pairs_};
   for (const PairEstimate& estimate : result.pairs) {
     if (estimate.injections == 0) continue;
     result.permeability.set(estimate.pair.module, estimate.pair.input,
                             estimate.pair.output, estimate.permeability());
   }
   return result;
+}
+
+EstimationResult estimate_permeability(const SystemModel& model,
+                                       const SignalBinding& binding,
+                                       const CampaignResult& campaign,
+                                       EstimationOptions options) {
+  PermeabilityAccumulator accumulator(model, binding,
+                                      campaign.signal_names.size(), options);
+  for (const InjectionRecord& record : campaign.records) {
+    accumulator.add(record);
+  }
+  return accumulator.finish();
 }
 
 std::vector<LocationPropagation> location_propagation_stats(

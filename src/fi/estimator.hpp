@@ -38,6 +38,9 @@ class SignalBinding {
   BusSignalId bus_for(const core::SignalRef& signal) const;
   bool is_bound(const core::SignalRef& signal) const;
   std::size_t size() const { return map_.size(); }
+  /// One past the largest bound bus id (0 when nothing is bound); the
+  /// minimum bus-signal count a divergence report must cover.
+  std::size_t bus_upper_bound() const;
 
  private:
   static std::pair<std::uint64_t, std::uint64_t> key(
@@ -92,9 +95,50 @@ struct EstimationResult {
                            core::PortIndex output) const;
 };
 
+/// Record-stream permeability estimation: folds injection records one at a
+/// time into per-pair counts, so estimates can be derived from a campaign
+/// journal (src/store) -- or any other record stream -- without ever
+/// materialising a CampaignResult. All counts are order-independent, so
+/// folding records in journal-shard order, resume order or merge order
+/// yields identical estimates.
+class PermeabilityAccumulator {
+ public:
+  /// `bus_signal_count` sizes the target lookup (number of bus signals the
+  /// campaign traced; records' reports index into that range).
+  PermeabilityAccumulator(const core::SystemModel& model,
+                          const SignalBinding& binding,
+                          std::size_t bus_signal_count,
+                          EstimationOptions options = {});
+
+  /// Folds one injection record into the counts.
+  void add(const InjectionRecord& record);
+
+  std::size_t record_count() const { return record_count_; }
+
+  /// Builds the estimation result from the counts folded so far.
+  EstimationResult finish() const;
+
+ private:
+  const core::SystemModel& model_;
+  EstimationOptions options_;
+  std::size_t record_count_ = 0;
+  std::vector<PairEstimate> pairs_;  // module/input/output-major
+  std::vector<std::size_t> first_pair_of_module_;
+  /// Module inputs driven by each bus signal (injection targets).
+  std::vector<std::vector<core::InputRef>> consumers_of_bus_;
+  /// Bus id of the signal driving each module input / of each output.
+  std::vector<std::vector<BusSignalId>> input_bus_;
+  std::vector<std::vector<BusSignalId>> output_bus_;
+  /// Whether each module input is fed back from the module's own output.
+  std::vector<std::vector<bool>> self_feedback_;
+  /// Smallest report size every folded record must cover (max bound bus id
+  /// + 1); guards against records from a different campaign layout.
+  std::size_t min_report_size_ = 0;
+};
+
 /// Reduces a campaign into permeability estimates for every I/O pair whose
 /// driving signal was an injection target. Pairs never injected keep
-/// P = 0 with injections == 0.
+/// P = 0 with injections == 0. (Batch wrapper over PermeabilityAccumulator.)
 EstimationResult estimate_permeability(const core::SystemModel& model,
                                        const SignalBinding& binding,
                                        const CampaignResult& campaign,

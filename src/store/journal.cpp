@@ -1,0 +1,196 @@
+#include "store/journal.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace propane::store {
+
+JournalWriter::JournalWriter(const std::filesystem::path& path,
+                             const Manifest& manifest)
+    : path_(path) {
+  PROPANE_REQUIRE_MSG(!std::filesystem::exists(path_),
+                      "journal shard already exists: " + path_.string());
+  out_.open(path_, std::ios::binary | std::ios::trunc);
+  PROPANE_REQUIRE_MSG(out_.is_open(),
+                      "cannot create journal shard: " + path_.string());
+  out_.write(kJournalMagic, sizeof(kJournalMagic));
+  ByteWriter header;
+  header.u32(kJournalVersion);
+  out_.write(reinterpret_cast<const char*>(header.bytes().data()),
+             static_cast<std::streamsize>(header.bytes().size()));
+  bytes_written_ = sizeof(kJournalMagic) + header.bytes().size();
+  write_frame(RecordType::kManifest, encode_manifest(manifest));
+  flush();
+}
+
+void JournalWriter::write_frame(RecordType type,
+                                const std::vector<std::uint8_t>& body) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(1 + body.size());
+  payload.push_back(static_cast<std::uint8_t>(type));
+  payload.insert(payload.end(), body.begin(), body.end());
+
+  ByteWriter frame;
+  frame.u32(static_cast<std::uint32_t>(payload.size()));
+  frame.u32(crc32(payload.data(), payload.size()));
+  out_.write(reinterpret_cast<const char*>(frame.bytes().data()),
+             static_cast<std::streamsize>(frame.bytes().size()));
+  out_.write(reinterpret_cast<const char*>(payload.data()),
+             static_cast<std::streamsize>(payload.size()));
+  PROPANE_CHECK_MSG(out_.good(),
+                    "journal shard write failed: " + path_.string());
+  bytes_written_ += frame.bytes().size() + payload.size();
+}
+
+void JournalWriter::append(const fi::InjectionRecord& record) {
+  write_frame(RecordType::kInjectionResult, encode_injection_record(record));
+  // Per-record flush: after a crash, every record appended so far is on
+  // disk (modulo OS buffers) and at most the in-flight frame is torn.
+  flush();
+  ++record_count_;
+}
+
+void JournalWriter::flush() {
+  out_.flush();
+  PROPANE_CHECK_MSG(out_.good(),
+                    "journal shard flush failed: " + path_.string());
+}
+
+JournalScan scan_journal_file(
+    const std::filesystem::path& path,
+    const std::function<void(fi::InjectionRecord&&)>& sink) {
+  std::ifstream in(path, std::ios::binary);
+  PROPANE_REQUIRE_MSG(in.is_open(),
+                      "cannot open journal shard: " + path.string());
+  std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+
+  JournalScan scan;
+  const std::size_t header_size = sizeof(kJournalMagic) + 4;
+  if (bytes.size() < header_size) {
+    // A shard so short it lacks even the header is crash residue from a
+    // writer that died before its first flush; treat like a torn tail.
+    scan.torn_tail = true;
+    scan.warning = path.string() + ": file shorter than the journal header";
+    return scan;
+  }
+  PROPANE_CHECK_MSG(
+      std::memcmp(bytes.data(), kJournalMagic, sizeof(kJournalMagic)) == 0,
+      "not a campaign journal (bad magic): " + path.string());
+  ByteReader version_reader(bytes.data() + sizeof(kJournalMagic), 4);
+  const std::uint32_t version = version_reader.u32();
+  PROPANE_CHECK_MSG(version == kJournalVersion,
+                    "unsupported journal version " + std::to_string(version) +
+                        ": " + path.string());
+
+  std::size_t pos = header_size;
+  bool manifest_seen = false;
+  while (pos < bytes.size()) {
+    const std::size_t remaining = bytes.size() - pos;
+    if (remaining < 8) {
+      scan.torn_tail = true;
+      scan.warning = path.string() + ": truncated frame header at offset " +
+                     std::to_string(pos) + " (skipped)";
+      break;
+    }
+    ByteReader frame_reader(bytes.data() + pos, 8);
+    const std::uint32_t length = frame_reader.u32();
+    const std::uint32_t stored_crc = frame_reader.u32();
+    if (remaining - 8 < length || length > kMaxRecordBytes) {
+      // The frame claims more bytes than the file holds: the classic torn
+      // tail (the length/CRC words made it to disk, the payload did not).
+      // An absurd length lands here too -- a torn header can contain any
+      // bits, and a frame we cannot step over cannot be validated.
+      scan.torn_tail = true;
+      scan.warning = path.string() + ": truncated frame payload at offset " +
+                     std::to_string(pos) + " (skipped)";
+      break;
+    }
+    const std::uint8_t* payload = bytes.data() + pos + 8;
+    PROPANE_CHECK_MSG(
+        crc32(payload, length) == stored_crc,
+        "journal CRC mismatch at offset " + std::to_string(pos) + ": " +
+            path.string() + " (mid-file corruption, refusing to continue)");
+    PROPANE_CHECK_MSG(length >= 1, "empty journal frame: " + path.string());
+    const auto type = static_cast<RecordType>(payload[0]);
+    if (!manifest_seen) {
+      PROPANE_CHECK_MSG(type == RecordType::kManifest,
+                        "first journal record is not a manifest: " +
+                            path.string());
+      scan.manifest = decode_manifest(payload + 1, length - 1);
+      scan.has_manifest = true;
+      manifest_seen = true;
+    } else {
+      PROPANE_CHECK_MSG(type == RecordType::kInjectionResult,
+                        "unknown journal record type " +
+                            std::to_string(payload[0]) + ": " + path.string());
+      fi::InjectionRecord record =
+          decode_injection_record(payload + 1, length - 1);
+      ++scan.record_count;
+      if (sink) sink(std::move(record));
+    }
+    pos += 8 + length;
+  }
+  if (!manifest_seen) {
+    // Header made it to disk but the manifest frame tore: same crash
+    // residue case as the short-file branch above.
+    scan.torn_tail = true;
+    if (scan.warning.empty()) {
+      scan.warning = path.string() + ": missing manifest record";
+    }
+  }
+  return scan;
+}
+
+JournalScan peek_journal_manifest(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  PROPANE_REQUIRE_MSG(in.is_open(),
+                      "cannot open journal shard: " + path.string());
+  const std::size_t header_size = sizeof(kJournalMagic) + 4;
+  std::vector<std::uint8_t> head(header_size + 8);
+  in.read(reinterpret_cast<char*>(head.data()),
+          static_cast<std::streamsize>(head.size()));
+  JournalScan scan;
+  if (static_cast<std::size_t>(in.gcount()) < head.size()) {
+    scan.torn_tail = true;
+    scan.warning = path.string() + ": file shorter than the journal header";
+    return scan;
+  }
+  PROPANE_CHECK_MSG(
+      std::memcmp(head.data(), kJournalMagic, sizeof(kJournalMagic)) == 0,
+      "not a campaign journal (bad magic): " + path.string());
+  ByteReader reader(head.data() + sizeof(kJournalMagic), 12);
+  const std::uint32_t version = reader.u32();
+  PROPANE_CHECK_MSG(version == kJournalVersion,
+                    "unsupported journal version " + std::to_string(version) +
+                        ": " + path.string());
+  const std::uint32_t length = reader.u32();
+  const std::uint32_t stored_crc = reader.u32();
+  if (length > kMaxRecordBytes) {
+    scan.torn_tail = true;
+    scan.warning = path.string() + ": truncated manifest frame";
+    return scan;
+  }
+  std::vector<std::uint8_t> payload(length);
+  in.read(reinterpret_cast<char*>(payload.data()),
+          static_cast<std::streamsize>(payload.size()));
+  if (static_cast<std::size_t>(in.gcount()) < payload.size()) {
+    scan.torn_tail = true;
+    scan.warning = path.string() + ": truncated manifest frame";
+    return scan;
+  }
+  PROPANE_CHECK_MSG(length >= 1 &&
+                        crc32(payload.data(), length) == stored_crc,
+                    "journal CRC mismatch in manifest frame: " +
+                        path.string());
+  PROPANE_CHECK_MSG(
+      static_cast<RecordType>(payload[0]) == RecordType::kManifest,
+      "first journal record is not a manifest: " + path.string());
+  scan.manifest = decode_manifest(payload.data() + 1, length - 1);
+  scan.has_manifest = true;
+  return scan;
+}
+
+}  // namespace propane::store

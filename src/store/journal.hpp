@@ -1,0 +1,98 @@
+// Append-only campaign journal: the durable form of a fault-injection
+// campaign's raw results.
+//
+// The in-memory CampaignResult loses everything on a crash; at the target
+// scale (millions of injection runs, sharded across processes) every
+// completed run must hit disk before the next one starts. A journal shard
+// is a single append-only file:
+//
+//   offset 0: magic "PROPJRNL" (8 bytes) | u32 version
+//   then frames: u32 payload_length | u32 crc32(payload) | payload
+//   payload:    u8 RecordType | type-specific body (store/record_codec.hpp)
+//
+// The first frame is always the campaign manifest; every later frame is one
+// injection result. Appends are flushed per record, so after a crash the
+// file holds every completed run plus at most one torn tail frame.
+//
+// Reader semantics (exercised by tests/store/journal_test.cpp):
+//   * a truncated tail frame (header or payload runs past EOF) is the
+//     expected residue of a crash: it is skipped and reported as a warning;
+//   * a CRC mismatch on a *complete* frame means real corruption and is a
+//     hard error (ContractViolation) -- silently dropping mid-file records
+//     would bias every estimate derived from the journal;
+//   * an empty directory simply means a fresh campaign (store/resume.hpp).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <string>
+
+#include "store/record_codec.hpp"
+
+namespace propane::store {
+
+inline constexpr char kJournalMagic[8] = {'P', 'R', 'O', 'P',
+                                          'J', 'R', 'N', 'L'};
+inline constexpr std::uint32_t kJournalVersion = 1;
+/// Upper bound on one frame's payload; anything larger is corruption (a
+/// record is a few hundred bytes even on very wide buses).
+inline constexpr std::uint32_t kMaxRecordBytes = 1u << 26;
+
+/// Writes one journal shard. The constructor creates the file and persists
+/// the header + manifest immediately, so even an empty shard identifies its
+/// campaign. append() flushes each frame; a crash can tear at most the
+/// frame being written, never a previously appended one.
+class JournalWriter {
+ public:
+  /// `path` must not already exist (shards are never appended to across
+  /// sessions -- resume opens fresh shard files instead, leaving any torn
+  /// tail behind for the reader to skip).
+  JournalWriter(const std::filesystem::path& path, const Manifest& manifest);
+
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  void append(const fi::InjectionRecord& record);
+  void flush();
+
+  const std::filesystem::path& path() const { return path_; }
+  std::size_t record_count() const { return record_count_; }
+  std::size_t bytes_written() const { return bytes_written_; }
+
+ private:
+  void write_frame(RecordType type, const std::vector<std::uint8_t>& body);
+
+  std::filesystem::path path_;
+  std::ofstream out_;
+  std::size_t record_count_ = 0;
+  std::size_t bytes_written_ = 0;
+};
+
+/// Outcome of scanning one shard file.
+struct JournalScan {
+  /// False when the shard tore before its manifest frame hit the disk; the
+  /// shard then contributes nothing and `manifest` is meaningless.
+  bool has_manifest = false;
+  Manifest manifest;
+  std::size_t record_count = 0;
+  /// True when the file ended inside a frame (crash residue); the partial
+  /// frame was skipped and `warning` describes it.
+  bool torn_tail = false;
+  std::string warning;
+};
+
+/// Scans a shard, invoking `sink` for every decoded injection record (sink
+/// may be null to just validate / count). See the header comment for the
+/// torn-tail vs. corruption semantics.
+JournalScan scan_journal_file(
+    const std::filesystem::path& path,
+    const std::function<void(fi::InjectionRecord&&)>& sink);
+
+/// Reads only the header and manifest frame of a shard -- a cheap identity
+/// peek (merge uses it to validate every source before streaming records).
+/// record_count is always 0 here; has_manifest is false for crash residue.
+JournalScan peek_journal_manifest(const std::filesystem::path& path);
+
+}  // namespace propane::store

@@ -1,0 +1,217 @@
+#include "store/record_codec.hpp"
+
+#include <array>
+
+#include "common/contracts.hpp"
+
+namespace propane::store {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kCrcTable = make_crc32_table();
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size) {
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = kCrcTable[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::uint64_t fnv1a64(const void* data, std::size_t size, std::uint64_t seed) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  std::uint64_t hash = seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+void ByteWriter::u8(std::uint8_t v) { bytes_.push_back(v); }
+
+void ByteWriter::u16(std::uint16_t v) {
+  bytes_.push_back(static_cast<std::uint8_t>(v));
+  bytes_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    bytes_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    bytes_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void ByteWriter::str(std::string_view v) {
+  u32(static_cast<std::uint32_t>(v.size()));
+  bytes_.insert(bytes_.end(), v.begin(), v.end());
+}
+
+void ByteReader::need(std::size_t n) const {
+  PROPANE_CHECK_MSG(size_ - pos_ >= n, "journal record payload truncated");
+}
+
+std::uint8_t ByteReader::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint16_t ByteReader::u16() {
+  need(2);
+  const std::uint16_t v = static_cast<std::uint16_t>(
+      data_[pos_] | (static_cast<std::uint16_t>(data_[pos_ + 1]) << 8));
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t ByteReader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(data_[pos_ + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+std::string ByteReader::str() {
+  const std::uint32_t length = u32();
+  need(length);
+  std::string out(reinterpret_cast<const char*>(data_ + pos_), length);
+  pos_ += length;
+  return out;
+}
+
+std::uint64_t plan_hash(const fi::CampaignConfig& config) {
+  // Hash a canonical encoding of the plan rather than raw structs so
+  // padding and container layout cannot leak into the fingerprint.
+  ByteWriter writer;
+  writer.u64(config.seed);
+  writer.u32(config.test_case_count);
+  writer.u32(static_cast<std::uint32_t>(config.injections.size()));
+  for (const fi::InjectionSpec& spec : config.injections) {
+    writer.u32(spec.target);
+    writer.u64(spec.when);
+    writer.u8(static_cast<std::uint8_t>(spec.phase));
+    writer.str(spec.model.name);
+  }
+  return fnv1a64(writer.bytes().data(), writer.bytes().size());
+}
+
+Manifest manifest_for(const fi::CampaignConfig& config) {
+  Manifest manifest;
+  manifest.plan_hash = plan_hash(config);
+  manifest.seed = config.seed;
+  manifest.test_case_count = config.test_case_count;
+  manifest.injection_count =
+      static_cast<std::uint32_t>(config.injections.size());
+  return manifest;
+}
+
+std::vector<std::uint8_t> encode_manifest(const Manifest& manifest) {
+  ByteWriter writer;
+  writer.u64(manifest.plan_hash);
+  writer.u64(manifest.seed);
+  writer.u32(manifest.test_case_count);
+  writer.u32(manifest.injection_count);
+  return writer.take();
+}
+
+Manifest decode_manifest(const std::uint8_t* data, std::size_t size) {
+  ByteReader reader(data, size);
+  Manifest manifest;
+  manifest.plan_hash = reader.u64();
+  manifest.seed = reader.u64();
+  manifest.test_case_count = reader.u32();
+  manifest.injection_count = reader.u32();
+  PROPANE_CHECK_MSG(reader.exhausted(),
+                    "trailing bytes after manifest payload");
+  return manifest;
+}
+
+std::vector<std::uint8_t> encode_injection_record(
+    const fi::InjectionRecord& record) {
+  ByteWriter writer;
+  writer.u32(record.injection_index);
+  writer.u32(record.test_case);
+  writer.u32(record.target);
+  writer.u64(record.when);
+  writer.str(record.model_name);
+  writer.u32(static_cast<std::uint32_t>(record.report.per_signal.size()));
+  std::uint32_t diverged = 0;
+  for (const fi::Divergence& d : record.report.per_signal) {
+    if (d.diverged) ++diverged;
+  }
+  writer.u32(diverged);
+  for (std::size_t s = 0; s < record.report.per_signal.size(); ++s) {
+    const fi::Divergence& d = record.report.per_signal[s];
+    if (!d.diverged) continue;
+    writer.u32(static_cast<std::uint32_t>(s));
+    writer.u64(d.first_ms);
+    writer.u16(d.golden_value);
+    writer.u16(d.observed_value);
+  }
+  return writer.take();
+}
+
+fi::InjectionRecord decode_injection_record(const std::uint8_t* data,
+                                            std::size_t size) {
+  ByteReader reader(data, size);
+  fi::InjectionRecord record;
+  record.injection_index = reader.u32();
+  record.test_case = reader.u32();
+  record.target = reader.u32();
+  record.when = reader.u64();
+  record.model_name = reader.str();
+  const std::uint32_t signal_count = reader.u32();
+  const std::uint32_t diverged = reader.u32();
+  PROPANE_CHECK_MSG(diverged <= signal_count,
+                    "journal record claims more divergences than signals");
+  record.report.per_signal.resize(signal_count);
+  for (std::uint32_t i = 0; i < diverged; ++i) {
+    const std::uint32_t signal = reader.u32();
+    PROPANE_CHECK_MSG(signal < signal_count,
+                      "journal record divergence signal out of range");
+    fi::Divergence& d = record.report.per_signal[signal];
+    d.diverged = true;
+    d.first_ms = reader.u64();
+    d.golden_value = reader.u16();
+    d.observed_value = reader.u16();
+  }
+  PROPANE_CHECK_MSG(reader.exhausted(),
+                    "trailing bytes after injection record payload");
+  return record;
+}
+
+}  // namespace propane::store

@@ -1,0 +1,127 @@
+// Binary record codec for the campaign journal (store/journal.hpp).
+//
+// Every journal payload is a flat little-endian byte string assembled with
+// ByteWriter and re-read with ByteReader; framing (length prefix + CRC32)
+// is the journal layer's job. Keeping the codec separate lets tests and
+// the merge tool reason about record contents without touching files.
+//
+// Payload layouts (all integers little-endian):
+//   Manifest:       u64 plan_hash | u64 seed | u32 test_case_count |
+//                   u32 injection_count
+//   InjectionResult:u32 injection_index | u32 test_case | u32 target |
+//                   u64 when_us | str model_name | u32 signal_count |
+//                   u32 diverged_count | diverged_count x
+//                   (u32 signal | u64 first_ms | u16 golden | u16 observed)
+// Strings are u32 length + raw bytes. Divergence reports are stored
+// sparsely: only diverged signals get an entry, which keeps a typical
+// record well under 100 bytes even on wide buses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fi/campaign.hpp"
+
+namespace propane::store {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `size` bytes.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size);
+
+/// FNV-1a 64-bit hash helper used for campaign plan fingerprints.
+std::uint64_t fnv1a64(const void* data, std::size_t size,
+                      std::uint64_t seed = 0xCBF29CE484222325ULL);
+
+/// Little-endian byte-string assembler.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void str(std::string_view v);  // u32 length + bytes
+
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Bounds-checked reader over an encoded payload. Overruns raise
+/// ContractViolation ("journal record payload truncated") -- by the time a
+/// payload is decoded its CRC already matched, so an overrun means a codec
+/// bug or deliberate corruption, never a torn write.
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::string str();
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool exhausted() const { return pos_ == size_; }
+
+ private:
+  void need(std::size_t n) const;
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+/// Journal record kinds. The manifest is always the first record of a
+/// shard; everything after it is injection results.
+enum class RecordType : std::uint8_t {
+  kManifest = 1,
+  kInjectionResult = 2,
+};
+
+/// Identifies the campaign a shard belongs to. Shards of the same campaign
+/// (resume sessions, process splits) carry identical manifests; resume and
+/// merge refuse to mix shards whose manifests disagree.
+struct Manifest {
+  std::uint64_t plan_hash = 0;  // fingerprint of the injection plan
+  std::uint64_t seed = 0;       // CampaignConfig::seed (drives run seeds)
+  std::uint32_t test_case_count = 0;
+  std::uint32_t injection_count = 0;
+
+  /// Total runs the plan calls for (excluding golden runs).
+  std::size_t total_runs() const {
+    return static_cast<std::size_t>(test_case_count) * injection_count;
+  }
+  /// Flat run index used for journal bookkeeping; matches the campaign
+  /// runner's injection-major enumeration.
+  std::size_t flat_index(std::uint32_t injection_index,
+                         std::uint32_t test_case) const {
+    return static_cast<std::size_t>(injection_index) * test_case_count +
+           test_case;
+  }
+
+  bool operator==(const Manifest&) const = default;
+};
+
+/// Fingerprint of the injection plan: folds seed, test-case count and every
+/// injection's (target, when, phase, model name) into one hash. Two configs
+/// with the same fingerprint derive identical per-run seeds, which is what
+/// makes resumed runs bit-identical to uninterrupted ones.
+std::uint64_t plan_hash(const fi::CampaignConfig& config);
+
+/// Builds the manifest describing `config`.
+Manifest manifest_for(const fi::CampaignConfig& config);
+
+std::vector<std::uint8_t> encode_manifest(const Manifest& manifest);
+Manifest decode_manifest(const std::uint8_t* data, std::size_t size);
+
+std::vector<std::uint8_t> encode_injection_record(
+    const fi::InjectionRecord& record);
+fi::InjectionRecord decode_injection_record(const std::uint8_t* data,
+                                            std::size_t size);
+
+}  // namespace propane::store

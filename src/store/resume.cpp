@@ -1,0 +1,246 @@
+#include "store/resume.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <optional>
+#include <ostream>
+
+#include "common/contracts.hpp"
+#include "core/permeability_io.hpp"
+
+namespace propane::store {
+
+namespace {
+
+std::string hex64(std::uint64_t value) {
+  char buffer[19];
+  std::snprintf(buffer, sizeof(buffer), "0x%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+void require_same_manifest(const Manifest& expected, const Manifest& found,
+                           const std::string& where) {
+  PROPANE_REQUIRE_MSG(
+      expected == found,
+      "journal manifest mismatch (" + where + "): expected plan " +
+          hex64(expected.plan_hash) + " seed " + hex64(expected.seed) +
+          ", found plan " + hex64(found.plan_hash) + " seed " +
+          hex64(found.seed) + " -- shards belong to different campaigns");
+}
+
+}  // namespace
+
+CampaignDirState scan_campaign_dir(
+    const std::filesystem::path& dir,
+    const std::function<void(fi::InjectionRecord&&, std::size_t flat)>&
+        sink) {
+  CampaignDirState state;
+  for (const auto& shard : ShardedJournalWriter::list_shards(dir)) {
+    // The record sink below indexes state.completed, so the shard's
+    // manifest must be checked in *before* the full scan streams records:
+    // peek just the first frame first.
+    const JournalScan peek = peek_journal_manifest(shard);
+    if (!peek.has_manifest) {
+      // Writer died before its manifest hit the disk; the shard carries no
+      // records by construction, so skipping it loses nothing.
+      state.warnings.push_back(peek.warning);
+      continue;
+    }
+    if (state.fresh) {
+      state.fresh = false;
+      state.manifest = peek.manifest;
+      state.completed.assign(state.manifest.total_runs(), false);
+    } else {
+      require_same_manifest(state.manifest, peek.manifest, shard.string());
+    }
+    const JournalScan scan = scan_journal_file(
+        shard, [&](fi::InjectionRecord&& record) {
+          PROPANE_CHECK_MSG(
+              record.injection_index < state.manifest.injection_count &&
+                  record.test_case < state.manifest.test_case_count,
+              "journal record outside the campaign plan: " + shard.string());
+          const std::size_t flat = state.manifest.flat_index(
+              record.injection_index, record.test_case);
+          if (state.completed[flat]) {
+            ++state.duplicate_count;
+            return;
+          }
+          state.completed[flat] = true;
+          ++state.completed_count;
+          if (sink) sink(std::move(record), flat);
+        });
+    if (scan.torn_tail) state.warnings.push_back(scan.warning);
+  }
+  return state;
+}
+
+JournalRunSummary run_journaled_campaign(const fi::RunFunction& run,
+                                         const fi::CampaignConfig& config,
+                                         const std::filesystem::path& dir,
+                                         const JournalRunOptions& options) {
+  PROPANE_REQUIRE(options.process_count > 0);
+  PROPANE_REQUIRE(options.process_index < options.process_count);
+
+  const Manifest manifest = manifest_for(config);
+  JournalRunSummary summary;
+  summary.total_runs = manifest.total_runs();
+
+  // Reload phase: rebuild the completed-run set (and keep the records when
+  // the caller wants an in-memory CampaignResult too).
+  std::vector<std::pair<std::size_t, fi::InjectionRecord>> reloaded;
+  CampaignDirState state = scan_campaign_dir(
+      dir, options.collect_records
+               ? std::function<void(fi::InjectionRecord&&, std::size_t)>(
+                     [&](fi::InjectionRecord&& record, std::size_t flat) {
+                       reloaded.emplace_back(flat, std::move(record));
+                     })
+               : nullptr);
+  if (!state.fresh) {
+    require_same_manifest(manifest, state.manifest, dir.string());
+  }
+  summary.warnings = state.warnings;
+  std::vector<bool> completed = std::move(state.completed);
+  if (completed.empty()) completed.assign(manifest.total_runs(), false);
+
+  ShardedJournalWriter writer(dir, manifest, options.shard_count);
+
+  std::atomic<std::size_t> executed{0};
+  std::atomic<std::size_t> skipped_completed{0};
+  std::atomic<std::size_t> skipped_foreign{0};
+
+  fi::CampaignHooks hooks;
+  hooks.collect_records = options.collect_records;
+  // `completed` is only read here (writes all happened during the scan),
+  // so concurrent calls from worker threads are safe.
+  hooks.should_run = [&](std::uint32_t injection_index,
+                         std::uint32_t test_case) {
+    const std::size_t flat = manifest.flat_index(injection_index, test_case);
+    if (completed[flat]) {
+      skipped_completed.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    if (flat % options.process_count != options.process_index) {
+      skipped_foreign.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  };
+  // Durability point: the record reaches its shard (and is flushed) before
+  // the worker picks up another run, so a crash can lose at most the runs
+  // still in flight -- never a completed one.
+  hooks.on_record = [&](const fi::InjectionRecord& record) {
+    writer.append(record);
+    executed.fetch_add(1, std::memory_order_relaxed);
+  };
+
+  summary.result = fi::run_campaign(run, config, hooks);
+  summary.executed = executed.load();
+  summary.skipped_completed = skipped_completed.load();
+  summary.skipped_foreign = skipped_foreign.load();
+
+  if (options.collect_records) {
+    for (auto& [flat, record] : reloaded) {
+      summary.result.records[flat] = std::move(record);
+    }
+  }
+  return summary;
+}
+
+MergeSummary merge_journals(
+    const std::filesystem::path& dest,
+    const std::vector<std::filesystem::path>& sources) {
+  MergeSummary summary;
+
+  // Destination state first: merging into a non-empty directory only adds
+  // records it does not already hold.
+  CampaignDirState dest_state = scan_campaign_dir(dest);
+  summary.warnings = dest_state.warnings;
+  std::optional<Manifest> manifest;
+  if (!dest_state.fresh) manifest = dest_state.manifest;
+
+  // Validate every source shard's identity before writing anything, so a
+  // mismatched source cannot leave a half-merged destination behind.
+  for (const auto& source : sources) {
+    for (const auto& shard : ShardedJournalWriter::list_shards(source)) {
+      const JournalScan peek = peek_journal_manifest(shard);
+      if (!peek.has_manifest) continue;  // crash residue; scan warns later
+      if (!manifest) {
+        manifest = peek.manifest;
+      } else {
+        require_same_manifest(*manifest, peek.manifest, shard.string());
+      }
+    }
+  }
+  PROPANE_REQUIRE_MSG(manifest.has_value(),
+                      "merge found no readable journal shards");
+
+  std::vector<bool> completed = std::move(dest_state.completed);
+  if (completed.empty()) completed.assign(manifest->total_runs(), false);
+  summary.record_count = dest_state.completed_count;
+  summary.duplicate_count = dest_state.duplicate_count;
+
+  ShardedJournalWriter writer(dest, *manifest, 1);
+  for (const auto& source : sources) {
+    CampaignDirState state = scan_campaign_dir(
+        source, [&](fi::InjectionRecord&& record, std::size_t flat) {
+          if (completed[flat]) {
+            ++summary.duplicate_count;
+            return;
+          }
+          completed[flat] = true;
+          writer.append(record);
+          ++summary.record_count;
+        });
+    summary.duplicate_count += state.duplicate_count;
+    summary.warnings.insert(summary.warnings.end(), state.warnings.begin(),
+                            state.warnings.end());
+  }
+  return summary;
+}
+
+JournalStats estimate_from_journal(const std::filesystem::path& dir,
+                                   const core::SystemModel& model,
+                                   const fi::SignalBinding& binding,
+                                   fi::EstimationOptions options) {
+  // The accumulator needs the campaign's bus width; take it from the first
+  // record's report (every record of a campaign traces the same bus), with
+  // the binding's own upper bound as the floor for empty journals.
+  std::optional<fi::PermeabilityAccumulator> accumulator;
+  CampaignDirState state = scan_campaign_dir(
+      dir, [&](fi::InjectionRecord&& record, std::size_t) {
+        if (!accumulator) {
+          const std::size_t bus_count = std::max(
+              binding.bus_upper_bound(), record.report.per_signal.size());
+          accumulator.emplace(model, binding, bus_count, options);
+        }
+        accumulator->add(record);
+      });
+  PROPANE_REQUIRE_MSG(!state.fresh,
+                      "no campaign journal in " + dir.string());
+  if (!accumulator) {
+    accumulator.emplace(model, binding, binding.bus_upper_bound(), options);
+  }
+  return JournalStats{state.manifest, state.completed_count,
+                      state.duplicate_count, std::move(state.warnings),
+                      accumulator->finish()};
+}
+
+JournalStats write_permeability_csv_from_journal(
+    std::ostream& out, const std::filesystem::path& dir,
+    const core::SystemModel& model, const fi::SignalBinding& binding,
+    fi::EstimationOptions options) {
+  JournalStats stats = estimate_from_journal(dir, model, binding, options);
+  core::PermeabilityCsvOptions csv_options;
+  csv_options.comments = {
+      "estimated from a propane campaign journal",
+      "plan " + hex64(stats.manifest.plan_hash) + ", seed " +
+          hex64(stats.manifest.seed) + ", " +
+          std::to_string(stats.record_count) + " injection records",
+  };
+  core::save_permeability_csv(out, model, stats.estimation.permeability,
+                              csv_options);
+  return stats;
+}
+
+}  // namespace propane::store

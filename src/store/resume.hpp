@@ -1,0 +1,134 @@
+// Crash-safe resume, process-split sharding, merge and streaming
+// estimation over campaign journal directories.
+//
+// A campaign directory holds one or more journal shards (sharded_writer).
+// Because every completed injection run was flushed to a shard before the
+// next one started, the directory *is* the campaign state:
+//
+//   * resume: scan the shards, rebuild the set of completed
+//     (injection_index, test_case) pairs, then run only the missing runs.
+//     Per-run RNG seeds are a pure function of (config seed, run identity)
+//     (fi/campaign.cpp), so a resumed campaign is bit-identical to an
+//     uninterrupted one;
+//   * split: N processes run the same plan with process_count=N and
+//     distinct process_index values; each owns the flat run indices
+//     congruent to its index and writes its own directory (or its own
+//     shards of a shared directory on a shared filesystem);
+//   * merge: fold several directories of the *same* plan (identical
+//     manifests) into one, deduplicating runs that were executed twice;
+//   * stats: stream every record through fi::PermeabilityAccumulator into
+//     n_err/n_inj permeability estimates with Wilson intervals, without
+//     ever materialising a CampaignResult.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "fi/campaign.hpp"
+#include "fi/estimator.hpp"
+#include "store/sharded_writer.hpp"
+
+namespace propane::store {
+
+/// What a scan of a campaign directory found.
+struct CampaignDirState {
+  /// True when the directory holds no (readable) shards: a fresh campaign.
+  bool fresh = true;
+  Manifest manifest;  // valid when !fresh
+  /// completed[flat] == true when that run's record is in the journal.
+  std::vector<bool> completed;
+  std::size_t completed_count = 0;
+  /// Runs recorded more than once (e.g. overlapping process splits merged
+  /// into one directory). Duplicates beyond the first are dropped.
+  std::size_t duplicate_count = 0;
+  /// Torn-tail notices and other non-fatal findings, one per shard.
+  std::vector<std::string> warnings;
+};
+
+/// Scans every shard of `dir`, verifying that all manifests agree, and
+/// rebuilds the completed-run set. `sink`, when non-null, receives each
+/// unique record once together with its flat run index (duplicates are
+/// suppressed). A missing or empty directory yields a fresh state.
+CampaignDirState scan_campaign_dir(
+    const std::filesystem::path& dir,
+    const std::function<void(fi::InjectionRecord&&, std::size_t flat)>& sink =
+        nullptr);
+
+struct JournalRunOptions {
+  /// Shard files this session writes (>= worker threads removes contention).
+  std::size_t shard_count = 1;
+  /// Process-split: this process executes only flat run indices congruent
+  /// to process_index modulo process_count.
+  std::uint32_t process_count = 1;
+  std::uint32_t process_index = 0;
+  /// Also materialise records in the returned CampaignResult (memory-heavy;
+  /// off by default -- the journal is the result).
+  bool collect_records = false;
+};
+
+struct JournalRunSummary {
+  std::size_t executed = 0;           // runs performed this session
+  std::size_t skipped_completed = 0;  // already in the journal
+  std::size_t skipped_foreign = 0;    // owned by another process index
+  std::size_t total_runs = 0;         // the plan's injection-run count
+  std::vector<std::string> warnings;  // from the pre-run directory scan
+  /// Golden traces and signal names always; records only when
+  /// collect_records (journaled-but-skipped runs are reloaded from disk, so
+  /// the result is complete for a single-process resume).
+  fi::CampaignResult result;
+};
+
+/// Runs `config` against journal directory `dir`: fresh directories start
+/// from scratch, non-empty ones resume. The directory must belong to the
+/// same plan (manifest mismatch is a hard error). Every completed run is
+/// appended to a shard before the campaign moves on, so the directory can
+/// be resumed after a crash at any point.
+JournalRunSummary run_journaled_campaign(const fi::RunFunction& run,
+                                         const fi::CampaignConfig& config,
+                                         const std::filesystem::path& dir,
+                                         const JournalRunOptions& options = {});
+
+struct MergeSummary {
+  std::size_t record_count = 0;     // unique records now in dest
+  std::size_t duplicate_count = 0;  // dropped duplicates across sources
+  std::vector<std::string> warnings;
+};
+
+/// Merges the unique records of `sources` (directories of the same plan)
+/// into `dest`. `dest` may be empty or already hold shards of that plan;
+/// records it already has are not duplicated. Estimates over the merged
+/// directory equal those of a single-process run of the union.
+MergeSummary merge_journals(const std::filesystem::path& dest,
+                            const std::vector<std::filesystem::path>& sources);
+
+/// Streaming estimation over a journal directory.
+struct JournalStats {
+  Manifest manifest;
+  std::size_t record_count = 0;
+  std::size_t duplicate_count = 0;
+  std::vector<std::string> warnings;
+  fi::EstimationResult estimation;
+};
+
+/// Folds every journal record into permeability estimates without building
+/// a CampaignResult: memory stays O(model), not O(runs).
+JournalStats estimate_from_journal(const std::filesystem::path& dir,
+                                   const core::SystemModel& model,
+                                   const fi::SignalBinding& binding,
+                                   fi::EstimationOptions options = {});
+
+/// Bridges the journal to the analysis side: streams `dir` into estimates
+/// and writes them as a permeability CSV (core/permeability_io.hpp format)
+/// with provenance comments (# plan hash, record count). The output is a
+/// pure function of the journal's *content*, so a killed-and-resumed
+/// campaign produces a byte-identical file to an uninterrupted one.
+JournalStats write_permeability_csv_from_journal(
+    std::ostream& out, const std::filesystem::path& dir,
+    const core::SystemModel& model, const fi::SignalBinding& binding,
+    fi::EstimationOptions options = {});
+
+}  // namespace propane::store

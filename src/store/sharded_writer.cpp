@@ -1,0 +1,90 @@
+#include "store/sharded_writer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/contracts.hpp"
+
+namespace propane::store {
+
+namespace {
+
+std::string shard_name(std::size_t index) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "shard-%06zu.pjl", index);
+  return buffer;
+}
+
+/// Index one past the highest existing shard number in `dir`.
+std::size_t next_shard_index(const std::filesystem::path& dir) {
+  std::size_t next = 0;
+  for (const auto& path : ShardedJournalWriter::list_shards(dir)) {
+    const std::string stem = path.stem().string();  // "shard-NNNNNN"
+    const std::size_t dash = stem.rfind('-');
+    if (dash == std::string::npos) continue;
+    const std::size_t index =
+        static_cast<std::size_t>(std::strtoull(stem.c_str() + dash + 1,
+                                               nullptr, 10));
+    next = std::max(next, index + 1);
+  }
+  return next;
+}
+
+}  // namespace
+
+ShardedJournalWriter::ShardedJournalWriter(const std::filesystem::path& dir,
+                                           const Manifest& manifest,
+                                           std::size_t shard_count)
+    : manifest_(manifest) {
+  PROPANE_REQUIRE(shard_count > 0);
+  std::filesystem::create_directories(dir);
+  const std::size_t base = next_shard_index(dir);
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->writer.emplace(dir / shard_name(base + i), manifest_);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+void ShardedJournalWriter::append(const fi::InjectionRecord& record) {
+  const std::size_t flat =
+      manifest_.flat_index(record.injection_index, record.test_case);
+  Shard& shard = *shards_[flat % shards_.size()];
+  std::lock_guard lock(shard.mu);
+  shard.writer->append(record);
+}
+
+void ShardedJournalWriter::flush_all() {
+  for (auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    shard->writer->flush();
+  }
+}
+
+std::size_t ShardedJournalWriter::record_count() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    total += shard->writer->record_count();
+  }
+  return total;
+}
+
+std::vector<std::filesystem::path> ShardedJournalWriter::list_shards(
+    const std::filesystem::path& dir) {
+  std::vector<std::filesystem::path> shards;
+  if (!std::filesystem::is_directory(dir)) return shards;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.starts_with("shard-") && name.ends_with(".pjl")) {
+      shards.push_back(entry.path());
+    }
+  }
+  std::sort(shards.begin(), shards.end());
+  return shards;
+}
+
+}  // namespace propane::store

@@ -4,6 +4,8 @@
 
 #include <sstream>
 
+#include "common/contracts.hpp"
+
 namespace propane {
 namespace {
 
@@ -45,6 +47,37 @@ TEST(CsvWriter, EmptyRowProducesBlankLine) {
   CsvWriter writer(out);
   writer.write_row({});
   EXPECT_EQ(out.str(), "\n");
+}
+
+TEST(ParseCsvRow, SplitsPlainFields) {
+  const auto fields = parse_csv_row("a,b,,d");
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "");
+  EXPECT_EQ(fields[3], "d");
+}
+
+TEST(ParseCsvRow, UnquotesQuotedFields) {
+  const auto fields = parse_csv_row("\"a,b\",c,\"say \"\"hi\"\"\"");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a,b");
+  EXPECT_EQ(fields[1], "c");
+  EXPECT_EQ(fields[2], "say \"hi\"");
+}
+
+TEST(ParseCsvRow, InvertsCsvEscapeForArbitraryFields) {
+  const std::vector<std::string> fields = {"plain", "with,comma",
+                                           "with \"quotes\"", "", "a,\",b"};
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_row(fields);
+  std::string line = out.str();
+  line.pop_back();  // strip the trailing newline
+  EXPECT_EQ(parse_csv_row(line), fields);
+}
+
+TEST(ParseCsvRow, UnterminatedQuoteViolatesContract) {
+  EXPECT_THROW(parse_csv_row("\"never closed"), ContractViolation);
 }
 
 }  // namespace

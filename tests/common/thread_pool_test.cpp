@@ -56,6 +56,44 @@ TEST(ThreadPool, PropagatesFirstTaskException) {
   pool.wait_idle();
 }
 
+TEST(ThreadPool, ReportsSuppressedExceptionCount) {
+  // One worker => deterministic order: the first task's exception is the
+  // one rethrown, the second is suppressed but must be counted.
+  ThreadPool pool(1);
+  pool.submit([] { throw std::runtime_error("first failure"); });
+  pool.submit([] { throw std::runtime_error("second failure"); });
+  try {
+    pool.wait_idle();
+    FAIL() << "wait_idle() should have thrown";
+  } catch (const std::exception& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("first failure"), std::string::npos) << message;
+    EXPECT_EQ(message.find("second failure"), std::string::npos) << message;
+    EXPECT_NE(message.find("[+1 suppressed task exception(s)]"),
+              std::string::npos)
+        << message;
+  }
+  // The counter resets with the error: the next failure reports cleanly.
+  pool.submit([] { throw std::runtime_error("third failure"); });
+  try {
+    pool.wait_idle();
+    FAIL() << "wait_idle() should have thrown";
+  } catch (const std::exception& e) {
+    EXPECT_EQ(std::string(e.what()).find("suppressed"), std::string::npos);
+  }
+}
+
+TEST(ThreadPool, SingleExceptionMessageStaysUnannotated) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("lone failure"); });
+  try {
+    pool.wait_idle();
+    FAIL() << "wait_idle() should have thrown";
+  } catch (const std::exception& e) {
+    EXPECT_STREQ(e.what(), "lone failure");
+  }
+}
+
 TEST(ThreadPool, UsableAfterException) {
   ThreadPool pool(2);
   pool.submit([] { throw std::runtime_error("boom"); });

@@ -68,6 +68,39 @@ TEST_F(PermeabilityIoTest, HeaderIsOptional) {
   EXPECT_DOUBLE_EQ(loaded.get(*model_.find_module("A"), 0, 0), 0.5);
 }
 
+TEST(PermeabilityIoQuoting, QuotedNamesSurviveTheRoundTrip) {
+  // Module and port names containing the CSV separator or quotes are
+  // escaped on save; the loader must invert that escaping.
+  SystemModelBuilder builder;
+  builder.add_module("M,1 \"raw\"", {"in,a"}, {"out \"b\""});
+  builder.add_system_input("x");
+  builder.connect_system_input("x", "M,1 \"raw\"", "in,a");
+  builder.add_system_output("y", "M,1 \"raw\"", "out \"b\"");
+  const SystemModel model = std::move(builder).build();
+
+  SystemPermeability original(model);
+  original.set(0, 0, 0, 0.625);
+  std::stringstream buffer;
+  save_permeability_csv(buffer, model, original);
+  EXPECT_NE(buffer.str().find("\"M,1 \"\"raw\"\"\""), std::string::npos)
+      << buffer.str();
+  const SystemPermeability loaded = load_permeability_csv(buffer, model);
+  EXPECT_DOUBLE_EQ(loaded.get(0, 0, 0), 0.625);
+}
+
+TEST(PermeabilityIoQuoting, CommentOptionWritesProvenanceLines) {
+  const SystemModel model = make_example_system();
+  const SystemPermeability original = make_example_permeability(model);
+  PermeabilityCsvOptions options;
+  options.comments = {"plan 0xabc, 12 records"};
+  std::stringstream buffer;
+  save_permeability_csv(buffer, model, original, options);
+  EXPECT_EQ(buffer.str().rfind("# plan 0xabc, 12 records\n", 0), 0u);
+  // Comments are transparent to the loader.
+  const SystemPermeability loaded = load_permeability_csv(buffer, model);
+  EXPECT_NEAR(loaded.get(0, 0, 0), original.get(0, 0, 0), 1e-6);
+}
+
 TEST_F(PermeabilityIoTest, ErrorsMentionTheLineNumber) {
   std::istringstream in("A,a1,oa1,0.5\nNOPE,a1,oa1,0.5\n");
   try {

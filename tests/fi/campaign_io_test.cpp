@@ -4,6 +4,8 @@
 
 #include <sstream>
 
+#include "common/csv.hpp"
+
 namespace propane::fi {
 namespace {
 
@@ -52,6 +54,44 @@ TEST(CampaignIo, DivergenceDetailListsOnlyDivergedSignals) {
             "first_ms,golden_value,observed_value\n"
             "0,1,src,2000,bitflip(3),src,2000,10,18\n"
             "0,1,src,2000,bitflip(3),dst,2004,5,7\n");
+}
+
+TEST(CampaignIo, EscapesUserSuppliedFieldsAndRoundTrips) {
+  // Model and signal names are user-supplied: a name containing the CSV
+  // separator or quotes must survive an emit -> parse round trip intact.
+  CampaignResult result;
+  result.signal_names = {"bus,raw \"A\"", "dst"};
+  InjectionRecord record;
+  record.injection_index = 0;
+  record.test_case = 0;
+  record.target = 0;
+  record.when = 1 * sim::kSecond;
+  record.model_name = "replace(0x10, \"sticky\"),v2";
+  record.report.per_signal.resize(2);
+  record.report.per_signal[1] = Divergence{true, 1002, 3, 4};
+  result.records.push_back(record);
+
+  std::ostringstream summary;
+  write_campaign_summary_csv(summary, result);
+  std::istringstream summary_in(summary.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(summary_in, line));  // header
+  ASSERT_TRUE(std::getline(summary_in, line));
+  auto fields = parse_csv_row(line);
+  ASSERT_EQ(fields.size(), 6u);
+  EXPECT_EQ(fields[2], "bus,raw \"A\"");
+  EXPECT_EQ(fields[4], "replace(0x10, \"sticky\"),v2");
+
+  std::ostringstream detail;
+  write_divergence_csv(detail, result);
+  std::istringstream detail_in(detail.str());
+  ASSERT_TRUE(std::getline(detail_in, line));  // header
+  ASSERT_TRUE(std::getline(detail_in, line));
+  fields = parse_csv_row(line);
+  ASSERT_EQ(fields.size(), 9u);
+  EXPECT_EQ(fields[2], "bus,raw \"A\"");
+  EXPECT_EQ(fields[4], "replace(0x10, \"sticky\"),v2");
+  EXPECT_EQ(fields[5], "dst");
 }
 
 TEST(CampaignIo, EmptyCampaignWritesHeadersOnly) {

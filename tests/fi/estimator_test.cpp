@@ -240,6 +240,48 @@ TEST(Estimator, LocationPropagationCountsSystemOutputReach) {
   EXPECT_DOUBLE_EQ(src_m1.fraction(), 0.5);
 }
 
+TEST(Accumulator, StreamingFoldMatchesBatchInAnyOrder) {
+  const SystemModel model = feedback_model();
+  const SignalBinding binding = bind_names(model, {"x", "a", "b"});
+  const CampaignResult campaign = fake_campaign(
+      {"x", "a", "b"}, {{0, {2, 5, 9}},
+                        {0, {2, SIZE_MAX, SIZE_MAX}},
+                        {1, {SIZE_MAX, 3, 3}},
+                        {1, {SIZE_MAX, 4, SIZE_MAX}},
+                        {2, {SIZE_MAX, SIZE_MAX, 6}}});
+  const EstimationResult batch =
+      estimate_permeability(model, binding, campaign);
+
+  // Fold the same records one at a time, in reverse -- journal shards
+  // replay in arbitrary order, and the estimate must not care.
+  PermeabilityAccumulator accumulator(model, binding, 3);
+  for (auto it = campaign.records.rbegin(); it != campaign.records.rend();
+       ++it) {
+    accumulator.add(*it);
+  }
+  EXPECT_EQ(accumulator.record_count(), campaign.records.size());
+  const EstimationResult streamed = accumulator.finish();
+
+  ASSERT_EQ(streamed.pairs.size(), batch.pairs.size());
+  for (std::size_t p = 0; p < batch.pairs.size(); ++p) {
+    EXPECT_EQ(streamed.pairs[p].injections, batch.pairs[p].injections);
+    EXPECT_EQ(streamed.pairs[p].errors, batch.pairs[p].errors);
+    EXPECT_DOUBLE_EQ(streamed.pairs[p].permeability(),
+                     batch.pairs[p].permeability());
+    EXPECT_EQ(streamed.pairs[p].latency_sum_ms, batch.pairs[p].latency_sum_ms);
+  }
+}
+
+TEST(Accumulator, SkippedRunPlaceholdersAreIgnored) {
+  const SystemModel model = chain_model();
+  const SignalBinding binding = bind_names(model, {"src", "dst"});
+  PermeabilityAccumulator accumulator(model, binding, 2);
+  InjectionRecord placeholder;  // empty per_signal = run never executed
+  accumulator.add(placeholder);
+  EXPECT_EQ(accumulator.record_count(), 0u);
+  EXPECT_EQ(accumulator.finish().pair(0, 0, 0).injections, 0u);
+}
+
 TEST(Estimator, PairLookupContractOnUnknownPair) {
   const SystemModel model = chain_model();
   const SignalBinding binding = bind_names(model, {"src", "dst"});

@@ -1,0 +1,200 @@
+#include "store/journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "store/sharded_writer.hpp"
+
+namespace propane::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(testing::TempDir()) / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+Manifest test_manifest() {
+  Manifest manifest;
+  manifest.plan_hash = 0x1234;
+  manifest.seed = 7;
+  manifest.test_case_count = 2;
+  manifest.injection_count = 4;
+  return manifest;
+}
+
+fi::InjectionRecord make_record(std::uint32_t injection,
+                                std::uint32_t test_case) {
+  fi::InjectionRecord record;
+  record.injection_index = injection;
+  record.test_case = test_case;
+  record.target = 1;
+  record.model_name = "bitflip(3)";
+  record.report.per_signal.resize(4);
+  record.report.per_signal[2] = {true, 10 + injection, 1, 2};
+  return record;
+}
+
+std::vector<fi::InjectionRecord> scan_records(const fs::path& path,
+                                              JournalScan* out = nullptr) {
+  std::vector<fi::InjectionRecord> records;
+  const JournalScan scan = scan_journal_file(
+      path, [&](fi::InjectionRecord&& r) { records.push_back(std::move(r)); });
+  if (out != nullptr) *out = scan;
+  return records;
+}
+
+TEST(Journal, WriteThenScanRoundTrips) {
+  const fs::path dir = fresh_dir("journal_roundtrip");
+  const fs::path file = dir / "shard-000000.pjl";
+  {
+    JournalWriter writer(file, test_manifest());
+    writer.append(make_record(0, 0));
+    writer.append(make_record(1, 1));
+    EXPECT_EQ(writer.record_count(), 2u);
+    EXPECT_GT(writer.bytes_written(), 0u);
+  }
+  JournalScan scan;
+  const auto records = scan_records(file, &scan);
+  EXPECT_TRUE(scan.has_manifest);
+  EXPECT_EQ(scan.manifest, test_manifest());
+  EXPECT_FALSE(scan.torn_tail);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].injection_index, 0u);
+  EXPECT_EQ(records[1].test_case, 1u);
+  EXPECT_TRUE(records[1].report.per_signal[2].diverged);
+  EXPECT_EQ(records[1].report.per_signal[2].first_ms, 11u);
+}
+
+TEST(Journal, WriterRefusesExistingFile) {
+  const fs::path dir = fresh_dir("journal_exists");
+  const fs::path file = dir / "shard-000000.pjl";
+  { JournalWriter writer(file, test_manifest()); }
+  EXPECT_THROW(JournalWriter(file, test_manifest()), ContractViolation);
+}
+
+TEST(Journal, PeekReadsOnlyTheManifest) {
+  const fs::path dir = fresh_dir("journal_peek");
+  const fs::path file = dir / "shard-000000.pjl";
+  {
+    JournalWriter writer(file, test_manifest());
+    writer.append(make_record(0, 0));
+  }
+  const JournalScan peek = peek_journal_manifest(file);
+  EXPECT_TRUE(peek.has_manifest);
+  EXPECT_EQ(peek.manifest, test_manifest());
+  EXPECT_EQ(peek.record_count, 0u);  // records not scanned
+}
+
+TEST(Journal, TruncatedTailIsSkippedWithWarning) {
+  const fs::path dir = fresh_dir("journal_torn");
+  const fs::path file = dir / "shard-000000.pjl";
+  {
+    JournalWriter writer(file, test_manifest());
+    writer.append(make_record(0, 0));
+    writer.append(make_record(1, 0));
+  }
+  // Chop into the last frame: the crash left a partial append behind.
+  const auto full_size = fs::file_size(file);
+  fs::resize_file(file, full_size - 5);
+
+  JournalScan scan;
+  const auto records = scan_records(file, &scan);
+  EXPECT_TRUE(scan.has_manifest);
+  EXPECT_TRUE(scan.torn_tail);
+  EXPECT_FALSE(scan.warning.empty());
+  ASSERT_EQ(records.size(), 1u);  // the complete record survives
+  EXPECT_EQ(records[0].injection_index, 0u);
+}
+
+TEST(Journal, TailTornInsideTheFrameHeaderIsAlsoSkipped) {
+  const fs::path dir = fresh_dir("journal_torn_header");
+  const fs::path file = dir / "shard-000000.pjl";
+  std::size_t manifest_only_size = 0;
+  {
+    JournalWriter writer(file, test_manifest());
+    manifest_only_size = writer.bytes_written();
+    writer.append(make_record(0, 0));
+  }
+  // Keep only 3 bytes of the record frame's length/CRC header.
+  fs::resize_file(file, manifest_only_size + 3);
+  JournalScan scan;
+  const auto records = scan_records(file, &scan);
+  EXPECT_TRUE(scan.has_manifest);
+  EXPECT_TRUE(scan.torn_tail);
+  EXPECT_TRUE(records.empty());
+}
+
+TEST(Journal, MidFileCorruptionIsAHardError) {
+  const fs::path dir = fresh_dir("journal_corrupt");
+  const fs::path file = dir / "shard-000000.pjl";
+  std::size_t first_record_offset = 0;
+  {
+    JournalWriter writer(file, test_manifest());
+    first_record_offset = writer.bytes_written();
+    writer.append(make_record(0, 0));
+    writer.append(make_record(1, 0));
+  }
+  // Flip one payload byte of the *first* record -- a complete frame whose
+  // CRC no longer matches. That is corruption, not crash residue.
+  {
+    std::fstream stream(file,
+                        std::ios::in | std::ios::out | std::ios::binary);
+    stream.seekp(static_cast<std::streamoff>(first_record_offset) + 8 + 4);
+    char byte = 0;
+    stream.read(&byte, 1);
+    stream.seekp(static_cast<std::streamoff>(first_record_offset) + 8 + 4);
+    byte = static_cast<char>(byte ^ 0x40);
+    stream.write(&byte, 1);
+  }
+  EXPECT_THROW(scan_records(file), ContractViolation);
+}
+
+TEST(Journal, GarbageMagicIsAHardError) {
+  const fs::path dir = fresh_dir("journal_magic");
+  const fs::path file = dir / "shard-000000.pjl";
+  std::ofstream(file, std::ios::binary) << "NOTAJRNL garbage";
+  EXPECT_THROW(scan_records(file), ContractViolation);
+}
+
+TEST(ShardedWriter, DistributesRecordsAndListsShards) {
+  const fs::path dir = fresh_dir("journal_sharded");
+  Manifest manifest = test_manifest();
+  {
+    ShardedJournalWriter writer(dir, manifest, 3);
+    EXPECT_EQ(writer.shard_count(), 3u);
+    for (std::uint32_t inj = 0; inj < manifest.injection_count; ++inj) {
+      for (std::uint32_t tc = 0; tc < manifest.test_case_count; ++tc) {
+        writer.append(make_record(inj, tc));
+      }
+    }
+    EXPECT_EQ(writer.record_count(), manifest.total_runs());
+  }
+  const auto shards = ShardedJournalWriter::list_shards(dir);
+  ASSERT_EQ(shards.size(), 3u);
+  std::size_t total = 0;
+  for (const auto& shard : shards) {
+    JournalScan scan;
+    total += scan_records(shard, &scan).size();
+    EXPECT_EQ(scan.manifest, manifest);
+  }
+  EXPECT_EQ(total, manifest.total_runs());
+}
+
+TEST(ShardedWriter, NewSessionsOpenFreshShards) {
+  const fs::path dir = fresh_dir("journal_fresh_shards");
+  { ShardedJournalWriter writer(dir, test_manifest(), 2); }
+  { ShardedJournalWriter writer(dir, test_manifest(), 2); }
+  EXPECT_EQ(ShardedJournalWriter::list_shards(dir).size(), 4u);
+}
+
+}  // namespace
+}  // namespace propane::store

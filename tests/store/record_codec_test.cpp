@@ -1,0 +1,185 @@
+#include "store/record_codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+
+namespace propane::store {
+namespace {
+
+TEST(Crc32, MatchesTheStandardCheckValue) {
+  // The canonical CRC-32 check: crc32("123456789") == 0xCBF43926.
+  const std::uint8_t digits[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc32(digits, sizeof(digits)), 0xCBF43926u);
+  EXPECT_EQ(crc32(digits, 0), 0u);
+}
+
+TEST(Crc32, SensitiveToSingleBitFlips) {
+  std::uint8_t data[] = {0x00, 0x01, 0x02, 0x03};
+  const std::uint32_t clean = crc32(data, sizeof(data));
+  data[2] ^= 0x10;
+  EXPECT_NE(crc32(data, sizeof(data)), clean);
+}
+
+TEST(ByteCodec, RoundTripsEveryWidth) {
+  ByteWriter writer;
+  writer.u8(0xAB);
+  writer.u16(0xBEEF);
+  writer.u32(0xDEADBEEFu);
+  writer.u64(0x0123456789ABCDEFull);
+  writer.str("model \"x\", flip");
+  const std::vector<std::uint8_t> bytes = writer.bytes();
+
+  ByteReader reader(bytes.data(), bytes.size());
+  EXPECT_EQ(reader.u8(), 0xAB);
+  EXPECT_EQ(reader.u16(), 0xBEEF);
+  EXPECT_EQ(reader.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(reader.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(reader.str(), "model \"x\", flip");
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(ByteCodec, IntegersAreLittleEndian) {
+  ByteWriter writer;
+  writer.u32(0x11223344u);
+  const auto& bytes = writer.bytes();
+  ASSERT_EQ(bytes.size(), 4u);
+  EXPECT_EQ(bytes[0], 0x44);
+  EXPECT_EQ(bytes[3], 0x11);
+}
+
+TEST(ByteCodec, OverrunViolatesContract) {
+  const std::uint8_t two[] = {1, 2};
+  ByteReader reader(two, sizeof(two));
+  reader.u16();
+  EXPECT_THROW(reader.u8(), ContractViolation);
+  ByteReader str_reader(two, sizeof(two));
+  // Length prefix alone needs 4 bytes.
+  EXPECT_THROW(str_reader.str(), ContractViolation);
+}
+
+TEST(ManifestCodec, RoundTrips) {
+  Manifest manifest;
+  manifest.plan_hash = 0xFEEDFACECAFEBEEFull;
+  manifest.seed = 42;
+  manifest.test_case_count = 25;
+  manifest.injection_count = 2080;
+  const auto bytes = encode_manifest(manifest);
+  EXPECT_EQ(decode_manifest(bytes.data(), bytes.size()), manifest);
+  EXPECT_EQ(manifest.total_runs(), 25u * 2080u);
+  EXPECT_EQ(manifest.flat_index(1, 3), 28u);
+}
+
+fi::InjectionRecord sample_record() {
+  fi::InjectionRecord record;
+  record.injection_index = 7;
+  record.test_case = 3;
+  record.target = 12;
+  record.when = 2500 * sim::kMillisecond;
+  record.model_name = "bitflip(15), \"sticky\"";
+  record.report.per_signal.resize(30);
+  record.report.per_signal[4] = {true, 2501, 0x00FF, 0x80FF};
+  record.report.per_signal[29] = {true, 3000, 7, 8};
+  return record;
+}
+
+TEST(InjectionRecordCodec, RoundTripsSparseDivergences) {
+  const fi::InjectionRecord record = sample_record();
+  const auto bytes = encode_injection_record(record);
+  const fi::InjectionRecord back =
+      decode_injection_record(bytes.data(), bytes.size());
+  EXPECT_EQ(back.injection_index, record.injection_index);
+  EXPECT_EQ(back.test_case, record.test_case);
+  EXPECT_EQ(back.target, record.target);
+  EXPECT_EQ(back.when, record.when);
+  EXPECT_EQ(back.model_name, record.model_name);
+  ASSERT_EQ(back.report.per_signal.size(), record.report.per_signal.size());
+  for (std::size_t s = 0; s < back.report.per_signal.size(); ++s) {
+    EXPECT_EQ(back.report.per_signal[s].diverged,
+              record.report.per_signal[s].diverged);
+    EXPECT_EQ(back.report.per_signal[s].first_ms,
+              record.report.per_signal[s].first_ms);
+    EXPECT_EQ(back.report.per_signal[s].golden_value,
+              record.report.per_signal[s].golden_value);
+    EXPECT_EQ(back.report.per_signal[s].observed_value,
+              record.report.per_signal[s].observed_value);
+  }
+}
+
+TEST(InjectionRecordCodec, SparseEncodingStaysSmallOnWideBuses) {
+  fi::InjectionRecord record;
+  record.model_name = "bitflip(0)";
+  record.report.per_signal.resize(10'000);  // wide bus, nothing diverged
+  EXPECT_LT(encode_injection_record(record).size(), 100u);
+}
+
+TEST(InjectionRecordCodec, RejectsTruncatedAndTrailingBytes) {
+  const auto bytes = encode_injection_record(sample_record());
+  EXPECT_THROW(decode_injection_record(bytes.data(), bytes.size() - 1),
+               ContractViolation);
+  auto padded = bytes;
+  padded.push_back(0);
+  EXPECT_THROW(decode_injection_record(padded.data(), padded.size()),
+               ContractViolation);
+}
+
+TEST(InjectionRecordCodec, RejectsImpossibleDivergenceCounts) {
+  // signal_count = 1 but diverged_count = 2.
+  ByteWriter writer;
+  writer.u32(0);
+  writer.u32(0);
+  writer.u32(0);
+  writer.u64(0);
+  writer.str("m");
+  writer.u32(1);  // signal_count
+  writer.u32(2);  // diverged_count > signal_count
+  const auto bytes = writer.take();
+  EXPECT_THROW(decode_injection_record(bytes.data(), bytes.size()),
+               ContractViolation);
+}
+
+fi::CampaignConfig sample_config() {
+  fi::CampaignConfig config;
+  config.test_case_count = 3;
+  config.seed = 99;
+  config.injections = {
+      fi::InjectionSpec{0, 2 * sim::kMillisecond, fi::bit_flip(0)},
+      fi::InjectionSpec{1, 4 * sim::kMillisecond, fi::bit_flip(8)},
+  };
+  return config;
+}
+
+TEST(PlanHash, StableForIdenticalPlansAcrossThreadCounts) {
+  fi::CampaignConfig a = sample_config();
+  fi::CampaignConfig b = sample_config();
+  b.threads = 8;  // execution detail, not part of the plan
+  EXPECT_EQ(plan_hash(a), plan_hash(b));
+  EXPECT_EQ(manifest_for(a), manifest_for(b));
+}
+
+TEST(PlanHash, ChangesWithAnyPlanIngredient) {
+  const std::uint64_t base = plan_hash(sample_config());
+
+  fi::CampaignConfig seed_changed = sample_config();
+  seed_changed.seed = 100;
+  EXPECT_NE(plan_hash(seed_changed), base);
+
+  fi::CampaignConfig target_changed = sample_config();
+  target_changed.injections[0].target = 5;
+  EXPECT_NE(plan_hash(target_changed), base);
+
+  fi::CampaignConfig when_changed = sample_config();
+  when_changed.injections[1].when = 5 * sim::kMillisecond;
+  EXPECT_NE(plan_hash(when_changed), base);
+
+  fi::CampaignConfig model_changed = sample_config();
+  model_changed.injections[0].model = fi::bit_flip(1);
+  EXPECT_NE(plan_hash(model_changed), base);
+
+  fi::CampaignConfig cases_changed = sample_config();
+  cases_changed.test_case_count = 4;
+  EXPECT_NE(plan_hash(cases_changed), base);
+}
+
+}  // namespace
+}  // namespace propane::store

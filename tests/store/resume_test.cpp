@@ -1,0 +1,273 @@
+// End-to-end durability tests: a campaign interrupted mid-flight and then
+// resumed must be indistinguishable -- byte for byte -- from one that ran
+// uninterrupted, and a campaign split across processes and merged must
+// estimate exactly what a single process would have.
+#include "store/resume.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/contracts.hpp"
+#include "core/system_model.hpp"
+
+namespace propane::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(testing::TempDir()) / name;
+  fs::remove_all(dir);
+  return dir;  // run_journaled_campaign creates it
+}
+
+/// The miniature system of tests/fi/campaign_test.cpp: "src" is freshly
+/// produced every tick, "dst" mirrors it with the low nibble masked off.
+fi::TraceSet toy_run(const fi::RunRequest& request) {
+  fi::SignalBus bus;
+  const fi::BusSignalId src = bus.add_signal("src");
+  const fi::BusSignalId dst = bus.add_signal("dst");
+  std::optional<fi::InjectionDriver> injector;
+  if (request.injection) {
+    injector.emplace(bus, *request.injection, Rng(request.rng_seed));
+  }
+  fi::TraceRecorder recorder(bus);
+  for (std::uint64_t ms = 0; ms < 10; ++ms) {
+    bus.write(src, static_cast<std::uint16_t>(request.test_case * 100 + ms));
+    if (injector) injector->maybe_fire(ms * sim::kMillisecond);
+    bus.write(dst, static_cast<std::uint16_t>(bus.read(src) & 0xFFF0));
+    recorder.sample();
+  }
+  return recorder.take();
+}
+
+fi::CampaignConfig toy_config() {
+  fi::CampaignConfig config;
+  config.test_case_count = 3;
+  config.injections = {
+      fi::InjectionSpec{0, 2 * sim::kMillisecond, fi::bit_flip(0)},
+      fi::InjectionSpec{0, 2 * sim::kMillisecond, fi::bit_flip(8)},
+      fi::InjectionSpec{0, 4 * sim::kMillisecond, fi::bit_flip(12)},
+      fi::InjectionSpec{0, 6 * sim::kMillisecond, fi::random_replacement()},
+  };
+  config.threads = 2;
+  return config;
+}
+
+/// Matching analysis model: system input "src" -> module M -> "dst".
+core::SystemModel toy_model() {
+  core::SystemModelBuilder builder;
+  builder.add_module("M", {"in"}, {"dst"});
+  builder.add_system_input("src");
+  builder.connect_system_input("src", "M", "in");
+  builder.add_system_output("out", "M", "dst");
+  return std::move(builder).build();
+}
+
+std::string journal_csv(const fs::path& dir) {
+  const core::SystemModel model = toy_model();
+  const fi::SignalBinding binding =
+      fi::SignalBinding::by_name(model, {"src", "dst"});
+  std::ostringstream out;
+  write_permeability_csv_from_journal(out, dir, model, binding);
+  return out.str();
+}
+
+TEST(Resume, FreshDirectoryRunsTheWholeCampaign) {
+  const fs::path dir = fresh_dir("resume_fresh");
+  const JournalRunSummary summary =
+      run_journaled_campaign(toy_run, toy_config(), dir);
+  EXPECT_EQ(summary.total_runs, 12u);
+  EXPECT_EQ(summary.executed, 12u);
+  EXPECT_EQ(summary.skipped_completed, 0u);
+  EXPECT_TRUE(summary.warnings.empty());
+
+  const CampaignDirState state = scan_campaign_dir(dir);
+  EXPECT_FALSE(state.fresh);
+  EXPECT_EQ(state.completed_count, 12u);
+  EXPECT_EQ(state.duplicate_count, 0u);
+}
+
+TEST(Resume, EmptyDirectoryMeansFreshCampaign) {
+  const fs::path dir = fresh_dir("resume_empty");
+  fs::create_directories(dir);
+  const CampaignDirState state = scan_campaign_dir(dir);
+  EXPECT_TRUE(state.fresh);
+  EXPECT_EQ(state.completed_count, 0u);
+  EXPECT_TRUE(state.warnings.empty());
+}
+
+TEST(Resume, CompletedCampaignResumesAsNoOp) {
+  const fs::path dir = fresh_dir("resume_noop");
+  run_journaled_campaign(toy_run, toy_config(), dir);
+  const JournalRunSummary again =
+      run_journaled_campaign(toy_run, toy_config(), dir);
+  EXPECT_EQ(again.executed, 0u);
+  EXPECT_EQ(again.skipped_completed, 12u);
+}
+
+TEST(Resume, KilledCampaignResumesToAByteIdenticalCsv) {
+  // Uninterrupted reference run.
+  const fs::path clean_dir = fresh_dir("resume_clean");
+  run_journaled_campaign(toy_run, toy_config(), clean_dir);
+  const std::string clean_csv = journal_csv(clean_dir);
+
+  // "Kill" a second campaign partway: after ~half the runs have been
+  // journaled, every further run throws. The exception unwinds through the
+  // campaign exactly like a crash would -- completed records are already
+  // flushed, in-flight runs are lost.
+  const fs::path killed_dir = fresh_dir("resume_killed");
+  std::atomic<std::size_t> completed{0};
+  const fi::RunFunction crashing_run = [&](const fi::RunRequest& request) {
+    if (request.injection && completed.fetch_add(1) >= 6) {
+      throw std::runtime_error("simulated crash");
+    }
+    return toy_run(request);
+  };
+  EXPECT_THROW(run_journaled_campaign(crashing_run, toy_config(), killed_dir),
+               std::runtime_error);
+  const CampaignDirState partial = scan_campaign_dir(killed_dir);
+  EXPECT_FALSE(partial.fresh);
+  EXPECT_GT(partial.completed_count, 0u);
+  EXPECT_LT(partial.completed_count, 12u);
+
+  // Resume. Only the missing runs execute, with the same derived seeds the
+  // uninterrupted campaign used.
+  const JournalRunSummary resumed =
+      run_journaled_campaign(toy_run, toy_config(), killed_dir);
+  EXPECT_EQ(resumed.executed + resumed.skipped_completed, 12u);
+  EXPECT_EQ(resumed.skipped_completed, partial.completed_count);
+
+  EXPECT_EQ(journal_csv(killed_dir), clean_csv);
+}
+
+TEST(Resume, CollectRecordsRebuildsTheFullResultAcrossSessions) {
+  const fs::path dir = fresh_dir("resume_collect");
+  // First session: even flat indices only (a process split against itself).
+  JournalRunOptions first;
+  first.process_count = 2;
+  first.process_index = 0;
+  run_journaled_campaign(toy_run, toy_config(), dir, first);
+
+  // Second session: the rest, with records materialised. Journaled runs of
+  // the first session are reloaded from disk into the result.
+  JournalRunOptions second;
+  second.collect_records = true;
+  const JournalRunSummary summary =
+      run_journaled_campaign(toy_run, toy_config(), dir, second);
+  EXPECT_EQ(summary.executed, 6u);
+  EXPECT_EQ(summary.skipped_completed, 6u);
+  ASSERT_EQ(summary.result.records.size(), 12u);
+  const fi::CampaignResult reference = fi::run_campaign(toy_run, toy_config());
+  for (std::size_t i = 0; i < 12; ++i) {
+    const auto& got = summary.result.records[i].report.per_signal;
+    const auto& want = reference.records[i].report.per_signal;
+    ASSERT_EQ(got.size(), want.size()) << "record " << i;
+    for (std::size_t s = 0; s < got.size(); ++s) {
+      EXPECT_EQ(got[s].diverged, want[s].diverged);
+      EXPECT_EQ(got[s].first_ms, want[s].first_ms);
+      EXPECT_EQ(got[s].observed_value, want[s].observed_value);
+    }
+  }
+}
+
+TEST(Resume, MismatchedPlanIsRefused) {
+  const fs::path dir = fresh_dir("resume_mismatch");
+  run_journaled_campaign(toy_run, toy_config(), dir);
+  fi::CampaignConfig other = toy_config();
+  other.seed += 1;
+  EXPECT_THROW(run_journaled_campaign(toy_run, other, dir),
+               ContractViolation);
+}
+
+TEST(Merge, ProcessSplitMergedEqualsSingleProcessRun) {
+  const fs::path single_dir = fresh_dir("merge_single");
+  run_journaled_campaign(toy_run, toy_config(), single_dir);
+
+  const fs::path part0 = fresh_dir("merge_part0");
+  const fs::path part1 = fresh_dir("merge_part1");
+  for (std::uint32_t index = 0; index < 2; ++index) {
+    JournalRunOptions options;
+    options.process_count = 2;
+    options.process_index = index;
+    options.shard_count = 2;
+    const JournalRunSummary summary = run_journaled_campaign(
+        toy_run, toy_config(), index == 0 ? part0 : part1, options);
+    EXPECT_EQ(summary.executed, 6u);
+    EXPECT_EQ(summary.skipped_foreign, 6u);
+  }
+
+  const fs::path merged = fresh_dir("merge_dest");
+  const MergeSummary summary = merge_journals(merged, {part0, part1});
+  EXPECT_EQ(summary.record_count, 12u);
+  EXPECT_EQ(summary.duplicate_count, 0u);
+
+  EXPECT_EQ(journal_csv(merged), journal_csv(single_dir));
+}
+
+TEST(Merge, OverlappingSourcesDeduplicate) {
+  const fs::path full_a = fresh_dir("merge_dup_a");
+  const fs::path full_b = fresh_dir("merge_dup_b");
+  run_journaled_campaign(toy_run, toy_config(), full_a);
+  run_journaled_campaign(toy_run, toy_config(), full_b);
+
+  const fs::path merged = fresh_dir("merge_dup_dest");
+  const MergeSummary summary = merge_journals(merged, {full_a, full_b});
+  EXPECT_EQ(summary.record_count, 12u);
+  EXPECT_EQ(summary.duplicate_count, 12u);
+  EXPECT_EQ(journal_csv(merged), journal_csv(full_a));
+}
+
+TEST(Merge, MismatchedSourcesAreRefusedBeforeWriting) {
+  const fs::path a = fresh_dir("merge_bad_a");
+  run_journaled_campaign(toy_run, toy_config(), a);
+  fi::CampaignConfig other = toy_config();
+  other.test_case_count = 2;
+  const fs::path b = fresh_dir("merge_bad_b");
+  run_journaled_campaign(toy_run, other, b);
+
+  const fs::path merged = fresh_dir("merge_bad_dest");
+  EXPECT_THROW(merge_journals(merged, {a, b}), ContractViolation);
+  // Validation happens before any write: no shard files appeared.
+  EXPECT_TRUE(ShardedJournalWriter::list_shards(merged).empty());
+}
+
+TEST(Stats, StreamingEstimateMatchesInMemoryEstimation) {
+  const fs::path dir = fresh_dir("stats_match");
+  run_journaled_campaign(toy_run, toy_config(), dir);
+
+  const core::SystemModel model = toy_model();
+  const fi::SignalBinding binding =
+      fi::SignalBinding::by_name(model, {"src", "dst"});
+  const JournalStats stats = estimate_from_journal(dir, model, binding);
+  EXPECT_EQ(stats.record_count, 12u);
+
+  const fi::CampaignResult campaign = fi::run_campaign(toy_run, toy_config());
+  const fi::EstimationResult reference =
+      fi::estimate_permeability(model, binding, campaign);
+  ASSERT_EQ(stats.estimation.pairs.size(), reference.pairs.size());
+  for (std::size_t p = 0; p < reference.pairs.size(); ++p) {
+    EXPECT_EQ(stats.estimation.pairs[p].injections,
+              reference.pairs[p].injections);
+    EXPECT_EQ(stats.estimation.pairs[p].errors, reference.pairs[p].errors);
+  }
+  EXPECT_DOUBLE_EQ(stats.estimation.permeability.get(0, 0, 0),
+                   reference.permeability.get(0, 0, 0));
+}
+
+TEST(Stats, EmptyJournalDirectoryIsRefused)
+{
+  const fs::path dir = fresh_dir("stats_empty");
+  fs::create_directories(dir);
+  const core::SystemModel model = toy_model();
+  const fi::SignalBinding binding =
+      fi::SignalBinding::by_name(model, {"src", "dst"});
+  EXPECT_THROW(estimate_from_journal(dir, model, binding), ContractViolation);
+}
+
+}  // namespace
+}  // namespace propane::store

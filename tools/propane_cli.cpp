@@ -9,17 +9,34 @@
 //   propane report  <model.txt> [perm.csv]   full markdown report to stdout
 //   propane check   <model.txt>              validate a model file
 //
+// Durable campaigns against the built-in arrestment system (store/):
+//
+//   propane campaign run    --journal <dir> [--scale full|default|small]
+//                           [--shards N] [--processes N --index I]
+//   propane campaign resume --journal <dir> ...   (alias of run: a journal
+//                           directory resumes wherever it left off)
+//   propane campaign merge  --journal <dest> <src-dir>...
+//   propane campaign stats  --journal <dir> [--csv <perm.csv>]
+//
 // The model file uses the text format of core/model_parser.hpp; the
 // optional CSV supplies permeabilities (core/permeability_io.hpp). Without
 // a CSV all permeabilities are 0 and only structural outputs are useful.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "arrestment/model.hpp"
+#include "arrestment/system.hpp"
+#include "arrestment/testcase.hpp"
 #include "common/contracts.hpp"
 #include "core/propane.hpp"
+#include "exp/paper_experiment.hpp"
+#include "store/resume.hpp"
 
 namespace {
 
@@ -29,7 +46,11 @@ using namespace propane::core;
 int usage() {
   std::fputs(
       "usage: propane <analyze|paths|advise|tree|dot|influence|report|"
-      "check> <model.txt> [perm.csv]\n",
+      "check> <model.txt> [perm.csv]\n"
+      "       propane campaign <run|resume> --journal <dir>"
+      " [--scale full|default|small] [--shards N] [--processes N --index I]\n"
+      "       propane campaign merge --journal <dest-dir> <src-dir>...\n"
+      "       propane campaign stats --journal <dir> [--csv <perm.csv>]\n",
       stderr);
   return 2;
 }
@@ -103,12 +124,174 @@ void cmd_dot(const SystemModel& model, const AnalysisReport& report) {
   }
 }
 
+// --- propane campaign ----------------------------------------------------
+
+struct CampaignArgs {
+  std::string sub;
+  std::filesystem::path journal;
+  std::string scale_name;  // empty: defer to PROPANE_SCALE
+  std::size_t shards = 4;
+  std::uint32_t processes = 1;
+  std::uint32_t index = 0;
+  std::string csv_path;
+  std::vector<std::filesystem::path> sources;  // merge positionals
+};
+
+std::uint64_t parse_count(const char* flag, const char* text) {
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') {
+    std::fprintf(stderr, "propane: %s expects a number, got '%s'\n", flag,
+                 text);
+    std::exit(2);
+  }
+  return value;
+}
+
+bool parse_campaign_args(int argc, char** argv, CampaignArgs& args) {
+  args.sub = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "propane: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--journal") {
+      args.journal = value();
+    } else if (arg == "--scale") {
+      args.scale_name = value();
+    } else if (arg == "--shards") {
+      args.shards = static_cast<std::size_t>(parse_count("--shards", value()));
+    } else if (arg == "--processes") {
+      args.processes =
+          static_cast<std::uint32_t>(parse_count("--processes", value()));
+    } else if (arg == "--index") {
+      args.index = static_cast<std::uint32_t>(parse_count("--index", value()));
+    } else if (arg == "--csv") {
+      args.csv_path = value();
+    } else if (!arg.empty() && arg.front() == '-') {
+      std::fprintf(stderr, "propane: unknown campaign flag '%s'\n",
+                   arg.c_str());
+      return false;
+    } else {
+      args.sources.emplace_back(arg);
+    }
+  }
+  if (args.journal.empty()) {
+    std::fputs("propane: campaign commands need --journal <dir>\n", stderr);
+    return false;
+  }
+  return true;
+}
+
+exp::ExperimentScale pick_scale(const std::string& name) {
+  if (name.empty()) return exp::scale_from_env();
+  if (name == "full" || name == "paper") return exp::paper_scale();
+  if (name == "small" || name == "smoke") return exp::smoke_scale();
+  if (name == "default") return exp::default_scale();
+  std::fprintf(stderr,
+               "propane: unknown scale '%s' (full|default|small)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+void print_warnings(const std::vector<std::string>& warnings) {
+  for (const std::string& warning : warnings) {
+    std::fprintf(stderr, "propane: warning: %s\n", warning.c_str());
+  }
+}
+
+int cmd_campaign_run(const CampaignArgs& args) {
+  const exp::ExperimentScale scale = pick_scale(args.scale_name);
+  std::printf("%s\n", exp::describe(scale).c_str());
+  const fi::CampaignConfig config = exp::make_campaign_config(scale);
+  const std::vector<arr::TestCase> cases =
+      scale.custom_cases.empty()
+          ? arr::grid_test_cases(scale.mass_count, scale.velocity_count)
+          : scale.custom_cases;
+
+  store::JournalRunOptions options;
+  options.shard_count = args.shards;
+  options.process_count = args.processes;
+  options.process_index = args.index;
+  const store::JournalRunSummary summary = store::run_journaled_campaign(
+      arr::campaign_runner(cases, scale.duration), config, args.journal,
+      options);
+  print_warnings(summary.warnings);
+  std::printf(
+      "journal %s: %zu run(s) executed, %zu already journaled, "
+      "%zu owned by other process(es), %zu planned\n",
+      args.journal.string().c_str(), summary.executed,
+      summary.skipped_completed, summary.skipped_foreign, summary.total_runs);
+  return 0;
+}
+
+int cmd_campaign_merge(const CampaignArgs& args) {
+  if (args.sources.empty()) {
+    std::fputs("propane: campaign merge needs source directories\n", stderr);
+    return 2;
+  }
+  const store::MergeSummary summary =
+      store::merge_journals(args.journal, args.sources);
+  print_warnings(summary.warnings);
+  std::printf("merged into %s: %zu unique record(s), %zu duplicate(s) dropped\n",
+              args.journal.string().c_str(), summary.record_count,
+              summary.duplicate_count);
+  return 0;
+}
+
+int cmd_campaign_stats(const CampaignArgs& args) {
+  const SystemModel model = arr::make_arrestment_model();
+  const fi::SignalBinding binding = arr::make_arrestment_binding(model);
+  store::JournalStats stats = [&] {
+    if (args.csv_path.empty()) {
+      return store::estimate_from_journal(args.journal, model, binding);
+    }
+    std::ofstream out(args.csv_path);
+    if (!out) {
+      std::fprintf(stderr, "propane: cannot write CSV '%s'\n",
+                   args.csv_path.c_str());
+      std::exit(1);
+    }
+    return store::write_permeability_csv_from_journal(out, args.journal,
+                                                      model, binding);
+  }();
+  print_warnings(stats.warnings);
+  std::printf("journal %s: plan 0x%016llx, seed 0x%016llx, %zu of %zu "
+              "run(s) journaled, %zu duplicate(s)\n",
+              args.journal.string().c_str(),
+              static_cast<unsigned long long>(stats.manifest.plan_hash),
+              static_cast<unsigned long long>(stats.manifest.seed),
+              stats.record_count, stats.manifest.total_runs(),
+              stats.duplicate_count);
+  std::puts("Estimated permeabilities (Table 1 style):");
+  std::puts(exp::table1_permeability(model, stats.estimation).render().c_str());
+  if (!args.csv_path.empty()) {
+    std::printf("permeability CSV written to %s\n", args.csv_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_campaign(int argc, char** argv) {
+  if (argc < 3) return usage();
+  CampaignArgs args;
+  if (!parse_campaign_args(argc, argv, args)) return 2;
+  if (args.sub == "run" || args.sub == "resume") return cmd_campaign_run(args);
+  if (args.sub == "merge") return cmd_campaign_merge(args);
+  if (args.sub == "stats") return cmd_campaign_stats(args);
+  return usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 3) return usage();
   const std::string command = argv[1];
   try {
+    if (command == "campaign") return cmd_campaign(argc, argv);
     const SystemModel model = load_model(argv[2]);
     if (command == "check") {
       std::printf("OK: %zu modules, %zu system inputs, %zu system outputs, "
