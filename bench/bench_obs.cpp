@@ -1,0 +1,166 @@
+// Microbenchmarks for the telemetry layer (src/obs): the per-event cost of
+// counters, histograms, spans and NDJSON emission, in both the enabled and
+// the disabled (null-handle fast path) state. The disabled numbers are the
+// ones that matter for the fault-injection hot path: instrumentation sites
+// pay one pointer test when telemetry is off.
+#include <benchmark/benchmark.h>
+
+#include <ostream>
+#include <streambuf>
+
+#include "obs/metrics.hpp"
+#include "obs/ndjson.hpp"
+#include "obs/span.hpp"
+#include "obs/telemetry.hpp"
+
+namespace {
+
+using namespace propane;
+
+/// An ostream that swallows everything: measures serialisation without
+/// filesystem noise.
+class NullBuffer : public std::streambuf {
+ protected:
+  int overflow(int c) override { return c; }
+  std::streamsize xsputn(const char*, std::streamsize n) override {
+    return n;
+  }
+};
+
+void BM_CounterAdd_Enabled(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Counter* counter = &registry.counter("bench.hits");
+  for (auto _ : state) {
+    if (counter != nullptr) counter->add(1);
+  }
+  benchmark::DoNotOptimize(counter->value());
+}
+BENCHMARK(BM_CounterAdd_Enabled);
+
+void BM_CounterAdd_Disabled(benchmark::State& state) {
+  // The null-handle fast path every instrumentation site takes when
+  // telemetry is off: one pointer test, nothing else.
+  obs::Counter* counter = nullptr;
+  benchmark::DoNotOptimize(counter);
+  std::uint64_t fallback = 0;
+  for (auto _ : state) {
+    if (counter != nullptr) {
+      counter->add(1);
+    } else {
+      ++fallback;
+    }
+  }
+  benchmark::DoNotOptimize(fallback);
+}
+BENCHMARK(BM_CounterAdd_Disabled);
+
+void BM_CounterAdd_Contended(benchmark::State& state) {
+  static obs::MetricsRegistry registry;
+  obs::Counter* counter = &registry.counter("bench.contended");
+  for (auto _ : state) {
+    counter->add(1);
+  }
+}
+BENCHMARK(BM_CounterAdd_Contended)->Threads(4);
+
+void BM_GaugeSet(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Gauge* gauge = &registry.gauge("bench.depth");
+  double v = 0;
+  for (auto _ : state) {
+    gauge->set(v);
+    v += 1.0;
+  }
+}
+BENCHMARK(BM_GaugeSet);
+
+void BM_HistogramObserve(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* histogram = &registry.histogram(
+      "bench.lat", {100.0, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8});
+  double v = 0;
+  for (auto _ : state) {
+    histogram->observe(v);
+    v += 997.0;
+    if (v > 1e8) v = 0;
+  }
+}
+BENCHMARK(BM_HistogramObserve);
+
+void BM_Span_Disabled(benchmark::State& state) {
+  for (auto _ : state) {
+    obs::Span span(nullptr, "bench.scope");
+    benchmark::DoNotOptimize(span.enabled());
+  }
+}
+BENCHMARK(BM_Span_Disabled);
+
+void BM_Span_Buffered(benchmark::State& state) {
+  obs::SpanBuffer buffer;
+  obs::Telemetry telemetry;
+  telemetry.spans = &buffer;
+  for (auto _ : state) {
+    obs::Span span(&telemetry, "bench.scope");
+    benchmark::DoNotOptimize(span.id());
+  }
+}
+BENCHMARK(BM_Span_Buffered);
+
+void BM_Span_BufferedAndStreamed(benchmark::State& state) {
+  NullBuffer null_buffer;
+  std::ostream null_stream(&null_buffer);
+  obs::NdjsonSink sink(null_stream);
+  obs::SpanBuffer buffer;
+  obs::Telemetry telemetry;
+  telemetry.spans = &buffer;
+  telemetry.events = &sink;
+  for (auto _ : state) {
+    obs::Span span(&telemetry, "bench.scope");
+    benchmark::DoNotOptimize(span.id());
+  }
+}
+BENCHMARK(BM_Span_BufferedAndStreamed);
+
+void BM_EventEmit(benchmark::State& state) {
+  NullBuffer null_buffer;
+  std::ostream null_stream(&null_buffer);
+  obs::NdjsonSink sink(null_stream);
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    sink.emit(obs::make_event(
+        "bench.event", {{"flat", obs::Value(n)},
+                        {"target", obs::Value("signal_name")},
+                        {"dur_us", obs::Value(12.5)}}));
+    ++n;
+  }
+}
+BENCHMARK(BM_EventEmit);
+
+void BM_ParseFlatJsonObject(benchmark::State& state) {
+  const std::string line = obs::event_to_json(obs::make_event(
+      "injection.done", {{"flat", obs::Value(1234)},
+                         {"target", obs::Value("pressure_sensor")},
+                         {"diverged_signals", obs::Value(3)},
+                         {"dur_us", obs::Value(2512.7)}}));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(obs::parse_flat_json_object(line));
+  }
+}
+BENCHMARK(BM_ParseFlatJsonObject);
+
+void BM_MetricsSnapshotToJson(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  for (int i = 0; i < 10; ++i) {
+    registry.counter("bench.counter." + std::to_string(i)).add(42);
+  }
+  registry.histogram("bench.lat", {100.0, 1e3, 1e4}).observe(55.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        obs::metrics_snapshot_to_json(registry.snapshot()));
+  }
+}
+BENCHMARK(BM_MetricsSnapshotToJson);
+
+}  // namespace
+
+BENCHMARK_MAIN();

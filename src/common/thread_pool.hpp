@@ -4,14 +4,23 @@
 // partitions an index range across workers and blocks until done. Campaign
 // determinism does not depend on scheduling order because every run writes to
 // a pre-allocated result slot and draws from its own forked RNG stream.
+//
+// Optionally instrumented through obs::Telemetry (queue depth gauge +
+// events, task latency histogram, completed/failed/suppressed counters).
+// With no telemetry attached every instrumentation site is a single null
+// pointer test.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -19,10 +28,43 @@
 
 namespace propane {
 
+namespace obs {
+class Counter;
+class Gauge;
+class Histogram;
+class EventSink;
+struct Telemetry;
+}  // namespace obs
+
+/// Thrown by ThreadPool::wait_idle when more than one task failed in a
+/// batch: carries the first (rethrown) failure as what(), plus how many
+/// further exceptions were suppressed and the first suppressed message --
+/// so callers (e.g. the campaign CLI) can report multi-failure batches
+/// instead of silently dropping everything after the first error.
+class TaskGroupError : public std::runtime_error {
+ public:
+  TaskGroupError(const std::string& what, std::size_t suppressed_count,
+                 std::string first_suppressed_message)
+      : std::runtime_error(what),
+        suppressed_count_(suppressed_count),
+        first_suppressed_message_(std::move(first_suppressed_message)) {}
+
+  std::size_t suppressed_count() const { return suppressed_count_; }
+  const std::string& first_suppressed_message() const {
+    return first_suppressed_message_;
+  }
+
+ private:
+  std::size_t suppressed_count_;
+  std::string first_suppressed_message_;
+};
+
 class ThreadPool {
  public:
   /// Spawns `threads` workers; 0 selects the hardware concurrency (min 1).
-  explicit ThreadPool(std::size_t threads = 0);
+  /// `telemetry` (optional, non-owning, may be null) must outlive the pool.
+  explicit ThreadPool(std::size_t threads = 0,
+                      const obs::Telemetry* telemetry = nullptr);
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
@@ -36,11 +78,11 @@ class ThreadPool {
   void submit(std::function<void()> task);
 
   /// Blocks until every submitted task has finished. If any task threw, the
-  /// first captured exception is rethrown here. Exceptions from other tasks
-  /// are suppressed, but no longer silently: their count is appended to the
-  /// rethrown std::exception's message ("... [+N suppressed task
-  /// exception(s)]") so a multi-failure batch is distinguishable from a
-  /// single failure.
+  /// first captured exception is rethrown here. When further tasks also
+  /// threw, their exceptions are suppressed but not silently: the rethrow
+  /// becomes a TaskGroupError whose message appends "[+N suppressed task
+  /// exception(s); first suppressed: <what>]" and which exposes the count
+  /// and first suppressed message programmatically.
   void wait_idle();
 
   /// Runs body(i) for each i in [begin, end) across the pool and blocks until
@@ -60,6 +102,16 @@ class ThreadPool {
   bool shutting_down_ = false;
   std::exception_ptr first_error_;
   std::size_t suppressed_errors_ = 0;
+  std::string first_suppressed_message_;
+
+  // Telemetry handles, resolved once at construction; null when disabled.
+  obs::Counter* tasks_completed_ = nullptr;
+  obs::Counter* tasks_failed_ = nullptr;
+  obs::Counter* suppressed_metric_ = nullptr;
+  obs::Histogram* task_latency_us_ = nullptr;
+  obs::Gauge* queue_depth_ = nullptr;
+  obs::EventSink* events_ = nullptr;
+  std::atomic<std::uint64_t> queue_event_last_us_{~0ULL};
 };
 
 }  // namespace propane

@@ -3,6 +3,8 @@
 #include "common/contracts.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/clock.hpp"
+#include "obs/telemetry.hpp"
 
 namespace propane::fi {
 
@@ -32,7 +34,28 @@ CampaignResult run_campaign(const RunFunction& run,
                           config.injections.size());
   }
 
-  ThreadPool pool(config.threads);
+  // Telemetry handles, resolved once; all null when telemetry is off, so
+  // the per-run overhead collapses to a few predictable branches.
+  const obs::Telemetry* telemetry = hooks.telemetry;
+  obs::Counter* golden_runs =
+      obs::find_counter(telemetry, "campaign.runs.golden");
+  obs::Counter* injection_runs =
+      obs::find_counter(telemetry, "campaign.runs.injection");
+  obs::Counter* skipped_runs =
+      obs::find_counter(telemetry, "campaign.runs.skipped");
+  obs::Counter* diverged_runs =
+      obs::find_counter(telemetry, "campaign.runs.diverged");
+  obs::Counter* diverged_signals =
+      obs::find_counter(telemetry, "campaign.divergence.signals");
+  obs::Histogram* run_latency = obs::find_histogram(
+      telemetry, "campaign.run.latency_us",
+      {1e3, 1e4, 1e5, 1e6, 1e7, 1e8});
+  const bool timed = run_latency != nullptr ||
+                     (telemetry != nullptr && telemetry->events != nullptr);
+
+  obs::Span campaign_span(telemetry, "campaign");
+
+  ThreadPool pool(config.threads, telemetry);
 
   // Per-run seeds are a pure function of (master seed, run identity), so
   // scheduling order cannot affect the results.
@@ -43,12 +66,33 @@ CampaignResult run_campaign(const RunFunction& run,
   };
 
   // Phase 1: golden runs.
-  pool.parallel_for(0, config.test_case_count, [&](std::size_t tc) {
-    RunRequest request;
-    request.test_case = static_cast<std::uint32_t>(tc);
-    request.rng_seed = seed_for(0, tc);
-    result.goldens[tc] = run(request);
-  });
+  {
+    obs::Span golden_phase(telemetry, "campaign.golden_phase");
+    pool.parallel_for(0, config.test_case_count, [&](std::size_t tc) {
+      obs::emit_event(telemetry, "campaign.run.start",
+                      {{"kind", obs::Value("golden")},
+                       {"test_case", obs::Value(tc)}});
+      const std::uint64_t start_us = timed ? obs::steady_now_us() : 0;
+      RunRequest request;
+      request.test_case = static_cast<std::uint32_t>(tc);
+      request.rng_seed = seed_for(0, tc);
+      result.goldens[tc] = run(request);
+      const std::uint64_t dur_us =
+          timed ? obs::steady_now_us() - start_us : 0;
+      if (golden_runs != nullptr) golden_runs->add(1);
+      if (run_latency != nullptr) {
+        run_latency->observe(static_cast<double>(dur_us));
+      }
+      obs::emit_event(telemetry, "golden.done",
+                      {{"test_case", obs::Value(tc)},
+                       {"samples", obs::Value(result.goldens[tc].sample_count())},
+                       {"dur_us", obs::Value(dur_us)}});
+      obs::emit_event(telemetry, "campaign.run.end",
+                      {{"kind", obs::Value("golden")},
+                       {"test_case", obs::Value(tc)},
+                       {"dur_us", obs::Value(dur_us)}});
+    });
+  }
 
   for (const TraceSet& golden : result.goldens) {
     PROPANE_CHECK_MSG(golden.sample_count() > 0,
@@ -66,6 +110,7 @@ CampaignResult run_campaign(const RunFunction& run,
   // uninterrupted single-process one would have performed.
   const std::size_t total = static_cast<std::size_t>(config.test_case_count) *
                             config.injections.size();
+  obs::Span injection_phase(telemetry, "campaign.injection_phase");
   pool.parallel_for(0, total, [&](std::size_t flat) {
     const std::size_t inj = flat / config.test_case_count;
     const std::size_t tc = flat % config.test_case_count;
@@ -80,13 +125,44 @@ CampaignResult run_campaign(const RunFunction& run,
         !hooks.should_run ||
         hooks.should_run(record.injection_index, record.test_case);
     if (execute) {
+      obs::emit_event(telemetry, "campaign.run.start",
+                      {{"kind", obs::Value("injection")},
+                       {"flat", obs::Value(flat)},
+                       {"injection", obs::Value(inj)},
+                       {"test_case", obs::Value(tc)}});
+      const std::uint64_t start_us = timed ? obs::steady_now_us() : 0;
       RunRequest request;
       request.test_case = static_cast<std::uint32_t>(tc);
       request.injection = config.injections[inj];
       request.rng_seed = seed_for(1, flat);
       const TraceSet trace = run(request);
       record.report = compare_to_golden(result.goldens[tc], trace);
+      const std::uint64_t dur_us =
+          timed ? obs::steady_now_us() - start_us : 0;
+      const std::size_t divergences = record.report.divergence_count();
+      if (injection_runs != nullptr) injection_runs->add(1);
+      if (divergences > 0) {
+        if (diverged_runs != nullptr) diverged_runs->add(1);
+        if (diverged_signals != nullptr) diverged_signals->add(divergences);
+      }
+      if (run_latency != nullptr) {
+        run_latency->observe(static_cast<double>(dur_us));
+      }
+      obs::emit_event(telemetry, "injection.done",
+                      {{"flat", obs::Value(flat)},
+                       {"injection", obs::Value(inj)},
+                       {"test_case", obs::Value(tc)},
+                       {"target", obs::Value(record.target)},
+                       {"model", obs::Value(record.model_name)},
+                       {"diverged_signals", obs::Value(divergences)},
+                       {"dur_us", obs::Value(dur_us)}});
+      obs::emit_event(telemetry, "campaign.run.end",
+                      {{"kind", obs::Value("injection")},
+                       {"flat", obs::Value(flat)},
+                       {"dur_us", obs::Value(dur_us)}});
       if (hooks.on_record) hooks.on_record(record);
+    } else if (skipped_runs != nullptr) {
+      skipped_runs->add(1);
     }
     // Skipped runs keep their identity fields but an empty report; callers
     // resuming from a journal overwrite them with the stored records.

@@ -20,6 +20,10 @@
 #include "fi/injection.hpp"
 #include "fi/trace.hpp"
 
+namespace propane::obs {
+struct Telemetry;
+}  // namespace propane::obs
+
 namespace propane::fi {
 
 /// One run order handed to the system under test.
@@ -84,6 +88,11 @@ struct CampaignHooks {
   /// When false, CampaignResult::records stays empty (streaming mode: the
   /// sink is the only consumer and memory stays O(goldens), not O(runs)).
   bool collect_records = true;
+  /// Optional telemetry (non-owning, must outlive the campaign). Purely
+  /// observational: counters, run spans and campaign.run.start/end,
+  /// golden.done and injection.done events. Never consulted for
+  /// scheduling or seeding, so enabling it cannot change any result.
+  const obs::Telemetry* telemetry = nullptr;
 };
 
 /// Executes the campaign. Golden runs execute first (in parallel), then all

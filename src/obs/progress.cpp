@@ -1,0 +1,152 @@
+#include "obs/progress.hpp"
+
+#include <cinttypes>
+#include <cmath>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace propane::obs {
+
+namespace {
+
+bool stream_is_tty(std::FILE* stream) {
+#if defined(__unix__) || defined(__APPLE__)
+  return isatty(fileno(stream)) == 1;
+#else
+  (void)stream;
+  return false;
+#endif
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  char buffer[32];
+  if (bytes >= 1'000'000'000ULL) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f GB",
+                  static_cast<double>(bytes) / 1e9);
+  } else if (bytes >= 1'000'000ULL) {
+    std::snprintf(buffer, sizeof(buffer), "%.1f MB",
+                  static_cast<double>(bytes) / 1e6);
+  } else if (bytes >= 1'000ULL) {
+    std::snprintf(buffer, sizeof(buffer), "%.1f kB",
+                  static_cast<double>(bytes) / 1e3);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%" PRIu64 " B", bytes);
+  }
+  return buffer;
+}
+
+std::string format_eta(double seconds) {
+  char buffer[32];
+  if (seconds <= 0.0 || !std::isfinite(seconds)) return "--";
+  if (seconds < 90.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.0fs", seconds);
+  } else if (seconds < 5400.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.0fm%02.0fs",
+                  std::floor(seconds / 60.0),
+                  seconds - std::floor(seconds / 60.0) * 60.0);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.1fh", seconds / 3600.0);
+  }
+  return buffer;
+}
+
+}  // namespace
+
+ProgressReporter::ProgressReporter() : ProgressReporter(Options{}) {}
+
+ProgressReporter::ProgressReporter(const Options& options)
+    : out_(options.out != nullptr ? options.out : stderr),
+      throttle_(options.min_interval_us),
+      started_us_(steady_now_us()) {
+  enabled_ = options.force || stream_is_tty(out_);
+  total_.store(options.total_runs, std::memory_order_relaxed);
+}
+
+ProgressReporter::~ProgressReporter() { finish(); }
+
+void ProgressReporter::add_completed(std::size_t n, bool diverged) {
+  completed_.fetch_add(n, std::memory_order_relaxed);
+  if (diverged) diverged_.fetch_add(1, std::memory_order_relaxed);
+  maybe_render();
+}
+
+void ProgressReporter::add_skipped(std::size_t n) {
+  skipped_.fetch_add(n, std::memory_order_relaxed);
+}
+
+void ProgressReporter::set_journal(std::uint64_t bytes, std::size_t shards) {
+  journal_bytes_.store(bytes, std::memory_order_relaxed);
+  journal_shards_.store(shards, std::memory_order_relaxed);
+}
+
+ProgressReporter::Snapshot ProgressReporter::snapshot() const {
+  Snapshot snap;
+  snap.completed = completed_.load(std::memory_order_relaxed);
+  snap.skipped = skipped_.load(std::memory_order_relaxed);
+  snap.diverged = diverged_.load(std::memory_order_relaxed);
+  snap.total = total_.load(std::memory_order_relaxed);
+  snap.journal_bytes = journal_bytes_.load(std::memory_order_relaxed);
+  snap.journal_shards = journal_shards_.load(std::memory_order_relaxed);
+  snap.elapsed_s =
+      static_cast<double>(steady_now_us() - started_us_) / 1e6;
+  if (snap.elapsed_s > 0.0) {
+    snap.runs_per_s = static_cast<double>(snap.completed) / snap.elapsed_s;
+  }
+  const std::size_t done = snap.completed + snap.skipped;
+  if (snap.total > done && snap.runs_per_s > 0.0) {
+    snap.eta_s =
+        static_cast<double>(snap.total - done) / snap.runs_per_s;
+  }
+  if (snap.completed > 0) {
+    snap.divergence_rate = static_cast<double>(snap.diverged) /
+                           static_cast<double>(snap.completed);
+  }
+  return snap;
+}
+
+std::string ProgressReporter::render_line() const {
+  const Snapshot s = snapshot();
+  const std::size_t done = s.completed + s.skipped;
+  const double pct =
+      s.total > 0
+          ? 100.0 * static_cast<double>(done) / static_cast<double>(s.total)
+          : 0.0;
+  char head[128];
+  std::snprintf(head, sizeof(head),
+                "[campaign] %zu/%zu runs %.1f%% | %.1f runs/s | ETA %s",
+                done, s.total, pct, s.runs_per_s,
+                format_eta(s.eta_s).c_str());
+  char tail[128];
+  std::snprintf(tail, sizeof(tail), " | div %.1f%% | journal %s / %zu shard%s",
+                100.0 * s.divergence_rate,
+                format_bytes(s.journal_bytes).c_str(), s.journal_shards,
+                s.journal_shards == 1 ? "" : "s");
+  return std::string(head) + tail;
+}
+
+void ProgressReporter::maybe_render() {
+  if (!enabled_ || finished_.load(std::memory_order_relaxed)) return;
+  if (!throttle_.ready(steady_now_us())) return;
+  render();
+}
+
+void ProgressReporter::render() {
+  // Only one frame at a time; a losing thread just skips its frame.
+  std::unique_lock lock(render_mu_, std::try_to_lock);
+  if (!lock.owns_lock()) return;
+  std::fprintf(out_, "\r%s\x1b[K", render_line().c_str());
+  std::fflush(out_);
+  rendered_once_.store(true, std::memory_order_relaxed);
+}
+
+void ProgressReporter::finish() {
+  if (!enabled_) return;
+  if (finished_.exchange(true)) return;
+  std::lock_guard lock(render_mu_);
+  std::fprintf(out_, "\r%s\x1b[K\n", render_line().c_str());
+  std::fflush(out_);
+}
+
+}  // namespace propane::obs

@@ -1,0 +1,99 @@
+// Live campaign progress HUD.
+//
+// Worker threads feed completion counts through relaxed atomics; a
+// throttle lets roughly two frames per second through, and whichever
+// thread wins the throttle renders one carriage-return-overwritten stderr
+// line:
+//
+//   [campaign] 1234/4000 runs 30.9% | 412.3 runs/s | ETA 7s | div 12.4% |
+//   journal 3.1 MB / 8 shards
+//
+// The HUD auto-disables when the output stream is not a TTY (so piped or
+// CI output stays clean) and can be forced on/off by the CLI flags. It is
+// pure observation: disabling it changes nothing about the campaign.
+#pragma once
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "obs/clock.hpp"
+
+namespace propane::obs {
+
+class ProgressReporter {
+ public:
+  struct Options {
+    std::size_t total_runs = 0;
+    /// Minimum microseconds between frames (~2 Hz default).
+    std::uint64_t min_interval_us = 500'000;
+    /// Render even when `out` is not a TTY (tests, explicit --progress).
+    bool force = false;
+    /// Destination stream; null selects stderr.
+    std::FILE* out = nullptr;
+  };
+
+  ProgressReporter();  // defaults: see Options
+  explicit ProgressReporter(const Options& options);
+  ~ProgressReporter();
+
+  ProgressReporter(const ProgressReporter&) = delete;
+  ProgressReporter& operator=(const ProgressReporter&) = delete;
+
+  /// False when the destination is not a TTY and force was off; all calls
+  /// are then no-ops beyond the counter updates (snapshot() still works).
+  bool enabled() const { return enabled_; }
+
+  void set_total(std::size_t total_runs) {
+    total_.store(total_runs, std::memory_order_relaxed);
+  }
+  /// One run finished this session. Renders a frame if the throttle allows.
+  void add_completed(std::size_t n, bool diverged);
+  /// One planned run was skipped (already journaled / foreign process).
+  void add_skipped(std::size_t n);
+  /// Latest journal footprint, shown verbatim in the HUD.
+  void set_journal(std::uint64_t bytes, std::size_t shards);
+
+  struct Snapshot {
+    std::size_t completed = 0;  // executed this session
+    std::size_t skipped = 0;
+    std::size_t diverged = 0;
+    std::size_t total = 0;
+    std::uint64_t journal_bytes = 0;
+    std::size_t journal_shards = 0;
+    double elapsed_s = 0.0;
+    double runs_per_s = 0.0;      // executed / elapsed
+    double eta_s = 0.0;           // remaining / runs_per_s (0 when unknown)
+    double divergence_rate = 0.0; // diverged / completed
+  };
+  Snapshot snapshot() const;
+
+  /// The current HUD line (no \r / escape codes) -- exposed for tests.
+  std::string render_line() const;
+
+  /// Renders a frame if at least min_interval_us passed since the last.
+  void maybe_render();
+  /// Renders the final frame and moves to a fresh line. Idempotent; runs
+  /// automatically on destruction.
+  void finish();
+
+ private:
+  void render();
+
+  bool enabled_ = false;
+  std::FILE* out_ = nullptr;
+  Throttle throttle_;
+  std::uint64_t started_us_ = 0;
+  std::atomic<std::size_t> total_{0};
+  std::atomic<std::size_t> completed_{0};
+  std::atomic<std::size_t> skipped_{0};
+  std::atomic<std::size_t> diverged_{0};
+  std::atomic<std::uint64_t> journal_bytes_{0};
+  std::atomic<std::size_t> journal_shards_{0};
+  std::atomic<bool> rendered_once_{false};
+  std::atomic<bool> finished_{false};
+  std::mutex render_mu_;
+};
+
+}  // namespace propane::obs

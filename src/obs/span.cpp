@@ -1,0 +1,74 @@
+#include "obs/span.hpp"
+
+#include "obs/clock.hpp"
+#include "obs/telemetry.hpp"
+
+namespace propane::obs {
+
+namespace {
+
+/// Active-span stack of the current thread; back() is the innermost span.
+thread_local std::vector<std::uint64_t> t_active_spans;
+
+/// Id source for spans recorded without a buffer (event-sink only).
+std::atomic<std::uint64_t> g_fallback_ids{0};
+
+}  // namespace
+
+SpanBuffer::SpanBuffer(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void SpanBuffer::push(FinishedSpan span) {
+  std::lock_guard lock(mu_);
+  if (spans_.size() == capacity_) {
+    spans_.pop_front();
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  spans_.push_back(std::move(span));
+}
+
+std::vector<FinishedSpan> SpanBuffer::snapshot() const {
+  std::lock_guard lock(mu_);
+  return {spans_.begin(), spans_.end()};
+}
+
+std::size_t SpanBuffer::size() const {
+  std::lock_guard lock(mu_);
+  return spans_.size();
+}
+
+Span::Span(const Telemetry* telemetry, std::string_view name) {
+  if (telemetry == nullptr ||
+      (telemetry->spans == nullptr && telemetry->events == nullptr)) {
+    return;  // disabled: destructor sees null buffer_ and events_
+  }
+  buffer_ = telemetry->spans;
+  events_ = telemetry->events;
+  name_ = name;
+  id_ = buffer_ != nullptr
+            ? buffer_->next_id()
+            : g_fallback_ids.fetch_add(1, std::memory_order_relaxed) + 1;
+  parent_id_ = t_active_spans.empty() ? 0 : t_active_spans.back();
+  depth_ = static_cast<std::uint32_t>(t_active_spans.size());
+  t_active_spans.push_back(id_);
+  start_us_ = steady_now_us();
+}
+
+Span::~Span() {
+  if (!enabled()) return;
+  const std::uint64_t duration = steady_now_us() - start_us_;
+  t_active_spans.pop_back();
+  if (buffer_ != nullptr) {
+    buffer_->push(FinishedSpan{name_, id_, parent_id_, depth_, start_us_,
+                               duration});
+  }
+  if (events_ != nullptr) {
+    events_->emit(make_event("span", {{"name", Value(name_)},
+                                      {"id", Value(id_)},
+                                      {"parent_id", Value(parent_id_)},
+                                      {"depth", Value(depth_)},
+                                      {"dur_us", Value(duration)}}));
+  }
+}
+
+}  // namespace propane::obs

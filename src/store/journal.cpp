@@ -4,12 +4,20 @@
 #include <vector>
 
 #include "common/contracts.hpp"
+#include "obs/telemetry.hpp"
 
 namespace propane::store {
 
 JournalWriter::JournalWriter(const std::filesystem::path& path,
-                             const Manifest& manifest)
+                             const Manifest& manifest,
+                             const obs::Telemetry* telemetry)
     : path_(path) {
+  if (telemetry != nullptr) {
+    appends_ = obs::find_counter(telemetry, "journal.appends");
+    append_bytes_ = obs::find_counter(telemetry, "journal.append.bytes");
+    flushes_ = obs::find_counter(telemetry, "journal.flushes");
+    events_ = telemetry->events;
+  }
   PROPANE_REQUIRE_MSG(!std::filesystem::exists(path_),
                       "journal shard already exists: " + path_.string());
   out_.open(path_, std::ios::binary | std::ios::trunc);
@@ -45,17 +53,30 @@ void JournalWriter::write_frame(RecordType type,
 }
 
 void JournalWriter::append(const fi::InjectionRecord& record) {
+  const std::size_t before = bytes_written_;
   write_frame(RecordType::kInjectionResult, encode_injection_record(record));
   // Per-record flush: after a crash, every record appended so far is on
   // disk (modulo OS buffers) and at most the in-flight frame is torn.
   flush();
   ++record_count_;
+  const std::size_t frame_bytes = bytes_written_ - before;
+  if (appends_ != nullptr) appends_->add(1);
+  if (append_bytes_ != nullptr) append_bytes_->add(frame_bytes);
+  if (events_ != nullptr) {
+    events_->emit(obs::make_event(
+        "journal.append",
+        {{"shard", obs::Value(path_.filename().string())},
+         {"bytes", obs::Value(frame_bytes)},
+         {"total_bytes", obs::Value(bytes_written_)},
+         {"records", obs::Value(record_count_)}}));
+  }
 }
 
 void JournalWriter::flush() {
   out_.flush();
   PROPANE_CHECK_MSG(out_.good(),
                     "journal shard flush failed: " + path_.string());
+  if (flushes_ != nullptr) flushes_->add(1);
 }
 
 JournalScan scan_journal_file(

@@ -31,6 +31,12 @@
 
 #include "store/record_codec.hpp"
 
+namespace propane::obs {
+class Counter;
+class EventSink;
+struct Telemetry;
+}  // namespace propane::obs
+
 namespace propane::store {
 
 inline constexpr char kJournalMagic[8] = {'P', 'R', 'O', 'P',
@@ -48,8 +54,11 @@ class JournalWriter {
  public:
   /// `path` must not already exist (shards are never appended to across
   /// sessions -- resume opens fresh shard files instead, leaving any torn
-  /// tail behind for the reader to skip).
-  JournalWriter(const std::filesystem::path& path, const Manifest& manifest);
+  /// tail behind for the reader to skip). `telemetry` (optional,
+  /// non-owning) adds journal.appends / journal.append.bytes /
+  /// journal.flushes counters and a journal.append event per record.
+  JournalWriter(const std::filesystem::path& path, const Manifest& manifest,
+                const obs::Telemetry* telemetry = nullptr);
 
   JournalWriter(const JournalWriter&) = delete;
   JournalWriter& operator=(const JournalWriter&) = delete;
@@ -68,6 +77,11 @@ class JournalWriter {
   std::ofstream out_;
   std::size_t record_count_ = 0;
   std::size_t bytes_written_ = 0;
+  // Telemetry handles, resolved at construction; null when disabled.
+  obs::Counter* appends_ = nullptr;
+  obs::Counter* append_bytes_ = nullptr;
+  obs::Counter* flushes_ = nullptr;
+  obs::EventSink* events_ = nullptr;
 };
 
 /// Outcome of scanning one shard file.

@@ -7,6 +7,10 @@
 
 #include "common/contracts.hpp"
 #include "core/permeability_io.hpp"
+#include "obs/clock.hpp"
+#include "obs/progress.hpp"
+#include "obs/span.hpp"
+#include "obs/telemetry.hpp"
 
 namespace propane::store {
 
@@ -86,16 +90,42 @@ JournalRunSummary run_journaled_campaign(const fi::RunFunction& run,
   JournalRunSummary summary;
   summary.total_runs = manifest.total_runs();
 
+  const obs::Telemetry* telemetry =
+      (options.telemetry != nullptr && options.telemetry->enabled())
+          ? options.telemetry
+          : nullptr;
+  obs::ProgressReporter* progress = options.progress;
+  const std::uint64_t wall_start_us = obs::steady_now_us();
+
   // Reload phase: rebuild the completed-run set (and keep the records when
   // the caller wants an in-memory CampaignResult too).
   std::vector<std::pair<std::size_t, fi::InjectionRecord>> reloaded;
-  CampaignDirState state = scan_campaign_dir(
-      dir, options.collect_records
-               ? std::function<void(fi::InjectionRecord&&, std::size_t)>(
-                     [&](fi::InjectionRecord&& record, std::size_t flat) {
-                       reloaded.emplace_back(flat, std::move(record));
-                     })
-               : nullptr);
+  CampaignDirState state;
+  {
+    obs::Span scan_span(telemetry, "journal.resume_scan");
+    const std::uint64_t scan_start_us = obs::steady_now_us();
+    state = scan_campaign_dir(
+        dir, options.collect_records
+                 ? std::function<void(fi::InjectionRecord&&, std::size_t)>(
+                       [&](fi::InjectionRecord&& record, std::size_t flat) {
+                         reloaded.emplace_back(flat, std::move(record));
+                       })
+                 : nullptr);
+    if (telemetry != nullptr) {
+      const std::uint64_t scan_us = obs::steady_now_us() - scan_start_us;
+      if (auto* gauge =
+              obs::find_gauge(telemetry, "journal.resume.scan_ms")) {
+        gauge->set(static_cast<double>(scan_us) / 1000.0);
+      }
+      obs::emit_event(
+          telemetry, "journal.resume_scan",
+          {{"dir", obs::Value(dir.string())},
+           {"completed", obs::Value(state.completed_count)},
+           {"duplicates", obs::Value(state.duplicate_count)},
+           {"warnings", obs::Value(state.warnings.size())},
+           {"dur_us", obs::Value(scan_us)}});
+    }
+  }
   if (!state.fresh) {
     require_same_manifest(manifest, state.manifest, dir.string());
   }
@@ -103,14 +133,22 @@ JournalRunSummary run_journaled_campaign(const fi::RunFunction& run,
   std::vector<bool> completed = std::move(state.completed);
   if (completed.empty()) completed.assign(manifest.total_runs(), false);
 
-  ShardedJournalWriter writer(dir, manifest, options.shard_count);
+  ShardedJournalWriter writer(dir, manifest, options.shard_count,
+                              telemetry);
+  if (progress != nullptr) {
+    progress->set_total(manifest.total_runs());
+    progress->set_journal(writer.bytes_written(), writer.shard_count());
+  }
+  const std::uint64_t journal_base_bytes = writer.bytes_written();
 
   std::atomic<std::size_t> executed{0};
   std::atomic<std::size_t> skipped_completed{0};
   std::atomic<std::size_t> skipped_foreign{0};
+  std::atomic<std::size_t> diverged{0};
 
   fi::CampaignHooks hooks;
   hooks.collect_records = options.collect_records;
+  hooks.telemetry = telemetry;
   // `completed` is only read here (writes all happened during the scan),
   // so concurrent calls from worker threads are safe.
   hooks.should_run = [&](std::uint32_t injection_index,
@@ -118,10 +156,12 @@ JournalRunSummary run_journaled_campaign(const fi::RunFunction& run,
     const std::size_t flat = manifest.flat_index(injection_index, test_case);
     if (completed[flat]) {
       skipped_completed.fetch_add(1, std::memory_order_relaxed);
+      if (progress != nullptr) progress->add_skipped(1);
       return false;
     }
     if (flat % options.process_count != options.process_index) {
       skipped_foreign.fetch_add(1, std::memory_order_relaxed);
+      if (progress != nullptr) progress->add_skipped(1);
       return false;
     }
     return true;
@@ -132,12 +172,33 @@ JournalRunSummary run_journaled_campaign(const fi::RunFunction& run,
   hooks.on_record = [&](const fi::InjectionRecord& record) {
     writer.append(record);
     executed.fetch_add(1, std::memory_order_relaxed);
+    const bool hit = record.report.any_divergence();
+    if (hit) diverged.fetch_add(1, std::memory_order_relaxed);
+    if (progress != nullptr) {
+      progress->set_journal(writer.bytes_written(), writer.shard_count());
+      progress->add_completed(1, hit);
+    }
   };
 
   summary.result = fi::run_campaign(run, config, hooks);
   summary.executed = executed.load();
   summary.skipped_completed = skipped_completed.load();
   summary.skipped_foreign = skipped_foreign.load();
+  summary.diverged = diverged.load();
+  summary.journal_bytes = writer.bytes_written() - journal_base_bytes;
+  summary.wall_seconds =
+      static_cast<double>(obs::steady_now_us() - wall_start_us) / 1e6;
+
+  if (progress != nullptr) progress->finish();
+  obs::emit_event(
+      telemetry, "campaign.done",
+      {{"executed", obs::Value(summary.executed)},
+       {"skipped_completed", obs::Value(summary.skipped_completed)},
+       {"skipped_foreign", obs::Value(summary.skipped_foreign)},
+       {"total_runs", obs::Value(summary.total_runs)},
+       {"diverged", obs::Value(summary.diverged)},
+       {"journal_bytes", obs::Value(summary.journal_bytes)},
+       {"wall_s", obs::Value(summary.wall_seconds)}});
 
   if (options.collect_records) {
     for (auto& [flat, record] : reloaded) {

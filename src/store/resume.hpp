@@ -32,6 +32,11 @@
 #include "fi/estimator.hpp"
 #include "store/sharded_writer.hpp"
 
+namespace propane::obs {
+class ProgressReporter;
+struct Telemetry;
+}  // namespace propane::obs
+
 namespace propane::store {
 
 /// What a scan of a campaign directory found.
@@ -68,6 +73,13 @@ struct JournalRunOptions {
   /// Also materialise records in the returned CampaignResult (memory-heavy;
   /// off by default -- the journal is the result).
   bool collect_records = false;
+  /// Optional telemetry (non-owning): threaded into the campaign, the pool
+  /// and every shard writer; the resume scan is timed and reported as a
+  /// journal.resume_scan event + journal.resume.scan_ms gauge.
+  const obs::Telemetry* telemetry = nullptr;
+  /// Optional live HUD (non-owning): fed per completed/skipped run and
+  /// with the journal's byte footprint. Observation-only.
+  obs::ProgressReporter* progress = nullptr;
 };
 
 struct JournalRunSummary {
@@ -75,6 +87,9 @@ struct JournalRunSummary {
   std::size_t skipped_completed = 0;  // already in the journal
   std::size_t skipped_foreign = 0;    // owned by another process index
   std::size_t total_runs = 0;         // the plan's injection-run count
+  std::size_t diverged = 0;           // executed runs with >= 1 divergence
+  double wall_seconds = 0.0;          // scan + campaign wall time
+  std::uint64_t journal_bytes = 0;    // bytes this session appended
   std::vector<std::string> warnings;  // from the pre-run directory scan
   /// Golden traces and signal names always; records only when
   /// collect_records (journaled-but-skipped runs are reloaded from disk, so

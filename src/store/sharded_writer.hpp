@@ -10,6 +10,7 @@
 // gone -- which is what makes merge and resume trivially safe.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
 #include <memory>
@@ -24,9 +25,11 @@ namespace propane::store {
 class ShardedJournalWriter {
  public:
   /// Creates `shard_count` fresh shard files in `dir` (the directory is
-  /// created if missing), each carrying `manifest`.
+  /// created if missing), each carrying `manifest`. `telemetry` (optional,
+  /// non-owning) is forwarded to every shard writer.
   ShardedJournalWriter(const std::filesystem::path& dir,
-                       const Manifest& manifest, std::size_t shard_count = 1);
+                       const Manifest& manifest, std::size_t shard_count = 1,
+                       const obs::Telemetry* telemetry = nullptr);
 
   /// Thread-safe append. The record's flat run index picks the shard, so
   /// the record-to-shard assignment is deterministic and two threads only
@@ -37,6 +40,11 @@ class ShardedJournalWriter {
 
   std::size_t shard_count() const { return shards_.size(); }
   std::size_t record_count() const;
+  /// Bytes appended across all shards this session, kept in a relaxed
+  /// atomic so HUD reads never take the shard locks.
+  std::uint64_t bytes_written() const {
+    return total_bytes_.load(std::memory_order_relaxed);
+  }
 
   /// Shard files of a campaign directory, sorted by name (and thus by
   /// creation order).
@@ -51,6 +59,7 @@ class ShardedJournalWriter {
 
   Manifest manifest_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> total_bytes_{0};
 };
 
 }  // namespace propane::store

@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/telemetry.hpp"
+
 namespace propane {
 namespace {
 
@@ -56,22 +58,26 @@ TEST(ThreadPool, PropagatesFirstTaskException) {
   pool.wait_idle();
 }
 
-TEST(ThreadPool, ReportsSuppressedExceptionCount) {
+TEST(ThreadPool, ReportsSuppressedExceptionCountAndFirstMessage) {
   // One worker => deterministic order: the first task's exception is the
-  // one rethrown, the second is suppressed but must be counted.
+  // one rethrown; the second is suppressed but must be counted and its
+  // message preserved (it used to vanish entirely).
   ThreadPool pool(1);
   pool.submit([] { throw std::runtime_error("first failure"); });
   pool.submit([] { throw std::runtime_error("second failure"); });
   try {
     pool.wait_idle();
     FAIL() << "wait_idle() should have thrown";
-  } catch (const std::exception& e) {
+  } catch (const TaskGroupError& e) {
     const std::string message = e.what();
     EXPECT_NE(message.find("first failure"), std::string::npos) << message;
-    EXPECT_EQ(message.find("second failure"), std::string::npos) << message;
-    EXPECT_NE(message.find("[+1 suppressed task exception(s)]"),
-              std::string::npos)
+    EXPECT_NE(
+        message.find("[+1 suppressed task exception(s); first suppressed: "
+                     "second failure]"),
+        std::string::npos)
         << message;
+    EXPECT_EQ(e.suppressed_count(), 1u);
+    EXPECT_EQ(e.first_suppressed_message(), "second failure");
   }
   // The counter resets with the error: the next failure reports cleanly.
   pool.submit([] { throw std::runtime_error("third failure"); });
@@ -130,6 +136,39 @@ TEST(ThreadPool, ThreadCountReportsWorkers) {
 TEST(ThreadPool, NullTaskViolatesContract) {
   ThreadPool pool(1);
   EXPECT_THROW(pool.submit(nullptr), ContractViolation);
+}
+
+TEST(ThreadPool, ExportsTaskMetricsWhenTelemetryAttached) {
+  obs::MetricsRegistry metrics;
+  obs::Telemetry telemetry;
+  telemetry.metrics = &metrics;
+  {
+    ThreadPool pool(2, &telemetry);
+    for (int i = 0; i < 10; ++i) {
+      pool.submit([] {});
+    }
+    pool.submit([] { throw std::runtime_error("boom"); });
+    EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  }
+  EXPECT_EQ(metrics.counter("pool.tasks.completed").value(), 10u);
+  EXPECT_EQ(metrics.counter("pool.tasks.failed").value(), 1u);
+  EXPECT_EQ(metrics.counter("pool.exceptions.suppressed").value(), 0u);
+  // Every task's wall time was observed.
+  EXPECT_EQ(metrics.snapshot().histograms.at("pool.task.latency_us").count,
+            11u);
+}
+
+TEST(ThreadPool, CountsSuppressedExceptionsInMetrics) {
+  obs::MetricsRegistry metrics;
+  obs::Telemetry telemetry;
+  telemetry.metrics = &metrics;
+  ThreadPool pool(1, &telemetry);
+  pool.submit([] { throw std::runtime_error("first"); });
+  pool.submit([] { throw std::runtime_error("second"); });
+  pool.submit([] { throw std::runtime_error("third"); });
+  EXPECT_THROW(pool.wait_idle(), TaskGroupError);
+  EXPECT_EQ(metrics.counter("pool.exceptions.suppressed").value(), 2u);
+  EXPECT_EQ(metrics.counter("pool.tasks.failed").value(), 3u);
 }
 
 }  // namespace

@@ -1,0 +1,121 @@
+// ProgressReporter: snapshot arithmetic, HUD line content, TTY gating and
+// idempotent finish. Rendering goes to a tmpfile, never a real terminal.
+#include "obs/progress.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+namespace propane::obs {
+namespace {
+
+class TempStream {
+ public:
+  TempStream() : file_(std::tmpfile()) {}
+  ~TempStream() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+  std::FILE* get() { return file_; }
+
+  std::string contents() {
+    std::string text;
+    std::fflush(file_);
+    std::rewind(file_);
+    char buffer[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buffer, 1, sizeof(buffer), file_)) > 0) {
+      text.append(buffer, n);
+    }
+    return text;
+  }
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
+TEST(Progress, DisabledWhenOutputIsNotATty) {
+  TempStream out;
+  ProgressReporter::Options options;
+  options.out = out.get();
+  ProgressReporter hud(options);
+  EXPECT_FALSE(hud.enabled());
+  hud.add_completed(1, false);
+  hud.finish();
+  EXPECT_TRUE(out.contents().empty());  // nothing rendered
+}
+
+TEST(Progress, SnapshotTracksCountsAndRates) {
+  TempStream out;
+  ProgressReporter::Options options;
+  options.out = out.get();
+  options.total_runs = 100;
+  ProgressReporter hud(options);
+  hud.add_completed(3, true);
+  hud.add_completed(1, false);
+  hud.add_skipped(6);
+  hud.set_journal(2048, 4);
+
+  // Let the steady clock tick so elapsed/rate/ETA are strictly positive.
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const ProgressReporter::Snapshot snap = hud.snapshot();
+  EXPECT_EQ(snap.completed, 4u);
+  EXPECT_EQ(snap.skipped, 6u);
+  EXPECT_EQ(snap.diverged, 1u);
+  EXPECT_EQ(snap.total, 100u);
+  EXPECT_EQ(snap.journal_bytes, 2048u);
+  EXPECT_EQ(snap.journal_shards, 4u);
+  EXPECT_DOUBLE_EQ(snap.divergence_rate, 0.25);
+  EXPECT_GT(snap.elapsed_s, 0.0);
+  EXPECT_GT(snap.runs_per_s, 0.0);
+  EXPECT_GT(snap.eta_s, 0.0);
+}
+
+TEST(Progress, RenderLineShowsTheEssentials) {
+  TempStream out;
+  ProgressReporter::Options options;
+  options.out = out.get();
+  options.total_runs = 10;
+  ProgressReporter hud(options);
+  hud.add_completed(5, true);
+  hud.set_journal(1500, 2);
+  const std::string line = hud.render_line();
+  EXPECT_NE(line.find("[campaign]"), std::string::npos);
+  EXPECT_NE(line.find("5/10 runs"), std::string::npos);
+  EXPECT_NE(line.find("runs/s"), std::string::npos);
+  EXPECT_NE(line.find("div 20.0%"), std::string::npos);
+  EXPECT_NE(line.find("1.5 kB"), std::string::npos);
+  EXPECT_NE(line.find("2 shards"), std::string::npos);
+}
+
+TEST(Progress, ForcedRenderingWritesFramesAndFinalNewline) {
+  TempStream out;
+  ProgressReporter::Options options;
+  options.out = out.get();
+  options.total_runs = 2;
+  options.force = true;           // tmpfile is not a TTY; force the HUD on
+  options.min_interval_us = 0;    // no throttling in the test
+  ProgressReporter hud(options);
+  EXPECT_TRUE(hud.enabled());
+  hud.add_completed(1, false);
+  hud.finish();
+  hud.finish();  // idempotent
+  const std::string text = out.contents();
+  EXPECT_NE(text.find("[campaign]"), std::string::npos);
+  EXPECT_EQ(text.find("\n"), text.rfind("\n"));  // exactly one newline
+}
+
+TEST(Progress, EtaIsUnknownWithoutProgress) {
+  TempStream out;
+  ProgressReporter::Options options;
+  options.out = out.get();
+  options.total_runs = 10;
+  ProgressReporter hud(options);
+  const ProgressReporter::Snapshot snap = hud.snapshot();
+  EXPECT_DOUBLE_EQ(snap.eta_s, 0.0);
+  EXPECT_NE(hud.render_line().find("ETA --"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace propane::obs

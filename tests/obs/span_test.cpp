@@ -1,0 +1,134 @@
+// Scoped spans: per-thread nesting, completion ordering, the bounded
+// buffer's drop-oldest policy and the null-telemetry no-op path.
+#include "obs/span.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "obs/telemetry.hpp"
+
+namespace propane::obs {
+namespace {
+
+TEST(Span, NullTelemetryIsANoop) {
+  Span null_span(nullptr, "nothing");
+  EXPECT_FALSE(null_span.enabled());
+
+  Telemetry empty;  // all members null: still disabled
+  Span empty_span(&empty, "nothing");
+  EXPECT_FALSE(empty_span.enabled());
+}
+
+TEST(Span, NestedSpansRecordParentAndDepth) {
+  SpanBuffer buffer;
+  Telemetry telemetry;
+  telemetry.spans = &buffer;
+  {
+    Span outer(&telemetry, "outer");
+    {
+      Span middle(&telemetry, "middle");
+      Span inner(&telemetry, "inner");
+      EXPECT_NE(inner.id(), middle.id());
+    }
+  }
+  // Completion order: innermost scopes close first.
+  const std::vector<FinishedSpan> spans = buffer.snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[1].name, "middle");
+  EXPECT_EQ(spans[2].name, "outer");
+  EXPECT_EQ(spans[2].parent_id, 0u);
+  EXPECT_EQ(spans[2].depth, 0u);
+  EXPECT_EQ(spans[1].parent_id, spans[2].id);
+  EXPECT_EQ(spans[1].depth, 1u);
+  EXPECT_EQ(spans[0].parent_id, spans[1].id);
+  EXPECT_EQ(spans[0].depth, 2u);
+}
+
+TEST(Span, SiblingSpansShareAParent) {
+  SpanBuffer buffer;
+  Telemetry telemetry;
+  telemetry.spans = &buffer;
+  {
+    Span parent(&telemetry, "parent");
+    { Span first(&telemetry, "first"); }
+    { Span second(&telemetry, "second"); }
+  }
+  const std::vector<FinishedSpan> spans = buffer.snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].parent_id, spans[2].id);
+  EXPECT_EQ(spans[1].parent_id, spans[2].id);
+  EXPECT_EQ(spans[0].depth, 1u);
+  EXPECT_EQ(spans[1].depth, 1u);
+}
+
+TEST(Span, NestingIsPerThread) {
+  SpanBuffer buffer;
+  Telemetry telemetry;
+  telemetry.spans = &buffer;
+  {
+    Span outer(&telemetry, "outer");
+    std::thread worker([&] {
+      // A span on another thread has no active parent there.
+      Span detached(&telemetry, "detached");
+    });
+    worker.join();
+  }
+  for (const FinishedSpan& span : buffer.snapshot()) {
+    if (span.name == "detached") {
+      EXPECT_EQ(span.parent_id, 0u);
+      EXPECT_EQ(span.depth, 0u);
+    }
+  }
+}
+
+TEST(SpanBuffer, DropsOldestWhenFull) {
+  SpanBuffer buffer(2);
+  buffer.push(FinishedSpan{.name = "a"});
+  buffer.push(FinishedSpan{.name = "b"});
+  buffer.push(FinishedSpan{.name = "c"});
+  EXPECT_EQ(buffer.size(), 2u);
+  EXPECT_EQ(buffer.dropped(), 1u);
+  const std::vector<FinishedSpan> spans = buffer.snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "b");
+  EXPECT_EQ(spans[1].name, "c");
+}
+
+TEST(Span, EmitsSpanEventsWhenSinkAttached) {
+  std::ostringstream out;
+  NdjsonSink sink(out);
+  Telemetry telemetry;
+  telemetry.events = &sink;
+  { Span span(&telemetry, "timed"); }
+  const auto fields = parse_flat_json_object(out.str().substr(
+      0, out.str().find('\n')));
+  ASSERT_TRUE(fields.has_value());
+  bool saw_name = false;
+  for (const Field& field : *fields) {
+    if (field.key == "name") {
+      EXPECT_EQ(field.value.as_string(), "timed");
+      saw_name = true;
+    }
+  }
+  EXPECT_TRUE(saw_name);
+}
+
+TEST(Span, DurationsAreOrderedByInclusion) {
+  SpanBuffer buffer;
+  Telemetry telemetry;
+  telemetry.spans = &buffer;
+  {
+    Span outer(&telemetry, "outer");
+    { Span inner(&telemetry, "inner"); }
+  }
+  const std::vector<FinishedSpan> spans = buffer.snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_LE(spans[0].duration_us, spans[1].duration_us);
+  EXPECT_GE(spans[0].start_us, spans[1].start_us);
+}
+
+}  // namespace
+}  // namespace propane::obs

@@ -13,20 +13,33 @@
 //
 //   propane campaign run    --journal <dir> [--scale full|default|small]
 //                           [--shards N] [--processes N --index I]
+//                           [--metrics-out <file.ndjson>] [--no-telemetry]
+//                           [--progress|--no-progress]
 //   propane campaign resume --journal <dir> ...   (alias of run: a journal
 //                           directory resumes wherever it left off)
 //   propane campaign merge  --journal <dest> <src-dir>...
 //   propane campaign stats  --journal <dir> [--csv <perm.csv>]
+//   propane campaign top    --journal <dir> [--metrics-out <file.ndjson>]
+//
+// Telemetry: campaign run streams NDJSON events (src/obs) to
+// <journal>/telemetry.ndjson by default (--metrics-out redirects,
+// --no-telemetry disables) and shows a live progress HUD on a TTY
+// (--progress forces it on, --no-progress off). `campaign top` summarises
+// the event log: per-event counts, injection latencies, divergence rate,
+// journal growth and the final metric values.
 //
 // The model file uses the text format of core/model_parser.hpp; the
 // optional CSV supplies permeabilities (core/permeability_io.hpp). Without
 // a CSV all permeabilities are 0 and only structural outputs are useful.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -34,8 +47,14 @@
 #include "arrestment/system.hpp"
 #include "arrestment/testcase.hpp"
 #include "common/contracts.hpp"
+#include "common/thread_pool.hpp"
 #include "core/propane.hpp"
 #include "exp/paper_experiment.hpp"
+#include "obs/metrics.hpp"
+#include "obs/ndjson.hpp"
+#include "obs/progress.hpp"
+#include "obs/span.hpp"
+#include "obs/telemetry.hpp"
 #include "store/resume.hpp"
 
 namespace {
@@ -49,8 +68,12 @@ int usage() {
       "check> <model.txt> [perm.csv]\n"
       "       propane campaign <run|resume> --journal <dir>"
       " [--scale full|default|small] [--shards N] [--processes N --index I]\n"
+      "                        [--metrics-out <file.ndjson>] [--no-telemetry]"
+      " [--progress|--no-progress]\n"
       "       propane campaign merge --journal <dest-dir> <src-dir>...\n"
-      "       propane campaign stats --journal <dir> [--csv <perm.csv>]\n",
+      "       propane campaign stats --journal <dir> [--csv <perm.csv>]\n"
+      "       propane campaign top   --journal <dir>"
+      " [--metrics-out <file.ndjson>]\n",
       stderr);
   return 2;
 }
@@ -134,6 +157,9 @@ struct CampaignArgs {
   std::uint32_t processes = 1;
   std::uint32_t index = 0;
   std::string csv_path;
+  std::string metrics_out;   // empty: <journal>/telemetry.ndjson
+  bool no_telemetry = false;
+  int progress = -1;         // -1 auto (TTY), 0 off, 1 forced on
   std::vector<std::filesystem::path> sources;  // merge positionals
 };
 
@@ -172,6 +198,14 @@ bool parse_campaign_args(int argc, char** argv, CampaignArgs& args) {
       args.index = static_cast<std::uint32_t>(parse_count("--index", value()));
     } else if (arg == "--csv") {
       args.csv_path = value();
+    } else if (arg == "--metrics-out") {
+      args.metrics_out = value();
+    } else if (arg == "--no-telemetry") {
+      args.no_telemetry = true;
+    } else if (arg == "--progress") {
+      args.progress = 1;
+    } else if (arg == "--no-progress") {
+      args.progress = 0;
     } else if (!arg.empty() && arg.front() == '-') {
       std::fprintf(stderr, "propane: unknown campaign flag '%s'\n",
                    arg.c_str());
@@ -204,6 +238,39 @@ void print_warnings(const std::vector<std::string>& warnings) {
   }
 }
 
+std::filesystem::path telemetry_path(const CampaignArgs& args) {
+  return args.metrics_out.empty()
+             ? args.journal / "telemetry.ndjson"
+             : std::filesystem::path(args.metrics_out);
+}
+
+/// Appends the final value of every metric to the event log, one flat
+/// "metric" event each, so `campaign top` can show end-of-session values
+/// without re-deriving them from the raw event stream.
+void emit_metric_events(obs::EventSink& sink,
+                        const obs::MetricsSnapshot& snapshot) {
+  for (const auto& [name, value] : snapshot.counters) {
+    sink.emit(obs::make_event("metric", {{"kind", obs::Value("counter")},
+                                         {"name", obs::Value(name)},
+                                         {"value", obs::Value(value)}}));
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    sink.emit(obs::make_event("metric", {{"kind", obs::Value("gauge")},
+                                         {"name", obs::Value(name)},
+                                         {"value", obs::Value(value)}}));
+  }
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    sink.emit(obs::make_event(
+        "metric", {{"kind", obs::Value("histogram")},
+                   {"name", obs::Value(name)},
+                   {"count", obs::Value(histogram.count)},
+                   {"sum", obs::Value(histogram.sum)},
+                   {"p50", obs::Value(histogram.quantile(0.50))},
+                   {"p90", obs::Value(histogram.quantile(0.90))},
+                   {"p99", obs::Value(histogram.quantile(0.99))}}));
+  }
+}
+
 int cmd_campaign_run(const CampaignArgs& args) {
   const exp::ExperimentScale scale = pick_scale(args.scale_name);
   std::printf("%s\n", exp::describe(scale).c_str());
@@ -213,19 +280,61 @@ int cmd_campaign_run(const CampaignArgs& args) {
           ? arr::grid_test_cases(scale.mass_count, scale.velocity_count)
           : scale.custom_cases;
 
+  // Telemetry is on by default and appends to <journal>/telemetry.ndjson,
+  // so resumed sessions concatenate into one log and `campaign top` works
+  // without extra flags. Observation-only: results are bit-identical with
+  // --no-telemetry.
+  obs::MetricsRegistry metrics;
+  obs::SpanBuffer spans;
+  std::optional<obs::NdjsonSink> sink;
+  obs::Telemetry telemetry;
+  if (!args.no_telemetry) {
+    const std::filesystem::path events_path = telemetry_path(args);
+    if (!events_path.parent_path().empty()) {
+      std::filesystem::create_directories(events_path.parent_path());
+    }
+    sink.emplace(events_path, /*append=*/true);
+    telemetry.metrics = &metrics;
+    telemetry.events = &*sink;
+    telemetry.spans = &spans;
+  }
+  obs::ProgressReporter::Options hud_options;
+  hud_options.force = args.progress == 1;
+  std::optional<obs::ProgressReporter> hud;
+  if (args.progress != 0) hud.emplace(hud_options);
+
   store::JournalRunOptions options;
   options.shard_count = args.shards;
   options.process_count = args.processes;
   options.process_index = args.index;
+  options.telemetry = telemetry.enabled() ? &telemetry : nullptr;
+  options.progress = hud.has_value() ? &*hud : nullptr;
   const store::JournalRunSummary summary = store::run_journaled_campaign(
       arr::campaign_runner(cases, scale.duration), config, args.journal,
       options);
+  if (hud.has_value()) hud->finish();
   print_warnings(summary.warnings);
   std::printf(
       "journal %s: %zu run(s) executed, %zu already journaled, "
       "%zu owned by other process(es), %zu planned\n",
       args.journal.string().c_str(), summary.executed,
       summary.skipped_completed, summary.skipped_foreign, summary.total_runs);
+  const double hit_rate =
+      summary.executed > 0 ? 100.0 * static_cast<double>(summary.diverged) /
+                                 static_cast<double>(summary.executed)
+                           : 0.0;
+  std::printf(
+      "campaign summary: %.2fs wall, %zu executed, %zu skipped, "
+      "%zu diverged (%.1f%% of executed), journal +%llu bytes\n",
+      summary.wall_seconds, summary.executed,
+      summary.skipped_completed + summary.skipped_foreign, summary.diverged,
+      hit_rate, static_cast<unsigned long long>(summary.journal_bytes));
+  if (sink.has_value()) {
+    emit_metric_events(*sink, metrics.snapshot());
+    sink->flush();
+    std::printf("telemetry: %zu event(s) appended to %s\n",
+                sink->event_count(), telemetry_path(args).string().c_str());
+  }
   return 0;
 }
 
@@ -275,6 +384,202 @@ int cmd_campaign_stats(const CampaignArgs& args) {
   return 0;
 }
 
+// --- propane campaign top ------------------------------------------------
+
+const obs::Value* find_field(const std::vector<obs::Field>& fields,
+                             std::string_view key) {
+  for (const obs::Field& field : fields) {
+    if (field.key == key) return &field.value;
+  }
+  return nullptr;
+}
+
+std::string render_value(const obs::Value& value) {
+  char buffer[64];
+  switch (value.kind()) {
+    case obs::Value::Kind::kNull:
+      return "null";
+    case obs::Value::Kind::kBool:
+      return value.as_bool() ? "true" : "false";
+    case obs::Value::Kind::kInt:
+      std::snprintf(buffer, sizeof(buffer), "%lld",
+                    static_cast<long long>(value.as_int()));
+      return buffer;
+    case obs::Value::Kind::kUint:
+      std::snprintf(buffer, sizeof(buffer), "%llu",
+                    static_cast<unsigned long long>(value.as_uint()));
+      return buffer;
+    case obs::Value::Kind::kDouble:
+      std::snprintf(buffer, sizeof(buffer), "%g", value.as_double());
+      return buffer;
+    case obs::Value::Kind::kString:
+      return value.as_string();
+  }
+  return "?";
+}
+
+/// Summarises a campaign telemetry log. Doubles as an NDJSON validity
+/// check: any malformed line other than a torn final one (the residue of a
+/// live or killed writer) is a hard error.
+int cmd_campaign_top(const CampaignArgs& args) {
+  const std::filesystem::path path = telemetry_path(args);
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr,
+                 "propane: no telemetry log at '%s' (campaign run writes it; "
+                 "--metrics-out overrides the location)\n",
+                 path.string().c_str());
+    return 1;
+  }
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) {
+    if (!line.empty()) lines.push_back(std::move(line));
+  }
+
+  std::map<std::string, std::size_t> event_counts;
+  std::size_t injections = 0, injections_diverged = 0;
+  double injection_dur_sum_us = 0.0, injection_dur_max_us = 0.0;
+  std::map<std::string, std::uint64_t> shard_bytes;  // shard -> last total
+  std::vector<obs::Field> last_done;   // most recent campaign.done
+  std::map<std::string, std::string> final_metrics;  // last metric events
+  std::uint64_t t_first = 0, t_last = 0;
+  std::size_t torn_lines = 0;
+
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const auto fields = obs::parse_flat_json_object(lines[i]);
+    if (!fields.has_value()) {
+      if (i + 1 == lines.size()) {
+        // The writer died (or is still running) mid-line: expected residue,
+        // same stance the journal reader takes on a torn tail frame.
+        ++torn_lines;
+        break;
+      }
+      // A session killed mid-line leaves its residue where the next
+      // session's first event (always journal.resume_scan) follows; that
+      // is crash residue too, not corruption.
+      const auto next = obs::parse_flat_json_object(lines[i + 1]);
+      const obs::Value* next_event =
+          next.has_value() ? find_field(*next, "event") : nullptr;
+      if (next_event != nullptr &&
+          next_event->kind() == obs::Value::Kind::kString &&
+          next_event->as_string() == "journal.resume_scan") {
+        ++torn_lines;
+        continue;
+      }
+      std::fprintf(stderr,
+                   "propane: malformed telemetry line %zu in %s: %s\n", i + 1,
+                   path.string().c_str(), lines[i].c_str());
+      return 1;
+    }
+    const obs::Value* name = find_field(*fields, "event");
+    const obs::Value* t_us = find_field(*fields, "t_us");
+    if (name == nullptr || name->kind() != obs::Value::Kind::kString) {
+      std::fprintf(stderr, "propane: telemetry line %zu has no event name\n",
+                   i + 1);
+      return 1;
+    }
+    const std::string& event = name->as_string();
+    ++event_counts[event];
+    if (t_us != nullptr && t_us->is_number()) {
+      if (event_counts.size() == 1 && event_counts[event] == 1) {
+        t_first = t_us->as_uint();
+      }
+      t_last = t_us->as_uint();
+      t_first = std::min(t_first, t_us->as_uint());
+    }
+    if (event == "injection.done") {
+      ++injections;
+      if (const obs::Value* d = find_field(*fields, "diverged_signals");
+          d != nullptr && d->is_number() && d->as_uint() > 0) {
+        ++injections_diverged;
+      }
+      if (const obs::Value* dur = find_field(*fields, "dur_us");
+          dur != nullptr && dur->is_number()) {
+        injection_dur_sum_us += dur->as_double();
+        injection_dur_max_us = std::max(injection_dur_max_us,
+                                        dur->as_double());
+      }
+    } else if (event == "journal.append") {
+      const obs::Value* shard = find_field(*fields, "shard");
+      const obs::Value* total = find_field(*fields, "total_bytes");
+      if (shard != nullptr && shard->kind() == obs::Value::Kind::kString &&
+          total != nullptr && total->is_number()) {
+        shard_bytes[shard->as_string()] = total->as_uint();
+      }
+    } else if (event == "campaign.done") {
+      last_done = *fields;
+    } else if (event == "metric") {
+      const obs::Value* metric = find_field(*fields, "name");
+      if (metric != nullptr &&
+          metric->kind() == obs::Value::Kind::kString) {
+        const obs::Value* kind = find_field(*fields, "kind");
+        if (kind != nullptr && kind->kind() == obs::Value::Kind::kString &&
+            kind->as_string() == "histogram") {
+          std::string cell;
+          for (const char* key : {"count", "p50", "p90", "p99"}) {
+            const obs::Value* v = find_field(*fields, key);
+            if (v == nullptr) continue;
+            if (!cell.empty()) cell += ", ";
+            cell += std::string(key) + "=" + render_value(*v);
+          }
+          final_metrics[metric->as_string()] = cell;
+        } else if (const obs::Value* v = find_field(*fields, "value")) {
+          final_metrics[metric->as_string()] = render_value(*v);
+        }
+      }
+    }
+  }
+
+  std::size_t total_events = 0;
+  for (const auto& [_, count] : event_counts) total_events += count;
+  std::string torn_note;
+  if (torn_lines > 0) {
+    torn_note = " (" + std::to_string(torn_lines) + " torn line(s) skipped)";
+  }
+  std::printf("telemetry %s: %zu event(s) across %.2fs%s\n",
+              path.string().c_str(), total_events,
+              static_cast<double>(t_last - t_first) / 1e6, torn_note.c_str());
+
+  TextTable events_table({"Event", "Count"});
+  for (const auto& [event, count] : event_counts) {
+    events_table.add_row({event, std::to_string(count)});
+  }
+  std::puts(events_table.render().c_str());
+
+  if (injections > 0) {
+    std::printf(
+        "injections: %zu done, %zu diverged (%.1f%%), "
+        "mean %.1f ms, max %.1f ms\n",
+        injections, injections_diverged,
+        100.0 * static_cast<double>(injections_diverged) /
+            static_cast<double>(injections),
+        injection_dur_sum_us / static_cast<double>(injections) / 1e3,
+        injection_dur_max_us / 1e3);
+  }
+  if (!shard_bytes.empty()) {
+    std::uint64_t total = 0;
+    for (const auto& [_, bytes] : shard_bytes) total += bytes;
+    std::printf("journal: %llu bytes across %zu shard(s)\n",
+                static_cast<unsigned long long>(total), shard_bytes.size());
+  }
+  if (!last_done.empty()) {
+    std::string line = "last session:";
+    for (const obs::Field& field : last_done) {
+      if (field.key == "event" || field.key == "t_us") continue;
+      line += " " + field.key + "=" + render_value(field.value);
+    }
+    std::puts(line.c_str());
+  }
+  if (!final_metrics.empty()) {
+    TextTable metrics_table({"Metric", "Value"});
+    for (const auto& [metric, value] : final_metrics) {
+      metrics_table.add_row({metric, value});
+    }
+    std::puts(metrics_table.render().c_str());
+  }
+  return 0;
+}
+
 int cmd_campaign(int argc, char** argv) {
   if (argc < 3) return usage();
   CampaignArgs args;
@@ -282,6 +587,7 @@ int cmd_campaign(int argc, char** argv) {
   if (args.sub == "run" || args.sub == "resume") return cmd_campaign_run(args);
   if (args.sub == "merge") return cmd_campaign_merge(args);
   if (args.sub == "stats") return cmd_campaign_stats(args);
+  if (args.sub == "top") return cmd_campaign_top(args);
   return usage();
 }
 
@@ -327,7 +633,16 @@ int main(int argc, char** argv) {
     } else {
       return usage();
     }
+  } catch (const propane::TaskGroupError& err) {
+    // Worker threads raised more than one exception; the campaign's result
+    // is incomplete in a way a single error message cannot fully convey, so
+    // this exits with a code distinct from ordinary failures.
+    std::fprintf(stderr, "propane: %s\n", err.what());
+    return 3;
   } catch (const propane::ContractViolation& err) {
+    std::fprintf(stderr, "propane: %s\n", err.what());
+    return 1;
+  } catch (const std::exception& err) {
     std::fprintf(stderr, "propane: %s\n", err.what());
     return 1;
   }
