@@ -1,0 +1,272 @@
+// Campaign throughput bench: end-to-end runs/s (cold vs checkpointed
+// warm-start), trace-recording ns/sample with heap allocations counted,
+// and golden-comparison ns/sample. Writes BENCH_campaign.json including
+// the pre-optimisation baseline measured on the same workload, so the
+// speedup is tracked in-repo.
+//
+// PROPANE_SCALE=small runs a seconds-scale smoke workload (CI);
+// default/full reproduce the measured workload (speedup is only reported
+// for the default scale, which the baseline numbers were captured on).
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "arrestment/model.hpp"
+#include "arrestment/testcase.hpp"
+#include "arrestment/warm_start.hpp"
+#include "bench_util.hpp"
+#include "exp/paper_experiment.hpp"
+#include "fi/golden.hpp"
+
+// ---- global allocation counter ------------------------------------------
+// Counts every heap allocation in the process so the bench can prove the
+// per-sample hot path performs none.
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+// GCC warns about free() inside a replaced operator delete even though
+// the matching replaced operator new allocates with malloc; both halves
+// are replaced together here.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+namespace propane {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// The fixed workload the baseline below was measured on (default scale):
+/// 2x2 test cases, pulscnt + PACNT targets, all 16 bit-flips x the paper's
+/// injection instants, full 15 s runs.
+struct Workload {
+  std::string scale;
+  std::vector<arr::TestCase> cases;
+  fi::CampaignConfig config;
+  sim::SimTime duration = arr::kRunDuration;
+};
+
+Workload make_workload(const exp::ExperimentScale& scale) {
+  Workload w;
+  fi::SignalBus bus;
+  arr::build_bus(bus);
+
+  std::vector<fi::BusSignalId> targets = {*bus.find("pulscnt")};
+  std::vector<fi::ErrorModel> models;
+  std::vector<sim::SimTime> instants;
+  if (scale.name == "smoke") {
+    w.scale = "smoke";
+    w.cases = arr::grid_test_cases(1, 1);
+    models = {fi::bit_flip(0), fi::bit_flip(5), fi::bit_flip(10),
+              fi::bit_flip(15)};
+    instants = {1 * sim::kSecond, 3 * sim::kSecond};
+  } else {
+    w.scale = scale.name;  // "default" or "paper"
+    w.cases = scale.name == "paper" ? arr::grid_test_cases(5, 5)
+                                    : arr::grid_test_cases(2, 2);
+    targets.push_back(*bus.find("PACNT"));
+    models = fi::all_bit_flips();
+    instants = fi::paper_injection_instants();
+  }
+
+  w.config.test_case_count = static_cast<std::uint32_t>(w.cases.size());
+  w.config.seed = 0xBE7C;
+  for (const fi::BusSignalId target : targets) {
+    const auto plan = fi::cross_product_plan(target, models, instants);
+    w.config.injections.insert(w.config.injections.end(), plan.begin(),
+                               plan.end());
+  }
+  return w;
+}
+
+struct EndToEnd {
+  double wall_s = 0.0;
+  double runs_per_s = 0.0;
+  std::size_t runs = 0;
+};
+
+EndToEnd run_end_to_end(const Workload& w, bool warm,
+                        arr::WarmStartStats* stats_out = nullptr) {
+  fi::CampaignConfig config = w.config;
+  config.warm_start = warm;
+  const auto stats = std::make_shared<arr::WarmStartStats>();
+  const auto start = Clock::now();
+  const fi::CampaignResult result = fi::run_campaign(
+      arr::warm_campaign_runner(w.cases, config, w.duration, stats), config);
+  EndToEnd out;
+  out.wall_s = seconds_since(start);
+  out.runs = result.run_count();
+  out.runs_per_s = static_cast<double>(out.runs) / out.wall_s;
+  if (stats_out != nullptr) {
+    stats_out->warm_runs = stats->warm_runs.load();
+    stats_out->cold_runs = stats->cold_runs.load();
+    stats_out->saved_ms = stats->saved_ms.load();
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace propane
+
+int main() {
+  using namespace propane;
+  bench::banner("campaign throughput (flat traces, memcmp compare, "
+                "checkpointed warm start)");
+
+  const exp::ExperimentScale scale = exp::scale_from_env();
+  const Workload w = make_workload(scale);
+  const std::size_t samples = sim::to_milliseconds(w.duration);
+  std::printf("workload: scale '%s', %zu test cases, %zu injections, "
+              "%zu samples/run\n\n",
+              w.scale.c_str(), w.cases.size(), w.config.injections.size(),
+              samples);
+
+  // --- trace recording: ns/sample and allocations/sample ------------------
+  arr::ArrestmentSystem system(w.cases[0]);
+  double record_ns = 0.0;
+  double record_allocs = 0.0;
+  {
+    fi::TraceRecorder recorder(system.bus(), samples);
+    const std::uint64_t alloc0 =
+        g_allocations.load(std::memory_order_relaxed);
+    const auto start = Clock::now();
+    for (std::size_t s = 0; s < samples; ++s) recorder.sample();
+    const double wall = seconds_since(start);
+    const std::uint64_t alloc1 =
+        g_allocations.load(std::memory_order_relaxed);
+    record_ns = wall * 1e9 / static_cast<double>(samples);
+    record_allocs = static_cast<double>(alloc1 - alloc0) /
+                    static_cast<double>(samples);
+    std::printf("record:  %.1f ns/sample, %.3f heap allocations/sample "
+                "(%zu samples)\n",
+                record_ns, record_allocs, samples);
+  }
+
+  // --- golden comparison: identical and diverged traces -------------------
+  arr::RunOptions golden_options;
+  golden_options.duration = w.duration;
+  const fi::TraceSet golden = arr::run_arrestment(w.cases[0], golden_options).trace;
+  fi::TraceSet identical = golden;
+  fi::TraceSet diverged = golden;
+  {
+    // Corrupt one signal from mid-run onward, like a propagated error.
+    fi::TraceSet rebuilt(identical.names());
+    rebuilt.reserve(golden.sample_count());
+    for (std::size_t ms = 0; ms < golden.sample_count(); ++ms) {
+      auto row = std::vector<std::uint16_t>(golden.row(ms).begin(),
+                                            golden.row(ms).end());
+      if (ms >= golden.sample_count() / 2) row[0] ^= 0x0400;
+      rebuilt.append(row);
+    }
+    diverged = std::move(rebuilt);
+  }
+  constexpr int kCompareReps = 50;
+  double compare_identical_ns = 0.0;
+  double compare_diverged_ns = 0.0;
+  {
+    volatile std::size_t sink = 0;  // keep the compare results observable
+    auto time_compare = [&](const fi::TraceSet& injected) {
+      const auto start = Clock::now();
+      for (int rep = 0; rep < kCompareReps; ++rep) {
+        sink = sink + fi::compare_to_golden(golden, injected)
+                          .divergence_count();
+      }
+      const double wall = seconds_since(start);
+      return wall * 1e9 /
+             static_cast<double>(samples * static_cast<std::size_t>(kCompareReps));
+    };
+    compare_identical_ns = time_compare(identical);
+    compare_diverged_ns = time_compare(diverged);
+    std::printf("compare: %.1f ns/sample identical, %.1f ns/sample "
+                "diverged (x%d reps)\n\n",
+                compare_identical_ns, compare_diverged_ns, kCompareReps);
+  }
+
+  // --- end-to-end campaign: cold vs warm ----------------------------------
+  const EndToEnd cold = run_end_to_end(w, /*warm=*/false);
+  std::printf("cold campaign: %zu runs in %.2f s  =>  %.0f runs/s\n",
+              cold.runs, cold.wall_s, cold.runs_per_s);
+  arr::WarmStartStats warm_stats;
+  const EndToEnd warm = run_end_to_end(w, /*warm=*/true, &warm_stats);
+  std::printf("warm campaign: %zu runs in %.2f s  =>  %.0f runs/s "
+              "(%zu warm, %zu cold-fallback, %llu sim-ms skipped)\n",
+              warm.runs, warm.wall_s, warm.runs_per_s,
+              warm_stats.warm_runs.load(), warm_stats.cold_runs.load(),
+              static_cast<unsigned long long>(warm_stats.saved_ms.load()));
+
+  // Pre-optimisation baseline: seed commit d9e9c5d, this file's default
+  // workload (1284 runs, 15000 samples/run), same container. Measured with
+  // the then-current per-row TraceSet, per-signal compare and cold-only
+  // runner.
+  constexpr double kBaselineRunsPerS = 273.0;
+  constexpr double kBaselineRecordNs = 66.0;
+  constexpr double kBaselineRecordAllocs = 1.0;
+  constexpr double kBaselineCompareIdenticalNs = 70.0;
+  const bool comparable = w.scale == "default";
+  const double speedup =
+      comparable ? warm.runs_per_s / kBaselineRunsPerS : 0.0;
+  if (comparable) {
+    std::printf("\nspeedup vs baseline (%.0f runs/s at d9e9c5d): %.2fx\n",
+                kBaselineRunsPerS, speedup);
+  } else {
+    std::printf("\n(baseline comparison only valid at the default scale)\n");
+  }
+
+  // --- machine-readable summary -------------------------------------------
+  {
+    std::ofstream json("BENCH_campaign.json");
+    json << "{\"scale\":\"" << w.scale << "\""
+         << ",\"runs\":" << warm.runs
+         << ",\"samples_per_run\":" << samples
+         << ",\"record_ns_per_sample\":" << record_ns
+         << ",\"record_allocs_per_sample\":" << record_allocs
+         << ",\"compare_identical_ns_per_sample\":" << compare_identical_ns
+         << ",\"compare_diverged_ns_per_sample\":" << compare_diverged_ns
+         << ",\"cold\":{\"wall_s\":" << cold.wall_s
+         << ",\"runs_per_s\":" << cold.runs_per_s << "}"
+         << ",\"warm\":{\"wall_s\":" << warm.wall_s
+         << ",\"runs_per_s\":" << warm.runs_per_s
+         << ",\"warm_runs\":" << warm_stats.warm_runs.load()
+         << ",\"cold_fallback_runs\":" << warm_stats.cold_runs.load()
+         << ",\"skipped_sim_ms\":" << warm_stats.saved_ms.load() << "}"
+         << ",\"baseline\":{\"commit\":\"d9e9c5d\",\"scale\":\"default\""
+         << ",\"runs_per_s\":" << kBaselineRunsPerS
+         << ",\"record_ns_per_sample\":" << kBaselineRecordNs
+         << ",\"record_allocs_per_sample\":" << kBaselineRecordAllocs
+         << ",\"compare_identical_ns_per_sample\":"
+         << kBaselineCompareIdenticalNs << "}"
+         << ",\"speedup_vs_baseline\":";
+    if (comparable) {
+      json << speedup;
+    } else {
+      json << "null";
+    }
+    json << "}\n";
+    std::printf("wrote BENCH_campaign.json\n");
+  }
+  return 0;
+}

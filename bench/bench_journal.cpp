@@ -41,7 +41,6 @@ fi::InjectionRecord synthetic_record(const store::Manifest& manifest,
       static_cast<std::uint32_t>(flat % manifest.test_case_count);
   record.target = static_cast<fi::BusSignalId>(flat % 13);
   record.when = (1 + flat % 10) * sim::kSecond;
-  record.model_name = "bitflip(" + std::to_string(flat % 16) + ")";
   record.report.per_signal.resize(30);
   // A realistic sparse report: a handful of diverged signals per run.
   for (std::size_t s = flat % 5; s < 30; s += 7) {

@@ -78,6 +78,15 @@ class ArrestmentSystem {
  public:
   explicit ArrestmentSystem(const TestCase& test_case);
 
+  /// Snapshot copy: duplicates the complete simulation state (bus,
+  /// environment, module-internal state, clock) so a run can be resumed
+  /// from the copy. Requires that no injection driver is active in the
+  /// source (checkpoints are taken during golden runs); the copy
+  /// re-initialises its own injectors from the options of its first tick,
+  /// exactly as a fresh system would at t=0.
+  ArrestmentSystem(const ArrestmentSystem& other);
+  ArrestmentSystem& operator=(const ArrestmentSystem&) = delete;
+
   /// Executes one millisecond tick.
   void tick(const RunOptions& options);
 

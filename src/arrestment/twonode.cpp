@@ -137,7 +137,8 @@ RunOutcome run_two_node_arrestment(const TestCase& test_case,
                                    const RunOptions& options) {
   PROPANE_REQUIRE(options.duration >= sim::kMillisecond);
   TwoNodeSystem system(test_case);
-  fi::TraceRecorder recorder(system.bus());
+  fi::TraceRecorder recorder(system.bus(),
+                             sim::to_milliseconds(options.duration));
 
   RunOutcome outcome;
   while (system.now() < options.duration) {

@@ -1,0 +1,58 @@
+// Checkpointed warm-start campaign execution (FastFlip-style prefix reuse).
+//
+// Every injection run of a campaign re-executes, deterministically and
+// unchanged, the golden run's prefix up to the tick in which the injection
+// fires. The warm-start runner captures, during each test case's golden
+// run, a snapshot of the complete system state plus the recorded trace
+// prefix at the earliest possible fire tick of every planned injection
+// time, and starts injection runs from that snapshot instead of t=0.
+//
+// Per-run RNG streams are a pure function of (campaign seed, run identity)
+// and are only consumed from the fire tick onward, and an idle injection
+// driver has no side effect on the simulation, so a warm run is
+// bit-identical to a cold one -- enforced by tests/fi/warm_start_test.cpp
+// and the integration byte-identical-CSV test. CampaignConfig::warm_start
+// falls back to cold from-t=0 execution.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "arrestment/system.hpp"
+
+namespace propane::arr {
+
+/// Observability counters for the warm-start runner (shared with the
+/// caller; updated from worker threads).
+struct WarmStartStats {
+  std::atomic<std::size_t> warm_runs{0};
+  std::atomic<std::size_t> cold_runs{0};
+  /// Simulated milliseconds *not* re-executed thanks to checkpoints.
+  std::atomic<std::uint64_t> saved_ms{0};
+};
+
+/// The first tick (in ms) in which an injection scheduled at `when` fires:
+/// injection drivers fire at the start of the first tick whose timestamp
+/// has reached `when`.
+inline std::uint64_t injection_fire_ms(sim::SimTime when) {
+  return (when + sim::kMillisecond - 1) / sim::kMillisecond;
+}
+
+/// Drop-in replacement for campaign_runner: golden runs additionally
+/// capture checkpoints at every distinct fire tick of `config.injections`,
+/// and injection runs resume from the matching checkpoint. Falls back to
+/// the plain cold runner when `config.warm_start` is false, and to a cold
+/// run per request when no checkpoint matches (e.g. the golden run of that
+/// test case has not executed yet -- fi::run_campaign always runs goldens
+/// first, so this only happens for out-of-band calls).
+///
+/// Checkpoints are kept for the lifetime of the returned function; memory
+/// is O(test_cases x distinct fire times x prefix length).
+fi::RunFunction warm_campaign_runner(
+    std::vector<TestCase> test_cases, const fi::CampaignConfig& config,
+    sim::SimTime duration = kRunDuration,
+    std::shared_ptr<WarmStartStats> stats = nullptr);
+
+}  // namespace propane::arr

@@ -1,5 +1,6 @@
 #include "exp/paper_experiment.hpp"
 
+#include "arrestment/warm_start.hpp"
 #include "common/env.hpp"
 #include "common/strings.hpp"
 
@@ -69,8 +70,8 @@ PaperExperiment run_paper_experiment(const ExperimentScale& scale) {
           : scale.custom_cases;
   fi::CampaignConfig config = make_campaign_config(scale);
 
-  fi::CampaignResult campaign =
-      fi::run_campaign(arr::campaign_runner(cases, scale.duration), config);
+  fi::CampaignResult campaign = fi::run_campaign(
+      arr::warm_campaign_runner(cases, config, scale.duration), config);
   fi::EstimationResult estimation =
       fi::estimate_permeability(model, binding, campaign);
   core::AnalysisReport report = core::analyze(model, estimation.permeability);

@@ -10,10 +10,24 @@ namespace propane::fi {
 
 std::optional<BusSignalId> CampaignResult::find_signal(
     std::string_view name) const {
+  if (signal_index_.size() == signal_names.size()) {
+    const auto it = signal_index_.find(name);
+    if (it == signal_index_.end()) return std::nullopt;
+    return it->second;
+  }
+  // Stale or absent index (hand-built result): linear fallback.
   for (std::size_t i = 0; i < signal_names.size(); ++i) {
     if (signal_names[i] == name) return static_cast<BusSignalId>(i);
   }
   return std::nullopt;
+}
+
+void CampaignResult::rebuild_signal_index() {
+  signal_index_.clear();
+  signal_index_.reserve(signal_names.size());
+  for (std::size_t i = 0; i < signal_names.size(); ++i) {
+    signal_index_.emplace(signal_names[i], static_cast<BusSignalId>(i));
+  }
 }
 
 CampaignResult run_campaign(const RunFunction& run,
@@ -29,6 +43,12 @@ CampaignResult run_campaign(const RunFunction& run,
 
   CampaignResult result;
   result.goldens.resize(config.test_case_count);
+  // One model-name string per planned injection; records refer to it by
+  // index instead of each carrying a copy.
+  result.injection_model_names.reserve(config.injections.size());
+  for (const InjectionSpec& spec : config.injections) {
+    result.injection_model_names.push_back(spec.model.name);
+  }
   if (hooks.collect_records) {
     result.records.resize(static_cast<std::size_t>(config.test_case_count) *
                           config.injections.size());
@@ -103,6 +123,7 @@ CampaignResult run_campaign(const RunFunction& run,
   for (BusSignalId s = 0; s < result.goldens.front().signal_count(); ++s) {
     result.signal_names.push_back(result.goldens.front().signal_name(s));
   }
+  result.rebuild_signal_index();
 
   // Phase 2: injection runs, injection-major. The per-run seed depends only
   // on (config.seed, flat index), never on which runs the hooks filter out,
@@ -119,7 +140,6 @@ CampaignResult run_campaign(const RunFunction& run,
     record.test_case = static_cast<std::uint32_t>(tc);
     record.target = config.injections[inj].target;
     record.when = config.injections[inj].when;
-    record.model_name = config.injections[inj].model.name;
 
     const bool execute =
         !hooks.should_run ||
@@ -153,7 +173,7 @@ CampaignResult run_campaign(const RunFunction& run,
                        {"injection", obs::Value(inj)},
                        {"test_case", obs::Value(tc)},
                        {"target", obs::Value(record.target)},
-                       {"model", obs::Value(record.model_name)},
+                       {"model", obs::Value(config.injections[inj].model.name)},
                        {"diverged_signals", obs::Value(divergences)},
                        {"dur_us", obs::Value(dur_us)}});
       obs::emit_event(telemetry, "campaign.run.end",

@@ -45,23 +45,32 @@ struct CampaignConfig {
   std::uint64_t seed = 0x9E3779B9;
   /// Worker threads (0 = hardware concurrency).
   std::size_t threads = 0;
+  /// Allow warm-starting injection runs from golden-run checkpoints taken
+  /// at each injection's fire time (honoured by checkpoint-capable runners
+  /// such as arr::warm_campaign_runner). Results are bit-identical either
+  /// way; disable to force every run to re-simulate from t=0.
+  bool warm_start = true;
 };
 
 /// Outcome of one injection run, reduced to first divergences. The
-/// injection identity (target, time, model name) is embedded so results
-/// can be analysed without the originating config.
+/// injection identity (index into the plan, target, time) is embedded so
+/// results can be analysed without the originating config; the error-model
+/// name is resolved through CampaignResult::injection_model_names (one
+/// string per *injection*, not one per record).
 struct InjectionRecord {
   std::uint32_t injection_index = 0;  // into CampaignConfig::injections
   std::uint32_t test_case = 0;
   BusSignalId target = 0;
   sim::SimTime when = 0;
-  std::string model_name;
   DivergenceReport report;
 };
 
 struct CampaignResult {
   /// Signal names in bus order (defines DivergenceReport indexing).
   std::vector<std::string> signal_names;
+  /// Error-model name of each planned injection, indexed by
+  /// InjectionRecord::injection_index.
+  std::vector<std::string> injection_model_names;
   /// Golden runs, indexed by test case.
   std::vector<TraceSet> goldens;
   /// One record per (injection, test case), injection-major order.
@@ -69,6 +78,22 @@ struct CampaignResult {
 
   std::size_t run_count() const { return goldens.size() + records.size(); }
   std::optional<BusSignalId> find_signal(std::string_view name) const;
+  /// Model name for a record (empty when the index is out of range, e.g.
+  /// hand-built results).
+  std::string_view model_name_of(const InjectionRecord& record) const {
+    return record.injection_index < injection_model_names.size()
+               ? std::string_view(injection_model_names[record.injection_index])
+               : std::string_view();
+  }
+  /// Rebuilds the name -> id lookup behind find_signal; run_campaign does
+  /// this automatically, callers filling signal_names by hand may too.
+  void rebuild_signal_index();
+
+ private:
+  /// Hash index over signal_names. find_signal falls back to a linear scan
+  /// while it is stale (size mismatch), so hand-built results stay correct
+  /// without calling rebuild_signal_index().
+  SignalNameIndex signal_index_;
 };
 
 /// Observation and filtering hooks for run_campaign, the seam the durable

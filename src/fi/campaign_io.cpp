@@ -17,7 +17,7 @@ void write_campaign_summary_csv(std::ostream& out,
                       std::to_string(record.test_case),
                       campaign.signal_names[record.target],
                       std::to_string(sim::to_milliseconds(record.when)),
-                      record.model_name,
+                      std::string(campaign.model_name_of(record)),
                       std::to_string(record.report.divergence_count())});
   }
 }
@@ -36,7 +36,8 @@ void write_divergence_csv(std::ostream& out,
                         std::to_string(record.test_case),
                         campaign.signal_names[record.target],
                         std::to_string(sim::to_milliseconds(record.when)),
-                        record.model_name, campaign.signal_names[s],
+                        std::string(campaign.model_name_of(record)),
+                        campaign.signal_names[s],
                         std::to_string(divergence.first_ms),
                         std::to_string(divergence.golden_value),
                         std::to_string(divergence.observed_value)});

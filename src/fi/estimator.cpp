@@ -31,14 +31,19 @@ void SignalBinding::bind(const SignalRef& signal, BusSignalId bus) {
 
 SignalBinding SignalBinding::by_name(
     const SystemModel& model, const std::vector<std::string>& bus_names) {
+  // One hash index over the bus names instead of a linear scan per model
+  // signal (the scan made binding quadratic as buses grow).
+  SignalNameIndex index;
+  index.reserve(bus_names.size());
+  for (std::size_t i = 0; i < bus_names.size(); ++i) {
+    index.emplace(bus_names[i], static_cast<BusSignalId>(i));
+  }
   SignalBinding binding;
   for (const SignalRef& signal : model.all_signals()) {
     const std::string name = model.signal_name(signal);
-    const auto it = std::find(bus_names.begin(), bus_names.end(), name);
-    PROPANE_REQUIRE_MSG(it != bus_names.end(),
-                        "no bus signal named: " + name);
-    binding.bind(signal, static_cast<BusSignalId>(
-                             std::distance(bus_names.begin(), it)));
+    const auto it = index.find(name);
+    PROPANE_REQUIRE_MSG(it != index.end(), "no bus signal named: " + name);
+    binding.bind(signal, it->second);
   }
   return binding;
 }
@@ -257,11 +262,12 @@ std::vector<LocationPropagation> location_propagation_stats(
 
   std::map<std::pair<BusSignalId, std::string>, LocationPropagation> stats;
   for (const InjectionRecord& record : campaign.records) {
-    const auto key = std::make_pair(record.target, record.model_name);
+    const std::string model_name(campaign.model_name_of(record));
+    const auto key = std::make_pair(record.target, model_name);
     auto [it, inserted] = stats.emplace(key, LocationPropagation{});
     if (inserted) {
       it->second.signal_name = campaign.signal_names[record.target];
-      it->second.model_name = record.model_name;
+      it->second.model_name = model_name;
     }
     ++it->second.injections;
     const bool reached = std::any_of(

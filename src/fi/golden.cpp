@@ -1,6 +1,7 @@
 #include "fi/golden.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/contracts.hpp"
 
@@ -17,6 +18,29 @@ std::size_t DivergenceReport::divergence_count() const {
                     [](const Divergence& d) { return d.diverged; }));
 }
 
+namespace {
+
+/// Index of the first differing value between two equal-length buffers, or
+/// `count` when they are identical. Scans in large memcmp chunks so the
+/// common long-identical prefix costs a cache-friendly byte compare
+/// instead of one bounds-checked load pair per value.
+std::size_t first_difference(const std::uint16_t* a, const std::uint16_t* b,
+                             std::size_t count) {
+  constexpr std::size_t kChunk = 8192;  // values (16 KiB per side)
+  for (std::size_t pos = 0; pos < count; pos += kChunk) {
+    const std::size_t n = std::min(kChunk, count - pos);
+    if (std::memcmp(a + pos, b + pos, n * sizeof(std::uint16_t)) == 0) {
+      continue;
+    }
+    for (std::size_t i = pos; i < pos + n; ++i) {
+      if (a[i] != b[i]) return i;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
 DivergenceReport compare_to_golden(const TraceSet& golden,
                                    const TraceSet& injected) {
   PROPANE_REQUIRE_MSG(golden.signal_count() == injected.signal_count(),
@@ -29,22 +53,48 @@ DivergenceReport compare_to_golden(const TraceSet& golden,
 
   DivergenceReport report;
   report.per_signal.resize(signals);
-  for (BusSignalId s = 0; s < signals; ++s) {
-    Divergence& d = report.per_signal[s];
-    for (std::size_t ms = 0; ms < common; ++ms) {
-      const std::uint16_t g = golden.value(ms, s);
-      const std::uint16_t o = injected.value(ms, s);
-      if (g != o) {
+  if (signals == 0) return report;
+
+  // Phase 1: locate the first differing sample row with contiguous chunked
+  // scans over the flat row-major buffers. Everything before it is
+  // identical by construction, so the per-signal resolution below never
+  // has to look at it.
+  const std::uint16_t* g = golden.data();
+  const std::uint16_t* o = injected.data();
+  const std::size_t first_row =
+      first_difference(g, o, common * signals) / signals;
+
+  // Phase 2: resolve each signal's first divergence from that row onward.
+  // Comparison stops at the first difference per signal (Section 7.3);
+  // `unresolved` holds the signals still waiting for theirs, so the scan
+  // ends as soon as every signal diverged (or the common prefix ends).
+  std::vector<BusSignalId> unresolved;
+  unresolved.reserve(signals);
+  for (BusSignalId s = 0; s < signals; ++s) unresolved.push_back(s);
+  for (std::size_t ms = first_row; ms < common && !unresolved.empty(); ++ms) {
+    const std::uint16_t* grow = g + ms * signals;
+    const std::uint16_t* orow = o + ms * signals;
+    for (std::size_t i = 0; i < unresolved.size();) {
+      const BusSignalId s = unresolved[i];
+      if (grow[s] != orow[s]) {
+        Divergence& d = report.per_signal[s];
         d.diverged = true;
         d.first_ms = ms;
-        d.golden_value = g;
-        d.observed_value = o;
-        break;  // comparison stops at the first difference (Section 7.3)
+        d.golden_value = grow[s];
+        d.observed_value = orow[s];
+        unresolved[i] = unresolved.back();
+        unresolved.pop_back();
+      } else {
+        ++i;
       }
     }
-    if (!d.diverged && length_differs) {
-      // A run that ends earlier/later than the golden run differs in
-      // every signal from the first uncovered sample onwards.
+  }
+
+  if (length_differs) {
+    // A run that ends earlier/later than the golden run differs in every
+    // signal from the first uncovered sample onwards.
+    for (const BusSignalId s : unresolved) {
+      Divergence& d = report.per_signal[s];
       d.diverged = true;
       d.first_ms = common;
       d.golden_value = 0;

@@ -39,6 +39,13 @@ struct DivergenceReport {
 /// the error changed the stop time) the common prefix is compared and any
 /// extra/missing samples count as a divergence at the first uncovered
 /// millisecond.
+///
+/// The identical prefix (everything before the injection fires, and the
+/// whole trace when the error was overwritten without effect) is skipped
+/// with contiguous memcmp chunk scans over the flat trace storage;
+/// per-signal first divergences are resolved only from the first differing
+/// row onward. Semantics are exactly the per-signal stop-at-first-
+/// difference comparison of Section 7.3.
 DivergenceReport compare_to_golden(const TraceSet& golden,
                                    const TraceSet& injected);
 

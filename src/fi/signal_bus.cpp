@@ -1,17 +1,17 @@
 #include "fi/signal_bus.hpp"
 
-#include "common/contracts.hpp"
-
 namespace propane::fi {
 
 BusSignalId SignalBus::add_signal(std::string name, std::uint16_t initial) {
   PROPANE_REQUIRE_MSG(!name.empty(), "signal name must be non-empty");
-  PROPANE_REQUIRE_MSG(!find(name).has_value(),
+  PROPANE_REQUIRE_MSG(!index_.contains(name),
                       "duplicate signal name: " + name);
+  const auto id = static_cast<BusSignalId>(values_.size());
   values_.push_back(initial);
   initial_.push_back(initial);
   names_.push_back(std::move(name));
-  return static_cast<BusSignalId>(values_.size() - 1);
+  index_.emplace(names_.back(), id);
+  return id;
 }
 
 const std::string& SignalBus::name(BusSignalId id) const {
@@ -20,24 +20,9 @@ const std::string& SignalBus::name(BusSignalId id) const {
 }
 
 std::optional<BusSignalId> SignalBus::find(std::string_view name) const {
-  for (std::size_t i = 0; i < names_.size(); ++i) {
-    if (names_[i] == name) return static_cast<BusSignalId>(i);
-  }
-  return std::nullopt;
-}
-
-void SignalBus::write(BusSignalId id, std::uint16_t value) {
-  PROPANE_REQUIRE(id < values_.size());
-  values_[id] = value;
-}
-
-std::uint16_t SignalBus::read(BusSignalId id) const {
-  PROPANE_REQUIRE(id < values_.size());
-  return values_[id];
-}
-
-void SignalBus::poke(BusSignalId id, std::uint16_t value) {
-  write(id, value);
+  const auto it = index_.find(name);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
 }
 
 void SignalBus::reset() { values_ = initial_; }

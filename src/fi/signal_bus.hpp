@@ -12,39 +12,88 @@
 // instrumented with high-level software traps", Section 7.3): injections
 // poke the stored value, and the trace recorder samples every signal once
 // per millisecond.
+//
+// read/write/poke/snapshot_into are the per-tick hot path of every
+// simulated run, so they are defined inline here; a campaign performs
+// billions of them.
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
+
+#include "common/contracts.hpp"
 
 namespace propane::fi {
 
 /// Index of a signal on the bus.
 using BusSignalId = std::uint32_t;
 
+/// Heterogeneous string hash so name lookups accept string_view without
+/// materialising a std::string per query.
+struct TransparentStringHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+/// name -> id index type shared by the bus and campaign results.
+using SignalNameIndex = std::unordered_map<std::string, BusSignalId,
+                                           TransparentStringHash,
+                                           std::equal_to<>>;
+
 class SignalBus {
  public:
-  /// Registers a signal; names must be unique and non-empty.
+  /// Registers a signal; names must be unique and non-empty. O(1) via the
+  /// name index (registration used to be quadratic in the signal count).
   BusSignalId add_signal(std::string name, std::uint16_t initial = 0);
 
   std::size_t signal_count() const { return values_.size(); }
   const std::string& name(BusSignalId id) const;
+  /// All signal names in id order.
+  const std::vector<std::string>& names() const { return names_; }
   std::optional<BusSignalId> find(std::string_view name) const;
 
   /// Producer-side write.
-  void write(BusSignalId id, std::uint16_t value);
+  void write(BusSignalId id, std::uint16_t value) {
+    PROPANE_REQUIRE(id < values_.size());
+    values_[id] = value;
+  }
   /// Consumer-side read.
-  std::uint16_t read(BusSignalId id) const;
+  std::uint16_t read(BusSignalId id) const {
+    PROPANE_REQUIRE(id < values_.size());
+    return values_[id];
+  }
 
   /// Fault-injection poke: overwrites the stored variable, bypassing any
   /// producer. Functionally identical to write(), kept separate so call
   /// sites document intent and tooling can hook it.
-  void poke(BusSignalId id, std::uint16_t value);
+  void poke(BusSignalId id, std::uint16_t value) { write(id, value); }
 
-  /// Snapshot of all signal values in id order (one trace sample).
+  /// Copies every signal value (id order) into `out`, which must span
+  /// exactly signal_count() values. This is the trace recorder's per-sample
+  /// path: one memcpy, zero allocations.
+  void snapshot_into(std::span<std::uint16_t> out) const {
+    PROPANE_REQUIRE_MSG(out.size() == values_.size(),
+                        "snapshot span must match signal count");
+    if (!values_.empty()) {
+      std::memcpy(out.data(), values_.data(),
+                  values_.size() * sizeof(std::uint16_t));
+    }
+  }
+
+  /// Direct view of every signal value in id order; valid until the next
+  /// add_signal. The trace recorder appends this span per sample.
+  std::span<const std::uint16_t> values() const { return values_; }
+
+  /// Allocating snapshot of all signal values in id order (one trace
+  /// sample). Convenience for tests; hot paths use values()/snapshot_into().
   std::vector<std::uint16_t> snapshot() const { return values_; }
 
   /// Resets every signal to the initial value it was registered with.
@@ -54,6 +103,7 @@ class SignalBus {
   std::vector<std::uint16_t> values_;
   std::vector<std::uint16_t> initial_;
   std::vector<std::string> names_;
+  SignalNameIndex index_;
 };
 
 }  // namespace propane::fi

@@ -41,7 +41,9 @@ namespace propane::store {
 
 inline constexpr char kJournalMagic[8] = {'P', 'R', 'O', 'P',
                                           'J', 'R', 'N', 'L'};
-inline constexpr std::uint32_t kJournalVersion = 1;
+/// v2: injection records no longer embed the error-model name (resolved
+/// via injection_index against the plan); v1 shards are rejected.
+inline constexpr std::uint32_t kJournalVersion = 2;
 /// Upper bound on one frame's payload; anything larger is corruption (a
 /// record is a few hundred bytes even on very wide buses).
 inline constexpr std::uint32_t kMaxRecordBytes = 1u << 26;

@@ -167,7 +167,6 @@ std::vector<std::uint8_t> encode_injection_record(
   writer.u32(record.test_case);
   writer.u32(record.target);
   writer.u64(record.when);
-  writer.str(record.model_name);
   writer.u32(static_cast<std::uint32_t>(record.report.per_signal.size()));
   std::uint32_t diverged = 0;
   for (const fi::Divergence& d : record.report.per_signal) {
@@ -193,7 +192,6 @@ fi::InjectionRecord decode_injection_record(const std::uint8_t* data,
   record.test_case = reader.u32();
   record.target = reader.u32();
   record.when = reader.u64();
-  record.model_name = reader.str();
   const std::uint32_t signal_count = reader.u32();
   const std::uint32_t diverged = reader.u32();
   PROPANE_CHECK_MSG(diverged <= signal_count,

@@ -9,9 +9,12 @@
 //   Manifest:       u64 plan_hash | u64 seed | u32 test_case_count |
 //                   u32 injection_count
 //   InjectionResult:u32 injection_index | u32 test_case | u32 target |
-//                   u64 when_us | str model_name | u32 signal_count |
+//                   u64 when_us | u32 signal_count |
 //                   u32 diverged_count | diverged_count x
 //                   (u32 signal | u64 first_ms | u16 golden | u16 observed)
+// The error-model name is NOT stored per record: injection_index resolves
+// it through the campaign plan (the manifest's plan hash covers the model
+// names, so a journal can never silently pair with the wrong plan).
 // Strings are u32 length + raw bytes. Divergence reports are stored
 // sparsely: only diverged signals get an entry, which keeps a typical
 // record well under 100 bytes even on wide buses.

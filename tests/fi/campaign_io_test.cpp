@@ -12,12 +12,12 @@ namespace {
 CampaignResult small_result() {
   CampaignResult result;
   result.signal_names = {"src", "dst"};
+  result.injection_model_names = {"bitflip(3)", "offset(-1)"};
   InjectionRecord a;
   a.injection_index = 0;
   a.test_case = 1;
   a.target = 0;
   a.when = 2 * sim::kSecond;
-  a.model_name = "bitflip(3)";
   a.report.per_signal.resize(2);
   a.report.per_signal[0] = Divergence{true, 2000, 10, 18};
   a.report.per_signal[1] = Divergence{true, 2004, 5, 7};
@@ -28,7 +28,6 @@ CampaignResult small_result() {
   b.test_case = 0;
   b.target = 1;
   b.when = 500 * sim::kMillisecond;
-  b.model_name = "offset(-1)";
   b.report.per_signal.resize(2);  // no divergence
   result.records.push_back(b);
   return result;
@@ -61,12 +60,12 @@ TEST(CampaignIo, EscapesUserSuppliedFieldsAndRoundTrips) {
   // separator or quotes must survive an emit -> parse round trip intact.
   CampaignResult result;
   result.signal_names = {"bus,raw \"A\"", "dst"};
+  result.injection_model_names = {"replace(0x10, \"sticky\"),v2"};
   InjectionRecord record;
   record.injection_index = 0;
   record.test_case = 0;
   record.target = 0;
   record.when = 1 * sim::kSecond;
-  record.model_name = "replace(0x10, \"sticky\"),v2";
   record.report.per_signal.resize(2);
   record.report.per_signal[1] = Divergence{true, 1002, 3, 4};
   result.records.push_back(record);

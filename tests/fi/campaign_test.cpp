@@ -59,12 +59,13 @@ TEST(Campaign, RunsGoldensAndAllInjections) {
 
 TEST(Campaign, RecordsCarryInjectionIdentity) {
   const CampaignResult result = run_campaign(toy_run, toy_config());
+  ASSERT_EQ(result.injection_model_names.size(), 3u);
   for (const InjectionRecord& record : result.records) {
     EXPECT_EQ(record.target, 0u);
     EXPECT_LT(record.injection_index, 3u);
     EXPECT_LT(record.test_case, 3u);
-    EXPECT_TRUE(record.model_name == "bitflip(0)" ||
-                record.model_name == "bitflip(8)");
+    const std::string_view model = result.model_name_of(record);
+    EXPECT_TRUE(model == "bitflip(0)" || model == "bitflip(8)");
   }
   // Injection-major layout: record[inj * cases + tc].
   EXPECT_EQ(result.records[0].injection_index, 0u);
@@ -76,7 +77,7 @@ TEST(Campaign, RecordsCarryInjectionIdentity) {
 TEST(Campaign, MaskedBitNeverReachesDst) {
   const CampaignResult result = run_campaign(toy_run, toy_config());
   for (const InjectionRecord& record : result.records) {
-    if (record.model_name != "bitflip(0)") continue;
+    if (result.model_name_of(record) != "bitflip(0)") continue;
     EXPECT_TRUE(record.report.per_signal[0].diverged);   // src corrupted
     EXPECT_EQ(record.report.per_signal[0].first_ms, 2u);
     EXPECT_FALSE(record.report.per_signal[1].diverged);  // dst masked

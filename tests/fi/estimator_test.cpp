@@ -52,7 +52,9 @@ CampaignResult fake_campaign(
   for (const auto& [target, times] : records) {
     InjectionRecord record;
     record.target = target;
-    record.model_name = "fake";
+    record.injection_index =
+        static_cast<std::uint32_t>(result.records.size());
+    result.injection_model_names.emplace_back("fake");
     record.report.per_signal.resize(times.size());
     for (std::size_t s = 0; s < times.size(); ++s) {
       if (times[s] != SIZE_MAX) {
@@ -228,9 +230,7 @@ TEST(Estimator, LocationPropagationCountsSystemOutputReach) {
   CampaignResult campaign = fake_campaign(
       {"src", "dst"},
       {{0, {2, 5}}, {0, {2, SIZE_MAX}}, {1, {SIZE_MAX, 3}}});
-  campaign.records[0].model_name = "m1";
-  campaign.records[1].model_name = "m1";
-  campaign.records[2].model_name = "m2";
+  campaign.injection_model_names = {"m1", "m1", "m2"};
   const auto stats = location_propagation_stats(model, binding, campaign);
   ASSERT_EQ(stats.size(), 2u);
   // (src, m1): 2 injections, 1 reached dst (the system output).

@@ -63,6 +63,72 @@ TEST(GoldenComparison, ValueDifferenceBeforeLengthMismatch) {
   EXPECT_EQ(report.per_signal[0].first_ms, 2u);  // length diff
 }
 
+TEST(GoldenComparison, DivergenceOnFinalSampleOnly) {
+  // The chunked scan must not treat the last row specially.
+  const TraceSet golden = make_trace({{1, 2}, {3, 4}, {5, 6}});
+  const TraceSet injected = make_trace({{1, 2}, {3, 4}, {5, 7}});
+  const DivergenceReport report = compare_to_golden(golden, injected);
+  EXPECT_FALSE(report.per_signal[0].diverged);
+  ASSERT_TRUE(report.per_signal[1].diverged);
+  EXPECT_EQ(report.per_signal[1].first_ms, 2u);
+  EXPECT_EQ(report.per_signal[1].golden_value, 6u);
+  EXPECT_EQ(report.per_signal[1].observed_value, 7u);
+}
+
+TEST(GoldenComparison, LongerInjectedTraceCountsAsDivergence) {
+  // Injected traces can also outlive the golden (e.g. a later stop): the
+  // extra samples mark every still-converged signal at the common length.
+  const TraceSet golden = make_trace({{1, 2}, {3, 4}});
+  const TraceSet longer = make_trace({{1, 2}, {3, 4}, {5, 6}});
+  const DivergenceReport report = compare_to_golden(golden, longer);
+  EXPECT_TRUE(report.per_signal[0].diverged);
+  EXPECT_EQ(report.per_signal[0].first_ms, 2u);
+  EXPECT_EQ(report.per_signal[0].golden_value, 0u);
+  EXPECT_EQ(report.per_signal[0].observed_value, 0u);
+  EXPECT_TRUE(report.per_signal[1].diverged);
+}
+
+TEST(GoldenComparison, EmptyTracesShowNoDivergence) {
+  const TraceSet golden = make_trace({});
+  const TraceSet injected = make_trace({});
+  const DivergenceReport report = compare_to_golden(golden, injected);
+  ASSERT_EQ(report.per_signal.size(), 2u);
+  EXPECT_FALSE(report.any_divergence());
+}
+
+TEST(GoldenComparison, EmptyGoldenVersusNonEmptyInjected) {
+  const TraceSet golden = make_trace({});
+  const TraceSet injected = make_trace({{1, 2}});
+  const DivergenceReport report = compare_to_golden(golden, injected);
+  EXPECT_TRUE(report.per_signal[0].diverged);
+  EXPECT_EQ(report.per_signal[0].first_ms, 0u);
+  EXPECT_TRUE(report.per_signal[1].diverged);
+}
+
+TEST(GoldenComparison, FirstDifferenceAcrossChunkBoundaries) {
+  // The contiguous scan compares in fixed-size chunks; place the first
+  // (and only) difference deep into the flat buffer so it straddles the
+  // internal chunking, and check the resolved (ms, signal) is exact.
+  constexpr std::size_t kSamples = 10'000;  // 20'000 values > one chunk
+  TraceSet golden({"a", "b"});
+  TraceSet injected({"a", "b"});
+  golden.reserve(kSamples);
+  injected.reserve(kSamples);
+  for (std::size_t ms = 0; ms < kSamples; ++ms) {
+    const auto v = static_cast<std::uint16_t>(ms & 0xFFFF);
+    golden.append({v, static_cast<std::uint16_t>(v ^ 0x5555)});
+    const bool corrupt = ms >= 9'000;
+    injected.append({v, static_cast<std::uint16_t>((v ^ 0x5555) ^
+                                                   (corrupt ? 0x8000 : 0))});
+  }
+  const DivergenceReport report = compare_to_golden(golden, injected);
+  EXPECT_FALSE(report.per_signal[0].diverged);
+  ASSERT_TRUE(report.per_signal[1].diverged);
+  EXPECT_EQ(report.per_signal[1].first_ms, 9'000u);
+  EXPECT_EQ(report.per_signal[1].golden_value, golden.value(9'000, 1));
+  EXPECT_EQ(report.per_signal[1].observed_value, injected.value(9'000, 1));
+}
+
 TEST(GoldenComparison, SignalCountMismatchViolatesContract) {
   const TraceSet golden = make_trace({{1, 2}});
   TraceSet other(std::vector<std::string>{"a"});

@@ -49,6 +49,32 @@ TEST(SignalBus, SnapshotMatchesIdOrder) {
   EXPECT_EQ(snap, (std::vector<std::uint16_t>{1, 2, 3}));
 }
 
+TEST(SignalBus, FindScalesWithoutNameCopies) {
+  // find() is index-backed: string_view lookups work on a large bus and
+  // resolve to the right id for every signal, first and last included.
+  SignalBus bus;
+  std::vector<BusSignalId> ids;
+  for (int i = 0; i < 200; ++i) {
+    ids.push_back(bus.add_signal("sig" + std::to_string(i)));
+  }
+  for (int i = 0; i < 200; ++i) {
+    const std::string name = "sig" + std::to_string(i);
+    EXPECT_EQ(bus.find(std::string_view(name)), ids[static_cast<size_t>(i)]);
+  }
+  EXPECT_FALSE(bus.find("sig200").has_value());
+}
+
+TEST(SignalBus, SnapshotIntoFillsCallerBuffer) {
+  SignalBus bus;
+  bus.add_signal("a", 1);
+  bus.add_signal("b", 2);
+  std::vector<std::uint16_t> out(2, 0xFFFF);
+  bus.snapshot_into(out);
+  EXPECT_EQ(out, (std::vector<std::uint16_t>{1, 2}));
+  std::vector<std::uint16_t> wrong(3);
+  EXPECT_THROW(bus.snapshot_into(wrong), ContractViolation);
+}
+
 TEST(SignalBus, ResetRestoresInitialValues) {
   SignalBus bus;
   const BusSignalId a = bus.add_signal("a", 11);

@@ -42,6 +42,71 @@ TEST(TraceSet, OutOfRangeAccessViolatesContracts) {
   EXPECT_THROW(trace.signal_name(1), ContractViolation);
 }
 
+TEST(TraceSet, FlatStorageMatchesPerRowSemantics) {
+  // Property check for the flat row-major layout: after any sequence of
+  // appends, row(ms), value(ms, id), data() and series(id) must all agree
+  // with a per-row reference model.
+  constexpr std::size_t kSignals = 7;
+  constexpr std::size_t kSamples = 253;  // not a multiple of the width
+  std::vector<std::string> names;
+  for (std::size_t s = 0; s < kSignals; ++s) {
+    names.push_back("sig" + std::to_string(s));
+  }
+  TraceSet trace(names);
+  std::vector<std::vector<std::uint16_t>> reference;
+  std::uint32_t state = 12345;
+  for (std::size_t ms = 0; ms < kSamples; ++ms) {
+    std::vector<std::uint16_t> row(kSignals);
+    for (auto& v : row) {
+      state = state * 1664525u + 1013904223u;  // LCG, deterministic
+      v = static_cast<std::uint16_t>(state >> 16);
+    }
+    trace.append(row);
+    reference.push_back(std::move(row));
+  }
+
+  ASSERT_EQ(trace.sample_count(), kSamples);
+  ASSERT_EQ(trace.signal_count(), kSignals);
+  const std::uint16_t* flat = trace.data();
+  for (std::size_t ms = 0; ms < kSamples; ++ms) {
+    const std::span<const std::uint16_t> row = trace.row(ms);
+    ASSERT_EQ(row.size(), kSignals);
+    for (std::size_t s = 0; s < kSignals; ++s) {
+      EXPECT_EQ(row[s], reference[ms][s]);
+      EXPECT_EQ(trace.value(ms, s), reference[ms][s]);
+      EXPECT_EQ(flat[ms * kSignals + s], reference[ms][s]);
+    }
+  }
+  for (std::size_t s = 0; s < kSignals; ++s) {
+    const std::vector<std::uint16_t> column = trace.series(s);
+    ASSERT_EQ(column.size(), kSamples);
+    for (std::size_t ms = 0; ms < kSamples; ++ms) {
+      EXPECT_EQ(column[ms], reference[ms][s]);
+    }
+  }
+}
+
+TEST(TraceSet, ReservePreventsReallocation) {
+  TraceSet trace({"a", "b"});
+  trace.reserve(100);
+  trace.append({0, 0});
+  const std::uint16_t* before = trace.data();
+  for (std::uint16_t i = 1; i < 100; ++i) trace.append({i, i});
+  EXPECT_EQ(trace.data(), before);  // storage never moved
+  EXPECT_EQ(trace.sample_count(), 100u);
+}
+
+TEST(TraceSet, InternedNameTablesAreShared) {
+  const SignalNameTable a = intern_signal_names({"x", "y"});
+  const SignalNameTable b = intern_signal_names({"x", "y"});
+  const SignalNameTable c = intern_signal_names({"x", "z"});
+  EXPECT_EQ(a.get(), b.get());  // identical lists share one table
+  EXPECT_NE(a.get(), c.get());
+  TraceSet t1(a);
+  TraceSet t2(b);
+  EXPECT_EQ(t1.names().get(), t2.names().get());
+}
+
 TEST(TraceRecorder, SamplesBusStateOverTime) {
   SignalBus bus;
   const BusSignalId a = bus.add_signal("a");
@@ -58,6 +123,32 @@ TEST(TraceRecorder, SamplesBusStateOverTime) {
   EXPECT_EQ(trace.series(a), (std::vector<std::uint16_t>{0, 5, 5}));
   EXPECT_EQ(trace.series(b), (std::vector<std::uint16_t>{100, 100, 7}));
   EXPECT_EQ(trace.signal_name(a), "a");
+}
+
+TEST(TraceRecorder, PrefixSeededRecorderContinuesTrace) {
+  SignalBus bus;
+  const BusSignalId a = bus.add_signal("a");
+
+  TraceSet prefix(std::vector<std::string>{"a"});
+  prefix.append({10});
+  prefix.append({11});
+
+  bus.write(a, 12);
+  TraceRecorder recorder(bus, prefix, /*reserve_samples=*/4);
+  EXPECT_EQ(recorder.trace().sample_count(), 2u);
+  recorder.sample();
+  bus.write(a, 13);
+  recorder.sample();
+  EXPECT_EQ(recorder.take().series(a),
+            (std::vector<std::uint16_t>{10, 11, 12, 13}));
+}
+
+TEST(TraceRecorder, PrefixWidthMismatchViolatesContract) {
+  SignalBus bus;
+  bus.add_signal("a");
+  bus.add_signal("b");
+  TraceSet narrow(std::vector<std::string>{"a"});
+  EXPECT_THROW(TraceRecorder(bus, narrow, 0), ContractViolation);
 }
 
 TEST(TraceRecorder, TakeMovesTraceOut) {

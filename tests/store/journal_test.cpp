@@ -37,7 +37,6 @@ fi::InjectionRecord make_record(std::uint32_t injection,
   record.injection_index = injection;
   record.test_case = test_case;
   record.target = 1;
-  record.model_name = "bitflip(3)";
   record.report.per_signal.resize(4);
   record.report.per_signal[2] = {true, 10 + injection, 1, 2};
   return record;

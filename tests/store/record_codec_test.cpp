@@ -76,7 +76,6 @@ fi::InjectionRecord sample_record() {
   record.test_case = 3;
   record.target = 12;
   record.when = 2500 * sim::kMillisecond;
-  record.model_name = "bitflip(15), \"sticky\"";
   record.report.per_signal.resize(30);
   record.report.per_signal[4] = {true, 2501, 0x00FF, 0x80FF};
   record.report.per_signal[29] = {true, 3000, 7, 8};
@@ -92,7 +91,6 @@ TEST(InjectionRecordCodec, RoundTripsSparseDivergences) {
   EXPECT_EQ(back.test_case, record.test_case);
   EXPECT_EQ(back.target, record.target);
   EXPECT_EQ(back.when, record.when);
-  EXPECT_EQ(back.model_name, record.model_name);
   ASSERT_EQ(back.report.per_signal.size(), record.report.per_signal.size());
   for (std::size_t s = 0; s < back.report.per_signal.size(); ++s) {
     EXPECT_EQ(back.report.per_signal[s].diverged,
@@ -108,7 +106,6 @@ TEST(InjectionRecordCodec, RoundTripsSparseDivergences) {
 
 TEST(InjectionRecordCodec, SparseEncodingStaysSmallOnWideBuses) {
   fi::InjectionRecord record;
-  record.model_name = "bitflip(0)";
   record.report.per_signal.resize(10'000);  // wide bus, nothing diverged
   EXPECT_LT(encode_injection_record(record).size(), 100u);
 }

@@ -46,6 +46,7 @@
 #include "arrestment/model.hpp"
 #include "arrestment/system.hpp"
 #include "arrestment/testcase.hpp"
+#include "arrestment/warm_start.hpp"
 #include "common/contracts.hpp"
 #include "common/thread_pool.hpp"
 #include "core/propane.hpp"
@@ -310,8 +311,8 @@ int cmd_campaign_run(const CampaignArgs& args) {
   options.telemetry = telemetry.enabled() ? &telemetry : nullptr;
   options.progress = hud.has_value() ? &*hud : nullptr;
   const store::JournalRunSummary summary = store::run_journaled_campaign(
-      arr::campaign_runner(cases, scale.duration), config, args.journal,
-      options);
+      arr::warm_campaign_runner(cases, config, scale.duration), config,
+      args.journal, options);
   if (hud.has_value()) hud->finish();
   print_warnings(summary.warnings);
   std::printf(
