@@ -11,6 +11,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <new>
 #include <string>
@@ -22,6 +23,7 @@
 #include "bench_util.hpp"
 #include "exp/paper_experiment.hpp"
 #include "fi/golden.hpp"
+#include "store/result_cache.hpp"
 
 // ---- global allocation counter ------------------------------------------
 // Counts every heap allocation in the process so the bench can prove the
@@ -68,6 +70,9 @@ struct Workload {
   std::vector<arr::TestCase> cases;
   fi::CampaignConfig config;
   sim::SimTime duration = arr::kRunDuration;
+  // Kept for the delta scenario, which crosses them with all 13 targets.
+  std::vector<fi::ErrorModel> models;
+  std::vector<sim::SimTime> instants;
 };
 
 Workload make_workload(const exp::ExperimentScale& scale) {
@@ -100,7 +105,75 @@ Workload make_workload(const exp::ExperimentScale& scale) {
     w.config.injections.insert(w.config.injections.end(), plan.begin(),
                                plan.end());
   }
+  w.models = std::move(models);
+  w.instants = std::move(instants);
   return w;
+}
+
+/// Delta-campaign measurement: a cold run of the full 13-target plan into
+/// a baseline journal, then an incremental re-run with one module (V_REG)
+/// invalidated. Reports the wall-clock ratio -- the payoff of
+/// content-addressed reuse when one of six modules changes.
+struct DeltaBench {
+  std::size_t total_runs = 0;
+  double cold_wall_s = 0.0;
+  std::size_t delta_executed = 0;
+  std::size_t delta_replayed = 0;
+  double delta_wall_s = 0.0;
+  double speedup = 0.0;
+};
+
+DeltaBench run_delta_bench(const Workload& w) {
+  namespace fs = std::filesystem;
+  const core::SystemModel model = arr::make_arrestment_model();
+  const fi::SignalBinding binding = arr::make_arrestment_binding(model);
+
+  fi::CampaignConfig config;
+  config.test_case_count = static_cast<std::uint32_t>(w.cases.size());
+  config.seed = 0xDE17A;
+  config.warm_start = true;
+  for (const fi::BusSignalId target : arr::injection_target_bus_ids()) {
+    const auto plan = fi::cross_product_plan(target, w.models, w.instants);
+    config.injections.insert(config.injections.end(), plan.begin(),
+                             plan.end());
+  }
+
+  const fs::path base_dir = "bench_delta_baseline";
+  const fs::path delta_dir = "bench_delta_incremental";
+  fs::remove_all(base_dir);
+  fs::remove_all(delta_dir);
+
+  DeltaBench out;
+  store::DeltaRunOptions options;
+  options.module_versions = arr::module_version_tokens();
+  {
+    const auto start = Clock::now();
+    const store::DeltaJournalSummary cold = store::run_delta_journaled_campaign(
+        arr::warm_campaign_runner(w.cases, config, w.duration), config, model,
+        binding, base_dir, store::ResultCache{}, options);
+    out.cold_wall_s = seconds_since(start);
+    out.total_runs = cold.total_runs;
+  }
+  {
+    const store::ResultCache baseline = store::ResultCache::load(base_dir);
+    // Simulate an edit to V_REG: a perturbed version token invalidates
+    // exactly the cached runs whose outcome V_REG could have changed.
+    options.module_versions =
+        arr::module_version_tokens({{"V_REG", 0x5EED5EED5EED5EEDULL}});
+    const auto start = Clock::now();
+    const store::DeltaJournalSummary delta =
+        store::run_delta_journaled_campaign(
+            arr::warm_campaign_runner(w.cases, config, w.duration), config,
+            model, binding, delta_dir, baseline, options);
+    out.delta_wall_s = seconds_since(start);
+    out.delta_executed = delta.executed;
+    out.delta_replayed = delta.replayed;
+  }
+  out.speedup = out.delta_wall_s > 0.0 ? out.cold_wall_s / out.delta_wall_s
+                                       : 0.0;
+  fs::remove_all(base_dir);
+  fs::remove_all(delta_dir);
+  return out;
 }
 
 struct EndToEnd {
@@ -218,6 +291,14 @@ int main() {
               warm_stats.warm_runs.load(), warm_stats.cold_runs.load(),
               static_cast<unsigned long long>(warm_stats.saved_ms.load()));
 
+  // --- delta campaign: cold baseline vs incremental re-run ----------------
+  const DeltaBench delta = run_delta_bench(w);
+  std::printf("delta campaign (13 targets, V_REG invalidated): cold %zu runs "
+              "in %.2f s; delta %zu executed + %zu replayed in %.2f s  =>  "
+              "%.1fx\n",
+              delta.total_runs, delta.cold_wall_s, delta.delta_executed,
+              delta.delta_replayed, delta.delta_wall_s, delta.speedup);
+
   // Pre-optimisation baseline: seed commit d9e9c5d, this file's default
   // workload (1284 runs, 15000 samples/run), same container. Measured with
   // the then-current per-row TraceSet, per-signal compare and cold-only
@@ -253,6 +334,13 @@ int main() {
          << ",\"warm_runs\":" << warm_stats.warm_runs.load()
          << ",\"cold_fallback_runs\":" << warm_stats.cold_runs.load()
          << ",\"skipped_sim_ms\":" << warm_stats.saved_ms.load() << "}"
+         << ",\"delta\":{\"total_runs\":" << delta.total_runs
+         << ",\"cold_wall_s\":" << delta.cold_wall_s
+         << ",\"executed\":" << delta.delta_executed
+         << ",\"replayed\":" << delta.delta_replayed
+         << ",\"delta_wall_s\":" << delta.delta_wall_s
+         << ",\"invalidated\":\"V_REG\""
+         << ",\"speedup_vs_cold\":" << delta.speedup << "}"
          << ",\"baseline\":{\"commit\":\"d9e9c5d\",\"scale\":\"default\""
          << ",\"runs_per_s\":" << kBaselineRunsPerS
          << ",\"record_ns_per_sample\":" << kBaselineRecordNs

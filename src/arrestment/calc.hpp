@@ -22,6 +22,11 @@
 
 namespace propane::arr {
 
+/// Code-version token for delta-campaign fingerprints (arr::module_version_tokens,
+/// fi/delta_campaign.hpp). Bump on ANY behavioural change to this module, or
+/// cached baseline records will be replayed as if still valid.
+inline constexpr std::uint64_t kCalcVersion = 1;
+
 class CalcModule {
  public:
   explicit CalcModule(const BusMap& map);

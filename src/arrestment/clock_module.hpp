@@ -8,10 +8,17 @@
 // a corrupted mscnt skews every later timing computation in CALC.
 #pragma once
 
+#include <cstdint>
+
 #include "arrestment/signals.hpp"
 #include "fi/signal_bus.hpp"
 
 namespace propane::arr {
+
+/// Code-version token for delta-campaign fingerprints (arr::module_version_tokens,
+/// fi/delta_campaign.hpp). Bump on ANY behavioural change to this module, or
+/// cached baseline records will be replayed as if still valid.
+inline constexpr std::uint64_t kClockVersion = 1;
 
 class ClockModule {
  public:

@@ -1,6 +1,12 @@
 #include "arrestment/model.hpp"
 
+#include "arrestment/calc.hpp"
+#include "arrestment/clock_module.hpp"
+#include "arrestment/dist_s.hpp"
+#include "arrestment/pres_a.hpp"
+#include "arrestment/pres_s.hpp"
 #include "arrestment/signals.hpp"
+#include "arrestment/v_reg.hpp"
 #include "common/contracts.hpp"
 
 namespace propane::arr {
@@ -74,6 +80,28 @@ std::vector<fi::BusSignalId> injection_target_bus_ids() {
     if (consumed) targets.push_back(binding.bus_for(signal));
   }
   return targets;
+}
+
+fi::ModuleVersionMap module_version_tokens(
+    const fi::ModuleVersionMap& overrides) {
+  fi::ModuleVersionMap versions = {
+      {"CLOCK", kClockVersion},   {"DIST_S", kDistSVersion},
+      {"PRES_S", kPresSVersion},  {"CALC", kCalcVersion},
+      {"V_REG", kVRegVersion},    {"PRES_A", kPresAVersion},
+  };
+  for (const fi::ModuleVersion& override_entry : overrides) {
+    bool found = false;
+    for (fi::ModuleVersion& entry : versions) {
+      if (entry.module == override_entry.module) {
+        entry.token = override_entry.token;
+        found = true;
+        break;
+      }
+    }
+    PROPANE_REQUIRE_MSG(found, "unknown arrestment module: " +
+                                   override_entry.module);
+  }
+  return versions;
 }
 
 }  // namespace propane::arr

@@ -13,6 +13,7 @@
 #pragma once
 
 #include "core/system_model.hpp"
+#include "fi/delta_campaign.hpp"
 #include "fi/estimator.hpp"
 
 namespace propane::arr {
@@ -27,5 +28,15 @@ fi::SignalBinding make_arrestment_binding(const core::SystemModel& model);
 /// input of some module (13 signals -- everything except TOC2). Returned
 /// as bus ids in canonical order.
 std::vector<fi::BusSignalId> injection_target_bus_ids();
+
+/// The current code-version token of every arrestment module (the
+/// kVersion constants the module headers register), keyed by the model's
+/// module names. Feed these into delta-campaign fingerprints so editing a
+/// module invalidates exactly the cached runs whose outcome it could have
+/// changed. `overrides` (optional, name -> token) substitutes tokens --
+/// tests and the CLI's --invalidate flag use it to simulate a changed
+/// module without recompiling.
+fi::ModuleVersionMap module_version_tokens(
+    const fi::ModuleVersionMap& overrides = {});
 
 }  // namespace propane::arr

@@ -3,10 +3,17 @@
 // value is provided in InValue. Period = 7 ms."
 #pragma once
 
+#include <cstdint>
+
 #include "arrestment/signals.hpp"
 #include "fi/signal_bus.hpp"
 
 namespace propane::arr {
+
+/// Code-version token for delta-campaign fingerprints (arr::module_version_tokens,
+/// fi/delta_campaign.hpp). Bump on ANY behavioural change to this module, or
+/// cached baseline records will be replayed as if still valid.
+inline constexpr std::uint64_t kPresSVersion = 1;
 
 class PresSModule {
  public:

@@ -11,6 +11,11 @@
 
 namespace propane::arr {
 
+/// Code-version token for delta-campaign fingerprints (arr::module_version_tokens,
+/// fi/delta_campaign.hpp). Bump on ANY behavioural change to this module, or
+/// cached baseline records will be replayed as if still valid.
+inline constexpr std::uint64_t kVRegVersion = 1;
+
 class VRegModule {
  public:
   /// Explicit signal binding; lets the same regulator code serve the

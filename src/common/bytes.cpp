@@ -1,0 +1,116 @@
+#include "common/bytes.hpp"
+
+#include <array>
+
+#include "common/contracts.hpp"
+
+namespace propane {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kCrcTable = make_crc32_table();
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size) {
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = kCrcTable[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::uint64_t fnv1a64(const void* data, std::size_t size, std::uint64_t seed) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  std::uint64_t hash = seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+void ByteWriter::u8(std::uint8_t v) { bytes_.push_back(v); }
+
+void ByteWriter::u16(std::uint16_t v) {
+  bytes_.push_back(static_cast<std::uint8_t>(v));
+  bytes_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    bytes_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    bytes_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void ByteWriter::str(std::string_view v) {
+  u32(static_cast<std::uint32_t>(v.size()));
+  bytes_.insert(bytes_.end(), v.begin(), v.end());
+}
+
+void ByteReader::need(std::size_t n) const {
+  PROPANE_CHECK_MSG(size_ - pos_ >= n, "journal record payload truncated");
+}
+
+std::uint8_t ByteReader::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint16_t ByteReader::u16() {
+  need(2);
+  const std::uint16_t v = static_cast<std::uint16_t>(
+      data_[pos_] | (static_cast<std::uint16_t>(data_[pos_ + 1]) << 8));
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t ByteReader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(data_[pos_ + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+std::string ByteReader::str() {
+  const std::uint32_t length = u32();
+  need(length);
+  std::string out(reinterpret_cast<const char*>(data_ + pos_), length);
+  pos_ += length;
+  return out;
+}
+
+}  // namespace propane

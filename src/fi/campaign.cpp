@@ -30,6 +30,27 @@ void CampaignResult::rebuild_signal_index() {
   }
 }
 
+namespace {
+
+std::uint64_t derive_seed(const CampaignConfig& config, std::uint64_t kind,
+                          std::uint64_t index) {
+  std::uint64_t s = config.seed ^ (kind * 0xD1B54A32D192ED03ULL) ^
+                    (index * 0x9E3779B97F4A7C15ULL);
+  return splitmix64(s);
+}
+
+}  // namespace
+
+std::uint64_t golden_run_seed(const CampaignConfig& config,
+                              std::uint32_t test_case) {
+  return derive_seed(config, 0, test_case);
+}
+
+std::uint64_t injection_run_seed(const CampaignConfig& config,
+                                 std::size_t flat) {
+  return derive_seed(config, 1, flat);
+}
+
 CampaignResult run_campaign(const RunFunction& run,
                             const CampaignConfig& config) {
   return run_campaign(run, config, CampaignHooks{});
@@ -77,14 +98,6 @@ CampaignResult run_campaign(const RunFunction& run,
 
   ThreadPool pool(config.threads, telemetry);
 
-  // Per-run seeds are a pure function of (master seed, run identity), so
-  // scheduling order cannot affect the results.
-  const auto seed_for = [&config](std::uint64_t kind, std::uint64_t index) {
-    std::uint64_t s = config.seed ^ (kind * 0xD1B54A32D192ED03ULL) ^
-                      (index * 0x9E3779B97F4A7C15ULL);
-    return splitmix64(s);
-  };
-
   // Phase 1: golden runs.
   {
     obs::Span golden_phase(telemetry, "campaign.golden_phase");
@@ -95,7 +108,7 @@ CampaignResult run_campaign(const RunFunction& run,
       const std::uint64_t start_us = timed ? obs::steady_now_us() : 0;
       RunRequest request;
       request.test_case = static_cast<std::uint32_t>(tc);
-      request.rng_seed = seed_for(0, tc);
+      request.rng_seed = golden_run_seed(config, static_cast<std::uint32_t>(tc));
       result.goldens[tc] = run(request);
       const std::uint64_t dur_us =
           timed ? obs::steady_now_us() - start_us : 0;
@@ -154,7 +167,7 @@ CampaignResult run_campaign(const RunFunction& run,
       RunRequest request;
       request.test_case = static_cast<std::uint32_t>(tc);
       request.injection = config.injections[inj];
-      request.rng_seed = seed_for(1, flat);
+      request.rng_seed = injection_run_seed(config, flat);
       const TraceSet trace = run(request);
       record.report = compare_to_golden(result.goldens[tc], trace);
       const std::uint64_t dur_us =

@@ -62,6 +62,13 @@ struct InjectionRecord {
   std::uint32_t test_case = 0;
   BusSignalId target = 0;
   sim::SimTime when = 0;
+  /// Content address of the run (fi/delta_campaign.hpp); 0 = not
+  /// fingerprinted (plain run_campaign, or a record read from a pre-v3
+  /// journal). Pure metadata: estimation never consults it.
+  std::uint64_t fingerprint = 0;
+  /// True when this record was replayed from a baseline cache instead of
+  /// executed by the session that produced it. Pure metadata as well.
+  bool replayed = false;
   DivergenceReport report;
 };
 
@@ -139,5 +146,14 @@ inline std::size_t campaign_flat_index(const CampaignConfig& config,
   return static_cast<std::size_t>(injection_index) * config.test_case_count +
          test_case;
 }
+
+/// Per-run RNG seed derivation -- a pure function of (config.seed, run
+/// identity), shared by run_campaign and the delta-campaign fingerprints
+/// (fi/delta_campaign.hpp). Changing the master seed therefore changes
+/// every run's seed, and with it every run fingerprint.
+std::uint64_t golden_run_seed(const CampaignConfig& config,
+                              std::uint32_t test_case);
+std::uint64_t injection_run_seed(const CampaignConfig& config,
+                                 std::size_t flat);
 
 }  // namespace propane::fi

@@ -1,0 +1,126 @@
+// Incremental ("delta") campaigns: content-addressed result reuse.
+//
+// Re-running a full SWIFI campaign after a change to one module wastes the
+// vast majority of the injection budget: a run whose outcome cannot have
+// changed is re-executed only to reproduce a record the previous campaign
+// already holds. The delta engine instead gives every injection run a
+// stable *fingerprint* -- a content address over everything the run's
+// outcome depends on -- and replays the cached record whenever a baseline
+// campaign holds a record with the same fingerprint, executing only the
+// invalidated remainder.
+//
+// A run fingerprint covers, canonically encoded (store/record_codec.hpp
+// ByteWriter, hashed with fnv1a64):
+//   * the campaign master seed and the run's derived RNG seed
+//     (fi::injection_run_seed -- a pure function of seed and flat index);
+//   * the workload test case;
+//   * the injection: target signal, fire time, phase, error-model name;
+//   * the code-version tokens of the target signal's *consumer* modules
+//     (the modules whose inputs the corrupted signal drives), sorted by
+//     module name.
+// Consumer versions -- rather than a whole-system version -- are what make
+// the reuse compositional (FastFlip-style): a record for target signal S
+// contributes permeability counts only to pairs of S's consumer modules
+// (fi/estimator.hpp attribution), so a change elsewhere cannot alter what
+// the record contributes, and core::splice_module_permeability /
+// fi::splice_estimation recombine cached and fresh per-module results
+// exactly.
+//
+// The engine itself is storage-agnostic: it asks an abstract
+// DeltaCacheLookup for a cached record per fingerprint. The durable cache
+// over journal directories lives in store/result_cache.hpp (src/store
+// layers above src/fi, not below it).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/system_model.hpp"
+#include "fi/campaign.hpp"
+#include "fi/estimator.hpp"
+
+namespace propane::fi {
+
+/// One module's code-version token. The token is an opaque 64-bit value
+/// chosen by whoever owns the module's implementation (the arrestment
+/// modules expose theirs as kVersion constants, arr::module_version_tokens);
+/// any change to a module's behaviour must change its token, or stale
+/// cached records will be replayed as if still valid.
+struct ModuleVersion {
+  std::string module;
+  std::uint64_t token = 0;
+};
+using ModuleVersionMap = std::vector<ModuleVersion>;
+
+/// Modules whose inputs each bus signal drives, per bus id ([bus] -> sorted
+/// unique ModuleIds). Signals the binding does not cover (pure bus-level
+/// signals outside the analysis model) get empty consumer lists.
+std::vector<std::vector<core::ModuleId>> consumers_by_bus(
+    const core::SystemModel& model, const SignalBinding& binding,
+    std::size_t bus_count);
+
+/// Fingerprint of every injection run of `config`, indexed by
+/// campaign_flat_index. Deterministic in (config, model, binding,
+/// versions); independent of thread count and of any other run. Modules
+/// absent from `versions` hash as token 0. Never returns 0 for a run
+/// (0 is reserved to mean "no fingerprint", InjectionRecord::fingerprint).
+std::vector<std::uint64_t> run_fingerprints(const CampaignConfig& config,
+                                            const core::SystemModel& model,
+                                            const SignalBinding& binding,
+                                            const ModuleVersionMap& versions);
+
+/// Resolves a fingerprint to a cached record, or nullptr for a miss. Called
+/// from worker threads; must be thread-safe (a read-only map is). The
+/// returned pointer must stay valid for the duration of run_delta_campaign.
+using DeltaCacheLookup =
+    std::function<const InjectionRecord*(std::uint64_t fingerprint)>;
+
+struct DeltaOptions {
+  /// Cache resolver; null means every run misses (degenerates to
+  /// run_campaign + fingerprint stamping).
+  DeltaCacheLookup lookup;
+  /// Version tokens fed into the fingerprints.
+  ModuleVersionMap module_versions;
+  /// Inner campaign hooks. `hooks.should_run` filters *before* the cache is
+  /// consulted (a run the caller owns elsewhere is neither replayed nor
+  /// executed); `hooks.on_record` fires only for executed runs, with the
+  /// fingerprint already stamped.
+  CampaignHooks hooks;
+  /// Called once per cache hit with the replayed record (fingerprint
+  /// stamped, replayed = true), from a worker thread; must be thread-safe.
+  /// This is the replay-side twin of hooks.on_record -- a journal sink that
+  /// appends both ends up with a complete, self-contained output journal.
+  std::function<void(const InjectionRecord& record)> on_replay;
+};
+
+struct DeltaStats {
+  std::size_t total = 0;   // injection runs in the plan
+  std::size_t hits = 0;    // replayed from the cache
+  std::size_t misses = 0;  // executed this session
+  std::size_t skipped = 0; // filtered out by the caller's should_run
+};
+
+struct DeltaResult {
+  CampaignResult campaign;
+  DeltaStats stats;
+};
+
+/// Runs `config` incrementally: golden runs always execute (they are the
+/// comparison baseline and cheap relative to the injection fan-out), then
+/// every injection run is resolved against the cache by fingerprint --
+/// hits are replayed (report copied, identity re-stamped from the current
+/// plan, replayed = true), misses execute through `run` exactly as
+/// run_campaign would, with identical derived seeds. With collect_records,
+/// the returned CampaignResult is therefore record-for-record identical to
+/// a cold run_campaign apart from the fingerprint/replayed metadata, and
+/// everything estimated from it (fi/estimator.hpp ignores that metadata)
+/// is bit-identical.
+DeltaResult run_delta_campaign(const RunFunction& run,
+                               const CampaignConfig& config,
+                               const core::SystemModel& model,
+                               const SignalBinding& binding,
+                               const DeltaOptions& options);
+
+}  // namespace propane::fi

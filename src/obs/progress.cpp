@@ -76,6 +76,11 @@ void ProgressReporter::add_skipped(std::size_t n) {
   skipped_.fetch_add(n, std::memory_order_relaxed);
 }
 
+void ProgressReporter::add_replayed(std::size_t n) {
+  replayed_.fetch_add(n, std::memory_order_relaxed);
+  maybe_render();
+}
+
 void ProgressReporter::set_journal(std::uint64_t bytes, std::size_t shards) {
   journal_bytes_.store(bytes, std::memory_order_relaxed);
   journal_shards_.store(shards, std::memory_order_relaxed);
@@ -85,6 +90,7 @@ ProgressReporter::Snapshot ProgressReporter::snapshot() const {
   Snapshot snap;
   snap.completed = completed_.load(std::memory_order_relaxed);
   snap.skipped = skipped_.load(std::memory_order_relaxed);
+  snap.replayed = replayed_.load(std::memory_order_relaxed);
   snap.diverged = diverged_.load(std::memory_order_relaxed);
   snap.total = total_.load(std::memory_order_relaxed);
   snap.journal_bytes = journal_bytes_.load(std::memory_order_relaxed);
@@ -94,7 +100,7 @@ ProgressReporter::Snapshot ProgressReporter::snapshot() const {
   if (snap.elapsed_s > 0.0) {
     snap.runs_per_s = static_cast<double>(snap.completed) / snap.elapsed_s;
   }
-  const std::size_t done = snap.completed + snap.skipped;
+  const std::size_t done = snap.completed + snap.skipped + snap.replayed;
   if (snap.total > done && snap.runs_per_s > 0.0) {
     snap.eta_s =
         static_cast<double>(snap.total - done) / snap.runs_per_s;
@@ -108,7 +114,7 @@ ProgressReporter::Snapshot ProgressReporter::snapshot() const {
 
 std::string ProgressReporter::render_line() const {
   const Snapshot s = snapshot();
-  const std::size_t done = s.completed + s.skipped;
+  const std::size_t done = s.completed + s.skipped + s.replayed;
   const double pct =
       s.total > 0
           ? 100.0 * static_cast<double>(done) / static_cast<double>(s.total)
@@ -118,12 +124,17 @@ std::string ProgressReporter::render_line() const {
                 "[campaign] %zu/%zu runs %.1f%% | %.1f runs/s | ETA %s",
                 done, s.total, pct, s.runs_per_s,
                 format_eta(s.eta_s).c_str());
+  char replay[48];
+  replay[0] = '\0';
+  if (s.replayed > 0) {
+    std::snprintf(replay, sizeof(replay), " | replay %zu", s.replayed);
+  }
   char tail[128];
   std::snprintf(tail, sizeof(tail), " | div %.1f%% | journal %s / %zu shard%s",
                 100.0 * s.divergence_rate,
                 format_bytes(s.journal_bytes).c_str(), s.journal_shards,
                 s.journal_shards == 1 ? "" : "s");
-  return std::string(head) + tail;
+  return std::string(head) + replay + tail;
 }
 
 void ProgressReporter::maybe_render() {

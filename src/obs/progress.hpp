@@ -52,12 +52,16 @@ class ProgressReporter {
   void add_completed(std::size_t n, bool diverged);
   /// One planned run was skipped (already journaled / foreign process).
   void add_skipped(std::size_t n);
+  /// One run was replayed from a delta-campaign baseline cache (counts
+  /// toward done but not toward the executed runs/s rate).
+  void add_replayed(std::size_t n);
   /// Latest journal footprint, shown verbatim in the HUD.
   void set_journal(std::uint64_t bytes, std::size_t shards);
 
   struct Snapshot {
     std::size_t completed = 0;  // executed this session
     std::size_t skipped = 0;
+    std::size_t replayed = 0;   // cache hits copied from a baseline
     std::size_t diverged = 0;
     std::size_t total = 0;
     std::uint64_t journal_bytes = 0;
@@ -88,6 +92,7 @@ class ProgressReporter {
   std::atomic<std::size_t> total_{0};
   std::atomic<std::size_t> completed_{0};
   std::atomic<std::size_t> skipped_{0};
+  std::atomic<std::size_t> replayed_{0};
   std::atomic<std::size_t> diverged_{0};
   std::atomic<std::uint64_t> journal_bytes_{0};
   std::atomic<std::size_t> journal_shards_{0};

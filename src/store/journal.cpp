@@ -102,9 +102,10 @@ JournalScan scan_journal_file(
       "not a campaign journal (bad magic): " + path.string());
   ByteReader version_reader(bytes.data() + sizeof(kJournalMagic), 4);
   const std::uint32_t version = version_reader.u32();
-  PROPANE_CHECK_MSG(version == kJournalVersion,
-                    "unsupported journal version " + std::to_string(version) +
-                        ": " + path.string());
+  PROPANE_CHECK_MSG(
+      version >= kMinJournalVersion && version <= kJournalVersion,
+      "unsupported journal version " + std::to_string(version) + ": " +
+          path.string());
 
   std::size_t pos = header_size;
   bool manifest_seen = false;
@@ -148,7 +149,7 @@ JournalScan scan_journal_file(
                         "unknown journal record type " +
                             std::to_string(payload[0]) + ": " + path.string());
       fi::InjectionRecord record =
-          decode_injection_record(payload + 1, length - 1);
+          decode_injection_record(payload + 1, length - 1, version);
       ++scan.record_count;
       if (sink) sink(std::move(record));
     }
@@ -184,9 +185,10 @@ JournalScan peek_journal_manifest(const std::filesystem::path& path) {
       "not a campaign journal (bad magic): " + path.string());
   ByteReader reader(head.data() + sizeof(kJournalMagic), 12);
   const std::uint32_t version = reader.u32();
-  PROPANE_CHECK_MSG(version == kJournalVersion,
-                    "unsupported journal version " + std::to_string(version) +
-                        ": " + path.string());
+  PROPANE_CHECK_MSG(
+      version >= kMinJournalVersion && version <= kJournalVersion,
+      "unsupported journal version " + std::to_string(version) + ": " +
+          path.string());
   const std::uint32_t length = reader.u32();
   const std::uint32_t stored_crc = reader.u32();
   if (length > kMaxRecordBytes) {

@@ -41,9 +41,17 @@ namespace propane::store {
 
 inline constexpr char kJournalMagic[8] = {'P', 'R', 'O', 'P',
                                           'J', 'R', 'N', 'L'};
-/// v2: injection records no longer embed the error-model name (resolved
-/// via injection_index against the plan); v1 shards are rejected.
-inline constexpr std::uint32_t kJournalVersion = 2;
+/// Version history (the header version selects the record layout, see
+/// store/record_codec.hpp):
+///   v1: injection records embedded the error-model name;
+///   v2: the name is resolved via injection_index against the plan;
+///   v3: records carry a content-address fingerprint + flags byte
+///       (delta campaigns, store/result_cache.hpp).
+/// Writers always emit kJournalVersion; readers accept every version from
+/// kMinJournalVersion up -- older records simply decode with fingerprint 0,
+/// which the delta engine treats as a cache miss.
+inline constexpr std::uint32_t kJournalVersion = 3;
+inline constexpr std::uint32_t kMinJournalVersion = 1;
 /// Upper bound on one frame's payload; anything larger is corruption (a
 /// record is a few hundred bytes even on very wide buses).
 inline constexpr std::uint32_t kMaxRecordBytes = 1u << 26;

@@ -5,19 +5,27 @@
 // is the journal layer's job. Keeping the codec separate lets tests and
 // the merge tool reason about record contents without touching files.
 //
-// Payload layouts (all integers little-endian):
-//   Manifest:       u64 plan_hash | u64 seed | u32 test_case_count |
-//                   u32 injection_count
-//   InjectionResult:u32 injection_index | u32 test_case | u32 target |
-//                   u64 when_us | u32 signal_count |
-//                   u32 diverged_count | diverged_count x
-//                   (u32 signal | u64 first_ms | u16 golden | u16 observed)
-// The error-model name is NOT stored per record: injection_index resolves
-// it through the campaign plan (the manifest's plan hash covers the model
-// names, so a journal can never silently pair with the wrong plan).
-// Strings are u32 length + raw bytes. Divergence reports are stored
-// sparsely: only diverged signals get an entry, which keeps a typical
-// record well under 100 bytes even on wide buses.
+// Payload layouts (all integers little-endian; the shard header's version
+// selects the injection-record layout -- the manifest never changed):
+//   Manifest:          u64 plan_hash | u64 seed | u32 test_case_count |
+//                      u32 injection_count
+//   InjectionResult v3:u32 injection_index | u32 test_case | u32 target |
+//                      u64 when_us | u64 fingerprint | u8 flags |
+//                      u32 signal_count | u32 diverged_count |
+//                      diverged_count x (u32 signal | u64 first_ms |
+//                      u16 golden | u16 observed)
+//   InjectionResult v2: as v3 without the fingerprint/flags words
+//   InjectionResult v1: as v2 with `str model_name` after when_us
+// flags bit 0 marks a record replayed from a delta-campaign baseline
+// cache rather than executed by the writing session; the other bits are
+// reserved (written as 0, ignored on read). v1/v2 records decode with
+// fingerprint 0 ("unknown"), which the delta engine treats as a cache
+// miss. The error-model name is NOT stored per record since v2:
+// injection_index resolves it through the campaign plan (the manifest's
+// plan hash covers the model names, so a journal can never silently pair
+// with the wrong plan). Strings are u32 length + raw bytes. Divergence
+// reports are stored sparsely: only diverged signals get an entry, which
+// keeps a typical record well under 100 bytes even on wide buses.
 #pragma once
 
 #include <cstddef>
@@ -26,58 +34,18 @@
 #include <string_view>
 #include <vector>
 
+#include "common/bytes.hpp"
 #include "fi/campaign.hpp"
 
 namespace propane::store {
 
-/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `size` bytes.
-std::uint32_t crc32(const std::uint8_t* data, std::size_t size);
-
-/// FNV-1a 64-bit hash helper used for campaign plan fingerprints.
-std::uint64_t fnv1a64(const void* data, std::size_t size,
-                      std::uint64_t seed = 0xCBF29CE484222325ULL);
-
-/// Little-endian byte-string assembler.
-class ByteWriter {
- public:
-  void u8(std::uint8_t v);
-  void u16(std::uint16_t v);
-  void u32(std::uint32_t v);
-  void u64(std::uint64_t v);
-  void str(std::string_view v);  // u32 length + bytes
-
-  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
-  std::vector<std::uint8_t> take() { return std::move(bytes_); }
-
- private:
-  std::vector<std::uint8_t> bytes_;
-};
-
-/// Bounds-checked reader over an encoded payload. Overruns raise
-/// ContractViolation ("journal record payload truncated") -- by the time a
-/// payload is decoded its CRC already matched, so an overrun means a codec
-/// bug or deliberate corruption, never a torn write.
-class ByteReader {
- public:
-  ByteReader(const std::uint8_t* data, std::size_t size)
-      : data_(data), size_(size) {}
-
-  std::uint8_t u8();
-  std::uint16_t u16();
-  std::uint32_t u32();
-  std::uint64_t u64();
-  std::string str();
-
-  std::size_t remaining() const { return size_ - pos_; }
-  bool exhausted() const { return pos_ == size_; }
-
- private:
-  void need(std::size_t n) const;
-
-  const std::uint8_t* data_;
-  std::size_t size_;
-  std::size_t pos_ = 0;
-};
+// The byte codec and its hashes live in common/bytes.hpp (the delta-
+// campaign fingerprints in src/fi use them too); re-exported here because
+// they are part of this codec's vocabulary.
+using propane::ByteReader;
+using propane::ByteWriter;
+using propane::crc32;
+using propane::fnv1a64;
 
 /// Journal record kinds. The manifest is always the first record of a
 /// shard; everything after it is injection results.
@@ -119,12 +87,19 @@ std::uint64_t plan_hash(const fi::CampaignConfig& config);
 /// Builds the manifest describing `config`.
 Manifest manifest_for(const fi::CampaignConfig& config);
 
+/// Replayed-from-cache marker in the v3 record flags byte.
+inline constexpr std::uint8_t kRecordFlagReplayed = 0x01;
+
 std::vector<std::uint8_t> encode_manifest(const Manifest& manifest);
 Manifest decode_manifest(const std::uint8_t* data, std::size_t size);
 
+/// Encoding always writes the current (v3) layout; decoding accepts any
+/// supported shard version (store/journal.hpp) so old journals stay
+/// readable -- their records simply carry no fingerprint.
 std::vector<std::uint8_t> encode_injection_record(
     const fi::InjectionRecord& record);
 fi::InjectionRecord decode_injection_record(const std::uint8_t* data,
-                                            std::size_t size);
+                                            std::size_t size,
+                                            std::uint32_t version = 3);
 
 }  // namespace propane::store

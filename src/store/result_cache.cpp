@@ -1,0 +1,255 @@
+#include "store/result_cache.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+#include "common/contracts.hpp"
+#include "obs/clock.hpp"
+#include "obs/progress.hpp"
+#include "obs/span.hpp"
+#include "obs/telemetry.hpp"
+
+namespace propane::store {
+
+ResultCache ResultCache::load(const std::filesystem::path& dir) {
+  ResultCache cache;
+  cache.state_ = scan_campaign_dir(
+      dir, [&cache](fi::InjectionRecord&& record, std::size_t flat) {
+        if (flat >= cache.fingerprint_by_flat_.size()) {
+          cache.fingerprint_by_flat_.resize(flat + 1, 0);
+        }
+        if (record.fingerprint == 0) {
+          // Pre-v3 record: content unknown, can only ever miss.
+          ++cache.unfingerprinted_;
+          return;
+        }
+        cache.fingerprint_by_flat_[flat] = record.fingerprint;
+        cache.by_fingerprint_.emplace(record.fingerprint, std::move(record));
+      });
+  return cache;
+}
+
+const fi::InjectionRecord* ResultCache::find(std::uint64_t fingerprint) const {
+  if (fingerprint == 0) return nullptr;
+  const auto it = by_fingerprint_.find(fingerprint);
+  return it == by_fingerprint_.end() ? nullptr : &it->second;
+}
+
+fi::DeltaCacheLookup ResultCache::lookup() const {
+  return [this](std::uint64_t fingerprint) { return find(fingerprint); };
+}
+
+std::uint64_t ResultCache::fingerprint_of_flat(std::size_t flat) const {
+  return flat < fingerprint_by_flat_.size() ? fingerprint_by_flat_[flat] : 0;
+}
+
+DeltaJournalSummary run_delta_journaled_campaign(
+    const fi::RunFunction& run, const fi::CampaignConfig& config,
+    const core::SystemModel& model, const fi::SignalBinding& binding,
+    const std::filesystem::path& dir, const ResultCache& baseline,
+    const DeltaRunOptions& options) {
+  PROPANE_REQUIRE(options.base.process_count > 0);
+  PROPANE_REQUIRE(options.base.process_index < options.base.process_count);
+
+  const Manifest manifest = manifest_for(config);
+  DeltaJournalSummary summary;
+  summary.total_runs = manifest.total_runs();
+  summary.baseline_records = baseline.record_count();
+  summary.baseline_unfingerprinted = baseline.unfingerprinted();
+  summary.warnings = baseline.warnings();
+
+  const obs::Telemetry* telemetry =
+      (options.base.telemetry != nullptr && options.base.telemetry->enabled())
+          ? options.base.telemetry
+          : nullptr;
+  obs::ProgressReporter* progress = options.base.progress;
+  const std::uint64_t wall_start_us = obs::steady_now_us();
+
+  const std::vector<std::uint64_t> fingerprints =
+      fi::run_fingerprints(config, model, binding, options.module_versions);
+  std::size_t bus_count = binding.bus_upper_bound();
+  for (const fi::InjectionSpec& spec : config.injections) {
+    bus_count = std::max(bus_count, std::size_t{spec.target} + 1);
+  }
+  const auto consumers = fi::consumers_by_bus(model, binding, bus_count);
+  const auto consumers_of_flat =
+      [&](std::size_t flat) -> const std::vector<core::ModuleId>& {
+    return consumers[config.injections[flat / config.test_case_count].target];
+  };
+
+  // Stale-module detection: when the baseline holds the *same plan*, any
+  // flat where it recorded a different fingerprint means something feeding
+  // that run changed -- per the fingerprint recipe, the master seed (which
+  // would flag every module) or a consumer module's version token. The
+  // target's consumers carry the blame. A different plan hash is not
+  // "invalidation", it is simply a different campaign reusing overlapping
+  // content, so nothing is flagged.
+  std::vector<bool> module_stale(model.module_count(), false);
+  std::size_t stale_runs = 0;
+  if (baseline.loaded() &&
+      baseline.manifest().plan_hash == manifest.plan_hash) {
+    for (std::size_t flat = 0; flat < fingerprints.size(); ++flat) {
+      const std::uint64_t before = baseline.fingerprint_of_flat(flat);
+      if (before == 0 || before == fingerprints[flat]) continue;
+      ++stale_runs;
+      for (core::ModuleId m : consumers_of_flat(flat)) module_stale[m] = true;
+    }
+  }
+  for (core::ModuleId m = 0; m < model.module_count(); ++m) {
+    if (module_stale[m]) summary.invalidated_modules.push_back(m);
+  }
+  if (auto* counter =
+          obs::find_counter(telemetry, "delta.invalidated_modules")) {
+    counter->add(summary.invalidated_modules.size());
+  }
+  if (telemetry != nullptr) {
+    std::string names;
+    for (core::ModuleId m : summary.invalidated_modules) {
+      if (!names.empty()) names += ",";
+      names += model.module_name(m);
+    }
+    obs::emit_event(telemetry, "delta.plan",
+                    {{"baseline_records", obs::Value(baseline.record_count())},
+                     {"baseline_unfingerprinted",
+                      obs::Value(baseline.unfingerprinted())},
+                     {"stale_runs", obs::Value(stale_runs)},
+                     {"invalidated_modules", obs::Value(names)},
+                     {"total_runs", obs::Value(summary.total_runs)}});
+  }
+
+  // Resume scan of the *output* directory, as in run_journaled_campaign.
+  std::vector<std::pair<std::size_t, fi::InjectionRecord>> reloaded;
+  CampaignDirState state;
+  {
+    obs::Span scan_span(telemetry, "journal.resume_scan");
+    state = scan_campaign_dir(
+        dir, options.base.collect_records
+                 ? std::function<void(fi::InjectionRecord&&, std::size_t)>(
+                       [&](fi::InjectionRecord&& record, std::size_t flat) {
+                         reloaded.emplace_back(flat, std::move(record));
+                       })
+                 : nullptr);
+  }
+  if (!state.fresh) {
+    PROPANE_REQUIRE_MSG(
+        manifest == state.manifest,
+        "journal manifest mismatch: " + dir.string() +
+            " belongs to a different campaign than the delta plan");
+  }
+  summary.warnings.insert(summary.warnings.end(), state.warnings.begin(),
+                          state.warnings.end());
+  std::vector<bool> completed = std::move(state.completed);
+  if (completed.empty()) completed.assign(manifest.total_runs(), false);
+
+  ShardedJournalWriter writer(dir, manifest, options.base.shard_count,
+                              telemetry);
+  if (progress != nullptr) {
+    progress->set_total(manifest.total_runs());
+    progress->set_journal(writer.bytes_written(), writer.shard_count());
+  }
+  const std::uint64_t journal_base_bytes = writer.bytes_written();
+
+  std::atomic<std::size_t> executed{0};
+  std::atomic<std::size_t> skipped_completed{0};
+  std::atomic<std::size_t> skipped_foreign{0};
+  std::atomic<std::size_t> diverged{0};
+  // Per-run outcome for the --explain table; each flat is resolved by
+  // exactly one worker, so plain elements suffice.
+  enum : std::uint8_t { kUntouched = 0, kExecuted = 1, kReplayed = 2 };
+  std::vector<std::uint8_t> outcome(manifest.total_runs(), kUntouched);
+
+  fi::DeltaOptions delta;
+  delta.lookup = baseline.lookup();
+  delta.module_versions = options.module_versions;
+  delta.hooks.collect_records = options.base.collect_records;
+  delta.hooks.telemetry = telemetry;
+  delta.hooks.should_run = [&](std::uint32_t injection_index,
+                               std::uint32_t test_case) {
+    const std::size_t flat = manifest.flat_index(injection_index, test_case);
+    if (completed[flat]) {
+      skipped_completed.fetch_add(1, std::memory_order_relaxed);
+      if (progress != nullptr) progress->add_skipped(1);
+      return false;
+    }
+    if (flat % options.base.process_count != options.base.process_index) {
+      skipped_foreign.fetch_add(1, std::memory_order_relaxed);
+      if (progress != nullptr) progress->add_skipped(1);
+      return false;
+    }
+    return true;
+  };
+  delta.hooks.on_record = [&](const fi::InjectionRecord& record) {
+    writer.append(record);
+    executed.fetch_add(1, std::memory_order_relaxed);
+    outcome[manifest.flat_index(record.injection_index, record.test_case)] =
+        kExecuted;
+    const bool hit = record.report.any_divergence();
+    if (hit) diverged.fetch_add(1, std::memory_order_relaxed);
+    if (progress != nullptr) {
+      progress->set_journal(writer.bytes_written(), writer.shard_count());
+      progress->add_completed(1, hit);
+    }
+  };
+  // Replayed records are re-appended too: the output directory is a
+  // complete journal of the plan, usable as the next delta's baseline and
+  // yielding byte-identical estimates to a cold run of the same plan.
+  delta.on_replay = [&](const fi::InjectionRecord& record) {
+    writer.append(record);
+    outcome[manifest.flat_index(record.injection_index, record.test_case)] =
+        kReplayed;
+    if (progress != nullptr) {
+      progress->set_journal(writer.bytes_written(), writer.shard_count());
+      progress->add_replayed(1);
+    }
+  };
+
+  fi::DeltaResult delta_result =
+      fi::run_delta_campaign(run, config, model, binding, delta);
+  summary.executed = executed.load();
+  summary.replayed = delta_result.stats.hits;
+  summary.skipped_completed = skipped_completed.load();
+  summary.skipped_foreign = skipped_foreign.load();
+  summary.diverged = diverged.load();
+  summary.journal_bytes = writer.bytes_written() - journal_base_bytes;
+  summary.wall_seconds =
+      static_cast<double>(obs::steady_now_us() - wall_start_us) / 1e6;
+
+  summary.per_module.resize(model.module_count());
+  for (core::ModuleId m = 0; m < model.module_count(); ++m) {
+    summary.per_module[m].module = model.module_name(m);
+    summary.per_module[m].invalidated = module_stale[m];
+  }
+  for (std::size_t flat = 0; flat < outcome.size(); ++flat) {
+    if (outcome[flat] == kUntouched) continue;
+    for (core::ModuleId m : consumers_of_flat(flat)) {
+      if (outcome[flat] == kReplayed) {
+        ++summary.per_module[m].replayed;
+      } else {
+        ++summary.per_module[m].executed;
+      }
+    }
+  }
+
+  if (progress != nullptr) progress->finish();
+  obs::emit_event(
+      telemetry, "delta.done",
+      {{"executed", obs::Value(summary.executed)},
+       {"replayed", obs::Value(summary.replayed)},
+       {"skipped_completed", obs::Value(summary.skipped_completed)},
+       {"skipped_foreign", obs::Value(summary.skipped_foreign)},
+       {"total_runs", obs::Value(summary.total_runs)},
+       {"diverged", obs::Value(summary.diverged)},
+       {"journal_bytes", obs::Value(summary.journal_bytes)},
+       {"wall_s", obs::Value(summary.wall_seconds)}});
+
+  summary.result = std::move(delta_result.campaign);
+  if (options.base.collect_records) {
+    for (auto& [flat, record] : reloaded) {
+      summary.result.records[flat] = std::move(record);
+    }
+  }
+  return summary;
+}
+
+}  // namespace propane::store

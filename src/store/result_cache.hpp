@@ -1,0 +1,132 @@
+// Content-addressed campaign result cache: the durable half of the delta
+// engine (fi/delta_campaign.hpp).
+//
+// A baseline journal directory is loaded into a fingerprint-keyed index;
+// run_delta_journaled_campaign then runs a (possibly changed) plan against
+// a fresh output directory, replaying every run whose fingerprint the
+// baseline holds and executing only the rest. The output directory is a
+// complete, ordinary campaign journal -- replayed records are re-appended
+// with their `replayed` flag set -- so it resumes, merges, estimates and
+// serves as the next delta's baseline with no special cases, and the
+// permeability CSV derived from it is byte-identical to one from a cold
+// full run (estimation is order-independent and never consults the
+// fingerprint/replayed metadata).
+//
+// Cache-invalidation rules (what turns a baseline record stale):
+//   * a changed master seed, error model, target, fire time, phase or
+//     per-run derived seed changes the fingerprint -> miss;
+//   * a changed version token of any *consumer* module of the target
+//     signal changes the fingerprint -> miss (tokens come from
+//     arr::module_version_tokens or the caller);
+//   * pre-v3 journal records carry no fingerprint (decode as 0) -> miss;
+//   * everything else hits, including records written at a different flat
+//     position (the address is content, not position).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fi/delta_campaign.hpp"
+#include "store/resume.hpp"
+
+namespace propane::store {
+
+/// In-memory fingerprint index over one campaign directory's records.
+/// Immutable after load(), so lookups are safe from worker threads.
+class ResultCache {
+ public:
+  /// Loads every readable record of `dir`. A missing or empty directory
+  /// yields an empty cache (every lookup misses) -- the delta runner then
+  /// degenerates to a cold full run. Records without fingerprints (pre-v3
+  /// shards) are counted but not indexed.
+  static ResultCache load(const std::filesystem::path& dir);
+
+  /// Cached record for `fingerprint`, or nullptr. Fingerprint 0 ("none")
+  /// never matches. Thread-safe (read-only).
+  const fi::InjectionRecord* find(std::uint64_t fingerprint) const;
+  /// The find() bound as the delta engine's lookup. Non-owning: the cache
+  /// must outlive the campaign using it.
+  fi::DeltaCacheLookup lookup() const;
+
+  bool loaded() const { return !state_.fresh; }
+  const Manifest& manifest() const { return state_.manifest; }
+  /// Fingerprint the baseline recorded for flat run index `flat`; 0 when
+  /// unknown (pre-v3 record, out of range, or never completed). Only
+  /// meaningful against the same plan (compare plan hashes first).
+  std::uint64_t fingerprint_of_flat(std::size_t flat) const;
+
+  std::size_t record_count() const { return state_.completed_count; }
+  /// Records that could not be indexed (no fingerprint).
+  std::size_t unfingerprinted() const { return unfingerprinted_; }
+  const std::vector<std::string>& warnings() const { return state_.warnings; }
+
+ private:
+  CampaignDirState state_;
+  std::unordered_map<std::uint64_t, fi::InjectionRecord> by_fingerprint_;
+  std::vector<std::uint64_t> fingerprint_by_flat_;
+  std::size_t unfingerprinted_ = 0;
+};
+
+struct DeltaRunOptions {
+  /// Shard count / process split / collect_records / telemetry / progress,
+  /// exactly as for run_journaled_campaign. Replays respect the process
+  /// split too: each process appends only its own share of the hits.
+  JournalRunOptions base;
+  /// Version tokens fed into the run fingerprints (fi::ModuleVersionMap).
+  fi::ModuleVersionMap module_versions;
+};
+
+/// Per-module view of one delta session (the CLI's `--explain` table).
+struct ModuleDeltaExplain {
+  std::string module;
+  /// Runs replayed / executed whose target signal drives this module's
+  /// inputs (a run targeting a shared signal counts for every consumer).
+  std::size_t replayed = 0;
+  std::size_t executed = 0;
+  /// True when the baseline held a *different* fingerprint for some run
+  /// targeting this module's inputs (same plan) -- i.e. the module (or the
+  /// seed/model config reaching it) changed since the baseline was taken.
+  bool invalidated = false;
+};
+
+struct DeltaJournalSummary {
+  std::size_t executed = 0;           // runs simulated this session
+  std::size_t replayed = 0;           // cache hits copied from the baseline
+  std::size_t skipped_completed = 0;  // already in the output journal
+  std::size_t skipped_foreign = 0;    // owned by another process index
+  std::size_t total_runs = 0;
+  std::size_t diverged = 0;           // executed runs with a divergence
+  std::size_t baseline_records = 0;
+  std::size_t baseline_unfingerprinted = 0;
+  double wall_seconds = 0.0;
+  std::uint64_t journal_bytes = 0;
+  std::vector<std::string> warnings;  // output-dir scan + baseline load
+  /// Modules whose baseline fingerprints disagree with the current ones
+  /// (telemetry counter delta.invalidated_modules); empty when the
+  /// baseline is empty or belongs to a different plan.
+  std::vector<core::ModuleId> invalidated_modules;
+  /// One entry per model module, ModuleId order.
+  std::vector<ModuleDeltaExplain> per_module;
+  /// Golden traces + signal names always; records only when
+  /// base.collect_records (then complete: executed + replayed + reloaded).
+  fi::CampaignResult result;
+};
+
+/// Incremental counterpart of run_journaled_campaign: runs `config`
+/// against output directory `dir`, resolving runs against `baseline`
+/// first. Fresh output directories start from the cache; non-empty ones
+/// resume (already-journaled runs are neither replayed nor executed
+/// again). With an empty baseline this is exactly run_journaled_campaign
+/// plus fingerprint stamping. Emits delta.hits / delta.misses /
+/// delta.invalidated_modules counters and a delta.plan event when
+/// telemetry is on.
+DeltaJournalSummary run_delta_journaled_campaign(
+    const fi::RunFunction& run, const fi::CampaignConfig& config,
+    const core::SystemModel& model, const fi::SignalBinding& binding,
+    const std::filesystem::path& dir, const ResultCache& baseline,
+    const DeltaRunOptions& options = {});
+
+}  // namespace propane::store

@@ -72,6 +72,7 @@ CampaignDirState scan_campaign_dir(
           }
           state.completed[flat] = true;
           ++state.completed_count;
+          if (record.replayed) ++state.replayed_count;
           if (sink) sink(std::move(record), flat);
         });
     if (scan.torn_tail) state.warnings.push_back(scan.warning);
@@ -283,8 +284,8 @@ JournalStats estimate_from_journal(const std::filesystem::path& dir,
     accumulator.emplace(model, binding, binding.bus_upper_bound(), options);
   }
   return JournalStats{state.manifest, state.completed_count,
-                      state.duplicate_count, std::move(state.warnings),
-                      accumulator->finish()};
+                      state.duplicate_count, state.replayed_count,
+                      std::move(state.warnings), accumulator->finish()};
 }
 
 JournalStats write_permeability_csv_from_journal(

@@ -50,6 +50,10 @@ struct CampaignDirState {
   /// Runs recorded more than once (e.g. overlapping process splits merged
   /// into one directory). Duplicates beyond the first are dropped.
   std::size_t duplicate_count = 0;
+  /// Records flagged as replayed from a delta-campaign baseline cache
+  /// (store/result_cache.hpp) rather than executed by the session that
+  /// wrote them. Subset of completed_count.
+  std::size_t replayed_count = 0;
   /// Torn-tail notices and other non-fatal findings, one per shard.
   std::vector<std::string> warnings;
 };
@@ -125,6 +129,9 @@ struct JournalStats {
   Manifest manifest;
   std::size_t record_count = 0;
   std::size_t duplicate_count = 0;
+  /// Records replayed from a delta baseline (vs. executed); see
+  /// CampaignDirState::replayed_count.
+  std::size_t replayed_count = 0;
   std::vector<std::string> warnings;
   fi::EstimationResult estimation;
 };

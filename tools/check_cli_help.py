@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""CLI-help drift guard.
+
+``tools/README.md`` embeds the output of ``propane --help`` in the fenced
+code block following the ``<!-- cli-help -->`` marker. This script runs
+the built binary and fails if the two have drifted, printing a unified
+diff. CI runs it after the build; locally:
+
+    python3 tools/check_cli_help.py build/tools/propane
+
+Exit status: 0 in sync, 1 drift or missing marker/block, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import difflib
+import subprocess
+import sys
+from pathlib import Path
+
+MARKER = "<!-- cli-help -->"
+
+
+def fenced_block_after_marker(readme: Path) -> str:
+    lines = readme.read_text(encoding="utf-8").splitlines()
+    try:
+        start = next(i for i, line in enumerate(lines)
+                     if line.strip() == MARKER)
+    except StopIteration:
+        raise SystemExit(f"{readme}: marker '{MARKER}' not found")
+    try:
+        fence_open = next(i for i in range(start + 1, len(lines))
+                          if lines[i].startswith("```"))
+        fence_close = next(i for i in range(fence_open + 1, len(lines))
+                           if lines[i].startswith("```"))
+    except StopIteration:
+        raise SystemExit(f"{readme}: no fenced block after '{MARKER}'")
+    return "\n".join(lines[fence_open + 1:fence_close]) + "\n"
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(f"usage: {argv[0]} <path/to/propane>", file=sys.stderr)
+        return 2
+    binary = Path(argv[1])
+    if not binary.exists():
+        print(f"{binary}: no such binary (build first)", file=sys.stderr)
+        return 2
+    readme = Path(__file__).resolve().parent / "README.md"
+
+    result = subprocess.run([str(binary), "--help"], capture_output=True,
+                            text=True, check=False)
+    if result.returncode != 0:
+        print(f"{binary} --help exited {result.returncode}", file=sys.stderr)
+        return 1
+
+    documented = fenced_block_after_marker(readme)
+    actual = result.stdout
+    if documented == actual:
+        print("tools/README.md usage block matches `propane --help`")
+        return 0
+    diff = difflib.unified_diff(
+        documented.splitlines(keepends=True),
+        actual.splitlines(keepends=True),
+        fromfile="tools/README.md (documented)",
+        tofile="propane --help (actual)",
+    )
+    sys.stderr.writelines(diff)
+    print("\ntools/README.md usage block has drifted from `propane --help`; "
+          "update the fenced block after the <!-- cli-help --> marker.",
+          file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

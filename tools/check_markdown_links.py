@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Offline markdown link checker for this repository.
+
+Walks every tracked ``*.md`` file and verifies that each local link
+target exists:
+
+* relative links resolve against the file's directory (``../tools/README.md``,
+  ``docs/TUTORIAL.md``, ``src/core/permeability.hpp``);
+* fragment-only links (``#section``) must match a heading in the same file;
+* ``path#fragment`` links must match a heading in the target markdown file.
+
+External links (``http://``, ``https://``, ``mailto:``) are deliberately
+not fetched — CI must pass offline. Angle-bracket autolinks and links
+inside fenced code blocks are ignored, as are the retrieval artifacts
+``PAPERS.md`` / ``SNIPPETS.md`` / ``ISSUE.md`` (machine-extracted text
+with PDF figure residue, not authored documentation).
+
+Exit status: 0 when every link resolves, 1 otherwise (each failure is
+printed as ``file:line: message``).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+IMAGE_RE = re.compile(r"\!\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug: lowercase, drop punctuation, dash spaces."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def strip_fenced_code(lines: list[str]) -> list[tuple[int, str]]:
+    """Returns (1-based line number, text) pairs outside fenced blocks."""
+    kept = []
+    in_fence = False
+    for number, line in enumerate(lines, start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            kept.append((number, line))
+    return kept
+
+
+def headings_of(path: Path, cache: dict[Path, set[str]]) -> set[str]:
+    if path not in cache:
+        slugs = set()
+        lines = path.read_text(encoding="utf-8").splitlines()
+        for _, line in strip_fenced_code(lines):
+            match = HEADING_RE.match(line)
+            if match:
+                slugs.add(slugify(match.group(1)))
+        cache[path] = slugs
+    return cache[path]
+
+
+def check_file(md: Path, root: Path, cache: dict[Path, set[str]]) -> list[str]:
+    errors = []
+    lines = md.read_text(encoding="utf-8").splitlines()
+    for number, line in strip_fenced_code(lines):
+        for regex in (LINK_RE, IMAGE_RE):
+            for match in regex.finditer(line):
+                target = match.group(1)
+                if target.startswith(EXTERNAL_PREFIXES):
+                    continue
+                path_part, _, fragment = target.partition("#")
+                if not path_part:  # same-file anchor
+                    if slugify(fragment) not in headings_of(md, cache):
+                        errors.append(
+                            f"{md.relative_to(root)}:{number}: "
+                            f"no heading for anchor '#{fragment}'"
+                        )
+                    continue
+                resolved = (md.parent / path_part).resolve()
+                if not resolved.exists():
+                    errors.append(
+                        f"{md.relative_to(root)}:{number}: "
+                        f"broken link '{target}'"
+                    )
+                    continue
+                if fragment and resolved.suffix == ".md":
+                    if slugify(fragment) not in headings_of(resolved, cache):
+                        errors.append(
+                            f"{md.relative_to(root)}:{number}: "
+                            f"'{target}' has no heading for '#{fragment}'"
+                        )
+    return errors
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    skip_dirs = {"build", ".git"}
+    skip_files = {"PAPERS.md", "SNIPPETS.md", "ISSUE.md"}
+    markdown_files = sorted(
+        p
+        for p in root.rglob("*.md")
+        if p.name not in skip_files
+        and not any(part in skip_dirs or part.startswith("build")
+                    for part in p.relative_to(root).parts)
+    )
+    cache: dict[Path, set[str]] = {}
+    errors = []
+    for md in markdown_files:
+        errors.extend(check_file(md, root, cache))
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {len(markdown_files)} markdown files, "
+          f"{len(errors)} broken link(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

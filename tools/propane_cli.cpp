@@ -17,6 +17,10 @@
 //                           [--progress|--no-progress]
 //   propane campaign resume --journal <dir> ...   (alias of run: a journal
 //                           directory resumes wherever it left off)
+//   propane campaign delta  --journal <dir> --baseline <journal-dir>
+//                           [--invalidate MODULE[,...]] [--explain] ...
+//                           incremental run: replays baseline records whose
+//                           fingerprints still match, executes the rest
 //   propane campaign merge  --journal <dest> <src-dir>...
 //   propane campaign stats  --journal <dir> [--csv <perm.csv>]
 //   propane campaign top    --journal <dir> [--metrics-out <file.ndjson>]
@@ -56,6 +60,7 @@
 #include "obs/progress.hpp"
 #include "obs/span.hpp"
 #include "obs/telemetry.hpp"
+#include "store/result_cache.hpp"
 #include "store/resume.hpp"
 
 namespace {
@@ -63,19 +68,29 @@ namespace {
 using namespace propane;
 using namespace propane::core;
 
+// Kept as one constant because `propane --help` must match the fenced
+// usage block in tools/README.md verbatim (CI runs
+// tools/check_cli_help.py against both).
+constexpr char kUsageText[] =
+    "usage: propane <analyze|paths|advise|tree|dot|influence|report|"
+    "check> <model.txt> [perm.csv]\n"
+    "       propane campaign <run|resume> --journal <dir>"
+    " [--scale full|default|small] [--shards N] [--processes N --index I]\n"
+    "                        [--metrics-out <file.ndjson>] [--no-telemetry]"
+    " [--progress|--no-progress]\n"
+    "       propane campaign delta --journal <dir> --baseline <dir>"
+    " [--invalidate MODULE[,MODULE...]] [--explain]\n"
+    "                        [plus any campaign run flag]\n"
+    "       propane campaign merge --journal <dest-dir> <src-dir>...\n"
+    "       propane campaign stats --journal <dir> [--csv <perm.csv>]\n"
+    "       propane campaign top   --journal <dir>"
+    " [--metrics-out <file.ndjson>]\n"
+    "       propane --help\n"
+    "exit codes: 0 success, 1 runtime/contract error, 2 usage error,"
+    " 3 multiple worker failures\n";
+
 int usage() {
-  std::fputs(
-      "usage: propane <analyze|paths|advise|tree|dot|influence|report|"
-      "check> <model.txt> [perm.csv]\n"
-      "       propane campaign <run|resume> --journal <dir>"
-      " [--scale full|default|small] [--shards N] [--processes N --index I]\n"
-      "                        [--metrics-out <file.ndjson>] [--no-telemetry]"
-      " [--progress|--no-progress]\n"
-      "       propane campaign merge --journal <dest-dir> <src-dir>...\n"
-      "       propane campaign stats --journal <dir> [--csv <perm.csv>]\n"
-      "       propane campaign top   --journal <dir>"
-      " [--metrics-out <file.ndjson>]\n",
-      stderr);
+  std::fputs(kUsageText, stderr);
   return 2;
 }
 
@@ -161,6 +176,9 @@ struct CampaignArgs {
   std::string metrics_out;   // empty: <journal>/telemetry.ndjson
   bool no_telemetry = false;
   int progress = -1;         // -1 auto (TTY), 0 off, 1 forced on
+  std::filesystem::path baseline;  // delta: cached journal directory
+  std::string invalidate;    // delta: comma-separated module names
+  bool explain = false;      // delta: per-module hit/miss table
   std::vector<std::filesystem::path> sources;  // merge positionals
 };
 
@@ -203,6 +221,12 @@ bool parse_campaign_args(int argc, char** argv, CampaignArgs& args) {
       args.metrics_out = value();
     } else if (arg == "--no-telemetry") {
       args.no_telemetry = true;
+    } else if (arg == "--baseline") {
+      args.baseline = value();
+    } else if (arg == "--invalidate") {
+      args.invalidate = value();
+    } else if (arg == "--explain") {
+      args.explain = true;
     } else if (arg == "--progress") {
       args.progress = 1;
     } else if (arg == "--no-progress") {
@@ -272,7 +296,11 @@ void emit_metric_events(obs::EventSink& sink,
   }
 }
 
-int cmd_campaign_run(const CampaignArgs& args) {
+/// `campaign run|resume` and `campaign delta` share this body: a plain run
+/// is a delta run against an empty baseline (every lookup misses), which
+/// also means every CLI-written journal carries fingerprints and can serve
+/// as a later delta's baseline.
+int cmd_campaign_execute(const CampaignArgs& args, bool delta_mode) {
   const exp::ExperimentScale scale = pick_scale(args.scale_name);
   std::printf("%s\n", exp::describe(scale).c_str());
   const fi::CampaignConfig config = exp::make_campaign_config(scale);
@@ -280,6 +308,49 @@ int cmd_campaign_run(const CampaignArgs& args) {
       scale.custom_cases.empty()
           ? arr::grid_test_cases(scale.mass_count, scale.velocity_count)
           : scale.custom_cases;
+  const SystemModel model = arr::make_arrestment_model();
+  const fi::SignalBinding binding = arr::make_arrestment_binding(model);
+
+  store::ResultCache baseline;
+  if (delta_mode) {
+    if (args.baseline.empty()) {
+      std::fputs("propane: campaign delta needs --baseline <journal-dir>\n",
+                 stderr);
+      return 2;
+    }
+    baseline = store::ResultCache::load(args.baseline);
+    std::printf("baseline %s: %zu cached record(s), %zu without "
+                "fingerprints\n",
+                args.baseline.string().c_str(), baseline.record_count(),
+                baseline.unfingerprinted());
+  }
+
+  fi::ModuleVersionMap versions = arr::module_version_tokens();
+  if (!args.invalidate.empty()) {
+    // Simulate "module M changed" by perturbing its version token: every
+    // cached run whose target feeds M now misses. The code itself is
+    // unchanged, so the re-executed runs reproduce the cached outcomes --
+    // which is exactly what makes this a safe what-if flag.
+    std::string names = args.invalidate;
+    for (std::size_t start = 0; start < names.size();) {
+      std::size_t comma = names.find(',', start);
+      if (comma == std::string::npos) comma = names.size();
+      const std::string name = names.substr(start, comma - start);
+      bool found = false;
+      for (fi::ModuleVersion& entry : versions) {
+        if (entry.module == name) {
+          entry.token ^= 0x5EED5EED5EED5EEDULL;
+          found = true;
+        }
+      }
+      if (!found) {
+        std::fprintf(stderr, "propane: --invalidate: unknown module '%s'\n",
+                     name.c_str());
+        return 2;
+      }
+      start = comma + 1;
+    }
+  }
 
   // Telemetry is on by default and appends to <journal>/telemetry.ndjson,
   // so resumed sessions concatenate into one log and `campaign top` works
@@ -304,32 +375,51 @@ int cmd_campaign_run(const CampaignArgs& args) {
   std::optional<obs::ProgressReporter> hud;
   if (args.progress != 0) hud.emplace(hud_options);
 
-  store::JournalRunOptions options;
-  options.shard_count = args.shards;
-  options.process_count = args.processes;
-  options.process_index = args.index;
-  options.telemetry = telemetry.enabled() ? &telemetry : nullptr;
-  options.progress = hud.has_value() ? &*hud : nullptr;
-  const store::JournalRunSummary summary = store::run_journaled_campaign(
-      arr::warm_campaign_runner(cases, config, scale.duration), config,
-      args.journal, options);
+  store::DeltaRunOptions options;
+  options.base.shard_count = args.shards;
+  options.base.process_count = args.processes;
+  options.base.process_index = args.index;
+  options.base.telemetry = telemetry.enabled() ? &telemetry : nullptr;
+  options.base.progress = hud.has_value() ? &*hud : nullptr;
+  options.module_versions = versions;
+  const store::DeltaJournalSummary summary =
+      store::run_delta_journaled_campaign(
+          arr::warm_campaign_runner(cases, config, scale.duration), config,
+          model, binding, args.journal, baseline, options);
   if (hud.has_value()) hud->finish();
   print_warnings(summary.warnings);
+  if (!summary.invalidated_modules.empty()) {
+    std::string names;
+    for (core::ModuleId m : summary.invalidated_modules) {
+      if (!names.empty()) names += ", ";
+      names += model.module_name(m);
+    }
+    std::printf("invalidated module(s): %s\n", names.c_str());
+  }
   std::printf(
-      "journal %s: %zu run(s) executed, %zu already journaled, "
-      "%zu owned by other process(es), %zu planned\n",
-      args.journal.string().c_str(), summary.executed,
+      "journal %s: %zu run(s) executed, %zu replayed from baseline, "
+      "%zu already journaled, %zu owned by other process(es), %zu planned\n",
+      args.journal.string().c_str(), summary.executed, summary.replayed,
       summary.skipped_completed, summary.skipped_foreign, summary.total_runs);
   const double hit_rate =
       summary.executed > 0 ? 100.0 * static_cast<double>(summary.diverged) /
                                  static_cast<double>(summary.executed)
                            : 0.0;
   std::printf(
-      "campaign summary: %.2fs wall, %zu executed, %zu skipped, "
-      "%zu diverged (%.1f%% of executed), journal +%llu bytes\n",
-      summary.wall_seconds, summary.executed,
+      "campaign summary: %.2fs wall, %zu executed, %zu replayed, "
+      "%zu skipped, %zu diverged (%.1f%% of executed), journal +%llu bytes\n",
+      summary.wall_seconds, summary.executed, summary.replayed,
       summary.skipped_completed + summary.skipped_foreign, summary.diverged,
       hit_rate, static_cast<unsigned long long>(summary.journal_bytes));
+  if (args.explain) {
+    TextTable table({"Module", "Replayed", "Executed", "Invalidated"});
+    for (const store::ModuleDeltaExplain& row : summary.per_module) {
+      table.add_row({row.module, std::to_string(row.replayed),
+                     std::to_string(row.executed),
+                     row.invalidated ? "yes" : ""});
+    }
+    std::puts(table.render().c_str());
+  }
   if (sink.has_value()) {
     emit_metric_events(*sink, metrics.snapshot());
     sink->flush();
@@ -371,12 +461,13 @@ int cmd_campaign_stats(const CampaignArgs& args) {
   }();
   print_warnings(stats.warnings);
   std::printf("journal %s: plan 0x%016llx, seed 0x%016llx, %zu of %zu "
-              "run(s) journaled, %zu duplicate(s)\n",
+              "run(s) journaled (%zu replayed from a delta baseline), "
+              "%zu duplicate(s)\n",
               args.journal.string().c_str(),
               static_cast<unsigned long long>(stats.manifest.plan_hash),
               static_cast<unsigned long long>(stats.manifest.seed),
               stats.record_count, stats.manifest.total_runs(),
-              stats.duplicate_count);
+              stats.replayed_count, stats.duplicate_count);
   std::puts("Estimated permeabilities (Table 1 style):");
   std::puts(exp::table1_permeability(model, stats.estimation).render().c_str());
   if (!args.csv_path.empty()) {
@@ -507,7 +598,9 @@ int cmd_campaign_top(const CampaignArgs& args) {
           total != nullptr && total->is_number()) {
         shard_bytes[shard->as_string()] = total->as_uint();
       }
-    } else if (event == "campaign.done") {
+    } else if (event == "campaign.done" || event == "delta.done") {
+      // delta.done carries replayed-vs-executed counts; whichever kind of
+      // session ran last wins the "last session" line.
       last_done = *fields;
     } else if (event == "metric") {
       const obs::Value* metric = find_field(*fields, "name");
@@ -585,7 +678,10 @@ int cmd_campaign(int argc, char** argv) {
   if (argc < 3) return usage();
   CampaignArgs args;
   if (!parse_campaign_args(argc, argv, args)) return 2;
-  if (args.sub == "run" || args.sub == "resume") return cmd_campaign_run(args);
+  if (args.sub == "run" || args.sub == "resume") {
+    return cmd_campaign_execute(args, /*delta_mode=*/false);
+  }
+  if (args.sub == "delta") return cmd_campaign_execute(args, /*delta_mode=*/true);
   if (args.sub == "merge") return cmd_campaign_merge(args);
   if (args.sub == "stats") return cmd_campaign_stats(args);
   if (args.sub == "top") return cmd_campaign_top(args);
@@ -595,6 +691,13 @@ int cmd_campaign(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2) {
+    const std::string first = argv[1];
+    if (first == "--help" || first == "-h" || first == "help") {
+      std::fputs(kUsageText, stdout);  // asked-for help is not an error
+      return 0;
+    }
+  }
   if (argc < 3) return usage();
   const std::string command = argv[1];
   try {
