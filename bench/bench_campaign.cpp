@@ -15,6 +15,7 @@
 #include <fstream>
 #include <new>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "arrestment/model.hpp"
@@ -23,7 +24,9 @@
 #include "bench_util.hpp"
 #include "exp/paper_experiment.hpp"
 #include "fi/golden.hpp"
+#include "store/resume.hpp"
 #include "store/result_cache.hpp"
+#include "svc/dispatcher.hpp"
 
 // ---- global allocation counter ------------------------------------------
 // Counts every heap allocation in the process so the bench can prove the
@@ -202,6 +205,68 @@ EndToEnd run_end_to_end(const Workload& w, bool warm,
   return out;
 }
 
+/// Multi-worker serve bench: the scale's standard plan (the one `campaign
+/// serve` dispatches, so workers spawned from the CLI re-derive the exact
+/// manifest) run three ways -- single process, serve with 1 worker, serve
+/// with 2 workers. Dispatch overhead is the 1-worker vs single-process
+/// gap; scaling is the 2-worker vs 1-worker gap (bounded by the machine's
+/// CPU count, which the JSON records).
+struct ServeModeBench {
+  std::uint32_t workers = 0;
+  double wall_s = 0.0;
+  double runs_per_s = 0.0;
+  std::uint64_t leases = 0;
+};
+
+struct ServeBench {
+  std::size_t total_runs = 0;
+  double single_wall_s = 0.0;
+  double single_runs_per_s = 0.0;
+  std::vector<ServeModeBench> modes;  // 1 and 2 workers
+};
+
+ServeBench run_serve_bench(const exp::ExperimentScale& scale) {
+  namespace fs = std::filesystem;
+  ServeBench out;
+  const fi::CampaignConfig config = exp::make_campaign_config(scale);
+  const std::vector<arr::TestCase> cases =
+      scale.custom_cases.empty()
+          ? arr::grid_test_cases(scale.mass_count, scale.velocity_count)
+          : scale.custom_cases;
+  {
+    const fs::path dir = "bench_serve_single";
+    fs::remove_all(dir);
+    const auto start = Clock::now();
+    const store::JournalRunSummary summary = store::run_journaled_campaign(
+        arr::warm_campaign_runner(cases, config, scale.duration), config,
+        dir);
+    out.single_wall_s = seconds_since(start);
+    out.total_runs = summary.total_runs;
+    out.single_runs_per_s =
+        static_cast<double>(summary.total_runs) / out.single_wall_s;
+    fs::remove_all(dir);
+  }
+  for (const std::uint32_t workers : {1u, 2u}) {
+    const fs::path dir = "bench_serve_w" + std::to_string(workers);
+    fs::remove_all(dir);
+    svc::ServeOptions options;
+    options.worker_count = workers;
+    options.worker_command = {PROPANE_CLI_PATH, "campaign",
+                              "worker",         "--journal",
+                              dir.string(),     "--scale",
+                              scale.name,       "--no-telemetry"};
+    const auto start = Clock::now();
+    const svc::ServeSummary summary =
+        svc::serve_campaign(config, dir, options);
+    const double wall = seconds_since(start);
+    out.modes.push_back(
+        {workers, wall, static_cast<double>(summary.total_runs) / wall,
+         summary.leases_completed});
+    fs::remove_all(dir);
+  }
+  return out;
+}
+
 }  // namespace
 }  // namespace propane
 
@@ -299,6 +364,21 @@ int main() {
               delta.total_runs, delta.cold_wall_s, delta.delta_executed,
               delta.delta_replayed, delta.delta_wall_s, delta.speedup);
 
+  // --- dispatched campaign: serve with 1 and 2 worker processes -----------
+  const unsigned cpus = std::max(1u, std::thread::hardware_concurrency());
+  const ServeBench serve = run_serve_bench(scale);
+  std::printf("serve campaign (standard '%s' plan, %u cpu(s)): "
+              "single-process %zu runs in %.2f s  =>  %.0f runs/s\n",
+              scale.name.c_str(), cpus, serve.total_runs,
+              serve.single_wall_s, serve.single_runs_per_s);
+  for (const ServeModeBench& mode : serve.modes) {
+    std::printf("  %u worker(s): %.2f s  =>  %.0f runs/s "
+                "(%llu leases, %.2fx vs single-process)\n",
+                mode.workers, mode.wall_s, mode.runs_per_s,
+                static_cast<unsigned long long>(mode.leases),
+                mode.runs_per_s / serve.single_runs_per_s);
+  }
+
   // Pre-optimisation baseline: seed commit d9e9c5d, this file's default
   // workload (1284 runs, 15000 samples/run), same container. Measured with
   // the then-current per-row TraceSet, per-signal compare and cold-only
@@ -341,6 +421,19 @@ int main() {
          << ",\"delta_wall_s\":" << delta.delta_wall_s
          << ",\"invalidated\":\"V_REG\""
          << ",\"speedup_vs_cold\":" << delta.speedup << "}"
+         << ",\"serve\":{\"total_runs\":" << serve.total_runs
+         << ",\"cpus\":" << cpus
+         << ",\"single\":{\"wall_s\":" << serve.single_wall_s
+         << ",\"runs_per_s\":" << serve.single_runs_per_s << "}";
+    for (const ServeModeBench& mode : serve.modes) {
+      json << ",\"workers_" << mode.workers
+           << "\":{\"wall_s\":" << mode.wall_s
+           << ",\"runs_per_s\":" << mode.runs_per_s
+           << ",\"leases\":" << mode.leases
+           << ",\"speedup_vs_single\":"
+           << mode.runs_per_s / serve.single_runs_per_s << "}";
+    }
+    json << "}"
          << ",\"baseline\":{\"commit\":\"d9e9c5d\",\"scale\":\"default\""
          << ",\"runs_per_s\":" << kBaselineRunsPerS
          << ",\"record_ns_per_sample\":" << kBaselineRecordNs

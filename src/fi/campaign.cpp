@@ -51,75 +51,88 @@ std::uint64_t injection_run_seed(const CampaignConfig& config,
   return derive_seed(config, 1, flat);
 }
 
-CampaignResult run_campaign(const RunFunction& run,
-                            const CampaignConfig& config) {
-  return run_campaign(run, config, CampaignHooks{});
-}
+/// Telemetry handles, resolved once at construction; all null when
+/// telemetry is off, so the per-run overhead collapses to a few predictable
+/// branches.
+struct CampaignExecutor::Instruments {
+  obs::Counter* golden_runs = nullptr;
+  obs::Counter* injection_runs = nullptr;
+  obs::Counter* skipped_runs = nullptr;
+  obs::Counter* diverged_runs = nullptr;
+  obs::Counter* diverged_signals = nullptr;
+  obs::Histogram* run_latency = nullptr;
+  bool timed = false;
+};
 
-CampaignResult run_campaign(const RunFunction& run,
-                            const CampaignConfig& config,
-                            const CampaignHooks& hooks) {
-  PROPANE_REQUIRE(run != nullptr);
-  PROPANE_REQUIRE(config.test_case_count > 0);
+CampaignExecutor::CampaignExecutor(RunFunction run, CampaignConfig config,
+                                   CampaignHooks hooks)
+    : run_(std::move(run)),
+      config_(std::move(config)),
+      hooks_(std::move(hooks)) {
+  PROPANE_REQUIRE(run_ != nullptr);
+  PROPANE_REQUIRE(config_.test_case_count > 0);
+  total_ = static_cast<std::size_t>(config_.test_case_count) *
+           config_.injections.size();
 
-  CampaignResult result;
-  result.goldens.resize(config.test_case_count);
+  result_.goldens.resize(config_.test_case_count);
   // One model-name string per planned injection; records refer to it by
   // index instead of each carrying a copy.
-  result.injection_model_names.reserve(config.injections.size());
-  for (const InjectionSpec& spec : config.injections) {
-    result.injection_model_names.push_back(spec.model.name);
+  result_.injection_model_names.reserve(config_.injections.size());
+  for (const InjectionSpec& spec : config_.injections) {
+    result_.injection_model_names.push_back(spec.model.name);
   }
-  if (hooks.collect_records) {
-    result.records.resize(static_cast<std::size_t>(config.test_case_count) *
-                          config.injections.size());
-  }
+  if (hooks_.collect_records) result_.records.resize(total_);
 
-  // Telemetry handles, resolved once; all null when telemetry is off, so
-  // the per-run overhead collapses to a few predictable branches.
-  const obs::Telemetry* telemetry = hooks.telemetry;
-  obs::Counter* golden_runs =
+  const obs::Telemetry* telemetry = hooks_.telemetry;
+  instruments_ = std::make_unique<Instruments>();
+  instruments_->golden_runs =
       obs::find_counter(telemetry, "campaign.runs.golden");
-  obs::Counter* injection_runs =
+  instruments_->injection_runs =
       obs::find_counter(telemetry, "campaign.runs.injection");
-  obs::Counter* skipped_runs =
+  instruments_->skipped_runs =
       obs::find_counter(telemetry, "campaign.runs.skipped");
-  obs::Counter* diverged_runs =
+  instruments_->diverged_runs =
       obs::find_counter(telemetry, "campaign.runs.diverged");
-  obs::Counter* diverged_signals =
+  instruments_->diverged_signals =
       obs::find_counter(telemetry, "campaign.divergence.signals");
-  obs::Histogram* run_latency = obs::find_histogram(
+  instruments_->run_latency = obs::find_histogram(
       telemetry, "campaign.run.latency_us",
       {1e3, 1e4, 1e5, 1e6, 1e7, 1e8});
-  const bool timed = run_latency != nullptr ||
-                     (telemetry != nullptr && telemetry->events != nullptr);
+  instruments_->timed =
+      instruments_->run_latency != nullptr ||
+      (telemetry != nullptr && telemetry->events != nullptr);
 
-  obs::Span campaign_span(telemetry, "campaign");
+  campaign_span_ = std::make_unique<obs::Span>(telemetry, "campaign");
+  pool_ = std::make_unique<ThreadPool>(config_.threads, telemetry);
 
-  ThreadPool pool(config.threads, telemetry);
-
-  // Phase 1: golden runs.
+  // Golden runs execute up front: every injection range compares against
+  // them, whichever scheduler hands the ranges out.
+  const bool timed = instruments_->timed;
   {
     obs::Span golden_phase(telemetry, "campaign.golden_phase");
-    pool.parallel_for(0, config.test_case_count, [&](std::size_t tc) {
+    pool_->parallel_for(0, config_.test_case_count, [&](std::size_t tc) {
       obs::emit_event(telemetry, "campaign.run.start",
                       {{"kind", obs::Value("golden")},
                        {"test_case", obs::Value(tc)}});
       const std::uint64_t start_us = timed ? obs::steady_now_us() : 0;
       RunRequest request;
       request.test_case = static_cast<std::uint32_t>(tc);
-      request.rng_seed = golden_run_seed(config, static_cast<std::uint32_t>(tc));
-      result.goldens[tc] = run(request);
+      request.rng_seed =
+          golden_run_seed(config_, static_cast<std::uint32_t>(tc));
+      result_.goldens[tc] = run_(request);
       const std::uint64_t dur_us =
           timed ? obs::steady_now_us() - start_us : 0;
-      if (golden_runs != nullptr) golden_runs->add(1);
-      if (run_latency != nullptr) {
-        run_latency->observe(static_cast<double>(dur_us));
+      if (instruments_->golden_runs != nullptr) {
+        instruments_->golden_runs->add(1);
       }
-      obs::emit_event(telemetry, "golden.done",
-                      {{"test_case", obs::Value(tc)},
-                       {"samples", obs::Value(result.goldens[tc].sample_count())},
-                       {"dur_us", obs::Value(dur_us)}});
+      if (instruments_->run_latency != nullptr) {
+        instruments_->run_latency->observe(static_cast<double>(dur_us));
+      }
+      obs::emit_event(
+          telemetry, "golden.done",
+          {{"test_case", obs::Value(tc)},
+           {"samples", obs::Value(result_.goldens[tc].sample_count())},
+           {"dur_us", obs::Value(dur_us)}});
       obs::emit_event(telemetry, "campaign.run.end",
                       {{"kind", obs::Value("golden")},
                        {"test_case", obs::Value(tc)},
@@ -127,36 +140,46 @@ CampaignResult run_campaign(const RunFunction& run,
     });
   }
 
-  for (const TraceSet& golden : result.goldens) {
+  for (const TraceSet& golden : result_.goldens) {
     PROPANE_CHECK_MSG(golden.sample_count() > 0,
                       "golden run produced an empty trace");
   }
   // All runs cover the same signal set; capture the names once.
-  result.signal_names.reserve(result.goldens.front().signal_count());
-  for (BusSignalId s = 0; s < result.goldens.front().signal_count(); ++s) {
-    result.signal_names.push_back(result.goldens.front().signal_name(s));
+  result_.signal_names.reserve(result_.goldens.front().signal_count());
+  for (BusSignalId s = 0; s < result_.goldens.front().signal_count(); ++s) {
+    result_.signal_names.push_back(result_.goldens.front().signal_name(s));
   }
-  result.rebuild_signal_index();
+  result_.rebuild_signal_index();
+}
 
-  // Phase 2: injection runs, injection-major. The per-run seed depends only
-  // on (config.seed, flat index), never on which runs the hooks filter out,
-  // so a resumed or process-split campaign reproduces the exact runs an
-  // uninterrupted single-process one would have performed.
-  const std::size_t total = static_cast<std::size_t>(config.test_case_count) *
-                            config.injections.size();
+CampaignExecutor::~CampaignExecutor() = default;
+
+void CampaignExecutor::execute_range(RunRange range) {
+  range.end = std::min(range.end, total_);
+  range.begin = std::min(range.begin, range.end);
+  if (range.empty()) return;
+
+  const obs::Telemetry* telemetry = hooks_.telemetry;
+  const bool timed = instruments_->timed;
+
+  // Injection runs, injection-major. The per-run seed depends only on
+  // (config.seed, flat index), never on which runs the hooks filter out or
+  // how the plan was cut into ranges, so a resumed, process-split or
+  // lease-dispatched campaign reproduces the exact runs an uninterrupted
+  // single-process one would have performed.
   obs::Span injection_phase(telemetry, "campaign.injection_phase");
-  pool.parallel_for(0, total, [&](std::size_t flat) {
-    const std::size_t inj = flat / config.test_case_count;
-    const std::size_t tc = flat % config.test_case_count;
+  pool_->parallel_for(range.begin, range.end, [&](std::size_t flat) {
+    const std::size_t inj = flat / config_.test_case_count;
+    const std::size_t tc = flat % config_.test_case_count;
     InjectionRecord record;
     record.injection_index = static_cast<std::uint32_t>(inj);
     record.test_case = static_cast<std::uint32_t>(tc);
-    record.target = config.injections[inj].target;
-    record.when = config.injections[inj].when;
+    record.target = config_.injections[inj].target;
+    record.when = config_.injections[inj].when;
 
     const bool execute =
-        !hooks.should_run ||
-        hooks.should_run(record.injection_index, record.test_case);
+        !hooks_.should_run ||
+        hooks_.should_run(record.injection_index, record.test_case);
     if (execute) {
       obs::emit_event(telemetry, "campaign.run.start",
                       {{"kind", obs::Value("injection")},
@@ -166,43 +189,61 @@ CampaignResult run_campaign(const RunFunction& run,
       const std::uint64_t start_us = timed ? obs::steady_now_us() : 0;
       RunRequest request;
       request.test_case = static_cast<std::uint32_t>(tc);
-      request.injection = config.injections[inj];
-      request.rng_seed = injection_run_seed(config, flat);
-      const TraceSet trace = run(request);
-      record.report = compare_to_golden(result.goldens[tc], trace);
+      request.injection = config_.injections[inj];
+      request.rng_seed = injection_run_seed(config_, flat);
+      const TraceSet trace = run_(request);
+      record.report = compare_to_golden(result_.goldens[tc], trace);
       const std::uint64_t dur_us =
           timed ? obs::steady_now_us() - start_us : 0;
       const std::size_t divergences = record.report.divergence_count();
-      if (injection_runs != nullptr) injection_runs->add(1);
+      if (instruments_->injection_runs != nullptr) {
+        instruments_->injection_runs->add(1);
+      }
       if (divergences > 0) {
-        if (diverged_runs != nullptr) diverged_runs->add(1);
-        if (diverged_signals != nullptr) diverged_signals->add(divergences);
+        if (instruments_->diverged_runs != nullptr) {
+          instruments_->diverged_runs->add(1);
+        }
+        if (instruments_->diverged_signals != nullptr) {
+          instruments_->diverged_signals->add(divergences);
+        }
       }
-      if (run_latency != nullptr) {
-        run_latency->observe(static_cast<double>(dur_us));
+      if (instruments_->run_latency != nullptr) {
+        instruments_->run_latency->observe(static_cast<double>(dur_us));
       }
-      obs::emit_event(telemetry, "injection.done",
-                      {{"flat", obs::Value(flat)},
-                       {"injection", obs::Value(inj)},
-                       {"test_case", obs::Value(tc)},
-                       {"target", obs::Value(record.target)},
-                       {"model", obs::Value(config.injections[inj].model.name)},
-                       {"diverged_signals", obs::Value(divergences)},
-                       {"dur_us", obs::Value(dur_us)}});
+      obs::emit_event(
+          telemetry, "injection.done",
+          {{"flat", obs::Value(flat)},
+           {"injection", obs::Value(inj)},
+           {"test_case", obs::Value(tc)},
+           {"target", obs::Value(record.target)},
+           {"model", obs::Value(config_.injections[inj].model.name)},
+           {"diverged_signals", obs::Value(divergences)},
+           {"dur_us", obs::Value(dur_us)}});
       obs::emit_event(telemetry, "campaign.run.end",
                       {{"kind", obs::Value("injection")},
                        {"flat", obs::Value(flat)},
                        {"dur_us", obs::Value(dur_us)}});
-      if (hooks.on_record) hooks.on_record(record);
-    } else if (skipped_runs != nullptr) {
-      skipped_runs->add(1);
+      if (hooks_.on_record) hooks_.on_record(record);
+    } else if (instruments_->skipped_runs != nullptr) {
+      instruments_->skipped_runs->add(1);
     }
     // Skipped runs keep their identity fields but an empty report; callers
     // resuming from a journal overwrite them with the stored records.
-    if (hooks.collect_records) result.records[flat] = std::move(record);
+    if (hooks_.collect_records) result_.records[flat] = std::move(record);
   });
+}
 
-  return result;
+CampaignResult run_campaign(const RunFunction& run,
+                            const CampaignConfig& config) {
+  return run_campaign(run, config, CampaignHooks{});
+}
+
+CampaignResult run_campaign(const RunFunction& run,
+                            const CampaignConfig& config,
+                            const CampaignHooks& hooks) {
+  CampaignExecutor executor(run, config, hooks);
+  executor.execute_range({0, executor.total_runs()});
+  return executor.take_result();
 }
 
 }  // namespace propane::fi

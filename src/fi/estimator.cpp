@@ -228,6 +228,31 @@ void PermeabilityAccumulator::add(const InjectionRecord& record) {
   }
 }
 
+void PermeabilityAccumulator::merge(const PermeabilityAccumulator& other) {
+  PROPANE_CHECK_MSG(
+      pairs_.size() == other.pairs_.size() &&
+          min_report_size_ == other.min_report_size_,
+      "merging permeability accumulators built over different layouts");
+  record_count_ += other.record_count_;
+  for (std::size_t p = 0; p < pairs_.size(); ++p) {
+    PairEstimate& dst = pairs_[p];
+    const PairEstimate& src = other.pairs_[p];
+    dst.injections += src.injections;
+    dst.errors += src.errors;
+    dst.indirect_errors += src.indirect_errors;
+    if (src.latency_count == 0) continue;
+    if (dst.latency_count == 0) {
+      dst.latency_min_ms = src.latency_min_ms;
+      dst.latency_max_ms = src.latency_max_ms;
+    } else {
+      dst.latency_min_ms = std::min(dst.latency_min_ms, src.latency_min_ms);
+      dst.latency_max_ms = std::max(dst.latency_max_ms, src.latency_max_ms);
+    }
+    dst.latency_sum_ms += src.latency_sum_ms;
+    dst.latency_count += src.latency_count;
+  }
+}
+
 EstimationResult PermeabilityAccumulator::finish() const {
   EstimationResult result{core::SystemPermeability(model_), pairs_};
   for (const PairEstimate& estimate : result.pairs) {

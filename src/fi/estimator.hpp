@@ -113,6 +113,15 @@ class PermeabilityAccumulator {
   /// Folds one injection record into the counts.
   void add(const InjectionRecord& record);
 
+  /// Folds another accumulator's counts into this one. Both accumulators
+  /// must have been constructed over the same model / binding layout
+  /// (checked). Because every count is a plain sum and the latency stats
+  /// are min/max/sum/count, merge(a, b) equals folding a's and b's records
+  /// into one accumulator in any order -- the property the campaign
+  /// dispatcher relies on to stream partial estimates from per-worker
+  /// shards as they land.
+  void merge(const PermeabilityAccumulator& other);
+
   std::size_t record_count() const { return record_count_; }
 
   /// Builds the estimation result from the counts folded so far.

@@ -6,9 +6,8 @@
 
 #include "common/contracts.hpp"
 #include "obs/clock.hpp"
-#include "obs/progress.hpp"
-#include "obs/span.hpp"
 #include "obs/telemetry.hpp"
+#include "store/campaign_session.hpp"
 
 namespace propane::store {
 
@@ -63,7 +62,6 @@ DeltaJournalSummary run_delta_journaled_campaign(
       (options.base.telemetry != nullptr && options.base.telemetry->enabled())
           ? options.base.telemetry
           : nullptr;
-  obs::ProgressReporter* progress = options.base.progress;
   const std::uint64_t wall_start_us = obs::steady_now_us();
 
   const std::vector<std::uint64_t> fingerprints =
@@ -118,42 +116,13 @@ DeltaJournalSummary run_delta_journaled_campaign(
                      {"total_runs", obs::Value(summary.total_runs)}});
   }
 
-  // Resume scan of the *output* directory, as in run_journaled_campaign.
-  std::vector<std::pair<std::size_t, fi::InjectionRecord>> reloaded;
-  CampaignDirState state;
-  {
-    obs::Span scan_span(telemetry, "journal.resume_scan");
-    state = scan_campaign_dir(
-        dir, options.base.collect_records
-                 ? std::function<void(fi::InjectionRecord&&, std::size_t)>(
-                       [&](fi::InjectionRecord&& record, std::size_t flat) {
-                         reloaded.emplace_back(flat, std::move(record));
-                       })
-                 : nullptr);
-  }
-  if (!state.fresh) {
-    PROPANE_REQUIRE_MSG(
-        manifest == state.manifest,
-        "journal manifest mismatch: " + dir.string() +
-            " belongs to a different campaign than the delta plan");
-  }
-  summary.warnings.insert(summary.warnings.end(), state.warnings.begin(),
-                          state.warnings.end());
-  std::vector<bool> completed = std::move(state.completed);
-  if (completed.empty()) completed.assign(manifest.total_runs(), false);
+  // Session core: resume scan of the *output* directory, shard writer and
+  // the completed/foreign filtering + durable-append hooks, shared with
+  // run_journaled_campaign and the campaign service workers.
+  JournaledCampaignSession session(config, dir, options.base);
+  summary.warnings.insert(summary.warnings.end(), session.warnings().begin(),
+                          session.warnings().end());
 
-  ShardedJournalWriter writer(dir, manifest, options.base.shard_count,
-                              telemetry);
-  if (progress != nullptr) {
-    progress->set_total(manifest.total_runs());
-    progress->set_journal(writer.bytes_written(), writer.shard_count());
-  }
-  const std::uint64_t journal_base_bytes = writer.bytes_written();
-
-  std::atomic<std::size_t> executed{0};
-  std::atomic<std::size_t> skipped_completed{0};
-  std::atomic<std::size_t> skipped_foreign{0};
-  std::atomic<std::size_t> diverged{0};
   // Per-run outcome for the --explain table; each flat is resolved by
   // exactly one worker, so plain elements suffice.
   enum : std::uint8_t { kUntouched = 0, kExecuted = 1, kReplayed = 2 };
@@ -162,56 +131,35 @@ DeltaJournalSummary run_delta_journaled_campaign(
   fi::DeltaOptions delta;
   delta.lookup = baseline.lookup();
   delta.module_versions = options.module_versions;
-  delta.hooks.collect_records = options.base.collect_records;
-  delta.hooks.telemetry = telemetry;
-  delta.hooks.should_run = [&](std::uint32_t injection_index,
-                               std::uint32_t test_case) {
-    const std::size_t flat = manifest.flat_index(injection_index, test_case);
-    if (completed[flat]) {
-      skipped_completed.fetch_add(1, std::memory_order_relaxed);
-      if (progress != nullptr) progress->add_skipped(1);
-      return false;
-    }
-    if (flat % options.base.process_count != options.base.process_index) {
-      skipped_foreign.fetch_add(1, std::memory_order_relaxed);
-      if (progress != nullptr) progress->add_skipped(1);
-      return false;
-    }
-    return true;
-  };
-  delta.hooks.on_record = [&](const fi::InjectionRecord& record) {
-    writer.append(record);
-    executed.fetch_add(1, std::memory_order_relaxed);
+  delta.hooks = session.hooks();
+  delta.hooks.on_record = [&, append = std::move(delta.hooks.on_record)](
+                              const fi::InjectionRecord& record) {
+    append(record);
     outcome[manifest.flat_index(record.injection_index, record.test_case)] =
         kExecuted;
-    const bool hit = record.report.any_divergence();
-    if (hit) diverged.fetch_add(1, std::memory_order_relaxed);
-    if (progress != nullptr) {
-      progress->set_journal(writer.bytes_written(), writer.shard_count());
-      progress->add_completed(1, hit);
-    }
   };
   // Replayed records are re-appended too: the output directory is a
   // complete journal of the plan, usable as the next delta's baseline and
   // yielding byte-identical estimates to a cold run of the same plan.
   delta.on_replay = [&](const fi::InjectionRecord& record) {
-    writer.append(record);
+    session.append_replayed(record);
     outcome[manifest.flat_index(record.injection_index, record.test_case)] =
         kReplayed;
-    if (progress != nullptr) {
-      progress->set_journal(writer.bytes_written(), writer.shard_count());
-      progress->add_replayed(1);
-    }
   };
 
   fi::DeltaResult delta_result =
       fi::run_delta_campaign(run, config, model, binding, delta);
-  summary.executed = executed.load();
   summary.replayed = delta_result.stats.hits;
-  summary.skipped_completed = skipped_completed.load();
-  summary.skipped_foreign = skipped_foreign.load();
-  summary.diverged = diverged.load();
-  summary.journal_bytes = writer.bytes_written() - journal_base_bytes;
+
+  const SessionTally tally = session.finish(
+      "delta.done", {{"replayed", obs::Value(summary.replayed)}});
+  summary.executed = tally.executed;
+  summary.skipped_completed = tally.skipped_completed;
+  summary.skipped_foreign = tally.skipped_foreign;
+  summary.diverged = tally.diverged;
+  summary.journal_bytes = tally.journal_bytes;
+  // Wall time spans the delta planning (fingerprints, stale detection)
+  // too, not just the session.
   summary.wall_seconds =
       static_cast<double>(obs::steady_now_us() - wall_start_us) / 1e6;
 
@@ -231,21 +179,9 @@ DeltaJournalSummary run_delta_journaled_campaign(
     }
   }
 
-  if (progress != nullptr) progress->finish();
-  obs::emit_event(
-      telemetry, "delta.done",
-      {{"executed", obs::Value(summary.executed)},
-       {"replayed", obs::Value(summary.replayed)},
-       {"skipped_completed", obs::Value(summary.skipped_completed)},
-       {"skipped_foreign", obs::Value(summary.skipped_foreign)},
-       {"total_runs", obs::Value(summary.total_runs)},
-       {"diverged", obs::Value(summary.diverged)},
-       {"journal_bytes", obs::Value(summary.journal_bytes)},
-       {"wall_s", obs::Value(summary.wall_seconds)}});
-
   summary.result = std::move(delta_result.campaign);
   if (options.base.collect_records) {
-    for (auto& [flat, record] : reloaded) {
+    for (auto& [flat, record] : session.reloaded()) {
       summary.result.records[flat] = std::move(record);
     }
   }

@@ -1,39 +1,17 @@
 #include "store/resume.hpp"
 
-#include <atomic>
-#include <cstdio>
 #include <optional>
 #include <ostream>
+#include <set>
 
 #include "common/contracts.hpp"
 #include "core/permeability_io.hpp"
-#include "obs/clock.hpp"
-#include "obs/progress.hpp"
-#include "obs/span.hpp"
-#include "obs/telemetry.hpp"
+#include "store/campaign_session.hpp"
 
 namespace propane::store {
 
-namespace {
-
-std::string hex64(std::uint64_t value) {
-  char buffer[19];
-  std::snprintf(buffer, sizeof(buffer), "0x%016llx",
-                static_cast<unsigned long long>(value));
-  return buffer;
-}
-
-void require_same_manifest(const Manifest& expected, const Manifest& found,
-                           const std::string& where) {
-  PROPANE_REQUIRE_MSG(
-      expected == found,
-      "journal manifest mismatch (" + where + "): expected plan " +
-          hex64(expected.plan_hash) + " seed " + hex64(expected.seed) +
-          ", found plan " + hex64(found.plan_hash) + " seed " +
-          hex64(found.seed) + " -- shards belong to different campaigns");
-}
-
-}  // namespace
+using detail::hex64;
+using detail::require_same_manifest;
 
 CampaignDirState scan_campaign_dir(
     const std::filesystem::path& dir,
@@ -84,125 +62,23 @@ JournalRunSummary run_journaled_campaign(const fi::RunFunction& run,
                                          const fi::CampaignConfig& config,
                                          const std::filesystem::path& dir,
                                          const JournalRunOptions& options) {
-  PROPANE_REQUIRE(options.process_count > 0);
-  PROPANE_REQUIRE(options.process_index < options.process_count);
-
-  const Manifest manifest = manifest_for(config);
+  JournaledCampaignSession session(config, dir, options);
   JournalRunSummary summary;
-  summary.total_runs = manifest.total_runs();
+  summary.total_runs = session.total_runs();
+  summary.warnings = session.warnings();
 
-  const obs::Telemetry* telemetry =
-      (options.telemetry != nullptr && options.telemetry->enabled())
-          ? options.telemetry
-          : nullptr;
-  obs::ProgressReporter* progress = options.progress;
-  const std::uint64_t wall_start_us = obs::steady_now_us();
+  summary.result = fi::run_campaign(run, config, session.hooks());
 
-  // Reload phase: rebuild the completed-run set (and keep the records when
-  // the caller wants an in-memory CampaignResult too).
-  std::vector<std::pair<std::size_t, fi::InjectionRecord>> reloaded;
-  CampaignDirState state;
-  {
-    obs::Span scan_span(telemetry, "journal.resume_scan");
-    const std::uint64_t scan_start_us = obs::steady_now_us();
-    state = scan_campaign_dir(
-        dir, options.collect_records
-                 ? std::function<void(fi::InjectionRecord&&, std::size_t)>(
-                       [&](fi::InjectionRecord&& record, std::size_t flat) {
-                         reloaded.emplace_back(flat, std::move(record));
-                       })
-                 : nullptr);
-    if (telemetry != nullptr) {
-      const std::uint64_t scan_us = obs::steady_now_us() - scan_start_us;
-      if (auto* gauge =
-              obs::find_gauge(telemetry, "journal.resume.scan_ms")) {
-        gauge->set(static_cast<double>(scan_us) / 1000.0);
-      }
-      obs::emit_event(
-          telemetry, "journal.resume_scan",
-          {{"dir", obs::Value(dir.string())},
-           {"completed", obs::Value(state.completed_count)},
-           {"duplicates", obs::Value(state.duplicate_count)},
-           {"warnings", obs::Value(state.warnings.size())},
-           {"dur_us", obs::Value(scan_us)}});
-    }
-  }
-  if (!state.fresh) {
-    require_same_manifest(manifest, state.manifest, dir.string());
-  }
-  summary.warnings = state.warnings;
-  std::vector<bool> completed = std::move(state.completed);
-  if (completed.empty()) completed.assign(manifest.total_runs(), false);
-
-  ShardedJournalWriter writer(dir, manifest, options.shard_count,
-                              telemetry);
-  if (progress != nullptr) {
-    progress->set_total(manifest.total_runs());
-    progress->set_journal(writer.bytes_written(), writer.shard_count());
-  }
-  const std::uint64_t journal_base_bytes = writer.bytes_written();
-
-  std::atomic<std::size_t> executed{0};
-  std::atomic<std::size_t> skipped_completed{0};
-  std::atomic<std::size_t> skipped_foreign{0};
-  std::atomic<std::size_t> diverged{0};
-
-  fi::CampaignHooks hooks;
-  hooks.collect_records = options.collect_records;
-  hooks.telemetry = telemetry;
-  // `completed` is only read here (writes all happened during the scan),
-  // so concurrent calls from worker threads are safe.
-  hooks.should_run = [&](std::uint32_t injection_index,
-                         std::uint32_t test_case) {
-    const std::size_t flat = manifest.flat_index(injection_index, test_case);
-    if (completed[flat]) {
-      skipped_completed.fetch_add(1, std::memory_order_relaxed);
-      if (progress != nullptr) progress->add_skipped(1);
-      return false;
-    }
-    if (flat % options.process_count != options.process_index) {
-      skipped_foreign.fetch_add(1, std::memory_order_relaxed);
-      if (progress != nullptr) progress->add_skipped(1);
-      return false;
-    }
-    return true;
-  };
-  // Durability point: the record reaches its shard (and is flushed) before
-  // the worker picks up another run, so a crash can lose at most the runs
-  // still in flight -- never a completed one.
-  hooks.on_record = [&](const fi::InjectionRecord& record) {
-    writer.append(record);
-    executed.fetch_add(1, std::memory_order_relaxed);
-    const bool hit = record.report.any_divergence();
-    if (hit) diverged.fetch_add(1, std::memory_order_relaxed);
-    if (progress != nullptr) {
-      progress->set_journal(writer.bytes_written(), writer.shard_count());
-      progress->add_completed(1, hit);
-    }
-  };
-
-  summary.result = fi::run_campaign(run, config, hooks);
-  summary.executed = executed.load();
-  summary.skipped_completed = skipped_completed.load();
-  summary.skipped_foreign = skipped_foreign.load();
-  summary.diverged = diverged.load();
-  summary.journal_bytes = writer.bytes_written() - journal_base_bytes;
-  summary.wall_seconds =
-      static_cast<double>(obs::steady_now_us() - wall_start_us) / 1e6;
-
-  if (progress != nullptr) progress->finish();
-  obs::emit_event(
-      telemetry, "campaign.done",
-      {{"executed", obs::Value(summary.executed)},
-       {"skipped_completed", obs::Value(summary.skipped_completed)},
-       {"skipped_foreign", obs::Value(summary.skipped_foreign)},
-       {"total_runs", obs::Value(summary.total_runs)},
-       {"diverged", obs::Value(summary.diverged)},
-       {"journal_bytes", obs::Value(summary.journal_bytes)},
-       {"wall_s", obs::Value(summary.wall_seconds)}});
+  const SessionTally tally = session.finish("campaign.done");
+  summary.executed = tally.executed;
+  summary.skipped_completed = tally.skipped_completed;
+  summary.skipped_foreign = tally.skipped_foreign;
+  summary.diverged = tally.diverged;
+  summary.journal_bytes = tally.journal_bytes;
+  summary.wall_seconds = tally.wall_seconds;
 
   if (options.collect_records) {
-    for (auto& [flat, record] : reloaded) {
+    for (auto& [flat, record] : session.reloaded()) {
       summary.result.records[flat] = std::move(record);
     }
   }
@@ -221,10 +97,28 @@ MergeSummary merge_journals(
   std::optional<Manifest> manifest;
   if (!dest_state.fresh) manifest = dest_state.manifest;
 
-  // Validate every source shard's identity before writing anything, so a
-  // mismatched source cannot leave a half-merged destination behind.
+  // Validate every source before writing anything, so a bad source cannot
+  // leave a half-merged destination behind: each must hold at least one
+  // shard, no shard file may be merged twice (the same directory listed
+  // twice, or the destination named as a source, would otherwise silently
+  // fold into an all-duplicates no-op), and all manifests must agree.
+  std::set<std::filesystem::path> seen_shards;
+  for (const auto& shard : ShardedJournalWriter::list_shards(dest)) {
+    seen_shards.insert(std::filesystem::weakly_canonical(shard));
+  }
   for (const auto& source : sources) {
-    for (const auto& shard : ShardedJournalWriter::list_shards(source)) {
+    const std::vector<std::filesystem::path> shards =
+        ShardedJournalWriter::list_shards(source);
+    PROPANE_REQUIRE_MSG(!shards.empty(),
+                        "merge source has no journal shards: " +
+                            source.string());
+    for (const auto& shard : shards) {
+      PROPANE_REQUIRE_MSG(
+          seen_shards.insert(std::filesystem::weakly_canonical(shard)).second,
+          "merge source duplicates a shard already merged: " +
+              shard.string() +
+              " (same directory listed twice, or the destination given as a "
+              "source)");
       const JournalScan peek = peek_journal_manifest(shard);
       if (!peek.has_manifest) continue;  // crash residue; scan warns later
       if (!manifest) {

@@ -120,7 +120,10 @@ struct MergeSummary {
 /// Merges the unique records of `sources` (directories of the same plan)
 /// into `dest`. `dest` may be empty or already hold shards of that plan;
 /// records it already has are not duplicated. Estimates over the merged
-/// directory equal those of a single-process run of the union.
+/// directory equal those of a single-process run of the union. Hard errors
+/// (before anything is written): a source with no shards, a shard file
+/// encountered twice (a source listed twice, or `dest` given as a source),
+/// or disagreeing manifests.
 MergeSummary merge_journals(const std::filesystem::path& dest,
                             const std::vector<std::filesystem::path>& sources);
 

@@ -1,0 +1,482 @@
+#include "svc/dispatcher.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/contracts.hpp"
+#include "obs/clock.hpp"
+#include "obs/telemetry.hpp"
+#include "store/record_codec.hpp"
+#include "store/sharded_writer.hpp"
+#include "svc/wire.hpp"
+
+namespace propane::svc {
+
+namespace {
+
+/// One spawned worker process and its pipe plumbing.
+struct WorkerProc {
+  std::uint32_t id = 0;
+  pid_t pid = -1;
+  int to_fd = -1;    // dispatcher -> worker stdin
+  int from_fd = -1;  // worker stdout -> dispatcher
+  std::string buffer;  // partial line from the last read
+  bool hello = false;
+  bool alive = false;
+  std::optional<LeaseGrant> lease;
+};
+
+/// A range waiting to be leased; `rescan` marks requeued ranges whose runs
+/// may already be partially journaled by a dead worker.
+struct PendingRange {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  bool rescan = false;
+};
+
+/// Ignores SIGPIPE for the serve's lifetime: a write into a just-died
+/// worker's pipe must surface as EPIPE, not kill the dispatcher.
+class SigpipeGuard {
+ public:
+  SigpipeGuard() { previous_ = ::signal(SIGPIPE, SIG_IGN); }
+  ~SigpipeGuard() { ::signal(SIGPIPE, previous_); }
+
+ private:
+  using Handler = void (*)(int);
+  Handler previous_ = SIG_DFL;
+};
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+WorkerProc spawn_worker(const std::vector<std::string>& command,
+                        std::uint32_t worker_id) {
+  std::vector<std::string> argv_storage = command;
+  argv_storage.push_back("--worker-id");
+  argv_storage.push_back(std::to_string(worker_id));
+  std::vector<char*> argv;
+  argv.reserve(argv_storage.size() + 1);
+  for (std::string& arg : argv_storage) argv.push_back(arg.data());
+  argv.push_back(nullptr);
+
+  int to_child[2];    // dispatcher writes [1], child reads [0]
+  int from_child[2];  // child writes [1], dispatcher reads [0]
+  PROPANE_CHECK_MSG(::pipe(to_child) == 0 && ::pipe(from_child) == 0,
+                    "pipe() failed spawning campaign worker");
+
+  const pid_t pid = ::fork();
+  PROPANE_CHECK_MSG(pid >= 0, "fork() failed spawning campaign worker");
+  if (pid == 0) {
+    // Child: wire the pipe ends onto stdin/stdout and become the worker.
+    ::dup2(to_child[0], STDIN_FILENO);
+    ::dup2(from_child[1], STDOUT_FILENO);
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    ::close(from_child[0]);
+    ::close(from_child[1]);
+    ::execv(argv[0], argv.data());
+    // exec only returns on failure; stderr is still the dispatcher's.
+    const char* msg = "propane dispatcher: execv failed: ";
+    [[maybe_unused]] ssize_t n = ::write(STDERR_FILENO, msg, strlen(msg));
+    n = ::write(STDERR_FILENO, argv[0], strlen(argv[0]));
+    n = ::write(STDERR_FILENO, "\n", 1);
+    ::_exit(127);
+  }
+  ::close(to_child[0]);
+  ::close(from_child[1]);
+
+  WorkerProc worker;
+  worker.id = worker_id;
+  worker.pid = pid;
+  worker.to_fd = to_child[1];
+  worker.from_fd = from_child[0];
+  worker.alive = true;
+  return worker;
+}
+
+/// Writes one protocol line; false when the pipe is gone (worker died).
+bool write_line(int fd, const std::string& line) {
+  std::string framed = line;
+  framed.push_back('\n');
+  std::size_t off = 0;
+  while (off < framed.size()) {
+    const ssize_t n = ::write(fd, framed.data() + off, framed.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Incremental tail state of one journal shard file.
+struct ShardTail {
+  std::size_t offset = 0;
+  std::unique_ptr<fi::PermeabilityAccumulator> acc;
+};
+
+/// Streams partial permeability estimates from the growing shard files.
+class PartialEstimator {
+ public:
+  PartialEstimator(const ServeOptions& options, const store::Manifest& manifest,
+                   const std::filesystem::path& dir)
+      : options_(options), manifest_(manifest), dir_(dir) {
+    if (enabled()) seen_.assign(manifest_.total_runs(), false);
+  }
+
+  bool enabled() const { return options_.model != nullptr; }
+  std::uint64_t covered() const { return covered_; }
+  std::uint64_t emitted() const { return emitted_; }
+
+  /// Scans shard growth since the last call and emits one
+  /// serve.partial_estimate event over everything seen so far.
+  void poll_and_emit() {
+    if (!enabled()) return;
+    for (const std::filesystem::path& path :
+         store::ShardedJournalWriter::list_shards(dir_)) {
+      ShardTail& tail = tails_[path];
+      if (tail.acc == nullptr) {
+        tail.acc = std::make_unique<fi::PermeabilityAccumulator>(
+            *options_.model, *options_.binding, options_.bus_signal_count,
+            options_.estimation);
+      }
+      const store::JournalTailScan scan = store::scan_journal_tail(
+          path, tail.offset, [&](fi::InjectionRecord&& record) {
+            const std::size_t flat =
+                manifest_.flat_index(record.injection_index, record.test_case);
+            if (flat >= seen_.size() || seen_[flat]) return;
+            seen_[flat] = true;
+            tail.acc->add(record);
+            ++covered_;
+          });
+      tail.offset = scan.next_offset;
+    }
+
+    fi::PermeabilityAccumulator merged(*options_.model, *options_.binding,
+                                       options_.bus_signal_count,
+                                       options_.estimation);
+    for (auto& [path, tail] : tails_) merged.merge(*tail.acc);
+    const fi::EstimationResult estimate = merged.finish();
+    std::size_t injections = 0;
+    std::size_t errors = 0;
+    for (const fi::PairEstimate& pair : estimate.pairs) {
+      injections += pair.injections;
+      errors += pair.errors;
+    }
+    ++emitted_;
+    obs::emit_event(options_.telemetry, "serve.partial_estimate",
+                    {{"runs_covered", obs::Value(covered_)},
+                     {"total_runs", obs::Value(manifest_.total_runs())},
+                     {"pairs", obs::Value(estimate.pairs.size())},
+                     {"injections", obs::Value(injections)},
+                     {"errors", obs::Value(errors)}});
+  }
+
+ private:
+  const ServeOptions& options_;
+  store::Manifest manifest_;
+  std::filesystem::path dir_;
+  std::map<std::filesystem::path, ShardTail> tails_;
+  std::vector<bool> seen_;
+  std::uint64_t covered_ = 0;
+  std::uint64_t emitted_ = 0;
+};
+
+}  // namespace
+
+ServeSummary serve_campaign(const fi::CampaignConfig& config,
+                            const std::filesystem::path& dir,
+                            const ServeOptions& options) {
+  PROPANE_REQUIRE_MSG(options.worker_count >= 1,
+                      "campaign serve needs at least one worker");
+  PROPANE_REQUIRE_MSG(!options.worker_command.empty(),
+                      "campaign serve needs a worker command to spawn");
+  PROPANE_REQUIRE_MSG((options.model == nullptr) ==
+                          (options.binding == nullptr),
+                      "partial estimation needs both model and binding");
+
+  const store::Manifest manifest = store::manifest_for(config);
+  const std::uint64_t total = manifest.total_runs();
+  const std::uint64_t lease_runs =
+      options.lease_runs > 0
+          ? options.lease_runs
+          : std::max<std::uint64_t>(1, total / (4ull * options.worker_count));
+
+  const obs::Telemetry* telemetry =
+      (options.telemetry != nullptr && options.telemetry->enabled())
+          ? options.telemetry
+          : nullptr;
+  obs::Counter* granted_counter = obs::find_counter(telemetry, "svc.leases.granted");
+  obs::Counter* completed_counter =
+      obs::find_counter(telemetry, "svc.leases.completed");
+  obs::Counter* requeued_counter =
+      obs::find_counter(telemetry, "svc.leases.requeued");
+  obs::Counter* death_counter = obs::find_counter(telemetry, "svc.workers.died");
+
+  const std::uint64_t wall_start_us = obs::steady_now_us();
+  ServeSummary summary;
+  summary.total_runs = total;
+  std::filesystem::create_directories(dir);
+  summary.lease_log_path = LeaseLogWriter::next_log_path(dir);
+  LeaseLogWriter lease_log(
+      summary.lease_log_path,
+      LeaseCampaignInfo{manifest.plan_hash, manifest.seed, total, lease_runs});
+
+  std::deque<PendingRange> pending;
+  for (std::uint64_t begin = 0; begin < total; begin += lease_runs) {
+    pending.push_back(
+        PendingRange{begin, std::min(begin + lease_runs, total), false});
+  }
+
+  SigpipeGuard sigpipe_guard;
+  PartialEstimator estimator(options, manifest, dir);
+
+  std::vector<WorkerProc> workers;
+  workers.reserve(options.worker_count);
+  for (std::uint32_t id = 0; id < options.worker_count; ++id) {
+    workers.push_back(spawn_worker(options.worker_command, id));
+    ++summary.workers_spawned;
+    obs::emit_event(telemetry, "serve.worker.spawn",
+                    {{"worker_id", obs::Value(id)},
+                     {"pid", obs::Value(workers.back().pid)}});
+  }
+
+  std::uint64_t next_lease_id = 1;
+  std::uint64_t outstanding = 0;
+
+  const auto handle_death = [&](WorkerProc& worker) {
+    worker.alive = false;
+    close_fd(worker.to_fd);
+    close_fd(worker.from_fd);
+    int status = 0;
+    ::waitpid(worker.pid, &status, 0);
+    ++summary.workers_died;
+    if (death_counter != nullptr) death_counter->add(1);
+    std::vector<obs::Field> fields = {{"worker_id", obs::Value(worker.id)},
+                                      {"pid", obs::Value(worker.pid)}};
+    if (WIFSIGNALED(status)) {
+      fields.push_back({"signal", obs::Value(WTERMSIG(status))});
+    } else if (WIFEXITED(status)) {
+      fields.push_back({"exit_code", obs::Value(WEXITSTATUS(status))});
+    }
+    if (worker.lease.has_value()) {
+      const LeaseGrant& lease = *worker.lease;
+      // Durable before the range becomes grantable again.
+      lease_log.requeue(lease.lease_id);
+      pending.push_front(PendingRange{lease.begin, lease.end, true});
+      --outstanding;
+      ++summary.leases_requeued;
+      if (requeued_counter != nullptr) requeued_counter->add(1);
+      fields.push_back({"requeued_lease", obs::Value(lease.lease_id)});
+      worker.lease.reset();
+    }
+    obs::emit_event(telemetry, "serve.worker.death", std::move(fields));
+  };
+
+  const auto grant = [&](WorkerProc& worker) {
+    PendingRange range = pending.front();
+    pending.pop_front();
+    LeaseGrant lease;
+    lease.lease_id = next_lease_id++;
+    lease.begin = range.begin;
+    lease.end = range.end;
+    lease.worker_id = worker.id;
+    lease.rescan = range.rescan;
+    // Durability point: the grant is in the log before the worker can see
+    // the lease, so no range is ever in flight without a trace. The lease
+    // attaches to the worker before the send, so a write into a just-died
+    // worker's pipe requeues the range through the normal death path.
+    lease_log.grant(lease);
+    worker.lease = lease;
+    ++outstanding;
+    ++summary.leases_granted;
+    if (granted_counter != nullptr) granted_counter->add(1);
+    obs::emit_event(telemetry, "serve.lease.grant",
+                    {{"lease_id", obs::Value(lease.lease_id)},
+                     {"begin", obs::Value(lease.begin)},
+                     {"end", obs::Value(lease.end)},
+                     {"worker_id", obs::Value(worker.id)},
+                     {"rescan", obs::Value(lease.rescan)}});
+    if (!write_line(worker.to_fd,
+                    format_wire(LeaseMsg{lease.lease_id, lease.begin,
+                                         lease.end, lease.rescan}))) {
+      handle_death(worker);
+      return;
+    }
+    if (options.on_grant) options.on_grant(lease, worker.pid);
+  };
+
+  // Set on a worker FAIL / protocol violation; the serve shuts every
+  // worker down cleanly first, then throws with this message.
+  std::optional<std::string> abort_reason;
+
+  const auto handle_line = [&](WorkerProc& worker, const std::string& line) {
+    const std::optional<WireMessage> message = parse_wire(line);
+    if (!message.has_value()) {
+      abort_reason = "worker " + std::to_string(worker.id) +
+                     " sent a malformed line: " + line;
+      return;
+    }
+    if (const HelloMsg* hello = std::get_if<HelloMsg>(&*message)) {
+      worker.hello = true;
+      obs::emit_event(telemetry, "serve.worker.hello",
+                      {{"worker_id", obs::Value(hello->worker_id)},
+                       {"pid", obs::Value(hello->pid)}});
+      return;
+    }
+    if (const DoneMsg* done = std::get_if<DoneMsg>(&*message)) {
+      if (!worker.lease.has_value() ||
+          worker.lease->lease_id != done->lease_id) {
+        abort_reason = "worker " + std::to_string(worker.id) +
+                       " acknowledged lease " + std::to_string(done->lease_id) +
+                       " it does not hold";
+        return;
+      }
+      lease_log.complete(
+          LeaseComplete{done->lease_id, done->executed, done->diverged});
+      worker.lease.reset();
+      --outstanding;
+      ++summary.leases_completed;
+      summary.executed += done->executed;
+      summary.diverged += done->diverged;
+      if (completed_counter != nullptr) completed_counter->add(1);
+      obs::emit_event(telemetry, "serve.lease.complete",
+                      {{"lease_id", obs::Value(done->lease_id)},
+                       {"worker_id", obs::Value(worker.id)},
+                       {"executed", obs::Value(done->executed)},
+                       {"diverged", obs::Value(done->diverged)}});
+      if (estimator.enabled() && options.partial_estimate_every > 0 &&
+          summary.leases_completed % options.partial_estimate_every == 0) {
+        estimator.poll_and_emit();
+      }
+      return;
+    }
+    if (const FailMsg* fail = std::get_if<FailMsg>(&*message)) {
+      abort_reason = "worker " + std::to_string(worker.id) +
+                     " failed lease " + std::to_string(fail->lease_id) + ": " +
+                     fail->message;
+      return;
+    }
+    abort_reason = "worker " + std::to_string(worker.id) +
+                   " sent an unexpected message: " + line;
+  };
+
+  const auto shutdown_all = [&] {
+    for (WorkerProc& worker : workers) {
+      if (!worker.alive) continue;
+      write_line(worker.to_fd, format_wire(ShutdownMsg{}));
+      close_fd(worker.to_fd);
+    }
+    for (WorkerProc& worker : workers) {
+      if (!worker.alive) continue;
+      int status = 0;
+      ::waitpid(worker.pid, &status, 0);
+      close_fd(worker.from_fd);
+      worker.alive = false;
+      if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+        obs::emit_event(telemetry, "serve.worker.unclean_exit",
+                        {{"worker_id", obs::Value(worker.id)},
+                         {"pid", obs::Value(worker.pid)}});
+      }
+    }
+  };
+
+  while (!abort_reason.has_value()) {
+    // Feed every idle, announced worker while ranges are pending.
+    for (WorkerProc& worker : workers) {
+      if (pending.empty()) break;
+      if (worker.alive && worker.hello && !worker.lease.has_value()) {
+        grant(worker);
+      }
+    }
+    if (abort_reason.has_value()) break;
+    if (pending.empty() && outstanding == 0) break;  // campaign drained
+
+    std::vector<pollfd> fds;
+    std::vector<std::size_t> fd_owner;
+    for (std::size_t w = 0; w < workers.size(); ++w) {
+      if (!workers[w].alive) continue;
+      fds.push_back(pollfd{workers[w].from_fd, POLLIN, 0});
+      fd_owner.push_back(w);
+    }
+    if (fds.empty()) {
+      PROPANE_CHECK_MSG(pending.empty() && outstanding == 0,
+                        "campaign serve: every worker died with " +
+                            std::to_string(pending.size()) +
+                            " range(s) still pending -- journal is intact, "
+                            "re-run to resume");
+      break;
+    }
+    const int ready = ::poll(fds.data(), fds.size(), 200);
+    if (ready < 0) {
+      PROPANE_CHECK_MSG(errno == EINTR, "poll() failed in campaign serve");
+      continue;
+    }
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if (fds[i].revents == 0) continue;
+      WorkerProc& worker = workers[fd_owner[i]];
+      if (!worker.alive) continue;  // died handling an earlier fd this pass
+      char chunk[4096];
+      const ssize_t n = ::read(worker.from_fd, chunk, sizeof(chunk));
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        handle_death(worker);
+        continue;
+      }
+      worker.buffer.append(chunk, static_cast<std::size_t>(n));
+      std::size_t newline;
+      while (!abort_reason.has_value() &&
+             (newline = worker.buffer.find('\n')) != std::string::npos) {
+        std::string line = worker.buffer.substr(0, newline);
+        worker.buffer.erase(0, newline + 1);
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        handle_line(worker, line);
+      }
+    }
+  }
+
+  shutdown_all();
+  if (abort_reason.has_value()) {
+    PROPANE_CHECK_MSG(false, "campaign serve aborted: " + *abort_reason);
+  }
+
+  if (estimator.enabled()) {
+    estimator.poll_and_emit();  // final estimate over the whole journal
+    summary.partial_estimates = estimator.emitted();
+    summary.estimated_runs = estimator.covered();
+  }
+  summary.wall_seconds =
+      static_cast<double>(obs::steady_now_us() - wall_start_us) / 1e6;
+  obs::emit_event(telemetry, "serve.done",
+                  {{"total_runs", obs::Value(summary.total_runs)},
+                   {"leases_granted", obs::Value(summary.leases_granted)},
+                   {"leases_completed", obs::Value(summary.leases_completed)},
+                   {"leases_requeued", obs::Value(summary.leases_requeued)},
+                   {"workers_spawned", obs::Value(summary.workers_spawned)},
+                   {"workers_died", obs::Value(summary.workers_died)},
+                   {"executed", obs::Value(summary.executed)},
+                   {"diverged", obs::Value(summary.diverged)},
+                   {"wall_s", obs::Value(summary.wall_seconds)}});
+  return summary;
+}
+
+}  // namespace propane::svc

@@ -1,0 +1,109 @@
+// Campaign dispatcher: leases run ranges to worker processes and survives
+// their deaths.
+//
+// serve_campaign splits a campaign's flat run-index space [0, total_runs)
+// into fixed-size leases and hands them to `worker_count` spawned worker
+// processes (`propane campaign worker`) over stdin/stdout pipes, speaking
+// the wire protocol in svc/wire.hpp. The dance per lease:
+//
+//   1. append a kGrant frame to the lease log (svc/lease_log.hpp) --
+//      durable *before* the wire message exists;
+//   2. write "LEASE <id> <begin> <end> <rescan>" to the worker's stdin;
+//   3. on "DONE <id> ...": append kComplete, fold the tallies, grant the
+//      worker its next range;
+//   4. on worker death (EOF/POLLHUP on its stdout, any exit or signal):
+//      append kRequeue and push the range back to the *front* of the
+//      pending queue with rescan=1, so a surviving worker re-scans the
+//      directory (picking up whatever the dead worker already journaled)
+//      and executes only the still-missing runs.
+//
+// Dead workers are not respawned: the surviving ones absorb the backlog.
+// Only when every worker is dead while work remains does serve fail. A
+// worker-reported FAIL aborts the serve -- run execution is deterministic,
+// so the same lease would fail on every worker in turn.
+//
+// Correctness: the journal is the ground truth (records are appended and
+// flushed by workers before DONE), per-run seeds are pure functions of the
+// plan, and scan_campaign_dir deduplicates by flat index. Any interleaving
+// of grants, deaths and requeues therefore converges to the exact record
+// set of a single-process run -- the lease log only makes the interleaving
+// auditable.
+//
+// Streaming partial estimates: after completed leases the dispatcher
+// tail-scans the journal shards (store::scan_journal_tail), folds fresh
+// records into per-shard PermeabilityAccumulators (deduplicated against a
+// global seen-set), merges them and emits a serve.partial_estimate event --
+// estimates over the finished prefix of the campaign, while it runs.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fi/campaign.hpp"
+#include "fi/estimator.hpp"
+#include "svc/lease_log.hpp"
+
+namespace propane::obs {
+struct Telemetry;
+}  // namespace propane::obs
+
+namespace propane::svc {
+
+struct ServeOptions {
+  /// Worker processes to spawn (>= 1).
+  std::uint32_t worker_count = 2;
+  /// Runs per lease; 0 picks total_runs / (4 * worker_count), min 1.
+  std::uint64_t lease_runs = 0;
+  /// argv of the worker process to spawn, e.g. {"/path/to/propane",
+  /// "campaign", "worker", "--journal", dir, "--scale", name}. The
+  /// dispatcher appends "--worker-id <n>" per worker. Must be non-empty.
+  std::vector<std::string> worker_command;
+  /// Optional telemetry (non-owning): svc.* counters plus serve.* events.
+  const obs::Telemetry* telemetry = nullptr;
+
+  /// Partial-estimate configuration; estimation is off while `model` is
+  /// null. `bus_signal_count` as in PermeabilityAccumulator.
+  const core::SystemModel* model = nullptr;
+  const fi::SignalBinding* binding = nullptr;
+  std::size_t bus_signal_count = 0;
+  fi::EstimationOptions estimation;
+  /// Emit a partial estimate after every N completed leases (0 = only the
+  /// final one).
+  std::uint64_t partial_estimate_every = 1;
+
+  /// Test hook, called after a lease is logged and sent: the fault-injection
+  /// tests' own fault injector (it SIGKILLs workers mid-lease).
+  std::function<void(const LeaseGrant& grant, std::int64_t pid)> on_grant;
+};
+
+struct ServeSummary {
+  std::size_t total_runs = 0;
+  std::uint64_t leases_granted = 0;
+  std::uint64_t leases_completed = 0;
+  std::uint64_t leases_requeued = 0;
+  std::uint32_t workers_spawned = 0;
+  std::uint32_t workers_died = 0;
+  std::uint64_t executed = 0;  // summed from workers' DONE replies
+  std::uint64_t diverged = 0;
+  std::uint64_t partial_estimates = 0;
+  /// Runs covered by the final partial estimate (journal records seen,
+  /// including pre-existing ones from resumed campaigns); 0 when estimation
+  /// is off.
+  std::uint64_t estimated_runs = 0;
+  double wall_seconds = 0.0;
+  std::filesystem::path lease_log_path;
+};
+
+/// Serves one campaign over `dir` with spawned worker processes. Blocks
+/// until every run of the plan is journaled (or throws: all workers dead
+/// with work pending, a worker-reported FAIL, or a protocol violation).
+/// POSIX-only (fork/exec/poll); the build does not compile src/svc
+/// elsewhere.
+ServeSummary serve_campaign(const fi::CampaignConfig& config,
+                            const std::filesystem::path& dir,
+                            const ServeOptions& options);
+
+}  // namespace propane::svc

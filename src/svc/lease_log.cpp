@@ -1,0 +1,219 @@
+#include "svc/lease_log.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <set>
+
+#include "common/bytes.hpp"
+#include "common/contracts.hpp"
+
+namespace propane::svc {
+
+LeaseLogWriter::LeaseLogWriter(const std::filesystem::path& path,
+                               const LeaseCampaignInfo& campaign)
+    : path_(path) {
+  PROPANE_REQUIRE_MSG(!std::filesystem::exists(path_),
+                      "lease log already exists: " + path_.string());
+  out_.open(path_, std::ios::binary | std::ios::trunc);
+  PROPANE_REQUIRE_MSG(out_.is_open(),
+                      "cannot create lease log: " + path_.string());
+  out_.write(kLeaseLogMagic, sizeof(kLeaseLogMagic));
+  ByteWriter header;
+  header.u32(kLeaseLogVersion);
+  out_.write(reinterpret_cast<const char*>(header.bytes().data()),
+             static_cast<std::streamsize>(header.bytes().size()));
+
+  ByteWriter body;
+  body.u64(campaign.plan_hash);
+  body.u64(campaign.seed);
+  body.u64(campaign.total_runs);
+  body.u64(campaign.lease_runs);
+  write_frame(LeaseRecordType::kCampaign, body.bytes());
+}
+
+void LeaseLogWriter::write_frame(LeaseRecordType type,
+                                 const std::vector<std::uint8_t>& body) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(1 + body.size());
+  payload.push_back(static_cast<std::uint8_t>(type));
+  payload.insert(payload.end(), body.begin(), body.end());
+
+  ByteWriter frame;
+  frame.u32(static_cast<std::uint32_t>(payload.size()));
+  frame.u32(crc32(payload.data(), payload.size()));
+  out_.write(reinterpret_cast<const char*>(frame.bytes().data()),
+             static_cast<std::streamsize>(frame.bytes().size()));
+  out_.write(reinterpret_cast<const char*>(payload.data()),
+             static_cast<std::streamsize>(payload.size()));
+  // Durability point: the frame is on disk before the dispatcher acts on
+  // the event it records (sends the LEASE line, regrants the range, ...).
+  out_.flush();
+  PROPANE_CHECK_MSG(out_.good(),
+                    "lease log write failed: " + path_.string());
+}
+
+void LeaseLogWriter::grant(const LeaseGrant& grant) {
+  ByteWriter body;
+  body.u64(grant.lease_id);
+  body.u64(grant.begin);
+  body.u64(grant.end);
+  body.u32(grant.worker_id);
+  body.u8(grant.rescan ? 1 : 0);
+  write_frame(LeaseRecordType::kGrant, body.bytes());
+}
+
+void LeaseLogWriter::complete(const LeaseComplete& complete) {
+  ByteWriter body;
+  body.u64(complete.lease_id);
+  body.u64(complete.executed);
+  body.u64(complete.diverged);
+  write_frame(LeaseRecordType::kComplete, body.bytes());
+}
+
+void LeaseLogWriter::requeue(std::uint64_t lease_id) {
+  ByteWriter body;
+  body.u64(lease_id);
+  write_frame(LeaseRecordType::kRequeue, body.bytes());
+}
+
+std::vector<std::filesystem::path> LeaseLogWriter::list_logs(
+    const std::filesystem::path& dir) {
+  std::vector<std::filesystem::path> logs;
+  if (!std::filesystem::is_directory(dir)) return logs;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.starts_with("lease-") && name.ends_with(".pll")) {
+      logs.push_back(entry.path());
+    }
+  }
+  std::sort(logs.begin(), logs.end());
+  return logs;
+}
+
+std::filesystem::path LeaseLogWriter::next_log_path(
+    const std::filesystem::path& dir) {
+  std::size_t next = 0;
+  for (const auto& path : list_logs(dir)) {
+    const std::string stem = path.stem().string();  // "lease-NNNNNN"
+    const std::size_t dash = stem.rfind('-');
+    if (dash == std::string::npos) continue;
+    const std::size_t index = static_cast<std::size_t>(
+        std::strtoull(stem.c_str() + dash + 1, nullptr, 10));
+    next = std::max(next, index + 1);
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "lease-%06zu.pll", next);
+  return dir / buffer;
+}
+
+std::vector<LeaseGrant> LeaseLogScan::outstanding() const {
+  std::set<std::uint64_t> resolved;
+  for (const LeaseComplete& c : completions) resolved.insert(c.lease_id);
+  for (const std::uint64_t id : requeues) resolved.insert(id);
+  std::vector<LeaseGrant> open;
+  for (const LeaseGrant& g : grants) {
+    if (!resolved.contains(g.lease_id)) open.push_back(g);
+  }
+  return open;
+}
+
+LeaseLogScan scan_lease_log(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  PROPANE_REQUIRE_MSG(in.is_open(),
+                      "cannot open lease log: " + path.string());
+  std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+
+  LeaseLogScan scan;
+  const std::size_t header_size = sizeof(kLeaseLogMagic) + 4;
+  if (bytes.size() < header_size) {
+    scan.torn_tail = true;
+    scan.warning = path.string() + ": file shorter than the lease-log header";
+    return scan;
+  }
+  PROPANE_CHECK_MSG(
+      std::memcmp(bytes.data(), kLeaseLogMagic, sizeof(kLeaseLogMagic)) == 0,
+      "not a lease log (bad magic): " + path.string());
+  ByteReader version_reader(bytes.data() + sizeof(kLeaseLogMagic), 4);
+  const std::uint32_t version = version_reader.u32();
+  PROPANE_CHECK_MSG(version == kLeaseLogVersion,
+                    "unsupported lease log version " +
+                        std::to_string(version) + ": " + path.string());
+
+  std::size_t pos = header_size;
+  while (pos < bytes.size()) {
+    const std::size_t remaining = bytes.size() - pos;
+    if (remaining < 8) {
+      scan.torn_tail = true;
+      scan.warning = path.string() + ": truncated frame header at offset " +
+                     std::to_string(pos) + " (skipped)";
+      break;
+    }
+    ByteReader frame_reader(bytes.data() + pos, 8);
+    const std::uint32_t length = frame_reader.u32();
+    const std::uint32_t stored_crc = frame_reader.u32();
+    if (remaining - 8 < length || length > kMaxLeaseFrameBytes) {
+      scan.torn_tail = true;
+      scan.warning = path.string() + ": truncated frame payload at offset " +
+                     std::to_string(pos) + " (skipped)";
+      break;
+    }
+    const std::uint8_t* payload = bytes.data() + pos + 8;
+    PROPANE_CHECK_MSG(
+        crc32(payload, length) == stored_crc,
+        "lease log CRC mismatch at offset " + std::to_string(pos) + ": " +
+            path.string() + " (mid-file corruption, refusing to continue)");
+    PROPANE_CHECK_MSG(length >= 1, "empty lease log frame: " + path.string());
+    ByteReader body(payload + 1, length - 1);
+    switch (static_cast<LeaseRecordType>(payload[0])) {
+      case LeaseRecordType::kCampaign: {
+        PROPANE_CHECK_MSG(!scan.has_campaign,
+                          "duplicate campaign frame: " + path.string());
+        scan.campaign.plan_hash = body.u64();
+        scan.campaign.seed = body.u64();
+        scan.campaign.total_runs = body.u64();
+        scan.campaign.lease_runs = body.u64();
+        scan.has_campaign = true;
+        break;
+      }
+      case LeaseRecordType::kGrant: {
+        LeaseGrant grant;
+        grant.lease_id = body.u64();
+        grant.begin = body.u64();
+        grant.end = body.u64();
+        grant.worker_id = body.u32();
+        grant.rescan = body.u8() == 1;
+        scan.grants.push_back(grant);
+        break;
+      }
+      case LeaseRecordType::kComplete: {
+        LeaseComplete complete;
+        complete.lease_id = body.u64();
+        complete.executed = body.u64();
+        complete.diverged = body.u64();
+        scan.completions.push_back(complete);
+        break;
+      }
+      case LeaseRecordType::kRequeue: {
+        scan.requeues.push_back(body.u64());
+        break;
+      }
+      default:
+        PROPANE_CHECK_MSG(false, "unknown lease log record type " +
+                                     std::to_string(payload[0]) + ": " +
+                                     path.string());
+    }
+    pos += 8 + length;
+  }
+  if (!scan.has_campaign) {
+    scan.torn_tail = true;
+    if (scan.warning.empty()) {
+      scan.warning = path.string() + ": missing campaign record";
+    }
+  }
+  return scan;
+}
+
+}  // namespace propane::svc

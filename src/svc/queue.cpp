@@ -1,0 +1,67 @@
+#include "svc/queue.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace propane::svc {
+
+namespace {
+/// Weight of the newest observation in the throughput EWMA.
+constexpr double kEwmaAlpha = 0.3;
+/// Floor on every retry-after hint; retrying faster than this is pointless.
+constexpr double kMinRetrySeconds = 1.0;
+}  // namespace
+
+CampaignQueue::CampaignQueue(std::size_t capacity,
+                             double default_runs_per_second)
+    : capacity_(capacity), runs_per_second_(default_runs_per_second) {
+  PROPANE_REQUIRE_MSG(capacity_ > 0, "campaign queue capacity must be > 0");
+  PROPANE_REQUIRE_MSG(runs_per_second_ > 0.0,
+                      "campaign queue throughput seed must be > 0");
+}
+
+EnqueueDecision CampaignQueue::try_enqueue(std::string label,
+                                           std::uint64_t total_runs) {
+  EnqueueDecision decision;
+  if (pending_.size() >= capacity_) {
+    // A slot frees when the dispatcher pops the head, i.e. when the
+    // in-flight campaign finishes. Assume it just started (pessimistic).
+    const double in_flight_seconds =
+        static_cast<double>(in_flight_runs_) / runs_per_second_;
+    decision.retry_after_seconds =
+        std::max(kMinRetrySeconds, in_flight_seconds);
+    return decision;
+  }
+  decision.accepted = true;
+  decision.id = next_id_++;
+  pending_.push_back(
+      CampaignRequest{decision.id, std::move(label), total_runs});
+  return decision;
+}
+
+std::optional<CampaignRequest> CampaignQueue::pop() {
+  if (pending_.empty()) return std::nullopt;
+  CampaignRequest request = std::move(pending_.front());
+  pending_.pop_front();
+  in_flight_runs_ = request.total_runs;
+  return request;
+}
+
+void CampaignQueue::record_completion(std::uint64_t executed_runs,
+                                      double wall_seconds) {
+  in_flight_runs_ = 0;
+  if (executed_runs == 0 || wall_seconds <= 0.0) return;
+  const double observed =
+      static_cast<double>(executed_runs) / wall_seconds;
+  runs_per_second_ =
+      (1.0 - kEwmaAlpha) * runs_per_second_ + kEwmaAlpha * observed;
+}
+
+double CampaignQueue::backlog_seconds() const {
+  std::uint64_t runs = in_flight_runs_;
+  for (const CampaignRequest& request : pending_) runs += request.total_runs;
+  return static_cast<double>(runs) / runs_per_second_;
+}
+
+}  // namespace propane::svc

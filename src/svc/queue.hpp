@@ -1,0 +1,82 @@
+// Bounded campaign admission queue with back-pressure.
+//
+// The dispatcher serves one campaign at a time; everything else waits in
+// this queue. Admission is bounded: once `capacity` campaigns are waiting,
+// try_enqueue rejects with a retry-after estimate instead of growing
+// without bound -- the caller (a driving script, the bench harness) is
+// expected to come back later rather than pile work onto a dispatcher that
+// cannot keep up.
+//
+// The retry-after estimate comes from an exponentially weighted moving
+// average of observed campaign throughput (runs per second), fed by
+// record_completion after each served campaign. It is a coarse, pessimistic
+// hint -- "roughly when a slot might free" -- never a guarantee.
+//
+// The queue is deliberately single-threaded: the dispatcher's serve loop is
+// one thread, and admission happens between campaigns, not concurrently
+// with them.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+
+namespace propane::svc {
+
+/// One admitted campaign, waiting to be served.
+struct CampaignRequest {
+  std::uint64_t id = 0;  // assigned at admission, unique per queue
+  std::string label;     // caller-chosen; diagnostics only
+  std::uint64_t total_runs = 0;
+};
+
+/// Outcome of an admission attempt.
+struct EnqueueDecision {
+  bool accepted = false;
+  /// Valid when accepted: the request's queue id.
+  std::uint64_t id = 0;
+  /// Valid when rejected: suggested seconds to wait before retrying.
+  double retry_after_seconds = 0.0;
+};
+
+class CampaignQueue {
+ public:
+  /// `capacity` bounds the number of *waiting* campaigns (the one being
+  /// served does not count). `default_runs_per_second` seeds the throughput
+  /// estimate until real completions arrive.
+  explicit CampaignQueue(std::size_t capacity,
+                         double default_runs_per_second = 50.0);
+
+  /// Admits a campaign or rejects it with a retry-after hint.
+  EnqueueDecision try_enqueue(std::string label, std::uint64_t total_runs);
+
+  /// Takes the oldest waiting campaign and marks it in flight; nullopt when
+  /// the queue is empty.
+  std::optional<CampaignRequest> pop();
+
+  /// Reports the served campaign's outcome: folds its throughput into the
+  /// EWMA and clears the in-flight marker. Completions with zero executed
+  /// runs (fully resumed campaigns) or zero wall time carry no throughput
+  /// signal and only clear the marker.
+  void record_completion(std::uint64_t executed_runs, double wall_seconds);
+
+  std::size_t size() const { return pending_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  bool empty() const { return pending_.empty(); }
+  double runs_per_second() const { return runs_per_second_; }
+
+  /// Estimated seconds to drain the in-flight campaign plus every waiting
+  /// one at the current throughput estimate.
+  double backlog_seconds() const;
+
+ private:
+  std::size_t capacity_;
+  double runs_per_second_;
+  std::deque<CampaignRequest> pending_;
+  std::uint64_t next_id_ = 1;
+  /// total_runs of the popped-but-not-completed campaign (0 = none).
+  std::uint64_t in_flight_runs_ = 0;
+};
+
+}  // namespace propane::svc

@@ -1,0 +1,117 @@
+#include "svc/wire.hpp"
+
+#include <charconv>
+#include <vector>
+
+namespace propane::svc {
+
+namespace {
+
+/// Splits on single spaces; empty tokens (doubled spaces) are preserved and
+/// will fail numeric parsing, which is the strictness we want.
+std::vector<std::string_view> split(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  std::size_t start = 0;
+  while (start <= line.size()) {
+    const std::size_t space = line.find(' ', start);
+    if (space == std::string_view::npos) {
+      tokens.push_back(line.substr(start));
+      break;
+    }
+    tokens.push_back(line.substr(start, space - start));
+    start = space + 1;
+  }
+  return tokens;
+}
+
+template <typename T>
+bool parse_number(std::string_view token, T& out) {
+  const char* first = token.data();
+  const char* last = token.data() + token.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc{} && ptr == last && !token.empty();
+}
+
+}  // namespace
+
+std::string format_wire(const WireMessage& message) {
+  struct Visitor {
+    std::string operator()(const HelloMsg& m) const {
+      return "HELLO " + std::to_string(m.worker_id) + " " +
+             std::to_string(m.pid);
+    }
+    std::string operator()(const LeaseMsg& m) const {
+      return "LEASE " + std::to_string(m.lease_id) + " " +
+             std::to_string(m.begin) + " " + std::to_string(m.end) + " " +
+             (m.rescan ? "1" : "0");
+    }
+    std::string operator()(const DoneMsg& m) const {
+      return "DONE " + std::to_string(m.lease_id) + " " +
+             std::to_string(m.executed) + " " + std::to_string(m.diverged);
+    }
+    std::string operator()(const FailMsg& m) const {
+      // The message rides in the final field and may contain spaces; any
+      // newline would tear the framing, so it is flattened here.
+      std::string text = m.message;
+      for (char& c : text) {
+        if (c == '\n' || c == '\r') c = ' ';
+      }
+      return "FAIL " + std::to_string(m.lease_id) + " " + text;
+    }
+    std::string operator()(const ShutdownMsg&) const { return "SHUTDOWN"; }
+  };
+  return std::visit(Visitor{}, message);
+}
+
+std::optional<WireMessage> parse_wire(std::string_view line) {
+  const std::vector<std::string_view> tokens = split(line);
+  if (tokens.empty() || tokens.front().empty()) return std::nullopt;
+  const std::string_view verb = tokens.front();
+
+  if (verb == "SHUTDOWN") {
+    if (tokens.size() != 1) return std::nullopt;
+    return WireMessage{ShutdownMsg{}};
+  }
+  if (verb == "HELLO") {
+    HelloMsg msg;
+    if (tokens.size() != 3 || !parse_number(tokens[1], msg.worker_id) ||
+        !parse_number(tokens[2], msg.pid)) {
+      return std::nullopt;
+    }
+    return WireMessage{msg};
+  }
+  if (verb == "LEASE") {
+    LeaseMsg msg;
+    std::uint32_t rescan = 0;
+    if (tokens.size() != 5 || !parse_number(tokens[1], msg.lease_id) ||
+        !parse_number(tokens[2], msg.begin) ||
+        !parse_number(tokens[3], msg.end) ||
+        !parse_number(tokens[4], rescan) || rescan > 1) {
+      return std::nullopt;
+    }
+    msg.rescan = rescan == 1;
+    return WireMessage{msg};
+  }
+  if (verb == "DONE") {
+    DoneMsg msg;
+    if (tokens.size() != 4 || !parse_number(tokens[1], msg.lease_id) ||
+        !parse_number(tokens[2], msg.executed) ||
+        !parse_number(tokens[3], msg.diverged)) {
+      return std::nullopt;
+    }
+    return WireMessage{msg};
+  }
+  if (verb == "FAIL") {
+    FailMsg msg;
+    if (tokens.size() < 2 || !parse_number(tokens[1], msg.lease_id)) {
+      return std::nullopt;
+    }
+    const std::size_t head = 5 + tokens[1].size() + 1;  // "FAIL <id> "
+    msg.message = head <= line.size() ? std::string(line.substr(head))
+                                      : std::string();
+    return WireMessage{msg};
+  }
+  return std::nullopt;
+}
+
+}  // namespace propane::svc

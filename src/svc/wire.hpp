@@ -1,0 +1,76 @@
+// Dispatcher <-> worker wire protocol for the campaign service.
+//
+// One message per line of plain ASCII text over the worker's stdin/stdout
+// pipes -- trivially debuggable (`propane campaign worker` can be driven
+// from a terminal), trivially testable (parse/format round-trip on
+// strings), and free of any framing state beyond '\n'.
+//
+//   worker -> dispatcher:
+//     HELLO <worker_id> <pid>
+//     DONE  <lease_id> <executed> <diverged>
+//     FAIL  <lease_id> <message...>
+//   dispatcher -> worker:
+//     LEASE <lease_id> <begin> <end> <rescan01>
+//     SHUTDOWN
+//
+// The protocol carries *work identity only* (flat run-index ranges). All
+// campaign content -- config, seeds, records -- lives in the journal
+// directory and the worker's own scale arguments, so a malformed or lost
+// message can at worst stall progress, never corrupt a result.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+
+namespace propane::svc {
+
+struct HelloMsg {
+  std::uint32_t worker_id = 0;
+  std::int64_t pid = 0;
+  bool operator==(const HelloMsg&) const = default;
+};
+
+struct LeaseMsg {
+  std::uint64_t lease_id = 0;
+  std::uint64_t begin = 0;  // flat injection-run index, half-open range
+  std::uint64_t end = 0;
+  /// True when this range was requeued after a worker death: the journal
+  /// may already hold some of its runs (appended by the dead worker), so
+  /// the receiving worker must re-scan the directory before executing.
+  bool rescan = false;
+  bool operator==(const LeaseMsg&) const = default;
+};
+
+struct DoneMsg {
+  std::uint64_t lease_id = 0;
+  std::uint64_t executed = 0;
+  std::uint64_t diverged = 0;
+  bool operator==(const DoneMsg&) const = default;
+};
+
+struct FailMsg {
+  std::uint64_t lease_id = 0;
+  std::string message;  // single line; '\n' forbidden by construction
+  bool operator==(const FailMsg&) const = default;
+};
+
+struct ShutdownMsg {
+  bool operator==(const ShutdownMsg&) const = default;
+};
+
+using WireMessage =
+    std::variant<HelloMsg, LeaseMsg, DoneMsg, FailMsg, ShutdownMsg>;
+
+/// Formats a message as one line, *without* the trailing '\n'.
+std::string format_wire(const WireMessage& message);
+
+/// Parses one line (no trailing '\n'). Returns nullopt for anything that is
+/// not a well-formed message -- unknown verb, missing or non-numeric field,
+/// trailing garbage. Callers treat nullopt as a protocol error from a
+/// misbehaving peer, not as data corruption.
+std::optional<WireMessage> parse_wire(std::string_view line);
+
+}  // namespace propane::svc

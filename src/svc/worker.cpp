@@ -1,0 +1,138 @@
+#include "svc/worker.hpp"
+
+#include <atomic>
+#include <exception>
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "obs/telemetry.hpp"
+#include "store/campaign_session.hpp"
+#include "svc/wire.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace propane::svc {
+
+namespace {
+
+std::int64_t current_pid() {
+#if defined(__unix__) || defined(__APPLE__)
+  return static_cast<std::int64_t>(::getpid());
+#else
+  return 0;
+#endif
+}
+
+void send(std::ostream& out, const WireMessage& message) {
+  out << format_wire(message) << '\n';
+  out.flush();
+}
+
+}  // namespace
+
+int run_worker_loop(const fi::RunFunction& run,
+                    const fi::CampaignConfig& config,
+                    const WorkerConfig& worker, std::istream& in,
+                    std::ostream& out, WorkerSummary* summary) {
+  const std::string session_tag = "w" + std::to_string(worker.worker_id);
+  store::JournalRunOptions options = worker.journal;
+  options.process_count = 1;
+  options.process_index = 0;
+  options.collect_records = false;
+
+  // Built on the first LEASE; rebuilt (fresh directory scan + fresh
+  // executor) when a lease arrives with rescan=1.
+  std::unique_ptr<store::JournaledCampaignSession> session;
+  std::unique_ptr<fi::CampaignExecutor> executor;
+  // Per-lease tallies, bumped by the wrapped on_record below. Atomics:
+  // the executor appends from its worker threads.
+  std::atomic<std::uint64_t> lease_executed{0};
+  std::atomic<std::uint64_t> lease_diverged{0};
+
+  WorkerSummary tally;
+  const auto finish_session = [&] {
+    if (session == nullptr) return;
+    session->finish("worker.done",
+                    {{"worker_id", obs::Value(worker.worker_id)},
+                     {"leases", obs::Value(tally.leases)}});
+    session.reset();
+  };
+
+  send(out, HelloMsg{worker.worker_id, current_pid()});
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const std::optional<WireMessage> message = parse_wire(line);
+    if (!message.has_value()) {
+      send(out, FailMsg{0, "malformed dispatcher line: " + line});
+      return 1;
+    }
+    if (std::holds_alternative<ShutdownMsg>(*message)) {
+      finish_session();
+      if (summary != nullptr) *summary = tally;
+      return 0;
+    }
+    const LeaseMsg* lease = std::get_if<LeaseMsg>(&*message);
+    if (lease == nullptr) {
+      send(out, FailMsg{0, "unexpected dispatcher message: " + line});
+      return 1;
+    }
+    try {
+      if (lease->rescan) {
+        // The range may hold runs a dead worker already journaled; drop
+        // both session and executor so the fresh scan filters them.
+        executor.reset();
+        session.reset();
+      }
+      if (session == nullptr) {
+        session = std::make_unique<store::JournaledCampaignSession>(
+            config, worker.journal_dir, options, session_tag);
+      }
+      if (executor == nullptr) {
+        fi::CampaignHooks hooks = session->hooks();
+        hooks.on_record = [&lease_executed, &lease_diverged,
+                           append = std::move(hooks.on_record)](
+                              const fi::InjectionRecord& record) {
+          append(record);
+          lease_executed.fetch_add(1, std::memory_order_relaxed);
+          if (record.report.any_divergence()) {
+            lease_diverged.fetch_add(1, std::memory_order_relaxed);
+          }
+        };
+        executor = std::make_unique<fi::CampaignExecutor>(run, config, hooks);
+      }
+      lease_executed.store(0, std::memory_order_relaxed);
+      lease_diverged.store(0, std::memory_order_relaxed);
+      executor->execute_range(
+          {static_cast<std::size_t>(lease->begin),
+           static_cast<std::size_t>(lease->end)});
+      const std::uint64_t executed =
+          lease_executed.load(std::memory_order_relaxed);
+      const std::uint64_t diverged =
+          lease_diverged.load(std::memory_order_relaxed);
+      tally.leases += 1;
+      tally.executed += executed;
+      tally.diverged += diverged;
+      // Every record of the range is flushed to a shard (the session's
+      // on_record is the durability point), so DONE is safe to send.
+      send(out, DoneMsg{lease->lease_id, executed, diverged});
+    } catch (const std::exception& error) {
+      send(out, FailMsg{lease->lease_id, error.what()});
+      return 1;
+    }
+  }
+  // EOF without SHUTDOWN: the dispatcher is gone. Every completed lease is
+  // already durable and acknowledged, so this is a clean exit.
+  finish_session();
+  if (summary != nullptr) *summary = tally;
+  return 0;
+}
+
+}  // namespace propane::svc

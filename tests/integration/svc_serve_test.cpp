@@ -1,0 +1,167 @@
+// Dispatcher integration tests: `serve_campaign` drives real worker
+// processes (the propane CLI, located via PROPANE_CLI_PATH) over pipes,
+// and the resulting journal must be indistinguishable from a
+// single-process campaign -- including when a worker is SIGKILLed
+// mid-lease and its range is requeued to a survivor.
+#include "svc/dispatcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "arrestment/model.hpp"
+#include "arrestment/testcase.hpp"
+#include "arrestment/warm_start.hpp"
+#include "exp/paper_experiment.hpp"
+#include "store/resume.hpp"
+
+namespace propane::svc {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(testing::TempDir()) / name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+std::vector<std::string> worker_command(const fs::path& dir) {
+  return {PROPANE_CLI_PATH, "campaign",  "worker",        "--journal",
+          dir.string(),     "--scale",   "smoke",         "--no-telemetry"};
+}
+
+std::string serve_csv(const fs::path& dir, const core::SystemModel& model,
+                      const fi::SignalBinding& binding) {
+  std::ostringstream out;
+  store::write_permeability_csv_from_journal(out, dir, model, binding);
+  return out.str();
+}
+
+/// Single-process reference journal for the smoke scale, exactly as the
+/// CLI's `campaign run --scale smoke` would produce it.
+void run_reference(const exp::ExperimentScale& scale,
+                   const fi::CampaignConfig& config, const fs::path& dir) {
+  const std::vector<arr::TestCase> cases =
+      scale.custom_cases.empty()
+          ? arr::grid_test_cases(scale.mass_count, scale.velocity_count)
+          : scale.custom_cases;
+  store::run_journaled_campaign(
+      arr::warm_campaign_runner(cases, config, scale.duration), config, dir);
+}
+
+TEST(ServeCampaign, TwoWorkersMatchSingleProcessByteForByte) {
+  const exp::ExperimentScale scale = exp::smoke_scale();
+  const fi::CampaignConfig config = exp::make_campaign_config(scale);
+
+  const fs::path reference = fresh_dir("serve_reference");
+  run_reference(scale, config, reference);
+
+  const core::SystemModel model = arr::make_arrestment_model();
+  const fi::SignalBinding binding = arr::make_arrestment_binding(model);
+
+  const fs::path dir = fresh_dir("serve_two_workers");
+  ServeOptions options;
+  options.worker_count = 2;
+  options.worker_command = worker_command(dir);
+  options.model = &model;
+  options.binding = &binding;
+  options.bus_signal_count = binding.bus_upper_bound();
+  const ServeSummary summary = serve_campaign(config, dir, options);
+
+  EXPECT_EQ(summary.workers_spawned, 2u);
+  EXPECT_EQ(summary.workers_died, 0u);
+  EXPECT_EQ(summary.leases_requeued, 0u);
+  EXPECT_EQ(summary.leases_completed, summary.leases_granted);
+  EXPECT_EQ(summary.executed, summary.total_runs);
+  EXPECT_GE(summary.partial_estimates, 1u);
+  EXPECT_EQ(summary.estimated_runs, summary.total_runs);
+
+  EXPECT_EQ(serve_csv(dir, model, binding),
+            serve_csv(reference, model, binding));
+
+  // The lease log reconstructs the session: every grant either completed
+  // or was requeued (none here), nothing outstanding.
+  const LeaseLogScan scan = scan_lease_log(summary.lease_log_path);
+  ASSERT_TRUE(scan.has_campaign);
+  EXPECT_FALSE(scan.torn_tail);
+  EXPECT_EQ(scan.campaign.total_runs, summary.total_runs);
+  EXPECT_EQ(scan.grants.size(), summary.leases_granted);
+  EXPECT_EQ(scan.completions.size(), summary.leases_completed);
+  EXPECT_TRUE(scan.outstanding().empty());
+}
+
+TEST(ServeCampaign, SigkilledWorkerRangeIsReassignedByteIdentically) {
+  const exp::ExperimentScale scale = exp::smoke_scale();
+  const fi::CampaignConfig config = exp::make_campaign_config(scale);
+
+  const fs::path reference = fresh_dir("serve_kill_reference");
+  run_reference(scale, config, reference);
+
+  const core::SystemModel model = arr::make_arrestment_model();
+  const fi::SignalBinding binding = arr::make_arrestment_binding(model);
+
+  const fs::path dir = fresh_dir("serve_kill");
+  ServeOptions options;
+  options.worker_count = 2;
+  options.worker_command = worker_command(dir);
+  // The test's own fault injector: SIGKILL the first worker right after it
+  // is granted its first lease, mid-campaign.
+  bool killed = false;
+  options.on_grant = [&killed](const LeaseGrant&, std::int64_t pid) {
+    if (killed) return;
+    killed = true;
+    ::kill(static_cast<pid_t>(pid), SIGKILL);
+  };
+  const ServeSummary summary = serve_campaign(config, dir, options);
+
+  EXPECT_TRUE(killed);
+  EXPECT_EQ(summary.workers_died, 1u);
+  EXPECT_GE(summary.leases_requeued, 1u);
+
+  // The survivor absorbed the requeued range; the journal holds every run
+  // exactly once and the estimate is byte-identical to the uninterrupted
+  // single-process campaign.
+  const store::CampaignDirState state = store::scan_campaign_dir(dir);
+  EXPECT_EQ(state.completed_count, summary.total_runs);
+  EXPECT_EQ(serve_csv(dir, model, binding),
+            serve_csv(reference, model, binding));
+
+  // The lease log records the death: the killed lease was requeued, and
+  // after the session nothing is outstanding.
+  const LeaseLogScan scan = scan_lease_log(summary.lease_log_path);
+  ASSERT_TRUE(scan.has_campaign);
+  EXPECT_EQ(scan.requeues.size(), summary.leases_requeued);
+  EXPECT_TRUE(scan.outstanding().empty());
+}
+
+TEST(ServeCampaign, ResumesAPartialJournalWithoutReexecution) {
+  const exp::ExperimentScale scale = exp::smoke_scale();
+  const fi::CampaignConfig config = exp::make_campaign_config(scale);
+
+  // First serve completes the whole plan; a second serve over the same
+  // directory finds nothing left to execute but still converges cleanly.
+  const fs::path dir = fresh_dir("serve_resume");
+  ServeOptions options;
+  options.worker_count = 2;
+  options.worker_command = worker_command(dir);
+  serve_campaign(config, dir, options);
+
+  const ServeSummary again = serve_campaign(config, dir, options);
+  EXPECT_EQ(again.executed, 0u);
+  EXPECT_EQ(again.leases_completed, again.leases_granted);
+  const store::CampaignDirState state = store::scan_campaign_dir(dir);
+  EXPECT_EQ(state.completed_count, again.total_runs);
+  EXPECT_EQ(state.duplicate_count, 0u);
+
+  // Two serve sessions left two lease logs behind.
+  EXPECT_EQ(LeaseLogWriter::list_logs(dir).size(), 2u);
+}
+
+}  // namespace
+}  // namespace propane::svc

@@ -236,6 +236,34 @@ TEST(Merge, MismatchedSourcesAreRefusedBeforeWriting) {
   EXPECT_TRUE(ShardedJournalWriter::list_shards(merged).empty());
 }
 
+TEST(Merge, SourceWithoutShardsIsRefusedBeforeWriting) {
+  const fs::path a = fresh_dir("merge_empty_a");
+  run_journaled_campaign(toy_run, toy_config(), a);
+  const fs::path empty = fresh_dir("merge_empty_src");
+  fs::create_directories(empty);
+
+  const fs::path merged = fresh_dir("merge_empty_dest");
+  EXPECT_THROW(merge_journals(merged, {a, empty}), ContractViolation);
+  EXPECT_TRUE(ShardedJournalWriter::list_shards(merged).empty());
+}
+
+TEST(Merge, DuplicatedSourceDirectoryIsRefusedBeforeWriting) {
+  const fs::path a = fresh_dir("merge_twice_a");
+  run_journaled_campaign(toy_run, toy_config(), a);
+
+  // The same directory listed twice would silently fold into an
+  // all-duplicates no-op; it is almost certainly a caller mistake.
+  const fs::path merged = fresh_dir("merge_twice_dest");
+  EXPECT_THROW(merge_journals(merged, {a, a}), ContractViolation);
+  EXPECT_TRUE(ShardedJournalWriter::list_shards(merged).empty());
+}
+
+TEST(Merge, DestinationGivenAsASourceIsRefused) {
+  const fs::path a = fresh_dir("merge_self_a");
+  run_journaled_campaign(toy_run, toy_config(), a);
+  EXPECT_THROW(merge_journals(a, {a}), ContractViolation);
+}
+
 TEST(Stats, StreamingEstimateMatchesInMemoryEstimation) {
   const fs::path dir = fresh_dir("stats_match");
   run_journaled_campaign(toy_run, toy_config(), dir);

@@ -1,0 +1,154 @@
+// Lease-log durability tests (svc/lease_log.hpp), mirroring the journal
+// torn-tail suite in tests/store/journal_test.cpp: a write-scan round
+// trip, crash residue at the tail (skip + warning), and mid-file
+// corruption (hard error).
+#include "svc/lease_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/contracts.hpp"
+
+namespace propane::svc {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(testing::TempDir()) / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+LeaseCampaignInfo toy_campaign() {
+  return LeaseCampaignInfo{0xfeedbeefu, 42u, 120u, 30u};
+}
+
+/// A log with three grants: #1 completed, #2 requeued, #3 in flight.
+fs::path write_toy_log(const fs::path& dir) {
+  const fs::path path = LeaseLogWriter::next_log_path(dir);
+  LeaseLogWriter writer(path, toy_campaign());
+  writer.grant(LeaseGrant{1, 0, 30, 0, false});
+  writer.grant(LeaseGrant{2, 30, 60, 1, false});
+  writer.complete(LeaseComplete{1, 30, 4});
+  writer.requeue(2);
+  writer.grant(LeaseGrant{3, 30, 60, 0, true});
+  return path;
+}
+
+TEST(LeaseLog, WriteScanRoundTripAndOutstanding) {
+  const fs::path dir = fresh_dir("lease_roundtrip");
+  const fs::path path = write_toy_log(dir);
+
+  const LeaseLogScan scan = scan_lease_log(path);
+  EXPECT_FALSE(scan.torn_tail);
+  ASSERT_TRUE(scan.has_campaign);
+  EXPECT_EQ(scan.campaign, toy_campaign());
+  ASSERT_EQ(scan.grants.size(), 3u);
+  EXPECT_EQ(scan.grants[0], (LeaseGrant{1, 0, 30, 0, false}));
+  EXPECT_EQ(scan.grants[2], (LeaseGrant{3, 30, 60, 0, true}));
+  ASSERT_EQ(scan.completions.size(), 1u);
+  EXPECT_EQ(scan.completions[0], (LeaseComplete{1, 30, 4}));
+  ASSERT_EQ(scan.requeues.size(), 1u);
+  EXPECT_EQ(scan.requeues[0], 2u);
+
+  const std::vector<LeaseGrant> open = scan.outstanding();
+  ASSERT_EQ(open.size(), 1u);
+  EXPECT_EQ(open[0].lease_id, 3u);
+}
+
+TEST(LeaseLog, TornTailFrameIsSkippedWithWarning) {
+  const fs::path dir = fresh_dir("lease_torn");
+  const fs::path path = write_toy_log(dir);
+
+  // Crash mid-append: a frame header that promises more bytes than follow.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    const char partial[] = {0x40, 0x00, 0x00, 0x00, 0x01, 0x02};
+    out.write(partial, sizeof(partial));
+  }
+  const LeaseLogScan scan = scan_lease_log(path);
+  EXPECT_TRUE(scan.torn_tail);
+  EXPECT_FALSE(scan.warning.empty());
+  // Everything before the torn frame survives.
+  ASSERT_TRUE(scan.has_campaign);
+  EXPECT_EQ(scan.grants.size(), 3u);
+  EXPECT_EQ(scan.completions.size(), 1u);
+  EXPECT_EQ(scan.outstanding().size(), 1u);
+}
+
+TEST(LeaseLog, MidFileCorruptionIsAHardError) {
+  const fs::path dir = fresh_dir("lease_corrupt");
+  const fs::path path = write_toy_log(dir);
+
+  // Flip a byte inside the campaign frame's payload (well past the header,
+  // well before the tail): the frame is complete, so its CRC must catch it.
+  {
+    std::fstream file(path,
+                      std::ios::binary | std::ios::in | std::ios::out);
+    file.seekg(25);
+    char byte = 0;
+    file.get(byte);
+    file.seekp(25);
+    file.put(static_cast<char>(byte ^ 0x01));
+  }
+  EXPECT_THROW(scan_lease_log(path), ContractViolation);
+}
+
+TEST(LeaseLog, UnknownRecordTypeIsAHardError) {
+  const fs::path dir = fresh_dir("lease_unknown");
+  const fs::path path = write_toy_log(dir);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    const std::uint8_t payload[] = {99};
+    ByteWriter frame;
+    frame.u32(1);
+    frame.u32(crc32(payload, 1));
+    frame.u8(99);
+    const auto bytes = std::move(frame).take();
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_THROW(scan_lease_log(path), ContractViolation);
+}
+
+TEST(LeaseLog, HeaderOnlyFileScansAsTornTail) {
+  const fs::path dir = fresh_dir("lease_headless");
+  const fs::path path = write_toy_log(dir);
+  fs::resize_file(path, 12);  // magic + version, no campaign frame yet
+  const LeaseLogScan scan = scan_lease_log(path);
+  EXPECT_TRUE(scan.torn_tail);
+  EXPECT_FALSE(scan.has_campaign);
+  EXPECT_FALSE(scan.warning.empty());
+}
+
+TEST(LeaseLog, NextLogPathNumbersPastExistingLogs) {
+  const fs::path dir = fresh_dir("lease_numbering");
+  const fs::path first = LeaseLogWriter::next_log_path(dir);
+  EXPECT_EQ(first.filename(), "lease-000000.pll");
+  { LeaseLogWriter writer(first, toy_campaign()); }
+  const fs::path second = LeaseLogWriter::next_log_path(dir);
+  EXPECT_EQ(second.filename(), "lease-000001.pll");
+  { LeaseLogWriter writer(second, toy_campaign()); }
+
+  const auto logs = LeaseLogWriter::list_logs(dir);
+  ASSERT_EQ(logs.size(), 2u);
+  EXPECT_EQ(logs[0].filename(), "lease-000000.pll");
+  EXPECT_EQ(logs[1].filename(), "lease-000001.pll");
+}
+
+TEST(LeaseLog, WriterRefusesAnExistingPath) {
+  const fs::path dir = fresh_dir("lease_exists");
+  const fs::path path = write_toy_log(dir);
+  EXPECT_THROW(LeaseLogWriter(path, toy_campaign()), ContractViolation);
+}
+
+}  // namespace
+}  // namespace propane::svc

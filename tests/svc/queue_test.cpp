@@ -1,0 +1,81 @@
+// Bounded admission queue tests (svc/queue.hpp): capacity enforcement,
+// retry-after hints, FIFO order and the throughput EWMA behind the hints.
+#include "svc/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+
+namespace propane::svc {
+namespace {
+
+TEST(Queue, AcceptsUntilCapacityThenRejectsWithRetryAfter) {
+  CampaignQueue queue(2, /*default_runs_per_second=*/100.0);
+  const EnqueueDecision a = queue.try_enqueue("a", 1000);
+  const EnqueueDecision b = queue.try_enqueue("b", 1000);
+  EXPECT_TRUE(a.accepted);
+  EXPECT_TRUE(b.accepted);
+  EXPECT_NE(a.id, b.id);
+
+  const EnqueueDecision rejected = queue.try_enqueue("c", 1000);
+  EXPECT_FALSE(rejected.accepted);
+  EXPECT_GT(rejected.retry_after_seconds, 0.0);
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(Queue, PopsInAdmissionOrderAndFreesASlot) {
+  CampaignQueue queue(1);
+  queue.try_enqueue("first", 10);
+  const auto popped = queue.pop();
+  ASSERT_TRUE(popped.has_value());
+  EXPECT_EQ(popped->label, "first");
+  // The slot freed at pop; the next admission succeeds even while "first"
+  // is still in flight.
+  EXPECT_TRUE(queue.try_enqueue("second", 10).accepted);
+  EXPECT_FALSE(queue.pop()->label.empty());
+  EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(Queue, RetryAfterReflectsInFlightCampaign) {
+  CampaignQueue queue(1, /*default_runs_per_second=*/100.0);
+  queue.try_enqueue("big", 100000);
+  queue.pop();  // 100000 runs in flight at 100 runs/s => ~1000s
+  queue.try_enqueue("waiting", 10);
+  const EnqueueDecision rejected = queue.try_enqueue("late", 10);
+  ASSERT_FALSE(rejected.accepted);
+  EXPECT_GE(rejected.retry_after_seconds, 900.0);
+}
+
+TEST(Queue, CompletionFoldsObservedThroughputIntoTheEwma) {
+  CampaignQueue queue(4, /*default_runs_per_second=*/100.0);
+  queue.try_enqueue("a", 1000);
+  queue.pop();
+  queue.record_completion(/*executed_runs=*/1000, /*wall_seconds=*/1.0);
+  // alpha 0.3: 0.7 * 100 + 0.3 * 1000 = 370
+  EXPECT_NEAR(queue.runs_per_second(), 370.0, 1e-9);
+
+  // Zero-executed completions (fully resumed campaigns) carry no signal.
+  queue.try_enqueue("b", 1000);
+  queue.pop();
+  queue.record_completion(0, 1.0);
+  EXPECT_NEAR(queue.runs_per_second(), 370.0, 1e-9);
+}
+
+TEST(Queue, BacklogCountsInFlightAndWaitingWork) {
+  CampaignQueue queue(4, /*default_runs_per_second=*/100.0);
+  EXPECT_EQ(queue.backlog_seconds(), 0.0);
+  queue.try_enqueue("a", 500);
+  queue.try_enqueue("b", 500);
+  EXPECT_NEAR(queue.backlog_seconds(), 10.0, 1e-9);
+  queue.pop();  // "a" now in flight, still part of the backlog
+  EXPECT_NEAR(queue.backlog_seconds(), 10.0, 1e-9);
+  queue.record_completion(500, 5.0);
+  EXPECT_LT(queue.backlog_seconds(), 10.0);
+}
+
+TEST(Queue, ZeroCapacityViolatesContract) {
+  EXPECT_THROW(CampaignQueue(0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace propane::svc

@@ -1,0 +1,74 @@
+// Wire-protocol round-trip and rejection tests (svc/wire.hpp). The
+// protocol is one line per message; parse(format(m)) must reproduce m
+// exactly, and anything else must parse to nullopt rather than a
+// half-understood message.
+#include "svc/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace propane::svc {
+namespace {
+
+TEST(Wire, RoundTripsEveryMessageType) {
+  const std::vector<WireMessage> messages = {
+      HelloMsg{3, 12345},
+      LeaseMsg{7, 0, 250, false},
+      LeaseMsg{8, 250, 500, true},
+      DoneMsg{7, 250, 41},
+      FailMsg{9, "journal manifest mismatch (out/j): expected plan ..."},
+      ShutdownMsg{},
+  };
+  for (const WireMessage& message : messages) {
+    const std::string line = format_wire(message);
+    EXPECT_EQ(line.find('\n'), std::string::npos) << line;
+    const auto parsed = parse_wire(line);
+    ASSERT_TRUE(parsed.has_value()) << line;
+    EXPECT_TRUE(*parsed == message) << line;
+  }
+}
+
+TEST(Wire, FailMessageSurvivesSpacesAndFlattensNewlines) {
+  const auto parsed =
+      parse_wire(format_wire(FailMsg{2, "first line\nsecond line"}));
+  ASSERT_TRUE(parsed.has_value());
+  const FailMsg& fail = std::get<FailMsg>(*parsed);
+  EXPECT_EQ(fail.lease_id, 2u);
+  EXPECT_EQ(fail.message, "first line second line");
+}
+
+TEST(Wire, EmptyFailMessageRoundTrips) {
+  const auto parsed = parse_wire("FAIL 5 ");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(std::get<FailMsg>(*parsed).message, "");
+}
+
+TEST(Wire, RejectsMalformedLines) {
+  const char* bad[] = {
+      "",
+      "NOP",
+      "HELLO",                  // missing fields
+      "HELLO 1",                // missing pid
+      "HELLO 1 2 3",            // trailing garbage
+      "HELLO one 2",            // non-numeric
+      "LEASE 1 0 10",           // missing rescan
+      "LEASE 1 0 10 2",         // rescan out of range
+      "LEASE 1 0 10 0 extra",   // trailing garbage
+      "DONE 1 2",               // missing diverged
+      "DONE 1 2 3 4",           // trailing garbage
+      "FAIL",                   // missing lease id
+      "FAIL x oops",            // non-numeric lease id
+      "SHUTDOWN now",           // trailing garbage
+      "lease 1 0 10 0",         // verbs are case-sensitive
+      "HELLO  1 2",             // doubled space makes an empty token
+  };
+  for (const char* line : bad) {
+    EXPECT_FALSE(parse_wire(line).has_value()) << "'" << line << "'";
+  }
+}
+
+}  // namespace
+}  // namespace propane::svc

@@ -1,0 +1,193 @@
+// Worker protocol-loop tests (svc/worker.hpp), driven entirely through
+// stringstreams: a worker fed scripted LEASE lines must journal exactly
+// the leased ranges, answer DONE with honest counts, rebuild its session
+// on rescan leases, and FAIL fast on a malformed dispatcher line.
+//
+// The toy campaign is the one from tests/store/resume_test.cpp: 4
+// injections x 3 test cases = 12 runs over a two-signal bus.
+#include "svc/worker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/system_model.hpp"
+#include "store/resume.hpp"
+#include "svc/wire.hpp"
+
+namespace propane::svc {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(testing::TempDir()) / name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+fi::TraceSet toy_run(const fi::RunRequest& request) {
+  fi::SignalBus bus;
+  const fi::BusSignalId src = bus.add_signal("src");
+  const fi::BusSignalId dst = bus.add_signal("dst");
+  std::optional<fi::InjectionDriver> injector;
+  if (request.injection) {
+    injector.emplace(bus, *request.injection, Rng(request.rng_seed));
+  }
+  fi::TraceRecorder recorder(bus);
+  for (std::uint64_t ms = 0; ms < 10; ++ms) {
+    bus.write(src, static_cast<std::uint16_t>(request.test_case * 100 + ms));
+    if (injector) injector->maybe_fire(ms * sim::kMillisecond);
+    bus.write(dst, static_cast<std::uint16_t>(bus.read(src) & 0xFFF0));
+    recorder.sample();
+  }
+  return recorder.take();
+}
+
+fi::CampaignConfig toy_config() {
+  fi::CampaignConfig config;
+  config.test_case_count = 3;
+  config.injections = {
+      fi::InjectionSpec{0, 2 * sim::kMillisecond, fi::bit_flip(0)},
+      fi::InjectionSpec{0, 2 * sim::kMillisecond, fi::bit_flip(8)},
+      fi::InjectionSpec{0, 4 * sim::kMillisecond, fi::bit_flip(12)},
+      fi::InjectionSpec{0, 6 * sim::kMillisecond, fi::random_replacement()},
+  };
+  config.threads = 2;
+  return config;
+}
+
+core::SystemModel toy_model() {
+  core::SystemModelBuilder builder;
+  builder.add_module("M", {"in"}, {"dst"});
+  builder.add_system_input("src");
+  builder.connect_system_input("src", "M", "in");
+  builder.add_system_output("out", "M", "dst");
+  return std::move(builder).build();
+}
+
+std::string journal_csv(const fs::path& dir) {
+  const core::SystemModel model = toy_model();
+  const fi::SignalBinding binding =
+      fi::SignalBinding::by_name(model, {"src", "dst"});
+  std::ostringstream out;
+  store::write_permeability_csv_from_journal(out, dir, model, binding);
+  return out.str();
+}
+
+WorkerConfig worker_config(const fs::path& dir, std::uint32_t id = 0) {
+  WorkerConfig worker;
+  worker.worker_id = id;
+  worker.journal_dir = dir;
+  return worker;
+}
+
+std::vector<std::string> output_lines(const std::ostringstream& out) {
+  std::vector<std::string> lines;
+  std::istringstream in(out.str());
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+/// Parses an output line and returns it as a DoneMsg, failing the test on
+/// anything else.
+DoneMsg expect_done(const std::string& line) {
+  const auto parsed = parse_wire(line);
+  EXPECT_TRUE(parsed.has_value()) << line;
+  if (!parsed || !std::holds_alternative<DoneMsg>(*parsed)) {
+    ADD_FAILURE() << "expected DONE, got: " << line;
+    return DoneMsg{};
+  }
+  return std::get<DoneMsg>(*parsed);
+}
+
+TEST(Worker, ExecutesLeasedRangesAndReportsDone) {
+  const fs::path dir = fresh_dir("worker_basic");
+  std::istringstream in("LEASE 1 0 6 0\nLEASE 2 6 12 0\nSHUTDOWN\n");
+  std::ostringstream out;
+  WorkerSummary summary;
+  const int code = run_worker_loop(toy_run, toy_config(),
+                                   worker_config(dir, 3), in, out, &summary);
+  EXPECT_EQ(code, 0);
+
+  const std::vector<std::string> lines = output_lines(out);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0].rfind("HELLO 3 ", 0), 0u) << lines[0];
+  EXPECT_EQ(expect_done(lines[1]).executed, 6u);
+  EXPECT_EQ(expect_done(lines[2]).executed, 6u);
+  EXPECT_EQ(summary.leases, 2u);
+  EXPECT_EQ(summary.executed, 12u);
+
+  const store::CampaignDirState state = store::scan_campaign_dir(dir);
+  EXPECT_EQ(state.completed_count, 12u);
+  EXPECT_EQ(state.duplicate_count, 0u);
+}
+
+TEST(Worker, LeasedCampaignMatchesSingleProcessByteForByte) {
+  const fs::path reference = fresh_dir("worker_ref");
+  store::run_journaled_campaign(toy_run, toy_config(), reference);
+
+  const fs::path dir = fresh_dir("worker_leased");
+  std::istringstream in("LEASE 1 0 5 0\nLEASE 2 5 12 0\nSHUTDOWN\n");
+  std::ostringstream out;
+  ASSERT_EQ(run_worker_loop(toy_run, toy_config(), worker_config(dir), in,
+                            out, nullptr),
+            0);
+  EXPECT_EQ(journal_csv(dir), journal_csv(reference));
+}
+
+TEST(Worker, RescanLeaseSkipsRunsAlreadyJournaled) {
+  const fs::path dir = fresh_dir("worker_rescan");
+  // Lease 2 re-covers the whole plan with rescan=1, as the dispatcher does
+  // after a worker death: the rebuilt session must skip the 6 runs lease 1
+  // already journaled and execute only the missing 6.
+  std::istringstream in("LEASE 1 0 6 0\nLEASE 2 0 12 1\nSHUTDOWN\n");
+  std::ostringstream out;
+  WorkerSummary summary;
+  ASSERT_EQ(run_worker_loop(toy_run, toy_config(), worker_config(dir), in,
+                            out, &summary),
+            0);
+
+  const std::vector<std::string> lines = output_lines(out);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(expect_done(lines[1]).executed, 6u);
+  EXPECT_EQ(expect_done(lines[2]).executed, 6u);
+
+  const store::CampaignDirState state = store::scan_campaign_dir(dir);
+  EXPECT_EQ(state.completed_count, 12u);
+  EXPECT_EQ(state.duplicate_count, 0u);
+
+  const fs::path reference = fresh_dir("worker_rescan_ref");
+  store::run_journaled_campaign(toy_run, toy_config(), reference);
+  EXPECT_EQ(journal_csv(dir), journal_csv(reference));
+}
+
+TEST(Worker, MalformedDispatcherLineFailsFast) {
+  const fs::path dir = fresh_dir("worker_malformed");
+  std::istringstream in("BOGUS LINE\n");
+  std::ostringstream out;
+  EXPECT_EQ(
+      run_worker_loop(toy_run, toy_config(), worker_config(dir), in, out),
+      1);
+  const std::vector<std::string> lines = output_lines(out);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[1].rfind("FAIL 0 ", 0), 0u) << lines[1];
+}
+
+TEST(Worker, DispatcherEofIsACleanExit) {
+  const fs::path dir = fresh_dir("worker_eof");
+  std::istringstream in;  // dispatcher died before sending anything
+  std::ostringstream out;
+  EXPECT_EQ(
+      run_worker_loop(toy_run, toy_config(), worker_config(dir), in, out),
+      0);
+  EXPECT_EQ(output_lines(out).size(), 1u);  // just the HELLO
+}
+
+}  // namespace
+}  // namespace propane::svc

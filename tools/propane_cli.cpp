@@ -62,18 +62,22 @@
 #include "obs/telemetry.hpp"
 #include "store/result_cache.hpp"
 #include "store/resume.hpp"
+#include "svc/dispatcher.hpp"
+#include "svc/worker.hpp"
 
 namespace {
 
 using namespace propane;
 using namespace propane::core;
 
-// Kept as one constant because `propane --help` must match the fenced
-// usage block in tools/README.md verbatim (CI runs
+// The usage text is assembled from per-area blocks so every error path can
+// print the block it belongs to; the concatenation (`propane --help`) must
+// match the fenced usage block in tools/README.md verbatim (CI runs
 // tools/check_cli_help.py against both).
-constexpr char kUsageText[] =
+constexpr char kAnalysisUsage[] =
     "usage: propane <analyze|paths|advise|tree|dot|influence|report|"
-    "check> <model.txt> [perm.csv]\n"
+    "check> <model.txt> [perm.csv]\n";
+constexpr char kCampaignUsage[] =
     "       propane campaign <run|resume> --journal <dir>"
     " [--scale full|default|small] [--shards N] [--processes N --index I]\n"
     "                        [--metrics-out <file.ndjson>] [--no-telemetry]"
@@ -81,16 +85,36 @@ constexpr char kUsageText[] =
     "       propane campaign delta --journal <dir> --baseline <dir>"
     " [--invalidate MODULE[,MODULE...]] [--explain]\n"
     "                        [plus any campaign run flag]\n"
+    "       propane campaign serve --journal <dir> [--workers N]"
+    " [--lease-runs N] [plus any campaign run flag]\n"
+    "       propane campaign worker --journal <dir> --worker-id N"
+    " [plus any campaign run flag]\n"
     "       propane campaign merge --journal <dest-dir> <src-dir>...\n"
     "       propane campaign stats --journal <dir> [--csv <perm.csv>]\n"
     "       propane campaign top   --journal <dir>"
-    " [--metrics-out <file.ndjson>]\n"
+    " [--metrics-out <file.ndjson>]\n";
+constexpr char kTrailerUsage[] =
     "       propane --help\n"
     "exit codes: 0 success, 1 runtime/contract error, 2 usage error,"
     " 3 multiple worker failures\n";
+const std::string kUsageText =
+    std::string(kAnalysisUsage) + kCampaignUsage + kTrailerUsage;
 
 int usage() {
-  std::fputs(kUsageText, stderr);
+  std::fputs(kUsageText.c_str(), stderr);
+  return 2;
+}
+
+/// The one shape every usage error takes: the offending detail, then the
+/// usage block it violated, then exit code 2. `block` defaults to the full
+/// text; campaign paths pass kCampaignUsage.
+int usage_error(const std::string& message, const char* block = nullptr) {
+  std::fprintf(stderr, "propane: %s\n", message.c_str());
+  if (block != nullptr) {
+    std::fputs(block, stderr);
+  } else {
+    std::fputs(kUsageText.c_str(), stderr);
+  }
   return 2;
 }
 
@@ -180,15 +204,18 @@ struct CampaignArgs {
   std::string invalidate;    // delta: comma-separated module names
   bool explain = false;      // delta: per-module hit/miss table
   std::vector<std::filesystem::path> sources;  // merge positionals
+  std::uint32_t workers = 2;     // serve: worker processes to spawn
+  std::uint64_t lease_runs = 0;  // serve: runs per lease (0 = auto)
+  std::uint32_t worker_id = 0;   // worker: dispatcher-assigned identity
 };
 
 std::uint64_t parse_count(const char* flag, const char* text) {
   char* end = nullptr;
   const unsigned long long value = std::strtoull(text, &end, 10);
   if (end == text || *end != '\0') {
-    std::fprintf(stderr, "propane: %s expects a number, got '%s'\n", flag,
-                 text);
-    std::exit(2);
+    std::exit(usage_error(std::string(flag) + " expects a number, got '" +
+                              text + "'",
+                          kCampaignUsage));
   }
   return value;
 }
@@ -199,8 +226,7 @@ bool parse_campaign_args(int argc, char** argv, CampaignArgs& args) {
     const std::string arg = argv[i];
     auto value = [&]() -> const char* {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "propane: %s needs a value\n", arg.c_str());
-        std::exit(2);
+        std::exit(usage_error(arg + " needs a value", kCampaignUsage));
       }
       return argv[++i];
     };
@@ -231,16 +257,23 @@ bool parse_campaign_args(int argc, char** argv, CampaignArgs& args) {
       args.progress = 1;
     } else if (arg == "--no-progress") {
       args.progress = 0;
+    } else if (arg == "--workers") {
+      args.workers =
+          static_cast<std::uint32_t>(parse_count("--workers", value()));
+    } else if (arg == "--lease-runs") {
+      args.lease_runs = parse_count("--lease-runs", value());
+    } else if (arg == "--worker-id") {
+      args.worker_id =
+          static_cast<std::uint32_t>(parse_count("--worker-id", value()));
     } else if (!arg.empty() && arg.front() == '-') {
-      std::fprintf(stderr, "propane: unknown campaign flag '%s'\n",
-                   arg.c_str());
+      usage_error("unknown campaign flag '" + arg + "'", kCampaignUsage);
       return false;
     } else {
       args.sources.emplace_back(arg);
     }
   }
   if (args.journal.empty()) {
-    std::fputs("propane: campaign commands need --journal <dir>\n", stderr);
+    usage_error("campaign commands need --journal <dir>", kCampaignUsage);
     return false;
   }
   return true;
@@ -251,10 +284,8 @@ exp::ExperimentScale pick_scale(const std::string& name) {
   if (name == "full" || name == "paper") return exp::paper_scale();
   if (name == "small" || name == "smoke") return exp::smoke_scale();
   if (name == "default") return exp::default_scale();
-  std::fprintf(stderr,
-               "propane: unknown scale '%s' (full|default|small)\n",
-               name.c_str());
-  std::exit(2);
+  std::exit(usage_error("unknown scale '" + name + "' (full|default|small)",
+                        kCampaignUsage));
 }
 
 void print_warnings(const std::vector<std::string>& warnings) {
@@ -314,9 +345,8 @@ int cmd_campaign_execute(const CampaignArgs& args, bool delta_mode) {
   store::ResultCache baseline;
   if (delta_mode) {
     if (args.baseline.empty()) {
-      std::fputs("propane: campaign delta needs --baseline <journal-dir>\n",
-                 stderr);
-      return 2;
+      return usage_error("campaign delta needs --baseline <journal-dir>",
+                         kCampaignUsage);
     }
     baseline = store::ResultCache::load(args.baseline);
     std::printf("baseline %s: %zu cached record(s), %zu without "
@@ -429,10 +459,148 @@ int cmd_campaign_execute(const CampaignArgs& args, bool delta_mode) {
   return 0;
 }
 
+/// Path workers are spawned from: the running binary itself, resolved via
+/// /proc/self/exe so a PATH-looked-up argv[0] still execs.
+std::string executable_path(const char* argv0) {
+  std::error_code ec;
+  const std::filesystem::path exe =
+      std::filesystem::read_symlink("/proc/self/exe", ec);
+  return ec ? std::string(argv0) : exe.string();
+}
+
+int cmd_campaign_serve(const CampaignArgs& args, const char* argv0) {
+  const exp::ExperimentScale scale = pick_scale(args.scale_name);
+  std::printf("%s\n", exp::describe(scale).c_str());
+  const fi::CampaignConfig config = exp::make_campaign_config(scale);
+  const SystemModel model = arr::make_arrestment_model();
+  const fi::SignalBinding binding = arr::make_arrestment_binding(model);
+
+  obs::MetricsRegistry metrics;
+  obs::SpanBuffer spans;
+  std::optional<obs::NdjsonSink> sink;
+  obs::Telemetry telemetry;
+  if (!args.no_telemetry) {
+    const std::filesystem::path events_path = telemetry_path(args);
+    if (!events_path.parent_path().empty()) {
+      std::filesystem::create_directories(events_path.parent_path());
+    }
+    sink.emplace(events_path, /*append=*/true);
+    telemetry.metrics = &metrics;
+    telemetry.events = &*sink;
+    telemetry.spans = &spans;
+  }
+
+  svc::ServeOptions options;
+  options.worker_count = args.workers;
+  options.lease_runs = args.lease_runs;
+  // Workers re-derive the same config from the scale's canonical name (the
+  // plan hash check in their resume scan catches any drift). Telemetry is
+  // per-worker NDJSON files; sharing the dispatcher's would tear lines.
+  options.worker_command = {executable_path(argv0),
+                            "campaign",
+                            "worker",
+                            "--journal",
+                            args.journal.string(),
+                            "--scale",
+                            scale.name,
+                            "--shards",
+                            std::to_string(args.shards)};
+  if (args.no_telemetry) options.worker_command.push_back("--no-telemetry");
+  options.telemetry = telemetry.enabled() ? &telemetry : nullptr;
+  options.model = &model;
+  options.binding = &binding;
+  options.bus_signal_count = binding.bus_upper_bound();
+  const svc::ServeSummary summary =
+      svc::serve_campaign(config, args.journal, options);
+
+  std::printf(
+      "serve %s: %llu lease(s) granted, %llu completed, %llu requeued, "
+      "%u worker(s) spawned (%u died), %llu executed, %llu diverged, "
+      "%.2fs wall\n",
+      args.journal.string().c_str(),
+      static_cast<unsigned long long>(summary.leases_granted),
+      static_cast<unsigned long long>(summary.leases_completed),
+      static_cast<unsigned long long>(summary.leases_requeued),
+      summary.workers_spawned, summary.workers_died,
+      static_cast<unsigned long long>(summary.executed),
+      static_cast<unsigned long long>(summary.diverged),
+      summary.wall_seconds);
+  if (summary.partial_estimates > 0) {
+    std::printf("partial estimates: %llu emitted, final covers %llu of %zu "
+                "run(s)\n",
+                static_cast<unsigned long long>(summary.partial_estimates),
+                static_cast<unsigned long long>(summary.estimated_runs),
+                summary.total_runs);
+  }
+  std::printf("lease log: %s\n", summary.lease_log_path.string().c_str());
+  if (sink.has_value()) {
+    emit_metric_events(*sink, metrics.snapshot());
+    sink->flush();
+    std::printf("telemetry: %zu event(s) appended to %s\n",
+                sink->event_count(), telemetry_path(args).string().c_str());
+  }
+  return 0;
+}
+
+/// `campaign worker`: stdout belongs to the wire protocol, so every human
+/// readable line goes to stderr.
+int cmd_campaign_worker(const CampaignArgs& args) {
+  const exp::ExperimentScale scale = pick_scale(args.scale_name);
+  const fi::CampaignConfig config = exp::make_campaign_config(scale);
+  const std::vector<arr::TestCase> cases =
+      scale.custom_cases.empty()
+          ? arr::grid_test_cases(scale.mass_count, scale.velocity_count)
+          : scale.custom_cases;
+
+  obs::MetricsRegistry metrics;
+  obs::SpanBuffer spans;
+  std::optional<obs::NdjsonSink> sink;
+  obs::Telemetry telemetry;
+  if (!args.no_telemetry) {
+    // One event log per worker: concurrent appends from several processes
+    // into one NDJSON file could interleave mid-line, and `campaign top`
+    // treats a malformed mid-file line as a hard error.
+    const std::filesystem::path events_path =
+        args.metrics_out.empty()
+            ? args.journal / ("telemetry-w" + std::to_string(args.worker_id) +
+                              ".ndjson")
+            : std::filesystem::path(args.metrics_out);
+    if (!events_path.parent_path().empty()) {
+      std::filesystem::create_directories(events_path.parent_path());
+    }
+    sink.emplace(events_path, /*append=*/true);
+    telemetry.metrics = &metrics;
+    telemetry.events = &*sink;
+    telemetry.spans = &spans;
+  }
+
+  svc::WorkerConfig worker;
+  worker.worker_id = args.worker_id;
+  worker.journal_dir = args.journal;
+  worker.journal.shard_count = args.shards;
+  worker.journal.telemetry = telemetry.enabled() ? &telemetry : nullptr;
+
+  svc::WorkerSummary summary;
+  const int code = svc::run_worker_loop(
+      arr::warm_campaign_runner(cases, config, scale.duration), config, worker,
+      std::cin, std::cout, &summary);
+  if (sink.has_value()) {
+    emit_metric_events(*sink, metrics.snapshot());
+    sink->flush();
+  }
+  std::fprintf(stderr,
+               "propane worker %u: %llu lease(s), %llu executed, "
+               "%llu diverged, exit %d\n",
+               args.worker_id, static_cast<unsigned long long>(summary.leases),
+               static_cast<unsigned long long>(summary.executed),
+               static_cast<unsigned long long>(summary.diverged), code);
+  return code;
+}
+
 int cmd_campaign_merge(const CampaignArgs& args) {
   if (args.sources.empty()) {
-    std::fputs("propane: campaign merge needs source directories\n", stderr);
-    return 2;
+    return usage_error("campaign merge needs source directories",
+                       kCampaignUsage);
   }
   const store::MergeSummary summary =
       store::merge_journals(args.journal, args.sources);
@@ -682,10 +850,13 @@ int cmd_campaign(int argc, char** argv) {
     return cmd_campaign_execute(args, /*delta_mode=*/false);
   }
   if (args.sub == "delta") return cmd_campaign_execute(args, /*delta_mode=*/true);
+  if (args.sub == "serve") return cmd_campaign_serve(args, argv[0]);
+  if (args.sub == "worker") return cmd_campaign_worker(args);
   if (args.sub == "merge") return cmd_campaign_merge(args);
   if (args.sub == "stats") return cmd_campaign_stats(args);
   if (args.sub == "top") return cmd_campaign_top(args);
-  return usage();
+  return usage_error("unknown campaign subcommand '" + args.sub + "'",
+                     kCampaignUsage);
 }
 
 }  // namespace
@@ -694,7 +865,7 @@ int main(int argc, char** argv) {
   if (argc >= 2) {
     const std::string first = argv[1];
     if (first == "--help" || first == "-h" || first == "help") {
-      std::fputs(kUsageText, stdout);  // asked-for help is not an error
+      std::fputs(kUsageText.c_str(), stdout);  // asked-for help is not an error
       return 0;
     }
   }
