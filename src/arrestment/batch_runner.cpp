@@ -1,0 +1,102 @@
+#include "arrestment/batch_runner.hpp"
+
+#include <utility>
+
+#include "arrestment/batch_system.hpp"
+#include "arrestment/signals.hpp"
+#include "common/contracts.hpp"
+
+namespace propane::arr {
+namespace {
+
+std::vector<fi::DivergenceReport> run_batch(
+    const WarmStartEngine& engine, const fi::BatchRunRequest& request,
+    BatchRunStats* stats) {
+  PROPANE_REQUIRE(!request.lanes.empty());
+  PROPANE_REQUIRE(request.test_case < engine.cases().size());
+
+  // An injection at/after the horizon never fires: the run is the golden
+  // run, every signal matches, and no simulation is needed.
+  if (request.fire_ms >= engine.duration_ms()) {
+    std::vector<fi::DivergenceReport> reports(request.lanes.size());
+    for (fi::DivergenceReport& report : reports) {
+      report.per_signal.resize(kAllSignals.size());
+    }
+    if (stats != nullptr) {
+      stats->never_fire_lanes.fetch_add(request.lanes.size(),
+                                        std::memory_order_relaxed);
+      stats->saved_lane_ms.fetch_add(
+          request.lanes.size() * engine.duration_ms(),
+          std::memory_order_relaxed);
+    }
+    return reports;
+  }
+
+  std::vector<BatchLaneSpec> lanes;
+  lanes.reserve(request.lanes.size());
+  for (const fi::BatchLaneRequest& lane : request.lanes) {
+    lanes.push_back({lane.spec, lane.rng_seed});
+  }
+
+  // Warm path: all lanes of the group share one fire tick, so one golden
+  // checkpoint seeds the whole batch. fire tick 0 has no prefix; cold
+  // batches replay from t=0 (still batched, just without prefix reuse).
+  const std::shared_ptr<const WarmStartEngine::Checkpoint> checkpoint =
+      request.fire_ms > 0
+          ? engine.lookup(request.test_case, request.fire_ms)
+          : nullptr;
+
+  std::vector<fi::DivergenceReport> reports;
+  std::size_t converged = 0;
+  std::size_t exhausted = 0;
+  std::uint64_t saved = 0;
+  if (checkpoint != nullptr) {
+    BatchedArrestmentSystem batch(*checkpoint->system, lanes,
+                                  engine.duration());
+    reports = batch.run();
+    converged = batch.lanes_retired_converged();
+    exhausted = batch.lanes_retired_exhausted();
+    saved = batch.saved_lane_ms() +
+            lanes.size() * checkpoint->ms;  // prefix not re-simulated
+  } else {
+    const ArrestmentSystem origin(engine.cases()[request.test_case]);
+    BatchedArrestmentSystem batch(origin, lanes, engine.duration());
+    reports = batch.run();
+    converged = batch.lanes_retired_converged();
+    exhausted = batch.lanes_retired_exhausted();
+    saved = batch.saved_lane_ms();
+  }
+
+  if (stats != nullptr) {
+    stats->batches.fetch_add(1, std::memory_order_relaxed);
+    stats->batched_lanes.fetch_add(request.lanes.size(),
+                                   std::memory_order_relaxed);
+    stats->retired_converged.fetch_add(converged,
+                                       std::memory_order_relaxed);
+    stats->retired_exhausted.fetch_add(exhausted,
+                                       std::memory_order_relaxed);
+    stats->saved_lane_ms.fetch_add(saved, std::memory_order_relaxed);
+  }
+  return reports;
+}
+
+}  // namespace
+
+fi::CampaignRunner batched_campaign_runner(
+    std::vector<TestCase> test_cases, const fi::CampaignConfig& config,
+    sim::SimTime duration, std::shared_ptr<WarmStartStats> warm_stats,
+    std::shared_ptr<BatchRunStats> batch_stats) {
+  PROPANE_REQUIRE(!test_cases.empty());
+  auto engine = std::make_shared<WarmStartEngine>(
+      std::move(test_cases), config, duration, std::move(warm_stats));
+  return fi::CampaignRunner(
+      [engine](const fi::RunRequest& request) {
+        return engine->run(request);
+      },
+      [engine, stats = std::move(batch_stats)](
+          const fi::BatchRunRequest& request) {
+        return run_batch(*engine, request, stats.get());
+      });
+}
+
+}  // namespace propane::arr

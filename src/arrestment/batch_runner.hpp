@@ -1,0 +1,51 @@
+// Lockstep batched campaign runner: the arrestment-side binding of the
+// campaign executor's batch planner (fi::BatchRunFunction) to the SoA
+// batched kernel (BatchedArrestmentSystem).
+//
+// A batch is all the runs of one (test case, fire tick) group the planner
+// formed. The runner starts every lane from the warm-start checkpoint of
+// that fire tick when one exists (composing batching with prefix reuse:
+// the shared golden prefix is simulated zero times, not N times), from a
+// fresh t=0 system otherwise, and short-circuits never-firing groups --
+// the injection time is at/after the horizon, so the run *is* the golden
+// run -- to all-clear reports without simulating at all.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "arrestment/warm_start.hpp"
+
+namespace propane::arr {
+
+/// Observability counters for the batched runner (shared with the caller;
+/// updated from worker threads).
+struct BatchRunStats {
+  std::atomic<std::size_t> batches{0};
+  std::atomic<std::size_t> batched_lanes{0};
+  /// Lanes retired before the horizon because they provably re-converged
+  /// with the golden lane / resolved every signal's first divergence.
+  std::atomic<std::size_t> retired_converged{0};
+  std::atomic<std::size_t> retired_exhausted{0};
+  /// Lanes answered without simulation (injection never fires).
+  std::atomic<std::size_t> never_fire_lanes{0};
+  /// Simulated lane-milliseconds avoided (early exit + never-fire).
+  std::atomic<std::uint64_t> saved_lane_ms{0};
+};
+
+/// Drop-in replacement for warm_campaign_runner that additionally provides
+/// the lockstep BatchRunFunction: fi::run_campaign dispatches whole
+/// (test case, fire tick) groups to the SoA kernel, while golden runs (and
+/// any scalar fallback) execute through the shared WarmStartEngine.
+/// Results, records and journal CSVs are bit-identical to the scalar
+/// path for every batch size -- enforced by
+/// tests/fi/batch_equivalence_test.cpp.
+fi::CampaignRunner batched_campaign_runner(
+    std::vector<TestCase> test_cases, const fi::CampaignConfig& config,
+    sim::SimTime duration = kRunDuration,
+    std::shared_ptr<WarmStartStats> warm_stats = nullptr,
+    std::shared_ptr<BatchRunStats> batch_stats = nullptr);
+
+}  // namespace propane::arr

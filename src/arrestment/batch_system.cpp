@@ -1,0 +1,371 @@
+#include "arrestment/batch_system.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "arrestment/constants.hpp"
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace propane::arr {
+namespace {
+
+/// Convergence is checked once per this many ticks: often enough that a
+/// transient error retires its lane quickly, rarely enough that the check
+/// (a full state compare per candidate lane) stays off the hot path.
+constexpr std::uint64_t kConvergenceCheckPeriod = 16;
+
+/// Bit `l` of the result is set iff `row[l] != golden`, for `l` in
+/// [0, n); n <= 64. The divergence scan intersects this with the pending
+/// mask, so the per-lane bookkeeping only runs for lanes that diverge on
+/// this very tick -- almost always none.
+std::uint64_t diff_bits(const std::uint16_t* row, std::uint16_t golden,
+                        std::size_t n) {
+  std::uint64_t bits = 0;
+  std::size_t l = 0;
+#if defined(__AVX512BW__)
+  // One masked word-compare covers up to 32 lanes; the mask both
+  // suppresses the tail load and zeroes tail compare bits.
+  const __m512i g512 = _mm512_set1_epi16(static_cast<short>(golden));
+  for (; l < n; l += 32) {
+    const std::size_t left = n - l;
+    const __mmask32 m = left >= 32
+                            ? ~__mmask32{0}
+                            : static_cast<__mmask32>((1u << left) - 1);
+    const __m512i v = _mm512_maskz_loadu_epi16(m, row + l);
+    bits |= static_cast<std::uint64_t>(
+                _mm512_mask_cmpneq_epu16_mask(m, v, g512))
+            << l;
+  }
+#elif defined(__AVX2__) && defined(__BMI2__)
+  const __m256i g = _mm256_set1_epi16(static_cast<short>(golden));
+  for (; l + 16 <= n; l += 16) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row + l));
+    const auto eq = static_cast<std::uint32_t>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi16(v, g)));
+    // movemask yields two bits per 16-bit lane; compact to one.
+    const std::uint64_t ne = _pext_u32(~eq, 0x55555555u);
+    bits |= ne << l;
+  }
+#endif
+  for (; l < n; ++l) {
+    bits |= static_cast<std::uint64_t>(row[l] != golden) << l;
+  }
+  return bits;
+}
+
+}  // namespace
+
+BatchedArrestmentSystem::BatchedArrestmentSystem(
+    const ArrestmentSystem& origin, std::span<const BatchLaneSpec> specs,
+    sim::SimTime duration)
+    : lanes_(specs.size() + 1),
+      signals_(origin.bus().signal_count()),
+      map_(origin.map()),
+      duration_(duration),
+      duration_ms_(sim::to_milliseconds(duration)),
+      names_(fi::intern_signal_names(origin.bus().names())),
+      bus_(origin.bus(), lanes_),
+      scheduler_(kSlotCount),
+      env_(origin.environment(), map_, lanes_),
+      clock_(map_),
+      dist_s_(map_, origin.dist_s(), lanes_),
+      pres_s_(map_),
+      pres_a_(map_),
+      v_reg_(map_, origin.v_reg(), lanes_),
+      calc_(map_, origin.calc(), lanes_),
+      specs_(specs.begin(), specs.end()),
+      fired_(specs.size(), 0),
+      unfired_(specs.size()),
+      reports_(specs.size()),
+      undiverged_(specs.size(),
+                  static_cast<std::uint32_t>(signals_)),
+      conv_hint_(specs.size(), 0),
+      active_(specs.size(), /*set=*/true),
+      active_count_(specs.size()) {
+  PROPANE_REQUIRE_MSG(!specs.empty(), "batch needs at least one injection");
+  PROPANE_REQUIRE_MSG(origin.now() < duration,
+                      "batch origin must precede the horizon");
+  for (const BatchLaneSpec& lane : specs_) {
+    PROPANE_REQUIRE(lane.spec != nullptr);
+    PROPANE_REQUIRE(lane.spec->model.apply != nullptr);
+    PROPANE_REQUIRE_MSG(lane.spec->target < signals_,
+                        "injection targets unknown signal");
+  }
+  for (fi::DivergenceReport& report : reports_) {
+    report.per_signal.resize(signals_);
+  }
+  pending_.reserve(signals_);
+  for (std::size_t sig = 0; sig < signals_; ++sig) {
+    pending_.emplace_back(specs_.size(), /*set=*/true);
+  }
+
+  // Resume simulated time where the origin stopped: slot position is
+  // now/1ms modulo the cycle, exactly where a scalar run from t=0 would be.
+  scheduler_.seek(origin.now(),
+                  origin.current_ms() % scheduler_.slot_count());
+
+  // One tick == one scheduler slot. Registration order reproduces
+  // ArrestmentSystem::tick step for step; batch tasks that dispatch on the
+  // slot number (PRES_S) read each lane's *bus value* of ms_slot_nbr, so a
+  // corrupted slot number shifts that lane's schedule exactly as in the
+  // scalar system.
+  scheduler_.add_every_slot_batch_task(
+      "inject@tick-start",
+      [this](sim::SimTime now, const sim::LaneMask&) {
+        fire_injections(now, fi::InjectionPhase::kTickStart);
+      });
+  scheduler_.add_every_slot_batch_task(
+      "environment", [this](sim::SimTime now, const sim::LaneMask&) {
+        step_environment(now);
+      });
+  scheduler_.add_every_slot_batch_task(
+      "clock", [this](sim::SimTime, const sim::LaneMask&) {
+        clock_.step_lanes(bus_);
+      });
+  scheduler_.add_every_slot_batch_task(
+      "dist_s", [this](sim::SimTime, const sim::LaneMask&) {
+        dist_s_.step_lanes(bus_);
+      });
+  scheduler_.add_every_slot_batch_task(
+      "pres_s", [this](sim::SimTime, const sim::LaneMask&) {
+        pres_s_.step_lanes(bus_);
+      });
+  scheduler_.add_every_slot_batch_task(
+      "pres_a", [this](sim::SimTime, const sim::LaneMask&) {
+        pres_a_.step_lanes(bus_);
+      });
+  scheduler_.add_every_slot_batch_task(
+      "v_reg", [this](sim::SimTime, const sim::LaneMask&) {
+        v_reg_.step_lanes(bus_);
+      });
+  scheduler_.add_every_slot_batch_task(
+      "inject@pre-background",
+      [this](sim::SimTime now, const sim::LaneMask&) {
+        fire_injections(now, fi::InjectionPhase::kPreBackground);
+      });
+  scheduler_.add_background_batch_task(
+      "calc", [this](sim::SimTime, const sim::LaneMask&) {
+        calc_.step_lanes(bus_);
+      });
+  // Observation runs last, like the scalar recorder: the row for
+  // millisecond t is the bus state after the whole tick at time t.
+  scheduler_.add_background_batch_task(
+      "observe", [this](sim::SimTime now, const sim::LaneMask&) {
+        if (recording_) record_rows();
+        check_divergence(now);
+        ++ticks_;
+        if (!recording_ && active_count_ > 0 &&
+            ticks_ % kConvergenceCheckPeriod == 0) {
+          check_convergence(now);
+        }
+      });
+}
+
+BatchedArrestmentSystem::~BatchedArrestmentSystem() = default;
+
+void BatchedArrestmentSystem::enable_recording(const fi::TraceSet* prefix) {
+  PROPANE_REQUIRE_MSG(ticks_ == 0, "enable_recording must precede run()");
+  recording_ = true;
+  if (prefix != nullptr) {
+    PROPANE_REQUIRE_MSG(prefix->signal_count() == signals_,
+                        "prefix signals must match the bus");
+    PROPANE_REQUIRE(prefix->sample_count() ==
+                    sim::to_milliseconds(scheduler_.now()));
+  }
+  traces_.reserve(lanes_);
+  for (std::size_t lane = 0; lane < lanes_; ++lane) {
+    fi::TraceSet trace(names_);
+    trace.reserve(duration_ms_);
+    if (prefix != nullptr) {
+      trace.append_rows(
+          {prefix->data(), prefix->sample_count() * signals_});
+    }
+    traces_.push_back(std::move(trace));
+  }
+  row_scratch_.resize(signals_);
+}
+
+std::vector<fi::DivergenceReport> BatchedArrestmentSystem::run() {
+  while (scheduler_.now() < duration_ &&
+         (recording_ || active_count_ > 0)) {
+    scheduler_.run_slot(active_);
+  }
+  // Lanes still live at the horizon simply keep their reports: signals
+  // that never diverged stay {diverged=false}, same as compare_to_golden
+  // on equal-length traces.
+  return reports_;
+}
+
+fi::TraceSet BatchedArrestmentSystem::take_lane_trace(std::size_t i) {
+  PROPANE_REQUIRE_MSG(recording_, "recording mode only");
+  PROPANE_REQUIRE(i < specs_.size());
+  return std::move(traces_[i + 1]);
+}
+
+fi::TraceSet BatchedArrestmentSystem::take_golden_trace() {
+  PROPANE_REQUIRE_MSG(recording_, "recording mode only");
+  return std::move(traces_[0]);
+}
+
+void BatchedArrestmentSystem::fire_injections(sim::SimTime now,
+                                              fi::InjectionPhase phase) {
+  if (unfired_ == 0) return;
+  for (std::size_t j = 0; j < specs_.size(); ++j) {
+    if (fired_[j]) continue;
+    const fi::InjectionSpec& spec = *specs_[j].spec;
+    if (spec.phase != phase || now < spec.when) continue;
+    // Replicates InjectionDriver byte for byte: the run's RNG stream is
+    // fork(0) of the seeded generator (the scalar path forks stream 0 for
+    // the primary injection), and the error model transforms the stored
+    // value in place.
+    const std::size_t lane = j + 1;
+    Rng seeder(specs_[j].rng_seed);
+    Rng rng = seeder.fork(0);
+    const std::uint16_t before = bus_.read(spec.target, lane);
+    const std::uint16_t after = spec.model.apply(before, rng);
+    bus_.poke(spec.target, lane, after);
+    fired_[j] = 1;
+    --unfired_;
+  }
+}
+
+void BatchedArrestmentSystem::step_environment(sim::SimTime now) {
+  env_.step_lanes(bus_, now);
+}
+
+void BatchedArrestmentSystem::check_divergence(sim::SimTime now) {
+  const std::size_t spec_count = specs_.size();
+  // Screen phase: compute, for every signal, the lanes diverging from
+  // golden on this very tick (vector compare intersected with the pending
+  // set). The loop reads but never writes heap state, so the compiler
+  // keeps it tight; on the overwhelmingly common tick the accumulated
+  // mask is zero and the function is done.
+  constexpr std::size_t kMaxScreenSignals = 64;
+  if (spec_count <= 64 && signals_ <= kMaxScreenSignals) [[likely]] {
+    std::uint64_t newly[kMaxScreenSignals];
+    std::uint64_t any = 0;
+    for (std::size_t sig = 0; sig < signals_; ++sig) {
+      const std::span<const std::uint16_t> row =
+          bus_.lane_values(static_cast<fi::BusSignalId>(sig));
+      newly[sig] = diff_bits(row.data() + 1, row[0], spec_count) &
+                   pending_[sig].word(0);
+      any |= newly[sig];
+    }
+    if (any == 0) return;
+    const std::uint64_t ms = sim::to_milliseconds(now);
+    for (std::size_t sig = 0; sig < signals_; ++sig) {
+      if (newly[sig] != 0) {
+        pending_[sig].reset_word_bits(0, newly[sig]);
+        note_divergences(sig, 0, newly[sig], ms);
+      }
+    }
+    return;
+  }
+  // General path: batches wider than one mask word.
+  const std::uint64_t ms = sim::to_milliseconds(now);
+  for (std::size_t sig = 0; sig < signals_; ++sig) {
+    sim::LaneMask& pend = pending_[sig];
+    const std::span<const std::uint16_t> row =
+        bus_.lane_values(static_cast<fi::BusSignalId>(sig));
+    const std::uint16_t golden = row[0];
+    for (std::size_t w = 0; w < pend.word_count(); ++w) {
+      const std::uint64_t pw = pend.word(w);
+      if (pw == 0) continue;
+      const std::size_t base = w * 64;
+      const std::size_t n = std::min<std::size_t>(64, spec_count - base);
+      const std::uint64_t newly =
+          diff_bits(row.data() + 1 + base, golden, n) & pw;
+      if (newly == 0) continue;
+      pend.reset_word_bits(w, newly);
+      note_divergences(sig, base, newly, ms);
+    }
+  }
+}
+
+void BatchedArrestmentSystem::note_divergences(std::size_t sig,
+                                               std::size_t base,
+                                               std::uint64_t newly,
+                                               std::uint64_t ms) {
+  const std::span<const std::uint16_t> row =
+      bus_.lane_values(static_cast<fi::BusSignalId>(sig));
+  const std::uint16_t golden = row[0];
+  while (newly != 0) {
+    const auto bit = static_cast<std::size_t>(__builtin_ctzll(newly));
+    newly &= newly - 1;
+    const std::size_t j = base + bit;
+    fi::Divergence& d =
+        reports_[j].per_signal[static_cast<fi::BusSignalId>(sig)];
+    d.diverged = true;
+    d.first_ms = ms;
+    d.golden_value = golden;
+    d.observed_value = row[j + 1];
+    if (--undiverged_[j] == 0 && !recording_ && active_.test(j)) {
+      retire(j, ms, /*was_converged=*/false);
+    }
+  }
+}
+
+void BatchedArrestmentSystem::check_convergence(sim::SimTime now) {
+  const std::uint64_t ms = sim::to_milliseconds(now);
+  active_.for_each([&](std::size_t j) {
+    // Only a lane whose injection has fired may retire as converged: before
+    // the fire, lane state trivially equals the golden lane's.
+    if (!fired_[j]) return;
+    const std::size_t lane = j + 1;
+    // A lane carrying a persistent error keeps mismatching on the same
+    // signal check after check; probing that signal first turns the
+    // common no-convergence outcome into a single compare.
+    const auto hinted = static_cast<fi::BusSignalId>(conv_hint_[j]);
+    if (bus_.read(hinted, lane) != bus_.read(hinted, 0)) return;
+    for (std::size_t sig = 0; sig < signals_; ++sig) {
+      const auto id = static_cast<fi::BusSignalId>(sig);
+      if (bus_.read(id, lane) != bus_.read(id, 0)) {
+        conv_hint_[j] = static_cast<std::uint16_t>(sig);
+        return;
+      }
+    }
+    if (!dist_s_.lane_equals(lane, 0)) return;
+    if (!v_reg_.lane_equals(lane, 0)) return;
+    if (!calc_.lane_equals(lane, 0)) return;
+    if (!env_.lane_equals(lane, 0)) return;
+    // Complete state (bus + module-internal + bus-feeding environment)
+    // equals the golden lane: every future sample coincides, so the
+    // report is final.
+    for (std::size_t sig = 0; sig < signals_; ++sig) {
+      if (pending_[sig].test(j)) pending_[sig].reset(j);
+    }
+    undiverged_[j] = 0;
+    retire(j, ms, /*was_converged=*/true);
+  });
+}
+
+void BatchedArrestmentSystem::retire(std::size_t lane, std::uint64_t now_ms,
+                                     bool was_converged) {
+  active_.reset(lane);
+  --active_count_;
+  if (was_converged) {
+    ++converged_;
+  } else {
+    ++exhausted_;
+  }
+  // The tick at now_ms has completed for this lane; everything after it
+  // is skipped work.
+  if (duration_ms_ > now_ms + 1) {
+    saved_lane_ms_ += duration_ms_ - now_ms - 1;
+  }
+}
+
+void BatchedArrestmentSystem::record_rows() {
+  for (std::size_t lane = 0; lane < lanes_; ++lane) {
+    bus_.extract_lane(lane, row_scratch_);
+    traces_[lane].append(row_scratch_);
+  }
+}
+
+}  // namespace propane::arr

@@ -1,0 +1,137 @@
+// Lockstep batched execution of the target system: N injection runs of one
+// test case, sharing one fire tick, simulated together against an implicit
+// golden lane -- the structure-of-arrays counterpart of ArrestmentSystem.
+//
+// Lane 0 re-simulates the golden run from the same origin state the
+// injection lanes start from; divergence is tracked online against it, so
+// the batch produces final DivergenceReports without materialising a trace
+// per run. The batched module updates are exact by construction: integer
+// modules are pure re-implementations, and the double-precision paths
+// (BatchedEnvironment, calc_checkpoint_math) perform the scalar path's
+// operation sequence per lane on a target whose double arithmetic is IEEE
+// per-op (no FMA contraction), so lane values are bit-identical to a
+// scalar run at every tick -- the property
+// tests/fi/batch_equivalence_test.cpp enforces.
+//
+// Early exit: an injection lane retires from the batch when its report can
+// no longer change --
+//   * exhausted: every signal has recorded its first divergence, or
+//   * converged: the lane's complete bus, module-internal and
+//     bus-observable environment state equals the golden lane's, so all
+//     its future samples equal the golden suffix.
+// Retired lanes may still be touched by the branch-free module sweeps
+// (their state is dead); the simulation stops once every injection lane
+// retired or the horizon is reached.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "arrestment/system.hpp"
+#include "fi/batched_bus.hpp"
+#include "fi/golden.hpp"
+#include "sim/lanes.hpp"
+#include "sim/scheduler.hpp"
+
+namespace propane::arr {
+
+/// One injection lane: the planned injection plus its RNG stream seed
+/// (the same (campaign seed, flat index)-derived seed the scalar path
+/// would use). `spec` is borrowed and must outlive the batch.
+struct BatchLaneSpec {
+  const fi::InjectionSpec* spec = nullptr;
+  std::uint64_t rng_seed = 0;
+};
+
+class BatchedArrestmentSystem {
+ public:
+  /// Replicates `origin` -- a golden-run system at its current tick
+  /// (a warm-start checkpoint, or a fresh system for fire tick 0 / cold
+  /// runs) -- across `specs.size() + 1` lanes. The batch simulates from
+  /// origin.now() to `duration`.
+  BatchedArrestmentSystem(const ArrestmentSystem& origin,
+                          std::span<const BatchLaneSpec> specs,
+                          sim::SimTime duration);
+  ~BatchedArrestmentSystem();
+
+  BatchedArrestmentSystem(const BatchedArrestmentSystem&) = delete;
+  BatchedArrestmentSystem& operator=(const BatchedArrestmentSystem&) = delete;
+
+  /// Test/diagnostic mode: materialise a full per-lane trace (golden lane
+  /// included) and disable early exit so every lane covers the horizon.
+  /// `prefix` seeds each trace with the rows before origin.now() (pass the
+  /// checkpoint prefix, or nullptr when the origin starts at t=0). Must be
+  /// called before run().
+  void enable_recording(const fi::TraceSet* prefix);
+
+  /// Simulates to the horizon (or until every injection lane retired) and
+  /// returns one final DivergenceReport per injection lane, in spec order.
+  std::vector<fi::DivergenceReport> run();
+
+  // Post-run observability.
+  std::size_t lanes_retired_converged() const { return converged_; }
+  std::size_t lanes_retired_exhausted() const { return exhausted_; }
+  /// Lane-milliseconds not simulated thanks to early exit.
+  std::uint64_t saved_lane_ms() const { return saved_lane_ms_; }
+
+  /// Recorded traces (recording mode, after run()): injection lane `i` in
+  /// spec order, or the golden lane.
+  fi::TraceSet take_lane_trace(std::size_t i);
+  fi::TraceSet take_golden_trace();
+
+ private:
+  void fire_injections(sim::SimTime now, fi::InjectionPhase phase);
+  void step_environment(sim::SimTime now);
+  void check_divergence(sim::SimTime now);
+  void note_divergences(std::size_t sig, std::size_t base,
+                        std::uint64_t newly, std::uint64_t ms);
+  void check_convergence(sim::SimTime now);
+  void retire(std::size_t lane, std::uint64_t now_ms, bool was_converged);
+
+  void record_rows();
+
+  std::size_t lanes_;            // specs.size() + 1 (lane 0 = golden)
+  std::size_t signals_;
+  BusMap map_;
+  sim::SimTime duration_;
+  std::uint64_t duration_ms_;
+  fi::SignalNameTable names_;
+
+  fi::BatchedSignalBus bus_;
+  sim::SlotScheduler scheduler_;
+  BatchedEnvironment env_;
+  BatchedClock clock_;
+  BatchedDistS dist_s_;
+  BatchedPresS pres_s_;
+  BatchedPresA pres_a_;
+  BatchedVReg v_reg_;
+  BatchedCalc calc_;
+
+  // Injection lanes (index j maps to lane j + 1).
+  std::vector<BatchLaneSpec> specs_;
+  std::vector<std::uint8_t> fired_;
+  std::size_t unfired_ = 0;
+
+  // Online divergence tracking.
+  std::vector<fi::DivergenceReport> reports_;   // per injection lane
+  std::vector<sim::LaneMask> pending_;          // per signal: not yet diverged
+  std::vector<std::uint32_t> undiverged_;       // per lane: pending signals
+  std::vector<std::uint16_t> conv_hint_;        // per lane: last unequal signal
+  sim::LaneMask active_;                        // live injection lanes
+  std::size_t active_count_ = 0;
+  std::uint64_t ticks_ = 0;
+
+  // Early-exit accounting.
+  std::size_t converged_ = 0;
+  std::size_t exhausted_ = 0;
+  std::uint64_t saved_lane_ms_ = 0;
+
+  // Recording mode (tests): per-lane traces, retirement disabled.
+  bool recording_ = false;
+  std::vector<fi::TraceSet> traces_;            // [0] = golden lane
+  std::vector<std::uint16_t> row_scratch_;
+};
+
+}  // namespace propane::arr

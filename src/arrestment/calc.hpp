@@ -16,8 +16,11 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
+#include "arrestment/constants.hpp"
 #include "arrestment/signals.hpp"
+#include "fi/batched_bus.hpp"
 #include "fi/signal_bus.hpp"
 
 namespace propane::arr {
@@ -37,6 +40,21 @@ class CalcModule {
   /// Checkpoint pulse thresholds (pre-computed from kCheckpointM).
   static std::uint16_t checkpoint_pulses(int index);
 
+  /// Module-internal state, exposed so the batched kernel can replicate a
+  /// checkpointed module across lanes and compare lane state for
+  /// convergence detection.
+  struct Snapshot {
+    std::uint16_t seg_start_pulses = 0;
+    std::uint16_t seg_start_ms = 0;
+    double seg_start_velocity = 0.0;
+    std::uint16_t seg_set_value = 0;
+    double gain = 0.0;
+  };
+  Snapshot snapshot() const {
+    return {seg_start_pulses_, seg_start_ms_, seg_start_velocity_,
+            seg_set_value_, gain_};
+  }
+
  private:
   BusMap map_;
   // Segment bookkeeping for velocity / brake-gain estimation.
@@ -46,6 +64,54 @@ class CalcModule {
   std::uint16_t seg_set_value_ = 0;  // set point applied during the segment
   // Brake gain estimate [m/s^2 per SetValue unit].
   double gain_;
+};
+
+/// The double-precision checkpoint computation of CALC: velocity estimate
+/// over the finished segment, brake-gain re-identification, required
+/// deceleration and the resulting set point. Deliberately a non-inline
+/// free function defined once in calc.cpp: the scalar CalcModule::step and
+/// the batched kernel both call this exact compiled code, so their
+/// floating-point results are bit-identical by construction (two separate
+/// compilations of the same expressions could contract FMAs differently).
+struct CalcCheckpointOutcome {
+  double velocity = 0.0;     // segment-end velocity estimate [m/s]
+  double gain = 0.0;         // possibly re-identified brake gain
+  std::uint16_t set_value = 0;
+};
+CalcCheckpointOutcome calc_checkpoint_math(std::uint16_t seg_pulses,
+                                           std::uint16_t seg_ms,
+                                           double seg_start_velocity,
+                                           std::uint16_t seg_set_value,
+                                           double gain, std::uint16_t pulscnt);
+
+/// Batched CALC: structure-of-arrays per-lane segment state, integer fast
+/// paths (stopped / slow-speed cap) over lane rows, and the rare checkpoint
+/// branch routed through calc_checkpoint_math per lane.
+class BatchedCalc {
+ public:
+  /// Every lane starts as a copy of `prototype`'s current state.
+  BatchedCalc(const BusMap& map, const CalcModule& prototype,
+              std::size_t lanes);
+
+  /// One background-task invocation over all lanes.
+  void step_lanes(fi::BatchedSignalBus& bus);
+
+  /// Lane state equality (convergence detection).
+  bool lane_equals(std::size_t a, std::size_t b) const {
+    return seg_start_pulses_[a] == seg_start_pulses_[b] &&
+           seg_start_ms_[a] == seg_start_ms_[b] &&
+           seg_start_velocity_[a] == seg_start_velocity_[b] &&
+           seg_set_value_[a] == seg_set_value_[b] && gain_[a] == gain_[b];
+  }
+
+ private:
+  BusMap map_;
+  std::uint16_t checkpoint_pulses_[kCheckpointCount];
+  std::vector<std::uint16_t> seg_start_pulses_;
+  std::vector<std::uint16_t> seg_start_ms_;
+  std::vector<double> seg_start_velocity_;
+  std::vector<std::uint16_t> seg_set_value_;
+  std::vector<double> gain_;
 };
 
 }  // namespace propane::arr

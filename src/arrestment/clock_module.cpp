@@ -12,4 +12,13 @@ void ClockModule::step(fi::SignalBus& bus) {
                 (bus.read(map_.ms_slot_nbr) + 1u) % kSlotCount));
 }
 
+void BatchedClock::step_lanes(fi::BatchedSignalBus& bus) {
+  for (std::uint16_t& v : bus.lane_values(map_.mscnt)) {
+    v = static_cast<std::uint16_t>(v + 1);
+  }
+  for (std::uint16_t& v : bus.lane_values(map_.ms_slot_nbr)) {
+    v = static_cast<std::uint16_t>((v + 1u) % kSlotCount);
+  }
+}
+
 }  // namespace propane::arr

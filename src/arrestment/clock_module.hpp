@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "arrestment/signals.hpp"
+#include "fi/batched_bus.hpp"
 #include "fi/signal_bus.hpp"
 
 namespace propane::arr {
@@ -26,6 +27,18 @@ class ClockModule {
 
   /// One 1-ms tick: mscnt += 1, ms_slot_nbr = (ms_slot_nbr + 1) mod 7.
   void step(fi::SignalBus& bus);
+
+ private:
+  BusMap map_;
+};
+
+/// Batched CLOCK: the same two in-place counter updates, swept over the
+/// bus lane rows. Stateless beyond the bus, like the scalar module.
+class BatchedClock {
+ public:
+  explicit BatchedClock(const BusMap& map) : map_(map) {}
+
+  void step_lanes(fi::BatchedSignalBus& bus);
 
  private:
   BusMap map_;

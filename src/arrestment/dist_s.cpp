@@ -46,4 +46,48 @@ void DistSModule::step(fi::SignalBus& bus) {
   bus.write(map_.stopped, no_pulse_ms_ >= kStoppedGapMs ? 1 : 0);
 }
 
+namespace {
+
+/// Free function with __restrict parameters: the rows are all uint16 so
+/// type-based aliasing cannot tell them apart, and the runtime alias
+/// checks the vectorizer would otherwise need exceed its versioning
+/// limit. GCC only honours __restrict on parameters, hence the kernel.
+void dist_s_kernel(std::size_t lanes,
+                   const std::uint16_t* __restrict pacnt,
+                   const std::uint16_t* __restrict tic1,
+                   const std::uint16_t* __restrict tcnt,
+                   std::uint16_t* __restrict pulscnt,
+                   std::uint16_t* __restrict slow,
+                   std::uint16_t* __restrict stopped,
+                   std::uint16_t* __restrict last,
+                   std::uint32_t* __restrict gap) {
+  for (std::size_t l = 0; l < lanes; ++l) {
+    const auto delta = static_cast<std::uint16_t>(pacnt[l] - last[l]);
+    last[l] = pacnt[l];
+    pulscnt[l] = static_cast<std::uint16_t>(pulscnt[l] + delta);
+    // The increment is hoisted out of the select: a conditional `+ 1`
+    // is a predicated statement the vectorizer rejects.
+    const std::uint32_t bumped = gap[l] + 1;
+    const std::uint32_t g = delta == 0 ? bumped : 0;
+    gap[l] = g;
+    const auto age_us = static_cast<std::uint16_t>(tcnt[l] - tic1[l]);
+    const bool is_slow =
+        g >= kSlowSpeedGapMs || (g >= 1 && age_us > kSlowSpeedGapUs);
+    slow[l] = is_slow ? 1 : 0;
+    stopped[l] = g >= kStoppedGapMs ? 1 : 0;
+  }
+}
+
+}  // namespace
+
+void BatchedDistS::step_lanes(fi::BatchedSignalBus& bus) {
+  dist_s_kernel(last_pacnt_.size(), bus.lane_values(map_.pacnt).data(),
+                bus.lane_values(map_.tic1).data(),
+                bus.lane_values(map_.tcnt).data(),
+                bus.lane_values(map_.pulscnt).data(),
+                bus.lane_values(map_.slow_speed).data(),
+                bus.lane_values(map_.stopped).data(), last_pacnt_.data(),
+                no_pulse_ms_.data());
+}
+
 }  // namespace propane::arr

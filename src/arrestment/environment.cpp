@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "arrestment/constants.hpp"
+#include "common/exact_div.hpp"
 
 namespace propane::arr {
 
@@ -55,6 +57,136 @@ void Environment::step(fi::SignalBus& bus, sim::SimTime now) {
   bus.write(map_.tcnt, tcnt);
   adc_.set_physical(pressure_);
   bus.write(map_.adc, adc_.read());
+}
+
+BatchedEnvironment::BatchedEnvironment(const Environment& origin,
+                                       const BusMap& map,
+                                       std::size_t lane_count)
+    : map_(map),
+      timer_(kTimerTicksPerUs),
+      adc_(0.0, kMaxPressurePa),
+      mass_(origin.mass_kg()),
+      div_mass_(origin.mass_kg()),
+      div_adc_span_(adc_.hi() - adc_.lo()),
+      velocity_(lane_count, origin.velocity_mps()),
+      position_(lane_count, origin.position_m()),
+      pressure_(lane_count, origin.pressure_pa()),
+      pulse_accumulator_(lane_count, origin.pulse_accumulator()),
+      peak_decel_(lane_count, origin.peak_decel()) {}
+
+namespace {
+
+/// Commanded pressure for every possible TOC2 value. Each entry is
+/// precomputed with the scalar path's exact expression, so a table load is
+/// bit-identical to evaluating it -- and the sweep sheds one of its five
+/// divide sites (vdivpd throughput is what bounds the kernel). Lanes carry
+/// near-identical TOC2 values, so the per-lane gathers hit a handful of
+/// resident cache lines.
+const double* commanded_pressure_lut() {
+  static const std::vector<double> table = [] {
+    std::vector<double> t(65536);
+    for (std::size_t v = 0; v < t.size(); ++v) {
+      t[v] = static_cast<double>(v) / 65535.0 * kMaxPressurePa;
+    }
+    return t;
+  }();
+  return table.data();
+}
+
+/// The per-lane sweep lives in a free function because GCC only honours
+/// __restrict on *parameters*: spelled this way the vectorizer knows the
+/// rows cannot overlap (the bus owns one contiguous row per signal; each
+/// state vector is its own allocation) and emits no runtime alias
+/// versioning. The operation sequence mirrors Environment::step statement
+/// for statement; see the bit-exactness note on BatchedEnvironment. The
+/// scalar path's branches are if-converted into selects, so the loop has
+/// no control flow: a stopped lane computes the same speculative doubles
+/// but keeps its old state, which is bit-identical to never entering the
+/// branch. Every array element is loaded and stored exactly once, and the
+/// selects are between plain values (never references), keeping every
+/// statement speculation-safe for the vectorizer. All four per-lane
+/// divides go through ExactDivisor (divisors are batch-invariant), which
+/// returns the correctly-rounded quotient -- the same bits as the scalar
+/// path's divide instructions -- at multiply/FMA throughput.
+void step_lanes_kernel(std::size_t lanes, ExactDivisor div_mass,
+                       ExactDivisor div_span, sim::Adc adc,
+                       std::uint16_t tcnt,
+                       const double* __restrict cmd_lut,
+                       const std::uint16_t* __restrict toc2,
+                       std::uint16_t* __restrict pacnt,
+                       std::uint16_t* __restrict tic1,
+                       std::uint16_t* __restrict tcnt_row,
+                       std::uint16_t* __restrict adc_row,
+                       double* __restrict velocity_lanes,
+                       double* __restrict position_lanes,
+                       double* __restrict pressure_lanes,
+                       double* __restrict pulse_acc_lanes,
+                       double* __restrict peak_decel_lanes) {
+  const double dt = 0.001;  // one controller tick [s]
+  constexpr ExactDivisor div_pmax(kMaxPressurePa);
+  constexpr ExactDivisor div_mpp(kMetersPerPulse);
+  const double adc_lo = adc.lo();
+  const double adc_hi = adc.hi();
+  for (std::size_t l = 0; l < lanes; ++l) {
+    double pressure = pressure_lanes[l];
+    double velocity = velocity_lanes[l];
+    double position = position_lanes[l];
+    double peak_decel = peak_decel_lanes[l];
+    double pulse_acc = pulse_acc_lanes[l];
+
+    const double commanded = cmd_lut[toc2[l]];
+    pressure += (commanded - pressure) * (dt / kPressureTauS);
+
+    const bool moving = velocity > 0.0;
+    const double brake_force = kMaxBrakeForceN * div_pmax.divide(pressure);
+    const double friction = kFrictionNsPerM * velocity;
+    const double decel = div_mass.divide(brake_force + friction);
+    peak_decel = moving && decel > peak_decel ? decel : peak_decel;
+    const double slowed = velocity - decel * dt;
+    velocity = moving ? (slowed > 0.0 ? slowed : 0.0) : velocity;
+    const double advanced = position + velocity * dt;
+    position = moving ? advanced : position;
+
+    pulse_acc += div_mpp.divide(velocity * dt);
+    const auto whole_pulses = static_cast<std::uint32_t>(pulse_acc);
+    pulse_acc -= whole_pulses;
+    const std::uint16_t pacnt_old = pacnt[l];
+    const std::uint16_t tic1_old = tic1[l];
+
+    pressure_lanes[l] = pressure;
+    velocity_lanes[l] = velocity;
+    position_lanes[l] = position;
+    peak_decel_lanes[l] = peak_decel;
+    pulse_acc_lanes[l] = pulse_acc;
+
+    pacnt[l] = whole_pulses > 0
+                   ? static_cast<std::uint16_t>(pacnt_old + whole_pulses)
+                   : pacnt_old;
+    tic1[l] = whole_pulses > 0 ? tcnt : tic1_old;
+    tcnt_row[l] = tcnt;
+    // Adc::quantize's clamp / scale / round-half-up, with the divide
+    // through the hoisted divisor.
+    const double clamped =
+        pressure < adc_lo ? adc_lo : (adc_hi < pressure ? adc_hi : pressure);
+    const double scaled = div_span.divide(clamped - adc_lo) * 65535.0;
+    adc_row[l] = static_cast<std::uint16_t>(scaled + 0.5);
+  }
+}
+
+}  // namespace
+
+void BatchedEnvironment::step_lanes(fi::BatchedSignalBus& bus,
+                                    sim::SimTime now) {
+  const std::uint16_t tcnt = timer_.read(now);  // lane-independent
+  step_lanes_kernel(velocity_.size(), div_mass_, div_adc_span_, adc_, tcnt,
+                    commanded_pressure_lut(),
+                    bus.lane_values(map_.toc2).data(),
+                    bus.lane_values(map_.pacnt).data(),
+                    bus.lane_values(map_.tic1).data(),
+                    bus.lane_values(map_.tcnt).data(),
+                    bus.lane_values(map_.adc).data(), velocity_.data(),
+                    position_.data(), pressure_.data(),
+                    pulse_accumulator_.data(), peak_decel_.data());
 }
 
 }  // namespace propane::arr

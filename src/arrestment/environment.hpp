@@ -14,9 +14,12 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "arrestment/signals.hpp"
 #include "arrestment/testcase.hpp"
+#include "common/exact_div.hpp"
+#include "fi/batched_bus.hpp"
 #include "fi/signal_bus.hpp"
 #include "sim/hw_registers.hpp"
 #include "sim/simtime.hpp"
@@ -38,6 +41,24 @@ class Environment {
   double peak_decel() const { return peak_decel_; }
   bool at_rest() const { return velocity_ <= 0.0; }
 
+  /// True when the two environments are indistinguishable *through the
+  /// bus* from now on: equal velocity, applied pressure, and fractional
+  /// pulse accumulator (the only physical state feeding the sensor
+  /// registers). position_ and peak_decel_ are deliberately excluded --
+  /// they feed outcome classification only and never loop back into
+  /// PACNT/TIC1/TCNT/ADC -- so this equality, together with equal bus and
+  /// module-internal state, implies every future sensor-register value of
+  /// the two systems coincides. Used by the batched kernel's lane-
+  /// convergence early exit.
+  bool bus_state_equals(const Environment& other) const {
+    return velocity_ == other.velocity_ && pressure_ == other.pressure_ &&
+           pulse_accumulator_ == other.pulse_accumulator_;
+  }
+
+  // State replication for the batched environment below.
+  double mass_kg() const { return mass_; }
+  double pulse_accumulator() const { return pulse_accumulator_; }
+
  private:
   BusMap map_;
   sim::FreeRunningTimer timer_;
@@ -49,6 +70,50 @@ class Environment {
   double pressure_ = 0.0;  // applied brake pressure [Pa]
   double pulse_accumulator_ = 0.0;  // fractional pulses
   double peak_decel_ = 0.0;
+};
+
+/// Structure-of-arrays counterpart of Environment for lockstep batches:
+/// one physics state per lane, advanced by a single sweep per tick.
+///
+/// Bit-exactness: step_lanes performs, per lane, the exact operation
+/// sequence of Environment::step. On the targeted baseline x86-64 build
+/// (SSE2 doubles, no -ffast-math, no FMA contraction) every double
+/// operation is IEEE per-op regardless of surrounding code, so a lane's
+/// state is bit-identical to a scalar Environment stepped from the same
+/// origin -- the property tests/fi/batch_equivalence_test.cpp enforces.
+/// The ADC quantisation routes through the same sim::Adc::read the scalar
+/// path compiles.
+class BatchedEnvironment {
+ public:
+  /// Replicates `origin`'s physical state across `lane_count` lanes.
+  BatchedEnvironment(const Environment& origin, const BusMap& map,
+                     std::size_t lane_count);
+
+  /// Advances every lane by one millisecond ending at `now`, publishing
+  /// the sensor rows (PACNT, TIC1, TCNT, ADC) and consuming TOC2.
+  void step_lanes(fi::BatchedSignalBus& bus, sim::SimTime now);
+
+  /// Lane-level bus_state_equals (velocity, pressure, pulse accumulator).
+  bool lane_equals(std::size_t a, std::size_t b) const {
+    return velocity_[a] == velocity_[b] && pressure_[a] == pressure_[b] &&
+           pulse_accumulator_[a] == pulse_accumulator_[b];
+  }
+
+ private:
+  BusMap map_;
+  sim::FreeRunningTimer timer_;
+  sim::Adc adc_;
+
+  double mass_;
+  // Batch-invariant divisors for the sweep's per-lane divides (the other
+  // two divisors are compile-time constants inside the kernel).
+  ExactDivisor div_mass_;
+  ExactDivisor div_adc_span_;
+  std::vector<double> velocity_;
+  std::vector<double> position_;
+  std::vector<double> pressure_;
+  std::vector<double> pulse_accumulator_;
+  std::vector<double> peak_decel_;
 };
 
 }  // namespace propane::arr

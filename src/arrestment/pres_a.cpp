@@ -24,4 +24,24 @@ void PresAModule::step(fi::SignalBus& bus) {
                        static_cast<std::int32_t>(current) + step));
 }
 
+void BatchedPresA::step_lanes(fi::BatchedSignalBus& bus) {
+  const std::span<const std::uint16_t> target = bus.lane_values(out_value_);
+  const std::span<std::uint16_t> toc2 = bus.lane_values(toc2_);
+  const std::size_t lanes = bus.lane_count();
+  for (std::size_t l = 0; l < lanes; ++l) {
+    const std::int32_t current = toc2[l];
+    const std::int32_t diff = static_cast<std::int32_t>(target[l]) - current;
+    const bool in_deadband =
+        diff >= -static_cast<std::int32_t>(kValveDeadband) &&
+        diff <= static_cast<std::int32_t>(kValveDeadband);
+    std::int32_t step = diff;
+    if (step > kValveSlewPerMs) step = kValveSlewPerMs;
+    if (step < -static_cast<std::int32_t>(kValveSlewPerMs)) {
+      step = -static_cast<std::int32_t>(kValveSlewPerMs);
+    }
+    toc2[l] = in_deadband ? toc2[l]
+                          : static_cast<std::uint16_t>(current + step);
+  }
+}
+
 }  // namespace propane::arr

@@ -8,6 +8,7 @@
 #include <cstdint>
 
 #include "arrestment/signals.hpp"
+#include "fi/batched_bus.hpp"
 #include "fi/signal_bus.hpp"
 
 namespace propane::arr {
@@ -26,6 +27,20 @@ class PresAModule {
       : PresAModule(map.out_value, map.toc2) {}
 
   void step(fi::SignalBus& bus);
+
+ private:
+  fi::BusSignalId out_value_;
+  fi::BusSignalId toc2_;
+};
+
+/// Batched PRES_A: deadband + slew limit as branch-free selects over the
+/// lane rows. Stateless beyond the bus, like the scalar module.
+class BatchedPresA {
+ public:
+  explicit BatchedPresA(const BusMap& map)
+      : out_value_(map.out_value), toc2_(map.toc2) {}
+
+  void step_lanes(fi::BatchedSignalBus& bus);
 
  private:
   fi::BusSignalId out_value_;

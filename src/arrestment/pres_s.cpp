@@ -1,9 +1,22 @@
 #include "arrestment/pres_s.hpp"
 
+#include "arrestment/constants.hpp"
+
 namespace propane::arr {
 
 void PresSModule::step(fi::SignalBus& bus) {
   bus.write(in_value_, bus.read(adc_));
+}
+
+void BatchedPresS::step_lanes(fi::BatchedSignalBus& bus) {
+  const std::span<const std::uint16_t> slot =
+      bus.lane_values(ms_slot_nbr_);
+  const std::span<const std::uint16_t> adc = bus.lane_values(adc_);
+  const std::span<std::uint16_t> in_value = bus.lane_values(in_value_);
+  const std::size_t lanes = bus.lane_count();
+  for (std::size_t l = 0; l < lanes; ++l) {
+    in_value[l] = slot[l] == kPresSSlot ? adc[l] : in_value[l];
+  }
 }
 
 }  // namespace propane::arr

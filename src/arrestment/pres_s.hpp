@@ -6,6 +6,7 @@
 #include <cstdint>
 
 #include "arrestment/signals.hpp"
+#include "fi/batched_bus.hpp"
 #include "fi/signal_bus.hpp"
 
 namespace propane::arr {
@@ -30,6 +31,23 @@ class PresSModule {
  private:
   fi::BusSignalId adc_;
   fi::BusSignalId in_value_;
+};
+
+/// Batched PRES_S. Each lane dispatches on its *own* ms_slot_nbr bus value
+/// (a corrupted slot number genuinely shifts that lane's schedule), so the
+/// sweep is a per-lane select rather than a batch-wide gate.
+class BatchedPresS {
+ public:
+  explicit BatchedPresS(const BusMap& map)
+      : adc_(map.adc), in_value_(map.in_value),
+        ms_slot_nbr_(map.ms_slot_nbr) {}
+
+  void step_lanes(fi::BatchedSignalBus& bus);
+
+ private:
+  fi::BusSignalId adc_;
+  fi::BusSignalId in_value_;
+  fi::BusSignalId ms_slot_nbr_;
 };
 
 }  // namespace propane::arr

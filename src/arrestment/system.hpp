@@ -97,6 +97,12 @@ class ArrestmentSystem {
   sim::SimTime now() const { return now_; }
   std::uint64_t current_ms() const { return sim::to_milliseconds(now_); }
 
+  // Module-internal state, read-only: the batched kernel replicates a
+  // checkpointed system across lanes from these.
+  const DistSModule& dist_s() const { return dist_s_; }
+  const CalcModule& calc() const { return calc_; }
+  const VRegModule& v_reg() const { return v_reg_; }
+
  private:
   fi::SignalBus bus_;
   BusMap map_;

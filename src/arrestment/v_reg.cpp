@@ -23,4 +23,21 @@ void VRegModule::step(fi::SignalBus& bus) {
                             std::clamp<std::int32_t>(command, 0, 65535)));
 }
 
+void BatchedVReg::step_lanes(fi::BatchedSignalBus& bus) {
+  const std::span<const std::uint16_t> set = bus.lane_values(set_value_);
+  const std::span<const std::uint16_t> in = bus.lane_values(in_value_);
+  const std::span<std::uint16_t> out = bus.lane_values(out_value_);
+  std::int32_t* integ = integrator_.data();
+  const std::size_t lanes = integrator_.size();
+  for (std::size_t l = 0; l < lanes; ++l) {
+    const auto set_value = static_cast<std::int32_t>(set[l]);
+    const std::int32_t err = set_value - static_cast<std::int32_t>(in[l]);
+    integ[l] = std::clamp(integ[l] + err / 8, -kIntegratorClamp,
+                          kIntegratorClamp);
+    const std::int32_t command = set_value + err / 2 + integ[l] / 64;
+    out[l] = static_cast<std::uint16_t>(
+        std::clamp<std::int32_t>(command, 0, 65535));
+  }
+}
+
 }  // namespace propane::arr

@@ -5,8 +5,10 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "arrestment/signals.hpp"
+#include "fi/batched_bus.hpp"
 #include "fi/signal_bus.hpp"
 
 namespace propane::arr {
@@ -28,11 +30,39 @@ class VRegModule {
 
   void step(fi::SignalBus& bus);
 
+  /// Integrator state (replication across batch lanes / convergence
+  /// comparison).
+  std::int32_t integrator() const { return integrator_; }
+
  private:
   fi::BusSignalId set_value_;
   fi::BusSignalId in_value_;
   fi::BusSignalId out_value_;
   std::int32_t integrator_ = 0;
+};
+
+/// Batched V_REG: one integrator per lane, updated over the bus lane rows
+/// in a single vectorizable integer pass.
+class BatchedVReg {
+ public:
+  BatchedVReg(const BusMap& map, const VRegModule& prototype,
+              std::size_t lanes)
+      : set_value_(map.set_value),
+        in_value_(map.in_value),
+        out_value_(map.out_value),
+        integrator_(lanes, prototype.integrator()) {}
+
+  void step_lanes(fi::BatchedSignalBus& bus);
+
+  bool lane_equals(std::size_t a, std::size_t b) const {
+    return integrator_[a] == integrator_[b];
+  }
+
+ private:
+  fi::BusSignalId set_value_;
+  fi::BusSignalId in_value_;
+  fi::BusSignalId out_value_;
+  std::vector<std::int32_t> integrator_;
 };
 
 }  // namespace propane::arr

@@ -1,34 +1,24 @@
 #include "arrestment/warm_start.hpp"
 
 #include <algorithm>
-#include <mutex>
 #include <utility>
 
 #include "common/contracts.hpp"
 
 namespace propane::arr {
 
-namespace {
-
-/// Run state frozen at the start of tick `ms`: the system after ticks
-/// 0..ms-1 plus the trace rows recorded for them.
-struct Checkpoint {
-  std::unique_ptr<ArrestmentSystem> system;
-  fi::TraceSet prefix;
-  std::uint64_t ms = 0;
-};
-
-class WarmStartRunner {
- public:
-  WarmStartRunner(std::vector<TestCase> cases, const fi::CampaignConfig& config,
-                  sim::SimTime duration, std::shared_ptr<WarmStartStats> stats)
-      : cases_(std::move(cases)),
-        duration_(duration),
-        duration_ms_(sim::to_milliseconds(duration)),
-        stats_(std::move(stats)) {
-    PROPANE_REQUIRE(!cases_.empty());
-    // Distinct fire ticks, ascending. A fire tick of 0 has no prefix to
-    // reuse, and one at/after the run end never fires: both run cold.
+WarmStartEngine::WarmStartEngine(std::vector<TestCase> cases,
+                                 const fi::CampaignConfig& config,
+                                 sim::SimTime duration,
+                                 std::shared_ptr<WarmStartStats> stats)
+    : cases_(std::move(cases)),
+      duration_(duration),
+      duration_ms_(sim::to_milliseconds(duration)),
+      stats_(std::move(stats)) {
+  PROPANE_REQUIRE(!cases_.empty());
+  // Distinct fire ticks, ascending. A fire tick of 0 has no prefix to
+  // reuse, and one at/after the run end never fires: both run cold.
+  if (config.warm_start) {
     for (const fi::InjectionSpec& spec : config.injections) {
       const std::uint64_t fire = injection_fire_ms(spec.when);
       if (fire > 0 && fire < duration_ms_) checkpoint_ms_.push_back(fire);
@@ -37,110 +27,101 @@ class WarmStartRunner {
     checkpoint_ms_.erase(
         std::unique(checkpoint_ms_.begin(), checkpoint_ms_.end()),
         checkpoint_ms_.end());
-    slots_.resize(cases_.size());
-    for (auto& per_case : slots_) per_case.resize(checkpoint_ms_.size());
   }
+  slots_.resize(cases_.size());
+  for (auto& per_case : slots_) per_case.resize(checkpoint_ms_.size());
+}
 
-  fi::TraceSet run(const fi::RunRequest& request) {
-    PROPANE_REQUIRE(request.test_case < cases_.size());
-    return request.injection ? injection_run(request) : golden_run(request);
+fi::TraceSet WarmStartEngine::run(const fi::RunRequest& request) {
+  PROPANE_REQUIRE(request.test_case < cases_.size());
+  return request.injection ? injection_run(request) : golden_run(request);
+}
+
+fi::TraceSet WarmStartEngine::golden_run(const fi::RunRequest& request) {
+  ArrestmentSystem system(cases_[request.test_case]);
+  fi::TraceRecorder recorder(system.bus(), duration_ms_);
+  RunOptions options;
+  options.duration = duration_;
+  options.rng_seed = request.rng_seed;
+
+  std::size_t next = 0;
+  while (system.now() < duration_) {
+    if (next < checkpoint_ms_.size() &&
+        system.current_ms() == checkpoint_ms_[next]) {
+      publish(request.test_case, next, system, recorder.trace());
+      ++next;
+    }
+    system.tick(options);
+    recorder.sample();
   }
+  return recorder.take();
+}
 
- private:
-  fi::TraceSet golden_run(const fi::RunRequest& request) {
-    ArrestmentSystem system(cases_[request.test_case]);
-    fi::TraceRecorder recorder(system.bus(), duration_ms_);
-    RunOptions options;
-    options.duration = duration_;
-    options.rng_seed = request.rng_seed;
+fi::TraceSet WarmStartEngine::injection_run(const fi::RunRequest& request) {
+  const fi::InjectionSpec& spec = *request.injection;
+  RunOptions options;
+  options.duration = duration_;
+  options.injection = spec;
+  options.rng_seed = request.rng_seed;
 
-    std::size_t next = 0;
-    while (system.now() < duration_) {
-      if (next < checkpoint_ms_.size() &&
-          system.current_ms() == checkpoint_ms_[next]) {
-        publish(request.test_case, next, system, recorder.trace());
-        ++next;
-      }
-      system.tick(options);
-      recorder.sample();
-    }
-    return recorder.take();
-  }
-
-  fi::TraceSet injection_run(const fi::RunRequest& request) {
-    const fi::InjectionSpec& spec = *request.injection;
-    RunOptions options;
-    options.duration = duration_;
-    options.injection = spec;
-    options.rng_seed = request.rng_seed;
-
-    const std::shared_ptr<const Checkpoint> checkpoint =
-        lookup(request.test_case, injection_fire_ms(spec.when));
-    if (checkpoint == nullptr) {
-      if (stats_ != nullptr) {
-        stats_->cold_runs.fetch_add(1, std::memory_order_relaxed);
-      }
-      return run_arrestment(cases_[request.test_case], options).trace;
-    }
-
-    ArrestmentSystem system(*checkpoint->system);
-    fi::TraceRecorder recorder(system.bus(), checkpoint->prefix, duration_ms_);
-    while (system.now() < duration_) {
-      system.tick(options);
-      recorder.sample();
-    }
+  const std::shared_ptr<const Checkpoint> checkpoint =
+      lookup(request.test_case, injection_fire_ms(spec.when));
+  if (checkpoint == nullptr) {
     if (stats_ != nullptr) {
-      stats_->warm_runs.fetch_add(1, std::memory_order_relaxed);
-      stats_->saved_ms.fetch_add(checkpoint->ms, std::memory_order_relaxed);
+      stats_->cold_runs.fetch_add(1, std::memory_order_relaxed);
     }
-    return recorder.take();
+    return run_arrestment(cases_[request.test_case], options).trace;
   }
 
-  void publish(std::uint32_t test_case, std::size_t slot,
-               const ArrestmentSystem& system, const fi::TraceSet& prefix) {
-    auto checkpoint = std::make_shared<Checkpoint>();
-    checkpoint->system = std::make_unique<ArrestmentSystem>(system);
-    checkpoint->prefix = prefix;  // flat copy: one allocation + memcpy
-    checkpoint->ms = checkpoint_ms_[slot];
-    std::scoped_lock lock(mutex_);
-    slots_[test_case][slot] = std::move(checkpoint);
+  ArrestmentSystem system(*checkpoint->system);
+  fi::TraceRecorder recorder(system.bus(), checkpoint->prefix, duration_ms_);
+  while (system.now() < duration_) {
+    system.tick(options);
+    recorder.sample();
   }
-
-  std::shared_ptr<const Checkpoint> lookup(std::uint32_t test_case,
-                                           std::uint64_t fire) const {
-    const auto it = std::lower_bound(checkpoint_ms_.begin(),
-                                     checkpoint_ms_.end(), fire);
-    if (it == checkpoint_ms_.end() || *it != fire) return nullptr;
-    const auto slot =
-        static_cast<std::size_t>(it - checkpoint_ms_.begin());
-    std::scoped_lock lock(mutex_);
-    return slots_[test_case][slot];
+  if (stats_ != nullptr) {
+    stats_->warm_runs.fetch_add(1, std::memory_order_relaxed);
+    stats_->saved_ms.fetch_add(checkpoint->ms, std::memory_order_relaxed);
   }
+  return recorder.take();
+}
 
-  std::vector<TestCase> cases_;
-  sim::SimTime duration_;
-  std::uint64_t duration_ms_;
-  std::shared_ptr<WarmStartStats> stats_;
-  std::vector<std::uint64_t> checkpoint_ms_;  // ascending, unique
-  /// slots_[test_case][i] holds the checkpoint at checkpoint_ms_[i], set
-  /// once during that test case's golden run. The mutex covers publish/
-  /// lookup for callers that overlap goldens with injections;
-  /// fi::run_campaign's golden phase barrier already orders them.
-  mutable std::mutex mutex_;
-  std::vector<std::vector<std::shared_ptr<const Checkpoint>>> slots_;
-};
+void WarmStartEngine::publish(std::uint32_t test_case, std::size_t slot,
+                              const ArrestmentSystem& system,
+                              const fi::TraceSet& prefix) {
+  auto checkpoint = std::make_shared<Checkpoint>();
+  checkpoint->system = std::make_unique<ArrestmentSystem>(system);
+  checkpoint->prefix = prefix;  // flat copy: one allocation + memcpy
+  checkpoint->ms = checkpoint_ms_[slot];
+  std::scoped_lock lock(mutex_);
+  slots_[test_case][slot] = std::move(checkpoint);
+}
 
-}  // namespace
+std::shared_ptr<const WarmStartEngine::Checkpoint> WarmStartEngine::lookup(
+    std::uint32_t test_case, std::uint64_t fire_ms) const {
+  PROPANE_REQUIRE(test_case < cases_.size());
+  const auto it = std::lower_bound(checkpoint_ms_.begin(),
+                                   checkpoint_ms_.end(), fire_ms);
+  if (it == checkpoint_ms_.end() || *it != fire_ms) return nullptr;
+  const auto slot = static_cast<std::size_t>(it - checkpoint_ms_.begin());
+  std::scoped_lock lock(mutex_);
+  return slots_[test_case][slot];
+}
 
 fi::RunFunction warm_campaign_runner(std::vector<TestCase> test_cases,
                                      const fi::CampaignConfig& config,
                                      sim::SimTime duration,
                                      std::shared_ptr<WarmStartStats> stats) {
   PROPANE_REQUIRE(!test_cases.empty());
-  if (!config.warm_start) return campaign_runner(std::move(test_cases), duration);
-  auto runner = std::make_shared<WarmStartRunner>(std::move(test_cases), config,
-                                                  duration, std::move(stats));
-  return [runner](const fi::RunRequest& request) { return runner->run(request); };
+  if (!config.warm_start) {
+    return campaign_runner(std::move(test_cases), duration);
+  }
+  auto engine = std::make_shared<WarmStartEngine>(std::move(test_cases),
+                                                  config, duration,
+                                                  std::move(stats));
+  return [engine](const fi::RunRequest& request) {
+    return engine->run(request);
+  };
 }
 
 }  // namespace propane::arr

@@ -2,7 +2,7 @@
 //
 // Every injection run of a campaign re-executes, deterministically and
 // unchanged, the golden run's prefix up to the tick in which the injection
-// fires. The warm-start runner captures, during each test case's golden
+// fires. The warm-start engine captures, during each test case's golden
 // run, a snapshot of the complete system state plus the recorded trace
 // prefix at the earliest possible fire tick of every planned injection
 // time, and starts injection runs from that snapshot instead of t=0.
@@ -13,11 +13,16 @@
 // bit-identical to a cold one -- enforced by tests/fi/warm_start_test.cpp
 // and the integration byte-identical-CSV test. CampaignConfig::warm_start
 // falls back to cold from-t=0 execution.
+//
+// The engine is shared by two consumers: the scalar warm_campaign_runner
+// below, and the lockstep batch runner (batch_runner.hpp), whose batches
+// start all lanes of a fire tick from the same checkpoint.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "arrestment/system.hpp"
@@ -33,12 +38,66 @@ struct WarmStartStats {
   std::atomic<std::uint64_t> saved_ms{0};
 };
 
-/// The first tick (in ms) in which an injection scheduled at `when` fires:
-/// injection drivers fire at the start of the first tick whose timestamp
-/// has reached `when`.
+/// The first tick (in ms) in which an injection scheduled at `when` fires.
+/// (Canonical definition lives in fi/injection.hpp, shared with the
+/// campaign batch planner; this alias keeps existing arrestment-layer call
+/// sites working.)
 inline std::uint64_t injection_fire_ms(sim::SimTime when) {
-  return (when + sim::kMillisecond - 1) / sim::kMillisecond;
+  return fi::injection_fire_ms(when);
 }
+
+/// Golden-run execution with checkpoint capture, plus checkpoint-resumed
+/// scalar injection runs. Thread-safe; checkpoints are kept for the
+/// engine's lifetime (memory is O(test_cases x distinct fire times x
+/// prefix length)).
+class WarmStartEngine {
+ public:
+  /// Run state frozen at the start of tick `ms`: the system after ticks
+  /// 0..ms-1 plus the trace rows recorded for them.
+  struct Checkpoint {
+    std::unique_ptr<ArrestmentSystem> system;
+    fi::TraceSet prefix;
+    std::uint64_t ms = 0;
+  };
+
+  /// Plans one checkpoint per distinct fire tick of `config.injections`
+  /// (none when `config.warm_start` is false -- goldens then run plain and
+  /// lookup() always misses).
+  WarmStartEngine(std::vector<TestCase> cases,
+                  const fi::CampaignConfig& config, sim::SimTime duration,
+                  std::shared_ptr<WarmStartStats> stats);
+
+  /// Executes one campaign run: goldens capture checkpoints, injection
+  /// runs resume from the matching checkpoint (cold fallback otherwise).
+  fi::TraceSet run(const fi::RunRequest& request);
+
+  /// The checkpoint frozen at fire tick `fire_ms` of `test_case`, or null
+  /// when none exists (not planned, or that golden has not executed yet).
+  std::shared_ptr<const Checkpoint> lookup(std::uint32_t test_case,
+                                           std::uint64_t fire_ms) const;
+
+  const std::vector<TestCase>& cases() const { return cases_; }
+  sim::SimTime duration() const { return duration_; }
+  std::uint64_t duration_ms() const { return duration_ms_; }
+
+ private:
+  fi::TraceSet golden_run(const fi::RunRequest& request);
+  fi::TraceSet injection_run(const fi::RunRequest& request);
+  void publish(std::uint32_t test_case, std::size_t slot,
+               const ArrestmentSystem& system, const fi::TraceSet& prefix);
+
+  std::vector<TestCase> cases_;
+  sim::SimTime duration_;
+  std::uint64_t duration_ms_;
+  std::shared_ptr<WarmStartStats> stats_;
+  std::vector<std::uint64_t> checkpoint_ms_;  // ascending, unique
+  /// slots_[test_case][i] holds the checkpoint at checkpoint_ms_[i], set
+  /// once during that test case's golden run. The mutex covers publish/
+  /// lookup for callers that overlap goldens with injections;
+  /// fi::run_campaign's golden phase barrier already orders them.
+  mutable std::mutex mutex_;
+  std::vector<std::vector<std::shared_ptr<const Checkpoint>>> slots_;
+};
 
 /// Drop-in replacement for campaign_runner: golden runs additionally
 /// capture checkpoints at every distinct fire tick of `config.injections`,
@@ -47,9 +106,6 @@ inline std::uint64_t injection_fire_ms(sim::SimTime when) {
 /// run per request when no checkpoint matches (e.g. the golden run of that
 /// test case has not executed yet -- fi::run_campaign always runs goldens
 /// first, so this only happens for out-of-band calls).
-///
-/// Checkpoints are kept for the lifetime of the returned function; memory
-/// is O(test_cases x distinct fire times x prefix length).
 fi::RunFunction warm_campaign_runner(
     std::vector<TestCase> test_cases, const fi::CampaignConfig& config,
     sim::SimTime duration = kRunDuration,

@@ -1,5 +1,6 @@
 #include "exp/paper_experiment.hpp"
 
+#include "arrestment/batch_runner.hpp"
 #include "arrestment/warm_start.hpp"
 #include "common/env.hpp"
 #include "common/strings.hpp"
@@ -71,7 +72,7 @@ PaperExperiment run_paper_experiment(const ExperimentScale& scale) {
   fi::CampaignConfig config = make_campaign_config(scale);
 
   fi::CampaignResult campaign = fi::run_campaign(
-      arr::warm_campaign_runner(cases, config, scale.duration), config);
+      arr::batched_campaign_runner(cases, config, scale.duration), config);
   fi::EstimationResult estimation =
       fi::estimate_permeability(model, binding, campaign);
   core::AnalysisReport report = core::analyze(model, estimation.permeability);

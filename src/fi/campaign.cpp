@@ -1,5 +1,9 @@
 #include "fi/campaign.hpp"
 
+#include <algorithm>
+#include <map>
+#include <utility>
+
 #include "common/contracts.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
@@ -64,12 +68,13 @@ struct CampaignExecutor::Instruments {
   bool timed = false;
 };
 
-CampaignExecutor::CampaignExecutor(RunFunction run, CampaignConfig config,
+CampaignExecutor::CampaignExecutor(CampaignRunner runner,
+                                   CampaignConfig config,
                                    CampaignHooks hooks)
-    : run_(std::move(run)),
+    : runner_(std::move(runner)),
       config_(std::move(config)),
       hooks_(std::move(hooks)) {
-  PROPANE_REQUIRE(run_ != nullptr);
+  PROPANE_REQUIRE(runner_.run != nullptr);
   PROPANE_REQUIRE(config_.test_case_count > 0);
   total_ = static_cast<std::size_t>(config_.test_case_count) *
            config_.injections.size();
@@ -119,7 +124,7 @@ CampaignExecutor::CampaignExecutor(RunFunction run, CampaignConfig config,
       request.test_case = static_cast<std::uint32_t>(tc);
       request.rng_seed =
           golden_run_seed(config_, static_cast<std::uint32_t>(tc));
-      result_.goldens[tc] = run_(request);
+      result_.goldens[tc] = runner_.run(request);
       const std::uint64_t dur_us =
           timed ? obs::steady_now_us() - start_us : 0;
       if (instruments_->golden_runs != nullptr) {
@@ -158,7 +163,26 @@ void CampaignExecutor::execute_range(RunRange range) {
   range.end = std::min(range.end, total_);
   range.begin = std::min(range.begin, range.end);
   if (range.empty()) return;
+  if (runner_.batch != nullptr) {
+    execute_range_batched(range);
+  } else {
+    execute_range_scalar(range);
+  }
+}
 
+InjectionRecord CampaignExecutor::make_record_identity(
+    std::size_t flat) const {
+  const std::size_t inj = flat / config_.test_case_count;
+  const std::size_t tc = flat % config_.test_case_count;
+  InjectionRecord record;
+  record.injection_index = static_cast<std::uint32_t>(inj);
+  record.test_case = static_cast<std::uint32_t>(tc);
+  record.target = config_.injections[inj].target;
+  record.when = config_.injections[inj].when;
+  return record;
+}
+
+void CampaignExecutor::execute_range_scalar(RunRange range) {
   const obs::Telemetry* telemetry = hooks_.telemetry;
   const bool timed = instruments_->timed;
 
@@ -191,7 +215,7 @@ void CampaignExecutor::execute_range(RunRange range) {
       request.test_case = static_cast<std::uint32_t>(tc);
       request.injection = config_.injections[inj];
       request.rng_seed = injection_run_seed(config_, flat);
-      const TraceSet trace = run_(request);
+      const TraceSet trace = runner_.run(request);
       record.report = compare_to_golden(result_.goldens[tc], trace);
       const std::uint64_t dur_us =
           timed ? obs::steady_now_us() - start_us : 0;
@@ -233,15 +257,138 @@ void CampaignExecutor::execute_range(RunRange range) {
   });
 }
 
-CampaignResult run_campaign(const RunFunction& run,
-                            const CampaignConfig& config) {
-  return run_campaign(run, config, CampaignHooks{});
+void CampaignExecutor::execute_range_batched(RunRange range) {
+  const obs::Telemetry* telemetry = hooks_.telemetry;
+  const bool timed = instruments_->timed;
+  const std::size_t lanes_per_batch =
+      config_.batch_size > 0 ? config_.batch_size : kDefaultBatchSize;
+
+  // --- Plan. Walk the range in flat order, filter through should_run
+  // (exactly like the scalar path -- skipped runs never reach a batch),
+  // group the survivors by (test case, fire tick) and cut each group into
+  // batches of at most `lanes_per_batch` lanes. Grouping keys and lane
+  // order are pure functions of the plan, so any range partition yields
+  // the same batches for the runs it covers.
+  std::map<std::pair<std::uint32_t, std::uint64_t>,
+           std::vector<BatchLaneRequest>>
+      groups;
+  for (std::size_t flat = range.begin; flat < range.end; ++flat) {
+    const std::size_t inj = flat / config_.test_case_count;
+    const std::size_t tc = flat % config_.test_case_count;
+    const bool execute = !hooks_.should_run ||
+                         hooks_.should_run(static_cast<std::uint32_t>(inj),
+                                           static_cast<std::uint32_t>(tc));
+    if (!execute) {
+      if (instruments_->skipped_runs != nullptr) {
+        instruments_->skipped_runs->add(1);
+      }
+      if (hooks_.collect_records) {
+        result_.records[flat] = make_record_identity(flat);
+      }
+      continue;
+    }
+    const InjectionSpec& spec = config_.injections[inj];
+    BatchLaneRequest lane;
+    lane.flat = flat;
+    lane.injection_index = static_cast<std::uint32_t>(inj);
+    lane.test_case = static_cast<std::uint32_t>(tc);
+    lane.rng_seed = injection_run_seed(config_, flat);
+    lane.spec = &spec;
+    groups[{static_cast<std::uint32_t>(tc), injection_fire_ms(spec.when)}]
+        .push_back(lane);
+  }
+
+  std::vector<BatchRunRequest> batches;
+  for (auto& [key, lanes] : groups) {
+    for (std::size_t begin = 0; begin < lanes.size();
+         begin += lanes_per_batch) {
+      const std::size_t end =
+          std::min(begin + lanes_per_batch, lanes.size());
+      BatchRunRequest batch;
+      batch.test_case = key.first;
+      batch.fire_ms = key.second;
+      batch.lanes.assign(lanes.begin() + static_cast<std::ptrdiff_t>(begin),
+                         lanes.begin() + static_cast<std::ptrdiff_t>(end));
+      batches.push_back(std::move(batch));
+    }
+  }
+
+  // --- Execute. One pool task per batch; per-lane records keep the exact
+  // identity, seed and report content of the scalar path, so journals and
+  // the CSVs derived from them stay bit-identical.
+  obs::Span injection_phase(telemetry, "campaign.injection_phase");
+  pool_->parallel_for(0, batches.size(), [&](std::size_t b) {
+    const BatchRunRequest& batch = batches[b];
+    for (const BatchLaneRequest& lane : batch.lanes) {
+      obs::emit_event(telemetry, "campaign.run.start",
+                      {{"kind", obs::Value("injection")},
+                       {"flat", obs::Value(lane.flat)},
+                       {"injection", obs::Value(lane.injection_index)},
+                       {"test_case", obs::Value(lane.test_case)}});
+    }
+    const std::uint64_t start_us = timed ? obs::steady_now_us() : 0;
+    std::vector<DivergenceReport> reports = runner_.batch(batch);
+    PROPANE_CHECK_MSG(reports.size() == batch.lanes.size(),
+                      "batch runner must return one report per lane");
+    const std::uint64_t dur_us = timed ? obs::steady_now_us() - start_us : 0;
+    // Whole-batch wall time attributed evenly across the lanes it covered.
+    const std::uint64_t lane_us = dur_us / batch.lanes.size();
+    obs::emit_event(telemetry, "campaign.batch.done",
+                    {{"test_case", obs::Value(batch.test_case)},
+                     {"fire_ms", obs::Value(batch.fire_ms)},
+                     {"lanes", obs::Value(batch.lanes.size())},
+                     {"dur_us", obs::Value(dur_us)}});
+
+    for (std::size_t i = 0; i < batch.lanes.size(); ++i) {
+      const BatchLaneRequest& lane = batch.lanes[i];
+      InjectionRecord record = make_record_identity(lane.flat);
+      record.report = std::move(reports[i]);
+      const std::size_t divergences = record.report.divergence_count();
+      if (instruments_->injection_runs != nullptr) {
+        instruments_->injection_runs->add(1);
+      }
+      if (divergences > 0) {
+        if (instruments_->diverged_runs != nullptr) {
+          instruments_->diverged_runs->add(1);
+        }
+        if (instruments_->diverged_signals != nullptr) {
+          instruments_->diverged_signals->add(divergences);
+        }
+      }
+      if (instruments_->run_latency != nullptr) {
+        instruments_->run_latency->observe(static_cast<double>(lane_us));
+      }
+      obs::emit_event(
+          telemetry, "injection.done",
+          {{"flat", obs::Value(lane.flat)},
+           {"injection", obs::Value(lane.injection_index)},
+           {"test_case", obs::Value(lane.test_case)},
+           {"target", obs::Value(record.target)},
+           {"model",
+            obs::Value(config_.injections[lane.injection_index].model.name)},
+           {"diverged_signals", obs::Value(divergences)},
+           {"dur_us", obs::Value(lane_us)}});
+      obs::emit_event(telemetry, "campaign.run.end",
+                      {{"kind", obs::Value("injection")},
+                       {"flat", obs::Value(lane.flat)},
+                       {"dur_us", obs::Value(lane_us)}});
+      if (hooks_.on_record) hooks_.on_record(record);
+      if (hooks_.collect_records) {
+        result_.records[lane.flat] = std::move(record);
+      }
+    }
+  });
 }
 
-CampaignResult run_campaign(const RunFunction& run,
+CampaignResult run_campaign(const CampaignRunner& runner,
+                            const CampaignConfig& config) {
+  return run_campaign(runner, config, CampaignHooks{});
+}
+
+CampaignResult run_campaign(const CampaignRunner& runner,
                             const CampaignConfig& config,
                             const CampaignHooks& hooks) {
-  CampaignExecutor executor(run, config, hooks);
+  CampaignExecutor executor(runner, config, hooks);
   executor.execute_range({0, executor.total_runs()});
   return executor.take_result();
 }

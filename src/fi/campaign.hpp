@@ -15,6 +15,8 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "fi/golden.hpp"
@@ -41,6 +43,55 @@ struct RunRequest {
 
 using RunFunction = std::function<TraceSet(const RunRequest&)>;
 
+/// One lane of a lockstep batch: an injection run plus its identity in the
+/// campaign's flat run enumeration (so records, journal entries and
+/// telemetry keep the exact same identity as the scalar path).
+struct BatchLaneRequest {
+  std::size_t flat = 0;
+  std::uint32_t injection_index = 0;
+  std::uint32_t test_case = 0;
+  std::uint64_t rng_seed = 0;
+  /// Borrowed from CampaignConfig::injections; valid for the call.
+  const InjectionSpec* spec = nullptr;
+};
+
+/// A lockstep batch: injection runs of one test case sharing a fire tick,
+/// simulated together against an implicit golden lane. `fire_ms` at or
+/// beyond the run horizon means no lane ever fires (all-clear reports).
+struct BatchRunRequest {
+  std::uint32_t test_case = 0;
+  std::uint64_t fire_ms = 0;
+  std::vector<BatchLaneRequest> lanes;
+};
+
+/// Executes a whole batch and returns one DivergenceReport per lane, in
+/// lane order, each bit-identical to what the scalar path's
+/// compare_to_golden would have produced for that run.
+using BatchRunFunction =
+    std::function<std::vector<DivergenceReport>(const BatchRunRequest&)>;
+
+/// The system under test, as handed to the campaign: a scalar per-run
+/// function (mandatory -- golden runs and the fallback path always use it)
+/// plus an optional lockstep batch function. Implicitly constructible from
+/// a plain RunFunction so scalar-only runners keep working unchanged.
+struct CampaignRunner {
+  RunFunction run;
+  BatchRunFunction batch;  // null = scalar-only runner
+
+  CampaignRunner() = default;
+  /// Implicit from anything a RunFunction can hold (lambda, function
+  /// pointer, RunFunction itself), so scalar-only call sites pass their
+  /// runner exactly as before.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, CampaignRunner> &&
+                std::is_constructible_v<RunFunction, F&&>>>
+  CampaignRunner(F&& scalar_run)  // NOLINT(google-explicit-constructor)
+      : run(std::forward<F>(scalar_run)) {}
+  CampaignRunner(RunFunction scalar_run, BatchRunFunction batch_run)
+      : run(std::move(scalar_run)), batch(std::move(batch_run)) {}
+};
+
 struct CampaignConfig {
   /// Number of workload test cases (the paper uses 25: 5 masses x 5
   /// velocities).
@@ -56,7 +107,16 @@ struct CampaignConfig {
   /// such as arr::warm_campaign_runner). Results are bit-identical either
   /// way; disable to force every run to re-simulate from t=0.
   bool warm_start = true;
+  /// Lanes per lockstep batch when the runner provides a BatchRunFunction
+  /// (0 = default). Pure execution knob: results and journals are
+  /// bit-identical for every batch size, and the journal plan hash
+  /// deliberately excludes it, so a campaign may be resumed under a
+  /// different batch size (or on the scalar path) without invalidation.
+  std::size_t batch_size = 0;
 };
+
+/// Batch-lane count used when CampaignConfig::batch_size is 0.
+inline constexpr std::size_t kDefaultBatchSize = 32;
 
 /// Outcome of one injection run, reduced to first divergences. The
 /// injection identity (index into the plan, target, time) is embedded so
@@ -160,7 +220,7 @@ struct RunRange {
 /// session would have performed.
 class CampaignExecutor {
  public:
-  CampaignExecutor(RunFunction run, CampaignConfig config,
+  CampaignExecutor(CampaignRunner runner, CampaignConfig config,
                    CampaignHooks hooks);
   ~CampaignExecutor();
 
@@ -175,7 +235,11 @@ class CampaignExecutor {
   /// (clamped to the plan) and blocks until the range completes. Ranges may
   /// execute in any order; hooks.should_run is the seam that keeps a flat
   /// index from running twice when ranges overlap (e.g. a requeued lease).
-  /// Not thread-safe: call from one thread at a time.
+  /// When the runner has a BatchRunFunction, the range is planned into
+  /// lockstep batches (grouped by test case and fire tick); records keep
+  /// their flat identity either way, so journals and CSVs are
+  /// bit-identical to the scalar path. Not thread-safe: call from one
+  /// thread at a time.
   void execute_range(RunRange range);
 
   const CampaignResult& result() const { return result_; }
@@ -185,7 +249,11 @@ class CampaignExecutor {
  private:
   struct Instruments;  // resolved telemetry handles
 
-  RunFunction run_;
+  void execute_range_scalar(RunRange range);
+  void execute_range_batched(RunRange range);
+  InjectionRecord make_record_identity(std::size_t flat) const;
+
+  CampaignRunner runner_;
   CampaignConfig config_;
   CampaignHooks hooks_;
   std::size_t total_ = 0;
@@ -203,9 +271,12 @@ class CampaignExecutor {
 /// are a pure function of (config.seed, run identity), which also makes a
 /// journal-resumed campaign bit-identical to an uninterrupted one.
 /// (Wrapper over CampaignExecutor: one range covering the whole plan.)
-CampaignResult run_campaign(const RunFunction& run,
+/// When `runner.batch` is set, injection runs execute as lockstep batches;
+/// scalar-only runners (or bare lambdas, via CampaignRunner's implicit
+/// constructor) run one trace at a time.
+CampaignResult run_campaign(const CampaignRunner& runner,
                             const CampaignConfig& config);
-CampaignResult run_campaign(const RunFunction& run,
+CampaignResult run_campaign(const CampaignRunner& runner,
                             const CampaignConfig& config,
                             const CampaignHooks& hooks);
 

@@ -100,7 +100,7 @@ std::vector<std::uint64_t> run_fingerprints(const CampaignConfig& config,
   return fingerprints;
 }
 
-DeltaResult run_delta_campaign(const RunFunction& run,
+DeltaResult run_delta_campaign(const CampaignRunner& runner,
                                const CampaignConfig& config,
                                const core::SystemModel& model,
                                const SignalBinding& binding,
@@ -169,7 +169,7 @@ DeltaResult run_delta_campaign(const RunFunction& run,
   }
 
   DeltaResult result;
-  result.campaign = run_campaign(run, config, inner);
+  result.campaign = run_campaign(runner, config, inner);
   if (options.hooks.collect_records) {
     for (std::size_t flat = 0; flat < total; ++flat) {
       if (replayed[flat] != 0) {

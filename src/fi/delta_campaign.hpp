@@ -111,13 +111,14 @@ struct DeltaResult {
 /// comparison baseline and cheap relative to the injection fan-out), then
 /// every injection run is resolved against the cache by fingerprint --
 /// hits are replayed (report copied, identity re-stamped from the current
-/// plan, replayed = true), misses execute through `run` exactly as
-/// run_campaign would, with identical derived seeds. With collect_records,
+/// plan, replayed = true), misses execute through `runner` exactly as
+/// run_campaign would, with identical derived seeds (a runner with a batch
+/// function executes the misses as lockstep batches). With collect_records,
 /// the returned CampaignResult is therefore record-for-record identical to
 /// a cold run_campaign apart from the fingerprint/replayed metadata, and
 /// everything estimated from it (fi/estimator.hpp ignores that metadata)
 /// is bit-identical.
-DeltaResult run_delta_campaign(const RunFunction& run,
+DeltaResult run_delta_campaign(const CampaignRunner& runner,
                                const CampaignConfig& config,
                                const core::SystemModel& model,
                                const SignalBinding& binding,

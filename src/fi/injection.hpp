@@ -35,6 +35,14 @@ struct InjectionSpec {
   InjectionPhase phase = InjectionPhase::kTickStart;
 };
 
+/// The first tick (in ms) in which an injection scheduled at `when` fires:
+/// drivers fire at the start of the first tick whose timestamp has reached
+/// `when`. Shared by the warm-start checkpoint logic (arrestment layer) and
+/// the campaign batch planner, which groups runs by fire tick.
+inline std::uint64_t injection_fire_ms(sim::SimTime when) {
+  return (when + sim::kMillisecond - 1) / sim::kMillisecond;
+}
+
 /// Applies an InjectionSpec at the right moment. The system's per-
 /// millisecond hook calls maybe_fire() once per tick *before* the sampled
 /// modules run, so an error injected at time t is visible to consumers in

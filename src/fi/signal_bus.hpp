@@ -73,8 +73,14 @@ class SignalBus {
 
   /// Fault-injection poke: overwrites the stored variable, bypassing any
   /// producer. Functionally identical to write(), kept separate so call
-  /// sites document intent and tooling can hook it.
-  void poke(BusSignalId id, std::uint16_t value) { write(id, value); }
+  /// sites document intent and tooling can hook it. Carries its own bounds
+  /// contract (not just via write) so an injection spec targeting a signal
+  /// that does not exist on this bus fails loudly at the poke site.
+  void poke(BusSignalId id, std::uint16_t value) {
+    PROPANE_REQUIRE_MSG(id < values_.size(),
+                        "poke target out of bus range");
+    values_[id] = value;
+  }
 
   /// Copies every signal value (id order) into `out`, which must span
   /// exactly signal_count() values. This is the trace recorder's per-sample

@@ -20,12 +20,6 @@ Adc::Adc(double phys_lo, double phys_hi) : lo_(phys_lo), hi_(phys_hi) {
   PROPANE_REQUIRE(phys_hi > phys_lo);
 }
 
-std::uint16_t Adc::read() const {
-  const double clamped = std::clamp(physical_, lo_, hi_);
-  const double scaled = (clamped - lo_) / (hi_ - lo_) * 65535.0;
-  return static_cast<std::uint16_t>(std::lround(scaled));
-}
-
 double Adc::to_physical(std::uint16_t counts) const {
   return lo_ + (hi_ - lo_) * static_cast<double>(counts) / 65535.0;
 }

@@ -15,6 +15,8 @@
 // real counters do -- the control software must handle the wrap.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 
 #include "sim/simtime.hpp"
@@ -91,11 +93,23 @@ class Adc {
   double physical() const { return physical_; }
 
   /// Software side: quantized sample.
-  std::uint16_t read() const;
+  std::uint16_t read() const { return quantize(physical_); }
+
+  /// Quantizes an arbitrary physical value without touching the held
+  /// sample. Stateless and call-free (round-half-up instead of libm
+  /// lround) so the batched environment's per-lane loop vectorizes.
+  std::uint16_t quantize(double value) const {
+    const double clamped = value < lo_ ? lo_ : (hi_ < value ? hi_ : value);
+    const double scaled = (clamped - lo_) / (hi_ - lo_) * 65535.0;
+    return static_cast<std::uint16_t>(scaled + 0.5);
+  }
 
   /// Converts a raw ADC count back to the physical quantity (used by
   /// assertions / tests, not by the embedded code).
   double to_physical(std::uint16_t counts) const;
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
 
  private:
   double lo_;

@@ -44,7 +44,7 @@ std::uint64_t ResultCache::fingerprint_of_flat(std::size_t flat) const {
 }
 
 DeltaJournalSummary run_delta_journaled_campaign(
-    const fi::RunFunction& run, const fi::CampaignConfig& config,
+    const fi::CampaignRunner& runner, const fi::CampaignConfig& config,
     const core::SystemModel& model, const fi::SignalBinding& binding,
     const std::filesystem::path& dir, const ResultCache& baseline,
     const DeltaRunOptions& options) {
@@ -148,7 +148,7 @@ DeltaJournalSummary run_delta_journaled_campaign(
   };
 
   fi::DeltaResult delta_result =
-      fi::run_delta_campaign(run, config, model, binding, delta);
+      fi::run_delta_campaign(runner, config, model, binding, delta);
   summary.replayed = delta_result.stats.hits;
 
   const SessionTally tally = session.finish(

@@ -124,7 +124,7 @@ struct DeltaJournalSummary {
 /// delta.invalidated_modules counters and a delta.plan event when
 /// telemetry is on.
 DeltaJournalSummary run_delta_journaled_campaign(
-    const fi::RunFunction& run, const fi::CampaignConfig& config,
+    const fi::CampaignRunner& runner, const fi::CampaignConfig& config,
     const core::SystemModel& model, const fi::SignalBinding& binding,
     const std::filesystem::path& dir, const ResultCache& baseline,
     const DeltaRunOptions& options = {});

@@ -58,7 +58,7 @@ CampaignDirState scan_campaign_dir(
   return state;
 }
 
-JournalRunSummary run_journaled_campaign(const fi::RunFunction& run,
+JournalRunSummary run_journaled_campaign(const fi::CampaignRunner& runner,
                                          const fi::CampaignConfig& config,
                                          const std::filesystem::path& dir,
                                          const JournalRunOptions& options) {
@@ -67,7 +67,7 @@ JournalRunSummary run_journaled_campaign(const fi::RunFunction& run,
   summary.total_runs = session.total_runs();
   summary.warnings = session.warnings();
 
-  summary.result = fi::run_campaign(run, config, session.hooks());
+  summary.result = fi::run_campaign(runner, config, session.hooks());
 
   const SessionTally tally = session.finish("campaign.done");
   summary.executed = tally.executed;

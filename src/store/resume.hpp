@@ -106,7 +106,12 @@ struct JournalRunSummary {
 /// same plan (manifest mismatch is a hard error). Every completed run is
 /// appended to a shard before the campaign moves on, so the directory can
 /// be resumed after a crash at any point.
-JournalRunSummary run_journaled_campaign(const fi::RunFunction& run,
+///
+/// Accepts a scalar fi::RunFunction (implicitly) or a full
+/// fi::CampaignRunner with a batch function; journals are bit-identical
+/// either way, and a directory written by one may be resumed by the other
+/// (batch size is deliberately outside the plan hash).
+JournalRunSummary run_journaled_campaign(const fi::CampaignRunner& runner,
                                          const fi::CampaignConfig& config,
                                          const std::filesystem::path& dir,
                                          const JournalRunOptions& options = {});

@@ -36,7 +36,7 @@ void send(std::ostream& out, const WireMessage& message) {
 
 }  // namespace
 
-int run_worker_loop(const fi::RunFunction& run,
+int run_worker_loop(const fi::CampaignRunner& runner,
                     const fi::CampaignConfig& config,
                     const WorkerConfig& worker, std::istream& in,
                     std::ostream& out, WorkerSummary* summary) {
@@ -106,7 +106,8 @@ int run_worker_loop(const fi::RunFunction& run,
             lease_diverged.fetch_add(1, std::memory_order_relaxed);
           }
         };
-        executor = std::make_unique<fi::CampaignExecutor>(run, config, hooks);
+        executor =
+            std::make_unique<fi::CampaignExecutor>(runner, config, hooks);
       }
       lease_executed.store(0, std::memory_order_relaxed);
       lease_diverged.store(0, std::memory_order_relaxed);

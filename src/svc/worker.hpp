@@ -48,7 +48,10 @@ struct WorkerSummary {
 /// rebuilt from a fresh directory scan when a lease carries rescan=1 --
 /// the range may contain runs a dead worker already journaled, and the
 /// re-scan keeps them from executing twice.
-int run_worker_loop(const fi::RunFunction& run,
+/// `runner` may be a plain scalar fi::RunFunction (implicit conversion) or
+/// carry a batch function; leased ranges then execute as lockstep batches
+/// with journal records identical to the scalar path.
+int run_worker_loop(const fi::CampaignRunner& runner,
                     const fi::CampaignConfig& config,
                     const WorkerConfig& worker, std::istream& in,
                     std::ostream& out, WorkerSummary* summary = nullptr);

@@ -1,0 +1,330 @@
+// Lockstep batched execution must be invisible in every result: lane
+// traces, DivergenceReports, campaign records and journal CSVs from the
+// SoA batch path must be bit-identical to the scalar per-run path for
+// every batch size -- including when a batched campaign is killed
+// mid-batch and resumed under a different batch size.
+//
+// Lives in tests/fi so the sanitizer CI jobs' tests/fi globs run the
+// batched-vs-scalar equivalence under ASan/UBSan and TSan.
+#include "arrestment/batch_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "arrestment/batch_system.hpp"
+#include "arrestment/model.hpp"
+#include "arrestment/testcase.hpp"
+#include "store/resume.hpp"
+
+namespace propane::arr {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr sim::SimTime kShortRun = 300 * sim::kMillisecond;
+constexpr std::size_t kBatchSizes[] = {1, 4, 17, 64};
+
+fi::BusSignalId bus_id(std::string_view name) {
+  fi::SignalBus bus;
+  build_bus(bus);
+  const auto id = bus.find(name);
+  EXPECT_TRUE(id.has_value()) << name;
+  return *id;
+}
+
+/// Small-scale plan covering the planner's corner cases: several lanes per
+/// (test case, fire tick) group, a fire time of zero (cold batch from
+/// t=0), a non-tick-aligned fire time (ceil to the next tick), a
+/// stochastic model (per-lane RNG streams) and an injection at the horizon
+/// (never fires -> answered without simulation).
+fi::CampaignConfig short_config() {
+  fi::CampaignConfig config;
+  config.test_case_count = 2;
+  config.seed = 0xBA7C4;
+  const fi::BusSignalId pulscnt = bus_id("pulscnt");
+  const fi::BusSignalId set_value = bus_id("SetValue");
+  const fi::BusSignalId pacnt = bus_id("PACNT");
+  config.injections = {
+      fi::InjectionSpec{pulscnt, 50 * sim::kMillisecond, fi::bit_flip(3)},
+      fi::InjectionSpec{set_value, 50 * sim::kMillisecond, fi::bit_flip(9)},
+      fi::InjectionSpec{pacnt, 50 * sim::kMillisecond,
+                        fi::random_replacement()},
+      fi::InjectionSpec{pulscnt, 0, fi::bit_flip(0)},
+      fi::InjectionSpec{pacnt, 150 * sim::kMillisecond + 500,
+                        fi::bit_flip(7)},
+      fi::InjectionSpec{set_value, kShortRun, fi::bit_flip(1)},  // never fires
+  };
+  return config;
+}
+
+::testing::AssertionResult traces_identical(const fi::TraceSet& a,
+                                            const fi::TraceSet& b) {
+  if (a.signal_count() != b.signal_count() ||
+      a.sample_count() != b.sample_count()) {
+    return ::testing::AssertionFailure()
+           << "shape mismatch: " << a.signal_count() << "x"
+           << a.sample_count() << " vs " << b.signal_count() << "x"
+           << b.sample_count();
+  }
+  const std::size_t values = a.signal_count() * a.sample_count();
+  if (values != 0 && std::memcmp(a.data(), b.data(),
+                                 values * sizeof(std::uint16_t)) != 0) {
+    return ::testing::AssertionFailure() << "values differ";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+::testing::AssertionResult reports_identical(const fi::DivergenceReport& a,
+                                             const fi::DivergenceReport& b) {
+  if (a.per_signal.size() != b.per_signal.size()) {
+    return ::testing::AssertionFailure() << "signal count mismatch";
+  }
+  for (std::size_t s = 0; s < a.per_signal.size(); ++s) {
+    const fi::Divergence& x = a.per_signal[s];
+    const fi::Divergence& y = b.per_signal[s];
+    if (x.diverged != y.diverged || x.first_ms != y.first_ms ||
+        x.golden_value != y.golden_value ||
+        x.observed_value != y.observed_value) {
+      return ::testing::AssertionFailure()
+             << "signal " << s << ": (" << x.diverged << ", " << x.first_ms
+             << ", " << x.golden_value << ", " << x.observed_value
+             << ") vs (" << y.diverged << ", " << y.first_ms << ", "
+             << y.golden_value << ", " << y.observed_value << ")";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// --- Kernel-level trace identity -----------------------------------------
+
+TEST(BatchKernel, ColdBatchRecordsBitIdenticalLaneTraces) {
+  const TestCase test_case = grid_test_cases(1, 1)[0];
+  const std::vector<fi::InjectionSpec> specs = {
+      fi::InjectionSpec{bus_id("pulscnt"), 40 * sim::kMillisecond,
+                        fi::bit_flip(3)},
+      fi::InjectionSpec{bus_id("PACNT"), 40 * sim::kMillisecond,
+                        fi::random_replacement()},
+      fi::InjectionSpec{bus_id("SetValue"), 40 * sim::kMillisecond,
+                        fi::bit_flip(12)},
+  };
+  std::vector<BatchLaneSpec> lanes;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    lanes.push_back(BatchLaneSpec{&specs[i], 900 + i});
+  }
+
+  const ArrestmentSystem origin(test_case);
+  BatchedArrestmentSystem batch(origin, lanes, kShortRun);
+  batch.enable_recording(nullptr);
+  const std::vector<fi::DivergenceReport> reports = batch.run();
+  ASSERT_EQ(reports.size(), specs.size());
+
+  RunOptions golden_options;
+  golden_options.duration = kShortRun;
+  const RunOutcome golden = run_arrestment(test_case, golden_options);
+  EXPECT_TRUE(traces_identical(batch.take_golden_trace(), golden.trace));
+
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    RunOptions options;
+    options.duration = kShortRun;
+    options.injection = specs[i];
+    options.rng_seed = 900 + i;
+    const RunOutcome scalar = run_arrestment(test_case, options);
+    EXPECT_TRUE(traces_identical(batch.take_lane_trace(i), scalar.trace))
+        << "lane " << i;
+    EXPECT_TRUE(reports_identical(
+        reports[i], fi::compare_to_golden(golden.trace, scalar.trace)))
+        << "lane " << i;
+  }
+}
+
+TEST(BatchKernel, WarmCheckpointBatchRecordsBitIdenticalLaneTraces) {
+  const std::vector<TestCase> cases = grid_test_cases(1, 1);
+  fi::CampaignConfig config = short_config();
+  config.test_case_count = 1;
+  WarmStartEngine engine(cases, config, kShortRun,
+                         std::make_shared<WarmStartStats>());
+  fi::RunRequest golden_request;  // captures the checkpoints
+  const fi::TraceSet golden = engine.run(golden_request);
+
+  const std::shared_ptr<const WarmStartEngine::Checkpoint> checkpoint =
+      engine.lookup(0, 50);
+  ASSERT_NE(checkpoint, nullptr);
+  EXPECT_EQ(checkpoint->ms, 50u);
+
+  const std::vector<fi::InjectionSpec> specs = {
+      fi::InjectionSpec{bus_id("pulscnt"), 50 * sim::kMillisecond,
+                        fi::bit_flip(3)},
+      fi::InjectionSpec{bus_id("PACNT"), 50 * sim::kMillisecond,
+                        fi::random_replacement()},
+  };
+  std::vector<BatchLaneSpec> lanes;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    lanes.push_back(BatchLaneSpec{&specs[i], 40 + i});
+  }
+  BatchedArrestmentSystem batch(*checkpoint->system, lanes, kShortRun);
+  batch.enable_recording(&checkpoint->prefix);
+  batch.run();
+
+  EXPECT_TRUE(traces_identical(batch.take_golden_trace(), golden));
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    RunOptions options;
+    options.duration = kShortRun;
+    options.injection = specs[i];
+    options.rng_seed = 40 + i;
+    EXPECT_TRUE(traces_identical(batch.take_lane_trace(i),
+                                 run_arrestment(cases[0], options).trace))
+        << "lane " << i;
+  }
+}
+
+// --- Campaign-level record identity --------------------------------------
+
+TEST(BatchCampaign, RecordsMatchScalarForEveryBatchSize) {
+  const std::vector<TestCase> cases = grid_test_cases(1, 2);
+  fi::CampaignConfig config = short_config();
+  const fi::CampaignResult scalar =
+      fi::run_campaign(campaign_runner(cases, kShortRun), config);
+
+  for (const std::size_t batch_size : kBatchSizes) {
+    SCOPED_TRACE("batch_size=" + std::to_string(batch_size));
+    config.batch_size = batch_size;
+    const auto stats = std::make_shared<BatchRunStats>();
+    const fi::CampaignResult batched = fi::run_campaign(
+        batched_campaign_runner(cases, config, kShortRun, nullptr, stats),
+        config);
+
+    // The batch path actually executed (never-firing lanes excepted).
+    EXPECT_GT(stats->batches.load(), 0u);
+    EXPECT_EQ(stats->batched_lanes.load() + stats->never_fire_lanes.load(),
+              config.injections.size() * config.test_case_count);
+    EXPECT_GT(stats->never_fire_lanes.load(), 0u);
+
+    ASSERT_EQ(batched.goldens.size(), scalar.goldens.size());
+    for (std::size_t tc = 0; tc < scalar.goldens.size(); ++tc) {
+      EXPECT_TRUE(traces_identical(batched.goldens[tc], scalar.goldens[tc]));
+    }
+    ASSERT_EQ(batched.records.size(), scalar.records.size());
+    for (std::size_t r = 0; r < scalar.records.size(); ++r) {
+      SCOPED_TRACE("record " + std::to_string(r));
+      EXPECT_EQ(batched.records[r].injection_index,
+                scalar.records[r].injection_index);
+      EXPECT_EQ(batched.records[r].test_case, scalar.records[r].test_case);
+      EXPECT_EQ(batched.records[r].target, scalar.records[r].target);
+      EXPECT_EQ(batched.records[r].when, scalar.records[r].when);
+      EXPECT_TRUE(reports_identical(batched.records[r].report,
+                                    scalar.records[r].report));
+    }
+  }
+}
+
+TEST(BatchCampaign, ColdBatchesMatchScalarWhenWarmStartDisabled) {
+  const std::vector<TestCase> cases = grid_test_cases(1, 2);
+  fi::CampaignConfig config = short_config();
+  config.warm_start = false;
+  config.batch_size = 4;
+  const fi::CampaignResult scalar =
+      fi::run_campaign(campaign_runner(cases, kShortRun), config);
+  const auto stats = std::make_shared<BatchRunStats>();
+  const fi::CampaignResult batched = fi::run_campaign(
+      batched_campaign_runner(cases, config, kShortRun, nullptr, stats),
+      config);
+
+  EXPECT_GT(stats->batches.load(), 0u);
+  ASSERT_EQ(batched.records.size(), scalar.records.size());
+  for (std::size_t r = 0; r < scalar.records.size(); ++r) {
+    EXPECT_TRUE(reports_identical(batched.records[r].report,
+                                  scalar.records[r].report))
+        << "record " << r;
+  }
+}
+
+// --- Journal / CSV identity ----------------------------------------------
+
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(testing::TempDir()) / name;
+  fs::remove_all(dir);
+  return dir;  // run_journaled_campaign creates it
+}
+
+std::string journal_csv(const fs::path& dir) {
+  const core::SystemModel model = make_arrestment_model();
+  const fi::SignalBinding binding = make_arrestment_binding(model);
+  std::ostringstream out;
+  store::write_permeability_csv_from_journal(out, dir, model, binding);
+  return out.str();
+}
+
+TEST(BatchJournal, CsvByteIdenticalToScalarForEveryBatchSize) {
+  const std::vector<TestCase> cases = grid_test_cases(1, 2);
+  fi::CampaignConfig config = short_config();
+
+  const fs::path scalar_dir = fresh_dir("batch_csv_scalar");
+  store::run_journaled_campaign(campaign_runner(cases, kShortRun), config,
+                                scalar_dir);
+  const std::string scalar_csv = journal_csv(scalar_dir);
+  ASSERT_FALSE(scalar_csv.empty());
+
+  for (const std::size_t batch_size : kBatchSizes) {
+    SCOPED_TRACE("batch_size=" + std::to_string(batch_size));
+    config.batch_size = batch_size;
+    const fs::path dir =
+        fresh_dir("batch_csv_" + std::to_string(batch_size));
+    store::run_journaled_campaign(
+        batched_campaign_runner(cases, config, kShortRun), config, dir);
+    EXPECT_EQ(journal_csv(dir), scalar_csv);
+  }
+}
+
+TEST(BatchJournal, MidBatchKillAndResumeUnderDifferentBatchSize) {
+  const std::vector<TestCase> cases = grid_test_cases(1, 2);
+  fi::CampaignConfig config = short_config();
+  config.threads = 1;  // deterministic: first batch lands, second crashes
+  config.batch_size = 4;
+
+  const fs::path scalar_dir = fresh_dir("batch_resume_scalar");
+  store::run_journaled_campaign(campaign_runner(cases, kShortRun), config,
+                                scalar_dir);
+  const std::string scalar_csv = journal_csv(scalar_dir);
+
+  // "Kill" mid-campaign: the first batch completes and journals its
+  // records, every later batch throws. The exception unwinds like a crash
+  // -- journaled records are durable, in-flight runs are lost.
+  const fs::path dir = fresh_dir("batch_resume_killed");
+  const fi::CampaignRunner inner =
+      batched_campaign_runner(cases, config, kShortRun);
+  std::atomic<std::size_t> batches{0};
+  const fi::CampaignRunner crashing(
+      inner.run, [&batches, &inner](const fi::BatchRunRequest& request) {
+        if (batches.fetch_add(1) >= 1) {
+          throw std::runtime_error("simulated crash");
+        }
+        return inner.batch(request);
+      });
+  EXPECT_THROW(store::run_journaled_campaign(crashing, config, dir),
+               std::runtime_error);
+  const store::CampaignDirState partial = store::scan_campaign_dir(dir);
+  const std::size_t total =
+      config.injections.size() * config.test_case_count;
+  EXPECT_GT(partial.completed_count, 0u);
+  EXPECT_LT(partial.completed_count, total);
+
+  // Resume under a *different* batch size (the plan hash excludes it):
+  // only the missing runs execute, regrouped into new batches.
+  config.batch_size = 17;
+  const store::JournalRunSummary resumed = store::run_journaled_campaign(
+      batched_campaign_runner(cases, config, kShortRun), config, dir);
+  EXPECT_EQ(resumed.executed + resumed.skipped_completed, total);
+  EXPECT_EQ(resumed.skipped_completed, partial.completed_count);
+
+  EXPECT_EQ(journal_csv(dir), scalar_csv);
+}
+
+}  // namespace
+}  // namespace propane::arr

@@ -73,6 +73,8 @@ TEST(SignalBus, SnapshotIntoFillsCallerBuffer) {
   EXPECT_EQ(out, (std::vector<std::uint16_t>{1, 2}));
   std::vector<std::uint16_t> wrong(3);
   EXPECT_THROW(bus.snapshot_into(wrong), ContractViolation);
+  std::vector<std::uint16_t> undersized(1);
+  EXPECT_THROW(bus.snapshot_into(undersized), ContractViolation);
 }
 
 TEST(SignalBus, ResetRestoresInitialValues) {
@@ -91,6 +93,10 @@ TEST(SignalBus, OutOfRangeAccessViolatesContracts) {
   bus.add_signal("a");
   EXPECT_THROW(bus.read(5), ContractViolation);
   EXPECT_THROW(bus.write(5, 0), ContractViolation);
+  // poke carries its own bounds contract (not just via write): an
+  // injection spec targeting a signal absent from this bus fails loudly
+  // at the poke site.
+  EXPECT_THROW(bus.poke(5, 0), ContractViolation);
   EXPECT_THROW(bus.name(5), ContractViolation);
 }
 

@@ -47,6 +47,7 @@
 #include <string>
 #include <vector>
 
+#include "arrestment/batch_runner.hpp"
 #include "arrestment/model.hpp"
 #include "arrestment/system.hpp"
 #include "arrestment/testcase.hpp"
@@ -414,7 +415,7 @@ int cmd_campaign_execute(const CampaignArgs& args, bool delta_mode) {
   options.module_versions = versions;
   const store::DeltaJournalSummary summary =
       store::run_delta_journaled_campaign(
-          arr::warm_campaign_runner(cases, config, scale.duration), config,
+          arr::batched_campaign_runner(cases, config, scale.duration), config,
           model, binding, args.journal, baseline, options);
   if (hud.has_value()) hud->finish();
   print_warnings(summary.warnings);
@@ -582,8 +583,8 @@ int cmd_campaign_worker(const CampaignArgs& args) {
 
   svc::WorkerSummary summary;
   const int code = svc::run_worker_loop(
-      arr::warm_campaign_runner(cases, config, scale.duration), config, worker,
-      std::cin, std::cout, &summary);
+      arr::batched_campaign_runner(cases, config, scale.duration), config,
+      worker, std::cin, std::cout, &summary);
   if (sink.has_value()) {
     emit_metric_events(*sink, metrics.snapshot());
     sink->flush();
