@@ -3,11 +3,28 @@
 // the disabled (null-handle fast path) state. The disabled numbers are the
 // ones that matter for the fault-injection hot path: instrumentation sites
 // pay one pointer test when telemetry is off.
+//
+// Beyond the microbenchmarks, `--assert-batch-overhead[=pct]` runs the
+// smoke-scale lockstep batched campaign with telemetry off and on
+// (alternating, min-of-k) and fails when the enabled-telemetry wall time
+// exceeds the disabled one by more than pct (default 5%) -- the CI guard
+// for the batch-kernel profiling counters, whose whole design is that they
+// derive from counts the batch already kept and never touch the tick loop.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
 #include <ostream>
 #include <streambuf>
+#include <string>
+#include <vector>
 
+#include "arrestment/batch_runner.hpp"
+#include "arrestment/testcase.hpp"
+#include "exp/paper_experiment.hpp"
+#include "fi/campaign.hpp"
 #include "obs/metrics.hpp"
 #include "obs/ndjson.hpp"
 #include "obs/span.hpp"
@@ -161,6 +178,105 @@ void BM_MetricsSnapshotToJson(benchmark::State& state) {
 }
 BENCHMARK(BM_MetricsSnapshotToJson);
 
+// --- batch-section telemetry overhead ------------------------------------
+
+/// One smoke-scale lockstep batched campaign; telemetry optional. Returns
+/// wall seconds. The telemetry bundle is the worker's real configuration:
+/// metrics registry, span buffer and an NDJSON sink (into a null stream,
+/// so the measurement is instrumentation cost, not disk).
+double run_batch_campaign(bool telemetry_on) {
+  const exp::ExperimentScale scale = exp::smoke_scale();
+  const fi::CampaignConfig config = exp::make_campaign_config(scale);
+  const std::vector<arr::TestCase> cases =
+      scale.custom_cases.empty()
+          ? arr::grid_test_cases(scale.mass_count, scale.velocity_count)
+          : scale.custom_cases;
+
+  obs::MetricsRegistry metrics;
+  obs::SpanBuffer spans;
+  NullBuffer null_buffer;
+  std::ostream null_stream(&null_buffer);
+  obs::NdjsonSink sink(null_stream);
+  obs::Telemetry telemetry;
+  telemetry.metrics = &metrics;
+  telemetry.events = &sink;
+  telemetry.spans = &spans;
+
+  const auto start = std::chrono::steady_clock::now();
+  const fi::CampaignResult result = fi::run_campaign(
+      arr::batched_campaign_runner(cases, config, scale.duration, nullptr,
+                                   nullptr,
+                                   telemetry_on ? &telemetry : nullptr),
+      config);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  benchmark::DoNotOptimize(result.run_count());
+  return wall_s;
+}
+
+void BM_BatchCampaign_TelemetryOff(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_batch_campaign(false));
+  }
+}
+BENCHMARK(BM_BatchCampaign_TelemetryOff)->Unit(benchmark::kMillisecond);
+
+void BM_BatchCampaign_TelemetryOn(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_batch_campaign(true));
+  }
+}
+BENCHMARK(BM_BatchCampaign_TelemetryOn)->Unit(benchmark::kMillisecond);
+
+/// The CI assertion. Min-of-k with alternating order so machine noise
+/// (turbo ramp, page cache) hits both configurations symmetrically.
+int assert_batch_overhead(double max_overhead_pct) {
+  constexpr int kRounds = 7;
+  double off_s = 1e100;
+  double on_s = 1e100;
+  run_batch_campaign(false);  // warm-up: page in code and checkpoints
+  for (int round = 0; round < kRounds; ++round) {
+    if (round % 2 == 0) {
+      off_s = std::min(off_s, run_batch_campaign(false));
+      on_s = std::min(on_s, run_batch_campaign(true));
+    } else {
+      on_s = std::min(on_s, run_batch_campaign(true));
+      off_s = std::min(off_s, run_batch_campaign(false));
+    }
+  }
+  const double overhead_pct = (on_s / off_s - 1.0) * 100.0;
+  std::printf(
+      "batch section: telemetry off %.1f ms, on %.1f ms, overhead %+.2f%% "
+      "(limit %.1f%%)\n",
+      off_s * 1e3, on_s * 1e3, overhead_pct, max_overhead_pct);
+  if (overhead_pct > max_overhead_pct) {
+    std::fprintf(stderr,
+                 "FAIL: enabled-telemetry batch overhead %.2f%% exceeds "
+                 "%.1f%%\n",
+                 overhead_pct, max_overhead_pct);
+    return 1;
+  }
+  std::puts("batch telemetry overhead ok");
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    constexpr const char kFlag[] = "--assert-batch-overhead";
+    if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) == 0) {
+      double limit = 5.0;
+      if (argv[i][sizeof(kFlag) - 1] == '=') {
+        limit = std::stod(argv[i] + sizeof(kFlag));
+      }
+      return assert_batch_overhead(limit);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

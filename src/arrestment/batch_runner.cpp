@@ -5,15 +5,64 @@
 #include "arrestment/batch_system.hpp"
 #include "arrestment/signals.hpp"
 #include "common/contracts.hpp"
+#include "obs/telemetry.hpp"
 
 namespace propane::arr {
 namespace {
 
+/// Pre-resolved metric handles for the batch hot path (see the header
+/// comment on batched_campaign_runner). All null when telemetry is off.
+struct BatchInstruments {
+  obs::Histogram* group_lanes = nullptr;
+  obs::Histogram* retire_ticks = nullptr;
+  obs::Counter* kernel_ticks = nullptr;
+  obs::Counter* lut_gathers = nullptr;
+  obs::Counter* exact_div_ops = nullptr;
+
+  explicit BatchInstruments(const obs::Telemetry* telemetry) {
+    group_lanes = obs::find_histogram(
+        telemetry, "batch.group.lanes",
+        {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024});
+    retire_ticks = obs::find_histogram(
+        telemetry, "batch.retire.ticks",
+        {16, 64, 256, 1024, 4096, 16384, 65536});
+    kernel_ticks = obs::find_counter(telemetry, "batch.kernel.ticks");
+    lut_gathers = obs::find_counter(telemetry, "batch.kernel.lut_gathers");
+    exact_div_ops =
+        obs::find_counter(telemetry, "batch.kernel.exact_div_ops");
+  }
+
+  /// Folds one finished batch in. Derived *after* the kernel ran, from
+  /// counts the batch already kept -- the tick loop stays untouched.
+  void observe(const BatchedArrestmentSystem& batch,
+               std::size_t injection_lanes) const {
+    if (retire_ticks != nullptr) {
+      for (const std::uint64_t tick : batch.retirement_ticks()) {
+        retire_ticks->observe(static_cast<double>(tick));
+      }
+    }
+    const std::uint64_t ticks = batch.ticks_simulated();
+    // Every executed tick sweeps all lanes (golden included; retired lanes
+    // are dead but still swept branch-free): one commanded-pressure LUT
+    // gather and four ExactDivisor divides per lane per tick
+    // (environment.cpp's step_lanes_kernel).
+    const std::uint64_t lane_ticks =
+        ticks * static_cast<std::uint64_t>(injection_lanes + 1);
+    if (kernel_ticks != nullptr) kernel_ticks->add(ticks);
+    if (lut_gathers != nullptr) lut_gathers->add(lane_ticks);
+    if (exact_div_ops != nullptr) exact_div_ops->add(lane_ticks * 4);
+  }
+};
+
 std::vector<fi::DivergenceReport> run_batch(
     const WarmStartEngine& engine, const fi::BatchRunRequest& request,
-    BatchRunStats* stats) {
+    BatchRunStats* stats, const BatchInstruments& instruments) {
   PROPANE_REQUIRE(!request.lanes.empty());
   PROPANE_REQUIRE(request.test_case < engine.cases().size());
+  if (instruments.group_lanes != nullptr) {
+    instruments.group_lanes->observe(
+        static_cast<double>(request.lanes.size()));
+  }
 
   // An injection at/after the horizon never fires: the run is the golden
   // run, every signal matches, and no simulation is needed.
@@ -58,6 +107,7 @@ std::vector<fi::DivergenceReport> run_batch(
     exhausted = batch.lanes_retired_exhausted();
     saved = batch.saved_lane_ms() +
             lanes.size() * checkpoint->ms;  // prefix not re-simulated
+    instruments.observe(batch, lanes.size());
   } else {
     const ArrestmentSystem origin(engine.cases()[request.test_case]);
     BatchedArrestmentSystem batch(origin, lanes, engine.duration());
@@ -65,6 +115,7 @@ std::vector<fi::DivergenceReport> run_batch(
     converged = batch.lanes_retired_converged();
     exhausted = batch.lanes_retired_exhausted();
     saved = batch.saved_lane_ms();
+    instruments.observe(batch, lanes.size());
   }
 
   if (stats != nullptr) {
@@ -85,7 +136,8 @@ std::vector<fi::DivergenceReport> run_batch(
 fi::CampaignRunner batched_campaign_runner(
     std::vector<TestCase> test_cases, const fi::CampaignConfig& config,
     sim::SimTime duration, std::shared_ptr<WarmStartStats> warm_stats,
-    std::shared_ptr<BatchRunStats> batch_stats) {
+    std::shared_ptr<BatchRunStats> batch_stats,
+    const obs::Telemetry* telemetry) {
   PROPANE_REQUIRE(!test_cases.empty());
   auto engine = std::make_shared<WarmStartEngine>(
       std::move(test_cases), config, duration, std::move(warm_stats));
@@ -93,9 +145,10 @@ fi::CampaignRunner batched_campaign_runner(
       [engine](const fi::RunRequest& request) {
         return engine->run(request);
       },
-      [engine, stats = std::move(batch_stats)](
+      [engine, stats = std::move(batch_stats),
+       instruments = BatchInstruments(telemetry)](
           const fi::BatchRunRequest& request) {
-        return run_batch(*engine, request, stats.get());
+        return run_batch(*engine, request, stats.get(), instruments);
       });
 }
 

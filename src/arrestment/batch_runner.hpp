@@ -18,6 +18,10 @@
 
 #include "arrestment/warm_start.hpp"
 
+namespace propane::obs {
+struct Telemetry;
+}  // namespace propane::obs
+
 namespace propane::arr {
 
 /// Observability counters for the batched runner (shared with the caller;
@@ -42,10 +46,24 @@ struct BatchRunStats {
 /// Results, records and journal CSVs are bit-identical to the scalar
 /// path for every batch size -- enforced by
 /// tests/fi/batch_equivalence_test.cpp.
+///
+/// `telemetry` (optional, non-owning) turns on per-batch profiling:
+///   batch.group.lanes      -- histogram, injection lanes per batch group;
+///   batch.retire.ticks     -- histogram, ticks into the batch at which
+///                             lanes retired (early-exit latency);
+///   batch.kernel.ticks     -- counter, scheduler slots executed;
+///   batch.kernel.lut_gathers / batch.kernel.exact_div_ops -- counters,
+///     kernel work derived from ticks x lanes (the environment sweep does
+///     one commanded-pressure LUT gather and four ExactDivisor divides per
+///     lane per tick).
+/// Handles resolve once here; each batch then costs a few relaxed
+/// atomic adds *after* its kernel run -- the tick loop itself carries no
+/// instrumentation, so null telemetry is exactly the old code path.
 fi::CampaignRunner batched_campaign_runner(
     std::vector<TestCase> test_cases, const fi::CampaignConfig& config,
     sim::SimTime duration = kRunDuration,
     std::shared_ptr<WarmStartStats> warm_stats = nullptr,
-    std::shared_ptr<BatchRunStats> batch_stats = nullptr);
+    std::shared_ptr<BatchRunStats> batch_stats = nullptr,
+    const obs::Telemetry* telemetry = nullptr);
 
 }  // namespace propane::arr

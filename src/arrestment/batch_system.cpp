@@ -91,6 +91,8 @@ BatchedArrestmentSystem::BatchedArrestmentSystem(
   PROPANE_REQUIRE_MSG(!specs.empty(), "batch needs at least one injection");
   PROPANE_REQUIRE_MSG(origin.now() < duration,
                       "batch origin must precede the horizon");
+  start_ms_ = sim::to_milliseconds(origin.now());
+  retirement_ticks_.reserve(specs.size());
   for (const BatchLaneSpec& lane : specs_) {
     PROPANE_REQUIRE(lane.spec != nullptr);
     PROPANE_REQUIRE(lane.spec->model.apply != nullptr);
@@ -354,6 +356,7 @@ void BatchedArrestmentSystem::retire(std::size_t lane, std::uint64_t now_ms,
   } else {
     ++exhausted_;
   }
+  retirement_ticks_.push_back(now_ms >= start_ms_ ? now_ms - start_ms_ : 0);
   // The tick at now_ms has completed for this lane; everything after it
   // is skipped work.
   if (duration_ms_ > now_ms + 1) {

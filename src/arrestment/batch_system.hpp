@@ -75,6 +75,15 @@ class BatchedArrestmentSystem {
   std::size_t lanes_retired_exhausted() const { return exhausted_; }
   /// Lane-milliseconds not simulated thanks to early exit.
   std::uint64_t saved_lane_ms() const { return saved_lane_ms_; }
+  /// Scheduler slots actually executed (one per simulated millisecond);
+  /// kernel work derives from this -- every tick sweeps all lanes once
+  /// through the LUT gather and the four exact-divisor ops per lane.
+  std::uint64_t ticks_simulated() const { return ticks_; }
+  /// Per retirement: ticks into the batch when the lane retired, in
+  /// retirement order. Sized converged_ + exhausted_ after run().
+  const std::vector<std::uint64_t>& retirement_ticks() const {
+    return retirement_ticks_;
+  }
 
   /// Recorded traces (recording mode, after run()): injection lane `i` in
   /// spec order, or the golden lane.
@@ -127,6 +136,8 @@ class BatchedArrestmentSystem {
   std::size_t converged_ = 0;
   std::size_t exhausted_ = 0;
   std::uint64_t saved_lane_ms_ = 0;
+  std::uint64_t start_ms_ = 0;  // origin.now() in ms, for retirement ticks
+  std::vector<std::uint64_t> retirement_ticks_;
 
   // Recording mode (tests): per-lane traces, retirement disabled.
   bool recording_ = false;

@@ -1,0 +1,172 @@
+#include "obs/flight.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace propane::obs {
+
+namespace {
+
+struct FlightHeader {
+  std::uint32_t magic = kFlightMagic;
+  std::uint32_t version = kFlightVersion;
+  std::uint32_t slot_size = 0;
+  std::uint32_t slot_count = 0;
+  std::uint32_t worker_id = 0;
+  std::uint32_t flags = 0;  // bit 0: clean exit
+  std::uint64_t pid = 0;
+  std::uint8_t reserved[kFlightHeaderBytes - 32] = {};
+};
+static_assert(sizeof(FlightHeader) == kFlightHeaderBytes);
+
+struct SlotHeader {
+  std::uint64_t seq = 0;
+  std::uint32_t len = 0;
+  std::uint32_t pad = 0;
+};
+static_assert(sizeof(SlotHeader) == kFlightSlotHeaderBytes);
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(const std::filesystem::path& path,
+                               std::uint32_t worker_id,
+                               std::size_t slot_count, std::size_t slot_size) {
+  slot_count_ = std::max<std::size_t>(slot_count, 1);
+  slot_size_ = std::max<std::size_t>(slot_size, kFlightSlotHeaderBytes + 64);
+  map_bytes_ = kFlightHeaderBytes + slot_count_ * slot_size_;
+
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw std::runtime_error("flight recorder: cannot open " + path.string());
+  }
+  if (::ftruncate(fd, static_cast<off_t>(map_bytes_)) != 0) {
+    ::close(fd);
+    throw std::runtime_error("flight recorder: cannot size " + path.string());
+  }
+  void* map = ::mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE, MAP_SHARED,
+                     fd, 0);
+  ::close(fd);  // the mapping keeps the file alive
+  if (map == MAP_FAILED) {
+    throw std::runtime_error("flight recorder: mmap failed for " +
+                             path.string());
+  }
+  map_ = static_cast<std::byte*>(map);
+
+  FlightHeader header;
+  header.slot_size = static_cast<std::uint32_t>(slot_size_);
+  header.slot_count = static_cast<std::uint32_t>(slot_count_);
+  header.worker_id = worker_id;
+  header.pid = static_cast<std::uint64_t>(::getpid());
+  std::memcpy(map_, &header, sizeof(header));
+}
+
+FlightRecorder::~FlightRecorder() {
+  if (map_ != nullptr) ::munmap(map_, map_bytes_);
+}
+
+void FlightRecorder::record_line(std::string_view line) {
+  const std::size_t payload_max = slot_size_ - kFlightSlotHeaderBytes;
+  std::lock_guard lock(mu_);
+  const std::uint64_t seq = ++seq_;
+  std::byte* slot =
+      map_ + kFlightHeaderBytes + ((seq - 1) % slot_count_) * slot_size_;
+
+  // Invalidate before the copy: a crash mid-copy leaves seq=0 and the
+  // reader skips the slot instead of seeing half the old line spliced
+  // onto half the new one.
+  SlotHeader slot_header;
+  slot_header.seq = 0;
+  slot_header.len = static_cast<std::uint32_t>(
+      std::min(line.size(), payload_max));
+  std::memcpy(slot, &slot_header, sizeof(slot_header));
+  std::memcpy(slot + kFlightSlotHeaderBytes, line.data(), slot_header.len);
+  slot_header.seq = seq;
+  std::memcpy(slot, &slot_header, sizeof(slot_header));
+}
+
+void FlightRecorder::mark_clean_exit() {
+  std::lock_guard lock(mu_);
+  FlightHeader header;
+  std::memcpy(&header, map_, sizeof(header));
+  header.flags |= 1u;
+  std::memcpy(map_, &header, sizeof(header));
+}
+
+std::optional<FlightRecording> read_flight_recording(
+    const std::filesystem::path& path) {
+  std::error_code ec;
+  const auto file_size = std::filesystem::file_size(path, ec);
+  if (ec || file_size < kFlightHeaderBytes) return std::nullopt;
+
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return std::nullopt;
+  std::vector<std::byte> bytes(static_cast<std::size_t>(file_size));
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::read(fd, bytes.data() + off, bytes.size() - off);
+    if (n <= 0) break;
+    off += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  if (off != bytes.size()) return std::nullopt;
+
+  FlightHeader header;
+  std::memcpy(&header, bytes.data(), sizeof(header));
+  if (header.magic != kFlightMagic || header.version != kFlightVersion ||
+      header.slot_size <= kFlightSlotHeaderBytes || header.slot_count == 0) {
+    return std::nullopt;
+  }
+  const std::size_t expected =
+      kFlightHeaderBytes +
+      static_cast<std::size_t>(header.slot_size) * header.slot_count;
+  if (bytes.size() < expected) return std::nullopt;
+
+  FlightRecording recording;
+  recording.worker_id = header.worker_id;
+  recording.pid = header.pid;
+  recording.clean_exit = (header.flags & 1u) != 0;
+
+  struct Entry {
+    std::uint64_t seq;
+    std::string line;
+  };
+  std::vector<Entry> entries;
+  for (std::uint32_t i = 0; i < header.slot_count; ++i) {
+    const std::byte* slot =
+        bytes.data() + kFlightHeaderBytes +
+        static_cast<std::size_t>(i) * header.slot_size;
+    SlotHeader slot_header;
+    std::memcpy(&slot_header, slot, sizeof(slot_header));
+    if (slot_header.seq == 0) continue;  // empty or torn mid-write
+    recording.last_seq = std::max(recording.last_seq, slot_header.seq);
+    if (slot_header.len > header.slot_size - kFlightSlotHeaderBytes) {
+      ++recording.dropped_slots;
+      continue;
+    }
+    std::string line(
+        reinterpret_cast<const char*>(slot + kFlightSlotHeaderBytes),
+        slot_header.len);
+    // The payload must still be one well-formed flat JSON object; anything
+    // else (truncated oversize line, torn page) is dropped, not surfaced.
+    if (!parse_flat_json_object(line).has_value()) {
+      ++recording.dropped_slots;
+      continue;
+    }
+    entries.push_back(Entry{slot_header.seq, std::move(line)});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.seq < b.seq; });
+  recording.lines.reserve(entries.size());
+  for (Entry& entry : entries) {
+    recording.lines.push_back(std::move(entry.line));
+  }
+  return recording;
+}
+
+}  // namespace propane::obs

@@ -1,0 +1,140 @@
+// Crash flight recorder: a fixed-size mmap'd ring of NDJSON event lines
+// that survives SIGKILL.
+//
+// A campaign worker's NDJSON sink buffers through an ofstream, so a killed
+// worker loses its buffered tail -- exactly the events describing what it
+// was doing when it died. The flight recorder closes that gap: every event
+// is *also* copied into a memory-mapped file (`flight-w<id>.bin`), where a
+// plain store into the mapping is all it takes to persist -- the kernel
+// owns the page cache, so the bytes survive any process death short of a
+// machine power loss. No write()/fsync() on the record path, no allocation
+// beyond the serialised line the sink already built, and the store path is
+// async-signal-safe (memcpy into a mapping), so the recorder needs no
+// signal handlers: SIGKILL, which cannot be caught, is covered by
+// construction.
+//
+// File layout (little-endian, fixed at open time):
+//
+//   header (64 bytes):
+//     u32 magic "PFLT"   u32 version (1)
+//     u32 slot_size      u32 slot_count
+//     u32 worker_id      u32 flags (bit 0: clean exit)
+//     u64 pid            reserved to 64 bytes
+//   slots (slot_count x slot_size):
+//     u64 seq   -- 0 = empty/in-progress, else 1-based commit sequence
+//     u32 len   -- payload bytes
+//     u32 pad
+//     u8  payload[slot_size - 16] -- one NDJSON line, no trailing '\n'
+//
+// Writers claim slot (seq-1) % slot_count, store seq=0 first (invalidate),
+// copy the payload, then store the final seq. A crash between invalidate
+// and commit leaves seq=0 and the reader skips the slot; committed slots
+// whose payload fails NDJSON parsing (a torn page at power loss) are
+// dropped the same way. Readers sort surviving slots by seq, giving the
+// last N events in emission order.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/ndjson.hpp"
+
+namespace propane::obs {
+
+inline constexpr std::uint32_t kFlightMagic = 0x544C4650u;  // "PFLT"
+inline constexpr std::uint32_t kFlightVersion = 1;
+inline constexpr std::size_t kFlightHeaderBytes = 64;
+inline constexpr std::size_t kFlightSlotHeaderBytes = 16;
+
+/// Continuously persists the last `slot_count` event lines to `path`.
+/// Thread-safe (one mutex around the claim+copy; events are rare compared
+/// to the simulation hot path). Destruction without mark_clean_exit()
+/// leaves the file flagged as a crash, which `campaign trace --postmortem`
+/// reports.
+class FlightRecorder {
+ public:
+  FlightRecorder(const std::filesystem::path& path, std::uint32_t worker_id,
+                 std::size_t slot_count = 256, std::size_t slot_size = 512);
+  ~FlightRecorder();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Records one serialised NDJSON line (no trailing newline). Lines
+  /// longer than the slot payload are truncated at a safe length and will
+  /// be dropped by the reader's parse check -- losing one oversized line
+  /// beats failing the record path.
+  void record_line(std::string_view line);
+
+  /// Sets the clean-exit flag in the header; called on orderly shutdown so
+  /// a postmortem can tell a crash from a normal exit.
+  void mark_clean_exit();
+
+  std::uint64_t recorded() const { return seq_; }
+
+ private:
+  std::mutex mu_;
+  std::byte* map_ = nullptr;
+  std::size_t map_bytes_ = 0;
+  std::size_t slot_count_;
+  std::size_t slot_size_;
+  std::uint64_t seq_ = 0;  // last committed sequence number
+};
+
+/// EventSink that serialises into a FlightRecorder. Pair with TeeSink to
+/// keep the regular NDJSON stream flowing alongside.
+class FlightSink : public EventSink {
+ public:
+  explicit FlightSink(FlightRecorder& recorder) : recorder_(&recorder) {}
+  void emit(const Event& event) override {
+    recorder_->record_line(event_to_json(event));
+  }
+
+ private:
+  FlightRecorder* recorder_;
+};
+
+/// Fans one event stream out to two sinks (NDJSON file + flight recorder).
+/// Either side may be null.
+class TeeSink : public EventSink {
+ public:
+  TeeSink(EventSink* first, EventSink* second)
+      : first_(first), second_(second) {}
+  void emit(const Event& event) override {
+    if (first_ != nullptr) first_->emit(event);
+    if (second_ != nullptr) second_->emit(event);
+  }
+  void flush() override {
+    if (first_ != nullptr) first_->flush();
+    if (second_ != nullptr) second_->flush();
+  }
+
+ private:
+  EventSink* first_;
+  EventSink* second_;
+};
+
+/// A recovered flight recording: header identity plus the surviving event
+/// lines, oldest first.
+struct FlightRecording {
+  std::uint32_t worker_id = 0;
+  std::uint64_t pid = 0;
+  bool clean_exit = false;
+  std::uint64_t last_seq = 0;    // highest committed sequence seen
+  std::size_t dropped_slots = 0; // committed slots with unparseable payload
+  std::vector<std::string> lines;
+};
+
+/// Reads a flight-recorder file back. Returns nullopt when the file is
+/// missing, too small, or carries the wrong magic/version -- never throws
+/// on garbage: a postmortem reader must cope with anything a dying process
+/// left behind.
+std::optional<FlightRecording> read_flight_recording(
+    const std::filesystem::path& path);
+
+}  // namespace propane::obs

@@ -6,6 +6,12 @@
 // call structure (campaign > injection_phase > run). Finished spans land
 // in a bounded ring buffer (newest kept, oldest dropped, drops counted)
 // and, when an event sink is attached, are also streamed as "span" events.
+//
+// Cross-process tracing: span ids are unique only within one SpanBuffer,
+// so a process that shares a trace with others (a campaign worker) calls
+// set_id_base() with a disjoint id range. A span whose logical parent
+// lives in *another* process (a worker lease parenting under a dispatcher
+// lease span) passes the wire-carried parent id through SpanOptions.
 #pragma once
 
 #include <atomic>
@@ -25,9 +31,16 @@ struct FinishedSpan {
   std::uint64_t id = 0;
   std::uint64_t parent_id = 0;  // 0 = root span
   std::uint32_t depth = 0;      // 0 = root
+  std::uint32_t tid = 0;        // thread_ordinal() of the emitting thread
   std::uint64_t start_us = 0;
   std::uint64_t duration_us = 0;
 };
+
+/// Small dense per-thread ordinal (0 = first thread that asked). Stable
+/// for the thread's lifetime; used as the "tid" of spans and trace events
+/// so per-thread tracks stay readable (raw pthread ids are neither small
+/// nor dense).
+std::uint32_t thread_ordinal();
 
 /// Bounded, thread-safe buffer of finished spans in completion order.
 /// When full, the oldest span is evicted (a live HUD or post-mortem wants
@@ -48,8 +61,14 @@ class SpanBuffer {
     return dropped_.load(std::memory_order_relaxed);
   }
   std::uint64_t next_id() {
-    return ids_.fetch_add(1, std::memory_order_relaxed) + 1;
+    return id_base_ + ids_.fetch_add(1, std::memory_order_relaxed) + 1;
   }
+
+  /// Offsets every id this buffer hands out, so processes sharing one
+  /// trace (dispatcher + workers) draw from disjoint id ranges. Call
+  /// before the first span; ids already handed out keep their old base.
+  void set_id_base(std::uint64_t base) { id_base_ = base; }
+  std::uint64_t id_base() const { return id_base_; }
 
  private:
   mutable std::mutex mu_;
@@ -57,15 +76,28 @@ class SpanBuffer {
   std::deque<FinishedSpan> spans_;
   std::atomic<std::uint64_t> dropped_{0};
   std::atomic<std::uint64_t> ids_{0};
+  std::uint64_t id_base_ = 0;
 };
 
 struct Telemetry;
+
+/// Extra knobs for spans that participate in cross-process traces.
+struct SpanOptions {
+  /// Non-zero: the parent span id, overriding the thread's active-span
+  /// stack (used when the parent lives in another process and arrived
+  /// over the wire). Zero keeps the default per-thread nesting.
+  std::uint64_t parent_id = 0;
+  /// Extra fields appended to the emitted "span" event (lease ids, worker
+  /// ids); not stored in the ring buffer.
+  std::vector<Field> fields;
+};
 
 /// RAII scope timer. Construction with a null/disabled telemetry bundle is
 /// a no-op (two pointer loads); nothing is recorded on destruction.
 class Span {
  public:
   Span(const Telemetry* telemetry, std::string_view name);
+  Span(const Telemetry* telemetry, std::string_view name, SpanOptions options);
   ~Span();
 
   Span(const Span&) = delete;
@@ -82,6 +114,22 @@ class Span {
   std::uint64_t parent_id_ = 0;
   std::uint32_t depth_ = 0;
   std::uint64_t start_us_ = 0;
+  std::vector<Field> extra_fields_;
 };
+
+/// Records an externally-timed span -- one whose start and end are two
+/// protocol messages rather than one C++ scope (the dispatcher's
+/// serve.lease spans) -- into the buffer and event sink exactly as a
+/// scoped Span would. No interaction with the per-thread nesting stack.
+void emit_manual_span(const Telemetry* telemetry, std::string_view name,
+                      std::uint64_t id, std::uint64_t parent_id,
+                      std::uint64_t start_us, std::uint64_t duration_us,
+                      std::vector<Field> fields = {});
+
+/// Publishes the span buffer's occupancy and drop-oldest eviction count as
+/// gauges (obs.spans.buffered / obs.spans.dropped) so they surface in the
+/// metrics JSON snapshot and `campaign top`. No-op unless the bundle has
+/// both a span buffer and a metrics registry.
+void publish_span_stats(const Telemetry* telemetry);
 
 }  // namespace propane::obs

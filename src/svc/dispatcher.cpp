@@ -19,6 +19,7 @@
 
 #include "common/contracts.hpp"
 #include "obs/clock.hpp"
+#include "obs/span.hpp"
 #include "obs/telemetry.hpp"
 #include "store/record_codec.hpp"
 #include "store/sharded_writer.hpp"
@@ -38,7 +39,26 @@ struct WorkerProc {
   bool hello = false;
   bool alive = false;
   std::optional<LeaseGrant> lease;
+  /// Trace context of the outstanding lease: the dispatcher-side span id
+  /// sent on the wire (the worker parents under it and echoes it back) and
+  /// the grant time, so completion/death can close the serve.lease span.
+  std::uint64_t lease_span_id = 0;
+  std::uint64_t lease_start_us = 0;
 };
+
+/// Campaign-wide trace id: one splitmix64 step over pid + serve start
+/// time. Not cryptographic -- it only needs to keep two serves' traces
+/// from colliding in a merged view.
+std::uint64_t derive_trace_id(std::uint64_t wall_start_us) {
+  std::uint64_t x = (static_cast<std::uint64_t>(::getpid()) << 40) ^
+                    wall_start_us ^ 0x9E3779B97F4A7C15ull;
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x != 0 ? x : 1;
+}
 
 /// A range waiting to be leased; `rescan` marks requeued ranges whose runs
 /// may already be partially journaled by a dead worker.
@@ -233,6 +253,11 @@ ServeSummary serve_campaign(const fi::CampaignConfig& config,
   obs::Counter* death_counter = obs::find_counter(telemetry, "svc.workers.died");
 
   const std::uint64_t wall_start_us = obs::steady_now_us();
+  const std::uint64_t trace_id =
+      telemetry != nullptr ? derive_trace_id(wall_start_us) : 0;
+  // Root of the campaign trace; every serve.lease span parents under it.
+  obs::Span serve_span(telemetry, "campaign.serve",
+                       obs::SpanOptions{0, {{"trace_id", obs::Value(trace_id)}}});
   ServeSummary summary;
   summary.total_runs = total;
   std::filesystem::create_directories(dir);
@@ -287,8 +312,20 @@ ServeSummary serve_campaign(const fi::CampaignConfig& config,
       ++summary.leases_requeued;
       if (requeued_counter != nullptr) requeued_counter->add(1);
       fields.push_back({"requeued_lease", obs::Value(lease.lease_id)});
+      // Close the lease span at death time: the worker will never echo it,
+      // and a trace with an unterminated span hides exactly the interval a
+      // postmortem needs to see.
+      obs::emit_manual_span(
+          telemetry, "serve.lease", worker.lease_span_id, serve_span.id(),
+          worker.lease_start_us,
+          obs::steady_now_us() - worker.lease_start_us,
+          {{"lease_id", obs::Value(lease.lease_id)},
+           {"worker_id", obs::Value(worker.id)},
+           {"requeued", obs::Value(true)}});
       worker.lease.reset();
+      worker.lease_span_id = 0;
     }
+    fields.push_back({"pending", obs::Value(pending.size())});
     obs::emit_event(telemetry, "serve.worker.death", std::move(fields));
   };
 
@@ -307,6 +344,10 @@ ServeSummary serve_campaign(const fi::CampaignConfig& config,
     // worker's pipe requeues the range through the normal death path.
     lease_log.grant(lease);
     worker.lease = lease;
+    worker.lease_span_id = (telemetry != nullptr && telemetry->spans != nullptr)
+                               ? telemetry->spans->next_id()
+                               : 0;
+    worker.lease_start_us = obs::steady_now_us();
     ++outstanding;
     ++summary.leases_granted;
     if (granted_counter != nullptr) granted_counter->add(1);
@@ -315,10 +356,13 @@ ServeSummary serve_campaign(const fi::CampaignConfig& config,
                      {"begin", obs::Value(lease.begin)},
                      {"end", obs::Value(lease.end)},
                      {"worker_id", obs::Value(worker.id)},
-                     {"rescan", obs::Value(lease.rescan)}});
+                     {"rescan", obs::Value(lease.rescan)},
+                     {"span_id", obs::Value(worker.lease_span_id)},
+                     {"pending", obs::Value(pending.size())}});
     if (!write_line(worker.to_fd,
                     format_wire(LeaseMsg{lease.lease_id, lease.begin,
-                                         lease.end, lease.rescan}))) {
+                                         lease.end, lease.rescan, trace_id,
+                                         worker.lease_span_id}))) {
       handle_death(worker);
       return;
     }
@@ -338,9 +382,12 @@ ServeSummary serve_campaign(const fi::CampaignConfig& config,
     }
     if (const HelloMsg* hello = std::get_if<HelloMsg>(&*message)) {
       worker.hello = true;
+      // worker_steady_us is the clock-offset handshake: this event's t_us
+      // is the dispatcher-side receipt time `campaign trace` pairs it with.
       obs::emit_event(telemetry, "serve.worker.hello",
                       {{"worker_id", obs::Value(hello->worker_id)},
-                       {"pid", obs::Value(hello->pid)}});
+                       {"pid", obs::Value(hello->pid)},
+                       {"worker_steady_us", obs::Value(hello->steady_us)}});
       return;
     }
     if (const DoneMsg* done = std::get_if<DoneMsg>(&*message)) {
@@ -359,11 +406,21 @@ ServeSummary serve_campaign(const fi::CampaignConfig& config,
       summary.executed += done->executed;
       summary.diverged += done->diverged;
       if (completed_counter != nullptr) completed_counter->add(1);
+      obs::emit_manual_span(
+          telemetry, "serve.lease", worker.lease_span_id, serve_span.id(),
+          worker.lease_start_us,
+          obs::steady_now_us() - worker.lease_start_us,
+          {{"lease_id", obs::Value(done->lease_id)},
+           {"worker_id", obs::Value(worker.id)},
+           {"executed", obs::Value(done->executed)}});
       obs::emit_event(telemetry, "serve.lease.complete",
                       {{"lease_id", obs::Value(done->lease_id)},
                        {"worker_id", obs::Value(worker.id)},
                        {"executed", obs::Value(done->executed)},
-                       {"diverged", obs::Value(done->diverged)}});
+                       {"diverged", obs::Value(done->diverged)},
+                       {"span_id", obs::Value(worker.lease_span_id)},
+                       {"pending", obs::Value(pending.size())}});
+      worker.lease_span_id = 0;
       if (estimator.enabled() && options.partial_estimate_every > 0 &&
           summary.leases_completed % options.partial_estimate_every == 0) {
         estimator.poll_and_emit();
@@ -466,8 +523,11 @@ ServeSummary serve_campaign(const fi::CampaignConfig& config,
   }
   summary.wall_seconds =
       static_cast<double>(obs::steady_now_us() - wall_start_us) / 1e6;
+  summary.trace_id = trace_id;
   obs::emit_event(telemetry, "serve.done",
-                  {{"total_runs", obs::Value(summary.total_runs)},
+                  {{"trace_id", obs::Value(trace_id)},
+                   {"pid", obs::Value(::getpid())},
+                   {"total_runs", obs::Value(summary.total_runs)},
                    {"leases_granted", obs::Value(summary.leases_granted)},
                    {"leases_completed", obs::Value(summary.leases_completed)},
                    {"leases_requeued", obs::Value(summary.leases_requeued)},

@@ -94,6 +94,9 @@ struct ServeSummary {
   /// is off.
   std::uint64_t estimated_runs = 0;
   double wall_seconds = 0.0;
+  /// Campaign-wide trace id (0 when telemetry is disabled); `campaign
+  /// trace` stitches every process's stream under it.
+  std::uint64_t trace_id = 0;
   std::filesystem::path lease_log_path;
 };
 

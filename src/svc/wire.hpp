@@ -6,17 +6,31 @@
 // strings), and free of any framing state beyond '\n'.
 //
 //   worker -> dispatcher:
-//     HELLO <worker_id> <pid>
-//     DONE  <lease_id> <executed> <diverged>
-//     FAIL  <lease_id> <message...>
+//     HELLO <worker_id> <pid> <steady_us>
+//     DONE  <lease_id> <executed> <diverged> <span_id>
+//     FAIL  <lease_id> <span_id> <message...>
 //   dispatcher -> worker:
-//     LEASE <lease_id> <begin> <end> <rescan01>
+//     LEASE <lease_id> <begin> <end> <rescan01> <trace_id> <span_id>
 //     SHUTDOWN
 //
-// The protocol carries *work identity only* (flat run-index ranges). All
-// campaign content -- config, seeds, records -- lives in the journal
-// directory and the worker's own scale arguments, so a malformed or lost
-// message can at worst stall progress, never corrupt a result.
+// Trace context rides the same lines: LEASE carries the campaign trace id
+// and the dispatcher's lease span id, which the worker parents its own
+// spans under and echoes on DONE/FAIL; HELLO carries the worker's
+// steady-clock reading so the dispatcher's receipt time dates the offset
+// between the two process-local clocks (obs/clock.hpp epochs are
+// per-process). All trace fields are optional on parse and default to 0.
+//
+// Forward compatibility: fixed-field messages ignore unknown *trailing*
+// tokens, so a newer peer may append fields without desyncing an older
+// one. The known optional fields must still parse if present. FAIL is the
+// exception -- its final field is free text, so it can never grow trailing
+// fields; its span id therefore sits *before* the message.
+//
+// The protocol carries *work identity plus trace identity only* (flat
+// run-index ranges and span ids). All campaign content -- config, seeds,
+// records -- lives in the journal directory and the worker's own scale
+// arguments, so a malformed or lost message can at worst stall progress,
+// never corrupt a result.
 #pragma once
 
 #include <cstdint>
@@ -30,6 +44,10 @@ namespace propane::svc {
 struct HelloMsg {
   std::uint32_t worker_id = 0;
   std::int64_t pid = 0;
+  /// The worker's obs::steady_now_us() at send time; the dispatcher pairs
+  /// it with its own receipt time to estimate the clock offset used when
+  /// merging the two processes' telemetry into one trace.
+  std::uint64_t steady_us = 0;
   bool operator==(const HelloMsg&) const = default;
 };
 
@@ -41,6 +59,11 @@ struct LeaseMsg {
   /// may already hold some of its runs (appended by the dead worker), so
   /// the receiving worker must re-scan the directory before executing.
   bool rescan = false;
+  /// Campaign-wide trace id (one per serve) and the dispatcher's span id
+  /// for this lease; the worker's lease span declares span_id its parent.
+  /// 0 = dispatcher telemetry disabled.
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
   bool operator==(const LeaseMsg&) const = default;
 };
 
@@ -48,12 +71,18 @@ struct DoneMsg {
   std::uint64_t lease_id = 0;
   std::uint64_t executed = 0;
   std::uint64_t diverged = 0;
+  std::uint64_t span_id = 0;  // echo of the lease's span id
   bool operator==(const DoneMsg&) const = default;
 };
 
 struct FailMsg {
   std::uint64_t lease_id = 0;
-  std::string message;  // single line; '\n' forbidden by construction
+  std::uint64_t span_id = 0;  // echo of the lease's span id
+  /// Single line of printable text: format_wire flattens control
+  /// characters to spaces, parse_wire rejects any that slip through (an
+  /// embedded '\n' would desync the line framing; other control bytes are
+  /// trouble for logs and terminals downstream).
+  std::string message;
   bool operator==(const FailMsg&) const = default;
 };
 
@@ -69,8 +98,10 @@ std::string format_wire(const WireMessage& message);
 
 /// Parses one line (no trailing '\n'). Returns nullopt for anything that is
 /// not a well-formed message -- unknown verb, missing or non-numeric field,
-/// trailing garbage. Callers treat nullopt as a protocol error from a
-/// misbehaving peer, not as data corruption.
+/// or a FAIL message containing control characters. Unknown trailing tokens
+/// on fixed-field messages are ignored (see the header comment). Callers
+/// treat nullopt as a protocol error from a misbehaving peer, not as data
+/// corruption.
 std::optional<WireMessage> parse_wire(std::string_view line);
 
 }  // namespace propane::svc

@@ -9,6 +9,8 @@
 #include <utility>
 #include <variant>
 
+#include "obs/clock.hpp"
+#include "obs/span.hpp"
 #include "obs/telemetry.hpp"
 #include "store/campaign_session.hpp"
 #include "svc/wire.hpp"
@@ -64,14 +66,19 @@ int run_worker_loop(const fi::CampaignRunner& runner,
     session.reset();
   };
 
-  send(out, HelloMsg{worker.worker_id, current_pid()});
+  // HELLO stamps our steady clock: the dispatcher's receipt time dates the
+  // offset between its epoch and ours, which `campaign trace` uses to put
+  // both processes' telemetry on one timeline.
+  send(out,
+       HelloMsg{worker.worker_id, current_pid(), obs::steady_now_us()});
+  const obs::Telemetry* telemetry = worker.journal.telemetry;
 
   std::string line;
   while (std::getline(in, line)) {
     if (!line.empty() && line.back() == '\r') line.pop_back();
     const std::optional<WireMessage> message = parse_wire(line);
     if (!message.has_value()) {
-      send(out, FailMsg{0, "malformed dispatcher line: " + line});
+      send(out, FailMsg{0, 0, "malformed dispatcher line: " + line});
       return 1;
     }
     if (std::holds_alternative<ShutdownMsg>(*message)) {
@@ -81,10 +88,25 @@ int run_worker_loop(const fi::CampaignRunner& runner,
     }
     const LeaseMsg* lease = std::get_if<LeaseMsg>(&*message);
     if (lease == nullptr) {
-      send(out, FailMsg{0, "unexpected dispatcher message: " + line});
+      send(out, FailMsg{0, 0, "unexpected dispatcher message: " + line});
       return 1;
     }
+    std::uint64_t lease_span_id = 0;
     try {
+      // The whole lease -- directory rescan included -- runs under one
+      // span parented on the dispatcher's serve.lease span id from the
+      // wire, stitching this process into the campaign trace.
+      obs::Span lease_span(
+          telemetry, "worker.lease",
+          obs::SpanOptions{
+              lease->span_id,
+              {{"lease_id", obs::Value(lease->lease_id)},
+               {"worker_id", obs::Value(worker.worker_id)},
+               {"trace_id", obs::Value(lease->trace_id)},
+               {"begin", obs::Value(lease->begin)},
+               {"end", obs::Value(lease->end)},
+               {"rescan", obs::Value(lease->rescan)}}});
+      lease_span_id = lease_span.id();
       if (lease->rescan) {
         // The range may hold runs a dead worker already journaled; drop
         // both session and executor so the fresh scan filters them.
@@ -123,9 +145,9 @@ int run_worker_loop(const fi::CampaignRunner& runner,
       tally.diverged += diverged;
       // Every record of the range is flushed to a shard (the session's
       // on_record is the durability point), so DONE is safe to send.
-      send(out, DoneMsg{lease->lease_id, executed, diverged});
+      send(out, DoneMsg{lease->lease_id, executed, diverged, lease_span_id});
     } catch (const std::exception& error) {
-      send(out, FailMsg{lease->lease_id, error.what()});
+      send(out, FailMsg{lease->lease_id, lease_span_id, error.what()});
       return 1;
     }
   }

@@ -1,0 +1,144 @@
+// Crash flight recorder: mmap ring round-trip, wraparound, the clean-exit
+// flag, oversized-line truncation, and the reader's refusal to trust
+// garbage files. Every test works through the public read path
+// (read_flight_recording), the same one `campaign trace --postmortem`
+// uses.
+#include "obs/flight.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/telemetry.hpp"
+
+namespace propane::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+class FlightTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("propane-flight-" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+std::string line_for(int i) {
+  return "{\"event\":\"x\",\"n\":" + std::to_string(i) + "}";
+}
+
+TEST_F(FlightTest, RoundTripsLinesInEmissionOrder) {
+  const fs::path path = dir_ / "flight-w3.bin";
+  {
+    FlightRecorder recorder(path, 3);
+    for (int i = 0; i < 5; ++i) recorder.record_line(line_for(i));
+    EXPECT_EQ(recorder.recorded(), 5u);
+  }  // destroyed WITHOUT mark_clean_exit: reads back as a crash
+  const auto recording = read_flight_recording(path);
+  ASSERT_TRUE(recording.has_value());
+  EXPECT_EQ(recording->worker_id, 3u);
+  EXPECT_FALSE(recording->clean_exit);
+  EXPECT_EQ(recording->last_seq, 5u);
+  EXPECT_EQ(recording->dropped_slots, 0u);
+  ASSERT_EQ(recording->lines.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(recording->lines[i], line_for(static_cast<int>(i)));
+  }
+  EXPECT_NE(recording->pid, 0u);
+}
+
+TEST_F(FlightTest, RingKeepsOnlyTheNewestSlotCountLines) {
+  const fs::path path = dir_ / "flight-w0.bin";
+  {
+    FlightRecorder recorder(path, 0, /*slot_count=*/4);
+    for (int i = 0; i < 10; ++i) recorder.record_line(line_for(i));
+  }
+  const auto recording = read_flight_recording(path);
+  ASSERT_TRUE(recording.has_value());
+  EXPECT_EQ(recording->last_seq, 10u);
+  ASSERT_EQ(recording->lines.size(), 4u);
+  // Oldest first, and only the final four survive the wrap.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(recording->lines[i], line_for(static_cast<int>(6 + i)));
+  }
+}
+
+TEST_F(FlightTest, MarkCleanExitSetsTheHeaderFlag) {
+  const fs::path path = dir_ / "flight-w1.bin";
+  {
+    FlightRecorder recorder(path, 1);
+    recorder.record_line(line_for(0));
+    recorder.mark_clean_exit();
+  }
+  const auto recording = read_flight_recording(path);
+  ASSERT_TRUE(recording.has_value());
+  EXPECT_TRUE(recording->clean_exit);
+}
+
+TEST_F(FlightTest, OversizedLinesAreTruncatedAndDroppedOnRead) {
+  const fs::path path = dir_ / "flight-w2.bin";
+  {
+    FlightRecorder recorder(path, 2, /*slot_count=*/8, /*slot_size=*/64);
+    // Payload room is slot_size - 16 = 48 bytes; this JSON line is far
+    // longer, so the stored copy is truncated mid-string and cannot parse.
+    recorder.record_line("{\"event\":\"big\",\"payload\":\"" +
+                         std::string(200, 'z') + "\"}");
+    recorder.record_line(line_for(1));
+  }
+  const auto recording = read_flight_recording(path);
+  ASSERT_TRUE(recording.has_value());
+  EXPECT_EQ(recording->dropped_slots, 1u);
+  ASSERT_EQ(recording->lines.size(), 1u);
+  EXPECT_EQ(recording->lines[0], line_for(1));
+}
+
+TEST_F(FlightTest, ReaderRejectsMissingShortAndWrongMagicFiles) {
+  EXPECT_FALSE(read_flight_recording(dir_ / "absent.bin").has_value());
+
+  const fs::path short_file = dir_ / "short.bin";
+  std::ofstream(short_file) << "tiny";
+  EXPECT_FALSE(read_flight_recording(short_file).has_value());
+
+  const fs::path bad_magic = dir_ / "bad-magic.bin";
+  std::ofstream(bad_magic) << std::string(kFlightHeaderBytes + 512, '\0');
+  EXPECT_FALSE(read_flight_recording(bad_magic).has_value());
+}
+
+TEST_F(FlightTest, FlightSinkAndTeeSinkMirrorTheNdjsonStream) {
+  const fs::path path = dir_ / "flight-w7.bin";
+  std::ostringstream ndjson;
+  {
+    FlightRecorder recorder(path, 7);
+    FlightSink flight(recorder);
+    NdjsonSink file(ndjson);
+    TeeSink tee(&file, &flight);
+    Telemetry telemetry;
+    telemetry.events = &tee;
+    emit_event(&telemetry, "worker.start",
+               {{"worker_id", Value(std::uint64_t{7})}});
+    tee.flush();
+  }
+  const auto recording = read_flight_recording(path);
+  ASSERT_TRUE(recording.has_value());
+  ASSERT_EQ(recording->lines.size(), 1u);
+  // The ring stores the very bytes the NDJSON stream got (minus '\n').
+  const std::string stream_line =
+      ndjson.str().substr(0, ndjson.str().find('\n'));
+  EXPECT_EQ(recording->lines[0], stream_line);
+  EXPECT_NE(recording->lines[0].find("\"worker.start\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace propane::obs

@@ -1,0 +1,232 @@
+// Merged Chrome-trace export: torn-line-tolerant stream parsing, HELLO
+// clock-offset recovery, and the render pass -- span X events with the
+// cross-process parent chain in args, synthesized run/batch spans parented
+// by lease containment, counter tracks, instants and metadata rows.
+#include "obs/trace_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace propane::obs {
+namespace {
+
+std::vector<Field> event_row(std::string name,
+                             std::vector<Field> extra = {}) {
+  std::vector<Field> row = {{"event", Value(std::move(name))}};
+  for (Field& field : extra) row.push_back(std::move(field));
+  return row;
+}
+
+TEST(ParseNdjsonStream, CountsTornLinesInsteadOfFailing) {
+  std::istringstream in(
+      "{\"event\":\"a\",\"t_us\":1}\n"
+      "\n"
+      "{\"event\":\"b\",\"t_us\":2}\n"
+      "{\"event\":\"torn\",\"t_us\":3");  // killed writer: no closing brace
+  std::vector<std::vector<Field>> rows;
+  EXPECT_EQ(parse_ndjson_stream(in, rows), 1u);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0].value.as_string(), "a");
+  EXPECT_EQ(rows[1][0].value.as_string(), "b");
+}
+
+TEST(HelloClockOffsets, DatesWorkerClocksAgainstTheDispatcher) {
+  TraceStream dispatcher;
+  dispatcher.events.push_back(event_row(
+      "serve.worker.hello", {{"worker_id", Value(std::uint64_t{0})},
+                             {"t_us", Value(std::uint64_t{5000})},
+                             {"worker_steady_us", Value(std::uint64_t{40})}}));
+  dispatcher.events.push_back(event_row(
+      "serve.worker.hello", {{"worker_id", Value(std::uint64_t{1})},
+                             {"t_us", Value(std::uint64_t{9000})},
+                             {"worker_steady_us", Value(std::uint64_t{25})}}));
+  // A pre-trace-context hello (no worker_steady_us) contributes nothing.
+  dispatcher.events.push_back(event_row(
+      "serve.worker.hello", {{"worker_id", Value(std::uint64_t{2})},
+                             {"t_us", Value(std::uint64_t{9500})}}));
+  const auto offsets = hello_clock_offsets(dispatcher);
+  ASSERT_EQ(offsets.size(), 2u);
+  EXPECT_EQ(offsets.at(0), 4960);
+  EXPECT_EQ(offsets.at(1), 8975);
+  EXPECT_EQ(offsets.count(2), 0u);
+}
+
+TEST(HelloClockOffsets, ShiftsByTheDispatcherOwnOffset) {
+  TraceStream dispatcher;
+  dispatcher.clock_offset_us = 100;
+  dispatcher.events.push_back(event_row(
+      "serve.worker.hello", {{"worker_id", Value(std::uint64_t{0})},
+                             {"t_us", Value(std::uint64_t{1000})},
+                             {"worker_steady_us", Value(std::uint64_t{10})}}));
+  EXPECT_EQ(hello_clock_offsets(dispatcher).at(0), 1090);
+}
+
+TEST(WriteChromeTrace, RendersSpansWithTheCrossProcessParentChain) {
+  TraceStream worker;
+  worker.name = "w0";
+  worker.pid = 4242;
+  worker.clock_offset_us = 1000;
+  worker.events.push_back(event_row(
+      "span", {{"name", Value("worker.lease")},
+               {"id", Value(std::uint64_t{77})},
+               {"parent_id", Value(std::uint64_t{5})},
+               {"tid", Value(std::uint64_t{1})},
+               {"start_us", Value(std::uint64_t{100})},
+               {"dur_us", Value(std::uint64_t{900})},
+               {"t_us", Value(std::uint64_t{1000})},
+               {"lease_id", Value(std::uint64_t{3})}}));
+  std::ostringstream out;
+  const TraceExportSummary summary = write_chrome_trace(out, {worker});
+  const std::string trace = out.str();
+
+  EXPECT_EQ(summary.spans, 1u);
+  EXPECT_EQ(summary.trace_events, 2u);  // process_name M + the X event
+  EXPECT_NE(trace.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(trace.find("\"traceEvents\":["), std::string::npos);
+  // Process metadata names the track.
+  EXPECT_NE(trace.find("\"ph\":\"M\",\"name\":\"process_name\",\"pid\":4242"),
+            std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"w0\""), std::string::npos);
+  // The span renders as a complete event at the clock-shifted start, with
+  // the wire parent and pass-through fields in args.
+  EXPECT_NE(trace.find("\"ph\":\"X\",\"name\":\"worker.lease\""),
+            std::string::npos);
+  EXPECT_NE(trace.find("\"ts\":1100,\"dur\":900"), std::string::npos);
+  EXPECT_NE(trace.find("\"span_id\":77"), std::string::npos);
+  EXPECT_NE(trace.find("\"parent_span_id\":5"), std::string::npos);
+  EXPECT_NE(trace.find("\"lease_id\":3"), std::string::npos);
+}
+
+TEST(WriteChromeTrace, ParentsSynthesizedRunsByLeaseContainment) {
+  TraceStream worker;
+  worker.name = "w1";
+  worker.pid = 7;
+  worker.events.push_back(event_row(
+      "span", {{"name", Value("worker.lease")},
+               {"id", Value(std::uint64_t{55})},
+               {"start_us", Value(std::uint64_t{1000})},
+               {"dur_us", Value(std::uint64_t{4000})}}));
+  // Inside the lease window: adopted.
+  worker.events.push_back(event_row(
+      "campaign.run.end", {{"t_us", Value(std::uint64_t{3000})},
+                           {"dur_us", Value(std::uint64_t{100})},
+                           {"kind", Value("faulty")}}));
+  // Outside any lease: synthesized without a parent.
+  worker.events.push_back(event_row(
+      "campaign.run.end", {{"t_us", Value(std::uint64_t{9000})},
+                           {"dur_us", Value(std::uint64_t{50})}}));
+  worker.events.push_back(event_row(
+      "campaign.batch.done", {{"t_us", Value(std::uint64_t{4000})},
+                              {"dur_us", Value(std::uint64_t{200})},
+                              {"lanes", Value(std::uint64_t{16})}}));
+  std::ostringstream out;
+  const TraceExportSummary summary = write_chrome_trace(out, {worker});
+  const std::string trace = out.str();
+
+  EXPECT_EQ(summary.synthesized, 3u);
+  // Runs and batches land on their virtual tracks, named via metadata.
+  EXPECT_NE(trace.find("\"name\":\"campaign.run\",\"pid\":7,\"tid\":99"),
+            std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"campaign.batch\",\"pid\":7,\"tid\":98"),
+            std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"runs\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"batches\""), std::string::npos);
+  // The contained run (and batch) carry the lease span as parent; the
+  // orphan run must not.
+  EXPECT_NE(trace.find("\"ts\":2900,\"dur\":100,\"args\":{\"kind\":\"faulty\","
+                       "\"flat\":0,\"parent_span_id\":55}"),
+            std::string::npos);
+  EXPECT_NE(trace.find("\"parent_span_id\":55}"), std::string::npos);
+  const std::size_t orphan = trace.find("\"ts\":8950,\"dur\":50");
+  ASSERT_NE(orphan, std::string::npos);
+  const std::size_t orphan_end = trace.find('\n', orphan);
+  EXPECT_EQ(trace.substr(orphan, orphan_end - orphan).find("parent_span_id"),
+            std::string::npos);
+}
+
+TEST(WriteChromeTrace, FallsBackToDispatcherLeaseWhenTheWorkerSpanIsLost) {
+  // A worker SIGKILLed mid-lease never emits its worker.lease span; its
+  // flight-recovered runs must still parent to the dispatcher's
+  // serve.lease span, which the dispatcher closes on detecting the death.
+  TraceStream dispatcher;
+  dispatcher.name = "dispatcher";
+  dispatcher.pid = 1;
+  dispatcher.events.push_back(event_row(
+      "span", {{"name", Value("serve.lease")},
+               {"id", Value(std::uint64_t{12})},
+               {"start_us", Value(std::uint64_t{1000})},
+               {"dur_us", Value(std::uint64_t{8000})}}));
+  TraceStream worker;
+  worker.name = "w0";
+  worker.pid = 2;
+  worker.clock_offset_us = 500;  // HELLO-aligned onto dispatcher time
+  worker.events.push_back(event_row(
+      "campaign.run.end", {{"t_us", Value(std::uint64_t{2000})},
+                           {"dur_us", Value(std::uint64_t{100})}}));
+  std::ostringstream out;
+  write_chrome_trace(out, {dispatcher, worker});
+  const std::string trace = out.str();
+
+  // Aligned run ts 2500 falls inside the dispatcher lease [1000, 9000].
+  EXPECT_NE(trace.find("\"ts\":2400,\"dur\":100,\"args\":{\"kind\":\"run\","
+                       "\"flat\":0,\"parent_span_id\":12}"),
+            std::string::npos);
+}
+
+TEST(WriteChromeTrace, EmitsCounterTracksAndInstants) {
+  TraceStream dispatcher;
+  dispatcher.name = "dispatcher";
+  dispatcher.pid = 1;
+  dispatcher.events.push_back(event_row(
+      "serve.lease.grant", {{"t_us", Value(std::uint64_t{100})},
+                            {"pending", Value(std::uint64_t{9})}}));
+  dispatcher.events.push_back(event_row(
+      "serve.partial_estimate",
+      {{"t_us", Value(std::uint64_t{200})},
+       {"runs_covered", Value(std::uint64_t{64})}}));
+  dispatcher.events.push_back(event_row(
+      "serve.lease.complete", {{"t_us", Value(std::uint64_t{300})},
+                               {"executed", Value(std::uint64_t{50})}}));
+  dispatcher.events.push_back(event_row(
+      "serve.lease.complete", {{"t_us", Value(std::uint64_t{500})},
+                               {"executed", Value(std::uint64_t{30})}}));
+  dispatcher.events.push_back(event_row(
+      "metric", {{"t_us", Value(std::uint64_t{600})},
+                 {"kind", Value("counter")},
+                 {"name", Value("batch.kernel.ticks")},
+                 {"value", Value(std::uint64_t{1234})}}));
+  dispatcher.events.push_back(
+      event_row("run.start", {{"t_us", Value(std::uint64_t{50})}}));
+  std::ostringstream out;
+  const TraceExportSummary summary = write_chrome_trace(out, {dispatcher});
+  const std::string trace = out.str();
+
+  EXPECT_NE(trace.find("\"ph\":\"C\",\"name\":\"serve.pending_ranges\""),
+            std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"C\",\"name\":\"serve.runs_covered\""),
+            std::string::npos);
+  // runs_done samples at both completions; runs_per_s needs a prior
+  // completion to compute a rate, so only the second emits one.
+  EXPECT_NE(trace.find("\"name\":\"serve.runs_done\",\"pid\":1,\"tid\":0,"
+                       "\"ts\":300,\"args\":{\"value\":50}"),
+            std::string::npos);
+  EXPECT_NE(trace.find("\"args\":{\"value\":80}"), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"serve.runs_per_s\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"C\",\"name\":\"metric.batch.kernel.ticks\""),
+            std::string::npos);
+  // serve.* lifecycle events double as instants; per-run noise does not.
+  EXPECT_NE(trace.find("\"ph\":\"i\",\"name\":\"serve.lease.grant\""),
+            std::string::npos);
+  EXPECT_EQ(trace.find("run.start"), std::string::npos);
+  EXPECT_EQ(summary.instants, 4u);  // grant + partial + 2x complete
+  EXPECT_GE(summary.counter_samples, 6u);
+  EXPECT_EQ(summary.spans, 0u);
+  EXPECT_EQ(summary.synthesized, 0u);
+}
+
+}  // namespace
+}  // namespace propane::obs

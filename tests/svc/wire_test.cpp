@@ -1,11 +1,13 @@
 // Wire-protocol round-trip and rejection tests (svc/wire.hpp). The
 // protocol is one line per message; parse(format(m)) must reproduce m
-// exactly, and anything else must parse to nullopt rather than a
-// half-understood message.
+// exactly, anything malformed must parse to nullopt rather than a
+// half-understood message, and unknown *trailing* tokens on fixed-field
+// messages must be ignored (forward compatibility with newer peers).
 #include "svc/wire.hpp"
 
 #include <gtest/gtest.h>
 
+#include <random>
 #include <string>
 #include <variant>
 #include <vector>
@@ -15,11 +17,14 @@ namespace {
 
 TEST(Wire, RoundTripsEveryMessageType) {
   const std::vector<WireMessage> messages = {
-      HelloMsg{3, 12345},
-      LeaseMsg{7, 0, 250, false},
-      LeaseMsg{8, 250, 500, true},
-      DoneMsg{7, 250, 41},
-      FailMsg{9, "journal manifest mismatch (out/j): expected plan ..."},
+      HelloMsg{3, 12345, 0},
+      HelloMsg{4, 999, 187654321},
+      LeaseMsg{7, 0, 250, false, 0, 0},
+      LeaseMsg{8, 250, 500, true, 0xDEADBEEF12345678ull, 42},
+      DoneMsg{7, 250, 41, 0},
+      DoneMsg{8, 250, 41, 42},
+      FailMsg{9, 0, "journal manifest mismatch (out/j): expected plan ..."},
+      FailMsg{9, 42, ""},
       ShutdownMsg{},
   };
   for (const WireMessage& message : messages) {
@@ -31,19 +36,68 @@ TEST(Wire, RoundTripsEveryMessageType) {
   }
 }
 
-TEST(Wire, FailMessageSurvivesSpacesAndFlattensNewlines) {
+TEST(Wire, TraceFieldsAreOptionalOnParse) {
+  // Lines from a peer predating the trace context still parse, with the
+  // trace fields defaulting to zero.
+  const auto hello = parse_wire("HELLO 3 12345");
+  ASSERT_TRUE(hello.has_value());
+  EXPECT_TRUE(std::get<HelloMsg>(*hello) == (HelloMsg{3, 12345, 0}));
+
+  const auto lease = parse_wire("LEASE 7 0 250 0");
+  ASSERT_TRUE(lease.has_value());
+  EXPECT_TRUE(std::get<LeaseMsg>(*lease) == (LeaseMsg{7, 0, 250, false, 0, 0}));
+
+  const auto done = parse_wire("DONE 7 250 41");
+  ASSERT_TRUE(done.has_value());
+  EXPECT_TRUE(std::get<DoneMsg>(*done) == (DoneMsg{7, 250, 41, 0}));
+}
+
+TEST(Wire, IgnoresUnknownTrailingTokens) {
+  // A future peer may append fields this version has never heard of; the
+  // known prefix must still parse (FAIL excepted -- free-text tail).
+  const auto hello = parse_wire("HELLO 1 2 3 future 9");
+  ASSERT_TRUE(hello.has_value());
+  EXPECT_TRUE(std::get<HelloMsg>(*hello) == (HelloMsg{1, 2, 3}));
+
+  const auto lease = parse_wire("LEASE 1 0 10 0 5 6 opaque");
+  ASSERT_TRUE(lease.has_value());
+  EXPECT_TRUE(std::get<LeaseMsg>(*lease) == (LeaseMsg{1, 0, 10, false, 5, 6}));
+
+  const auto done = parse_wire("DONE 1 2 3 4 5");
+  ASSERT_TRUE(done.has_value());
+  EXPECT_TRUE(std::get<DoneMsg>(*done) == (DoneMsg{1, 2, 3, 4}));
+
+  EXPECT_TRUE(parse_wire("SHUTDOWN now").has_value());
+}
+
+TEST(Wire, FailMessageSurvivesSpacesAndFlattensControlChars) {
   const auto parsed =
-      parse_wire(format_wire(FailMsg{2, "first line\nsecond line"}));
+      parse_wire(format_wire(FailMsg{2, 7, "first line\nsecond\tline\x01!"}));
   ASSERT_TRUE(parsed.has_value());
   const FailMsg& fail = std::get<FailMsg>(*parsed);
   EXPECT_EQ(fail.lease_id, 2u);
-  EXPECT_EQ(fail.message, "first line second line");
+  EXPECT_EQ(fail.span_id, 7u);
+  EXPECT_EQ(fail.message, "first line second line !");
 }
 
 TEST(Wire, EmptyFailMessageRoundTrips) {
-  const auto parsed = parse_wire("FAIL 5 ");
+  const auto parsed = parse_wire("FAIL 5 0 ");
   ASSERT_TRUE(parsed.has_value());
   EXPECT_EQ(std::get<FailMsg>(*parsed).message, "");
+}
+
+TEST(Wire, RejectsControlCharactersInFailMessage) {
+  // A peer that skipped format_wire's flattening must not desync or poison
+  // the log: embedded control bytes are a protocol error.
+  const char* bad[] = {
+      "FAIL 1 0 oops\ttab",
+      "FAIL 1 0 bell\x07!",
+      "FAIL 1 0 \x1b[31mred\x1b[0m",
+      "FAIL 1 0 split\rline",
+  };
+  for (const char* line : bad) {
+    EXPECT_FALSE(parse_wire(line).has_value()) << "'" << line << "'";
+  }
 }
 
 TEST(Wire, RejectsMalformedLines) {
@@ -52,21 +106,55 @@ TEST(Wire, RejectsMalformedLines) {
       "NOP",
       "HELLO",                  // missing fields
       "HELLO 1",                // missing pid
-      "HELLO 1 2 3",            // trailing garbage
       "HELLO one 2",            // non-numeric
+      "HELLO 1 2 x",            // known optional field must be numeric
       "LEASE 1 0 10",           // missing rescan
       "LEASE 1 0 10 2",         // rescan out of range
-      "LEASE 1 0 10 0 extra",   // trailing garbage
+      "LEASE 1 0 10 0 x",       // non-numeric trace id
+      "LEASE 1 0 10 0 5 x",     // non-numeric span id
       "DONE 1 2",               // missing diverged
-      "DONE 1 2 3 4",           // trailing garbage
+      "DONE 1 2 3 x",           // non-numeric span id
       "FAIL",                   // missing lease id
-      "FAIL x oops",            // non-numeric lease id
-      "SHUTDOWN now",           // trailing garbage
+      "FAIL 1",                 // missing span id
+      "FAIL x 0 oops",          // non-numeric lease id
+      "FAIL 1 x oops",          // non-numeric span id
       "lease 1 0 10 0",         // verbs are case-sensitive
       "HELLO  1 2",             // doubled space makes an empty token
   };
   for (const char* line : bad) {
     EXPECT_FALSE(parse_wire(line).has_value()) << "'" << line << "'";
+  }
+}
+
+// Fuzz-ish property test: every message assembled from random field values
+// and random printable FAIL payloads must round-trip exactly. Seeded, so a
+// failure reproduces; 512 iterations keep it well under a millisecond.
+TEST(Wire, RandomizedRoundTripProperty) {
+  std::mt19937_64 rng(0xF1E2D3C4B5A69788ull);
+  const auto u64 = [&rng] { return rng(); };
+  const auto u32 = [&rng] { return static_cast<std::uint32_t>(rng()); };
+  const auto printable_payload = [&rng](std::size_t max_len) {
+    std::uniform_int_distribution<int> ch(0x20, 0x7e);  // space..tilde
+    std::uniform_int_distribution<std::size_t> len(0, max_len);
+    std::string text(len(rng), ' ');
+    for (char& c : text) c = static_cast<char>(ch(rng));
+    return text;
+  };
+
+  for (int i = 0; i < 512; ++i) {
+    std::vector<WireMessage> messages = {
+        HelloMsg{u32(), static_cast<std::int64_t>(u64() >> 1), u64()},
+        LeaseMsg{u64(), u64(), u64(), (u32() & 1) == 1, u64(), u64()},
+        DoneMsg{u64(), u64(), u64(), u64()},
+        FailMsg{u64(), u64(), printable_payload(80)},
+        ShutdownMsg{},
+    };
+    for (const WireMessage& message : messages) {
+      const std::string line = format_wire(message);
+      const auto parsed = parse_wire(line);
+      ASSERT_TRUE(parsed.has_value()) << line;
+      EXPECT_TRUE(*parsed == message) << line;
+    }
   }
 }
 

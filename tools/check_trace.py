@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Validates a merged `propane campaign trace` Chrome trace-event JSON file.
+
+Two layers of checking:
+
+  1. Schema: the file is one JSON object with displayTimeUnit/traceEvents;
+     every event carries ph/name/pid/tid, timestamps where its phase needs
+     them, a duration on complete ("X") events, a numeric args.value on
+     counter ("C") samples and a scope on instants ("i").
+
+  2. Ancestry: every synthesized campaign.run span must reach a dispatcher
+     serve.lease span by walking args.parent_span_id through the span map
+     (campaign.run -> worker.lease -> serve.lease). This is the
+     cross-process contract of the wire-propagated trace context -- if a
+     worker span ever detaches from its dispatcher lease, the trace is
+     still loadable but the campaign timeline is lies, so CI fails here.
+
+Usage: check_trace.py <trace.json>
+"""
+
+import json
+import sys
+
+VALID_PHASES = {"X", "C", "i", "M"}
+
+
+def fail(message: str) -> None:
+    print(f"check_trace: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        fail("usage: check_trace.py <trace.json>")
+    try:
+        with open(sys.argv[1], encoding="utf-8") as handle:
+            trace = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        fail(f"cannot load {sys.argv[1]}: {error}")
+
+    if trace.get("displayTimeUnit") != "ms":
+        fail("missing displayTimeUnit")
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("traceEvents missing or empty")
+
+    spans = {}  # span_id -> (name, parent_span_id)
+    runs = []
+    counts = {phase: 0 for phase in VALID_PHASES}
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        phase = event.get("ph")
+        if phase not in VALID_PHASES:
+            fail(f"{where}: unexpected phase {phase!r}")
+        counts[phase] += 1
+        for key in ("name", "pid", "tid"):
+            if key not in event:
+                fail(f"{where}: missing {key!r}")
+        if phase != "M" and not isinstance(event.get("ts"), int):
+            fail(f"{where}: non-integer ts")
+        args = event.get("args", {})
+        if phase == "X":
+            if not isinstance(event.get("dur"), int):
+                fail(f"{where}: X event without integer dur")
+            span_id = args.get("span_id")
+            if span_id:
+                spans[span_id] = (event["name"], args.get("parent_span_id", 0))
+            if event["name"] == "campaign.run":
+                runs.append((where, args.get("parent_span_id", 0)))
+        elif phase == "C":
+            if not isinstance(args.get("value"), (int, float)):
+                fail(f"{where}: counter without numeric args.value")
+        elif phase == "i":
+            if event.get("s") != "p":
+                fail(f"{where}: instant without process scope")
+
+    if not runs:
+        fail("no campaign.run spans in the trace")
+    if not any(name == "serve.lease" for name, _ in spans.values()):
+        fail("no serve.lease spans in the trace")
+
+    for where, parent in runs:
+        chain = []
+        while parent:
+            if parent not in spans:
+                fail(f"{where}: parent_span_id {parent} is not in the trace")
+            name, parent = spans[parent]
+            chain.append(name)
+            if name == "serve.lease":
+                break
+            if len(chain) > 16:
+                fail(f"{where}: ancestry loop through {chain}")
+        if "serve.lease" not in chain:
+            fail(f"{where}: campaign.run never reaches a serve.lease "
+                 f"ancestor (chain: {chain or 'detached'})")
+
+    print(
+        f"check_trace: OK: {len(events)} events "
+        f"({counts['X']} X, {counts['C']} C, {counts['i']} i, "
+        f"{counts['M']} M); all {len(runs)} campaign.run spans reach a "
+        f"serve.lease ancestor"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -24,13 +24,20 @@
 //   propane campaign merge  --journal <dest> <src-dir>...
 //   propane campaign stats  --journal <dir> [--csv <perm.csv>]
 //   propane campaign top    --journal <dir> [--metrics-out <file.ndjson>]
+//   propane campaign trace  --journal <dir> [--out <trace.json>]
+//                           [--postmortem]
 //
 // Telemetry: campaign run streams NDJSON events (src/obs) to
 // <journal>/telemetry.ndjson by default (--metrics-out redirects,
 // --no-telemetry disables) and shows a live progress HUD on a TTY
 // (--progress forces it on, --no-progress off). `campaign top` summarises
-// the event log: per-event counts, injection latencies, divergence rate,
-// journal growth and the final metric values.
+// the event log(s) -- the dispatcher's plus every worker's
+// telemetry-w<id>.ndjson: per-event counts, injection latencies,
+// divergence rate, journal growth, the final metric values and a
+// per-stream breakdown. `campaign trace` merges the same streams (clocks
+// aligned via the HELLO handshake) into one Chrome/Perfetto trace-event
+// JSON; --postmortem additionally recovers the tail events a SIGKILLed
+// worker left in its flight-w<id>.bin ring.
 //
 // The model file uses the text format of core/model_parser.hpp; the
 // optional CSV supplies permeabilities (core/permeability_io.hpp). Without
@@ -44,6 +51,7 @@
 #include <iostream>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -56,11 +64,13 @@
 #include "common/thread_pool.hpp"
 #include "core/propane.hpp"
 #include "exp/paper_experiment.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/ndjson.hpp"
 #include "obs/progress.hpp"
 #include "obs/span.hpp"
 #include "obs/telemetry.hpp"
+#include "obs/trace_export.hpp"
 #include "store/result_cache.hpp"
 #include "store/resume.hpp"
 #include "svc/dispatcher.hpp"
@@ -93,7 +103,9 @@ constexpr char kCampaignUsage[] =
     "       propane campaign merge --journal <dest-dir> <src-dir>...\n"
     "       propane campaign stats --journal <dir> [--csv <perm.csv>]\n"
     "       propane campaign top   --journal <dir>"
-    " [--metrics-out <file.ndjson>]\n";
+    " [--metrics-out <file.ndjson>]\n"
+    "       propane campaign trace --journal <dir> [--out <trace.json>]"
+    " [--postmortem]\n";
 constexpr char kTrailerUsage[] =
     "       propane --help\n"
     "exit codes: 0 success, 1 runtime/contract error, 2 usage error,"
@@ -208,6 +220,8 @@ struct CampaignArgs {
   std::uint32_t workers = 2;     // serve: worker processes to spawn
   std::uint64_t lease_runs = 0;  // serve: runs per lease (0 = auto)
   std::uint32_t worker_id = 0;   // worker: dispatcher-assigned identity
+  std::string trace_out;         // trace: output path (empty: <journal>/trace.json)
+  bool postmortem = false;       // trace: recover flight-recorder tails
 };
 
 std::uint64_t parse_count(const char* flag, const char* text) {
@@ -266,6 +280,10 @@ bool parse_campaign_args(int argc, char** argv, CampaignArgs& args) {
     } else if (arg == "--worker-id") {
       args.worker_id =
           static_cast<std::uint32_t>(parse_count("--worker-id", value()));
+    } else if (arg == "--out") {
+      args.trace_out = value();
+    } else if (arg == "--postmortem") {
+      args.postmortem = true;
     } else if (!arg.empty() && arg.front() == '-') {
       usage_error("unknown campaign flag '" + arg + "'", kCampaignUsage);
       return false;
@@ -415,8 +433,9 @@ int cmd_campaign_execute(const CampaignArgs& args, bool delta_mode) {
   options.module_versions = versions;
   const store::DeltaJournalSummary summary =
       store::run_delta_journaled_campaign(
-          arr::batched_campaign_runner(cases, config, scale.duration), config,
-          model, binding, args.journal, baseline, options);
+          arr::batched_campaign_runner(cases, config, scale.duration, nullptr,
+                                       nullptr, options.base.telemetry),
+          config, model, binding, args.journal, baseline, options);
   if (hud.has_value()) hud->finish();
   print_warnings(summary.warnings);
   if (!summary.invalidated_modules.empty()) {
@@ -452,6 +471,7 @@ int cmd_campaign_execute(const CampaignArgs& args, bool delta_mode) {
     std::puts(table.render().c_str());
   }
   if (sink.has_value()) {
+    obs::publish_span_stats(&telemetry);
     emit_metric_events(*sink, metrics.snapshot());
     sink->flush();
     std::printf("telemetry: %zu event(s) appended to %s\n",
@@ -535,10 +555,18 @@ int cmd_campaign_serve(const CampaignArgs& args, const char* argv0) {
   }
   std::printf("lease log: %s\n", summary.lease_log_path.string().c_str());
   if (sink.has_value()) {
+    obs::publish_span_stats(&telemetry);
     emit_metric_events(*sink, metrics.snapshot());
     sink->flush();
     std::printf("telemetry: %zu event(s) appended to %s\n",
                 sink->event_count(), telemetry_path(args).string().c_str());
+  }
+  if (summary.workers_died > 0 && !args.no_telemetry) {
+    std::printf(
+        "worker death(s) detected -- `propane campaign trace --journal %s "
+        "--postmortem` recovers the dead workers' final events from their "
+        "flight recorders\n",
+        args.journal.string().c_str());
   }
   return 0;
 }
@@ -556,6 +584,9 @@ int cmd_campaign_worker(const CampaignArgs& args) {
   obs::MetricsRegistry metrics;
   obs::SpanBuffer spans;
   std::optional<obs::NdjsonSink> sink;
+  std::optional<obs::FlightRecorder> flight;
+  std::optional<obs::FlightSink> flight_sink;
+  std::optional<obs::TeeSink> tee;
   obs::Telemetry telemetry;
   if (!args.no_telemetry) {
     // One event log per worker: concurrent appends from several processes
@@ -570,8 +601,22 @@ int cmd_campaign_worker(const CampaignArgs& args) {
       std::filesystem::create_directories(events_path.parent_path());
     }
     sink.emplace(events_path, /*append=*/true);
+    // Every event also lands in the mmap'd flight ring, which survives
+    // SIGKILL where the buffered ofstream tail does not; `campaign trace
+    // --postmortem` merges it back.
+    std::filesystem::create_directories(args.journal);
+    flight.emplace(args.journal /
+                       ("flight-w" + std::to_string(args.worker_id) + ".bin"),
+                   args.worker_id);
+    flight_sink.emplace(*flight);
+    tee.emplace(&*sink, &*flight_sink);
+    // Disjoint span-id range per process: worker w draws from
+    // (w+1) << 40, the dispatcher from 0, so ids never collide in the
+    // merged trace.
+    spans.set_id_base((static_cast<std::uint64_t>(args.worker_id) + 1)
+                      << 40);
     telemetry.metrics = &metrics;
-    telemetry.events = &*sink;
+    telemetry.events = &*tee;
     telemetry.spans = &spans;
   }
 
@@ -583,12 +628,15 @@ int cmd_campaign_worker(const CampaignArgs& args) {
 
   svc::WorkerSummary summary;
   const int code = svc::run_worker_loop(
-      arr::batched_campaign_runner(cases, config, scale.duration), config,
-      worker, std::cin, std::cout, &summary);
+      arr::batched_campaign_runner(cases, config, scale.duration, nullptr,
+                                   nullptr, worker.journal.telemetry),
+      config, worker, std::cin, std::cout, &summary);
   if (sink.has_value()) {
+    obs::publish_span_stats(&telemetry);
     emit_metric_events(*sink, metrics.snapshot());
     sink->flush();
   }
+  if (flight.has_value() && code == 0) flight->mark_clean_exit();
   std::fprintf(stderr,
                "propane worker %u: %llu lease(s), %llu executed, "
                "%llu diverged, exit %d\n",
@@ -679,22 +727,72 @@ std::string render_value(const obs::Value& value) {
   return "?";
 }
 
-/// Summarises a campaign telemetry log. Doubles as an NDJSON validity
-/// check: any malformed line other than a torn final one (the residue of a
-/// live or killed writer) is a hard error.
+/// The telemetry streams of a journal, label -> path: the
+/// dispatcher/single-process log first, then every worker's
+/// telemetry-w<id>.ndjson in id order. --metrics-out narrows the set to
+/// that one file.
+std::vector<std::pair<std::string, std::filesystem::path>> telemetry_streams(
+    const CampaignArgs& args) {
+  std::vector<std::pair<std::string, std::filesystem::path>> streams;
+  if (!args.metrics_out.empty()) {
+    streams.emplace_back("dispatcher", std::filesystem::path(args.metrics_out));
+    return streams;
+  }
+  const std::filesystem::path main_path = args.journal / "telemetry.ndjson";
+  if (std::filesystem::exists(main_path)) {
+    streams.emplace_back("dispatcher", main_path);
+  }
+  std::map<unsigned long, std::filesystem::path> workers;
+  std::error_code ec;
+  for (std::filesystem::directory_iterator
+           it(args.journal, ec),
+       end;
+       !ec && it != end; ++it) {
+    const std::string name = it->path().filename().string();
+    constexpr std::string_view kPrefix = "telemetry-w";
+    constexpr std::string_view kSuffix = ".ndjson";
+    if (name.size() <= kPrefix.size() + kSuffix.size() ||
+        name.compare(0, kPrefix.size(), kPrefix) != 0 ||
+        name.compare(name.size() - kSuffix.size(), kSuffix.size(), kSuffix) !=
+            0) {
+      continue;
+    }
+    const std::string id_text = name.substr(
+        kPrefix.size(), name.size() - kPrefix.size() - kSuffix.size());
+    char* tail = nullptr;
+    const unsigned long id = std::strtoul(id_text.c_str(), &tail, 10);
+    if (tail != nullptr && *tail == '\0' && !id_text.empty()) {
+      workers[id] = it->path();
+    }
+  }
+  for (const auto& [id, path] : workers) {
+    streams.emplace_back("w" + std::to_string(id), path);
+  }
+  return streams;
+}
+
+/// Per-stream tallies for the `campaign top` breakdown table.
+struct StreamTally {
+  std::string label;
+  std::size_t events = 0;
+  std::size_t injections = 0;
+  std::size_t diverged = 0;
+  std::size_t torn = 0;
+  double span_s = 0.0;
+};
+
+/// Summarises the campaign telemetry logs -- the dispatcher's plus every
+/// worker's. Doubles as an NDJSON validity check: any malformed line other
+/// than a torn final one (the residue of a live or killed writer) is a
+/// hard error.
 int cmd_campaign_top(const CampaignArgs& args) {
-  const std::filesystem::path path = telemetry_path(args);
-  std::ifstream in(path);
-  if (!in) {
+  const auto streams = telemetry_streams(args);
+  if (streams.empty()) {
     std::fprintf(stderr,
                  "propane: no telemetry log at '%s' (campaign run writes it; "
                  "--metrics-out overrides the location)\n",
-                 path.string().c_str());
+                 telemetry_path(args).string().c_str());
     return 1;
-  }
-  std::vector<std::string> lines;
-  for (std::string line; std::getline(in, line);) {
-    if (!line.empty()) lines.push_back(std::move(line));
   }
 
   std::map<std::string, std::size_t> event_counts;
@@ -703,111 +801,156 @@ int cmd_campaign_top(const CampaignArgs& args) {
   std::map<std::string, std::uint64_t> shard_bytes;  // shard -> last total
   std::vector<obs::Field> last_done;   // most recent campaign.done
   std::map<std::string, std::string> final_metrics;  // last metric events
-  std::uint64_t t_first = 0, t_last = 0;
   std::size_t torn_lines = 0;
+  std::vector<StreamTally> tallies;
 
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    const auto fields = obs::parse_flat_json_object(lines[i]);
-    if (!fields.has_value()) {
-      if (i + 1 == lines.size()) {
-        // The writer died (or is still running) mid-line: expected residue,
-        // same stance the journal reader takes on a torn tail frame.
-        ++torn_lines;
-        break;
-      }
-      // A session killed mid-line leaves its residue where the next
-      // session's first event (always journal.resume_scan) follows; that
-      // is crash residue too, not corruption.
-      const auto next = obs::parse_flat_json_object(lines[i + 1]);
-      const obs::Value* next_event =
-          next.has_value() ? find_field(*next, "event") : nullptr;
-      if (next_event != nullptr &&
-          next_event->kind() == obs::Value::Kind::kString &&
-          next_event->as_string() == "journal.resume_scan") {
-        ++torn_lines;
-        continue;
-      }
-      std::fprintf(stderr,
-                   "propane: malformed telemetry line %zu in %s: %s\n", i + 1,
-                   path.string().c_str(), lines[i].c_str());
+  for (const auto& [label, path] : streams) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "propane: cannot open telemetry log '%s'\n",
+                   path.string().c_str());
       return 1;
     }
-    const obs::Value* name = find_field(*fields, "event");
-    const obs::Value* t_us = find_field(*fields, "t_us");
-    if (name == nullptr || name->kind() != obs::Value::Kind::kString) {
-      std::fprintf(stderr, "propane: telemetry line %zu has no event name\n",
-                   i + 1);
-      return 1;
+    std::vector<std::string> lines;
+    for (std::string line; std::getline(in, line);) {
+      if (!line.empty()) lines.push_back(std::move(line));
     }
-    const std::string& event = name->as_string();
-    ++event_counts[event];
-    if (t_us != nullptr && t_us->is_number()) {
-      if (event_counts.size() == 1 && event_counts[event] == 1) {
-        t_first = t_us->as_uint();
+
+    StreamTally tally;
+    tally.label = label;
+    std::uint64_t t_first = 0, t_last = 0;
+    bool any_time = false;
+
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      const auto fields = obs::parse_flat_json_object(lines[i]);
+      if (!fields.has_value()) {
+        if (i + 1 == lines.size()) {
+          // The writer died (or is still running) mid-line: expected
+          // residue, same stance the journal reader takes on a torn tail
+          // frame.
+          ++torn_lines;
+          ++tally.torn;
+          break;
+        }
+        // A session killed mid-line leaves its residue where the next
+        // session's first event (always journal.resume_scan) follows; that
+        // is crash residue too, not corruption.
+        const auto next = obs::parse_flat_json_object(lines[i + 1]);
+        const obs::Value* next_event =
+            next.has_value() ? find_field(*next, "event") : nullptr;
+        if (next_event != nullptr &&
+            next_event->kind() == obs::Value::Kind::kString &&
+            next_event->as_string() == "journal.resume_scan") {
+          ++torn_lines;
+          ++tally.torn;
+          continue;
+        }
+        std::fprintf(stderr,
+                     "propane: malformed telemetry line %zu in %s: %s\n",
+                     i + 1, path.string().c_str(), lines[i].c_str());
+        return 1;
       }
-      t_last = t_us->as_uint();
-      t_first = std::min(t_first, t_us->as_uint());
-    }
-    if (event == "injection.done") {
-      ++injections;
-      if (const obs::Value* d = find_field(*fields, "diverged_signals");
-          d != nullptr && d->is_number() && d->as_uint() > 0) {
-        ++injections_diverged;
+      const obs::Value* name = find_field(*fields, "event");
+      const obs::Value* t_us = find_field(*fields, "t_us");
+      if (name == nullptr || name->kind() != obs::Value::Kind::kString) {
+        std::fprintf(stderr,
+                     "propane: telemetry line %zu in %s has no event name\n",
+                     i + 1, path.string().c_str());
+        return 1;
       }
-      if (const obs::Value* dur = find_field(*fields, "dur_us");
-          dur != nullptr && dur->is_number()) {
-        injection_dur_sum_us += dur->as_double();
-        injection_dur_max_us = std::max(injection_dur_max_us,
-                                        dur->as_double());
+      const std::string& event = name->as_string();
+      ++event_counts[event];
+      ++tally.events;
+      if (t_us != nullptr && t_us->is_number()) {
+        if (!any_time) {
+          t_first = t_us->as_uint();
+          any_time = true;
+        }
+        t_last = t_us->as_uint();
+        t_first = std::min(t_first, t_us->as_uint());
       }
-    } else if (event == "journal.append") {
-      const obs::Value* shard = find_field(*fields, "shard");
-      const obs::Value* total = find_field(*fields, "total_bytes");
-      if (shard != nullptr && shard->kind() == obs::Value::Kind::kString &&
-          total != nullptr && total->is_number()) {
-        shard_bytes[shard->as_string()] = total->as_uint();
-      }
-    } else if (event == "campaign.done" || event == "delta.done") {
-      // delta.done carries replayed-vs-executed counts; whichever kind of
-      // session ran last wins the "last session" line.
-      last_done = *fields;
-    } else if (event == "metric") {
-      const obs::Value* metric = find_field(*fields, "name");
-      if (metric != nullptr &&
-          metric->kind() == obs::Value::Kind::kString) {
-        const obs::Value* kind = find_field(*fields, "kind");
-        if (kind != nullptr && kind->kind() == obs::Value::Kind::kString &&
-            kind->as_string() == "histogram") {
-          std::string cell;
-          for (const char* key : {"count", "p50", "p90", "p99"}) {
-            const obs::Value* v = find_field(*fields, key);
-            if (v == nullptr) continue;
-            if (!cell.empty()) cell += ", ";
-            cell += std::string(key) + "=" + render_value(*v);
+      if (event == "injection.done") {
+        ++injections;
+        ++tally.injections;
+        if (const obs::Value* d = find_field(*fields, "diverged_signals");
+            d != nullptr && d->is_number() && d->as_uint() > 0) {
+          ++injections_diverged;
+          ++tally.diverged;
+        }
+        if (const obs::Value* dur = find_field(*fields, "dur_us");
+            dur != nullptr && dur->is_number()) {
+          injection_dur_sum_us += dur->as_double();
+          injection_dur_max_us = std::max(injection_dur_max_us,
+                                          dur->as_double());
+        }
+      } else if (event == "journal.append") {
+        const obs::Value* shard = find_field(*fields, "shard");
+        const obs::Value* total = find_field(*fields, "total_bytes");
+        if (shard != nullptr && shard->kind() == obs::Value::Kind::kString &&
+            total != nullptr && total->is_number()) {
+          shard_bytes[shard->as_string()] = total->as_uint();
+        }
+      } else if (event == "campaign.done" || event == "delta.done") {
+        // delta.done carries replayed-vs-executed counts; whichever kind of
+        // session ran last wins the "last session" line.
+        last_done = *fields;
+      } else if (event == "metric") {
+        const obs::Value* metric = find_field(*fields, "name");
+        if (metric != nullptr &&
+            metric->kind() == obs::Value::Kind::kString) {
+          const obs::Value* kind = find_field(*fields, "kind");
+          if (kind != nullptr && kind->kind() == obs::Value::Kind::kString &&
+              kind->as_string() == "histogram") {
+            std::string cell;
+            for (const char* key : {"count", "p50", "p90", "p99"}) {
+              const obs::Value* v = find_field(*fields, key);
+              if (v == nullptr) continue;
+              if (!cell.empty()) cell += ", ";
+              cell += std::string(key) + "=" + render_value(*v);
+            }
+            final_metrics[metric->as_string()] = cell;
+          } else if (const obs::Value* v = find_field(*fields, "value")) {
+            final_metrics[metric->as_string()] = render_value(*v);
           }
-          final_metrics[metric->as_string()] = cell;
-        } else if (const obs::Value* v = find_field(*fields, "value")) {
-          final_metrics[metric->as_string()] = render_value(*v);
         }
       }
     }
+    tally.span_s = static_cast<double>(t_last - t_first) / 1e6;
+    tallies.push_back(std::move(tally));
   }
 
   std::size_t total_events = 0;
   for (const auto& [_, count] : event_counts) total_events += count;
+  double span_s = 0.0;
+  for (const StreamTally& tally : tallies) {
+    span_s = std::max(span_s, tally.span_s);
+  }
   std::string torn_note;
   if (torn_lines > 0) {
     torn_note = " (" + std::to_string(torn_lines) + " torn line(s) skipped)";
   }
-  std::printf("telemetry %s: %zu event(s) across %.2fs%s\n",
-              path.string().c_str(), total_events,
-              static_cast<double>(t_last - t_first) / 1e6, torn_note.c_str());
+  std::printf("telemetry %s: %zu event(s) across %zu stream(s), %.2fs%s\n",
+              args.journal.string().c_str(), total_events, streams.size(),
+              span_s, torn_note.c_str());
 
   TextTable events_table({"Event", "Count"});
   for (const auto& [event, count] : event_counts) {
     events_table.add_row({event, std::to_string(count)});
   }
   std::puts(events_table.render().c_str());
+
+  if (tallies.size() > 1) {
+    TextTable streams_table(
+        {"Stream", "Events", "Injections", "Diverged", "Span s"});
+    for (const StreamTally& tally : tallies) {
+      char span_cell[32];
+      std::snprintf(span_cell, sizeof(span_cell), "%.2f", tally.span_s);
+      streams_table.add_row({tally.label, std::to_string(tally.events),
+                             std::to_string(tally.injections),
+                             std::to_string(tally.diverged), span_cell});
+    }
+    std::puts(streams_table.render().c_str());
+  }
 
   if (injections > 0) {
     std::printf(
@@ -843,6 +986,208 @@ int cmd_campaign_top(const CampaignArgs& args) {
   return 0;
 }
 
+// --- propane campaign trace ----------------------------------------------
+
+/// Worker id out of a "w<id>" stream label (telemetry_streams invariant).
+std::uint32_t stream_worker_id(const std::string& label) {
+  return static_cast<std::uint32_t>(
+      std::strtoul(label.c_str() + 1, nullptr, 10));
+}
+
+/// Merges the dispatcher's and every worker's telemetry into one
+/// Chrome/Perfetto trace-event JSON. Worker clocks align via the HELLO
+/// handshake offsets recorded in the dispatcher's serve.worker.hello
+/// events; --postmortem folds in the tail events dead workers left in
+/// their flight-recorder rings.
+int cmd_campaign_trace(const CampaignArgs& args) {
+  const auto stream_paths = telemetry_streams(args);
+  if (stream_paths.empty()) {
+    std::fprintf(stderr,
+                 "propane: no telemetry log at '%s' -- `campaign trace` "
+                 "needs the NDJSON streams a telemetry-enabled campaign "
+                 "writes\n",
+                 telemetry_path(args).string().c_str());
+    return 1;
+  }
+
+  std::vector<obs::TraceStream> streams;
+  // Raw lines per worker id, for deduplicating flight-recorder recoveries
+  // (the ring holds events the NDJSON file usually also has).
+  std::map<std::uint32_t, std::set<std::string>> worker_lines;
+  std::map<std::uint32_t, std::size_t> worker_stream_index;
+  std::size_t skipped_lines = 0;
+
+  for (const auto& [label, path] : stream_paths) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "propane: cannot open telemetry log '%s'\n",
+                   path.string().c_str());
+      return 1;
+    }
+    obs::TraceStream stream;
+    stream.name = label;
+    if (label == "dispatcher") {
+      stream.pid = 1;  // refined from serve.done below
+      skipped_lines += obs::parse_ndjson_stream(in, stream.events);
+    } else {
+      const std::uint32_t id = stream_worker_id(label);
+      worker_stream_index[id] = streams.size();
+      std::set<std::string>& seen = worker_lines[id];
+      for (std::string line; std::getline(in, line);) {
+        if (line.empty()) continue;
+        auto fields = obs::parse_flat_json_object(line);
+        if (!fields.has_value()) {
+          ++skipped_lines;  // torn tail of a killed worker
+          continue;
+        }
+        seen.insert(line);
+        stream.events.push_back(std::move(*fields));
+      }
+    }
+    streams.push_back(std::move(stream));
+  }
+
+  // The dispatcher stream anchors the merged timeline: its pid from
+  // serve.done, worker pids from serve.worker.spawn, worker clock offsets
+  // from the HELLO handshake.
+  std::map<std::uint32_t, std::int64_t> worker_pids;
+  std::map<std::uint32_t, std::int64_t> offsets;
+  for (obs::TraceStream& stream : streams) {
+    if (stream.name != "dispatcher") continue;
+    for (const std::vector<obs::Field>& event : stream.events) {
+      const obs::Value* name = find_field(event, "event");
+      if (name == nullptr || name->kind() != obs::Value::Kind::kString) {
+        continue;
+      }
+      const obs::Value* pid = find_field(event, "pid");
+      if (name->as_string() == "serve.worker.spawn") {
+        const obs::Value* id = find_field(event, "worker_id");
+        if (id != nullptr && id->is_number() && pid != nullptr &&
+            pid->is_number()) {
+          worker_pids[static_cast<std::uint32_t>(id->as_uint())] =
+              static_cast<std::int64_t>(pid->as_uint());
+        }
+      } else if (name->as_string() == "serve.done" && pid != nullptr &&
+                 pid->is_number()) {
+        stream.pid = static_cast<std::int64_t>(pid->as_uint());
+      }
+    }
+    offsets = obs::hello_clock_offsets(stream);
+  }
+  for (const auto& [id, index] : worker_stream_index) {
+    obs::TraceStream& stream = streams[index];
+    if (const auto pid = worker_pids.find(id); pid != worker_pids.end()) {
+      stream.pid = pid->second;
+    } else {
+      stream.pid = 1000 + static_cast<std::int64_t>(id);
+    }
+    if (const auto offset = offsets.find(id); offset != offsets.end()) {
+      stream.clock_offset_us = offset->second;
+    }
+  }
+
+  // Flight recorders: always surface crashed workers; --postmortem merges
+  // their surviving ring lines (the NDJSON tail a buffered ofstream lost)
+  // back into the worker's stream.
+  std::size_t crashed = 0;
+  std::error_code ec;
+  for (std::filesystem::directory_iterator it(args.journal, ec), end;
+       !ec && it != end; ++it) {
+    const std::string name = it->path().filename().string();
+    constexpr std::string_view kPrefix = "flight-w";
+    constexpr std::string_view kSuffix = ".bin";
+    if (name.size() <= kPrefix.size() + kSuffix.size() ||
+        name.compare(0, kPrefix.size(), kPrefix) != 0 ||
+        name.compare(name.size() - kSuffix.size(), kSuffix.size(), kSuffix) !=
+            0) {
+      continue;
+    }
+    const auto recording = obs::read_flight_recording(it->path());
+    if (!recording.has_value()) continue;
+    const std::uint32_t id = recording->worker_id;
+    if (!recording->clean_exit) ++crashed;
+    if (!args.postmortem) continue;
+
+    if (worker_stream_index.find(id) == worker_stream_index.end()) {
+      obs::TraceStream stream;
+      stream.name = "w" + std::to_string(id);
+      stream.pid = static_cast<std::int64_t>(recording->pid);
+      if (const auto offset = offsets.find(id); offset != offsets.end()) {
+        stream.clock_offset_us = offset->second;
+      }
+      worker_stream_index[id] = streams.size();
+      streams.push_back(std::move(stream));
+    }
+    obs::TraceStream& stream = streams[worker_stream_index[id]];
+    const std::set<std::string>& seen = worker_lines[id];
+    std::size_t recovered = 0;
+    std::uint64_t last_t_us = 0;
+    for (const std::string& line : recording->lines) {
+      if (seen.find(line) != seen.end()) continue;
+      auto fields = obs::parse_flat_json_object(line);
+      if (!fields.has_value()) continue;  // reader already filtered; belt
+      if (const obs::Value* t = find_field(*fields, "t_us");
+          t != nullptr && t->is_number()) {
+        last_t_us = std::max(last_t_us, t->as_uint());
+      }
+      stream.events.push_back(std::move(*fields));
+      ++recovered;
+    }
+    if (recovered > 0) {
+      stream.events.push_back(
+          {{"event", obs::Value("flight.recovered")},
+           {"t_us", obs::Value(last_t_us)},
+           {"worker_id", obs::Value(id)},
+           {"recovered", obs::Value(recovered)},
+           {"last_seq", obs::Value(recording->last_seq)},
+           {"clean_exit", obs::Value(recording->clean_exit)}});
+    }
+    std::printf(
+        "postmortem w%u: pid %llu, %s, %zu ring event(s), %zu recovered "
+        "(missing from the NDJSON stream)\n",
+        id, static_cast<unsigned long long>(recording->pid),
+        recording->clean_exit ? "clean exit" : "crashed (no clean-exit flag)",
+        recording->lines.size(), recovered);
+  }
+  if (crashed > 0 && !args.postmortem) {
+    std::printf(
+        "%zu flight recorder(s) flag a crash; re-run with --postmortem to "
+        "fold their final events into the trace\n",
+        crashed);
+  }
+
+  const std::filesystem::path out_path =
+      args.trace_out.empty() ? args.journal / "trace.json"
+                             : std::filesystem::path(args.trace_out);
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "propane: cannot write trace '%s'\n",
+                 out_path.string().c_str());
+    return 1;
+  }
+  const obs::TraceExportSummary summary =
+      obs::write_chrome_trace(out, streams);
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "propane: write failed for trace '%s'\n",
+                 out_path.string().c_str());
+    return 1;
+  }
+  std::string skipped_note;
+  if (skipped_lines > 0) {
+    skipped_note =
+        " (" + std::to_string(skipped_lines) + " torn line(s) skipped)";
+  }
+  std::printf(
+      "trace %s: %zu event(s) from %zu stream(s) -- %zu span(s), "
+      "%zu synthesized, %zu counter sample(s), %zu instant(s)%s\n",
+      out_path.string().c_str(), summary.trace_events, streams.size(),
+      summary.spans, summary.synthesized, summary.counter_samples,
+      summary.instants, skipped_note.c_str());
+  std::printf("open in ui.perfetto.dev or chrome://tracing\n");
+  return 0;
+}
+
 int cmd_campaign(int argc, char** argv) {
   if (argc < 3) return usage();
   CampaignArgs args;
@@ -856,6 +1201,7 @@ int cmd_campaign(int argc, char** argv) {
   if (args.sub == "merge") return cmd_campaign_merge(args);
   if (args.sub == "stats") return cmd_campaign_stats(args);
   if (args.sub == "top") return cmd_campaign_top(args);
+  if (args.sub == "trace") return cmd_campaign_trace(args);
   return usage_error("unknown campaign subcommand '" + args.sub + "'",
                      kCampaignUsage);
 }
