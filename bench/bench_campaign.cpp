@@ -114,10 +114,25 @@ Workload make_workload(const exp::ExperimentScale& scale) {
   return w;
 }
 
+/// Lane occupancy of the batch path: executed lanes over offered lane
+/// slots. The denominator is batches x configured lane width, so packing
+/// quality (not early exit) is what moves it -- 1.0 means every batch
+/// left the planner full.
+double lane_occupancy(const arr::BatchRunStats& stats,
+                      std::size_t lane_width) {
+  const std::size_t batches = stats.batches.load();
+  if (batches == 0) return 0.0;
+  return static_cast<double>(stats.batched_lanes.load()) /
+         static_cast<double>(batches * lane_width);
+}
+
 /// Delta-campaign measurement: a cold run of the full 13-target plan into
 /// a baseline journal, then an incremental re-run with one module (V_REG)
 /// invalidated. Reports the wall-clock ratio -- the payoff of
-/// content-addressed reuse when one of six modules changes.
+/// content-addressed reuse when one of six modules changes -- plus the
+/// batch-path stats of the incremental phase: the invalidated subset is a
+/// thin slice of the plan, so it exercises the planner's cross-test-case
+/// packing rather than the dense fan-out.
 struct DeltaBench {
   std::size_t total_runs = 0;
   double cold_wall_s = 0.0;
@@ -125,6 +140,9 @@ struct DeltaBench {
   std::size_t delta_replayed = 0;
   double delta_wall_s = 0.0;
   double speedup = 0.0;
+  std::size_t delta_batches = 0;
+  std::size_t delta_batched_lanes = 0;
+  double delta_lane_occupancy = 0.0;
 };
 
 DeltaBench run_delta_bench(const Workload& w) {
@@ -153,8 +171,8 @@ DeltaBench run_delta_bench(const Workload& w) {
   {
     const auto start = Clock::now();
     const store::DeltaJournalSummary cold = store::run_delta_journaled_campaign(
-        arr::warm_campaign_runner(w.cases, config, w.duration), config, model,
-        binding, base_dir, store::ResultCache{}, options);
+        arr::batched_campaign_runner(w.cases, config, w.duration), config,
+        model, binding, base_dir, store::ResultCache{}, options);
     out.cold_wall_s = seconds_since(start);
     out.total_runs = cold.total_runs;
   }
@@ -164,14 +182,21 @@ DeltaBench run_delta_bench(const Workload& w) {
     // exactly the cached runs whose outcome V_REG could have changed.
     options.module_versions =
         arr::module_version_tokens({{"V_REG", 0x5EED5EED5EED5EEDULL}});
+    // The cache misses execute through the lockstep batch path; the stats
+    // prove it (and measure how well the thin invalidated set packed).
+    const auto stats = std::make_shared<arr::BatchRunStats>();
     const auto start = Clock::now();
     const store::DeltaJournalSummary delta =
         store::run_delta_journaled_campaign(
-            arr::warm_campaign_runner(w.cases, config, w.duration), config,
-            model, binding, delta_dir, baseline, options);
+            arr::batched_campaign_runner(w.cases, config, w.duration,
+                                         nullptr, stats),
+            config, model, binding, delta_dir, baseline, options);
     out.delta_wall_s = seconds_since(start);
     out.delta_executed = delta.executed;
     out.delta_replayed = delta.replayed;
+    out.delta_batches = stats->batches.load();
+    out.delta_batched_lanes = stats->batched_lanes.load();
+    out.delta_lane_occupancy = lane_occupancy(*stats, fi::kDefaultBatchSize);
   }
   out.speedup = out.delta_wall_s > 0.0 ? out.cold_wall_s / out.delta_wall_s
                                        : 0.0;
@@ -234,17 +259,88 @@ EndToEnd run_end_to_end_batched(const Workload& w,
   return out;
 }
 
+/// Sparse plan: ONE error model on ONE target, swept across many distinct
+/// injection instants. Every (test case, fire tick) group holds exactly
+/// one run -- the worst case for a planner that only batches within a
+/// group (lane occupancy 1/width), and the scenario cross-test-case /
+/// cross-fire-tick packing exists for.
+struct SparseBench {
+  std::size_t runs = 0;
+  std::size_t instants = 0;
+  double scalar_wall_s = 0.0;
+  double scalar_runs_per_s = 0.0;
+  double batch_wall_s = 0.0;
+  double batch_runs_per_s = 0.0;
+  double speedup = 0.0;          // batch vs scalar warm, same plan
+  double occupancy = 0.0;        // batched_lanes / (batches x width)
+  std::size_t batches = 0;
+  std::size_t batched_lanes = 0;
+};
+
+SparseBench run_sparse_bench(const Workload& w) {
+  fi::SignalBus bus;
+  arr::build_bus(bus);
+  fi::CampaignConfig config;
+  config.test_case_count = static_cast<std::uint32_t>(w.cases.size());
+  config.seed = 0x5BA25E;
+  config.warm_start = true;
+  // One bit, many instants: 100 ms apart so neighbouring instants land in
+  // the same packed batch with a sub-second stagger span.
+  const std::size_t instants = w.scale == "smoke" ? 16 : 128;
+  const fi::BusSignalId pulscnt = *bus.find("pulscnt");
+  for (std::size_t i = 0; i < instants; ++i) {
+    config.injections.push_back(fi::InjectionSpec{
+        pulscnt, (50 + 100 * static_cast<sim::SimTime>(i)) * sim::kMillisecond,
+        fi::bit_flip(3)});
+  }
+
+  SparseBench out;
+  out.instants = instants;
+  {
+    const auto start = Clock::now();
+    const fi::CampaignResult scalar = fi::run_campaign(
+        arr::warm_campaign_runner(w.cases, config, w.duration), config);
+    out.scalar_wall_s = seconds_since(start);
+    out.runs = scalar.run_count();
+    out.scalar_runs_per_s =
+        static_cast<double>(out.runs) / out.scalar_wall_s;
+  }
+  {
+    const auto stats = std::make_shared<arr::BatchRunStats>();
+    const auto start = Clock::now();
+    fi::run_campaign(arr::batched_campaign_runner(w.cases, config,
+                                                  w.duration, nullptr, stats),
+                     config);
+    out.batch_wall_s = seconds_since(start);
+    out.batch_runs_per_s =
+        static_cast<double>(out.runs) / out.batch_wall_s;
+    out.batches = stats->batches.load();
+    out.batched_lanes = stats->batched_lanes.load();
+    out.occupancy = lane_occupancy(*stats, fi::kDefaultBatchSize);
+  }
+  out.speedup = out.scalar_wall_s > 0.0 && out.batch_wall_s > 0.0
+                    ? out.scalar_wall_s / out.batch_wall_s
+                    : 0.0;
+  return out;
+}
+
 /// Multi-worker serve bench: the scale's standard plan (the one `campaign
 /// serve` dispatches, so workers spawned from the CLI re-derive the exact
 /// manifest) run three ways -- single process, serve with 1 worker, serve
 /// with 2 workers. Dispatch overhead is the 1-worker vs single-process
 /// gap; scaling is the 2-worker vs 1-worker gap (bounded by the machine's
-/// CPU count, which the JSON records).
+/// CPU count, which the JSON records). Worker counts beyond the CPU count
+/// are *skipped* (recorded with a skip reason): on an oversubscribed host
+/// the processes time-slice one core and the resulting "speedup" is
+/// scheduler noise, not signal.
 struct ServeModeBench {
   std::uint32_t workers = 0;
   double wall_s = 0.0;
   double runs_per_s = 0.0;
   std::uint64_t leases = 0;
+  /// Non-empty when the row was not measured (e.g. more workers than
+  /// CPUs); the other fields are then meaningless and stay zero.
+  std::string skipped_reason;
 };
 
 struct ServeBench {
@@ -254,7 +350,8 @@ struct ServeBench {
   std::vector<ServeModeBench> modes;  // 1 and 2 workers
 };
 
-ServeBench run_serve_bench(const exp::ExperimentScale& scale) {
+ServeBench run_serve_bench(const exp::ExperimentScale& scale,
+                           unsigned cpus) {
   namespace fs = std::filesystem;
   ServeBench out;
   const fi::CampaignConfig config = exp::make_campaign_config(scale);
@@ -276,6 +373,16 @@ ServeBench run_serve_bench(const exp::ExperimentScale& scale) {
     fs::remove_all(dir);
   }
   for (const std::uint32_t workers : {1u, 2u}) {
+    if (cpus < workers) {
+      ServeModeBench skipped;
+      skipped.workers = workers;
+      skipped.skipped_reason = std::to_string(cpus) + " cpu(s) < " +
+                               std::to_string(workers) +
+                               " workers: processes would time-slice one "
+                               "core and the runs/s would be noise";
+      out.modes.push_back(std::move(skipped));
+      continue;
+    }
     const fs::path dir = "bench_serve_w" + std::to_string(workers);
     fs::remove_all(dir);
     svc::ServeOptions options;
@@ -386,14 +493,17 @@ int main() {
               static_cast<unsigned long long>(warm_stats.saved_ms.load()));
 
   // --- lockstep batched campaign ------------------------------------------
+  const std::size_t lane_width = fi::kDefaultBatchSize;
   arr::BatchRunStats batch_stats;
   const EndToEnd batch = run_end_to_end_batched(w, &batch_stats);
+  const double batch_occupancy = lane_occupancy(batch_stats, lane_width);
   std::printf("batch campaign: %zu runs in %.2f s  =>  %.0f runs/s "
-              "(%zu batches, %zu lanes, %zu converged-early, "
-              "%zu exhausted-early, %zu never-fire, %llu lane-ms skipped; "
-              "%.2fx vs warm)\n",
+              "(%zu batches, %zu lanes, occupancy %.2f, "
+              "%zu converged-early, %zu exhausted-early, %zu never-fire, "
+              "%llu lane-ms skipped; %.2fx vs warm)\n",
               batch.runs, batch.wall_s, batch.runs_per_s,
               batch_stats.batches.load(), batch_stats.batched_lanes.load(),
+              batch_occupancy,
               batch_stats.retired_converged.load(),
               batch_stats.retired_exhausted.load(),
               batch_stats.never_fire_lanes.load(),
@@ -401,27 +511,42 @@ int main() {
                   batch_stats.saved_lane_ms.load()),
               batch.runs_per_s / warm.runs_per_s);
 
+  // --- sparse plan: 1 bit x many instants (cross-group packing) -----------
+  const SparseBench sparse = run_sparse_bench(w);
+  std::printf("sparse campaign (1 bit x %zu instants): scalar warm %zu runs "
+              "in %.2f s  =>  %.0f runs/s; batch %.2f s  =>  %.0f runs/s "
+              "(%zu batches, %zu lanes, occupancy %.2f, %.2fx vs scalar "
+              "warm)\n",
+              sparse.instants, sparse.runs, sparse.scalar_wall_s,
+              sparse.scalar_runs_per_s, sparse.batch_wall_s,
+              sparse.batch_runs_per_s, sparse.batches, sparse.batched_lanes,
+              sparse.occupancy, sparse.speedup);
+
   // --- delta campaign: cold baseline vs incremental re-run ----------------
   const DeltaBench delta = run_delta_bench(w);
   std::printf("delta campaign (13 targets, V_REG invalidated): cold %zu runs "
               "in %.2f s; delta %zu executed + %zu replayed in %.2f s  =>  "
-              "%.1fx\n",
+              "%.1fx (%zu batches, %zu lanes, occupancy %.2f)\n",
               delta.total_runs, delta.cold_wall_s, delta.delta_executed,
-              delta.delta_replayed, delta.delta_wall_s, delta.speedup);
+              delta.delta_replayed, delta.delta_wall_s, delta.speedup,
+              delta.delta_batches, delta.delta_batched_lanes,
+              delta.delta_lane_occupancy);
 
   // --- dispatched campaign: serve with 1 and 2 worker processes -----------
   const unsigned cpus = std::max(1u, std::thread::hardware_concurrency());
-  const ServeBench serve = run_serve_bench(scale);
+  const ServeBench serve = run_serve_bench(scale, cpus);
   std::printf("serve campaign (standard '%s' plan, %u cpu(s)): "
               "single-process %zu runs in %.2f s  =>  %.0f runs/s\n",
               scale.name.c_str(), cpus, serve.total_runs,
               serve.single_wall_s, serve.single_runs_per_s);
   for (const ServeModeBench& mode : serve.modes) {
-    if (cpus == 1) {
-      // On a 1-CPU runner worker processes time-slice one core, so a
-      // "speedup vs single-process" is pure scheduler noise around 1.0x --
-      // print (and record) a skip instead of a number CI readers would
-      // mistake for a regression.
+    if (!mode.skipped_reason.empty()) {
+      std::printf("  %u worker(s): skipped (%s)\n", mode.workers,
+                  mode.skipped_reason.c_str());
+    } else if (cpus == 1) {
+      // With one worker on a 1-CPU runner the row still measures dispatch
+      // overhead, but a "speedup vs single-process" would be scheduler
+      // noise around 1.0x -- print (and record) a skip for the ratio.
       std::printf("  %u worker(s): %.2f s  =>  %.0f runs/s "
                   "(%llu leases; speedup-vs-single skipped on 1 cpu)\n",
                   mode.workers, mode.wall_s, mode.runs_per_s,
@@ -474,26 +599,47 @@ int main() {
          << ",\"runs_per_s\":" << batch.runs_per_s
          << ",\"batches\":" << batch_stats.batches.load()
          << ",\"batched_lanes\":" << batch_stats.batched_lanes.load()
+         << ",\"lane_width\":" << lane_width
+         << ",\"lane_occupancy\":" << batch_occupancy
          << ",\"retired_converged\":" << batch_stats.retired_converged.load()
          << ",\"retired_exhausted\":" << batch_stats.retired_exhausted.load()
          << ",\"never_fire_lanes\":" << batch_stats.never_fire_lanes.load()
          << ",\"saved_lane_ms\":" << batch_stats.saved_lane_ms.load()
          << ",\"speedup_vs_warm\":" << batch.runs_per_s / warm.runs_per_s
          << "}"
+         << ",\"sparse\":{\"runs\":" << sparse.runs
+         << ",\"instants\":" << sparse.instants
+         << ",\"scalar_warm\":{\"wall_s\":" << sparse.scalar_wall_s
+         << ",\"runs_per_s\":" << sparse.scalar_runs_per_s << "}"
+         << ",\"batch\":{\"wall_s\":" << sparse.batch_wall_s
+         << ",\"runs_per_s\":" << sparse.batch_runs_per_s
+         << ",\"batches\":" << sparse.batches
+         << ",\"batched_lanes\":" << sparse.batched_lanes
+         << ",\"lane_width\":" << lane_width
+         << ",\"lane_occupancy\":" << sparse.occupancy
+         << ",\"speedup_vs_scalar_warm\":" << sparse.speedup << "}}"
          << ",\"delta\":{\"total_runs\":" << delta.total_runs
          << ",\"cold_wall_s\":" << delta.cold_wall_s
          << ",\"executed\":" << delta.delta_executed
          << ",\"replayed\":" << delta.delta_replayed
          << ",\"delta_wall_s\":" << delta.delta_wall_s
          << ",\"invalidated\":\"V_REG\""
-         << ",\"speedup_vs_cold\":" << delta.speedup << "}"
+         << ",\"speedup_vs_cold\":" << delta.speedup
+         << ",\"batch\":{\"batches\":" << delta.delta_batches
+         << ",\"batched_lanes\":" << delta.delta_batched_lanes
+         << ",\"lane_width\":" << lane_width
+         << ",\"lane_occupancy\":" << delta.delta_lane_occupancy << "}}"
          << ",\"serve\":{\"total_runs\":" << serve.total_runs
          << ",\"cpus\":" << cpus
          << ",\"single\":{\"wall_s\":" << serve.single_wall_s
          << ",\"runs_per_s\":" << serve.single_runs_per_s << "}";
     for (const ServeModeBench& mode : serve.modes) {
-      json << ",\"workers_" << mode.workers
-           << "\":{\"wall_s\":" << mode.wall_s
+      json << ",\"workers_" << mode.workers << "\":{";
+      if (!mode.skipped_reason.empty()) {
+        json << "\"skipped_reason\":\"" << mode.skipped_reason << "\"}";
+        continue;
+      }
+      json << "\"wall_s\":" << mode.wall_s
            << ",\"runs_per_s\":" << mode.runs_per_s
            << ",\"leases\":" << mode.leases
            << ",\"speedup_vs_single\":";

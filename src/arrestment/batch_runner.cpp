@@ -1,5 +1,7 @@
 #include "arrestment/batch_runner.hpp"
 
+#include <algorithm>
+#include <deque>
 #include <utility>
 
 #include "arrestment/batch_system.hpp"
@@ -35,19 +37,19 @@ struct BatchInstruments {
   /// Folds one finished batch in. Derived *after* the kernel ran, from
   /// counts the batch already kept -- the tick loop stays untouched.
   void observe(const BatchedArrestmentSystem& batch,
-               std::size_t injection_lanes) const {
+               std::size_t injection_lanes, std::size_t segment_count) const {
     if (retire_ticks != nullptr) {
       for (const std::uint64_t tick : batch.retirement_ticks()) {
         retire_ticks->observe(static_cast<double>(tick));
       }
     }
     const std::uint64_t ticks = batch.ticks_simulated();
-    // Every executed tick sweeps all lanes (golden included; retired lanes
-    // are dead but still swept branch-free): one commanded-pressure LUT
-    // gather and four ExactDivisor divides per lane per tick
-    // (environment.cpp's step_lanes_kernel).
+    // Every executed tick sweeps all lanes (goldens included -- one per
+    // segment; retired lanes are dead but still swept branch-free): one
+    // commanded-pressure LUT gather and four ExactDivisor divides per lane
+    // per tick (environment.cpp's step_lanes_kernel).
     const std::uint64_t lane_ticks =
-        ticks * static_cast<std::uint64_t>(injection_lanes + 1);
+        ticks * static_cast<std::uint64_t>(injection_lanes + segment_count);
     if (kernel_ticks != nullptr) kernel_ticks->add(ticks);
     if (lut_gathers != nullptr) lut_gathers->add(lane_ticks);
     if (exact_div_ops != nullptr) exact_div_ops->add(lane_ticks * 4);
@@ -58,74 +60,118 @@ std::vector<fi::DivergenceReport> run_batch(
     const WarmStartEngine& engine, const fi::BatchRunRequest& request,
     BatchRunStats* stats, const BatchInstruments& instruments) {
   PROPANE_REQUIRE(!request.lanes.empty());
-  PROPANE_REQUIRE(request.test_case < engine.cases().size());
   if (instruments.group_lanes != nullptr) {
     instruments.group_lanes->observe(
         static_cast<double>(request.lanes.size()));
   }
 
-  // An injection at/after the horizon never fires: the run is the golden
-  // run, every signal matches, and no simulation is needed.
-  if (request.fire_ms >= engine.duration_ms()) {
-    std::vector<fi::DivergenceReport> reports(request.lanes.size());
-    for (fi::DivergenceReport& report : reports) {
-      report.per_signal.resize(kAllSignals.size());
+  std::vector<fi::DivergenceReport> reports(request.lanes.size());
+
+  // Peel lanes whose injection fires at/after the horizon: those runs
+  // *are* the golden run, every signal matches, and no simulation is
+  // needed. The rest ("live" lanes) go to the kernel; the batch starts at
+  // the earliest live fire tick, and later-firing lanes simply track their
+  // golden lane bit-identically until their tick arrives.
+  std::vector<std::size_t> live;  // request indices, request order
+  live.reserve(request.lanes.size());
+  std::uint64_t start_ms = ~std::uint64_t{0};
+  for (std::size_t i = 0; i < request.lanes.size(); ++i) {
+    const fi::BatchLaneRequest& lane = request.lanes[i];
+    PROPANE_REQUIRE(lane.test_case < engine.cases().size());
+    const std::uint64_t fire_ms = injection_fire_ms(lane.spec->when);
+    if (fire_ms >= engine.duration_ms()) {
+      reports[i].per_signal.resize(kAllSignals.size());
+    } else {
+      live.push_back(i);
+      start_ms = std::min(start_ms, fire_ms);
     }
-    if (stats != nullptr) {
-      stats->never_fire_lanes.fetch_add(request.lanes.size(),
-                                        std::memory_order_relaxed);
-      stats->saved_lane_ms.fetch_add(
-          request.lanes.size() * engine.duration_ms(),
-          std::memory_order_relaxed);
+  }
+  const std::size_t never_fire = request.lanes.size() - live.size();
+  if (stats != nullptr && never_fire > 0) {
+    stats->never_fire_lanes.fetch_add(never_fire, std::memory_order_relaxed);
+    stats->saved_lane_ms.fetch_add(never_fire * engine.duration_ms(),
+                                   std::memory_order_relaxed);
+  }
+  if (live.empty()) return reports;
+
+  // One segment per distinct test case, in first-appearance order; a
+  // segment's lanes keep request order (the planner's fire-tick order, so
+  // staggered lanes cluster late in the segment).
+  std::vector<std::uint32_t> seg_case;
+  std::vector<std::vector<BatchLaneSpec>> seg_specs;
+  std::vector<std::vector<std::size_t>> seg_request;
+  for (const std::size_t i : live) {
+    const fi::BatchLaneRequest& lane = request.lanes[i];
+    const auto it = std::find(seg_case.begin(), seg_case.end(),
+                              lane.test_case);
+    std::size_t s = static_cast<std::size_t>(it - seg_case.begin());
+    if (it == seg_case.end()) {
+      seg_case.push_back(lane.test_case);
+      seg_specs.emplace_back();
+      seg_request.emplace_back();
     }
-    return reports;
+    seg_specs[s].push_back({lane.spec, lane.rng_seed});
+    seg_request[s].push_back(i);
   }
 
-  std::vector<BatchLaneSpec> lanes;
-  lanes.reserve(request.lanes.size());
-  for (const fi::BatchLaneRequest& lane : request.lanes) {
-    lanes.push_back({lane.spec, lane.rng_seed});
+  // Warm path: every segment restores its test case's golden checkpoint at
+  // the shared start tick (the warm-start engine checkpoints every test
+  // case at every distinct plan fire tick, so a packed batch warm-starts
+  // whenever any single-group batch would). fire tick 0 has no prefix, and
+  // a missing checkpoint for *any* segment sends the whole batch cold --
+  // all origins must sit at the same tick.
+  std::vector<std::shared_ptr<const WarmStartEngine::Checkpoint>> checkpoints;
+  bool warm = start_ms > 0;
+  if (warm) {
+    checkpoints.reserve(seg_case.size());
+    for (const std::uint32_t tc : seg_case) {
+      std::shared_ptr<const WarmStartEngine::Checkpoint> checkpoint =
+          engine.lookup(tc, start_ms);
+      if (checkpoint == nullptr) {
+        warm = false;
+        checkpoints.clear();
+        break;
+      }
+      checkpoints.push_back(std::move(checkpoint));
+    }
   }
 
-  // Warm path: all lanes of the group share one fire tick, so one golden
-  // checkpoint seeds the whole batch. fire tick 0 has no prefix; cold
-  // batches replay from t=0 (still batched, just without prefix reuse).
-  const std::shared_ptr<const WarmStartEngine::Checkpoint> checkpoint =
-      request.fire_ms > 0
-          ? engine.lookup(request.test_case, request.fire_ms)
-          : nullptr;
-
-  std::vector<fi::DivergenceReport> reports;
-  std::size_t converged = 0;
-  std::size_t exhausted = 0;
-  std::uint64_t saved = 0;
-  if (checkpoint != nullptr) {
-    BatchedArrestmentSystem batch(*checkpoint->system, lanes,
-                                  engine.duration());
-    reports = batch.run();
-    converged = batch.lanes_retired_converged();
-    exhausted = batch.lanes_retired_exhausted();
-    saved = batch.saved_lane_ms() +
-            lanes.size() * checkpoint->ms;  // prefix not re-simulated
-    instruments.observe(batch, lanes.size());
-  } else {
-    const ArrestmentSystem origin(engine.cases()[request.test_case]);
-    BatchedArrestmentSystem batch(origin, lanes, engine.duration());
-    reports = batch.run();
-    converged = batch.lanes_retired_converged();
-    exhausted = batch.lanes_retired_exhausted();
-    saved = batch.saved_lane_ms();
-    instruments.observe(batch, lanes.size());
+  std::deque<ArrestmentSystem> cold_origins;  // stable addresses
+  std::vector<BatchSegment> segments;
+  segments.reserve(seg_case.size());
+  for (std::size_t s = 0; s < seg_case.size(); ++s) {
+    const ArrestmentSystem* origin = nullptr;
+    if (warm) {
+      origin = checkpoints[s]->system.get();
+    } else {
+      origin = &cold_origins.emplace_back(engine.cases()[seg_case[s]]);
+    }
+    segments.push_back({origin, seg_specs[s]});
   }
+
+  BatchedArrestmentSystem batch(segments, engine.duration());
+  std::vector<fi::DivergenceReport> live_reports = batch.run();
+  // Kernel reports come back in cross-segment spec order; scatter them to
+  // the request's lane slots.
+  std::size_t j = 0;
+  for (std::size_t s = 0; s < seg_request.size(); ++s) {
+    for (const std::size_t i : seg_request[s]) {
+      reports[i] = std::move(live_reports[j++]);
+    }
+  }
+  instruments.observe(batch, live.size(), segments.size());
 
   if (stats != nullptr) {
     stats->batches.fetch_add(1, std::memory_order_relaxed);
-    stats->batched_lanes.fetch_add(request.lanes.size(),
-                                   std::memory_order_relaxed);
-    stats->retired_converged.fetch_add(converged,
+    stats->batched_lanes.fetch_add(live.size(), std::memory_order_relaxed);
+    stats->retired_converged.fetch_add(batch.lanes_retired_converged(),
                                        std::memory_order_relaxed);
-    stats->retired_exhausted.fetch_add(exhausted,
+    stats->retired_exhausted.fetch_add(batch.lanes_retired_exhausted(),
                                        std::memory_order_relaxed);
+    // Early exit plus, on the warm path, the shared prefix each live lane
+    // did not re-simulate.
+    const std::uint64_t saved =
+        batch.saved_lane_ms() + (warm ? live.size() * start_ms : 0);
     stats->saved_lane_ms.fetch_add(saved, std::memory_order_relaxed);
   }
   return reports;

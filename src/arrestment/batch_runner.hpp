@@ -2,13 +2,16 @@
 // campaign executor's batch planner (fi::BatchRunFunction) to the SoA
 // batched kernel (BatchedArrestmentSystem).
 //
-// A batch is all the runs of one (test case, fire tick) group the planner
-// formed. The runner starts every lane from the warm-start checkpoint of
-// that fire tick when one exists (composing batching with prefix reuse:
-// the shared golden prefix is simulated zero times, not N times), from a
-// fresh t=0 system otherwise, and short-circuits never-firing groups --
-// the injection time is at/after the horizon, so the run *is* the golden
-// run -- to all-clear reports without simulating at all.
+// A batch is whatever lane set the planner packed -- lanes may mix test
+// cases (each distinct test case becomes a kernel segment with its own
+// golden lane) and fire ticks (the batch starts at the earliest live fire
+// tick; later lanes activate when their tick arrives). The runner restores
+// every segment from its test case's warm-start checkpoint at that start
+// tick when one exists (composing batching with prefix reuse: each shared
+// golden prefix is simulated zero times, not N times), falls back to fresh
+// t=0 origins otherwise, and short-circuits never-firing lanes -- the
+// injection time is at/after the horizon, so the run *is* the golden run
+// -- to all-clear reports without simulating them at all.
 #pragma once
 
 #include <atomic>

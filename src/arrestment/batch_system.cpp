@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <utility>
+#include <vector>
 
 #include "arrestment/constants.hpp"
 #include "common/contracts.hpp"
@@ -20,9 +21,13 @@ namespace {
 constexpr std::uint64_t kConvergenceCheckPeriod = 16;
 
 /// Bit `l` of the result is set iff `row[l] != golden`, for `l` in
-/// [0, n); n <= 64. The divergence scan intersects this with the pending
-/// mask, so the per-lane bookkeeping only runs for lanes that diverge on
-/// this very tick -- almost always none.
+/// [0, n); n <= 64. Each batch segment screens its own lane sub-row
+/// against its own golden value, so cross-test-case batches reuse this
+/// single compare kernel unchanged -- per-lane golden bases reduce to a
+/// per-segment base pointer plus broadcast golden. The divergence scan
+/// intersects the result with the pending mask, so the per-lane
+/// bookkeeping only runs for lanes that diverge on this very tick --
+/// almost always none.
 std::uint64_t diff_bits(const std::uint16_t* row, std::uint16_t golden,
                         std::size_t n) {
   std::uint64_t bits = 0;
@@ -59,58 +64,135 @@ std::uint64_t diff_bits(const std::uint16_t* row, std::uint16_t golden,
   return bits;
 }
 
+const ArrestmentSystem& primary_origin(
+    std::span<const BatchSegment> segments) {
+  PROPANE_REQUIRE_MSG(!segments.empty(), "batch needs at least one segment");
+  PROPANE_REQUIRE(segments.front().origin != nullptr);
+  return *segments.front().origin;
+}
+
+std::size_t total_lanes(std::span<const BatchSegment> segments) {
+  std::size_t lanes = segments.size();  // one golden lane per segment
+  for (const BatchSegment& segment : segments) {
+    lanes += segment.specs.size();
+  }
+  return lanes;
+}
+
 }  // namespace
 
 BatchedArrestmentSystem::BatchedArrestmentSystem(
     const ArrestmentSystem& origin, std::span<const BatchLaneSpec> specs,
     sim::SimTime duration)
-    : lanes_(specs.size() + 1),
-      signals_(origin.bus().signal_count()),
-      map_(origin.map()),
+    : BatchedArrestmentSystem(
+          std::vector<BatchSegment>{BatchSegment{&origin, specs}},
+          duration) {}
+
+BatchedArrestmentSystem::BatchedArrestmentSystem(
+    std::span<const BatchSegment> segments, sim::SimTime duration)
+    : lanes_(total_lanes(segments)),
+      signals_(primary_origin(segments).bus().signal_count()),
+      map_(primary_origin(segments).map()),
       duration_(duration),
       duration_ms_(sim::to_milliseconds(duration)),
-      names_(fi::intern_signal_names(origin.bus().names())),
-      bus_(origin.bus(), lanes_),
+      names_(fi::intern_signal_names(primary_origin(segments).bus().names())),
+      bus_(primary_origin(segments).bus(), lanes_),
       scheduler_(kSlotCount),
-      env_(origin.environment(), map_, lanes_),
+      env_(primary_origin(segments).environment(), map_, lanes_),
       clock_(map_),
-      dist_s_(map_, origin.dist_s(), lanes_),
+      dist_s_(map_, primary_origin(segments).dist_s(), lanes_),
       pres_s_(map_),
       pres_a_(map_),
-      v_reg_(map_, origin.v_reg(), lanes_),
-      calc_(map_, origin.calc(), lanes_),
-      specs_(specs.begin(), specs.end()),
-      fired_(specs.size(), 0),
-      unfired_(specs.size()),
-      reports_(specs.size()),
-      undiverged_(specs.size(),
-                  static_cast<std::uint32_t>(signals_)),
-      conv_hint_(specs.size(), 0),
-      active_(specs.size(), /*set=*/true),
-      active_count_(specs.size()) {
-  PROPANE_REQUIRE_MSG(!specs.empty(), "batch needs at least one injection");
-  PROPANE_REQUIRE_MSG(origin.now() < duration,
+      v_reg_(map_, primary_origin(segments).v_reg(), lanes_),
+      calc_(map_, primary_origin(segments).calc(), lanes_) {
+  const ArrestmentSystem& origin0 = primary_origin(segments);
+  PROPANE_REQUIRE_MSG(origin0.now() < duration,
                       "batch origin must precede the horizon");
-  start_ms_ = sim::to_milliseconds(origin.now());
-  retirement_ticks_.reserve(specs.size());
-  for (const BatchLaneSpec& lane : specs_) {
-    PROPANE_REQUIRE(lane.spec != nullptr);
-    PROPANE_REQUIRE(lane.spec->model.apply != nullptr);
-    PROPANE_REQUIRE_MSG(lane.spec->target < signals_,
+  start_ms_ = sim::to_milliseconds(origin0.now());
+
+  // Lane geometry, cross-segment spec table, and per-segment state
+  // seeding. The broadcast member constructors above replicated segment
+  // 0's origin across *every* lane; the other segments' lanes (golden
+  // included) are overwritten here with their own origin's state.
+  std::size_t lane = 0;
+  std::size_t bit = 0;
+  segments_.reserve(segments.size());
+  for (const BatchSegment& segment : segments) {
+    PROPANE_REQUIRE(segment.origin != nullptr);
+    const ArrestmentSystem& origin = *segment.origin;
+    PROPANE_REQUIRE_MSG(origin.now() == origin0.now(),
+                        "batch segments must share the origin tick");
+    PROPANE_REQUIRE_MSG(origin.bus().signal_count() == signals_,
+                        "batch segments must share the bus layout");
+    SegmentInfo info;
+    info.golden_lane = lane;
+    info.first_lane = lane + 1;
+    info.first_bit = bit;
+    info.count = segment.specs.size();
+    if (&origin != &origin0) {
+      for (std::size_t l = info.golden_lane;
+           l <= info.golden_lane + info.count; ++l) {
+        bus_.load_lane(l, origin.bus().values());
+        env_.load_lane(l, origin.environment());
+        dist_s_.load_lane(l, origin.dist_s());
+        v_reg_.load_lane(l, origin.v_reg());
+        calc_.load_lane(l, origin.calc());
+      }
+    }
+    for (const BatchLaneSpec& spec : segment.specs) {
+      specs_.push_back(spec);
+      spec_lane_.push_back(
+          static_cast<std::uint32_t>(info.first_lane +
+                                     (specs_.size() - 1 - info.first_bit)));
+      spec_golden_.push_back(static_cast<std::uint32_t>(info.golden_lane));
+    }
+    segments_.push_back(info);
+    lane += info.count + 1;
+    bit += info.count;
+  }
+  PROPANE_REQUIRE_MSG(!specs_.empty(), "batch needs at least one injection");
+
+  // Golden-gather tables for the vectorised screen (lanes_ <= 64; wider
+  // batches use the chunked general path in check_divergence).
+  if (lanes_ <= 64) {
+    for (const SegmentInfo& seg : segments_) {
+      golden_idx_[seg.golden_lane] =
+          static_cast<std::uint16_t>(seg.golden_lane);
+      for (std::size_t k = 0; k < seg.count; ++k) {
+        golden_idx_[seg.first_lane + k] =
+            static_cast<std::uint16_t>(seg.golden_lane);
+        spec_lane_mask_ |= std::uint64_t{1} << (seg.first_lane + k);
+      }
+    }
+  }
+  for (const BatchLaneSpec& lane_spec : specs_) {
+    PROPANE_REQUIRE(lane_spec.spec != nullptr);
+    PROPANE_REQUIRE(lane_spec.spec->model.apply != nullptr);
+    PROPANE_REQUIRE_MSG(lane_spec.spec->target < signals_,
                         "injection targets unknown signal");
   }
+
+  fired_.assign(specs_.size(), 0);
+  unfired_ = specs_.size();
+  reports_.resize(specs_.size());
   for (fi::DivergenceReport& report : reports_) {
     report.per_signal.resize(signals_);
   }
+  undiverged_.assign(specs_.size(), static_cast<std::uint32_t>(signals_));
+  conv_hint_.assign(specs_.size(), 0);
+  active_ = sim::LaneMask(specs_.size(), /*set=*/true);
+  active_count_ = specs_.size();
+  retirement_ticks_.reserve(specs_.size());
   pending_.reserve(signals_);
   for (std::size_t sig = 0; sig < signals_; ++sig) {
     pending_.emplace_back(specs_.size(), /*set=*/true);
   }
+  screen_words_.resize((specs_.size() + 63) / 64);
 
   // Resume simulated time where the origin stopped: slot position is
   // now/1ms modulo the cycle, exactly where a scalar run from t=0 would be.
-  scheduler_.seek(origin.now(),
-                  origin.current_ms() % scheduler_.slot_count());
+  scheduler_.seek(origin0.now(),
+                  origin0.current_ms() % scheduler_.slot_count());
 
   // One tick == one scheduler slot. Registration order reproduces
   // ArrestmentSystem::tick step for step; batch tasks that dispatch on the
@@ -172,23 +254,41 @@ BatchedArrestmentSystem::BatchedArrestmentSystem(
 BatchedArrestmentSystem::~BatchedArrestmentSystem() = default;
 
 void BatchedArrestmentSystem::enable_recording(const fi::TraceSet* prefix) {
+  PROPANE_REQUIRE_MSG(segments_.size() == 1,
+                      "multi-segment batches take one prefix per segment");
+  const fi::TraceSet* prefixes[] = {prefix};
+  enable_recording(std::span<const fi::TraceSet* const>(prefixes, 1));
+}
+
+void BatchedArrestmentSystem::enable_recording(
+    std::span<const fi::TraceSet* const> prefixes) {
   PROPANE_REQUIRE_MSG(ticks_ == 0, "enable_recording must precede run()");
+  PROPANE_REQUIRE_MSG(prefixes.size() == segments_.size(),
+                      "one prefix per segment");
   recording_ = true;
-  if (prefix != nullptr) {
-    PROPANE_REQUIRE_MSG(prefix->signal_count() == signals_,
-                        "prefix signals must match the bus");
-    PROPANE_REQUIRE(prefix->sample_count() ==
-                    sim::to_milliseconds(scheduler_.now()));
-  }
   traces_.reserve(lanes_);
-  for (std::size_t lane = 0; lane < lanes_; ++lane) {
-    fi::TraceSet trace(names_);
-    trace.reserve(duration_ms_);
+  for (std::size_t s = 0; s < segments_.size(); ++s) {
+    const fi::TraceSet* prefix = prefixes[s];
+    // Only the rows before the origin tick seed the traces: the prefix may
+    // be exactly that long, or a full golden trace shared across fire
+    // ticks (WarmStartEngine::Checkpoint::golden).
+    const std::size_t prefix_rows = sim::to_milliseconds(scheduler_.now());
     if (prefix != nullptr) {
-      trace.append_rows(
-          {prefix->data(), prefix->sample_count() * signals_});
+      PROPANE_REQUIRE_MSG(prefix->signal_count() == signals_,
+                          "prefix signals must match the bus");
+      PROPANE_REQUIRE(prefix->sample_count() >= prefix_rows);
     }
-    traces_.push_back(std::move(trace));
+    // This segment's golden lane plus its injection lanes, in lane order
+    // (segments are laid out lane-contiguously, so traces_ indexes by bus
+    // lane).
+    for (std::size_t l = 0; l <= segments_[s].count; ++l) {
+      fi::TraceSet trace(names_);
+      trace.reserve(duration_ms_);
+      if (prefix != nullptr) {
+        trace.append_rows({prefix->data(), prefix_rows * signals_});
+      }
+      traces_.push_back(std::move(trace));
+    }
   }
   row_scratch_.resize(signals_);
 }
@@ -207,12 +307,13 @@ std::vector<fi::DivergenceReport> BatchedArrestmentSystem::run() {
 fi::TraceSet BatchedArrestmentSystem::take_lane_trace(std::size_t i) {
   PROPANE_REQUIRE_MSG(recording_, "recording mode only");
   PROPANE_REQUIRE(i < specs_.size());
-  return std::move(traces_[i + 1]);
+  return std::move(traces_[spec_lane_[i]]);
 }
 
-fi::TraceSet BatchedArrestmentSystem::take_golden_trace() {
+fi::TraceSet BatchedArrestmentSystem::take_golden_trace(std::size_t segment) {
   PROPANE_REQUIRE_MSG(recording_, "recording mode only");
-  return std::move(traces_[0]);
+  PROPANE_REQUIRE(segment < segments_.size());
+  return std::move(traces_[segments_[segment].golden_lane]);
 }
 
 void BatchedArrestmentSystem::fire_injections(sim::SimTime now,
@@ -225,8 +326,10 @@ void BatchedArrestmentSystem::fire_injections(sim::SimTime now,
     // Replicates InjectionDriver byte for byte: the run's RNG stream is
     // fork(0) of the seeded generator (the scalar path forks stream 0 for
     // the primary injection), and the error model transforms the stored
-    // value in place.
-    const std::size_t lane = j + 1;
+    // value in place. Staggered lanes (fire tick after the batch origin)
+    // activate here too: until this scan fires them they evolve
+    // bit-identically to their segment's golden lane.
+    const std::size_t lane = spec_lane_[j];
     Rng seeder(specs_[j].rng_seed);
     Rng rng = seeder.fork(0);
     const std::uint16_t before = bus_.read(spec.target, lane);
@@ -244,19 +347,55 @@ void BatchedArrestmentSystem::step_environment(sim::SimTime now) {
 void BatchedArrestmentSystem::check_divergence(sim::SimTime now) {
   const std::size_t spec_count = specs_.size();
   // Screen phase: compute, for every signal, the lanes diverging from
-  // golden on this very tick (vector compare intersected with the pending
-  // set). The loop reads but never writes heap state, so the compiler
-  // keeps it tight; on the overwhelmingly common tick the accumulated
-  // mask is zero and the function is done.
+  // their segment's golden lane on this very tick (per-segment vector
+  // compare, shifted to the segment's bit range, intersected with the
+  // pending set). The loop reads but never writes heap state, so the
+  // compiler keeps it tight; on the overwhelmingly common tick the
+  // accumulated mask is zero and the function is done.
   constexpr std::size_t kMaxScreenSignals = 64;
-  if (spec_count <= 64 && signals_ <= kMaxScreenSignals) [[likely]] {
+#if defined(__AVX512BW__) && defined(__BMI2__)
+  // Golden-gather screen: one permute maps every bus lane to its segment's
+  // golden value, one masked compare yields all divergence bits at once,
+  // and a pext compacts the injection-lane bits into cross-segment spec
+  // order (golden lanes compare equal to themselves and drop out) -- the
+  // per-signal cost is independent of how many test cases the batch packs.
+  if (lanes_ <= 64 && signals_ <= kMaxScreenSignals) [[likely]] {
+    const __mmask32 m0 =
+        lanes_ >= 32 ? ~__mmask32{0}
+                     : static_cast<__mmask32>((1u << lanes_) - 1);
+    const __mmask32 m1 =
+        lanes_ <= 32
+            ? __mmask32{0}
+            : (lanes_ >= 64
+                   ? ~__mmask32{0}
+                   : static_cast<__mmask32>((1u << (lanes_ - 32)) - 1));
+    const __m512i idx0 = _mm512_loadu_si512(golden_idx_.data());
+    const __m512i idx1 = _mm512_loadu_si512(golden_idx_.data() + 32);
     std::uint64_t newly[kMaxScreenSignals];
     std::uint64_t any = 0;
     for (std::size_t sig = 0; sig < signals_; ++sig) {
+      // A signal every lane has already diverged on is settled for the
+      // rest of the run: skip its compares entirely.
+      const std::uint64_t pend = pending_[sig].word(0);
+      if (pend == 0) {
+        newly[sig] = 0;
+        continue;
+      }
       const std::span<const std::uint16_t> row =
           bus_.lane_values(static_cast<fi::BusSignalId>(sig));
-      newly[sig] = diff_bits(row.data() + 1, row[0], spec_count) &
-                   pending_[sig].word(0);
+      const __m512i r0 = _mm512_maskz_loadu_epi16(m0, row.data());
+      const __m512i r1 = m1 != 0
+                             ? _mm512_maskz_loadu_epi16(m1, row.data() + 32)
+                             : _mm512_setzero_si512();
+      const __m512i g0 = _mm512_permutex2var_epi16(r0, idx0, r1);
+      std::uint64_t ne = _mm512_mask_cmpneq_epu16_mask(m0, r0, g0);
+      if (m1 != 0) {
+        const __m512i g1 = _mm512_permutex2var_epi16(r0, idx1, r1);
+        ne |= static_cast<std::uint64_t>(
+                  _mm512_mask_cmpneq_epu16_mask(m1, r1, g1))
+              << 32;
+      }
+      newly[sig] = _pext_u64(ne, spec_lane_mask_) & pend;
       any |= newly[sig];
     }
     if (any == 0) return;
@@ -269,23 +408,76 @@ void BatchedArrestmentSystem::check_divergence(sim::SimTime now) {
     }
     return;
   }
-  // General path: batches wider than one mask word.
+#endif
+  if (spec_count <= 64 && signals_ <= kMaxScreenSignals) [[likely]] {
+    std::uint64_t newly[kMaxScreenSignals];
+    std::uint64_t any = 0;
+    for (std::size_t sig = 0; sig < signals_; ++sig) {
+      // Once every lane has recorded its first divergence on a signal, the
+      // signal's screen is settled for the rest of the run -- skip the
+      // compares entirely (long post-divergence tails make this the common
+      // case for reactive signals).
+      const std::uint64_t pend = pending_[sig].word(0);
+      if (pend == 0) {
+        newly[sig] = 0;
+        continue;
+      }
+      const std::span<const std::uint16_t> row =
+          bus_.lane_values(static_cast<fi::BusSignalId>(sig));
+      std::uint64_t bits = 0;
+      for (const SegmentInfo& seg : segments_) {
+        if (seg.count == 0) continue;
+        bits |= diff_bits(row.data() + seg.first_lane,
+                          row[seg.golden_lane], seg.count)
+                << seg.first_bit;
+      }
+      newly[sig] = bits & pend;
+      any |= newly[sig];
+    }
+    if (any == 0) return;
+    const std::uint64_t ms = sim::to_milliseconds(now);
+    for (std::size_t sig = 0; sig < signals_; ++sig) {
+      if (newly[sig] != 0) {
+        pending_[sig].reset_word_bits(0, newly[sig]);
+        note_divergences(sig, 0, newly[sig], ms);
+      }
+    }
+    return;
+  }
+  // General path: batches wider than one mask word. Per segment, screen in
+  // <= 64-lane chunks and scatter the chunk bits into the word-indexed
+  // scratch (a chunk may straddle two words when first_bit is unaligned).
   const std::uint64_t ms = sim::to_milliseconds(now);
   for (std::size_t sig = 0; sig < signals_; ++sig) {
     sim::LaneMask& pend = pending_[sig];
+    if (pend.none()) continue;  // settled: every lane recorded a divergence
     const std::span<const std::uint16_t> row =
         bus_.lane_values(static_cast<fi::BusSignalId>(sig));
-    const std::uint16_t golden = row[0];
+    std::fill(screen_words_.begin(), screen_words_.end(), 0);
+    bool any = false;
+    for (const SegmentInfo& seg : segments_) {
+      const std::uint16_t golden = row[seg.golden_lane];
+      for (std::size_t c = 0; c < seg.count; c += 64) {
+        const std::size_t n = std::min<std::size_t>(64, seg.count - c);
+        const std::uint64_t bits =
+            diff_bits(row.data() + seg.first_lane + c, golden, n);
+        if (bits == 0) continue;
+        const std::size_t pos = seg.first_bit + c;
+        const std::size_t w = pos >> 6;
+        const std::size_t shift = pos & 63;
+        screen_words_[w] |= bits << shift;
+        if (shift != 0 && n > 64 - shift) {
+          screen_words_[w + 1] |= bits >> (64 - shift);
+        }
+        any = true;
+      }
+    }
+    if (!any) continue;
     for (std::size_t w = 0; w < pend.word_count(); ++w) {
-      const std::uint64_t pw = pend.word(w);
-      if (pw == 0) continue;
-      const std::size_t base = w * 64;
-      const std::size_t n = std::min<std::size_t>(64, spec_count - base);
-      const std::uint64_t newly =
-          diff_bits(row.data() + 1 + base, golden, n) & pw;
+      const std::uint64_t newly = screen_words_[w] & pend.word(w);
       if (newly == 0) continue;
       pend.reset_word_bits(w, newly);
-      note_divergences(sig, base, newly, ms);
+      note_divergences(sig, w * 64, newly, ms);
     }
   }
 }
@@ -296,7 +488,6 @@ void BatchedArrestmentSystem::note_divergences(std::size_t sig,
                                                std::uint64_t ms) {
   const std::span<const std::uint16_t> row =
       bus_.lane_values(static_cast<fi::BusSignalId>(sig));
-  const std::uint16_t golden = row[0];
   while (newly != 0) {
     const auto bit = static_cast<std::size_t>(__builtin_ctzll(newly));
     newly &= newly - 1;
@@ -305,8 +496,8 @@ void BatchedArrestmentSystem::note_divergences(std::size_t sig,
         reports_[j].per_signal[static_cast<fi::BusSignalId>(sig)];
     d.diverged = true;
     d.first_ms = ms;
-    d.golden_value = golden;
-    d.observed_value = row[j + 1];
+    d.golden_value = row[spec_golden_[j]];
+    d.observed_value = row[spec_lane_[j]];
     if (--undiverged_[j] == 0 && !recording_ && active_.test(j)) {
       retire(j, ms, /*was_converged=*/false);
     }
@@ -317,28 +508,29 @@ void BatchedArrestmentSystem::check_convergence(sim::SimTime now) {
   const std::uint64_t ms = sim::to_milliseconds(now);
   active_.for_each([&](std::size_t j) {
     // Only a lane whose injection has fired may retire as converged: before
-    // the fire, lane state trivially equals the golden lane's.
+    // the fire, lane state trivially equals its golden lane's.
     if (!fired_[j]) return;
-    const std::size_t lane = j + 1;
+    const std::size_t lane = spec_lane_[j];
+    const std::size_t golden = spec_golden_[j];
     // A lane carrying a persistent error keeps mismatching on the same
     // signal check after check; probing that signal first turns the
     // common no-convergence outcome into a single compare.
     const auto hinted = static_cast<fi::BusSignalId>(conv_hint_[j]);
-    if (bus_.read(hinted, lane) != bus_.read(hinted, 0)) return;
+    if (bus_.read(hinted, lane) != bus_.read(hinted, golden)) return;
     for (std::size_t sig = 0; sig < signals_; ++sig) {
       const auto id = static_cast<fi::BusSignalId>(sig);
-      if (bus_.read(id, lane) != bus_.read(id, 0)) {
+      if (bus_.read(id, lane) != bus_.read(id, golden)) {
         conv_hint_[j] = static_cast<std::uint16_t>(sig);
         return;
       }
     }
-    if (!dist_s_.lane_equals(lane, 0)) return;
-    if (!v_reg_.lane_equals(lane, 0)) return;
-    if (!calc_.lane_equals(lane, 0)) return;
-    if (!env_.lane_equals(lane, 0)) return;
+    if (!dist_s_.lane_equals(lane, golden)) return;
+    if (!v_reg_.lane_equals(lane, golden)) return;
+    if (!calc_.lane_equals(lane, golden)) return;
+    if (!env_.lane_equals(lane, golden)) return;
     // Complete state (bus + module-internal + bus-feeding environment)
-    // equals the golden lane: every future sample coincides, so the
-    // report is final.
+    // equals the segment's golden lane: every future sample coincides, so
+    // the report is final.
     for (std::size_t sig = 0; sig < signals_; ++sig) {
       if (pending_[sig].test(j)) pending_[sig].reset(j);
     }

@@ -93,6 +93,18 @@ class BatchedCalc {
   BatchedCalc(const BusMap& map, const CalcModule& prototype,
               std::size_t lanes);
 
+  /// Overwrites one lane's segment state with `prototype`'s
+  /// (cross-test-case batch segment seeding). Must precede the first
+  /// step_lanes.
+  void load_lane(std::size_t lane, const CalcModule& prototype) {
+    const CalcModule::Snapshot snap = prototype.snapshot();
+    seg_start_pulses_[lane] = snap.seg_start_pulses;
+    seg_start_ms_[lane] = snap.seg_start_ms;
+    seg_start_velocity_[lane] = snap.seg_start_velocity;
+    seg_set_value_[lane] = snap.seg_set_value;
+    gain_[lane] = snap.gain;
+  }
+
   /// One background-task invocation over all lanes.
   void step_lanes(fi::BatchedSignalBus& bus);
 

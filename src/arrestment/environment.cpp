@@ -65,14 +65,26 @@ BatchedEnvironment::BatchedEnvironment(const Environment& origin,
     : map_(map),
       timer_(kTimerTicksPerUs),
       adc_(0.0, kMaxPressurePa),
-      mass_(origin.mass_kg()),
-      div_mass_(origin.mass_kg()),
+      mass_y_(lane_count, ExactDivisor(origin.mass_kg()).divisor()),
+      mass_recip_(lane_count, ExactDivisor(origin.mass_kg()).reciprocal()),
       div_adc_span_(adc_.hi() - adc_.lo()),
       velocity_(lane_count, origin.velocity_mps()),
       position_(lane_count, origin.position_m()),
       pressure_(lane_count, origin.pressure_pa()),
       pulse_accumulator_(lane_count, origin.pulse_accumulator()),
       peak_decel_(lane_count, origin.peak_decel()) {}
+
+void BatchedEnvironment::load_lane(std::size_t lane,
+                                   const Environment& origin) {
+  const ExactDivisor div_mass(origin.mass_kg());
+  mass_y_[lane] = div_mass.divisor();
+  mass_recip_[lane] = div_mass.reciprocal();
+  velocity_[lane] = origin.velocity_mps();
+  position_[lane] = origin.position_m();
+  pressure_[lane] = origin.pressure_pa();
+  pulse_accumulator_[lane] = origin.pulse_accumulator();
+  peak_decel_[lane] = origin.peak_decel();
+}
 
 namespace {
 
@@ -105,10 +117,15 @@ const double* commanded_pressure_lut() {
 /// branch. Every array element is loaded and stored exactly once, and the
 /// selects are between plain values (never references), keeping every
 /// statement speculation-safe for the vectorizer. All four per-lane
-/// divides go through ExactDivisor (divisors are batch-invariant), which
-/// returns the correctly-rounded quotient -- the same bits as the scalar
-/// path's divide instructions -- at multiply/FMA throughput.
-void step_lanes_kernel(std::size_t lanes, ExactDivisor div_mass,
+/// divides go through ExactDivisor's Markstein sequence, which returns the
+/// correctly-rounded quotient -- the same bits as the scalar path's divide
+/// instructions -- at multiply/FMA throughput. The mass divisor is the one
+/// divisor that varies *per lane* (cross-test-case batches mix masses), so
+/// it arrives as unit-stride (y, recip) rows and the divide inlines via
+/// ExactDivisor::divide_by; the others are batch-invariant or constant.
+void step_lanes_kernel(std::size_t lanes,
+                       const double* __restrict mass_y,
+                       const double* __restrict mass_recip,
                        ExactDivisor div_span, sim::Adc adc,
                        std::uint16_t tcnt,
                        const double* __restrict cmd_lut,
@@ -140,7 +157,8 @@ void step_lanes_kernel(std::size_t lanes, ExactDivisor div_mass,
     const bool moving = velocity > 0.0;
     const double brake_force = kMaxBrakeForceN * div_pmax.divide(pressure);
     const double friction = kFrictionNsPerM * velocity;
-    const double decel = div_mass.divide(brake_force + friction);
+    const double decel = ExactDivisor::divide_by(brake_force + friction,
+                                                 mass_y[l], mass_recip[l]);
     peak_decel = moving && decel > peak_decel ? decel : peak_decel;
     const double slowed = velocity - decel * dt;
     velocity = moving ? (slowed > 0.0 ? slowed : 0.0) : velocity;
@@ -178,7 +196,8 @@ void step_lanes_kernel(std::size_t lanes, ExactDivisor div_mass,
 void BatchedEnvironment::step_lanes(fi::BatchedSignalBus& bus,
                                     sim::SimTime now) {
   const std::uint16_t tcnt = timer_.read(now);  // lane-independent
-  step_lanes_kernel(velocity_.size(), div_mass_, div_adc_span_, adc_, tcnt,
+  step_lanes_kernel(velocity_.size(), mass_y_.data(), mass_recip_.data(),
+                    div_adc_span_, adc_, tcnt,
                     commanded_pressure_lut(),
                     bus.lane_values(map_.toc2).data(),
                     bus.lane_values(map_.pacnt).data(),

@@ -89,13 +89,21 @@ class BatchedEnvironment {
   BatchedEnvironment(const Environment& origin, const BusMap& map,
                      std::size_t lane_count);
 
+  /// Overwrites one lane's physical state (including its mass divisor)
+  /// with `origin`'s -- how a cross-test-case batch seeds the lanes of its
+  /// non-primary segments. Must be called before the first step_lanes.
+  void load_lane(std::size_t lane, const Environment& origin);
+
   /// Advances every lane by one millisecond ending at `now`, publishing
   /// the sensor rows (PACNT, TIC1, TCNT, ADC) and consuming TOC2.
   void step_lanes(fi::BatchedSignalBus& bus, sim::SimTime now);
 
   /// Lane-level bus_state_equals (velocity, pressure, pulse accumulator).
+  /// The mass guard is defensive: convergence only ever compares a lane
+  /// with its own segment's golden lane, which shares the test case.
   bool lane_equals(std::size_t a, std::size_t b) const {
-    return velocity_[a] == velocity_[b] && pressure_[a] == pressure_[b] &&
+    return mass_y_[a] == mass_y_[b] && velocity_[a] == velocity_[b] &&
+           pressure_[a] == pressure_[b] &&
            pulse_accumulator_[a] == pulse_accumulator_[b];
   }
 
@@ -104,10 +112,12 @@ class BatchedEnvironment {
   sim::FreeRunningTimer timer_;
   sim::Adc adc_;
 
-  double mass_;
-  // Batch-invariant divisors for the sweep's per-lane divides (the other
-  // two divisors are compile-time constants inside the kernel).
-  ExactDivisor div_mass_;
+  // Per-lane mass divisor, split into (y, recip) rows so the sweep's
+  // Markstein divide (ExactDivisor::divide_by) reads unit-stride arrays.
+  // Lanes of different test cases carry different masses; the other
+  // divisors are batch-invariant (ADC span) or compile-time constants.
+  std::vector<double> mass_y_;
+  std::vector<double> mass_recip_;
   ExactDivisor div_adc_span_;
   std::vector<double> velocity_;
   std::vector<double> position_;

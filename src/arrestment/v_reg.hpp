@@ -52,6 +52,12 @@ class BatchedVReg {
         out_value_(map.out_value),
         integrator_(lanes, prototype.integrator()) {}
 
+  /// Overwrites one lane's integrator with `prototype`'s (cross-test-case
+  /// batch segment seeding). Must precede the first step_lanes.
+  void load_lane(std::size_t lane, const VRegModule& prototype) {
+    integrator_[lane] = prototype.integrator();
+  }
+
   void step_lanes(fi::BatchedSignalBus& bus);
 
   bool lane_equals(std::size_t a, std::size_t b) const {

@@ -44,17 +44,29 @@ fi::TraceSet WarmStartEngine::golden_run(const fi::RunRequest& request) {
   options.duration = duration_;
   options.rng_seed = request.rng_seed;
 
+  // Snapshot systems during the run; the trace is attached afterwards, so
+  // all of this test case's checkpoints share ONE full golden trace copy
+  // instead of each holding a private prefix copy (for a sparse plan --
+  // many distinct fire ticks -- that per-tick copying used to dominate
+  // engine warm-up).
+  std::vector<std::pair<std::size_t, std::unique_ptr<ArrestmentSystem>>>
+      snapshots;
   std::size_t next = 0;
   while (system.now() < duration_) {
     if (next < checkpoint_ms_.size() &&
         system.current_ms() == checkpoint_ms_[next]) {
-      publish(request.test_case, next, system, recorder.trace());
+      snapshots.emplace_back(next, std::make_unique<ArrestmentSystem>(system));
       ++next;
     }
     system.tick(options);
     recorder.sample();
   }
-  return recorder.take();
+  fi::TraceSet trace = recorder.take();
+  if (!snapshots.empty()) {
+    publish(request.test_case, std::move(snapshots),
+            std::make_shared<const fi::TraceSet>(trace));
+  }
+  return trace;
 }
 
 fi::TraceSet WarmStartEngine::injection_run(const fi::RunRequest& request) {
@@ -74,7 +86,9 @@ fi::TraceSet WarmStartEngine::injection_run(const fi::RunRequest& request) {
   }
 
   ArrestmentSystem system(*checkpoint->system);
-  fi::TraceRecorder recorder(system.bus(), checkpoint->prefix, duration_ms_);
+  fi::TraceRecorder recorder(system.bus(), *checkpoint->golden,
+                             static_cast<std::size_t>(checkpoint->ms),
+                             duration_ms_);
   while (system.now() < duration_) {
     system.tick(options);
     recorder.sample();
@@ -86,15 +100,19 @@ fi::TraceSet WarmStartEngine::injection_run(const fi::RunRequest& request) {
   return recorder.take();
 }
 
-void WarmStartEngine::publish(std::uint32_t test_case, std::size_t slot,
-                              const ArrestmentSystem& system,
-                              const fi::TraceSet& prefix) {
-  auto checkpoint = std::make_shared<Checkpoint>();
-  checkpoint->system = std::make_unique<ArrestmentSystem>(system);
-  checkpoint->prefix = prefix;  // flat copy: one allocation + memcpy
-  checkpoint->ms = checkpoint_ms_[slot];
+void WarmStartEngine::publish(
+    std::uint32_t test_case,
+    std::vector<std::pair<std::size_t, std::unique_ptr<ArrestmentSystem>>>
+        snapshots,
+    std::shared_ptr<const fi::TraceSet> golden) {
   std::scoped_lock lock(mutex_);
-  slots_[test_case][slot] = std::move(checkpoint);
+  for (auto& [slot, system] : snapshots) {
+    auto checkpoint = std::make_shared<Checkpoint>();
+    checkpoint->system = std::move(system);
+    checkpoint->golden = golden;
+    checkpoint->ms = checkpoint_ms_[slot];
+    slots_[test_case][slot] = std::move(checkpoint);
+  }
 }
 
 std::shared_ptr<const WarmStartEngine::Checkpoint> WarmStartEngine::lookup(

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "arrestment/system.hpp"
@@ -48,15 +49,18 @@ inline std::uint64_t injection_fire_ms(sim::SimTime when) {
 
 /// Golden-run execution with checkpoint capture, plus checkpoint-resumed
 /// scalar injection runs. Thread-safe; checkpoints are kept for the
-/// engine's lifetime (memory is O(test_cases x distinct fire times x
-/// prefix length)).
+/// engine's lifetime (memory is O(test_cases x (trace length + distinct
+/// fire times x system state)) -- the golden trace is shared across a test
+/// case's checkpoints, not copied per fire tick).
 class WarmStartEngine {
  public:
   /// Run state frozen at the start of tick `ms`: the system after ticks
-  /// 0..ms-1 plus the trace rows recorded for them.
+  /// 0..ms-1, plus the test case's full golden trace -- shared by every
+  /// checkpoint of that case (the prefix is its first `ms` rows), so
+  /// capturing C checkpoints costs one trace copy, not C prefix copies.
   struct Checkpoint {
     std::unique_ptr<ArrestmentSystem> system;
-    fi::TraceSet prefix;
+    std::shared_ptr<const fi::TraceSet> golden;
     std::uint64_t ms = 0;
   };
 
@@ -83,8 +87,11 @@ class WarmStartEngine {
  private:
   fi::TraceSet golden_run(const fi::RunRequest& request);
   fi::TraceSet injection_run(const fi::RunRequest& request);
-  void publish(std::uint32_t test_case, std::size_t slot,
-               const ArrestmentSystem& system, const fi::TraceSet& prefix);
+  void publish(
+      std::uint32_t test_case,
+      std::vector<std::pair<std::size_t, std::unique_ptr<ArrestmentSystem>>>
+          snapshots,
+      std::shared_ptr<const fi::TraceSet> golden);
 
   std::vector<TestCase> cases_;
   sim::SimTime duration_;

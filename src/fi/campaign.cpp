@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
 #include <utility>
 
 #include "common/contracts.hpp"
@@ -265,11 +266,16 @@ void CampaignExecutor::execute_range_batched(RunRange range) {
 
   // --- Plan. Walk the range in flat order, filter through should_run
   // (exactly like the scalar path -- skipped runs never reach a batch),
-  // group the survivors by (test case, fire tick) and cut each group into
-  // batches of at most `lanes_per_batch` lanes. Grouping keys and lane
-  // order are pure functions of the plan, so any range partition yields
-  // the same batches for the runs it covers.
-  std::map<std::pair<std::uint32_t, std::uint64_t>,
+  // order the survivors by (fire tick, test case) and pack them greedily
+  // into batches of at most `lanes_per_batch` lanes. Batches freely mix
+  // test cases (the runner gives each test case its own golden lane) and
+  // fire ticks (later-firing lanes ride along from the earliest fire tick
+  // and activate when their tick arrives), so thin groups -- sparse plans,
+  // delta-invalidated subsets, range tails -- still fill the SoA kernel.
+  // Batch composition is a pure execution detail: every lane's report is
+  // bit-identical to its scalar run whatever batch it lands in, so any
+  // range partition or batch size yields byte-identical records.
+  std::map<std::pair<std::uint64_t, std::uint32_t>,
            std::vector<BatchLaneRequest>>
       groups;
   for (std::size_t flat = range.begin; flat < range.end; ++flat) {
@@ -294,24 +300,22 @@ void CampaignExecutor::execute_range_batched(RunRange range) {
     lane.test_case = static_cast<std::uint32_t>(tc);
     lane.rng_seed = injection_run_seed(config_, flat);
     lane.spec = &spec;
-    groups[{static_cast<std::uint32_t>(tc), injection_fire_ms(spec.when)}]
+    groups[{injection_fire_ms(spec.when), static_cast<std::uint32_t>(tc)}]
         .push_back(lane);
   }
 
   std::vector<BatchRunRequest> batches;
+  BatchRunRequest open;
   for (auto& [key, lanes] : groups) {
-    for (std::size_t begin = 0; begin < lanes.size();
-         begin += lanes_per_batch) {
-      const std::size_t end =
-          std::min(begin + lanes_per_batch, lanes.size());
-      BatchRunRequest batch;
-      batch.test_case = key.first;
-      batch.fire_ms = key.second;
-      batch.lanes.assign(lanes.begin() + static_cast<std::ptrdiff_t>(begin),
-                         lanes.begin() + static_cast<std::ptrdiff_t>(end));
-      batches.push_back(std::move(batch));
+    for (BatchLaneRequest& lane : lanes) {
+      if (open.lanes.size() == lanes_per_batch) {
+        batches.push_back(std::move(open));
+        open = BatchRunRequest{};
+      }
+      open.lanes.push_back(lane);
     }
   }
+  if (!open.lanes.empty()) batches.push_back(std::move(open));
 
   // --- Execute. One pool task per batch; per-lane records keep the exact
   // identity, seed and report content of the scalar path, so journals and
@@ -333,9 +337,19 @@ void CampaignExecutor::execute_range_batched(RunRange range) {
     const std::uint64_t dur_us = timed ? obs::steady_now_us() - start_us : 0;
     // Whole-batch wall time attributed evenly across the lanes it covered.
     const std::uint64_t lane_us = dur_us / batch.lanes.size();
+    // Batch shape for profiling: earliest fire tick (the tick the kernel
+    // starts from), distinct test cases (one golden lane each) and lane
+    // count -- occupancy is lanes / batch size.
+    std::uint64_t start_fire_ms = ~std::uint64_t{0};
+    std::set<std::uint32_t> batch_cases;
+    for (const BatchLaneRequest& lane : batch.lanes) {
+      start_fire_ms =
+          std::min(start_fire_ms, injection_fire_ms(lane.spec->when));
+      batch_cases.insert(lane.test_case);
+    }
     obs::emit_event(telemetry, "campaign.batch.done",
-                    {{"test_case", obs::Value(batch.test_case)},
-                     {"fire_ms", obs::Value(batch.fire_ms)},
+                    {{"fire_ms", obs::Value(start_fire_ms)},
+                     {"test_cases", obs::Value(batch_cases.size())},
                      {"lanes", obs::Value(batch.lanes.size())},
                      {"dur_us", obs::Value(dur_us)}});
 

@@ -55,12 +55,13 @@ struct BatchLaneRequest {
   const InjectionSpec* spec = nullptr;
 };
 
-/// A lockstep batch: injection runs of one test case sharing a fire tick,
-/// simulated together against an implicit golden lane. `fire_ms` at or
-/// beyond the run horizon means no lane ever fires (all-clear reports).
+/// A lockstep batch: injection runs simulated together, each lane tracked
+/// against a golden lane of its own test case. Lanes may mix test cases
+/// and fire ticks freely (the planner packs them to saturate the SoA
+/// kernel); per-lane identity, test case and fire time travel in the lane
+/// entries. A lane whose injection fires at/after the run horizon never
+/// fires (all-clear report).
 struct BatchRunRequest {
-  std::uint32_t test_case = 0;
-  std::uint64_t fire_ms = 0;
   std::vector<BatchLaneRequest> lanes;
 };
 
@@ -236,10 +237,12 @@ class CampaignExecutor {
   /// execute in any order; hooks.should_run is the seam that keeps a flat
   /// index from running twice when ranges overlap (e.g. a requeued lease).
   /// When the runner has a BatchRunFunction, the range is planned into
-  /// lockstep batches (grouped by test case and fire tick); records keep
-  /// their flat identity either way, so journals and CSVs are
-  /// bit-identical to the scalar path. Not thread-safe: call from one
-  /// thread at a time.
+  /// lockstep batches (runs ordered by fire tick then test case and packed
+  /// greedily, so lanes of different test cases and fire ticks share a
+  /// batch); records keep their flat identity either way, and every lane
+  /// is bit-identical to its scalar run regardless of batch composition,
+  /// so journals and CSVs are bit-identical to the scalar path. Not
+  /// thread-safe: call from one thread at a time.
   void execute_range(RunRange range);
 
   const CampaignResult& result() const { return result_; }

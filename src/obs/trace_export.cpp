@@ -290,8 +290,8 @@ TraceExportSummary write_chrome_trace(
         const std::uint64_t dur = u64_or(event, "dur_us", 0);
         const std::int64_t start = t_us - static_cast<std::int64_t>(dur);
         std::vector<Field> args = {
-            {"test_case", Value(u64_or(event, "test_case", 0))},
             {"fire_ms", Value(u64_or(event, "fire_ms", 0))},
+            {"test_cases", Value(u64_or(event, "test_cases", 1))},
             {"lanes", Value(u64_or(event, "lanes", 0))}};
         if (const std::uint64_t lease = containing_lease(t_us); lease != 0) {
           args.push_back({"parent_span_id", Value(lease)});

@@ -1,6 +1,8 @@
 #include "store/campaign_session.hpp"
 
+#include <algorithm>
 #include <cstdio>
+#include <thread>
 
 #include "common/contracts.hpp"
 #include "obs/clock.hpp"
@@ -79,8 +81,17 @@ JournaledCampaignSession::JournaledCampaignSession(
   completed_count_ = state.completed_count;
   if (completed_.empty()) completed_.assign(manifest_.total_runs(), false);
 
+  // shard_count 0 = auto: one shard per campaign worker thread, so the
+  // parallel batch path appends journal records without shard contention.
+  std::size_t shard_count = options_.shard_count;
+  if (shard_count == 0) {
+    shard_count =
+        config.threads > 0
+            ? config.threads
+            : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
   writer_ = std::make_unique<ShardedJournalWriter>(
-      dir, manifest_, options_.shard_count, telemetry_, session_tag);
+      dir, manifest_, shard_count, telemetry_, session_tag);
   if (progress_ != nullptr) {
     progress_->set_total(manifest_.total_runs());
     progress_->set_journal(writer_->bytes_written(), writer_->shard_count());

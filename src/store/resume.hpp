@@ -68,7 +68,12 @@ CampaignDirState scan_campaign_dir(
         nullptr);
 
 struct JournalRunOptions {
-  /// Shard files this session writes (>= worker threads removes contention).
+  /// Shard files this session writes (>= worker threads removes
+  /// contention). 0 = auto: one shard per campaign worker thread
+  /// (config.threads, or hardware concurrency when that is 0), so
+  /// thread-parallel batch execution appends without shard-mutex
+  /// contention by default. Estimates and CSVs are pure functions of
+  /// journal *content*, so any shard count yields byte-identical output.
   std::size_t shard_count = 1;
   /// Process-split: this process executes only flat run indices congruent
   /// to process_index modulo process_count.

@@ -21,6 +21,7 @@
 #include "arrestment/batch_system.hpp"
 #include "arrestment/model.hpp"
 #include "arrestment/testcase.hpp"
+#include "store/result_cache.hpp"
 #include "store/resume.hpp"
 
 namespace propane::arr {
@@ -169,7 +170,7 @@ TEST(BatchKernel, WarmCheckpointBatchRecordsBitIdenticalLaneTraces) {
     lanes.push_back(BatchLaneSpec{&specs[i], 40 + i});
   }
   BatchedArrestmentSystem batch(*checkpoint->system, lanes, kShortRun);
-  batch.enable_recording(&checkpoint->prefix);
+  batch.enable_recording(checkpoint->golden.get());
   batch.run();
 
   EXPECT_TRUE(traces_identical(batch.take_golden_trace(), golden));
@@ -324,6 +325,292 @@ TEST(BatchJournal, MidBatchKillAndResumeUnderDifferentBatchSize) {
   EXPECT_EQ(resumed.skipped_completed, partial.completed_count);
 
   EXPECT_EQ(journal_csv(dir), scalar_csv);
+}
+
+// --- Packed cross-test-case batches --------------------------------------
+
+/// Sparse plan: one bit, many instants. Each (test case, fire tick) group
+/// holds exactly one lane, so saturating a batch *requires* packing lanes
+/// across test cases and fire ticks; a never-fire lane rides along and
+/// must be peeled out of the packed batch.
+fi::CampaignConfig sparse_plan_config() {
+  fi::CampaignConfig config;
+  config.test_case_count = 2;
+  config.seed = 0x5BA12;
+  const fi::BusSignalId pulscnt = bus_id("pulscnt");
+  for (sim::SimTime i = 0; i < 12; ++i) {
+    config.injections.push_back(fi::InjectionSpec{
+        pulscnt, (20 + 20 * i) * sim::kMillisecond, fi::bit_flip(3)});
+  }
+  config.injections.push_back(
+      fi::InjectionSpec{bus_id("SetValue"), kShortRun, fi::bit_flip(1)});
+  return config;
+}
+
+TEST(BatchKernel, PackedCrossCaseStaggeredBatchRecordsBitIdenticalTraces) {
+  const std::vector<TestCase> cases = grid_test_cases(1, 2);
+  // Segment 0 (test case 0) carries two lanes, one firing after the batch
+  // origin (staggered activation); segment 1 (test case 1) carries one.
+  const std::vector<fi::InjectionSpec> specs = {
+      fi::InjectionSpec{bus_id("pulscnt"), 40 * sim::kMillisecond,
+                        fi::bit_flip(3)},
+      fi::InjectionSpec{bus_id("PACNT"), 90 * sim::kMillisecond,
+                        fi::random_replacement()},
+      fi::InjectionSpec{bus_id("SetValue"), 40 * sim::kMillisecond,
+                        fi::bit_flip(12)},
+  };
+  const std::vector<BatchLaneSpec> lanes0 = {BatchLaneSpec{&specs[0], 11},
+                                             BatchLaneSpec{&specs[1], 12}};
+  const std::vector<BatchLaneSpec> lanes1 = {BatchLaneSpec{&specs[2], 13}};
+  const ArrestmentSystem origin0(cases[0]);
+  const ArrestmentSystem origin1(cases[1]);
+  const std::vector<BatchSegment> segments = {BatchSegment{&origin0, lanes0},
+                                              BatchSegment{&origin1, lanes1}};
+  BatchedArrestmentSystem batch(segments, kShortRun);
+  const fi::TraceSet* prefixes[] = {nullptr, nullptr};
+  batch.enable_recording(std::span<const fi::TraceSet* const>(prefixes, 2));
+  const std::vector<fi::DivergenceReport> reports = batch.run();
+  ASSERT_EQ(reports.size(), specs.size());
+
+  RunOptions golden_options;
+  golden_options.duration = kShortRun;
+  for (std::size_t tc = 0; tc < cases.size(); ++tc) {
+    EXPECT_TRUE(
+        traces_identical(batch.take_golden_trace(tc),
+                         run_arrestment(cases[tc], golden_options).trace))
+        << "golden " << tc;
+  }
+  const std::uint32_t spec_case[] = {0, 0, 1};
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    RunOptions options;
+    options.duration = kShortRun;
+    options.injection = specs[i];
+    options.rng_seed = 11 + i;
+    const RunOutcome scalar = run_arrestment(cases[spec_case[i]], options);
+    EXPECT_TRUE(traces_identical(batch.take_lane_trace(i), scalar.trace))
+        << "lane " << i;
+    EXPECT_TRUE(reports_identical(
+        reports[i],
+        fi::compare_to_golden(
+            run_arrestment(cases[spec_case[i]], golden_options).trace,
+            scalar.trace)))
+        << "lane " << i;
+  }
+}
+
+TEST(BatchKernel, ZeroLaneSegmentCoexistsWithPackedLanes) {
+  const std::vector<TestCase> cases = grid_test_cases(1, 2);
+  const std::vector<fi::InjectionSpec> specs = {
+      fi::InjectionSpec{bus_id("pulscnt"), 40 * sim::kMillisecond,
+                        fi::bit_flip(3)},
+  };
+  const std::vector<BatchLaneSpec> lanes1 = {BatchLaneSpec{&specs[0], 21}};
+  const ArrestmentSystem origin0(cases[0]);
+  const ArrestmentSystem origin1(cases[1]);
+  // Segment 0 contributes only its golden lane (count == 0); the screen
+  // and the convergence scan must skip it without touching its bit range.
+  const std::vector<BatchSegment> segments = {
+      BatchSegment{&origin0, std::span<const BatchLaneSpec>{}},
+      BatchSegment{&origin1, lanes1}};
+  BatchedArrestmentSystem batch(segments, kShortRun);
+  const fi::TraceSet* prefixes[] = {nullptr, nullptr};
+  batch.enable_recording(std::span<const fi::TraceSet* const>(prefixes, 2));
+  const std::vector<fi::DivergenceReport> reports = batch.run();
+  ASSERT_EQ(reports.size(), 1u);
+
+  RunOptions golden_options;
+  golden_options.duration = kShortRun;
+  for (std::size_t tc = 0; tc < cases.size(); ++tc) {
+    EXPECT_TRUE(
+        traces_identical(batch.take_golden_trace(tc),
+                         run_arrestment(cases[tc], golden_options).trace))
+        << "golden " << tc;
+  }
+  RunOptions options;
+  options.duration = kShortRun;
+  options.injection = specs[0];
+  options.rng_seed = 21;
+  EXPECT_TRUE(traces_identical(batch.take_lane_trace(0),
+                               run_arrestment(cases[1], options).trace));
+}
+
+TEST(BatchCampaign, SparsePlanPacksAcrossTestCasesAndFireTicks) {
+  const std::vector<TestCase> cases = grid_test_cases(1, 2);
+  fi::CampaignConfig config = sparse_plan_config();
+  const fi::CampaignResult scalar =
+      fi::run_campaign(campaign_runner(cases, kShortRun), config);
+
+  config.batch_size = 32;
+  const auto stats = std::make_shared<BatchRunStats>();
+  const fi::CampaignResult batched = fi::run_campaign(
+      batched_campaign_runner(cases, config, kShortRun, nullptr, stats),
+      config);
+
+  // 24 single-lane (test case, fire tick) groups plus 2 never-fire lanes
+  // pack into ONE kernel batch; the never-fire lanes are peeled before
+  // simulation.
+  EXPECT_EQ(stats->batches.load(), 1u);
+  EXPECT_EQ(stats->batched_lanes.load(), 24u);
+  EXPECT_EQ(stats->never_fire_lanes.load(), 2u);
+
+  ASSERT_EQ(batched.records.size(), scalar.records.size());
+  for (std::size_t r = 0; r < scalar.records.size(); ++r) {
+    EXPECT_TRUE(reports_identical(batched.records[r].report,
+                                  scalar.records[r].report))
+        << "record " << r;
+  }
+}
+
+TEST(BatchCampaign, NeverFirePlanAnswersWithoutSimulation) {
+  const std::vector<TestCase> cases = grid_test_cases(1, 2);
+  fi::CampaignConfig config;
+  config.test_case_count = 2;
+  config.seed = 0xF1FE;
+  config.injections = {
+      fi::InjectionSpec{bus_id("pulscnt"), kShortRun, fi::bit_flip(3)},
+      fi::InjectionSpec{bus_id("SetValue"),
+                        kShortRun + 5 * sim::kMillisecond, fi::bit_flip(1)},
+  };
+  const fi::CampaignResult scalar =
+      fi::run_campaign(campaign_runner(cases, kShortRun), config);
+
+  const auto stats = std::make_shared<BatchRunStats>();
+  const fi::CampaignResult batched = fi::run_campaign(
+      batched_campaign_runner(cases, config, kShortRun, nullptr, stats),
+      config);
+
+  EXPECT_EQ(stats->batches.load(), 0u);
+  EXPECT_EQ(stats->batched_lanes.load(), 0u);
+  EXPECT_EQ(stats->never_fire_lanes.load(), 4u);
+  ASSERT_EQ(batched.records.size(), scalar.records.size());
+  for (std::size_t r = 0; r < scalar.records.size(); ++r) {
+    EXPECT_TRUE(reports_identical(batched.records[r].report,
+                                  scalar.records[r].report))
+        << "record " << r;
+  }
+}
+
+TEST(BatchJournal, SparsePackedPlanCsvByteIdenticalToScalar) {
+  const std::vector<TestCase> cases = grid_test_cases(1, 2);
+  fi::CampaignConfig config = sparse_plan_config();
+
+  const fs::path scalar_dir = fresh_dir("batch_sparse_scalar");
+  store::run_journaled_campaign(campaign_runner(cases, kShortRun), config,
+                                scalar_dir);
+  const std::string scalar_csv = journal_csv(scalar_dir);
+  ASSERT_FALSE(scalar_csv.empty());
+
+  for (const std::size_t batch_size : {std::size_t{5}, std::size_t{32}}) {
+    SCOPED_TRACE("batch_size=" + std::to_string(batch_size));
+    config.batch_size = batch_size;
+    const fs::path dir =
+        fresh_dir("batch_sparse_" + std::to_string(batch_size));
+    store::run_journaled_campaign(
+        batched_campaign_runner(cases, config, kShortRun), config, dir);
+    EXPECT_EQ(journal_csv(dir), scalar_csv);
+  }
+}
+
+TEST(BatchJournal, ThreadedAutoShardedJournalCsvByteIdenticalToScalar) {
+  const std::vector<TestCase> cases = grid_test_cases(1, 2);
+  fi::CampaignConfig config = sparse_plan_config();
+
+  const fs::path scalar_dir = fresh_dir("batch_mt_scalar");
+  store::run_journaled_campaign(campaign_runner(cases, kShortRun), config,
+                                scalar_dir);
+  const std::string scalar_csv = journal_csv(scalar_dir);
+
+  // Four worker threads, several batches each; shard_count 0 auto-scales
+  // to one journal shard per worker, so appends run without contention.
+  // CSVs are pure functions of journal *content*: any thread interleaving
+  // and shard layout must merge to the same bytes.
+  config.threads = 4;
+  config.batch_size = 4;
+  store::JournalRunOptions options;
+  options.shard_count = 0;
+  const fs::path dir = fresh_dir("batch_mt_sharded");
+  const store::JournalRunSummary summary = store::run_journaled_campaign(
+      batched_campaign_runner(cases, config, kShortRun), config, dir,
+      options);
+  EXPECT_EQ(summary.executed,
+            config.injections.size() * config.test_case_count);
+  EXPECT_EQ(journal_csv(dir), scalar_csv);
+}
+
+TEST(BatchJournal, ResumeOfCompleteJournalPlansNoBatches) {
+  const std::vector<TestCase> cases = grid_test_cases(1, 2);
+  fi::CampaignConfig config = sparse_plan_config();
+  config.batch_size = 8;
+
+  const fs::path dir = fresh_dir("batch_resume_complete");
+  store::run_journaled_campaign(
+      batched_campaign_runner(cases, config, kShortRun), config, dir);
+  const std::string csv = journal_csv(dir);
+
+  // Every run is journaled: the planner sees zero missing lanes and the
+  // batch path must cope with an entirely empty plan.
+  const auto stats = std::make_shared<BatchRunStats>();
+  const store::JournalRunSummary resumed = store::run_journaled_campaign(
+      batched_campaign_runner(cases, config, kShortRun, nullptr, stats),
+      config, dir);
+  EXPECT_EQ(resumed.executed, 0u);
+  EXPECT_EQ(resumed.skipped_completed,
+            config.injections.size() * config.test_case_count);
+  EXPECT_EQ(stats->batches.load(), 0u);
+  EXPECT_EQ(journal_csv(dir), csv);
+}
+
+// --- Delta campaigns through the batch planner ---------------------------
+
+TEST(BatchDelta, InvalidatedRunsExecuteThroughPackedBatches) {
+  const std::vector<TestCase> cases = grid_test_cases(1, 2);
+  fi::CampaignConfig config;
+  config.test_case_count = 2;
+  config.seed = 0xDE17A;
+  // Two target families: SetValue feeds V_REG directly (invalidated by a
+  // V_REG version bump), pulscnt does not (replayed from the baseline).
+  for (sim::SimTime i = 0; i < 6; ++i) {
+    config.injections.push_back(fi::InjectionSpec{
+        bus_id("pulscnt"), (20 + 20 * i) * sim::kMillisecond,
+        fi::bit_flip(3)});
+    config.injections.push_back(fi::InjectionSpec{
+        bus_id("SetValue"), (30 + 20 * i) * sim::kMillisecond,
+        fi::bit_flip(9)});
+  }
+  config.batch_size = 8;
+  const core::SystemModel model = make_arrestment_model();
+  const fi::SignalBinding binding = make_arrestment_binding(model);
+
+  store::DeltaRunOptions options;
+  options.module_versions = module_version_tokens();
+  const fs::path base_dir = fresh_dir("batch_delta_base");
+  store::run_delta_journaled_campaign(
+      batched_campaign_runner(cases, config, kShortRun), config, model,
+      binding, base_dir, store::ResultCache{}, options);
+  const std::string cold_csv = journal_csv(base_dir);
+  ASSERT_FALSE(cold_csv.empty());
+
+  // Bump V_REG: its consumers' runs re-execute -- through the batch
+  // planner, packed across test cases and fire ticks -- while the rest
+  // replay from the baseline. The merged journal must be byte-identical.
+  store::DeltaRunOptions changed;
+  changed.module_versions =
+      module_version_tokens({{"V_REG", 0x5EED5EED5EED5EEDULL}});
+  const auto stats = std::make_shared<BatchRunStats>();
+  const fs::path delta_dir = fresh_dir("batch_delta_out");
+  const store::DeltaJournalSummary summary =
+      store::run_delta_journaled_campaign(
+          batched_campaign_runner(cases, config, kShortRun, nullptr, stats),
+          config, model, binding, delta_dir,
+          store::ResultCache::load(base_dir), changed);
+
+  EXPECT_EQ(summary.executed, 12u);  // 6 SetValue instants x 2 test cases
+  EXPECT_EQ(summary.replayed, 12u);
+  // Packing proof: 12 single-lane (test case, fire tick) groups ran as
+  // ceil(12 / 8) = 2 batches, not 12.
+  EXPECT_EQ(stats->batches.load(), 2u);
+  EXPECT_EQ(stats->batched_lanes.load(), 12u);
+  EXPECT_EQ(journal_csv(delta_dir), cold_csv);
 }
 
 }  // namespace

@@ -64,6 +64,7 @@
 #include "common/thread_pool.hpp"
 #include "core/propane.hpp"
 #include "exp/paper_experiment.hpp"
+#include "fi/campaign.hpp"
 #include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/ndjson.hpp"
@@ -312,6 +313,23 @@ void print_warnings(const std::vector<std::string>& warnings) {
     std::fprintf(stderr, "propane: warning: %s\n", warning.c_str());
   }
 }
+
+/// Lane-occupancy summary from batch.group.lanes histogram totals: batched
+/// injection lanes over total kernel lane slots (batches x lane width).
+/// 1.00 means the planner ran every batch full. Quiet when no batched
+/// session contributed.
+void print_batch_occupancy(std::uint64_t batches, double lanes) {
+  if (batches == 0) return;
+  const std::size_t width = fi::kDefaultBatchSize;
+  std::printf(
+      "batch occupancy: %.2f (%.0f lane(s) across %llu batch(es), "
+      "width %zu)\n",
+      lanes / (static_cast<double>(batches) * static_cast<double>(width)),
+      lanes, static_cast<unsigned long long>(batches), width);
+}
+
+// Defined with the telemetry helpers below (campaign top section).
+void print_batch_occupancy_from_telemetry(const CampaignArgs& args);
 
 std::filesystem::path telemetry_path(const CampaignArgs& args) {
   return args.metrics_out.empty()
@@ -687,6 +705,7 @@ int cmd_campaign_stats(const CampaignArgs& args) {
               stats.replayed_count, stats.duplicate_count);
   std::puts("Estimated permeabilities (Table 1 style):");
   std::puts(exp::table1_permeability(model, stats.estimation).render().c_str());
+  print_batch_occupancy_from_telemetry(args);
   if (!args.csv_path.empty()) {
     std::printf("permeability CSV written to %s\n", args.csv_path.c_str());
   }
@@ -771,6 +790,43 @@ std::vector<std::pair<std::string, std::filesystem::path>> telemetry_streams(
   return streams;
 }
 
+/// Best-effort scan of the journal's telemetry stream(s) for final
+/// batch.group.lanes histogram metrics (one per batched session per
+/// stream; sessions and workers sum), feeding print_batch_occupancy.
+/// Telemetry is an enrichment for `campaign stats`, so missing files and
+/// malformed lines are silently skipped here -- `campaign top` is the
+/// strict NDJSON validator.
+void print_batch_occupancy_from_telemetry(const CampaignArgs& args) {
+  std::uint64_t batches = 0;
+  double lanes = 0.0;
+  for (const auto& [label, path] : telemetry_streams(args)) {
+    std::ifstream in(path);
+    if (!in) continue;
+    for (std::string line; std::getline(in, line);) {
+      const auto fields = obs::parse_flat_json_object(line);
+      if (!fields.has_value()) continue;
+      const obs::Value* event = find_field(*fields, "event");
+      if (event == nullptr || event->kind() != obs::Value::Kind::kString ||
+          event->as_string() != "metric") {
+        continue;
+      }
+      const obs::Value* name = find_field(*fields, "name");
+      if (name == nullptr || name->kind() != obs::Value::Kind::kString ||
+          name->as_string() != "batch.group.lanes") {
+        continue;
+      }
+      const obs::Value* count = find_field(*fields, "count");
+      const obs::Value* sum = find_field(*fields, "sum");
+      if (count != nullptr && count->is_number() && sum != nullptr &&
+          sum->is_number()) {
+        batches += count->as_uint();
+        lanes += sum->as_double();
+      }
+    }
+  }
+  print_batch_occupancy(batches, lanes);
+}
+
 /// Per-stream tallies for the `campaign top` breakdown table.
 struct StreamTally {
   std::string label;
@@ -801,6 +857,8 @@ int cmd_campaign_top(const CampaignArgs& args) {
   std::map<std::string, std::uint64_t> shard_bytes;  // shard -> last total
   std::vector<obs::Field> last_done;   // most recent campaign.done
   std::map<std::string, std::string> final_metrics;  // last metric events
+  std::uint64_t batch_groups = 0;      // batch.group.lanes totals, summed
+  double batch_lanes = 0.0;            // across sessions and workers
   std::size_t torn_lines = 0;
   std::vector<StreamTally> tallies;
 
@@ -909,6 +967,15 @@ int cmd_campaign_top(const CampaignArgs& args) {
               cell += std::string(key) + "=" + render_value(*v);
             }
             final_metrics[metric->as_string()] = cell;
+            if (metric->as_string() == "batch.group.lanes") {
+              const obs::Value* count = find_field(*fields, "count");
+              const obs::Value* sum = find_field(*fields, "sum");
+              if (count != nullptr && count->is_number() && sum != nullptr &&
+                  sum->is_number()) {
+                batch_groups += count->as_uint();
+                batch_lanes += sum->as_double();
+              }
+            }
           } else if (const obs::Value* v = find_field(*fields, "value")) {
             final_metrics[metric->as_string()] = render_value(*v);
           }
@@ -968,6 +1035,7 @@ int cmd_campaign_top(const CampaignArgs& args) {
     std::printf("journal: %llu bytes across %zu shard(s)\n",
                 static_cast<unsigned long long>(total), shard_bytes.size());
   }
+  print_batch_occupancy(batch_groups, batch_lanes);
   if (!last_done.empty()) {
     std::string line = "last session:";
     for (const obs::Field& field : last_done) {
