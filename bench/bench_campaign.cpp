@@ -24,6 +24,7 @@
 #include "arrestment/warm_start.hpp"
 #include "bench_util.hpp"
 #include "exp/paper_experiment.hpp"
+#include "fi/bootstrap.hpp"
 #include "fi/golden.hpp"
 #include "store/resume.hpp"
 #include "store/result_cache.hpp"
@@ -212,12 +213,13 @@ struct EndToEnd {
 };
 
 EndToEnd run_end_to_end(const Workload& w, bool warm,
-                        arr::WarmStartStats* stats_out = nullptr) {
+                        arr::WarmStartStats* stats_out = nullptr,
+                        fi::CampaignResult* result_out = nullptr) {
   fi::CampaignConfig config = w.config;
   config.warm_start = warm;
   const auto stats = std::make_shared<arr::WarmStartStats>();
   const auto start = Clock::now();
-  const fi::CampaignResult result = fi::run_campaign(
+  fi::CampaignResult result = fi::run_campaign(
       arr::warm_campaign_runner(w.cases, config, w.duration, stats), config);
   EndToEnd out;
   out.wall_s = seconds_since(start);
@@ -228,6 +230,41 @@ EndToEnd run_end_to_end(const Workload& w, bool warm,
     stats_out->cold_runs = stats->cold_runs.load();
     stats_out->saved_ms = stats->saved_ms.load();
   }
+  if (result_out != nullptr) *result_out = std::move(result);
+  return out;
+}
+
+/// Bootstrap resampling throughput over the warm campaign's records: no
+/// re-simulation, just mask redraws + graph propagation per replicate.
+struct BootstrapBench {
+  std::size_t replicates = 0;
+  std::size_t records = 0;
+  std::size_t cells = 0;
+  double wall_s = 0.0;
+  double replicates_per_s = 0.0;
+};
+
+BootstrapBench run_bootstrap_bench(const fi::CampaignResult& campaign,
+                                   std::size_t replicates) {
+  const core::SystemModel model = arr::make_arrestment_model();
+  const fi::SignalBinding binding = arr::make_arrestment_binding(model);
+  fi::BootstrapResampler resampler(model, binding,
+                                   binding.bus_upper_bound());
+  for (const fi::InjectionRecord& record : campaign.records) {
+    resampler.add(record);
+  }
+  fi::BootstrapOptions options;
+  options.replicates = replicates;
+  const fi::BootstrapResult result = resampler.run(options);
+  BootstrapBench out;
+  out.replicates = result.replicates;
+  out.records = result.record_count;
+  out.cells = result.cell_count;
+  out.wall_s = result.wall_seconds;
+  out.replicates_per_s = result.wall_seconds > 0.0
+                             ? static_cast<double>(result.replicates) /
+                                   result.wall_seconds
+                             : 0.0;
   return out;
 }
 
@@ -485,7 +522,9 @@ int main() {
   std::printf("cold campaign: %zu runs in %.2f s  =>  %.0f runs/s\n",
               cold.runs, cold.wall_s, cold.runs_per_s);
   arr::WarmStartStats warm_stats;
-  const EndToEnd warm = run_end_to_end(w, /*warm=*/true, &warm_stats);
+  fi::CampaignResult warm_campaign;
+  const EndToEnd warm =
+      run_end_to_end(w, /*warm=*/true, &warm_stats, &warm_campaign);
   std::printf("warm campaign: %zu runs in %.2f s  =>  %.0f runs/s "
               "(%zu warm, %zu cold-fallback, %llu sim-ms skipped)\n",
               warm.runs, warm.wall_s, warm.runs_per_s,
@@ -531,6 +570,15 @@ int main() {
               delta.delta_replayed, delta.delta_wall_s, delta.speedup,
               delta.delta_batches, delta.delta_batched_lanes,
               delta.delta_lane_occupancy);
+
+  // --- bootstrap resampling over the warm campaign's records --------------
+  const std::size_t boot_replicates = w.scale == "smoke" ? 200 : 1000;
+  const BootstrapBench boot =
+      run_bootstrap_bench(warm_campaign, boot_replicates);
+  std::printf("bootstrap resample: %zu replicates over %zu records "
+              "(%zu cells) in %.2f s  =>  %.0f replicates/s\n",
+              boot.replicates, boot.records, boot.cells, boot.wall_s,
+              boot.replicates_per_s);
 
   // --- dispatched campaign: serve with 1 and 2 worker processes -----------
   const unsigned cpus = std::max(1u, std::thread::hardware_concurrency());
@@ -629,6 +677,11 @@ int main() {
          << ",\"batched_lanes\":" << delta.delta_batched_lanes
          << ",\"lane_width\":" << lane_width
          << ",\"lane_occupancy\":" << delta.delta_lane_occupancy << "}}"
+         << ",\"bootstrap\":{\"replicates\":" << boot.replicates
+         << ",\"records\":" << boot.records
+         << ",\"cells\":" << boot.cells
+         << ",\"wall_s\":" << boot.wall_s
+         << ",\"replicates_per_s\":" << boot.replicates_per_s << "}"
          << ",\"serve\":{\"total_runs\":" << serve.total_runs
          << ",\"cpus\":" << cpus
          << ",\"single\":{\"wall_s\":" << serve.single_wall_s

@@ -57,6 +57,33 @@ Interval wilson_interval(std::size_t successes, std::size_t trials, double z) {
                   std::min(1.0, (centre + margin) / denom)};
 }
 
+double quantile_sorted(std::span<const double> sorted, double q) {
+  PROPANE_REQUIRE(!sorted.empty());
+  q = std::clamp(q, 0.0, 1.0);
+  const double position = q * static_cast<double>(sorted.size() - 1);
+  const auto lower = static_cast<std::size_t>(std::floor(position));
+  if (lower + 1 >= sorted.size()) return sorted[sorted.size() - 1];
+  const double fraction = position - static_cast<double>(lower);
+  return sorted[lower] + fraction * (sorted[lower + 1] - sorted[lower]);
+}
+
+PercentileBand percentile_band(std::span<const double> samples) {
+  PROPANE_REQUIRE(!samples.empty());
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  Summary summary;
+  for (double x : sorted) summary.add(x);
+  PercentileBand band;
+  band.mean = summary.mean();
+  band.stddev = summary.stddev();
+  band.p2_5 = quantile_sorted(sorted, 0.025);
+  band.p25 = quantile_sorted(sorted, 0.25);
+  band.p50 = quantile_sorted(sorted, 0.50);
+  band.p75 = quantile_sorted(sorted, 0.75);
+  band.p97_5 = quantile_sorted(sorted, 0.975);
+  return band;
+}
+
 double kendall_tau_b(std::span<const double> xs, std::span<const double> ys) {
   PROPANE_REQUIRE(xs.size() == ys.size());
   PROPANE_REQUIRE(xs.size() >= 2);

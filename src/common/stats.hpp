@@ -42,6 +42,37 @@ struct Interval {
 Interval wilson_interval(std::size_t successes, std::size_t trials,
                          double z = 1.96);
 
+/// Half-width of an interval: (hi - lo) / 2. The scalar uncertainty figure
+/// printed next to point estimates (`campaign stats`) so Wilson and
+/// bootstrap outputs are comparable at a glance.
+inline double interval_half_width(const Interval& interval) {
+  return (interval.hi - interval.lo) / 2.0;
+}
+
+/// Linear-interpolation quantile (the "type 7" estimator of Hyndman & Fan,
+/// the R/NumPy default) over an ascending-sorted sample. q is clamped to
+/// [0, 1]. Requires a non-empty sample; exact at the endpoints (q=0 is the
+/// minimum, q=1 the maximum). Deterministic: pure arithmetic on the sorted
+/// values, no platform-dependent library calls.
+double quantile_sorted(std::span<const double> sorted, double q);
+
+/// Percentile summary of a bootstrap sample cloud: mean, standard
+/// deviation, and the 2.5 / 25 / 50 / 75 / 97.5 percentiles (so
+/// [p2_5, p97_5] is the central 95% band and [p25, p75] the interquartile
+/// band). Computed by sorting a copy of `samples`; requires a non-empty
+/// sample.
+struct PercentileBand {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double p2_5 = 0.0;
+  double p25 = 0.0;
+  double p50 = 0.0;
+  double p75 = 0.0;
+  double p97_5 = 0.0;
+};
+
+PercentileBand percentile_band(std::span<const double> samples);
+
 /// Kendall's tau-b rank correlation between two equal-length samples.
 /// Returns a value in [-1, 1]; ties are handled with the tau-b correction.
 /// Returns 0 when either sample is entirely tied. O(n^2), fine for the

@@ -94,7 +94,7 @@ TextTable table1_permeability(const PaperExperiment& experiment) {
 TextTable table1_permeability(const core::SystemModel& model,
                               const fi::EstimationResult& estimation) {
   TextTable table({"Module", "Input -> Output", "Name", "Value", "n_inj",
-                   "n_err", "95% CI"});
+                   "n_err", "95% CI", "+/-"});
   table.set_align(1, Align::kLeft);
   table.set_align(2, Align::kLeft);
   for (const fi::PairEstimate& pair : estimation.pairs) {
@@ -109,7 +109,8 @@ TextTable table1_permeability(const core::SystemModel& model,
                    std::to_string(pair.injections),
                    std::to_string(pair.errors),
                    "[" + format_double(ci.lo, 3) + "," +
-                       format_double(ci.hi, 3) + "]"});
+                       format_double(ci.hi, 3) + "]",
+                   format_double(interval_half_width(ci), 3)});
   }
   return table;
 }

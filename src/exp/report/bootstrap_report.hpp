@@ -1,0 +1,56 @@
+// Renderers for bootstrap uncertainty reports (fi/bootstrap.hpp).
+//
+// Three artifact formats, all pure functions of the BootstrapResult (no
+// timestamps, no wall times, fixed number formatting), so a re-run with the
+// same journal, seed and replicate count produces byte-identical files:
+//
+//   * summary.json    -- machine-readable: every band, ranking-stability
+//                        probability and convergence point
+//                        (schema "propane.bootstrap.v1");
+//   * bands.svg       -- shaded-band convergence curves: per-module Eq. 5
+//                        exposure percentile bands (2.5-97.5) and P(top-1)
+//                        versus bootstrap draws per replicate, the "how
+//                        many runs is enough?" picture;
+//   * confidence.dot  -- the permeability graph (core/dot.hpp style) with
+//                        arc labels carrying median [2.5%, 97.5%] bands and
+//                        nodes annotated/shaded by EDM ranking confidence.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "core/system_model.hpp"
+#include "fi/bootstrap.hpp"
+
+namespace propane::exp {
+
+/// Machine-readable summary (schema "propane.bootstrap.v1"). NaN-valued
+/// quantities (Eq. 4 exposure of modules without incoming arcs, OB1) are
+/// emitted as JSON null, never as NaN.
+std::string bootstrap_summary_json(const fi::BootstrapResult& result);
+
+/// Shaded-band SVG: panel A plots each module's Eq. 5 exposure band
+/// (2.5-97.5 percentile polygon + median line) against bootstrap draws per
+/// replicate, panel B the matching P(top-1) ranking-stability curves.
+std::string bootstrap_bands_svg(const fi::BootstrapResult& result);
+
+/// Confidence-annotated permeability graph in Graphviz DOT. Arcs are
+/// labelled "input->output = median [lo,hi]"; arcs whose 97.5th percentile
+/// is zero (or that were never injected) are dashed; nodes are shaded by
+/// P(top-1 by Eq. 5 exposure) and carry the EDM/ERM stability numbers.
+std::string bootstrap_confidence_dot(const core::SystemModel& model,
+                                     const fi::BootstrapResult& result);
+
+struct BootstrapArtifactPaths {
+  std::filesystem::path json;
+  std::filesystem::path svg;
+  std::filesystem::path dot;
+};
+
+/// Renders all three artifacts into `dir` (created if missing) as
+/// summary.json, bands.svg and confidence.dot.
+BootstrapArtifactPaths write_bootstrap_artifacts(
+    const std::filesystem::path& dir, const core::SystemModel& model,
+    const fi::BootstrapResult& result);
+
+}  // namespace propane::exp

@@ -1,0 +1,198 @@
+#include <algorithm>
+#include <string>
+
+#include "common/strings.hpp"
+#include "exp/report/bootstrap_report.hpp"
+
+namespace propane::exp {
+
+namespace {
+
+// Deterministic module palette (cycled); mirrors common dark-on-light
+// categorical schemes.
+constexpr const char* kPalette[] = {"#1f77b4", "#d62728", "#2ca02c",
+                                    "#ff7f0e", "#9467bd", "#8c564b",
+                                    "#17becf", "#7f7f7f"};
+constexpr std::size_t kPaletteSize = sizeof(kPalette) / sizeof(kPalette[0]);
+
+std::string num(double v) { return format_double(v, 2); }
+
+std::string xml_escape(const std::string& text) {
+  std::string out;
+  for (char ch : text) {
+    switch (ch) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += ch;
+    }
+  }
+  return out;
+}
+
+std::string svg_text(double x, double y, const std::string& text,
+                     const std::string& extra = "") {
+  return "  <text x=\"" + num(x) + "\" y=\"" + num(y) +
+         "\" font-family=\"monospace\" font-size=\"11\"" +
+         (extra.empty() ? "" : " " + extra) + ">" + xml_escape(text) +
+         "</text>\n";
+}
+
+std::string svg_line(double x1, double y1, double x2, double y2,
+                     const std::string& stroke, double width = 1.0) {
+  return "  <line x1=\"" + num(x1) + "\" y1=\"" + num(y1) + "\" x2=\"" +
+         num(x2) + "\" y2=\"" + num(y2) + "\" stroke=\"" + stroke +
+         "\" stroke-width=\"" + num(width) + "\"/>\n";
+}
+
+/// One plot panel mapping (draws, value) to pixel space.
+struct Panel {
+  double left, right, top, bottom;
+  double x_min, x_max, y_min, y_max;
+
+  double x(double draws) const {
+    const double span = (x_max > x_min) ? (x_max - x_min) : 1.0;
+    return left + (draws - x_min) / span * (right - left);
+  }
+  double y(double value) const {
+    const double span = (y_max > y_min) ? (y_max - y_min) : 1.0;
+    return bottom - (value - y_min) / span * (bottom - top);
+  }
+};
+
+std::string panel_frame(const Panel& p, const std::string& title,
+                        const std::string& y_label, int y_decimals) {
+  std::string out;
+  out += svg_text(
+      (p.left + p.right) / 2 - 2.7 * static_cast<double>(title.size()),
+      p.top - 14, title);
+  // Y gridlines + labels at quarters.
+  for (int i = 0; i <= 4; ++i) {
+    const double value = p.y_min + (p.y_max - p.y_min) * i / 4.0;
+    const double yy = p.y(value);
+    out += svg_line(p.left, yy, p.right, yy, "#dddddd");
+    out += svg_text(p.left - 46, yy + 4, format_double(value, y_decimals));
+  }
+  out += svg_line(p.left, p.top, p.left, p.bottom, "#000000");
+  out += svg_line(p.left, p.bottom, p.right, p.bottom, "#000000");
+  out += svg_text(p.left - 52, p.top - 14, y_label);
+  return out;
+}
+
+}  // namespace
+
+std::string bootstrap_bands_svg(const fi::BootstrapResult& result) {
+  const std::size_t module_count = result.module_names.size();
+  const auto& conv = result.convergence;
+
+  std::string out =
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"960\" "
+      "height=\"500\" viewBox=\"0 0 960 500\">\n";
+  out += "  <rect width=\"960\" height=\"500\" fill=\"#ffffff\"/>\n";
+  out += svg_text(20, 24,
+                  "Bootstrap convergence: " +
+                      std::to_string(result.replicates) + " replicates, " +
+                      std::to_string(result.record_count) + " records, " +
+                      std::to_string(result.cell_count) + " cells, seed " +
+                      std::to_string(result.seed));
+  if (module_count == 0 || conv.empty()) {
+    out += svg_text(20, 48, "(empty model)");
+    out += "</svg>\n";
+    return out;
+  }
+
+  double x_min = static_cast<double>(conv.front().draws);
+  double x_max = static_cast<double>(conv.back().draws);
+  double y_max = 0.0;
+  for (const fi::ConvergencePoint& cp : conv) {
+    for (const fi::BootstrapBand& band : cp.module_exposure) {
+      y_max = std::max(y_max, std::max(band.band.p97_5, band.point));
+    }
+  }
+  if (y_max <= 0.0) y_max = 1.0;
+
+  Panel a{70, 440, 60, 390, x_min, x_max, 0.0, y_max * 1.05};
+  Panel b{560, 930, 60, 390, x_min, x_max, 0.0, 1.0};
+
+  out += panel_frame(a, "Eq. 5 exposure band (2.5-97.5%)", "X~ (Eq.5)", 2);
+  out += panel_frame(b, "Ranking stability P(top-1 by Eq.5)", "P(top-1)", 2);
+
+  // Shared X ticks: one per convergence point, labelled with the draws per
+  // replicate that campaign size implies.
+  for (const Panel* p : {&a, &b}) {
+    for (const fi::ConvergencePoint& cp : conv) {
+      const double xx = p->x(static_cast<double>(cp.draws));
+      out += svg_line(xx, p->bottom, xx, p->bottom + 5, "#000000");
+      out += svg_text(xx - 10, p->bottom + 18, std::to_string(cp.draws));
+    }
+    out += svg_text((p->left + p->right) / 2 - 55, p->bottom + 34,
+                    "bootstrap draws per replicate");
+  }
+
+  // Panel A: per-module shaded band (polygon through the 97.5th
+  // percentiles, back through the 2.5th) plus the median polyline.
+  for (std::size_t m = 0; m < module_count; ++m) {
+    const std::string color = kPalette[m % kPaletteSize];
+    std::string polygon = "  <polygon points=\"";
+    for (const fi::ConvergencePoint& cp : conv) {
+      polygon += num(a.x(static_cast<double>(cp.draws))) + "," +
+                 num(a.y(cp.module_exposure[m].band.p97_5)) + " ";
+    }
+    for (auto it = conv.rbegin(); it != conv.rend(); ++it) {
+      polygon += num(a.x(static_cast<double>(it->draws))) + "," +
+                 num(a.y(it->module_exposure[m].band.p2_5)) + " ";
+    }
+    polygon += "\" fill=\"" + color + "\" fill-opacity=\"0.15\" "
+               "stroke=\"none\"/>\n";
+    out += polygon;
+
+    std::string line = "  <polyline points=\"";
+    for (const fi::ConvergencePoint& cp : conv) {
+      line += num(a.x(static_cast<double>(cp.draws))) + "," +
+              num(a.y(cp.module_exposure[m].band.p50)) + " ";
+    }
+    line += "\" fill=\"none\" stroke=\"" + color +
+            "\" stroke-width=\"1.50\"/>\n";
+    out += line;
+    for (const fi::ConvergencePoint& cp : conv) {
+      out += "  <circle cx=\"" + num(a.x(static_cast<double>(cp.draws))) +
+             "\" cy=\"" + num(a.y(cp.module_exposure[m].band.p50)) +
+             "\" r=\"2.50\" fill=\"" + color + "\"/>\n";
+    }
+  }
+
+  // Panel B: P(top-1) trajectories.
+  for (std::size_t m = 0; m < module_count; ++m) {
+    const std::string color = kPalette[m % kPaletteSize];
+    std::string line = "  <polyline points=\"";
+    for (const fi::ConvergencePoint& cp : conv) {
+      line += num(b.x(static_cast<double>(cp.draws))) + "," +
+              num(b.y(cp.module_p_top1[m])) + " ";
+    }
+    line += "\" fill=\"none\" stroke=\"" + color +
+            "\" stroke-width=\"1.50\"/>\n";
+    out += line;
+    for (const fi::ConvergencePoint& cp : conv) {
+      out += "  <circle cx=\"" + num(b.x(static_cast<double>(cp.draws))) +
+             "\" cy=\"" + num(b.y(cp.module_p_top1[m])) +
+             "\" r=\"2.50\" fill=\"" + color + "\"/>\n";
+    }
+  }
+
+  // Legend.
+  double lx = 70;
+  const double ly = 470;
+  for (std::size_t m = 0; m < module_count; ++m) {
+    out += "  <rect x=\"" + num(lx) + "\" y=\"" + num(ly - 9) +
+           "\" width=\"10\" height=\"10\" fill=\"" +
+           kPalette[m % kPaletteSize] + "\"/>\n";
+    out += svg_text(lx + 14, ly, result.module_names[m]);
+    lx += 14 + 7.0 * static_cast<double>(result.module_names[m].size()) + 18;
+  }
+
+  out += "</svg>\n";
+  return out;
+}
+
+}  // namespace propane::exp

@@ -154,7 +154,8 @@ PermeabilityAccumulator::PermeabilityAccumulator(
   }
 }
 
-void PermeabilityAccumulator::add(const InjectionRecord& record) {
+void PermeabilityAccumulator::classify(const InjectionRecord& record,
+                                       std::vector<PairContribution>& out) const {
   // A record with an empty report is a placeholder for a run that never
   // executed (journal-resume / process-split skip): it contributes nothing.
   if (record.report.per_signal.empty()) return;
@@ -162,23 +163,22 @@ void PermeabilityAccumulator::add(const InjectionRecord& record) {
       record.report.per_signal.size() >= min_report_size_,
       "injection record's divergence report covers fewer signals than the "
       "model binding");
-  ++record_count_;
   PROPANE_CHECK(record.target < consumers_of_bus_.size());
-  const auto pair_at = [&](ModuleId m, PortIndex i,
-                           PortIndex k) -> PairEstimate& {
-    const auto outputs = model_.module(m).output_count();
-    return pairs_[first_pair_of_module_[m] + i * outputs + k];
-  };
 
   for (const InputRef& in : consumers_of_bus_[record.target]) {
     const ModuleId m = in.module;
     const core::ModuleInfo& info = model_.module(m);
     for (PortIndex k = 0; k < info.output_count(); ++k) {
-      PairEstimate& estimate = pair_at(m, in.port, k);
-      ++estimate.injections;
+      PairContribution contribution;
+      contribution.pair_index =
+          first_pair_of_module_[m] + in.port * info.output_count() + k;
 
       const Divergence& out_div = record.report.per_signal[output_bus_[m][k]];
-      if (!out_div.diverged) continue;
+      if (!out_div.diverged) {
+        out.push_back(contribution);
+        continue;
+      }
+      contribution.diverged = true;
 
       // Direct-error attribution (Section 7.3): discard the divergence
       // if a *different* input of M diverged strictly before it -- the
@@ -205,25 +205,42 @@ void PermeabilityAccumulator::add(const InjectionRecord& record) {
           break;
         }
       }
-      if (direct || !options_.direct_only) {
-        ++estimate.errors;
-      }
+      contribution.direct = direct;
       if (direct) {
         const std::uint64_t injected_ms = sim::to_milliseconds(record.when);
-        const std::uint64_t latency = out_div.first_ms >= injected_ms
-                                          ? out_div.first_ms - injected_ms
-                                          : 0;
-        if (estimate.latency_count == 0) {
-          estimate.latency_min_ms = estimate.latency_max_ms = latency;
-        } else {
-          estimate.latency_min_ms = std::min(estimate.latency_min_ms, latency);
-          estimate.latency_max_ms = std::max(estimate.latency_max_ms, latency);
-        }
-        estimate.latency_sum_ms += static_cast<double>(latency);
-        ++estimate.latency_count;
-      } else {
-        ++estimate.indirect_errors;
+        contribution.latency_ms = out_div.first_ms >= injected_ms
+                                      ? out_div.first_ms - injected_ms
+                                      : 0;
       }
+      out.push_back(contribution);
+    }
+  }
+}
+
+void PermeabilityAccumulator::add(const InjectionRecord& record) {
+  if (record.report.per_signal.empty()) return;
+  scratch_.clear();
+  classify(record, scratch_);
+  ++record_count_;
+  for (const PairContribution& contribution : scratch_) {
+    PairEstimate& estimate = pairs_[contribution.pair_index];
+    ++estimate.injections;
+    if (!contribution.diverged) continue;
+    if (contribution.direct || !options_.direct_only) {
+      ++estimate.errors;
+    }
+    if (contribution.direct) {
+      const std::uint64_t latency = contribution.latency_ms;
+      if (estimate.latency_count == 0) {
+        estimate.latency_min_ms = estimate.latency_max_ms = latency;
+      } else {
+        estimate.latency_min_ms = std::min(estimate.latency_min_ms, latency);
+        estimate.latency_max_ms = std::max(estimate.latency_max_ms, latency);
+      }
+      estimate.latency_sum_ms += static_cast<double>(latency);
+      ++estimate.latency_count;
+    } else {
+      ++estimate.indirect_errors;
     }
   }
 }

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -95,6 +96,19 @@ struct EstimationResult {
                            core::PortIndex output) const;
 };
 
+/// What one injection record contributes to one (module, input, output)
+/// pair: an injection always, plus (optionally) an output divergence with
+/// its Section-7.3 direct/indirect attribution. Produced by
+/// PermeabilityAccumulator::classify so other consumers of the record
+/// stream -- notably the bootstrap resampler (fi/bootstrap.hpp) -- count
+/// errors exactly as the estimator does.
+struct PairContribution {
+  std::size_t pair_index = 0;  ///< into the accumulator's pair table
+  bool diverged = false;       ///< the pair's output diverged
+  bool direct = false;         ///< attribution credited the injected input
+  std::uint64_t latency_ms = 0;  ///< injection -> first divergence (direct)
+};
+
 /// Record-stream permeability estimation: folds injection records one at a
 /// time into per-pair counts, so estimates can be derived from a campaign
 /// journal (src/store) -- or any other record stream -- without ever
@@ -112,6 +126,19 @@ class PermeabilityAccumulator {
 
   /// Folds one injection record into the counts.
   void add(const InjectionRecord& record);
+
+  /// Classifies one record into its per-pair contributions (appended to
+  /// `out`) without folding anything: one entry per (consumer input,
+  /// output) pair of the injected signal, in pair-table order. add() is
+  /// exactly "classify, then count", so resampling record contributions
+  /// (fi/bootstrap.hpp) reproduces the estimator's attribution bit for
+  /// bit. Empty-report placeholder records contribute nothing.
+  void classify(const InjectionRecord& record,
+                std::vector<PairContribution>& out) const;
+
+  /// The accumulator's pair table (module-major / input-major /
+  /// output-major); PairContribution::pair_index indexes into it.
+  std::span<const PairEstimate> pairs() const { return pairs_; }
 
   /// Folds another accumulator's counts into this one. Both accumulators
   /// must have been constructed over the same model / binding layout
@@ -143,6 +170,8 @@ class PermeabilityAccumulator {
   /// Smallest report size every folded record must cover (max bound bus id
   /// + 1); guards against records from a different campaign layout.
   std::size_t min_report_size_ = 0;
+  /// add()'s classify scratch, kept to avoid a per-record allocation.
+  std::vector<PairContribution> scratch_;
 };
 
 /// Reduces a campaign into permeability estimates for every I/O pair whose

@@ -58,6 +58,20 @@ CampaignDirState scan_campaign_dir(
   return state;
 }
 
+CampaignDirState for_each_journal_record(
+    const std::filesystem::path& dir,
+    const std::function<void(const fi::InjectionRecord&, std::size_t flat)>&
+        sink) {
+  PROPANE_REQUIRE(sink != nullptr);
+  CampaignDirState state = scan_campaign_dir(
+      dir, [&](fi::InjectionRecord&& record, std::size_t flat) {
+        sink(record, flat);
+      });
+  PROPANE_REQUIRE_MSG(!state.fresh,
+                      "no campaign journal in " + dir.string());
+  return state;
+}
+
 JournalRunSummary run_journaled_campaign(const fi::CampaignRunner& runner,
                                          const fi::CampaignConfig& config,
                                          const std::filesystem::path& dir,

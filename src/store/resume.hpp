@@ -67,6 +67,17 @@ CampaignDirState scan_campaign_dir(
     const std::function<void(fi::InjectionRecord&&, std::size_t flat)>& sink =
         nullptr);
 
+/// Record-iteration facade over scan_campaign_dir for read-only analyses
+/// (e.g. the bootstrap resampler, fi/bootstrap.hpp): streams every unique
+/// record of `dir` through `sink` in one pass without materialising a
+/// CampaignResult or a CSV -- memory stays O(model) + one record. Unlike
+/// scan_campaign_dir, an empty or missing directory is a hard error: a
+/// record-level consumer has nothing to iterate there.
+CampaignDirState for_each_journal_record(
+    const std::filesystem::path& dir,
+    const std::function<void(const fi::InjectionRecord&, std::size_t flat)>&
+        sink);
+
 struct JournalRunOptions {
   /// Shard files this session writes (>= worker threads removes
   /// contention). 0 = auto: one shard per campaign worker thread

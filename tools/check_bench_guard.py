@@ -77,6 +77,29 @@ def check_occupancy(label: str, section: dict) -> None:
     )
 
 
+def check_bootstrap(section: dict) -> None:
+    """Schema-check the bootstrap resampling section when present.
+
+    The resampler's replicates/s depends on the record count and the
+    machine, so there is no reference comparison -- only shape and
+    positivity. Absent sections are tolerated so the guard still accepts
+    JSON recorded by older bench binaries.
+    """
+    for key in ("replicates", "records", "cells", "wall_s",
+                "replicates_per_s"):
+        if key not in section:
+            fail(f"bootstrap: missing field '{key}'")
+    if section["replicates"] <= 0 or section["records"] <= 0:
+        fail(f"bootstrap: degenerate section {section}")
+    rate = section["replicates_per_s"]
+    if not isinstance(rate, (int, float)) or rate <= 0:
+        fail(f"bootstrap: replicates_per_s missing or non-positive: {rate}")
+    print(
+        f"check_bench_guard: bootstrap: {section['replicates']} replicates "
+        f"over {section['records']} record(s) at {rate:.0f} replicates/s"
+    )
+
+
 def check_throughput(label: str, measured: dict, reference: dict,
                      tolerance: float) -> None:
     got = measured.get("runs_per_s")
@@ -125,6 +148,10 @@ def main() -> None:
     delta = measured["delta"]
     if delta.get("executed", 0) <= 0 or delta.get("replayed", 0) <= 0:
         fail(f"delta section shows no executed+replayed split: {delta}")
+
+    # Bootstrap resampling: schema only (no reference floor).
+    if "bootstrap" in measured:
+        check_bootstrap(measured["bootstrap"])
 
     # Throughput: generous lower bound against the committed reference.
     check_throughput("batch", measured["batch"], reference["batch"],

@@ -61,9 +61,12 @@
 #include "arrestment/testcase.hpp"
 #include "arrestment/warm_start.hpp"
 #include "common/contracts.hpp"
+#include "common/strings.hpp"
 #include "common/thread_pool.hpp"
 #include "core/propane.hpp"
 #include "exp/paper_experiment.hpp"
+#include "exp/report/bootstrap_report.hpp"
+#include "fi/bootstrap.hpp"
 #include "fi/campaign.hpp"
 #include "obs/flight.hpp"
 #include "obs/metrics.hpp"
@@ -103,6 +106,10 @@ constexpr char kCampaignUsage[] =
     " [plus any campaign run flag]\n"
     "       propane campaign merge --journal <dest-dir> <src-dir>...\n"
     "       propane campaign stats --journal <dir> [--csv <perm.csv>]\n"
+    "       propane campaign bootstrap --journal <dir> [-B N] [--seed N]"
+    " [--top-k N]\n"
+    "                        [--fractions F1,F2,...] [--threads N]"
+    " [--out <report-dir>]\n"
     "       propane campaign top   --journal <dir>"
     " [--metrics-out <file.ndjson>]\n"
     "       propane campaign trace --journal <dir> [--out <trace.json>]"
@@ -223,6 +230,11 @@ struct CampaignArgs {
   std::uint32_t worker_id = 0;   // worker: dispatcher-assigned identity
   std::string trace_out;         // trace: output path (empty: <journal>/trace.json)
   bool postmortem = false;       // trace: recover flight-recorder tails
+  std::size_t replicates = 1000;   // bootstrap: -B
+  std::uint64_t boot_seed = 42;    // bootstrap: --seed (resampling streams)
+  std::size_t top_k = 3;           // bootstrap: ranking-stability threshold
+  std::string fractions;           // bootstrap: convergence-study ladder
+  std::size_t threads = 0;         // bootstrap: worker threads (0 = auto)
 };
 
 std::uint64_t parse_count(const char* flag, const char* text) {
@@ -285,12 +297,30 @@ bool parse_campaign_args(int argc, char** argv, CampaignArgs& args) {
       args.trace_out = value();
     } else if (arg == "--postmortem") {
       args.postmortem = true;
+    } else if (arg == "-B" || arg == "--replicates") {
+      args.replicates =
+          static_cast<std::size_t>(parse_count("-B", value()));
+    } else if (arg == "--seed") {
+      args.boot_seed = parse_count("--seed", value());
+    } else if (arg == "--top-k") {
+      args.top_k = static_cast<std::size_t>(parse_count("--top-k", value()));
+    } else if (arg == "--fractions") {
+      args.fractions = value();
+    } else if (arg == "--threads") {
+      args.threads =
+          static_cast<std::size_t>(parse_count("--threads", value()));
     } else if (!arg.empty() && arg.front() == '-') {
       usage_error("unknown campaign flag '" + arg + "'", kCampaignUsage);
       return false;
     } else {
       args.sources.emplace_back(arg);
     }
+  }
+  // `campaign bootstrap --baseline <dir>` is accepted as an alias for
+  // --journal: the bootstrap reads a journal the way delta reads its
+  // baseline, so both spellings name the same thing.
+  if (args.sub == "bootstrap" && args.journal.empty()) {
+    args.journal = args.baseline;
   }
   if (args.journal.empty()) {
     usage_error("campaign commands need --journal <dir>", kCampaignUsage);
@@ -708,6 +738,181 @@ int cmd_campaign_stats(const CampaignArgs& args) {
   print_batch_occupancy_from_telemetry(args);
   if (!args.csv_path.empty()) {
     std::printf("permeability CSV written to %s\n", args.csv_path.c_str());
+  }
+  return 0;
+}
+
+// --- propane campaign bootstrap ------------------------------------------
+
+/// Parses the --fractions ladder ("0.25,0.5,0.75"); exits with a usage
+/// error on anything that is not a comma-separated list of numbers.
+std::vector<double> parse_fractions(const std::string& text) {
+  std::vector<double> fractions;
+  for (std::size_t start = 0; start < text.size();) {
+    std::size_t comma = text.find(',', start);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string field = text.substr(start, comma - start);
+    char* end = nullptr;
+    const double value = std::strtod(field.c_str(), &end);
+    if (end == field.c_str() || *end != '\0' || !(value > 0.0) ||
+        value > 1.0) {
+      std::exit(usage_error("--fractions expects numbers in (0,1], got '" +
+                                field + "'",
+                            kCampaignUsage));
+    }
+    fractions.push_back(value);
+    start = comma + 1;
+  }
+  return fractions;
+}
+
+/// `campaign bootstrap`: resamples the journal's records (no re-simulation)
+/// into replicate permeability draws and propagates each through the whole
+/// analysis pipeline; prints confidence tables and writes the summary.json
+/// / bands.svg / confidence.dot artifact set.
+int cmd_campaign_bootstrap(const CampaignArgs& args) {
+  const SystemModel model = arr::make_arrestment_model();
+  const fi::SignalBinding binding = arr::make_arrestment_binding(model);
+
+  // Same telemetry arrangement as every other campaign subcommand: append
+  // to <journal>/telemetry.ndjson unless told otherwise. Observation-only;
+  // the artifacts are bit-identical with --no-telemetry.
+  obs::MetricsRegistry metrics;
+  obs::SpanBuffer spans;
+  std::optional<obs::NdjsonSink> sink;
+  obs::Telemetry telemetry;
+  if (!args.no_telemetry) {
+    const std::filesystem::path events_path = telemetry_path(args);
+    if (!events_path.parent_path().empty()) {
+      std::filesystem::create_directories(events_path.parent_path());
+    }
+    sink.emplace(events_path, /*append=*/true);
+    telemetry.metrics = &metrics;
+    telemetry.events = &*sink;
+    telemetry.spans = &spans;
+  }
+
+  // Stream the journal once; the resampler's bus width comes from the
+  // first record's report, as in store::estimate_from_journal.
+  std::optional<fi::BootstrapResampler> resampler;
+  const store::CampaignDirState state = store::for_each_journal_record(
+      args.journal, [&](const fi::InjectionRecord& record, std::size_t) {
+        if (!resampler.has_value()) {
+          const std::size_t bus_count = std::max(
+              binding.bus_upper_bound(), record.report.per_signal.size());
+          resampler.emplace(model, binding, bus_count);
+        }
+        resampler->add(record);
+      });
+  print_warnings(state.warnings);
+  if (!resampler.has_value() || resampler->record_count() == 0) {
+    std::fprintf(stderr,
+                 "propane: journal '%s' holds no injection records to "
+                 "bootstrap\n",
+                 args.journal.string().c_str());
+    return 1;
+  }
+  std::printf("journal %s: plan 0x%016llx, seed 0x%016llx, %zu record(s) in "
+              "%zu (signal, test case) cell(s)\n",
+              args.journal.string().c_str(),
+              static_cast<unsigned long long>(state.manifest.plan_hash),
+              static_cast<unsigned long long>(state.manifest.seed),
+              resampler->record_count(), resampler->cell_count());
+
+  fi::BootstrapOptions options;
+  options.replicates = args.replicates;
+  options.seed = args.boot_seed;
+  options.top_k = args.top_k;
+  options.threads = args.threads;
+  if (!args.fractions.empty()) {
+    options.run_fractions = parse_fractions(args.fractions);
+  }
+  const fi::BootstrapResult result =
+      resampler->run(options, telemetry.enabled() ? &telemetry : nullptr);
+
+  std::printf("bootstrap: %zu replicate(s), seed %llu, top-k %zu, "
+              "%zu convergence point(s)\n",
+              result.replicates,
+              static_cast<unsigned long long>(result.seed), result.top_k,
+              result.convergence.size());
+
+  std::puts("Module uncertainty (Eq. 5 exposure and rankings):");
+  TextTable modules({"Module", "X~ (Eq.5)", "2.5%", "97.5%", "P(top1 EDM)",
+                     "P~ (Eq.3)", "P(top1 ERM)"});
+  for (const fi::ModuleCloud& m : result.modules) {
+    modules.add_row(
+        {m.name, format_double(m.nonweighted_exposure.point, 3),
+         format_double(m.nonweighted_exposure.band.p2_5, 3),
+         format_double(m.nonweighted_exposure.band.p97_5, 3),
+         format_double(m.p_top1_exposure, 2),
+         format_double(m.nonweighted_permeability.point, 3),
+         format_double(m.p_top1_permeability, 2)});
+  }
+  std::puts(modules.render().c_str());
+
+  std::puts("Propagation-path ranking stability (Table 4 with bands):");
+  TextTable paths({"#", "Propagation path", "Weight", "2.5%", "97.5%",
+                   "P(top1)", "P(topk)"});
+  paths.set_align(1, Align::kLeft);
+  std::size_t rank = 0;
+  for (const fi::PathCloud& p : result.paths) {
+    if (p.weight.point <= 0.0) continue;
+    ++rank;
+    if (rank > 10) break;
+    paths.add_row({std::to_string(rank), p.description,
+                   format_double(p.weight.point, 3),
+                   format_double(p.weight.band.p2_5, 3),
+                   format_double(p.weight.band.p97_5, 3),
+                   format_double(p.p_top1, 2), format_double(p.p_topk, 2)});
+  }
+  std::puts(paths.render().c_str());
+
+  std::puts("Convergence (\"how many runs is enough?\"):");
+  TextTable conv({"Fraction", "Draws/replicate", "EDM pick", "P(top-1)"});
+  for (const fi::ConvergencePoint& cp : result.convergence) {
+    // The module most often ranked first at this campaign size.
+    std::size_t best = 0;
+    for (std::size_t m = 1; m < cp.module_p_top1.size(); ++m) {
+      if (cp.module_p_top1[m] > cp.module_p_top1[best]) best = m;
+    }
+    conv.add_row({format_double(cp.fraction, 2), std::to_string(cp.draws),
+                  result.module_names[best],
+                  format_double(cp.module_p_top1[best], 2)});
+  }
+  std::puts(conv.render().c_str());
+
+  std::printf("placement confidence: EDM %s P(top-1)=%s, ERM %s "
+              "P(top-1)=%s\n",
+              result.edm_module.c_str(),
+              format_double(result.edm_p_top1, 2).c_str(),
+              result.erm_module.c_str(),
+              format_double(result.erm_p_top1, 2).c_str());
+
+  const std::filesystem::path out_dir = args.trace_out.empty()
+                                            ? args.journal / "bootstrap"
+                                            : std::filesystem::path(
+                                                  args.trace_out);
+  const exp::BootstrapArtifactPaths artifacts =
+      exp::write_bootstrap_artifacts(out_dir, model, result);
+  std::printf("bootstrap artifacts: %s, %s, %s\n",
+              artifacts.json.string().c_str(),
+              artifacts.svg.string().c_str(),
+              artifacts.dot.string().c_str());
+  const double replicates_per_s =
+      result.wall_seconds > 0.0
+          ? static_cast<double>(result.replicates *
+                                result.convergence.size()) /
+                result.wall_seconds
+          : 0.0;
+  std::printf("bootstrap summary: %.2fs wall, %.0f replicate(s)/s\n",
+              result.wall_seconds, replicates_per_s);
+
+  if (sink.has_value()) {
+    obs::publish_span_stats(&telemetry);
+    emit_metric_events(*sink, metrics.snapshot());
+    sink->flush();
+    std::printf("telemetry: %zu event(s) appended to %s\n",
+                sink->event_count(), telemetry_path(args).string().c_str());
   }
   return 0;
 }
@@ -1268,6 +1473,7 @@ int cmd_campaign(int argc, char** argv) {
   if (args.sub == "worker") return cmd_campaign_worker(args);
   if (args.sub == "merge") return cmd_campaign_merge(args);
   if (args.sub == "stats") return cmd_campaign_stats(args);
+  if (args.sub == "bootstrap") return cmd_campaign_bootstrap(args);
   if (args.sub == "top") return cmd_campaign_top(args);
   if (args.sub == "trace") return cmd_campaign_trace(args);
   return usage_error("unknown campaign subcommand '" + args.sub + "'",
